@@ -1,0 +1,107 @@
+// Section 4.5: "we were able to exploit the power-law in package
+// utilization to limit overall download times with an efficient local,
+// disk-based cache" (following SOCK). The bench drives 10k requirement
+// sets sampled from a Zipf popularity law through the cache at several
+// disk capacities and reports hit rate, bytes downloaded, and mean
+// per-environment provisioning time — including the no-cache ablation.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/strings.h"
+#include "runtime/package.h"
+#include "runtime/package_cache.h"
+
+namespace {
+
+using bauplan::FormatDurationMicros;
+using bauplan::Rng;
+using bauplan::SimClock;
+using bauplan::runtime::Package;
+using bauplan::runtime::PackageCache;
+using bauplan::runtime::PackageRegistry;
+
+struct SweepResult {
+  double hit_rate = 0;
+  uint64_t bytes_downloaded = 0;
+  uint64_t mean_env_micros = 0;
+};
+
+SweepResult RunSweep(const PackageRegistry& registry,
+                     uint64_t capacity_bytes, int environments,
+                     uint64_t seed) {
+  SimClock clock;
+  PackageCache::Options options;
+  options.capacity_bytes = capacity_bytes;
+  PackageCache cache(&clock, options);
+  Rng rng(seed);
+  uint64_t total_micros = 0;
+  for (int i = 0; i < environments; ++i) {
+    // A node's requirement set: 1-6 packages, popularity-sampled.
+    size_t k = 1 + static_cast<size_t>(rng.UniformInt(0, 5));
+    uint64_t start = clock.NowMicros();
+    for (const Package& pkg : registry.SampleRequirementSet(rng, k)) {
+      cache.Fetch(pkg);
+    }
+    total_micros += clock.NowMicros() - start;
+  }
+  SweepResult result;
+  result.hit_rate = cache.metrics().HitRate();
+  result.bytes_downloaded = cache.metrics().bytes_downloaded;
+  result.mean_env_micros =
+      total_micros / static_cast<uint64_t>(environments);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const int kEnvironments = 10000;
+  PackageRegistry registry(5000, 1.1, 2024);
+
+  std::printf("=== Section 4.5: power-law package utilization + disk "
+              "cache ===\n\n");
+  std::printf("universe: %zu packages (%s total), Zipf(s=1.1) "
+              "popularity,\n%d environments of 1-6 packages each\n\n",
+              registry.size(),
+              bauplan::FormatBytes(registry.total_bytes()).c_str(),
+              kEnvironments);
+
+  std::printf("%14s %10s %16s %18s\n", "cache size", "hit rate",
+              "bytes downloaded", "mean env provision");
+  struct Config {
+    const char* label;
+    uint64_t bytes;
+  };
+  const Config configs[] = {
+      {"disabled", 0},
+      {"1 GiB", 1ull << 30},
+      {"5 GiB", 5ull << 30},
+      {"10 GiB", 10ull << 30},
+      {"50 GiB", 50ull << 30},
+  };
+  SweepResult disabled;
+  SweepResult best;
+  for (const auto& config : configs) {
+    SweepResult result =
+        RunSweep(registry, config.bytes, kEnvironments, 7);
+    if (config.bytes == 0) disabled = result;
+    best = result;
+    std::printf("%14s %9.1f%% %16s %18s\n", config.label,
+                100.0 * result.hit_rate,
+                bauplan::FormatBytes(result.bytes_downloaded).c_str(),
+                FormatDurationMicros(result.mean_env_micros).c_str());
+  }
+
+  double saved = 1.0 - static_cast<double>(best.bytes_downloaded) /
+                           static_cast<double>(disabled.bytes_downloaded);
+  std::printf("\npaper:    the Zipf head makes a small disk cache remove "
+              "most download time\nmeasured: the largest cache removes "
+              "%.0f%% of download bytes and cuts mean\n          "
+              "environment provisioning from %s to %s.\n",
+              100.0 * saved,
+              FormatDurationMicros(disabled.mean_env_micros).c_str(),
+              FormatDurationMicros(best.mean_env_micros).c_str());
+  return 0;
+}

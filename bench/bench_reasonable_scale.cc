@@ -1,0 +1,146 @@
+// Section 3.1: the Reasonable Scale hypothesis — most real workloads
+// (P80 scan ~750 MB) fit comfortably on a single node, so an embedded
+// engine beats a distributed cluster on the feedback loop. This is the
+// one wall-clock benchmark in the suite (google-benchmark): the actual
+// C++ engine executing the paper's queries over growing taxi tables,
+// in-process, on one core.
+
+#include <benchmark/benchmark.h>
+
+#include "columnar/table.h"
+#include "common/clock.h"
+#include "sql/engine.h"
+#include "storage/object_store.h"
+#include "table/table_ops.h"
+#include "workload/taxi_gen.h"
+
+namespace {
+
+using bauplan::columnar::Table;
+using bauplan::sql::MemoryTableProvider;
+using bauplan::sql::RunQuery;
+
+MemoryTableProvider MakeProvider(int64_t rows) {
+  bauplan::workload::TaxiGenOptions options;
+  options.rows = rows;
+  options.start_date = "2019-03-15";
+  options.days = 45;
+  MemoryTableProvider provider;
+  provider.AddTable("taxi_table",
+                    *bauplan::workload::GenerateTaxiTable(options));
+  return provider;
+}
+
+// The paper's Step 1: filter + project.
+void BM_PaperStep1Filter(benchmark::State& state) {
+  MemoryTableProvider provider = MakeProvider(state.range(0));
+  for (auto _ : state) {
+    auto result = RunQuery(
+        "SELECT pickup_location_id, passenger_count AS count, "
+        "dropoff_location_id FROM taxi_table "
+        "WHERE pickup_at >= '2019-04-01'",
+        provider, &provider);
+    if (!result.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PaperStep1Filter)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+// The paper's Step 3: group-by aggregation + sort.
+void BM_PaperStep3GroupBy(benchmark::State& state) {
+  MemoryTableProvider provider = MakeProvider(state.range(0));
+  for (auto _ : state) {
+    auto result = RunQuery(
+        "SELECT pickup_location_id, dropoff_location_id, COUNT(*) AS "
+        "counts FROM taxi_table GROUP BY pickup_location_id, "
+        "dropoff_location_id ORDER BY counts DESC",
+        provider, &provider);
+    if (!result.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PaperStep3GroupBy)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+// A wider analytical query: filter + arithmetic + aggregate.
+void BM_AnalyticsAggregate(benchmark::State& state) {
+  MemoryTableProvider provider = MakeProvider(state.range(0));
+  for (auto _ : state) {
+    auto result = RunQuery(
+        "SELECT zone, COUNT(*) AS n, AVG(fare) AS avg_fare, "
+        "SUM(trip_distance * 1.6) AS km FROM taxi_table "
+        "WHERE passenger_count IS NOT NULL AND fare BETWEEN 3 AND 200 "
+        "GROUP BY zone HAVING COUNT(*) > 5 ORDER BY n DESC LIMIT 25",
+        provider, &provider);
+    if (!result.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AnalyticsAggregate)->Arg(10000)->Arg(100000)->Arg(1000000);
+
+// Optimizer ablation: the same query with scan pushdown disabled.
+void BM_AggregateNoPushdown(benchmark::State& state) {
+  MemoryTableProvider provider = MakeProvider(state.range(0));
+  bauplan::sql::QueryOptions options;
+  options.optimizer.pushdown_predicates = false;
+  options.optimizer.pushdown_projections = false;
+  for (auto _ : state) {
+    auto result = RunQuery(
+        "SELECT zone, COUNT(*) AS n FROM taxi_table "
+        "WHERE pickup_at >= '2019-04-01' GROUP BY zone",
+        provider, &provider, options);
+    if (!result.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AggregateNoPushdown)->Arg(100000);
+
+void BM_AggregateWithPushdown(benchmark::State& state) {
+  MemoryTableProvider provider = MakeProvider(state.range(0));
+  for (auto _ : state) {
+    auto result = RunQuery(
+        "SELECT zone, COUNT(*) AS n FROM taxi_table "
+        "WHERE pickup_at >= '2019-04-01' GROUP BY zone",
+        provider, &provider);
+    if (!result.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AggregateWithPushdown)->Arg(100000);
+
+// Parallel file decode (section 5 future work): scan a fragmented table
+// with 1 vs 4 decode threads; wall time shows the CPU-bound decode
+// parallelizing.
+void BM_ScanDecode(benchmark::State& state) {
+  static bauplan::storage::MemoryObjectStore store;
+  static bauplan::SimClock clock(0);
+  static bauplan::table::TableOps ops(&store, &clock);
+  static std::string metadata_key = [] {
+    bauplan::workload::TaxiGenOptions gen;
+    gen.rows = 50000;
+    auto schema = bauplan::workload::GenerateTaxiTable(gen)->schema();
+    std::string key = *ops.CreateTable("frag_table", schema);
+    for (int i = 0; i < 8; ++i) {
+      gen.seed = static_cast<uint64_t>(i + 1);
+      key = *ops.Append(key, *bauplan::workload::GenerateTaxiTable(gen));
+    }
+    return key;
+  }();
+  bauplan::table::ScanOptions options;
+  options.decode_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = ops.ScanTable(metadata_key, options);
+    if (!result.ok()) state.SkipWithError("scan failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 400000);
+}
+BENCHMARK(BM_ScanDecode)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

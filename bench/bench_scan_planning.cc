@@ -1,0 +1,133 @@
+// Section 4.2: the table format's job is to turn WHERE clauses into
+// skipped I/O. The bench builds a month-partitioned taxi table from
+// several appends (many files with partition values and column stats)
+// and sweeps predicates of decreasing selectivity, reporting files
+// pruned, bytes skipped, and the simulated scan latency against S3-class
+// storage with and without pruning.
+
+#include <cstdio>
+
+#include "columnar/datetime.h"
+#include "common/clock.h"
+#include "common/strings.h"
+#include "format/predicate.h"
+#include "storage/metered_store.h"
+#include "storage/object_store.h"
+#include "table/table_ops.h"
+#include "workload/taxi_gen.h"
+
+namespace {
+
+using bauplan::FormatDurationMicros;
+using bauplan::SimClock;
+using bauplan::columnar::ParseTimestampString;
+using bauplan::columnar::Value;
+using bauplan::format::ColumnPredicate;
+using bauplan::format::CompareOp;
+using bauplan::table::ScanOptions;
+using bauplan::table::ScanPlan;
+using bauplan::table::TableOps;
+
+}  // namespace
+
+int main() {
+  bauplan::storage::MemoryObjectStore backing;
+  SimClock clock(1700000000000000ull);
+  bauplan::storage::MeteredObjectStore store(
+      &backing, &clock, bauplan::storage::LatencyModel());
+  TableOps ops(&store, &clock);
+
+  // A table partitioned by month(pickup_at), loaded with six monthly
+  // appends of 50k rows each.
+  bauplan::table::PartitionSpec spec(
+      {{"pickup_at", bauplan::table::Transform::kMonth, 0}});
+  bauplan::workload::TaxiGenOptions gen;
+  gen.rows = 50000;
+  gen.days = 30;
+  auto schema = bauplan::workload::GenerateTaxiTable(gen)->schema();
+  auto key = ops.CreateTable("taxi_table", schema, spec);
+  if (!key.ok()) return 1;
+  std::string metadata_key = *key;
+  const char* months[] = {"2019-01-01", "2019-02-01", "2019-03-01",
+                          "2019-04-01", "2019-05-01", "2019-06-01"};
+  uint64_t seed = 1;
+  for (const char* month : months) {
+    gen.start_date = month;
+    gen.seed = seed++;
+    auto data = bauplan::workload::GenerateTaxiTable(gen);
+    auto next = ops.Append(metadata_key, *data);
+    if (!next.ok()) return 1;
+    metadata_key = *next;
+  }
+  auto metadata = ops.LoadMetadata(metadata_key);
+  if (!metadata.ok()) return 1;
+
+  std::printf("=== Section 4.2: partition pruning + zone-map skipping "
+              "===\n\n");
+  std::printf("table: 300k rows over 6 monthly partitions, spec = %s\n\n",
+              spec.ToString().c_str());
+  std::printf("%-44s | %5s %6s %6s | %10s %12s\n", "predicate", "files",
+              "pruned", "rows", "bytes read", "latency(sim)");
+
+  struct Case {
+    const char* label;
+    std::vector<ColumnPredicate> predicates;
+  };
+  int64_t june_bucket =
+      (2019 - 1970) * 12 + 5;  // transformed value of June 2019
+  (void)june_bucket;
+  std::vector<Case> cases;
+  cases.push_back({"(none: full scan)", {}});
+  cases.push_back(
+      {"pickup_at >= '2019-06-01'",
+       {{"pickup_at", CompareOp::kGe,
+         Value::Timestamp(*ParseTimestampString("2019-06-01"))}}});
+  cases.push_back(
+      {"pickup_at >= '2019-04-01'",
+       {{"pickup_at", CompareOp::kGe,
+         Value::Timestamp(*ParseTimestampString("2019-04-01"))}}});
+  cases.push_back(
+      {"'2019-03-01' <= pickup_at < '2019-04-01'",
+       {{"pickup_at", CompareOp::kGe,
+         Value::Timestamp(*ParseTimestampString("2019-03-01"))},
+        {"pickup_at", CompareOp::kLt,
+         Value::Timestamp(*ParseTimestampString("2019-04-01"))}}});
+  cases.push_back(
+      {"pickup_at >= '2020-01-01' (empty)",
+       {{"pickup_at", CompareOp::kGe,
+         Value::Timestamp(*ParseTimestampString("2020-01-01"))}}});
+  cases.push_back(
+      {"trip_id <= 1000 (ranges overlap: no pruning)",
+       {{"trip_id", CompareOp::kLe, Value::Int64(1000)}}});
+
+  for (const auto& test_case : cases) {
+    ScanOptions options;
+    options.predicates = test_case.predicates;
+    ScanPlan plan;
+    store.ResetMetrics();
+    uint64_t start = clock.NowMicros();
+    auto result = ops.ScanTable(metadata_key, options, &plan);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    uint64_t elapsed = clock.NowMicros() - start;
+    std::printf("%-44s | %5lld %6lld %6lld | %10s %12s\n",
+                test_case.label,
+                static_cast<long long>(plan.files_total),
+                static_cast<long long>(plan.files_pruned_by_partition +
+                                       plan.files_pruned_by_stats),
+                static_cast<long long>(result->num_rows()),
+                bauplan::FormatBytes(static_cast<uint64_t>(
+                    store.metrics().bytes_read)).c_str(),
+                FormatDurationMicros(elapsed).c_str());
+  }
+
+  std::printf("\npaper:    every command over taxi_table resolves through "
+              "table metadata; the\n          WHERE pushdown of 4.4.2 "
+              "rides on exactly this pruning\nmeasured: selective "
+              "predicates skip most files without opening them; the\n"
+              "          empty-range scan touches no data objects at "
+              "all.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Table 1: use cases and interaction modalities in the data life cycle.
+// Each cell of the paper's table is exercised against the platform:
+//
+//   | Use case                 | Env  | Mode           |
+//   | Querying + Wrangling     | Dev  | Synch          |
+//   | Querying + Wrangling     | Prod | Synch          |
+//   | Transforming + Deploying | Dev  | Synch + Asynch |
+//   | Transforming + Deploying | Prod | Asynch         |
+//
+// Dev = a feature branch, Prod = main. Sync = the caller blocks and the
+// latency is the feedback loop; Async = an orchestrator submits and
+// drains later. The bench reports the measured (simulated) end-to-end
+// latency of each cell, demonstrating every modality the paper requires.
+
+#include <cstdio>
+
+#include "common/clock.h"
+#include "common/strings.h"
+#include "core/bauplan.h"
+#include "pipeline/project.h"
+#include "runtime/executor.h"
+#include "storage/object_store.h"
+#include "workload/taxi_gen.h"
+
+namespace {
+
+using bauplan::FormatDurationMicros;
+using bauplan::SimClock;
+using bauplan::core::Bauplan;
+
+uint64_t Elapsed(SimClock& clock, uint64_t start) {
+  return clock.NowMicros() - start;
+}
+
+}  // namespace
+
+int main() {
+  bauplan::storage::MemoryObjectStore store;
+  SimClock clock(1700000000000000ull);
+  bauplan::core::BauplanOptions options;
+  options.lake_latency = bauplan::storage::LatencyModel();  // S3-class
+  auto platform = Bauplan::Open(&store, &clock, options);
+  if (!platform.ok()) return 1;
+  Bauplan& bp = **platform;
+
+  bauplan::workload::TaxiGenOptions gen;
+  gen.rows = 100000;
+  gen.start_date = "2019-03-15";
+  gen.days = 45;
+  auto taxi = bauplan::workload::GenerateTaxiTable(gen);
+  (void)bp.CreateTable("main", "taxi_table", taxi->schema());
+  (void)bp.WriteTable("main", "taxi_table", *taxi);
+  (void)bp.CreateBranch("dev", "main");
+  auto project = bauplan::pipeline::MakePaperTaxiPipeline(1.0);
+
+  std::printf("=== Table 1: use cases x environments x modalities ===\n\n");
+  std::printf("%-26s %-5s %-14s %14s\n", "use case", "env", "mode",
+              "latency(sim)");
+
+  // QW / Dev / Sync: an analyst explores on a branch.
+  uint64_t start = clock.NowMicros();
+  auto q_dev = bp.Query(
+      "SELECT zone, COUNT(*) AS trips, AVG(fare) AS avg_fare "
+      "FROM taxi_table WHERE pickup_at >= '2019-04-01' "
+      "GROUP BY zone ORDER BY trips DESC LIMIT 10",
+      "dev");
+  if (!q_dev.ok()) return 1;
+  std::printf("%-26s %-5s %-14s %14s\n", "Querying + Wrangling", "Dev",
+              "Synch", FormatDurationMicros(Elapsed(clock, start)).c_str());
+
+  // QW / Prod / Sync: a dashboard reads main.
+  start = clock.NowMicros();
+  auto q_prod = bp.Query(
+      "SELECT COUNT(*) AS trips FROM taxi_table", "main");
+  if (!q_prod.ok()) return 1;
+  std::printf("%-26s %-5s %-14s %14s\n", "Querying + Wrangling", "Prod",
+              "Synch", FormatDurationMicros(Elapsed(clock, start)).c_str());
+
+  // TD / Dev / Sync: the developer iterates on the pipeline and waits.
+  start = clock.NowMicros();
+  auto run_dev = bp.Run(project, "dev");
+  if (!run_dev.ok() || !run_dev->merged) return 1;
+  uint64_t dev_cold = Elapsed(clock, start);
+  start = clock.NowMicros();
+  (void)bp.Run(project, "dev");  // second iteration: warm feedback loop
+  uint64_t dev_warm = Elapsed(clock, start);
+  std::printf("%-26s %-5s %-14s %14s (warm iter %s)\n",
+              "Transforming + Deploying", "Dev", "Synch",
+              FormatDurationMicros(dev_cold).c_str(),
+              FormatDurationMicros(dev_warm).c_str());
+
+  // TD / Dev / Async: the same run submitted to the background executor.
+  start = clock.NowMicros();
+  bauplan::runtime::FunctionRequest dev_async;
+  dev_async.name = "dev_pipeline_async";
+  dev_async.memory_bytes = 1ull << 30;
+  dev_async.body = [&] { return bp.Run(project, "dev").status(); };
+  bp.executor()->Submit(std::move(dev_async));
+  auto dev_reports = bp.executor()->Drain();
+  if (!dev_reports.ok()) return 1;
+  std::printf("%-26s %-5s %-14s %14s\n", "Transforming + Deploying",
+              "Dev", "Asynch",
+              FormatDurationMicros(Elapsed(clock, start)).c_str());
+
+  // TD / Prod / Async: the orchestrator fires the nightly run on main
+  // and checks back later.
+  start = clock.NowMicros();
+  bauplan::runtime::FunctionRequest prod_async;
+  prod_async.name = "nightly_pipeline";
+  prod_async.memory_bytes = 1ull << 30;
+  prod_async.body = [&] { return bp.Run(project, "main").status(); };
+  bp.executor()->Submit(std::move(prod_async));
+  clock.AdvanceMicros(30ull * 60 * 1000000);  // orchestrator polls later
+  auto prod_reports = bp.executor()->Drain();
+  if (!prod_reports.ok()) return 1;
+  std::printf("%-26s %-5s %-14s %14s (incl. 30 min queue)\n",
+              "Transforming + Deploying", "Prod", "Asynch",
+              FormatDurationMicros(Elapsed(clock, start)).c_str());
+
+  std::printf("\npaper: a coherent experience must support all four "
+              "cells;\nmeasured: every cell executes, sync latencies sit "
+              "in the interactive range\nand async latency is dominated "
+              "by orchestrator cadence, not the platform.\n");
+  return 0;
+}

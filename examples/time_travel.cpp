@@ -1,0 +1,92 @@
+// Git-for-data in action: branches, commit-level time travel,
+// snapshot-level time travel inside one table, merge conflicts, and
+// schema evolution — everything the catalog (Nessie stand-in) and table
+// format (Iceberg stand-in) give the platform.
+
+#include <cstdio>
+
+#include "columnar/builder.h"
+#include "common/clock.h"
+#include "core/bauplan.h"
+#include "storage/object_store.h"
+#include "workload/taxi_gen.h"
+
+using bauplan::SimClock;
+using bauplan::core::Bauplan;
+
+int main() {
+  bauplan::storage::MemoryObjectStore store;
+  SimClock clock(1700000000000000ull);
+  auto platform = Bauplan::Open(&store, &clock);
+  if (!platform.ok()) return 1;
+  Bauplan& bp = **platform;
+
+  auto count_on = [&](const std::string& ref) -> long long {
+    auto r = bp.Query("SELECT COUNT(*) AS n FROM taxi_table", ref);
+    return r.ok() ? r->table.GetValue(0, 0).int64_value() : -1;
+  };
+
+  // Day 1: 1000 trips land.
+  bauplan::workload::TaxiGenOptions gen;
+  gen.rows = 1000;
+  auto day1 = bauplan::workload::GenerateTaxiTable(gen);
+  (void)bp.CreateTable("main", "taxi_table", day1->schema());
+  (void)bp.WriteTable("main", "taxi_table", *day1);
+  auto day1_commit = bp.mutable_catalog()->ResolveRef("main");
+  std::printf("day 1: %lld rows at commit %s\n", count_on("main"),
+              day1_commit->c_str());
+
+  // Day 2: another 500 trips.
+  gen.rows = 500;
+  gen.seed = 2;
+  clock.AdvanceMicros(86400ull * 1000000);
+  (void)bp.WriteTable("main", "taxi_table", *bauplan::workload::GenerateTaxiTable(gen));
+  std::printf("day 2: %lld rows on main\n", count_on("main"));
+
+  // Commit-level time travel: query yesterday's whole catalog.
+  std::printf("time travel to day-1 commit: %lld rows\n\n",
+              count_on(*day1_commit));
+
+  // Snapshot-level time travel inside the table (Iceberg semantics).
+  bauplan::table::ScanOptions as_of;
+  as_of.snapshot_id = 1;
+  auto snap1 = bp.ReadTable("main", "taxi_table", as_of);
+  std::printf("table snapshot 1 still readable: %lld rows\n\n",
+              static_cast<long long>(snap1->num_rows()));
+
+  // Two branches change the same table -> merge conflict, caught.
+  (void)bp.CreateBranch("team_a", "main");
+  (void)bp.CreateBranch("team_b", "main");
+  gen.seed = 3;
+  (void)bp.WriteTable("team_a", "taxi_table",
+                      *bauplan::workload::GenerateTaxiTable(gen));
+  (void)bp.WriteTable("team_b", "taxi_table",
+                      *bauplan::workload::GenerateTaxiTable(gen));
+  (void)bp.MergeBranch("team_a", "main");
+  auto conflict = bp.MergeBranch("team_b", "main");
+  std::printf("merging team_a: ok; merging team_b: %s\n\n",
+              conflict.ok() ? "ok (unexpected!)"
+                            : conflict.status().ToString().c_str());
+
+  // Disjoint changes merge cleanly three-way.
+  (void)bp.CreateBranch("team_c", "main");
+  bauplan::columnar::Int64Builder ids;
+  ids.Append(1);
+  auto aux = bauplan::columnar::Table::Make(
+      bauplan::columnar::Schema(
+          {{"id", bauplan::columnar::TypeId::kInt64, false}}),
+      {ids.Finish()});
+  (void)bp.CreateTable("team_c", "aux_table", aux->schema());
+  (void)bp.WriteTable("team_c", "aux_table", *aux);
+  auto merged = bp.MergeBranch("team_c", "main");
+  std::printf("disjoint merge of team_c: %s (fast_forward=%s)\n\n",
+              merged.ok() ? "ok" : merged.status().ToString().c_str(),
+              merged.ok() && merged->fast_forward ? "yes" : "no");
+
+  std::printf("-- catalog log (main) --\n");
+  auto history = bp.Log("main", 6);
+  for (const auto& commit : *history) {
+    std::printf("%s  %s\n", commit.id.c_str(), commit.message.c_str());
+  }
+  return 0;
+}

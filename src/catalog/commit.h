@@ -1,0 +1,41 @@
+#ifndef BAUPLAN_CATALOG_COMMIT_H_
+#define BAUPLAN_CATALOG_COMMIT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace bauplan::catalog {
+
+/// One immutable version of the entire catalog: a full snapshot of
+/// table-name -> table-metadata-pointer plus commit ancestry. Versioning
+/// whole catalogs at a time (rather than single tables) is exactly why the
+/// paper picked Nessie: a pipeline run updates several artifacts atomically.
+struct Commit {
+  /// Content-derived hex id (16 chars).
+  std::string id;
+  /// Parent commit id; empty for the root commit.
+  std::string parent_id;
+  /// Secondary parent for merge commits; empty otherwise.
+  std::string merge_parent_id;
+  std::string message;
+  std::string author;
+  uint64_t timestamp_micros = 0;
+  /// Full catalog content at this commit: table name -> object-store key
+  /// of the table's metadata file.
+  std::map<std::string, std::string> tables;
+
+  /// Serialized image of everything except `id`.
+  Bytes Serialize() const;
+  static Result<Commit> Deserialize(const Bytes& bytes);
+
+  /// Computes the content-derived id from the serialized image.
+  std::string ComputeId() const;
+};
+
+}  // namespace bauplan::catalog
+
+#endif  // BAUPLAN_CATALOG_COMMIT_H_

@@ -1,0 +1,38 @@
+#ifndef BAUPLAN_CATALOG_TRANSACTION_H_
+#define BAUPLAN_CATALOG_TRANSACTION_H_
+
+#include <functional>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+
+namespace bauplan::catalog {
+
+/// Outcome of a transform-audit-write transaction.
+struct TransactionResult {
+  /// The commit the base branch ended at.
+  std::string final_commit_id;
+  /// Name of the ephemeral branch the work ran in (already deleted).
+  std::string ephemeral_branch;
+};
+
+/// Runs `body` inside an ephemeral branch forked off `base_branch` and
+/// merges back only on success — the paper's *transform-audit-write*
+/// pattern (Fig. 4):
+///
+///   1. fork run_<n> off base_branch,
+///   2. body(catalog, "run_<n>") performs transformations and audits,
+///   3. body OK  -> merge run_<n> into base_branch, delete run_<n>,
+///      body err -> delete run_<n>; the base branch never sees dirty data.
+///
+/// The analogy to a database transaction is deliberate and exact: the
+/// ephemeral branch is the uncommitted workspace, merge is commit.
+Result<TransactionResult> RunTransformAuditWrite(
+    Catalog* catalog, const std::string& base_branch,
+    const std::string& author,
+    const std::function<Status(Catalog*, const std::string&)>& body);
+
+}  // namespace bauplan::catalog
+
+#endif  // BAUPLAN_CATALOG_TRANSACTION_H_

@@ -1,0 +1,451 @@
+// The `bauplan` CLI: the user-facing surface of the platform (paper
+// section 4.6). Two primary verbs — query (synchronous) and run
+// (pipelines with transform-audit-write) — plus git-for-data branch
+// management and demo helpers. The lake persists under --lake as plain
+// files, so sessions compose:
+//
+//   bauplan --lake ./lake init-demo
+//   bauplan --lake ./lake query -q "SELECT COUNT(*) AS n FROM taxi_table"
+//   bauplan --lake ./lake branch create feat_1
+//   bauplan --lake ./lake run --project ./lake_demo_project -b feat_1
+//   bauplan --lake ./lake query -q "SELECT * FROM pickups LIMIT 5" -b feat_1
+//   bauplan --lake ./lake merge feat_1 main
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <fstream>
+#include <sstream>
+
+#include "cli/project_loader.h"
+#include "columnar/csv.h"
+#include "columnar/table.h"
+#include "common/clock.h"
+#include "common/strings.h"
+#include "core/bauplan.h"
+#include "pipeline/dag.h"
+#include "storage/object_store.h"
+#include "table/maintenance.h"
+#include "workload/taxi_gen.h"
+
+namespace bauplan::cli {
+namespace {
+
+constexpr const char* kUsage = R"(bauplan - a serverless data lakehouse (from spare parts)
+
+usage: bauplan --lake DIR COMMAND [ARGS]
+
+commands:
+  init-demo [--rows N] [--threshold X]
+        seed the lake with a synthetic taxi_table and write the demo
+        pipeline project to <lake>_demo_project
+  query -q SQL [-b REF] [--explain]
+        run a synchronous SQL query at a branch/tag/commit
+  run --project DIR [-b BRANCH] [--naive] [--explain]
+        execute a pipeline with transform-audit-write semantics
+  run --run-id N [-m NODE[+]]
+        replay a recorded run, sandboxed
+  runs  list recorded runs
+  ctas -t TABLE -q SQL [-b BRANCH]
+        create a table from a query result
+  import -t TABLE --csv FILE [-b BRANCH] [--overwrite]
+        load a CSV file into a table (created on first import)
+  export -t TABLE --out FILE [-b REF]
+        dump a table as CSV
+  branch create NAME [--from REF] | branch list | branch delete NAME
+  tag NAME [--at REF]
+        create an immutable tag (e.g. a release of the data)
+  merge FROM INTO
+  log [-b REF] [-n LIMIT]
+  tables [-b REF]
+  audit [-n LIMIT]
+        show the platform audit trail
+  compact -t TABLE [-b BRANCH]
+        rewrite fragmented partitions into one file each
+  expire -t TABLE [-b BRANCH]
+        drop historical snapshots and reclaim unreferenced files
+)";
+
+/// Minimal flag parser: positional arguments plus --flag/-f value pairs.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.size() >= 2 && arg[0] == '-') {
+        std::string key = arg;
+        if (i + 1 < argc && argv[i + 1][0] != '-') {
+          flags_[key] = argv[++i];
+        } else {
+          flags_[key] = "";
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = flags_.find(key);
+    return it == flags_.end() ? fallback : it->second;
+  }
+  bool Has(const std::string& key) const { return flags_.count(key) > 0; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+void PrintRunReport(const core::RunReport& report) {
+  std::printf("run %lld: %s\n", static_cast<long long>(report.run_id),
+              report.status.c_str());
+  for (const auto& node : report.execution.nodes) {
+    const char* kind =
+        node.kind == pipeline::NodeKind::kExpectation ? "expectation"
+                                                      : "sql";
+    std::printf("  %-24s [%s] rows=%lld start=%s (%s)", node.name.c_str(),
+                kind, static_cast<long long>(node.output_rows),
+                FormatDurationMicros(node.invocation.startup_micros)
+                    .c_str(),
+                std::string(
+                    runtime::StartKindToString(node.invocation.start_kind))
+                    .c_str());
+    if (node.kind == pipeline::NodeKind::kExpectation) {
+      std::printf(" -> %s (%s)", node.expectation_passed ? "PASS" : "FAIL",
+                  node.details.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("  total (simulated): %s; spill: %lld puts / %lld gets\n",
+              FormatDurationMicros(report.execution.total_micros).c_str(),
+              static_cast<long long>(report.execution.spill_metrics.puts),
+              static_cast<long long>(report.execution.spill_metrics.gets));
+  if (report.merged) {
+    std::printf("  merged into branch at commit %s\n",
+                report.merged_commit_id.c_str());
+  }
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Main(int argc, char** argv) {
+  Args args(argc, argv);
+  if (args.positional().empty() || args.Has("--help")) {
+    std::fputs(kUsage, stdout);
+    return args.positional().empty() ? 1 : 0;
+  }
+  std::string lake_dir = args.Get("--lake", "./bauplan_lake");
+  auto store = storage::FileSystemObjectStore::Open(lake_dir);
+  if (!store.ok()) return Fail(store.status());
+
+  // A simulated clock seeded with wall time: commits carry real-looking
+  // timestamps, and runtime/storage latencies are reported from the
+  // calibrated models rather than slept.
+  WallClock wall;
+  SimClock clock(wall.NowMicros());
+  auto platform = core::Bauplan::Open(store->get(), &clock);
+  if (!platform.ok()) return Fail(platform.status());
+  core::Bauplan& bp = **platform;
+
+  const std::string& command = args.positional()[0];
+
+  if (command == "init-demo") {
+    workload::TaxiGenOptions gen;
+    gen.rows = std::atoll(args.Get("--rows", "100000").c_str());
+    auto taxi = workload::GenerateTaxiTable(gen);
+    if (!taxi.ok()) return Fail(taxi.status());
+    if (!bp.ListTables("main")->empty()) {
+      return Fail(Status::AlreadyExists(
+          "lake already initialized; use a fresh --lake directory"));
+    }
+    Status st = bp.CreateTable("main", "taxi_table", taxi->schema());
+    if (st.ok()) st = bp.WriteTable("main", "taxi_table", *taxi);
+    if (!st.ok()) return Fail(st);
+    std::string project_dir = lake_dir + "_demo_project";
+    double threshold = std::atof(args.Get("--threshold", "1.0").c_str());
+    st = WriteDemoProject(project_dir, threshold);
+    if (!st.ok()) return Fail(st);
+    std::printf("seeded taxi_table with %lld rows on main\n",
+                static_cast<long long>(taxi->num_rows()));
+    std::printf("demo pipeline written to %s\n", project_dir.c_str());
+    return 0;
+  }
+
+  if (command == "query") {
+    if (!args.Has("-q")) {
+      return Fail(Status::InvalidArgument("query needs -q \"SQL\""));
+    }
+    sql::QueryOptions options;
+    options.capture_plans = args.Has("--explain");
+    auto result = bp.Query(args.Get("-q"), args.Get("-b", "main"), options);
+    if (!result.ok()) return Fail(result.status());
+    if (args.Has("--explain")) {
+      std::printf("-- physical plan --\n%s\n",
+                  result->physical_plan.c_str());
+    }
+    std::fputs(result->table.ToString(50).c_str(), stdout);
+    std::printf("(%lld rows, %lld scanned)\n",
+                static_cast<long long>(result->stats.rows_output),
+                static_cast<long long>(result->stats.rows_scanned));
+    return 0;
+  }
+
+  if (command == "run") {
+    if (args.Has("--run-id")) {
+      auto report = bp.ReplayRun(std::atoll(args.Get("--run-id").c_str()),
+                                 args.Get("-m"));
+      if (!report.ok()) return Fail(report.status());
+      PrintRunReport(*report);
+      return 0;
+    }
+    if (!args.Has("--project")) {
+      return Fail(Status::InvalidArgument(
+          "run needs --project DIR (or --run-id N)"));
+    }
+    auto project = LoadProjectFromDir(args.Get("--project"));
+    if (!project.ok()) return Fail(project.status());
+    if (args.Has("--explain")) {
+      auto tables = bp.ListTables(args.Get("-b", "main"));
+      if (!tables.ok()) return Fail(tables.status());
+      std::set<std::string> known(tables->begin(), tables->end());
+      auto dag = pipeline::Dag::Build(*project, known);
+      if (!dag.ok()) return Fail(dag.status());
+      std::fputs(dag->ToString().c_str(), stdout);
+      return 0;
+    }
+    core::PipelineRunOptions options;
+    options.fused = !args.Has("--naive");
+    auto report = bp.Run(*project, args.Get("-b", "main"), options);
+    if (!report.ok()) return Fail(report.status());
+    PrintRunReport(*report);
+    return report->merged ? 0 : 2;
+  }
+
+  if (command == "ctas") {
+    if (!args.Has("-t") || !args.Has("-q")) {
+      return Fail(Status::InvalidArgument("ctas needs -t TABLE -q SQL"));
+    }
+    Status st = bp.CreateTableAs(args.Get("-b", "main"), args.Get("-t"),
+                                 args.Get("-q"));
+    if (!st.ok()) return Fail(st);
+    std::printf("created %s on %s\n", args.Get("-t").c_str(),
+                args.Get("-b", "main").c_str());
+    return 0;
+  }
+
+  if (command == "import") {
+    if (!args.Has("-t") || !args.Has("--csv")) {
+      return Fail(Status::InvalidArgument(
+          "import needs -t TABLE --csv FILE"));
+    }
+    std::ifstream in(args.Get("--csv"));
+    if (!in) {
+      return Fail(Status::NotFound(
+          StrCat("cannot read '", args.Get("--csv"), "'")));
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto table = columnar::ReadCsv(buffer.str());
+    if (!table.ok()) return Fail(table.status());
+    std::string branch = args.Get("-b", "main");
+    std::string name = args.Get("-t");
+    auto tables = bp.ListTables(branch);
+    if (!tables.ok()) return Fail(tables.status());
+    bool exists = std::find(tables->begin(), tables->end(), name) !=
+                  tables->end();
+    if (!exists) {
+      Status st = bp.CreateTable(branch, name, table->schema());
+      if (!st.ok()) return Fail(st);
+    }
+    Status st = bp.WriteTable(branch, name, *table,
+                              args.Has("--overwrite"));
+    if (!st.ok()) return Fail(st);
+    std::printf("imported %lld rows into %s on %s%s\n",
+                static_cast<long long>(table->num_rows()), name.c_str(),
+                branch.c_str(), exists ? "" : " (created)");
+    return 0;
+  }
+
+  if (command == "export") {
+    if (!args.Has("-t") || !args.Has("--out")) {
+      return Fail(Status::InvalidArgument(
+          "export needs -t TABLE --out FILE"));
+    }
+    auto table = bp.ReadTable(args.Get("-b", "main"), args.Get("-t"));
+    if (!table.ok()) return Fail(table.status());
+    std::ofstream out(args.Get("--out"));
+    if (!out) {
+      return Fail(Status::IOError(
+          StrCat("cannot write '", args.Get("--out"), "'")));
+    }
+    out << columnar::WriteCsv(*table);
+    std::printf("exported %lld rows to %s\n",
+                static_cast<long long>(table->num_rows()),
+                args.Get("--out").c_str());
+    return 0;
+  }
+
+  if (command == "runs") {
+    auto ids = bp.run_registry().ListRuns();
+    if (!ids.ok()) return Fail(ids.status());
+    for (int64_t id : *ids) {
+      auto record = bp.run_registry().GetRun(id);
+      if (!record.ok()) continue;
+      std::printf("run %-5lld %-12s branch=%-10s fingerprint=%s  %s\n",
+                  static_cast<long long>(id), record->status.c_str(),
+                  record->branch.c_str(), record->fingerprint.c_str(),
+                  FormatTimestampMicros(record->started_micros).c_str());
+    }
+    return 0;
+  }
+
+  if (command == "branch") {
+    if (args.positional().size() < 2) {
+      return Fail(Status::InvalidArgument(
+          "branch needs create|list|delete"));
+    }
+    const std::string& sub = args.positional()[1];
+    if (sub == "list") {
+      auto branches = bp.ListBranches();
+      if (!branches.ok()) return Fail(branches.status());
+      for (const auto& name : *branches) std::printf("%s\n", name.c_str());
+      return 0;
+    }
+    if (args.positional().size() < 3) {
+      return Fail(Status::InvalidArgument("branch name missing"));
+    }
+    const std::string& name = args.positional()[2];
+    Status st = sub == "create"
+                    ? bp.CreateBranch(name, args.Get("--from", "main"))
+                : sub == "delete"
+                    ? bp.DeleteBranch(name)
+                    : Status::InvalidArgument(
+                          StrCat("unknown branch subcommand '", sub, "'"));
+    if (!st.ok()) return Fail(st);
+    std::printf("%sd branch %s\n", sub.c_str(), name.c_str());
+    return 0;
+  }
+
+  if (command == "tag") {
+    if (args.positional().size() < 2) {
+      return Fail(Status::InvalidArgument("tag needs NAME"));
+    }
+    Status st = bp.mutable_catalog()->CreateTag(args.positional()[1],
+                                                args.Get("--at", "main"));
+    if (!st.ok()) return Fail(st);
+    std::printf("tagged %s at %s\n", args.positional()[1].c_str(),
+                args.Get("--at", "main").c_str());
+    return 0;
+  }
+
+  if (command == "audit") {
+    size_t limit = static_cast<size_t>(
+        std::atoll(args.Get("-n", "20").c_str()));
+    auto entries = bp.audit_log().Tail(limit);
+    if (!entries.ok()) return Fail(entries.status());
+    for (const auto& entry : *entries) {
+      std::printf("%6lld  %s  %-14s %-10s %-6s %s\n",
+                  static_cast<long long>(entry.sequence),
+                  FormatTimestampMicros(entry.timestamp_micros).c_str(),
+                  entry.operation.c_str(), entry.ref.c_str(),
+                  entry.outcome == "ok" ? "ok" : "FAIL",
+                  entry.detail.substr(0, 60).c_str());
+    }
+    return 0;
+  }
+
+  if (command == "compact" || command == "expire") {
+    if (!args.Has("-t")) {
+      return Fail(Status::InvalidArgument(
+          StrCat(command, " needs -t TABLE")));
+    }
+    std::string branch = args.Get("-b", "main");
+    std::string name = args.Get("-t");
+    auto metadata_key = bp.mutable_catalog()->GetTable(branch, name);
+    if (!metadata_key.ok()) return Fail(metadata_key.status());
+    // Maintenance runs against the same store the platform writes to.
+    table::TableOps ops(store->get(), &clock);
+    table::TableMaintenance maintenance(&ops, store->get());
+    std::string new_key;
+    if (command == "compact") {
+      auto result = maintenance.CompactFiles(*metadata_key);
+      if (!result.ok()) return Fail(result.status());
+      std::printf("compacted %s: %lld -> %lld files (%s rewritten)\n",
+                  name.c_str(),
+                  static_cast<long long>(result->files_before),
+                  static_cast<long long>(result->files_after),
+                  FormatBytes(static_cast<uint64_t>(
+                      result->bytes_rewritten)).c_str());
+      if (!result->compacted) return 0;
+      new_key = result->metadata_key;
+    } else {
+      auto result = maintenance.ExpireSnapshots(*metadata_key);
+      if (!result.ok()) return Fail(result.status());
+      std::printf("expired %lld snapshots of %s: freed %s in %lld files\n",
+                  static_cast<long long>(result->snapshots_removed),
+                  name.c_str(),
+                  FormatBytes(result->bytes_reclaimed).c_str(),
+                  static_cast<long long>(result->data_files_deleted));
+      if (result->snapshots_removed == 0) return 0;
+      new_key = result->metadata_key;
+    }
+    catalog::TableChanges changes;
+    changes.puts[name] = new_key;
+    auto commit = bp.mutable_catalog()->CommitChanges(
+        branch, StrCat(command, " ", name), "bauplan-cli", changes);
+    if (!commit.ok()) return Fail(commit.status());
+    return 0;
+  }
+
+  if (command == "merge") {
+    if (args.positional().size() < 3) {
+      return Fail(Status::InvalidArgument("merge needs FROM INTO"));
+    }
+    auto merged =
+        bp.MergeBranch(args.positional()[1], args.positional()[2]);
+    if (!merged.ok()) return Fail(merged.status());
+    std::printf("merged %s into %s at %s%s\n",
+                args.positional()[1].c_str(),
+                args.positional()[2].c_str(), merged->commit_id.c_str(),
+                merged->fast_forward ? " (fast-forward)" : "");
+    return 0;
+  }
+
+  if (command == "log") {
+    size_t limit = static_cast<size_t>(std::atoll(
+        args.Get("-n", "10").c_str()));
+    auto log = bp.Log(args.Get("-b", "main"), limit);
+    if (!log.ok()) return Fail(log.status());
+    for (const auto& commit : *log) {
+      std::printf("%s  %s  %s (%s)\n", commit.id.c_str(),
+                  FormatTimestampMicros(commit.timestamp_micros).c_str(),
+                  commit.message.c_str(), commit.author.c_str());
+    }
+    return 0;
+  }
+
+  if (command == "tables") {
+    auto tables = bp.ListTables(args.Get("-b", "main"));
+    if (!tables.ok()) return Fail(tables.status());
+    for (const auto& name : *tables) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown command '%s'\n\n%s", command.c_str(),
+               kUsage);
+  return 1;
+}
+
+}  // namespace
+}  // namespace bauplan::cli
+
+int main(int argc, char** argv) { return bauplan::cli::Main(argc, argv); }

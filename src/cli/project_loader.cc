@@ -1,0 +1,126 @@
+#include "cli/project_loader.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace bauplan::cli {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Result<std::string> ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError(StrCat("cannot read '", path.string(), "'"));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+Result<pipeline::PipelineProject> LoadProjectFromDir(
+    const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound(StrCat("'", dir, "' is not a directory"));
+  }
+  pipeline::PipelineProject project(fs::path(dir).filename().string());
+
+  // SQL nodes, in name order for determinism.
+  std::vector<fs::path> sql_files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".sql") {
+      sql_files.push_back(entry.path());
+    }
+  }
+  std::sort(sql_files.begin(), sql_files.end());
+  for (const auto& path : sql_files) {
+    BAUPLAN_ASSIGN_OR_RETURN(std::string sql, ReadFile(path));
+    BAUPLAN_RETURN_NOT_OK(
+        project.AddSqlNode(path.stem().string(),
+                           std::string(StripWhitespace(sql))));
+  }
+
+  // Expectation nodes.
+  fs::path expectations_path = fs::path(dir) / "expectations.conf";
+  if (fs::exists(expectations_path, ec)) {
+    BAUPLAN_ASSIGN_OR_RETURN(std::string content,
+                             ReadFile(expectations_path));
+    int line_number = 0;
+    for (const auto& raw_line : StrSplit(content, '\n')) {
+      ++line_number;
+      std::string_view line = StripWhitespace(raw_line);
+      if (line.empty() || line.front() == '#') continue;
+      size_t colon = line.find(':');
+      if (colon == std::string_view::npos) {
+        return Status::InvalidArgument(
+            StrCat("expectations.conf line ", line_number,
+                   ": expected '<name>: <dsl>'"));
+      }
+      std::string name(StripWhitespace(line.substr(0, colon)));
+      std::string rest(StripWhitespace(line.substr(colon + 1)));
+      expectations::RequirementSet requirements;
+      size_t pipe = rest.find('|');
+      if (pipe != std::string::npos) {
+        std::string req_text = rest.substr(pipe + 1);
+        std::string_view req_part = StripWhitespace(req_text);
+        if (!StartsWith(req_part, "requires:")) {
+          return Status::InvalidArgument(
+              StrCat("expectations.conf line ", line_number,
+                     ": expected '| requires: ...'"));
+        }
+        BAUPLAN_ASSIGN_OR_RETURN(
+            requirements,
+            expectations::RequirementSet::Parse(req_part.substr(9)));
+        rest = std::string(StripWhitespace(rest.substr(0, pipe)));
+      }
+      BAUPLAN_RETURN_NOT_OK(
+          project.AddExpectationNode(name, rest, requirements)
+              .WithContext(StrCat("expectations.conf line ",
+                                  line_number)));
+    }
+  }
+
+  if (project.nodes().empty()) {
+    return Status::NotFound(
+        StrCat("no pipeline nodes found in '", dir, "'"));
+  }
+  return project;
+}
+
+Status WriteDemoProject(const std::string& dir, double threshold) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IOError(StrCat("cannot create '", dir, "'"));
+  pipeline::PipelineProject demo =
+      pipeline::MakePaperTaxiPipeline(threshold);
+  for (const auto& node : demo.nodes()) {
+    if (node.kind == pipeline::NodeKind::kSqlModel) {
+      std::ofstream out(fs::path(dir) / (node.name + ".sql"));
+      if (!out) return Status::IOError("cannot write sql file");
+      out << node.code << "\n";
+    }
+  }
+  std::ofstream out(fs::path(dir) / "expectations.conf");
+  if (!out) return Status::IOError("cannot write expectations.conf");
+  out << "# audit nodes: <table>_expectation: <dsl> [| requires: ...]\n";
+  for (const auto& node : demo.nodes()) {
+    if (node.kind == pipeline::NodeKind::kExpectation) {
+      out << node.name << ": " << node.code;
+      if (!node.requirements.empty()) {
+        out << " | requires: " << node.requirements.ToString();
+      }
+      out << "\n";
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bauplan::cli

@@ -1,0 +1,26 @@
+#ifndef BAUPLAN_CLI_PROJECT_LOADER_H_
+#define BAUPLAN_CLI_PROJECT_LOADER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "pipeline/project.h"
+
+namespace bauplan::cli {
+
+/// Loads a pipeline project from a directory, mirroring the paper's
+/// one-file-per-node convention:
+///   <node>.sql          - a SQL model node (node name = file stem)
+///   expectations.conf   - one expectation node per line:
+///       <table>_expectation: <dsl> [| requires: pkg==ver[,pkg==ver...]]
+/// Lines starting with '#' and blank lines are ignored.
+Result<pipeline::PipelineProject> LoadProjectFromDir(
+    const std::string& dir);
+
+/// Writes the paper's appendix pipeline into `dir` as project files
+/// (used by `bauplan init-demo`).
+Status WriteDemoProject(const std::string& dir, double threshold);
+
+}  // namespace bauplan::cli
+
+#endif  // BAUPLAN_CLI_PROJECT_LOADER_H_

@@ -1,0 +1,172 @@
+#ifndef BAUPLAN_COLUMNAR_ARRAY_H_
+#define BAUPLAN_COLUMNAR_ARRAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "columnar/type.h"
+#include "columnar/value.h"
+
+namespace bauplan::columnar {
+
+/// Immutable, fully-materialized column of values with per-row validity.
+/// Arrays are produced by builders (builder.h) or compute kernels
+/// (compute.h) and shared by pointer; they are never mutated in place.
+class Array {
+ public:
+  virtual ~Array() = default;
+
+  Array(const Array&) = delete;
+  Array& operator=(const Array&) = delete;
+
+  TypeId type() const { return type_; }
+  int64_t length() const { return length_; }
+  int64_t null_count() const { return null_count_; }
+
+  /// True when row `i` is null. Arrays with no nulls keep an empty validity
+  /// vector, so the hot path is a single branch.
+  bool IsNull(int64_t i) const {
+    return !validity_.empty() && validity_[static_cast<size_t>(i)] == 0;
+  }
+
+  /// Boxes row `i` as a Value (null-aware). Convenient but slow; hot loops
+  /// should downcast and use the typed accessors.
+  virtual Value GetValue(int64_t i) const = 0;
+
+ protected:
+  Array(TypeId type, int64_t length, std::vector<uint8_t> validity,
+        int64_t null_count)
+      : type_(type),
+        length_(length),
+        validity_(std::move(validity)),
+        null_count_(null_count) {}
+
+  TypeId type_;
+  int64_t length_;
+  /// One byte per row, 1 = valid; empty means all-valid.
+  std::vector<uint8_t> validity_;
+  int64_t null_count_;
+};
+
+using ArrayPtr = std::shared_ptr<Array>;
+
+/// Column of int64 values; also backs timestamp columns (type() reports
+/// kTimestamp, values are epoch-microseconds).
+class Int64Array : public Array {
+ public:
+  Int64Array(std::vector<int64_t> values, std::vector<uint8_t> validity,
+             int64_t null_count, TypeId type = TypeId::kInt64)
+      : Array(type, static_cast<int64_t>(values.size()), std::move(validity),
+              null_count),
+        values_(std::move(values)) {}
+
+  int64_t Value(int64_t i) const { return values_[static_cast<size_t>(i)]; }
+  const std::vector<int64_t>& values() const { return values_; }
+
+  columnar::Value GetValue(int64_t i) const override {
+    if (IsNull(i)) return Value::Null();
+    if (type_ == TypeId::kTimestamp) return Value::Timestamp(Value(i));
+    return Value::Int64(Value(i));
+  }
+
+ private:
+  std::vector<int64_t> values_;
+};
+
+/// Column of doubles.
+class DoubleArray : public Array {
+ public:
+  DoubleArray(std::vector<double> values, std::vector<uint8_t> validity,
+              int64_t null_count)
+      : Array(TypeId::kDouble, static_cast<int64_t>(values.size()),
+              std::move(validity), null_count),
+        values_(std::move(values)) {}
+
+  double Value(int64_t i) const { return values_[static_cast<size_t>(i)]; }
+  const std::vector<double>& values() const { return values_; }
+
+  columnar::Value GetValue(int64_t i) const override {
+    if (IsNull(i)) return Value::Null();
+    return Value::Double(Value(i));
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Column of booleans.
+class BoolArray : public Array {
+ public:
+  BoolArray(std::vector<uint8_t> values, std::vector<uint8_t> validity,
+            int64_t null_count)
+      : Array(TypeId::kBool, static_cast<int64_t>(values.size()),
+              std::move(validity), null_count),
+        values_(std::move(values)) {}
+
+  bool Value(int64_t i) const { return values_[static_cast<size_t>(i)] != 0; }
+
+  columnar::Value GetValue(int64_t i) const override {
+    if (IsNull(i)) return Value::Null();
+    return Value::Bool(Value(i));
+  }
+
+ private:
+  std::vector<uint8_t> values_;
+};
+
+/// Column of strings stored Arrow-style as a contiguous character blob plus
+/// n+1 offsets, so values are zero-copy string_views.
+class StringArray : public Array {
+ public:
+  StringArray(std::string data, std::vector<uint32_t> offsets,
+              std::vector<uint8_t> validity, int64_t null_count)
+      : Array(TypeId::kString,
+              static_cast<int64_t>(offsets.empty() ? 0 : offsets.size() - 1),
+              std::move(validity), null_count),
+        data_(std::move(data)),
+        offsets_(std::move(offsets)) {}
+
+  std::string_view Value(int64_t i) const {
+    size_t idx = static_cast<size_t>(i);
+    return std::string_view(data_).substr(offsets_[idx],
+                                          offsets_[idx + 1] - offsets_[idx]);
+  }
+
+  const std::string& data() const { return data_; }
+  const std::vector<uint32_t>& offsets() const { return offsets_; }
+
+  columnar::Value GetValue(int64_t i) const override {
+    if (IsNull(i)) return Value::Null();
+    return Value::String(std::string(Value(i)));
+  }
+
+ private:
+  std::string data_;
+  std::vector<uint32_t> offsets_;
+};
+
+/// Downcast helpers; return nullptr when the dynamic type does not match.
+inline const Int64Array* AsInt64(const Array& a) {
+  return (a.type() == TypeId::kInt64 || a.type() == TypeId::kTimestamp)
+             ? static_cast<const Int64Array*>(&a)
+             : nullptr;
+}
+inline const DoubleArray* AsDouble(const Array& a) {
+  return a.type() == TypeId::kDouble ? static_cast<const DoubleArray*>(&a)
+                                     : nullptr;
+}
+inline const BoolArray* AsBool(const Array& a) {
+  return a.type() == TypeId::kBool ? static_cast<const BoolArray*>(&a)
+                                   : nullptr;
+}
+inline const StringArray* AsString(const Array& a) {
+  return a.type() == TypeId::kString ? static_cast<const StringArray*>(&a)
+                                     : nullptr;
+}
+
+}  // namespace bauplan::columnar
+
+#endif  // BAUPLAN_COLUMNAR_ARRAY_H_

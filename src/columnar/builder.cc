@@ -1,0 +1,166 @@
+#include "columnar/builder.h"
+
+#include "common/strings.h"
+
+namespace bauplan::columnar {
+
+namespace {
+
+/// Backfills an all-valid prefix the first time a null is appended, so
+/// null-free arrays never allocate validity.
+void EnsureValidity(std::vector<uint8_t>* validity, bool* has_nulls,
+                    size_t current_length) {
+  if (!*has_nulls) {
+    validity->assign(current_length, 1);
+    *has_nulls = true;
+  }
+}
+
+Status TypeMismatch(TypeId expected, const Value& value) {
+  return Status::InvalidArgument(
+      StrCat("cannot append ", TypeIdToString(value.type()), " value '",
+             value.ToString(), "' to ", TypeIdToString(expected),
+             " builder"));
+}
+
+}  // namespace
+
+std::unique_ptr<ArrayBuilder> MakeBuilder(TypeId type) {
+  switch (type) {
+    case TypeId::kBool:
+      return std::make_unique<BoolBuilder>();
+    case TypeId::kInt64:
+      return std::make_unique<Int64Builder>();
+    case TypeId::kDouble:
+      return std::make_unique<DoubleBuilder>();
+    case TypeId::kString:
+      return std::make_unique<StringBuilder>();
+    case TypeId::kTimestamp:
+      return std::make_unique<Int64Builder>(TypeId::kTimestamp);
+  }
+  return nullptr;
+}
+
+void Int64Builder::AppendNull() {
+  EnsureValidity(&validity_, &has_nulls_, values_.size());
+  values_.push_back(0);
+  validity_.push_back(0);
+  ++null_count_;
+}
+
+Status Int64Builder::AppendValue(const Value& value) {
+  if (value.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  if (value.type() != TypeId::kInt64 && value.type() != TypeId::kTimestamp) {
+    return TypeMismatch(type_, value);
+  }
+  Append(value.int64_value());
+  return Status::OK();
+}
+
+ArrayPtr Int64Builder::Finish() {
+  auto arr = std::make_shared<Int64Array>(std::move(values_),
+                                          std::move(validity_), null_count_,
+                                          type_);
+  values_.clear();
+  validity_.clear();
+  has_nulls_ = false;
+  null_count_ = 0;
+  return arr;
+}
+
+void DoubleBuilder::AppendNull() {
+  EnsureValidity(&validity_, &has_nulls_, values_.size());
+  values_.push_back(0.0);
+  validity_.push_back(0);
+  ++null_count_;
+}
+
+Status DoubleBuilder::AppendValue(const Value& value) {
+  if (value.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  if (value.type() == TypeId::kDouble) {
+    Append(value.double_value());
+    return Status::OK();
+  }
+  if (value.type() == TypeId::kInt64) {
+    Append(static_cast<double>(value.int64_value()));
+    return Status::OK();
+  }
+  return TypeMismatch(TypeId::kDouble, value);
+}
+
+ArrayPtr DoubleBuilder::Finish() {
+  auto arr = std::make_shared<DoubleArray>(std::move(values_),
+                                           std::move(validity_), null_count_);
+  values_.clear();
+  validity_.clear();
+  has_nulls_ = false;
+  null_count_ = 0;
+  return arr;
+}
+
+void BoolBuilder::AppendNull() {
+  EnsureValidity(&validity_, &has_nulls_, values_.size());
+  values_.push_back(0);
+  validity_.push_back(0);
+  ++null_count_;
+}
+
+Status BoolBuilder::AppendValue(const Value& value) {
+  if (value.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  if (value.type() != TypeId::kBool) return TypeMismatch(TypeId::kBool, value);
+  Append(value.bool_value());
+  return Status::OK();
+}
+
+ArrayPtr BoolBuilder::Finish() {
+  auto arr = std::make_shared<BoolArray>(std::move(values_),
+                                         std::move(validity_), null_count_);
+  values_.clear();
+  validity_.clear();
+  has_nulls_ = false;
+  null_count_ = 0;
+  return arr;
+}
+
+void StringBuilder::AppendNull() {
+  EnsureValidity(&validity_, &has_nulls_, offsets_.size() - 1);
+  offsets_.push_back(static_cast<uint32_t>(data_.size()));
+  validity_.push_back(0);
+  ++null_count_;
+}
+
+Status StringBuilder::AppendValue(const Value& value) {
+  if (value.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  if (value.type() != TypeId::kString) {
+    return TypeMismatch(TypeId::kString, value);
+  }
+  Append(value.string_value());
+  return Status::OK();
+}
+
+ArrayPtr StringBuilder::Finish() {
+  auto arr = std::make_shared<StringArray>(std::move(data_),
+                                           std::move(offsets_),
+                                           std::move(validity_), null_count_);
+  data_.clear();
+  offsets_.clear();
+  offsets_.push_back(0);
+  validity_.clear();
+  has_nulls_ = false;
+  null_count_ = 0;
+  return arr;
+}
+
+}  // namespace bauplan::columnar

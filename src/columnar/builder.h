@@ -1,0 +1,140 @@
+#ifndef BAUPLAN_COLUMNAR_BUILDER_H_
+#define BAUPLAN_COLUMNAR_BUILDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "columnar/array.h"
+#include "columnar/type.h"
+#include "columnar/value.h"
+#include "common/result.h"
+
+namespace bauplan::columnar {
+
+/// Incrementally constructs an Array of a given type; Finish() seals the
+/// buffer into an immutable array and resets the builder.
+class ArrayBuilder {
+ public:
+  virtual ~ArrayBuilder() = default;
+
+  virtual TypeId type() const = 0;
+  virtual int64_t length() const = 0;
+  virtual void AppendNull() = 0;
+
+  /// Appends a boxed value; InvalidArgument if the value's type does not
+  /// match the builder (nulls always succeed).
+  virtual Status AppendValue(const Value& value) = 0;
+
+  virtual ArrayPtr Finish() = 0;
+};
+
+/// Creates a builder for `type`.
+std::unique_ptr<ArrayBuilder> MakeBuilder(TypeId type);
+
+/// Builder for int64 / timestamp columns.
+class Int64Builder : public ArrayBuilder {
+ public:
+  explicit Int64Builder(TypeId type = TypeId::kInt64) : type_(type) {}
+
+  void Append(int64_t v) {
+    values_.push_back(v);
+    if (has_nulls_) validity_.push_back(1);
+  }
+  void AppendNull() override;
+  Status AppendValue(const Value& value) override;
+  void Reserve(size_t n) { values_.reserve(n); }
+
+  TypeId type() const override { return type_; }
+  int64_t length() const override {
+    return static_cast<int64_t>(values_.size());
+  }
+  ArrayPtr Finish() override;
+
+ private:
+  TypeId type_;
+  std::vector<int64_t> values_;
+  std::vector<uint8_t> validity_;
+  bool has_nulls_ = false;
+  int64_t null_count_ = 0;
+};
+
+/// Builder for double columns.
+class DoubleBuilder : public ArrayBuilder {
+ public:
+  void Append(double v) {
+    values_.push_back(v);
+    if (has_nulls_) validity_.push_back(1);
+  }
+  void AppendNull() override;
+  Status AppendValue(const Value& value) override;
+  void Reserve(size_t n) { values_.reserve(n); }
+
+  TypeId type() const override { return TypeId::kDouble; }
+  int64_t length() const override {
+    return static_cast<int64_t>(values_.size());
+  }
+  ArrayPtr Finish() override;
+
+ private:
+  std::vector<double> values_;
+  std::vector<uint8_t> validity_;
+  bool has_nulls_ = false;
+  int64_t null_count_ = 0;
+};
+
+/// Builder for boolean columns.
+class BoolBuilder : public ArrayBuilder {
+ public:
+  void Append(bool v) {
+    values_.push_back(v ? 1 : 0);
+    if (has_nulls_) validity_.push_back(1);
+  }
+  void AppendNull() override;
+  Status AppendValue(const Value& value) override;
+
+  TypeId type() const override { return TypeId::kBool; }
+  int64_t length() const override {
+    return static_cast<int64_t>(values_.size());
+  }
+  ArrayPtr Finish() override;
+
+ private:
+  std::vector<uint8_t> values_;
+  std::vector<uint8_t> validity_;
+  bool has_nulls_ = false;
+  int64_t null_count_ = 0;
+};
+
+/// Builder for string columns.
+class StringBuilder : public ArrayBuilder {
+ public:
+  StringBuilder() { offsets_.push_back(0); }
+
+  void Append(std::string_view v) {
+    data_.append(v);
+    offsets_.push_back(static_cast<uint32_t>(data_.size()));
+    if (has_nulls_) validity_.push_back(1);
+  }
+  void AppendNull() override;
+  Status AppendValue(const Value& value) override;
+
+  TypeId type() const override { return TypeId::kString; }
+  int64_t length() const override {
+    return static_cast<int64_t>(offsets_.size()) - 1;
+  }
+  ArrayPtr Finish() override;
+
+ private:
+  std::string data_;
+  std::vector<uint32_t> offsets_;
+  std::vector<uint8_t> validity_;
+  bool has_nulls_ = false;
+  int64_t null_count_ = 0;
+};
+
+}  // namespace bauplan::columnar
+
+#endif  // BAUPLAN_COLUMNAR_BUILDER_H_

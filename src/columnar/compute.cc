@@ -1,0 +1,156 @@
+#include "columnar/compute.h"
+
+#include "columnar/builder.h"
+#include "common/strings.h"
+
+namespace bauplan::columnar {
+
+Result<ArrayPtr> Take(const ArrayPtr& array,
+                      const std::vector<int64_t>& indices) {
+  for (int64_t idx : indices) {
+    if (idx < 0 || idx >= array->length()) {
+      return Status::OutOfRange(
+          StrCat("take index ", idx, " out of range [0, ", array->length(),
+                 ")"));
+    }
+  }
+  // Typed fast paths keep Take linear without boxing.
+  switch (array->type()) {
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      const auto* src = AsInt64(*array);
+      Int64Builder builder(array->type());
+      builder.Reserve(indices.size());
+      for (int64_t idx : indices) {
+        if (src->IsNull(idx)) {
+          builder.AppendNull();
+        } else {
+          builder.Append(src->Value(idx));
+        }
+      }
+      return builder.Finish();
+    }
+    case TypeId::kDouble: {
+      const auto* src = AsDouble(*array);
+      DoubleBuilder builder;
+      builder.Reserve(indices.size());
+      for (int64_t idx : indices) {
+        if (src->IsNull(idx)) {
+          builder.AppendNull();
+        } else {
+          builder.Append(src->Value(idx));
+        }
+      }
+      return builder.Finish();
+    }
+    case TypeId::kBool: {
+      const auto* src = AsBool(*array);
+      BoolBuilder builder;
+      for (int64_t idx : indices) {
+        if (src->IsNull(idx)) {
+          builder.AppendNull();
+        } else {
+          builder.Append(src->Value(idx));
+        }
+      }
+      return builder.Finish();
+    }
+    case TypeId::kString: {
+      const auto* src = AsString(*array);
+      StringBuilder builder;
+      for (int64_t idx : indices) {
+        if (src->IsNull(idx)) {
+          builder.AppendNull();
+        } else {
+          builder.Append(src->Value(idx));
+        }
+      }
+      return builder.Finish();
+    }
+  }
+  return Status::Internal("unhandled type in Take");
+}
+
+Result<Table> TakeTable(const Table& table,
+                        const std::vector<int64_t>& indices) {
+  std::vector<ArrayPtr> columns;
+  columns.reserve(static_cast<size_t>(table.num_columns()));
+  for (int c = 0; c < table.num_columns(); ++c) {
+    BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr col, Take(table.column(c), indices));
+    columns.push_back(std::move(col));
+  }
+  return Table::Make(table.schema(), std::move(columns));
+}
+
+Result<Table> FilterTable(const Table& table, const BoolArray& mask) {
+  if (mask.length() != table.num_rows()) {
+    return Status::InvalidArgument(
+        StrCat("filter mask length ", mask.length(), " != table rows ",
+               table.num_rows()));
+  }
+  std::vector<int64_t> indices;
+  for (int64_t i = 0; i < mask.length(); ++i) {
+    if (!mask.IsNull(i) && mask.Value(i)) indices.push_back(i);
+  }
+  return TakeTable(table, indices);
+}
+
+Result<Table> ConcatTables(const std::vector<Table>& tables) {
+  if (tables.empty()) {
+    return Status::InvalidArgument("cannot concat zero tables");
+  }
+  const Schema& schema = tables[0].schema();
+  for (const Table& t : tables) {
+    if (!(t.schema() == schema)) {
+      return Status::InvalidArgument(
+          "cannot concat tables with different schemas");
+    }
+  }
+  std::vector<ArrayPtr> columns;
+  for (int c = 0; c < schema.num_fields(); ++c) {
+    auto builder = MakeBuilder(schema.field(c).type);
+    for (const Table& t : tables) {
+      const ArrayPtr& col = t.column(c);
+      for (int64_t i = 0; i < col->length(); ++i) {
+        BAUPLAN_RETURN_NOT_OK(builder->AppendValue(col->GetValue(i)));
+      }
+    }
+    columns.push_back(builder->Finish());
+  }
+  return Table::Make(schema, std::move(columns));
+}
+
+Result<Table> SliceTable(const Table& table, int64_t offset, int64_t length) {
+  if (offset < 0 || offset > table.num_rows()) {
+    return Status::OutOfRange(StrCat("slice offset ", offset,
+                                     " out of range [0, ", table.num_rows(),
+                                     "]"));
+  }
+  int64_t end = std::min(offset + length, table.num_rows());
+  std::vector<int64_t> indices;
+  indices.reserve(static_cast<size_t>(end - offset));
+  for (int64_t i = offset; i < end; ++i) indices.push_back(i);
+  return TakeTable(table, indices);
+}
+
+ColumnStats ComputeStats(const Array& array) {
+  ColumnStats stats;
+  stats.value_count = array.length();
+  stats.null_count = array.null_count();
+  bool seen = false;
+  for (int64_t i = 0; i < array.length(); ++i) {
+    if (array.IsNull(i)) continue;
+    Value v = array.GetValue(i);
+    if (!seen) {
+      stats.min = v;
+      stats.max = v;
+      seen = true;
+      continue;
+    }
+    if (v.Compare(stats.min) < 0) stats.min = v;
+    if (v.Compare(stats.max) > 0) stats.max = std::move(v);
+  }
+  return stats;
+}
+
+}  // namespace bauplan::columnar

@@ -1,0 +1,44 @@
+#ifndef BAUPLAN_COLUMNAR_COMPUTE_H_
+#define BAUPLAN_COLUMNAR_COMPUTE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columnar/array.h"
+#include "columnar/table.h"
+#include "common/result.h"
+
+namespace bauplan::columnar {
+
+/// Gathers rows of `array` at `indices` into a new array.
+Result<ArrayPtr> Take(const ArrayPtr& array,
+                      const std::vector<int64_t>& indices);
+
+/// Gathers rows of `table` at `indices` into a new table.
+Result<Table> TakeTable(const Table& table,
+                        const std::vector<int64_t>& indices);
+
+/// Keeps the rows of `table` where `mask` is true (null mask entries drop
+/// the row, matching SQL WHERE semantics).
+Result<Table> FilterTable(const Table& table, const BoolArray& mask);
+
+/// Vertically concatenates tables with identical schemas.
+Result<Table> ConcatTables(const std::vector<Table>& tables);
+
+/// Slices rows [offset, offset+length) out of `table` (copying).
+Result<Table> SliceTable(const Table& table, int64_t offset, int64_t length);
+
+/// Min/max/null statistics of one column, used for file zone maps.
+struct ColumnStats {
+  Value min;  // null when all values are null or the column is empty
+  Value max;
+  int64_t null_count = 0;
+  int64_t value_count = 0;
+};
+
+/// Computes min/max/null stats over an array.
+ColumnStats ComputeStats(const Array& array);
+
+}  // namespace bauplan::columnar
+
+#endif  // BAUPLAN_COLUMNAR_COMPUTE_H_

@@ -1,0 +1,260 @@
+#include "columnar/csv.h"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "columnar/builder.h"
+#include "columnar/datetime.h"
+#include "common/strings.h"
+
+namespace bauplan::columnar {
+
+namespace {
+
+/// One parsed cell: text plus whether it was quoted (quoted empties are
+/// empty strings, unquoted empties are nulls).
+struct Cell {
+  std::string text;
+  bool quoted = false;
+
+  bool IsNull() const { return !quoted && text.empty(); }
+};
+
+/// Splits CSV text into rows of cells, honoring quotes.
+Result<std::vector<std::vector<Cell>>> ParseRows(std::string_view text,
+                                                 char delimiter) {
+  std::vector<std::vector<Cell>> rows;
+  std::vector<Cell> row;
+  Cell cell;
+  bool in_quotes = false;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell = Cell();
+  };
+  auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          cell.text += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      cell.text += c;
+      ++i;
+      continue;
+    }
+    if (c == '"' && cell.text.empty() && !cell.quoted) {
+      in_quotes = true;
+      cell.quoted = true;
+      ++i;
+      continue;
+    }
+    if (c == delimiter) {
+      end_cell();
+      ++i;
+      continue;
+    }
+    if (c == '\r') {
+      ++i;  // swallow; \n ends the row
+      continue;
+    }
+    if (c == '\n') {
+      end_row();
+      ++i;
+      continue;
+    }
+    cell.text += c;
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quote in CSV");
+  }
+  // Final row without trailing newline.
+  if (!cell.text.empty() || cell.quoted || !row.empty()) end_row();
+  return rows;
+}
+
+bool ParsesAsInt64(const std::string& s, int64_t* out) {
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && p == s.data() + s.size();
+}
+
+bool ParsesAsDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+bool ParsesAsTimestamp(const std::string& s, int64_t* out) {
+  auto parsed = ParseTimestampString(s);
+  if (!parsed.ok()) return false;
+  *out = *parsed;
+  return true;
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(std::string_view text, const CsvReadOptions& options) {
+  BAUPLAN_ASSIGN_OR_RETURN(auto rows, ParseRows(text, options.delimiter));
+  if (rows.empty()) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+
+  // Header.
+  std::vector<std::string> names;
+  size_t first_data_row = 0;
+  size_t width = rows[0].size();
+  if (options.has_header) {
+    for (const auto& cell : rows[0]) names.push_back(cell.text);
+    first_data_row = 1;
+  } else {
+    for (size_t c = 0; c < width; ++c) names.push_back(StrCat("c", c));
+  }
+  for (size_t r = first_data_row; r < rows.size(); ++r) {
+    if (rows[r].size() != width) {
+      return Status::InvalidArgument(
+          StrCat("CSV row ", r + 1, " has ", rows[r].size(),
+                 " fields, expected ", width));
+    }
+  }
+
+  // Type inference per column over a sample.
+  size_t sample_end = rows.size();
+  if (options.inference_rows > 0) {
+    sample_end = std::min(
+        rows.size(),
+        first_data_row + static_cast<size_t>(options.inference_rows));
+  }
+  std::vector<TypeId> types(width, TypeId::kString);
+  for (size_t c = 0; c < width; ++c) {
+    bool all_int = true, all_double = true, all_ts = true;
+    bool any_value = false;
+    for (size_t r = first_data_row; r < sample_end; ++r) {
+      const Cell& cell = rows[r][c];
+      if (cell.IsNull()) continue;
+      any_value = true;
+      int64_t i64;
+      double d;
+      if (!ParsesAsInt64(cell.text, &i64)) all_int = false;
+      if (!ParsesAsDouble(cell.text, &d)) all_double = false;
+      if (!ParsesAsTimestamp(cell.text, &i64)) all_ts = false;
+      if (!all_int && !all_double && !all_ts) break;
+    }
+    if (!any_value) {
+      types[c] = TypeId::kString;
+    } else if (all_int) {
+      types[c] = TypeId::kInt64;
+    } else if (all_double) {
+      types[c] = TypeId::kDouble;
+    } else if (all_ts) {
+      types[c] = TypeId::kTimestamp;
+    }
+  }
+
+  // Build columns.
+  std::vector<Field> fields;
+  std::vector<std::unique_ptr<ArrayBuilder>> builders;
+  for (size_t c = 0; c < width; ++c) {
+    fields.push_back({names[c], types[c], true});
+    builders.push_back(MakeBuilder(types[c]));
+  }
+  for (size_t r = first_data_row; r < rows.size(); ++r) {
+    for (size_t c = 0; c < width; ++c) {
+      const Cell& cell = rows[r][c];
+      if (cell.IsNull()) {
+        builders[c]->AppendNull();
+        continue;
+      }
+      switch (types[c]) {
+        case TypeId::kInt64: {
+          int64_t v;
+          if (!ParsesAsInt64(cell.text, &v)) {
+            return Status::InvalidArgument(
+                StrCat("row ", r + 1, " column '", names[c], "': '",
+                       cell.text, "' is not an int64 (inference sample ",
+                       "was too small?)"));
+          }
+          BAUPLAN_RETURN_NOT_OK(builders[c]->AppendValue(Value::Int64(v)));
+          break;
+        }
+        case TypeId::kDouble: {
+          double v;
+          if (!ParsesAsDouble(cell.text, &v)) {
+            return Status::InvalidArgument(
+                StrCat("row ", r + 1, " column '", names[c], "': '",
+                       cell.text, "' is not a double"));
+          }
+          BAUPLAN_RETURN_NOT_OK(
+              builders[c]->AppendValue(Value::Double(v)));
+          break;
+        }
+        case TypeId::kTimestamp: {
+          int64_t v;
+          if (!ParsesAsTimestamp(cell.text, &v)) {
+            return Status::InvalidArgument(
+                StrCat("row ", r + 1, " column '", names[c], "': '",
+                       cell.text, "' is not a timestamp"));
+          }
+          BAUPLAN_RETURN_NOT_OK(
+              builders[c]->AppendValue(Value::Timestamp(v)));
+          break;
+        }
+        default:
+          BAUPLAN_RETURN_NOT_OK(
+              builders[c]->AppendValue(Value::String(cell.text)));
+      }
+    }
+  }
+  std::vector<ArrayPtr> columns;
+  for (auto& b : builders) columns.push_back(b->Finish());
+  return Table::Make(Schema(std::move(fields)), std::move(columns));
+}
+
+std::string WriteCsv(const Table& table, char delimiter) {
+  std::string out;
+  auto write_field = [&](const std::string& text) {
+    bool needs_quotes =
+        text.find(delimiter) != std::string::npos ||
+        text.find('"') != std::string::npos ||
+        text.find('\n') != std::string::npos;
+    if (!needs_quotes) {
+      out += text;
+      return;
+    }
+    out += '"';
+    for (char c : text) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+  };
+  for (int c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out += delimiter;
+    write_field(table.schema().field(c).name);
+  }
+  out += '\n';
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out += delimiter;
+      Value v = table.GetValue(r, c);
+      if (!v.is_null()) write_field(v.ToString());
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bauplan::columnar

@@ -1,0 +1,35 @@
+#ifndef BAUPLAN_COLUMNAR_CSV_H_
+#define BAUPLAN_COLUMNAR_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "columnar/table.h"
+#include "common/result.h"
+
+namespace bauplan::columnar {
+
+/// CSV ingestion options.
+struct CsvReadOptions {
+  char delimiter = ',';
+  /// First row holds column names; otherwise columns are "c0", "c1", ...
+  bool has_header = true;
+  /// Rows sampled for type inference (every sampled column value must
+  /// parse for a type to win; ties break int64 > double > timestamp >
+  /// string). 0 = all rows.
+  int64_t inference_rows = 1000;
+};
+
+/// Parses CSV text into a table. Quoted fields ("a, ""b""") are
+/// supported; empty unquoted fields are nulls. All columns are nullable.
+/// InvalidArgument on ragged rows.
+Result<Table> ReadCsv(std::string_view text,
+                      const CsvReadOptions& options = {});
+
+/// Renders a table as CSV (header + rows). Strings containing the
+/// delimiter, quotes or newlines are quoted; nulls are empty fields.
+std::string WriteCsv(const Table& table, char delimiter = ',');
+
+}  // namespace bauplan::columnar
+
+#endif  // BAUPLAN_COLUMNAR_CSV_H_

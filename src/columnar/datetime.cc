@@ -1,0 +1,60 @@
+#include "columnar/datetime.h"
+
+#include <cstdio>
+#include <ctime>
+
+#include "common/strings.h"
+
+namespace bauplan::columnar {
+
+Result<int64_t> ParseTimestampString(std::string_view text) {
+  int year = 0, month = 0, day = 0, hour = 0, minute = 0, second = 0;
+  std::string s(StripWhitespace(text));
+  // Accept the ISO 'T' separator by normalizing it to a space.
+  if (s.size() > 10 && s[10] == 'T') s[10] = ' ';
+  int consumed = 0;
+  int matched = std::sscanf(s.c_str(), "%d-%d-%d %d:%d:%d%n", &year, &month,
+                            &day, &hour, &minute, &second, &consumed);
+  if (matched == 3) {
+    consumed = 0;
+    std::sscanf(s.c_str(), "%d-%d-%d%n", &year, &month, &day, &consumed);
+  }
+  if ((matched != 3 && matched != 6) ||
+      static_cast<size_t>(consumed) != s.size()) {
+    return Status::InvalidArgument(
+        StrCat("cannot parse timestamp from '", text, "'"));
+  }
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hour < 0 ||
+      hour > 23 || minute < 0 || minute > 59 || second < 0 || second > 60) {
+    return Status::InvalidArgument(
+        StrCat("timestamp components out of range in '", text, "'"));
+  }
+  std::tm tm_utc = {};
+  tm_utc.tm_year = year - 1900;
+  tm_utc.tm_mon = month - 1;
+  tm_utc.tm_mday = day;
+  tm_utc.tm_hour = hour;
+  tm_utc.tm_min = minute;
+  tm_utc.tm_sec = second;
+  std::time_t secs = timegm(&tm_utc);
+  return static_cast<int64_t>(secs) * 1000000;
+}
+
+std::string FormatTimestampString(int64_t epoch_micros) {
+  std::time_t secs = static_cast<std::time_t>(epoch_micros / 1000000);
+  if (epoch_micros < 0 && epoch_micros % 1000000 != 0) secs -= 1;
+  std::tm tm_utc;
+  gmtime_r(&secs, &tm_utc);
+  char buf[48];
+  if (tm_utc.tm_hour == 0 && tm_utc.tm_min == 0 && tm_utc.tm_sec == 0) {
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", tm_utc.tm_year + 1900,
+                  tm_utc.tm_mon + 1, tm_utc.tm_mday);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d",
+                  tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                  tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec);
+  }
+  return buf;
+}
+
+}  // namespace bauplan::columnar

@@ -1,0 +1,24 @@
+#ifndef BAUPLAN_COLUMNAR_DATETIME_H_
+#define BAUPLAN_COLUMNAR_DATETIME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace bauplan::columnar {
+
+/// Parses "YYYY-MM-DD" or "YYYY-MM-DD HH:MM:SS" (UTC) into microseconds
+/// since the Unix epoch; InvalidArgument on malformed input. This is how
+/// date literals in SQL (e.g. `pickup_at >= '2019-04-01'`) become timestamp
+/// comparisons.
+Result<int64_t> ParseTimestampString(std::string_view text);
+
+/// Renders epoch-microseconds as "YYYY-MM-DD HH:MM:SS" (UTC); drops the time
+/// part when it is midnight.
+std::string FormatTimestampString(int64_t epoch_micros);
+
+}  // namespace bauplan::columnar
+
+#endif  // BAUPLAN_COLUMNAR_DATETIME_H_

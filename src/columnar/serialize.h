@@ -1,0 +1,27 @@
+#ifndef BAUPLAN_COLUMNAR_SERIALIZE_H_
+#define BAUPLAN_COLUMNAR_SERIALIZE_H_
+
+#include "columnar/table.h"
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace bauplan::columnar {
+
+/// Serializes a table into a self-describing binary payload (schema +
+/// per-column buffers). Used when the naive pipeline executor spills
+/// intermediate artifacts through object storage, and for the runtime's
+/// shared-memory hand-off between fused functions.
+Bytes SerializeTable(const Table& table);
+
+/// Inverse of SerializeTable; IOError on corrupt payloads.
+Result<Table> DeserializeTable(const Bytes& bytes);
+
+/// Serializes a single array (with a leading type tag).
+void SerializeArray(const Array& array, BinaryWriter* writer);
+
+/// Reads one array of `type` and `length` from the reader.
+Result<ArrayPtr> DeserializeArray(BinaryReader* reader);
+
+}  // namespace bauplan::columnar
+
+#endif  // BAUPLAN_COLUMNAR_SERIALIZE_H_

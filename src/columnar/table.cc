@@ -1,0 +1,133 @@
+#include "columnar/table.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace bauplan::columnar {
+
+Result<Table> Table::Make(Schema schema, std::vector<ArrayPtr> columns) {
+  if (static_cast<size_t>(schema.num_fields()) != columns.size()) {
+    return Status::InvalidArgument(
+        StrCat("schema has ", schema.num_fields(), " fields but ",
+               columns.size(), " columns given"));
+  }
+  int64_t rows = columns.empty() ? 0 : columns[0]->length();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == nullptr) {
+      return Status::InvalidArgument("null column pointer");
+    }
+    if (columns[i]->length() != rows) {
+      return Status::InvalidArgument(
+          StrCat("column '", schema.field(static_cast<int>(i)).name,
+                 "' has length ", columns[i]->length(), ", expected ", rows));
+    }
+    if (columns[i]->type() != schema.field(static_cast<int>(i)).type) {
+      return Status::InvalidArgument(
+          StrCat("column '", schema.field(static_cast<int>(i)).name,
+                 "' has type ", TypeIdToString(columns[i]->type()),
+                 ", schema says ",
+                 TypeIdToString(schema.field(static_cast<int>(i)).type)));
+    }
+  }
+  return Table(std::move(schema), std::move(columns), rows);
+}
+
+Result<ArrayPtr> Table::GetColumnByName(std::string_view name) const {
+  int idx = schema_.GetFieldIndex(name);
+  if (idx < 0) {
+    return Status::NotFound(StrCat("no column named '", name, "'"));
+  }
+  return columns_[static_cast<size_t>(idx)];
+}
+
+Result<Table> Table::SelectColumns(
+    const std::vector<std::string>& names) const {
+  BAUPLAN_ASSIGN_OR_RETURN(Schema schema, schema_.Select(names));
+  std::vector<ArrayPtr> columns;
+  columns.reserve(names.size());
+  for (const auto& name : names) {
+    BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr col, GetColumnByName(name));
+    columns.push_back(std::move(col));
+  }
+  return Table::Make(std::move(schema), std::move(columns));
+}
+
+Result<Table> Table::AddColumn(const Field& field, ArrayPtr column) const {
+  if (column->length() != num_rows_) {
+    return Status::InvalidArgument(
+        StrCat("new column length ", column->length(), " != table rows ",
+               num_rows_));
+  }
+  BAUPLAN_ASSIGN_OR_RETURN(Schema schema, schema_.AddField(field));
+  std::vector<ArrayPtr> columns = columns_;
+  columns.push_back(std::move(column));
+  return Table::Make(std::move(schema), std::move(columns));
+}
+
+int64_t Table::EstimatedBytes() const {
+  int64_t total = 0;
+  for (const auto& col : columns_) {
+    switch (col->type()) {
+      case TypeId::kBool:
+        total += col->length();
+        break;
+      case TypeId::kInt64:
+      case TypeId::kTimestamp:
+      case TypeId::kDouble:
+        total += col->length() * 8;
+        break;
+      case TypeId::kString: {
+        const auto* s = AsString(*col);
+        total += static_cast<int64_t>(s->data().size()) +
+                 static_cast<int64_t>(s->offsets().size()) * 4;
+        break;
+      }
+    }
+    if (col->null_count() > 0) total += col->length();
+  }
+  return total;
+}
+
+std::string Table::ToString(int64_t max_rows) const {
+  int64_t rows = std::min(num_rows_, max_rows);
+  int ncols = num_columns();
+  std::vector<std::vector<std::string>> cells(
+      static_cast<size_t>(rows) + 1, std::vector<std::string>(ncols));
+  std::vector<size_t> widths(static_cast<size_t>(ncols), 0);
+  for (int c = 0; c < ncols; ++c) {
+    cells[0][static_cast<size_t>(c)] = schema_.field(c).name;
+    widths[static_cast<size_t>(c)] = schema_.field(c).name.size();
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int c = 0; c < ncols; ++c) {
+      std::string text = GetValue(r, c).ToString();
+      widths[static_cast<size_t>(c)] =
+          std::max(widths[static_cast<size_t>(c)], text.size());
+      cells[static_cast<size_t>(r) + 1][static_cast<size_t>(c)] =
+          std::move(text);
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < cells.size(); ++r) {
+    for (int c = 0; c < ncols; ++c) {
+      const std::string& text = cells[r][static_cast<size_t>(c)];
+      out += text;
+      out.append(widths[static_cast<size_t>(c)] - text.size() + 2, ' ');
+    }
+    out += '\n';
+    if (r == 0) {
+      for (int c = 0; c < ncols; ++c) {
+        out.append(widths[static_cast<size_t>(c)], '-');
+        out.append(2, ' ');
+      }
+      out += '\n';
+    }
+  }
+  if (rows < num_rows_) {
+    out += StrCat("... (", num_rows_ - rows, " more rows)\n");
+  }
+  return out;
+}
+
+}  // namespace bauplan::columnar

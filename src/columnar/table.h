@@ -1,0 +1,70 @@
+#ifndef BAUPLAN_COLUMNAR_TABLE_H_
+#define BAUPLAN_COLUMNAR_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/array.h"
+#include "columnar/type.h"
+#include "common/result.h"
+
+namespace bauplan::columnar {
+
+/// An immutable, in-memory columnar table: a schema plus one array per
+/// field, all of equal length. Tables are the unit of data exchanged
+/// between the SQL engine, the expectation framework and the pipeline
+/// runtime — the "common dialect over tuples" of the paper's section 4.4.1.
+class Table {
+ public:
+  /// Empty table with an empty schema.
+  Table() = default;
+
+  /// Validates that columns match the schema arity/types and lengths agree.
+  static Result<Table> Make(Schema schema, std::vector<ArrayPtr> columns);
+
+  const Schema& schema() const { return schema_; }
+  int64_t num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  const ArrayPtr& column(int i) const {
+    return columns_[static_cast<size_t>(i)];
+  }
+  const std::vector<ArrayPtr>& columns() const { return columns_; }
+
+  /// The column named `name`; NotFound if absent.
+  Result<ArrayPtr> GetColumnByName(std::string_view name) const;
+
+  /// Returns a table with only `names`, in the given order.
+  Result<Table> SelectColumns(const std::vector<std::string>& names) const;
+
+  /// Returns a copy with an extra column appended.
+  Result<Table> AddColumn(const Field& field, ArrayPtr column) const;
+
+  /// Boxes cell (row, col); slow path for tests and printing.
+  Value GetValue(int64_t row, int col) const {
+    return columns_[static_cast<size_t>(col)]->GetValue(row);
+  }
+
+  /// Estimated in-memory footprint in bytes (used by the runtime's memory
+  /// budgeting and the storage cost model).
+  int64_t EstimatedBytes() const;
+
+  /// Renders up to `max_rows` as an aligned text grid.
+  std::string ToString(int64_t max_rows = 20) const;
+
+ private:
+  Table(Schema schema, std::vector<ArrayPtr> columns, int64_t num_rows)
+      : schema_(std::move(schema)),
+        columns_(std::move(columns)),
+        num_rows_(num_rows) {}
+
+  Schema schema_;
+  std::vector<ArrayPtr> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace bauplan::columnar
+
+#endif  // BAUPLAN_COLUMNAR_TABLE_H_

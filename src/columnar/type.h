@@ -1,0 +1,96 @@
+#ifndef BAUPLAN_COLUMNAR_TYPE_H_
+#define BAUPLAN_COLUMNAR_TYPE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace bauplan::columnar {
+
+/// Physical/logical type of a column. Timestamps are microseconds since the
+/// Unix epoch, stored as int64.
+enum class TypeId : uint8_t {
+  kBool = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kString = 3,
+  kTimestamp = 4,
+};
+
+/// Canonical lowercase name ("int64", "timestamp", ...).
+std::string_view TypeIdToString(TypeId id);
+
+/// Parses a canonical type name; InvalidArgument on unknown names.
+Result<TypeId> TypeIdFromString(std::string_view name);
+
+/// True for types whose values order and aggregate numerically.
+inline bool IsNumeric(TypeId id) {
+  return id == TypeId::kInt64 || id == TypeId::kDouble ||
+         id == TypeId::kTimestamp;
+}
+
+/// One named, typed, optionally-nullable column in a schema.
+struct Field {
+  std::string name;
+  TypeId type = TypeId::kInt64;
+  bool nullable = true;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type &&
+           nullable == other.nullable;
+  }
+
+  std::string ToString() const;
+};
+
+/// Ordered collection of fields describing a table's columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or -1 if absent.
+  int GetFieldIndex(std::string_view name) const;
+
+  /// The field named `name`; NotFound if absent.
+  Result<Field> GetFieldByName(std::string_view name) const;
+
+  bool HasField(std::string_view name) const {
+    return GetFieldIndex(name) >= 0;
+  }
+
+  /// Returns a copy with `field` appended; AlreadyExists if the name is
+  /// taken.
+  Result<Schema> AddField(const Field& field) const;
+
+  /// Returns a copy without the named field; NotFound if absent.
+  Result<Schema> RemoveField(std::string_view name) const;
+
+  /// Returns a copy containing only `names`, in the given order.
+  Result<Schema> Select(const std::vector<std::string>& names) const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+  std::string ToString() const;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<Schema> Deserialize(BinaryReader* reader);
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace bauplan::columnar
+
+#endif  // BAUPLAN_COLUMNAR_TYPE_H_

@@ -1,0 +1,185 @@
+#include "columnar/value.h"
+
+#include <cstdio>
+
+#include "columnar/datetime.h"
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace bauplan::columnar {
+
+Value Value::Timestamp(int64_t micros) {
+  return Value(Repr(TimestampTag{micros}));
+}
+
+TypeId Value::type() const {
+  switch (repr_.index()) {
+    case 1:
+      return TypeId::kBool;
+    case 2:
+      return TypeId::kInt64;
+    case 3:
+      return TypeId::kDouble;
+    case 4:
+      return TypeId::kString;
+    case 5:
+      return TypeId::kTimestamp;
+    default:
+      return TypeId::kInt64;
+  }
+}
+
+int64_t Value::int64_value() const {
+  if (std::holds_alternative<TimestampTag>(repr_)) {
+    return std::get<TimestampTag>(repr_).micros;
+  }
+  return std::get<int64_t>(repr_);
+}
+
+Result<double> Value::AsDouble() const {
+  switch (type()) {
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      if (is_null()) break;
+      return static_cast<double>(int64_value());
+    case TypeId::kDouble:
+      return double_value();
+    default:
+      break;
+  }
+  return Status::InvalidArgument(
+      StrCat("value is not numeric: ", ToString()));
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null() && other.is_null()) return 0;
+  if (is_null()) return -1;
+  if (other.is_null()) return 1;
+
+  TypeId a = type();
+  TypeId b = other.type();
+  if (IsNumeric(a) && IsNumeric(b)) {
+    // Exact integer comparison when both sides are integer-backed.
+    if (a != TypeId::kDouble && b != TypeId::kDouble) {
+      int64_t x = int64_value();
+      int64_t y = other.int64_value();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    double x = *AsDouble();
+    double y = *other.AsDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a != b) {
+    // Mixed non-numeric types order by type id (total order for sorting).
+    return static_cast<int>(a) < static_cast<int>(b) ? -1 : 1;
+  }
+  switch (a) {
+    case TypeId::kBool: {
+      bool x = bool_value(), y = other.bool_value();
+      return x == y ? 0 : (x ? 1 : -1);
+    }
+    case TypeId::kString: {
+      int c = string_value().compare(other.string_value());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return 0;
+  }
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case TypeId::kBool:
+      return is_null() ? 0 : (bool_value() ? 0x9E37ULL : 0x79B9ULL);
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      if (is_null()) return 0;
+      int64_t v = int64_value();
+      return Fnv1a64(&v, sizeof(v));
+    }
+    case TypeId::kDouble: {
+      if (is_null()) return 0;
+      double v = double_value();
+      // Normalize -0.0 so equal values hash equally.
+      if (v == 0.0) v = 0.0;
+      return Fnv1a64(&v, sizeof(v));
+    }
+    case TypeId::kString:
+      return is_null() ? 0 : Fnv1a64(string_value());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  switch (type()) {
+    case TypeId::kBool:
+      return bool_value() ? "true" : "false";
+    case TypeId::kInt64:
+      return std::to_string(int64_value());
+    case TypeId::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", double_value());
+      return buf;
+    }
+    case TypeId::kString:
+      return string_value();
+    case TypeId::kTimestamp:
+      return FormatTimestampString(int64_value());
+  }
+  return "?";
+}
+
+void Value::Serialize(BinaryWriter* writer) const {
+  if (is_null()) {
+    writer->PutU8(0);
+    return;
+  }
+  writer->PutU8(static_cast<uint8_t>(type()) + 1);
+  switch (type()) {
+    case TypeId::kBool:
+      writer->PutBool(bool_value());
+      break;
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      writer->PutI64(int64_value());
+      break;
+    case TypeId::kDouble:
+      writer->PutDouble(double_value());
+      break;
+    case TypeId::kString:
+      writer->PutString(string_value());
+      break;
+  }
+}
+
+Result<Value> Value::Deserialize(BinaryReader* reader) {
+  BAUPLAN_ASSIGN_OR_RETURN(uint8_t tag, reader->GetU8());
+  if (tag == 0) return Value::Null();
+  TypeId type = static_cast<TypeId>(tag - 1);
+  switch (type) {
+    case TypeId::kBool: {
+      BAUPLAN_ASSIGN_OR_RETURN(bool v, reader->GetBool());
+      return Value::Bool(v);
+    }
+    case TypeId::kInt64: {
+      BAUPLAN_ASSIGN_OR_RETURN(int64_t v, reader->GetI64());
+      return Value::Int64(v);
+    }
+    case TypeId::kDouble: {
+      BAUPLAN_ASSIGN_OR_RETURN(double v, reader->GetDouble());
+      return Value::Double(v);
+    }
+    case TypeId::kString: {
+      BAUPLAN_ASSIGN_OR_RETURN(std::string v, reader->GetString());
+      return Value::String(std::move(v));
+    }
+    case TypeId::kTimestamp: {
+      BAUPLAN_ASSIGN_OR_RETURN(int64_t v, reader->GetI64());
+      return Value::Timestamp(v);
+    }
+  }
+  return Status::IOError("invalid value tag in binary payload");
+}
+
+}  // namespace bauplan::columnar

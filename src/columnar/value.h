@@ -1,0 +1,72 @@
+#ifndef BAUPLAN_COLUMNAR_VALUE_H_
+#define BAUPLAN_COLUMNAR_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "columnar/type.h"
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace bauplan::columnar {
+
+/// A single (possibly null) scalar: SQL literals, column min/max statistics,
+/// partition values and aggregate states all flow through Value.
+class Value {
+ public:
+  /// Constructs a null of unspecified type.
+  Value() = default;
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Repr(v)); }
+  static Value Int64(int64_t v) { return Value(Repr(v)); }
+  static Value Double(double v) { return Value(Repr(v)); }
+  static Value String(std::string v) { return Value(Repr(std::move(v))); }
+  static Value Timestamp(int64_t micros);
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+
+  /// The dynamic type; null values report kInt64 by convention (callers
+  /// should check is_null() first).
+  TypeId type() const;
+
+  bool bool_value() const { return std::get<bool>(repr_); }
+  int64_t int64_value() const;
+  double double_value() const { return std::get<double>(repr_); }
+  const std::string& string_value() const { return std::get<std::string>(repr_); }
+
+  /// Numeric view of the value (int64/timestamp widened to double);
+  /// InvalidArgument for strings/bools/nulls.
+  Result<double> AsDouble() const;
+
+  /// Three-way comparison for same-type values (null sorts first).
+  /// Numeric types compare across int64/double/timestamp.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  uint64_t Hash() const;
+  std::string ToString() const;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<Value> Deserialize(BinaryReader* reader);
+
+ private:
+  struct TimestampTag {
+    int64_t micros;
+    bool operator==(const TimestampTag& o) const { return micros == o.micros; }
+  };
+  using Repr =
+      std::variant<std::monostate, bool, int64_t, double, std::string,
+                   TimestampTag>;
+
+  explicit Value(Repr repr) : repr_(std::move(repr)) {}
+
+  Repr repr_;
+};
+
+}  // namespace bauplan::columnar
+
+#endif  // BAUPLAN_COLUMNAR_VALUE_H_

@@ -1,0 +1,31 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace bauplan {
+
+uint64_t WallClock::NowMicros() const {
+  auto now = std::chrono::system_clock::now().time_since_epoch();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+}
+
+void WallClock::AdvanceMicros(uint64_t /*micros*/) {
+  // Wall time advances by itself; simulated delays are tracked by the
+  // latency models, not by sleeping.
+}
+
+std::string FormatTimestampMicros(uint64_t epoch_micros) {
+  std::time_t secs = static_cast<std::time_t>(epoch_micros / 1000000);
+  std::tm tm_utc;
+  gmtime_r(&secs, &tm_utc);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec);
+  return buf;
+}
+
+}  // namespace bauplan

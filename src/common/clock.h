@@ -1,0 +1,65 @@
+#ifndef BAUPLAN_COMMON_CLOCK_H_
+#define BAUPLAN_COMMON_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace bauplan {
+
+/// Time source abstraction. Production components take a Clock* so that the
+/// serverless-runtime and object-storage simulators can run on virtual time
+/// (deterministic, instant) while examples and the CLI run on wall time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Microseconds since an arbitrary epoch.
+  virtual uint64_t NowMicros() const = 0;
+
+  /// Advances time by `micros`. On a wall clock this sleeps (bounded); on a
+  /// simulated clock it advances virtual time instantly.
+  virtual void AdvanceMicros(uint64_t micros) = 0;
+};
+
+/// Virtual clock: time only moves when AdvanceMicros is called. All bench
+/// and test latencies are measured on this clock so results are exact and
+/// deterministic.
+class SimClock : public Clock {
+ public:
+  explicit SimClock(uint64_t start_micros = 0) : now_(start_micros) {}
+
+  uint64_t NowMicros() const override { return now_; }
+  void AdvanceMicros(uint64_t micros) override { now_ += micros; }
+
+ private:
+  uint64_t now_;
+};
+
+/// Wall clock (microseconds since the Unix epoch); AdvanceMicros is a no-op (the
+/// simulation layers must not actually sleep in-process).
+class WallClock : public Clock {
+ public:
+  uint64_t NowMicros() const override;
+  void AdvanceMicros(uint64_t micros) override;
+};
+
+/// Scoped stopwatch over a Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock* clock)
+      : clock_(clock), start_(clock->NowMicros()) {}
+
+  uint64_t ElapsedMicros() const { return clock_->NowMicros() - start_; }
+  void Reset() { start_ = clock_->NowMicros(); }
+
+ private:
+  const Clock* clock_;
+  uint64_t start_;
+};
+
+/// Renders an epoch-micros timestamp as "YYYY-MM-DDTHH:MM:SSZ" (UTC).
+std::string FormatTimestampMicros(uint64_t epoch_micros);
+
+}  // namespace bauplan
+
+#endif  // BAUPLAN_COMMON_CLOCK_H_

@@ -1,0 +1,29 @@
+#include "common/hash.h"
+
+#include <cstdio>
+
+namespace bauplan {
+
+uint64_t Fnv1a64(const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 12) + (a >> 4));
+}
+
+std::string FingerprintHex(std::string_view content) {
+  uint64_t h = Fnv1a64(content);
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace bauplan

@@ -1,0 +1,29 @@
+#ifndef BAUPLAN_COMMON_HASH_H_
+#define BAUPLAN_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bauplan {
+
+/// FNV-1a 64-bit hash of a byte range.
+uint64_t Fnv1a64(const void* data, size_t size);
+
+/// FNV-1a 64-bit hash of a string.
+inline uint64_t Fnv1a64(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+/// Order-dependent combination of two 64-bit hashes (boost-style mix).
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+/// Content fingerprint rendered as 16 lowercase hex chars. Used to
+/// fingerprint pipeline snapshots for the run registry (code-is-data
+/// reproducibility, paper section 4.4.1).
+std::string FingerprintHex(std::string_view content);
+
+}  // namespace bauplan
+
+#endif  // BAUPLAN_COMMON_HASH_H_

@@ -1,0 +1,26 @@
+#ifndef BAUPLAN_COMMON_LOGGING_H_
+#define BAUPLAN_COMMON_LOGGING_H_
+
+#include <string>
+#include <string_view>
+
+namespace bauplan {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one line to stderr as "[LEVEL] message" if `level` passes the
+/// threshold.
+void Log(LogLevel level, std::string_view message);
+
+inline void LogDebug(std::string_view m) { Log(LogLevel::kDebug, m); }
+inline void LogInfo(std::string_view m) { Log(LogLevel::kInfo, m); }
+inline void LogWarning(std::string_view m) { Log(LogLevel::kWarning, m); }
+inline void LogError(std::string_view m) { Log(LogLevel::kError, m); }
+
+}  // namespace bauplan
+
+#endif  // BAUPLAN_COMMON_LOGGING_H_

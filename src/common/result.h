@@ -1,0 +1,90 @@
+#ifndef BAUPLAN_COMMON_RESULT_H_
+#define BAUPLAN_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <type_traits>
+#include <variant>
+
+#include "common/status.h"
+
+namespace bauplan {
+
+/// Holds either a value of type T or an error Status (never both, never
+/// neither). The return type of fallible APIs that produce a value:
+///
+///   Result<Table> ReadTable(...);
+///   BAUPLAN_ASSIGN_OR_RETURN(Table t, ReadTable(...));
+template <typename T>
+class Result {
+ public:
+  /// Constructs an error result. The status must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : repr_(std::move(value)) {}
+
+  /// Converting constructor for anything convertible to T (e.g.
+  /// shared_ptr<Derived> -> Result<shared_ptr<Base>>).
+  template <typename U,
+            typename = std::enable_if_t<
+                std::is_convertible_v<U&&, T> &&
+                !std::is_same_v<std::decay_t<U>, T> &&
+                !std::is_same_v<std::decay_t<U>, Status> &&
+                !std::is_same_v<std::decay_t<U>, Result<T>>>>
+  Result(U&& value)  // NOLINT(google-explicit-constructor)
+      : repr_(T(std::forward<U>(value))) {}
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status, or OK if this result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The held value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// The held value, or `fallback` on error.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  /// Dereferencing an rvalue Result returns the value BY VALUE, so
+  /// `for (auto& x : *SomeCall())` binds the loop to a lifetime-extended
+  /// temporary instead of dangling into the destroyed Result.
+  T operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace bauplan
+
+#endif  // BAUPLAN_COMMON_RESULT_H_

@@ -1,0 +1,137 @@
+#ifndef BAUPLAN_COMMON_STATUS_H_
+#define BAUPLAN_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace bauplan {
+
+/// Machine-readable category of an error carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kConflict,
+  kFailedPrecondition,
+  kOutOfRange,
+  kNotImplemented,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Returns the canonical name of a status code ("OK", "NotFound", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a human-readable message.
+///
+/// Every fallible API in this codebase returns a Status (or a Result<T>,
+/// which wraps one); exceptions are not used. The idiom follows
+/// arrow::Status / rocksdb::Status. An OK status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const {
+    return code_ == StatusCode::kNotImplemented;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "<Code>: <message>" rendering for logs and error chains.
+  std::string ToString() const;
+
+  /// Prepends context to the message, keeping the code: useful when a
+  /// low-level error bubbles through a higher-level operation.
+  Status WithContext(std::string_view context) const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace bauplan
+
+/// Propagates a non-OK Status to the caller.
+#define BAUPLAN_RETURN_NOT_OK(expr)           \
+  do {                                        \
+    ::bauplan::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+#define BAUPLAN_CONCAT_IMPL(x, y) x##y
+#define BAUPLAN_CONCAT(x, y) BAUPLAN_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// on failure returns the error Status to the caller.
+#define BAUPLAN_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  BAUPLAN_ASSIGN_OR_RETURN_IMPL(                                  \
+      BAUPLAN_CONCAT(_bauplan_result_, __LINE__), lhs, rexpr)
+
+#define BAUPLAN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueOrDie()
+
+#endif  // BAUPLAN_COMMON_STATUS_H_

@@ -1,0 +1,49 @@
+#ifndef BAUPLAN_COMMON_STRINGS_H_
+#define BAUPLAN_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bauplan {
+
+/// Splits `input` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view input, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// ASCII-lowercases a copy of `s`.
+std::string ToLower(std::string_view s);
+
+/// ASCII-uppercases a copy of `s`.
+std::string ToUpper(std::string_view s);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Streams all arguments into one string; the lightweight stand-in for
+/// absl::StrCat (gcc 12 lacks std::format).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+
+/// Formats a byte count with a binary-scaled unit suffix ("1.5 MiB").
+std::string FormatBytes(uint64_t bytes);
+
+/// Formats a duration given in microseconds with an adaptive unit
+/// ("320 us", "4.1 ms", "2.7 s").
+std::string FormatDurationMicros(uint64_t micros);
+
+}  // namespace bauplan
+
+#endif  // BAUPLAN_COMMON_STRINGS_H_

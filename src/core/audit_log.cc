@@ -1,0 +1,91 @@
+#include "core/audit_log.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace bauplan::core {
+
+Bytes AuditEntry::Serialize() const {
+  BinaryWriter w;
+  w.PutI64(sequence);
+  w.PutU64(timestamp_micros);
+  w.PutString(actor);
+  w.PutString(operation);
+  w.PutString(ref);
+  w.PutString(detail);
+  w.PutString(outcome);
+  return w.TakeBuffer();
+}
+
+Result<AuditEntry> AuditEntry::Deserialize(const Bytes& bytes) {
+  BinaryReader r(bytes);
+  AuditEntry entry;
+  BAUPLAN_ASSIGN_OR_RETURN(entry.sequence, r.GetI64());
+  BAUPLAN_ASSIGN_OR_RETURN(entry.timestamp_micros, r.GetU64());
+  BAUPLAN_ASSIGN_OR_RETURN(entry.actor, r.GetString());
+  BAUPLAN_ASSIGN_OR_RETURN(entry.operation, r.GetString());
+  BAUPLAN_ASSIGN_OR_RETURN(entry.ref, r.GetString());
+  BAUPLAN_ASSIGN_OR_RETURN(entry.detail, r.GetString());
+  BAUPLAN_ASSIGN_OR_RETURN(entry.outcome, r.GetString());
+  return entry;
+}
+
+AuditLog::AuditLog(storage::ObjectStore* store, Clock* clock,
+                   std::string prefix)
+    : store_(store), clock_(clock), prefix_(std::move(prefix)) {}
+
+std::string AuditLog::EntryKey(int64_t sequence) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%012lld",
+                static_cast<long long>(sequence));
+  return StrCat(prefix_, "/entry-", buf);
+}
+
+Status AuditLog::Record(const std::string& actor,
+                        const std::string& operation,
+                        const std::string& ref, const std::string& detail,
+                        const std::string& outcome) {
+  if (!loaded_) {
+    // Resume the sequence from durable state (the lake may be reopened).
+    BAUPLAN_ASSIGN_OR_RETURN(auto existing,
+                             store_->List(StrCat(prefix_, "/entry-")));
+    if (!existing.empty()) {
+      const std::string& last = existing.back().key;
+      size_t dash = last.rfind('-');
+      next_sequence_ = std::atoll(last.c_str() + dash + 1) + 1;
+    }
+    loaded_ = true;
+  }
+  AuditEntry entry;
+  entry.sequence = next_sequence_;
+  entry.timestamp_micros = clock_->NowMicros();
+  entry.actor = actor;
+  entry.operation = operation;
+  entry.ref = ref;
+  entry.detail = detail;
+  entry.outcome = outcome;
+  BAUPLAN_RETURN_NOT_OK(
+      store_->Put(EntryKey(entry.sequence), entry.Serialize()));
+  ++next_sequence_;
+  return Status::OK();
+}
+
+Result<std::vector<AuditEntry>> AuditLog::Tail(size_t limit) const {
+  BAUPLAN_ASSIGN_OR_RETURN(auto objects,
+                           store_->List(StrCat(prefix_, "/entry-")));
+  std::vector<AuditEntry> out;
+  size_t start =
+      limit == 0 || objects.size() <= limit ? 0 : objects.size() - limit;
+  for (size_t i = objects.size(); i > start; --i) {
+    BAUPLAN_ASSIGN_OR_RETURN(Bytes bytes,
+                             store_->Get(objects[i - 1].key));
+    BAUPLAN_ASSIGN_OR_RETURN(AuditEntry entry,
+                             AuditEntry::Deserialize(bytes));
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+}  // namespace bauplan::core

@@ -1,0 +1,339 @@
+#include "core/bauplan.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/lakehouse_source.h"
+
+namespace bauplan::core {
+
+Bauplan::Bauplan(storage::ObjectStore* base_store, Clock* clock,
+                 BauplanOptions options)
+    : clock_(clock), options_(std::move(options)) {
+  lake_store_ = std::make_unique<storage::MeteredObjectStore>(
+      base_store, clock, options_.lake_latency, options_.lake_cost);
+  spill_backing_ = std::make_unique<storage::MemoryObjectStore>();
+  spill_store_ = std::make_unique<storage::MeteredObjectStore>(
+      spill_backing_.get(), clock, options_.lake_latency,
+      options_.lake_cost);
+  package_cache_ = std::make_unique<runtime::PackageCache>(
+      clock, options_.package_cache);
+  containers_ = std::make_unique<runtime::ContainerManager>(
+      clock, package_cache_.get(), options_.containers);
+  scheduler_ =
+      std::make_unique<runtime::Scheduler>(clock, options_.scheduler);
+  executor_ = std::make_unique<runtime::ServerlessExecutor>(
+      clock, containers_.get(), scheduler_.get());
+  audit_ = std::make_unique<AuditLog>(lake_store_.get(), clock);
+  query_cache_ =
+      std::make_unique<QueryResultCache>(options_.query_cache_bytes);
+}
+
+void Bauplan::Audit(const std::string& operation, const std::string& ref,
+                    const std::string& detail, const Status& outcome) {
+  if (!options_.enable_audit_log) return;
+  Status st = audit_->Record(options_.author, operation, ref, detail,
+                             outcome.ok() ? "ok" : outcome.ToString());
+  if (!st.ok()) {
+    LogWarning(StrCat("audit write failed: ", st.ToString()));
+  }
+}
+
+Result<std::unique_ptr<Bauplan>> Bauplan::Open(
+    storage::ObjectStore* base_store, Clock* clock,
+    BauplanOptions options) {
+  std::unique_ptr<Bauplan> platform(
+      new Bauplan(base_store, clock, std::move(options)));
+  BAUPLAN_ASSIGN_OR_RETURN(
+      catalog::Catalog catalog,
+      catalog::Catalog::Open(platform->lake_store_.get(), clock));
+  platform->catalog_ = std::make_unique<catalog::Catalog>(catalog);
+  platform->table_ops_ = std::make_unique<table::TableOps>(
+      platform->lake_store_.get(), clock);
+  platform->registry_ = std::make_unique<pipeline::RunRegistry>(
+      platform->lake_store_.get(), clock);
+  platform->runner_ = std::make_unique<PipelineRunner>(
+      clock, platform->catalog_.get(), platform->table_ops_.get(),
+      platform->executor_.get(), platform->spill_store_.get());
+  return platform;
+}
+
+// --------------------------------------------------------------- tables
+
+Status Bauplan::CreateTable(const std::string& branch,
+                            const std::string& name,
+                            const columnar::Schema& schema,
+                            const table::PartitionSpec& spec) {
+  if (catalog_->GetTable(branch, name).ok()) {
+    return Status::AlreadyExists(
+        StrCat("table '", name, "' already exists on '", branch, "'"));
+  }
+  BAUPLAN_ASSIGN_OR_RETURN(std::string metadata_key,
+                           table_ops_->CreateTable(name, schema, spec));
+  catalog::TableChanges changes;
+  changes.puts[name] = metadata_key;
+  Status st = catalog_
+                  ->CommitChanges(branch, StrCat("create table ", name),
+                                  options_.author, changes)
+                  .status();
+  Audit("create_table", branch, name, st);
+  return st;
+}
+
+Status Bauplan::WriteTable(const std::string& branch,
+                           const std::string& name,
+                           const columnar::Table& data, bool overwrite) {
+  BAUPLAN_ASSIGN_OR_RETURN(std::string metadata_key,
+                           catalog_->GetTable(branch, name));
+  Result<std::string> updated =
+      overwrite ? table_ops_->Overwrite(metadata_key, data)
+                : table_ops_->Append(metadata_key, data);
+  BAUPLAN_RETURN_NOT_OK(updated.status());
+  catalog::TableChanges changes;
+  changes.puts[name] = *updated;
+  Status st =
+      catalog_
+          ->CommitChanges(branch,
+                          StrCat(overwrite ? "overwrite" : "append", " ",
+                                 data.num_rows(), " rows into ", name),
+                          options_.author, changes)
+          .status();
+  Audit("write_table", branch,
+        StrCat(name, " (", data.num_rows(), " rows)"), st);
+  return st;
+}
+
+Result<columnar::Table> Bauplan::ReadTable(
+    const std::string& ref, const std::string& name,
+    const table::ScanOptions& options) const {
+  BAUPLAN_ASSIGN_OR_RETURN(std::string metadata_key,
+                           catalog_->GetTable(ref, name));
+  return table_ops_->ScanTable(metadata_key, options);
+}
+
+Result<std::vector<std::string>> Bauplan::ListTables(
+    const std::string& ref) const {
+  BAUPLAN_ASSIGN_OR_RETURN(auto tables, catalog_->GetTables(ref));
+  std::vector<std::string> names;
+  names.reserve(tables.size());
+  for (const auto& [name, key] : tables) names.push_back(name);
+  return names;
+}
+
+Status Bauplan::CreateTableAs(const std::string& branch,
+                              const std::string& name,
+                              std::string_view sql_text) {
+  BAUPLAN_ASSIGN_OR_RETURN(sql::QueryResult result,
+                           Query(sql_text, branch));
+  BAUPLAN_RETURN_NOT_OK(CreateTable(branch, name, result.table.schema()));
+  return WriteTable(branch, name, result.table, /*overwrite=*/true);
+}
+
+// ---------------------------------------------------------------- query
+
+Result<sql::QueryResult> Bauplan::Query(std::string_view sql_text,
+                                        const std::string& ref,
+                                        const sql::QueryOptions& options) {
+  std::string sql(sql_text);
+  // The result cache is sound because refs resolve to immutable commits.
+  auto commit = catalog_->ResolveRef(ref);
+  if (commit.ok()) {
+    sql::QueryResult cached;
+    if (query_cache_->Lookup(sql, *commit, &cached.table)) {
+      cached.from_cache = true;
+      cached.stats.rows_output = cached.table.num_rows();
+      Audit("query", ref, StrCat(sql, " [cache hit]"), Status::OK());
+      return cached;
+    }
+  }
+  LakehouseSource source(catalog_.get(), table_ops_.get(), ref);
+  auto result = sql::RunQuery(sql, source, &source, options);
+  Audit("query", ref, sql, result.status());
+  if (result.ok() && commit.ok()) {
+    query_cache_->Insert(sql, *commit, result->table);
+  }
+  return result;
+}
+
+// ------------------------------------------------------------- branches
+
+Status Bauplan::CreateBranch(const std::string& name,
+                             const std::string& from) {
+  Status st = catalog_->CreateBranch(name, from);
+  Audit("create_branch", name, StrCat("from ", from), st);
+  return st;
+}
+
+Status Bauplan::DeleteBranch(const std::string& name) {
+  Status st = catalog_->DeleteBranch(name);
+  Audit("delete_branch", name, "", st);
+  return st;
+}
+
+Result<catalog::MergeResult> Bauplan::MergeBranch(const std::string& from,
+                                                  const std::string& into) {
+  auto result = catalog_->Merge(from, into, options_.author);
+  Audit("merge", into, StrCat("from ", from), result.status());
+  return result;
+}
+
+Result<std::vector<std::string>> Bauplan::ListBranches() const {
+  return catalog_->ListBranches();
+}
+
+Result<std::vector<catalog::Commit>> Bauplan::Log(const std::string& ref,
+                                                  size_t limit) const {
+  return catalog_->Log(ref, limit);
+}
+
+// ------------------------------------------------------------------ run
+
+Status Bauplan::MaterializeArtifacts(const PipelineRunReport& execution,
+                                     const std::string& target_branch) {
+  for (const auto& [name, data] : execution.artifacts) {
+    bool exists = catalog_->GetTable(target_branch, name).ok();
+    if (!exists) {
+      BAUPLAN_RETURN_NOT_OK(
+          CreateTable(target_branch, name, data.schema()));
+    }
+    BAUPLAN_RETURN_NOT_OK(
+        WriteTable(target_branch, name, data, /*overwrite=*/true));
+  }
+  return Status::OK();
+}
+
+Result<RunReport> Bauplan::Run(const pipeline::PipelineProject& project,
+                               const std::string& branch,
+                               const PipelineRunOptions& options) {
+  BAUPLAN_ASSIGN_OR_RETURN(std::string head, catalog_->ResolveRef(branch));
+  BAUPLAN_ASSIGN_OR_RETURN(pipeline::RunRecord record,
+                           registry_->RegisterRun(project, branch, head));
+  RunReport report;
+  report.run_id = record.run_id;
+
+  // Fig. 4: execute in an ephemeral branch; merge only on full success.
+  BAUPLAN_ASSIGN_OR_RETURN(std::string run_branch,
+                           catalog_->CreateEphemeralBranch(branch, "run"));
+  auto fail = [&](const std::string& why) -> Result<RunReport> {
+    (void)catalog_->DeleteBranch(run_branch);
+    BAUPLAN_RETURN_NOT_OK(
+        registry_->FinishRun(record.run_id, StrCat("failed: ", why)));
+    report.status = StrCat("failed: ", why);
+    report.merged = false;
+    Audit("run", branch, StrCat("run ", report.run_id, " failed"),
+          Status::FailedPrecondition(why));
+    return report;
+  };
+
+  BAUPLAN_ASSIGN_OR_RETURN(auto tables, catalog_->GetTables(run_branch));
+  std::set<std::string> known;
+  for (const auto& [name, key] : tables) known.insert(name);
+  auto dag = pipeline::Dag::Build(project, known);
+  if (!dag.ok()) return fail(dag.status().ToString());
+
+  auto execution = runner_->Execute(*dag, run_branch, options);
+  if (!execution.ok()) return fail(execution.status().ToString());
+  report.execution = std::move(*execution);
+
+  if (!report.execution.all_expectations_passed) {
+    std::string details;
+    for (const auto& node : report.execution.nodes) {
+      if (node.kind == pipeline::NodeKind::kExpectation &&
+          !node.expectation_passed) {
+        if (!details.empty()) details += "; ";
+        details += StrCat(node.name, ": ", node.details);
+      }
+    }
+    return fail(StrCat("expectations failed (", details, ")"));
+  }
+
+  // Audit passed: write artifacts into the ephemeral branch, then merge.
+  Status materialized =
+      MaterializeArtifacts(report.execution, run_branch);
+  if (!materialized.ok()) return fail(materialized.ToString());
+
+  auto merged = catalog_->Merge(run_branch, branch, options_.author);
+  if (!merged.ok()) return fail(merged.status().ToString());
+  BAUPLAN_RETURN_NOT_OK(catalog_->DeleteBranch(run_branch));
+  BAUPLAN_RETURN_NOT_OK(registry_->FinishRun(record.run_id, "succeeded",
+                                             merged->commit_id));
+  report.merged = true;
+  report.merged_commit_id = merged->commit_id;
+  report.status = "succeeded";
+  Audit("run", branch,
+        StrCat("run ", report.run_id, " fingerprint ", record.fingerprint),
+        Status::OK());
+  return report;
+}
+
+Result<RunReport> Bauplan::ReplayRun(int64_t run_id,
+                                     const std::string& selector) {
+  BAUPLAN_ASSIGN_OR_RETURN(pipeline::RunRecord record,
+                           registry_->GetRun(run_id));
+  BAUPLAN_ASSIGN_OR_RETURN(pipeline::PipelineProject project,
+                           registry_->GetRunProject(run_id));
+
+  // Sandboxed: a throwaway branch pinned at the run's result commit
+  // (which holds the materialized artifacts a partial replay reads), or
+  // at the input commit for runs that never merged.
+  const std::string& pin = record.result_commit_id.empty()
+                               ? record.data_commit_id
+                               : record.result_commit_id;
+  BAUPLAN_ASSIGN_OR_RETURN(
+      std::string replay_branch,
+      catalog_->CreateEphemeralBranch(pin, "replay"));
+
+  BAUPLAN_ASSIGN_OR_RETURN(auto tables,
+                           catalog_->GetTables(replay_branch));
+  std::set<std::string> known;
+  for (const auto& [name, key] : tables) known.insert(name);
+
+  auto cleanup = [&]() { (void)catalog_->DeleteBranch(replay_branch); };
+
+  auto dag = pipeline::Dag::Build(project, known);
+  if (!dag.ok()) {
+    cleanup();
+    return dag.status();
+  }
+
+  PipelineRunOptions options;
+  if (!selector.empty()) {
+    auto parsed = pipeline::ReplaySelector::Parse(selector);
+    if (!parsed.ok()) {
+      cleanup();
+      return parsed.status();
+    }
+    if (parsed->include_descendants) {
+      auto selected = dag->DescendantsOf(parsed->node);
+      if (!selected.ok()) {
+        cleanup();
+        return selected.status();
+      }
+      options.selected = std::move(*selected);
+    } else {
+      if (!dag->HasNode(parsed->node)) {
+        cleanup();
+        return Status::NotFound(
+            StrCat("no node named '", parsed->node, "' in run ", run_id));
+      }
+      options.selected = {parsed->node};
+    }
+  }
+
+  auto execution = runner_->Execute(*dag, replay_branch, options);
+  cleanup();
+  BAUPLAN_RETURN_NOT_OK(execution.status());
+
+  RunReport report;
+  report.run_id = run_id;
+  report.execution = std::move(*execution);
+  report.merged = false;  // replays never touch user branches
+  report.status = report.execution.all_expectations_passed
+                      ? "replayed"
+                      : "replayed (expectations failed)";
+  Audit("replay", record.branch,
+        StrCat("run ", run_id, selector.empty() ? "" : " -m ", selector),
+        Status::OK());
+  return report;
+}
+
+}  // namespace bauplan::core

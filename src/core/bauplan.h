@@ -1,0 +1,174 @@
+#ifndef BAUPLAN_CORE_BAUPLAN_H_
+#define BAUPLAN_CORE_BAUPLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "columnar/table.h"
+#include "common/clock.h"
+#include "core/audit_log.h"
+#include "core/pipeline_runner.h"
+#include "core/query_cache.h"
+#include "pipeline/run_registry.h"
+#include "runtime/executor.h"
+#include "sql/engine.h"
+#include "storage/metered_store.h"
+#include "table/table_ops.h"
+
+namespace bauplan::core {
+
+/// Platform configuration.
+struct BauplanOptions {
+  /// Latency/cost model of the data lake's object storage.
+  storage::LatencyModel lake_latency = storage::LatencyModel::Instant();
+  storage::CostModel lake_cost;
+  /// Serverless substrate sizing.
+  runtime::Scheduler::Options scheduler;
+  runtime::ContainerManager::Options containers;
+  runtime::PackageCache::Options package_cache;
+  /// Recorded as commit author.
+  std::string author = "bauplan";
+  /// Result-cache budget for Query(); 0 disables. Keyed by (sql, commit),
+  /// so versioning makes invalidation automatic.
+  uint64_t query_cache_bytes = 256ull << 20;
+  /// Record every platform verb in the durable audit trail.
+  bool enable_audit_log = true;
+};
+
+/// Outcome of `Run` (and `ReplayRun`).
+struct RunReport {
+  int64_t run_id = 0;
+  /// Per-node execution details.
+  PipelineRunReport execution;
+  /// Commit the target branch ended at ("" when not merged).
+  std::string merged_commit_id;
+  bool merged = false;
+  std::string status;
+};
+
+/// The Bauplan platform facade: one object wiring together the versioned
+/// catalog (Nessie stand-in), table format (Iceberg stand-in), SQL engine
+/// (DuckDB stand-in), serverless runtime and code intelligence, behind
+/// the two verbs of the paper's CLI — `Query` (synchronous QW) and `Run`
+/// (pipeline TD with transform-audit-write).
+class Bauplan {
+ public:
+  /// Opens a lakehouse stored in `base_store`. Does not own `base_store`
+  /// or `clock`; both must outlive the platform.
+  static Result<std::unique_ptr<Bauplan>> Open(
+      storage::ObjectStore* base_store, Clock* clock,
+      BauplanOptions options = {});
+
+  // ----------------------------------------------------------- tables
+
+  /// Creates an empty table on `branch` (committed to the catalog).
+  Status CreateTable(const std::string& branch, const std::string& name,
+                     const columnar::Schema& schema,
+                     const table::PartitionSpec& spec = {});
+
+  /// Appends rows to (or overwrites) a table on `branch`.
+  Status WriteTable(const std::string& branch, const std::string& name,
+                    const columnar::Table& data, bool overwrite = false);
+
+  /// Reads a table at any ref (branch, tag, or commit), with optional
+  /// time travel inside the table's snapshot history.
+  Result<columnar::Table> ReadTable(
+      const std::string& ref, const std::string& name,
+      const table::ScanOptions& options = {}) const;
+
+  /// Table names visible at `ref`.
+  Result<std::vector<std::string>> ListTables(const std::string& ref) const;
+
+  /// CREATE TABLE AS: runs `sql_text` at `branch` and materializes the
+  /// result as a new table (one-query-one-artifact without a pipeline).
+  Status CreateTableAs(const std::string& branch, const std::string& name,
+                       std::string_view sql_text);
+
+  // ------------------------------------------------------------ query
+
+  /// `bauplan query -q "..." [-b ref]`: synchronous SQL over the
+  /// lakehouse at `ref`, with pushdown into partition/zone-map pruning.
+  Result<sql::QueryResult> Query(std::string_view sql_text,
+                                 const std::string& ref = "main",
+                                 const sql::QueryOptions& options = {});
+
+  // --------------------------------------------------------- branches
+
+  Status CreateBranch(const std::string& name, const std::string& from);
+  Status DeleteBranch(const std::string& name);
+  Result<catalog::MergeResult> MergeBranch(const std::string& from,
+                                           const std::string& into);
+  Result<std::vector<std::string>> ListBranches() const;
+  Result<std::vector<catalog::Commit>> Log(const std::string& ref,
+                                           size_t limit = 0) const;
+
+  // --------------------------------------------------------------- run
+
+  /// `bauplan run`: snapshots + fingerprints the project, executes its
+  /// DAG inside an ephemeral branch (transform-audit-write), materializes
+  /// every SQL artifact as a table, and merges into `branch` only when
+  /// all expectations pass.
+  Result<RunReport> Run(const pipeline::PipelineProject& project,
+                        const std::string& branch,
+                        const PipelineRunOptions& options = {});
+
+  /// `bauplan run --run-id N [-m node+]`: re-executes the recorded
+  /// snapshot against the recorded data commit, sandboxed (never merged).
+  Result<RunReport> ReplayRun(int64_t run_id,
+                              const std::string& selector = "");
+
+  // ------------------------------------------------------ introspection
+
+  catalog::Catalog* mutable_catalog() { return catalog_.get(); }
+  const pipeline::RunRegistry& run_registry() const { return *registry_; }
+  /// The durable audit trail (Full Auditability, section 2).
+  const AuditLog& audit_log() const { return *audit_; }
+  const QueryResultCache::Stats& query_cache_stats() const {
+    return query_cache_->stats();
+  }
+  const storage::StoreMetrics& lake_metrics() const {
+    return lake_store_->metrics();
+  }
+  const runtime::ContainerManagerMetrics& container_metrics() const {
+    return containers_->metrics();
+  }
+  const runtime::PackageCacheMetrics& package_cache_metrics() const {
+    return package_cache_->metrics();
+  }
+  runtime::ServerlessExecutor* executor() { return executor_.get(); }
+  Clock* clock() { return clock_; }
+
+ private:
+  Bauplan(storage::ObjectStore* base_store, Clock* clock,
+          BauplanOptions options);
+
+  /// Materializes run artifacts as catalog tables on `target_branch`.
+  Status MaterializeArtifacts(const PipelineRunReport& execution,
+                              const std::string& target_branch);
+
+  /// Records one audit entry; failures are logged, never fatal.
+  void Audit(const std::string& operation, const std::string& ref,
+             const std::string& detail, const Status& outcome);
+
+  Clock* clock_;
+  BauplanOptions options_;
+  std::unique_ptr<storage::MeteredObjectStore> lake_store_;
+  std::unique_ptr<storage::MemoryObjectStore> spill_backing_;
+  std::unique_ptr<storage::MeteredObjectStore> spill_store_;
+  std::unique_ptr<catalog::Catalog> catalog_;
+  std::unique_ptr<table::TableOps> table_ops_;
+  std::unique_ptr<pipeline::RunRegistry> registry_;
+  std::unique_ptr<runtime::PackageCache> package_cache_;
+  std::unique_ptr<runtime::ContainerManager> containers_;
+  std::unique_ptr<runtime::Scheduler> scheduler_;
+  std::unique_ptr<runtime::ServerlessExecutor> executor_;
+  std::unique_ptr<PipelineRunner> runner_;
+  std::unique_ptr<AuditLog> audit_;
+  std::unique_ptr<QueryResultCache> query_cache_;
+};
+
+}  // namespace bauplan::core
+
+#endif  // BAUPLAN_CORE_BAUPLAN_H_

@@ -1,0 +1,266 @@
+#include "core/pipeline_runner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "columnar/serialize.h"
+#include "common/hash.h"
+#include "common/strings.h"
+#include "core/lakehouse_source.h"
+#include "expectations/expectation.h"
+#include "sql/engine.h"
+
+namespace bauplan::core {
+
+using columnar::Table;
+using pipeline::Dag;
+using pipeline::NodeKind;
+using pipeline::PipelineNode;
+
+namespace {
+
+/// Estimated function memory for a table of `bytes`: artifact + working
+/// set, floored at 256 MiB — the vertical-elasticity knob.
+uint64_t MemoryForBytes(int64_t bytes) {
+  uint64_t need = static_cast<uint64_t>(bytes) * 3;
+  return std::max<uint64_t>(need, 256ull << 20);
+}
+
+std::vector<std::string> SelectOrAll(const Dag& dag,
+                                     const std::vector<std::string>& sel) {
+  if (sel.empty()) return dag.execution_order();
+  return sel;
+}
+
+}  // namespace
+
+runtime::ContainerSpec PipelineRunner::SpecForNode(
+    const PipelineNode& node) {
+  runtime::ContainerSpec spec;
+  for (const auto& req : node.requirements.items()) {
+    // Map the declared requirement onto a synthetic package whose size
+    // is derived from the name (deterministic, ~5-40 MiB).
+    runtime::Package pkg;
+    pkg.name = req.ToString();
+    pkg.size_bytes =
+        5ull * 1024 * 1024 +
+        (Fnv1a64(pkg.name) % (35ull * 1024 * 1024));
+    spec.packages.push_back(std::move(pkg));
+  }
+  return spec;
+}
+
+Result<PipelineRunReport> PipelineRunner::Execute(
+    const Dag& dag, const std::string& ref,
+    const PipelineRunOptions& options) {
+  for (const auto& name : options.selected) {
+    if (!dag.HasNode(name)) {
+      return Status::NotFound(StrCat("no pipeline node named '", name,
+                                     "'"));
+    }
+  }
+  spill_store_->ResetMetrics();
+  if (options.fused) {
+    return ExecuteFused(dag, ref, SelectOrAll(dag, options.selected));
+  }
+  return ExecuteNaive(dag, ref, SelectOrAll(dag, options.selected));
+}
+
+// --------------------------------------------------------------- fused
+
+Result<PipelineRunReport> PipelineRunner::ExecuteFused(
+    const Dag& dag, const std::string& ref,
+    const std::vector<std::string>& selected) {
+  PipelineRunReport report;
+  uint64_t start = clock_->NowMicros();
+
+  // One function for the whole DAG: union of all requirements, memory
+  // sized once the inputs are known (use a conservative default).
+  runtime::ContainerSpec spec;
+  std::set<std::string> seen_packages;
+  for (const auto& name : selected) {
+    auto node_spec = SpecForNode(*dag.GetNode(name).node);
+    for (auto& pkg : node_spec.packages) {
+      if (seen_packages.insert(pkg.name).second) {
+        spec.packages.push_back(std::move(pkg));
+      }
+    }
+  }
+
+  runtime::FunctionRequest request;
+  request.name = "fused_dag";
+  request.spec = std::move(spec);
+  request.memory_bytes = 4ull << 30;
+  request.output_artifact = "fused_dag_output";
+  // Keep the DAG's container warm between iterations: repeated `bauplan
+  // run` invocations in a dev loop pay only the warm dispatch.
+  request.keep_warm = true;
+  std::set<std::string> selected_set(selected.begin(), selected.end());
+
+  Status body_status = Status::OK();
+  request.body = [&]() -> Status {
+    // All intermediates live in the source overlay; the engine pushes
+    // WHERE filters and projections into the lakehouse scans.
+    LakehouseSource source(catalog_, ops_, ref);
+    for (const auto& name : dag.execution_order()) {
+      if (selected_set.count(name) == 0) continue;
+      const PipelineNode& node = *dag.GetNode(name).node;
+      NodeReport node_report;
+      node_report.name = name;
+      node_report.kind = node.kind;
+      if (node.kind == NodeKind::kSqlModel) {
+        auto result = sql::RunQuery(node.code, source, &source);
+        if (!result.ok()) {
+          return result.status().WithContext(
+              StrCat("node '", name, "'"));
+        }
+        node_report.output_rows = result->table.num_rows();
+        report.artifacts[name] = result->table;
+        source.AddOverlayTable(name, std::move(result->table));
+      } else {
+        BAUPLAN_ASSIGN_OR_RETURN(std::string target,
+                                 node.ExpectationTarget());
+        BAUPLAN_ASSIGN_OR_RETURN(
+            expectations::Expectation expectation,
+            expectations::ParseExpectation(node.code));
+        BAUPLAN_ASSIGN_OR_RETURN(Table table,
+                                 source.ScanTable(target, {}, {}));
+        BAUPLAN_ASSIGN_OR_RETURN(auto outcome,
+                                 expectation.Check(table));
+        node_report.expectation_passed = outcome.passed;
+        node_report.details = outcome.details;
+        node_report.output_rows = table.num_rows();
+        if (!outcome.passed) report.all_expectations_passed = false;
+      }
+      report.nodes.push_back(std::move(node_report));
+    }
+    return Status::OK();
+  };
+
+  BAUPLAN_ASSIGN_OR_RETURN(runtime::InvocationReport invocation,
+                           executor_->Invoke(request));
+  if (!report.nodes.empty()) {
+    report.nodes.front().invocation = invocation;
+  }
+  (void)body_status;
+  report.total_micros = clock_->NowMicros() - start;
+  report.spill_metrics = spill_store_->metrics();
+  return report;
+}
+
+// --------------------------------------------------------------- naive
+
+Result<PipelineRunReport> PipelineRunner::ExecuteNaive(
+    const Dag& dag, const std::string& ref,
+    const std::vector<std::string>& selected) {
+  PipelineRunReport report;
+  uint64_t start = clock_->NowMicros();
+  std::set<std::string> selected_set(selected.begin(), selected.end());
+
+  // Spill keys of intermediates produced so far this run.
+  auto spill_key = [](const std::string& node) {
+    return StrCat("spill/", node, ".tbl");
+  };
+  std::map<std::string, int64_t> artifact_bytes;
+
+  for (const auto& name : dag.execution_order()) {
+    if (selected_set.count(name) == 0) continue;
+    const pipeline::DagNode& dag_node = dag.GetNode(name);
+    const PipelineNode& node = *dag_node.node;
+
+    NodeReport node_report;
+    node_report.name = name;
+    node_report.kind = node.kind;
+
+    // Each node is its own serverless function reading inputs through
+    // the object store — the isomorphic mapping of plan to execution.
+    runtime::FunctionRequest request;
+    request.name = name;
+    request.spec = SpecForNode(node);
+    std::string input_artifact;
+    int64_t input_bytes = 0;
+    for (const auto& up : dag_node.upstream_nodes) {
+      input_artifact = spill_key(up);
+      auto it = artifact_bytes.find(up);
+      if (it != artifact_bytes.end()) input_bytes += it->second;
+    }
+    request.input_artifact = input_artifact;
+    request.input_bytes = static_cast<uint64_t>(input_bytes);
+    request.memory_bytes = MemoryForBytes(input_bytes);
+    request.output_artifact = spill_key(name);
+
+    Status node_status = Status::OK();
+    request.body = [&]() -> Status {
+      // Assemble inputs: source tables scanned in full (no pushdown —
+      // the naive plan maps each logical op to one function), upstream
+      // artifacts fetched from the spill store.
+      sql::MemoryTableProvider inputs;
+      for (const auto& table_name : dag_node.source_tables) {
+        BAUPLAN_ASSIGN_OR_RETURN(std::string metadata_key,
+                                 catalog_->GetTable(ref, table_name));
+        BAUPLAN_ASSIGN_OR_RETURN(Table table,
+                                 ops_->ScanTable(metadata_key));
+        inputs.AddTable(table_name, std::move(table));
+      }
+      for (const auto& up : dag_node.upstream_nodes) {
+        if (selected_set.count(up) > 0) {
+          BAUPLAN_ASSIGN_OR_RETURN(Bytes bytes,
+                                   spill_store_->Get(spill_key(up)));
+          BAUPLAN_ASSIGN_OR_RETURN(Table table,
+                                   columnar::DeserializeTable(bytes));
+          inputs.AddTable(up, std::move(table));
+        } else {
+          // Replay subset: the upstream artifact was materialized by the
+          // original run; read it from the catalog.
+          BAUPLAN_ASSIGN_OR_RETURN(std::string metadata_key,
+                                   catalog_->GetTable(ref, up));
+          BAUPLAN_ASSIGN_OR_RETURN(Table table,
+                                   ops_->ScanTable(metadata_key));
+          inputs.AddTable(up, std::move(table));
+        }
+      }
+
+      if (node.kind == NodeKind::kSqlModel) {
+        sql::QueryOptions qopts;
+        // No scan pushdown in the naive mapping.
+        qopts.optimizer.pushdown_predicates = false;
+        qopts.optimizer.pushdown_projections = false;
+        BAUPLAN_ASSIGN_OR_RETURN(
+            sql::QueryResult result,
+            sql::RunQuery(node.code, inputs, &inputs, qopts));
+        node_report.output_rows = result.table.num_rows();
+        // Spill the artifact for downstream functions.
+        Bytes payload = columnar::SerializeTable(result.table);
+        artifact_bytes[name] = static_cast<int64_t>(payload.size());
+        BAUPLAN_RETURN_NOT_OK(
+            spill_store_->Put(spill_key(name), std::move(payload)));
+        report.artifacts[name] = std::move(result.table);
+      } else {
+        BAUPLAN_ASSIGN_OR_RETURN(std::string target,
+                                 node.ExpectationTarget());
+        BAUPLAN_ASSIGN_OR_RETURN(
+            expectations::Expectation expectation,
+            expectations::ParseExpectation(node.code));
+        BAUPLAN_ASSIGN_OR_RETURN(Table table,
+                                 inputs.ScanTable(target, {}, {}));
+        BAUPLAN_ASSIGN_OR_RETURN(auto outcome, expectation.Check(table));
+        node_report.expectation_passed = outcome.passed;
+        node_report.details = outcome.details;
+        node_report.output_rows = table.num_rows();
+        if (!outcome.passed) report.all_expectations_passed = false;
+      }
+      return Status::OK();
+    };
+
+    BAUPLAN_ASSIGN_OR_RETURN(node_report.invocation,
+                             executor_->Invoke(request));
+    (void)node_status;
+    report.nodes.push_back(std::move(node_report));
+  }
+
+  report.total_micros = clock_->NowMicros() - start;
+  report.spill_metrics = spill_store_->metrics();
+  return report;
+}
+
+}  // namespace bauplan::core

@@ -1,0 +1,100 @@
+#ifndef BAUPLAN_CORE_PIPELINE_RUNNER_H_
+#define BAUPLAN_CORE_PIPELINE_RUNNER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "columnar/table.h"
+#include "common/clock.h"
+#include "pipeline/dag.h"
+#include "runtime/executor.h"
+#include "storage/metered_store.h"
+#include "table/table_ops.h"
+
+namespace bauplan::core {
+
+/// How to execute a DAG.
+struct PipelineRunOptions {
+  /// Fused (default): the whole DAG runs as one function, intermediates
+  /// stay in memory, WHERE filters are pushed into the source scans.
+  /// Naive: one serverless function per node, every intermediate spills
+  /// through object storage, scans materialize whole tables — the
+  /// isomorphic plan-to-execution mapping the paper's first version used
+  /// (section 4.4.2).
+  bool fused = true;
+  /// Run only these nodes (replay selection); empty = all. Upstream
+  /// artifacts of unselected nodes are read from the catalog.
+  std::vector<std::string> selected;
+};
+
+/// Per-node outcome.
+struct NodeReport {
+  std::string name;
+  pipeline::NodeKind kind = pipeline::NodeKind::kSqlModel;
+  int64_t output_rows = 0;
+  /// Expectation nodes only.
+  bool expectation_passed = true;
+  std::string details;
+  runtime::InvocationReport invocation;
+};
+
+/// Everything one DAG execution produced.
+struct PipelineRunReport {
+  std::vector<NodeReport> nodes;
+  /// Simulated end-to-end latency of the run.
+  uint64_t total_micros = 0;
+  /// Object-store traffic caused by intermediate spill (naive mode).
+  storage::StoreMetrics spill_metrics;
+  bool all_expectations_passed = true;
+  /// Artifact name -> produced table (SQL nodes only).
+  std::map<std::string, columnar::Table> artifacts;
+};
+
+/// Executes an extracted DAG on the serverless substrate in fused or
+/// naive mode. Materialization back to the catalog is the caller's job
+/// (the Bauplan facade wraps this in transform-audit-write).
+class PipelineRunner {
+ public:
+  /// Does not own its collaborators. `spill_store` is the metered store
+  /// naive mode spills intermediates through.
+  PipelineRunner(Clock* clock, const catalog::Catalog* catalog,
+                 const table::TableOps* ops,
+                 runtime::ServerlessExecutor* executor,
+                 storage::MeteredObjectStore* spill_store)
+      : clock_(clock),
+        catalog_(catalog),
+        ops_(ops),
+        executor_(executor),
+        spill_store_(spill_store) {}
+
+  /// Runs `dag` reading source tables at `ref`. Expectation failures are
+  /// reported in the result (not as an error Status); infrastructure
+  /// failures are errors.
+  Result<PipelineRunReport> Execute(const pipeline::Dag& dag,
+                                    const std::string& ref,
+                                    const PipelineRunOptions& options);
+
+ private:
+  Result<PipelineRunReport> ExecuteFused(
+      const pipeline::Dag& dag, const std::string& ref,
+      const std::vector<std::string>& selected);
+  Result<PipelineRunReport> ExecuteNaive(
+      const pipeline::Dag& dag, const std::string& ref,
+      const std::vector<std::string>& selected);
+
+  /// Container spec for a node (interpreter + its requirement set mapped
+  /// onto synthetic packages).
+  runtime::ContainerSpec SpecForNode(const pipeline::PipelineNode& node);
+
+  Clock* clock_;
+  const catalog::Catalog* catalog_;
+  const table::TableOps* ops_;
+  runtime::ServerlessExecutor* executor_;
+  storage::MeteredObjectStore* spill_store_;
+};
+
+}  // namespace bauplan::core
+
+#endif  // BAUPLAN_CORE_PIPELINE_RUNNER_H_

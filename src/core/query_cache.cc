@@ -1,0 +1,57 @@
+#include "core/query_cache.h"
+
+#include "common/hash.h"
+
+namespace bauplan::core {
+
+std::string QueryResultCache::MakeKey(const std::string& sql,
+                                      const std::string& commit_id) {
+  return FingerprintHex(sql) + ":" + commit_id;
+}
+
+bool QueryResultCache::Lookup(const std::string& sql,
+                              const std::string& commit_id,
+                              columnar::Table* out) {
+  if (capacity_bytes_ == 0) return false;
+  auto it = entries_.find(MakeKey(sql, commit_id));
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->table;
+  ++stats_.hits;
+  return true;
+}
+
+void QueryResultCache::Insert(const std::string& sql,
+                              const std::string& commit_id,
+                              const columnar::Table& table) {
+  if (capacity_bytes_ == 0) return;
+  std::string key = MakeKey(sql, commit_id);
+  if (entries_.count(key) > 0) return;  // immutable: nothing to refresh
+  uint64_t bytes = static_cast<uint64_t>(table.EstimatedBytes());
+  if (bytes > capacity_bytes_) return;
+  EvictUntilFits(bytes);
+  lru_.push_front(Entry{key, table, bytes});
+  entries_[key] = lru_.begin();
+  used_bytes_ += bytes;
+}
+
+void QueryResultCache::EvictUntilFits(uint64_t incoming) {
+  while (!lru_.empty() && used_bytes_ + incoming > capacity_bytes_) {
+    const Entry& victim = lru_.back();
+    used_bytes_ -= victim.bytes;
+    entries_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void QueryResultCache::Clear() {
+  lru_.clear();
+  entries_.clear();
+  used_bytes_ = 0;
+}
+
+}  // namespace bauplan::core

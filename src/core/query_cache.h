@@ -1,0 +1,67 @@
+#ifndef BAUPLAN_CORE_QUERY_CACHE_H_
+#define BAUPLAN_CORE_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "columnar/table.h"
+
+namespace bauplan::core {
+
+/// LRU cache of query results keyed by (SQL text, catalog commit id).
+/// The paper's section 5 lists "using logs ... to further optimize the
+/// experience behind the scenes" as future work; result caching is the
+/// lowest-hanging instance, and the versioned catalog makes it sound for
+/// free: a table can only change by producing a new commit id, so a
+/// (sql, commit) pair is immutable and needs no invalidation protocol.
+class QueryResultCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+  };
+
+  /// `capacity_bytes` bounds the total EstimatedBytes of cached tables;
+  /// 0 disables caching entirely.
+  explicit QueryResultCache(uint64_t capacity_bytes = 256ull << 20)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Looks up a result; copies it into `out` on a hit.
+  bool Lookup(const std::string& sql, const std::string& commit_id,
+              columnar::Table* out);
+
+  /// Stores a result (no-op when disabled or the table alone exceeds
+  /// capacity).
+  void Insert(const std::string& sql, const std::string& commit_id,
+              const columnar::Table& table);
+
+  const Stats& stats() const { return stats_; }
+  uint64_t used_bytes() const { return used_bytes_; }
+  size_t entry_count() const { return entries_.size(); }
+
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    columnar::Table table;
+    uint64_t bytes = 0;
+  };
+
+  static std::string MakeKey(const std::string& sql,
+                             const std::string& commit_id);
+  void EvictUntilFits(uint64_t incoming);
+
+  uint64_t capacity_bytes_;
+  uint64_t used_bytes_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+  Stats stats_;
+};
+
+}  // namespace bauplan::core
+
+#endif  // BAUPLAN_CORE_QUERY_CACHE_H_

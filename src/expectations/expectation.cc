@@ -1,0 +1,220 @@
+#include "expectations/expectation.h"
+
+#include <cstdio>
+#include <set>
+
+#include "common/strings.h"
+
+namespace bauplan::expectations {
+
+using columnar::ArrayPtr;
+using columnar::Table;
+using columnar::Value;
+
+namespace {
+
+Result<double> ColumnMean(const Table& table, const std::string& column) {
+  BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr col, table.GetColumnByName(column));
+  double sum = 0;
+  int64_t n = 0;
+  for (int64_t i = 0; i < col->length(); ++i) {
+    if (col->IsNull(i)) continue;
+    BAUPLAN_ASSIGN_OR_RETURN(double v, col->GetValue(i).AsDouble());
+    sum += v;
+    ++n;
+  }
+  if (n == 0) {
+    return Status::FailedPrecondition(
+        StrCat("column '", column, "' has no non-null values"));
+  }
+  return sum / static_cast<double>(n);
+}
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+Expectation ExpectMeanGreaterThan(const std::string& column,
+                                  double threshold) {
+  return Expectation(
+      StrCat("mean(", column, ") > ", FormatDouble(threshold)),
+      [column, threshold](const Table& t) -> Result<ExpectationOutcome> {
+        BAUPLAN_ASSIGN_OR_RETURN(double mean, ColumnMean(t, column));
+        ExpectationOutcome outcome;
+        outcome.passed = mean > threshold;
+        outcome.details = StrCat("mean(", column, ") = ",
+                                 FormatDouble(mean), ", expected > ",
+                                 FormatDouble(threshold));
+        return outcome;
+      });
+}
+
+Expectation ExpectMeanBetween(const std::string& column, double lo,
+                              double hi) {
+  return Expectation(
+      StrCat("mean(", column, ") in [", FormatDouble(lo), ", ",
+             FormatDouble(hi), "]"),
+      [column, lo, hi](const Table& t) -> Result<ExpectationOutcome> {
+        BAUPLAN_ASSIGN_OR_RETURN(double mean, ColumnMean(t, column));
+        ExpectationOutcome outcome;
+        outcome.passed = mean >= lo && mean <= hi;
+        outcome.details =
+            StrCat("mean(", column, ") = ", FormatDouble(mean),
+                   ", expected in [", FormatDouble(lo), ", ",
+                   FormatDouble(hi), "]");
+        return outcome;
+      });
+}
+
+Expectation ExpectNoNulls(const std::string& column) {
+  return Expectation(
+      StrCat("not_null(", column, ")"),
+      [column](const Table& t) -> Result<ExpectationOutcome> {
+        BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr col, t.GetColumnByName(column));
+        ExpectationOutcome outcome;
+        outcome.passed = col->null_count() == 0;
+        outcome.details = StrCat("column '", column, "' has ",
+                                 col->null_count(), " nulls out of ",
+                                 col->length(), " rows");
+        return outcome;
+      });
+}
+
+Expectation ExpectUnique(const std::string& column) {
+  return Expectation(
+      StrCat("unique(", column, ")"),
+      [column](const Table& t) -> Result<ExpectationOutcome> {
+        BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr col, t.GetColumnByName(column));
+        std::set<std::string> seen;
+        int64_t duplicates = 0;
+        for (int64_t i = 0; i < col->length(); ++i) {
+          if (col->IsNull(i)) continue;
+          if (!seen.insert(col->GetValue(i).ToString()).second) {
+            ++duplicates;
+          }
+        }
+        ExpectationOutcome outcome;
+        outcome.passed = duplicates == 0;
+        outcome.details = StrCat("column '", column, "' has ", duplicates,
+                                 " duplicate values");
+        return outcome;
+      });
+}
+
+Expectation ExpectRowCountBetween(int64_t lo, int64_t hi) {
+  return Expectation(
+      StrCat("row_count in [", lo, ", ", hi, "]"),
+      [lo, hi](const Table& t) -> Result<ExpectationOutcome> {
+        ExpectationOutcome outcome;
+        outcome.passed = t.num_rows() >= lo && t.num_rows() <= hi;
+        outcome.details = StrCat("row count = ", t.num_rows(),
+                                 ", expected in [", lo, ", ", hi, "]");
+        return outcome;
+      });
+}
+
+Expectation ExpectValuesBetween(const std::string& column, double lo,
+                                double hi) {
+  return Expectation(
+      StrCat("values(", column, ") in [", FormatDouble(lo), ", ",
+             FormatDouble(hi), "]"),
+      [column, lo, hi](const Table& t) -> Result<ExpectationOutcome> {
+        BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr col, t.GetColumnByName(column));
+        int64_t violations = 0;
+        for (int64_t i = 0; i < col->length(); ++i) {
+          if (col->IsNull(i)) continue;
+          BAUPLAN_ASSIGN_OR_RETURN(double v, col->GetValue(i).AsDouble());
+          if (v < lo || v > hi) ++violations;
+        }
+        ExpectationOutcome outcome;
+        outcome.passed = violations == 0;
+        outcome.details = StrCat(violations, " values of '", column,
+                                 "' outside [", FormatDouble(lo), ", ",
+                                 FormatDouble(hi), "]");
+        return outcome;
+      });
+}
+
+Result<Expectation> ParseExpectation(std::string_view text) {
+  std::string s(StripWhitespace(text));
+
+  auto parse_call = [&](std::string_view fn_name,
+                        std::string* arg) -> bool {
+    std::string prefix = StrCat(fn_name, "(");
+    if (!StartsWith(s, prefix)) return false;
+    size_t close = s.find(')', prefix.size());
+    if (close == std::string::npos) return false;
+    *arg = std::string(
+        StripWhitespace(s.substr(prefix.size(), close - prefix.size())));
+    // Move the remainder into s for operator parsing.
+    s = std::string(StripWhitespace(s.substr(close + 1)));
+    return true;
+  };
+
+  auto parse_number = [](std::string_view v, double* out) -> bool {
+    char* end = nullptr;
+    std::string text_copy(v);
+    *out = std::strtod(text_copy.c_str(), &end);
+    return end != nullptr && *end == '\0' && !text_copy.empty();
+  };
+
+  // `a between X and Y` tail parser.
+  auto parse_between = [&](double* lo, double* hi) -> bool {
+    if (!StartsWith(ToLower(s), "between ")) return false;
+    std::string rest = s.substr(8);
+    size_t and_pos = ToLower(rest).find(" and ");
+    if (and_pos == std::string::npos) return false;
+    return parse_number(StripWhitespace(rest.substr(0, and_pos)), lo) &&
+           parse_number(StripWhitespace(rest.substr(and_pos + 5)), hi);
+  };
+
+  std::string arg;
+  if (parse_call("mean", &arg)) {
+    double lo = 0, hi = 0;
+    if (parse_between(&lo, &hi)) return ExpectMeanBetween(arg, lo, hi);
+    if (StartsWith(s, ">")) {
+      double threshold = 0;
+      if (parse_number(StripWhitespace(s.substr(1)), &threshold)) {
+        return ExpectMeanGreaterThan(arg, threshold);
+      }
+    }
+    return Status::InvalidArgument(
+        StrCat("cannot parse mean expectation tail: '", s, "'"));
+  }
+  if (parse_call("not_null", &arg)) {
+    if (!s.empty()) {
+      return Status::InvalidArgument("not_null takes no operator");
+    }
+    return ExpectNoNulls(arg);
+  }
+  if (parse_call("unique", &arg)) {
+    if (!s.empty()) {
+      return Status::InvalidArgument("unique takes no operator");
+    }
+    return ExpectUnique(arg);
+  }
+  if (parse_call("values", &arg)) {
+    double lo = 0, hi = 0;
+    if (parse_between(&lo, &hi)) return ExpectValuesBetween(arg, lo, hi);
+    return Status::InvalidArgument(
+        StrCat("values(...) needs 'between X and Y', got '", s, "'"));
+  }
+  if (StartsWith(ToLower(s), "row_count ")) {
+    s = std::string(StripWhitespace(s.substr(10)));
+    double lo = 0, hi = 0;
+    if (parse_between(&lo, &hi)) {
+      return ExpectRowCountBetween(static_cast<int64_t>(lo),
+                                   static_cast<int64_t>(hi));
+    }
+    return Status::InvalidArgument(
+        StrCat("row_count needs 'between X and Y', got '", s, "'"));
+  }
+  return Status::InvalidArgument(
+      StrCat("cannot parse expectation '", text, "'"));
+}
+
+}  // namespace bauplan::expectations

@@ -1,0 +1,58 @@
+#include "expectations/requirements.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace bauplan::expectations {
+
+Result<PackageRequirement> PackageRequirement::Parse(std::string_view text) {
+  size_t pos = text.find("==");
+  if (pos == std::string_view::npos || pos == 0 ||
+      pos + 2 >= text.size()) {
+    return Status::InvalidArgument(
+        StrCat("requirement must be 'name==version', got '", text, "'"));
+  }
+  PackageRequirement req;
+  req.name = std::string(StripWhitespace(text.substr(0, pos)));
+  req.version = std::string(StripWhitespace(text.substr(pos + 2)));
+  if (req.name.empty() || req.version.empty()) {
+    return Status::InvalidArgument(
+        StrCat("requirement must be 'name==version', got '", text, "'"));
+  }
+  return req;
+}
+
+RequirementSet::RequirementSet(std::vector<PackageRequirement> reqs) {
+  for (auto& r : reqs) Add(std::move(r));
+}
+
+void RequirementSet::Add(PackageRequirement req) {
+  auto it = std::lower_bound(items_.begin(), items_.end(), req);
+  if (it != items_.end() && *it == req) return;
+  items_.insert(it, std::move(req));
+}
+
+std::string RequirementSet::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += items_[i].ToString();
+  }
+  return out;
+}
+
+Result<RequirementSet> RequirementSet::Parse(std::string_view text) {
+  RequirementSet set;
+  if (StripWhitespace(text).empty()) return set;
+  for (const auto& piece : StrSplit(std::string(text), ',')) {
+    std::string_view trimmed = StripWhitespace(piece);
+    if (trimmed.empty()) continue;
+    BAUPLAN_ASSIGN_OR_RETURN(PackageRequirement req,
+                             PackageRequirement::Parse(trimmed));
+    set.Add(std::move(req));
+  }
+  return set;
+}
+
+}  // namespace bauplan::expectations

@@ -1,0 +1,54 @@
+#ifndef BAUPLAN_EXPECTATIONS_REQUIREMENTS_H_
+#define BAUPLAN_EXPECTATIONS_REQUIREMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace bauplan::expectations {
+
+/// One pinned package dependency — the C++ analog of the paper's
+/// `@requirements({'pandas': '2.0.0'})` decorator. Because the platform
+/// controls OS, container and interpreter, packages are the only
+/// reproducibility degree of freedom left to the user (section 4.4.1).
+struct PackageRequirement {
+  std::string name;
+  std::string version;
+
+  bool operator==(const PackageRequirement& o) const {
+    return name == o.name && version == o.version;
+  }
+  bool operator<(const PackageRequirement& o) const {
+    return name != o.name ? name < o.name : version < o.version;
+  }
+
+  std::string ToString() const { return name + "==" + version; }
+
+  /// Parses "name==version"; InvalidArgument otherwise.
+  static Result<PackageRequirement> Parse(std::string_view text);
+};
+
+/// The pinned dependency set of one pipeline node, in deterministic
+/// (sorted, deduplicated) order so fingerprints are stable.
+class RequirementSet {
+ public:
+  RequirementSet() = default;
+  explicit RequirementSet(std::vector<PackageRequirement> reqs);
+
+  void Add(PackageRequirement req);
+  const std::vector<PackageRequirement>& items() const { return items_; }
+  bool empty() const { return items_.empty(); }
+
+  /// "name==ver,name==ver" canonical rendering (part of run fingerprints).
+  std::string ToString() const;
+
+  static Result<RequirementSet> Parse(std::string_view text);
+
+ private:
+  std::vector<PackageRequirement> items_;
+};
+
+}  // namespace bauplan::expectations
+
+#endif  // BAUPLAN_EXPECTATIONS_REQUIREMENTS_H_

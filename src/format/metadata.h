@@ -1,0 +1,57 @@
+#ifndef BAUPLAN_FORMAT_METADATA_H_
+#define BAUPLAN_FORMAT_METADATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columnar/compute.h"
+#include "columnar/type.h"
+#include "common/bytes.h"
+#include "common/result.h"
+#include "format/encoding.h"
+
+namespace bauplan::format {
+
+/// Location, encoding and zone map of one column chunk within a row group.
+struct ColumnChunkMeta {
+  Encoding encoding = Encoding::kPlain;
+  /// Absolute byte offset of the chunk in the file.
+  uint64_t offset = 0;
+  /// Encoded size in bytes.
+  uint64_t size = 0;
+  /// Min/max/null-count zone map for predicate-based skipping.
+  columnar::ColumnStats stats;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<ColumnChunkMeta> Deserialize(BinaryReader* reader);
+};
+
+/// A horizontal slice of the table: one chunk per column.
+struct RowGroupMeta {
+  int64_t num_rows = 0;
+  std::vector<ColumnChunkMeta> columns;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<RowGroupMeta> Deserialize(BinaryReader* reader);
+};
+
+/// The footer of a BPF file: schema plus all row-group metadata. Readers
+/// fetch the footer first and then only the chunks the query needs
+/// (projection + zone-map skipping), mirroring Parquet's read path.
+struct FileMetadata {
+  columnar::Schema schema;
+  std::vector<RowGroupMeta> row_groups;
+
+  int64_t TotalRows() const {
+    int64_t total = 0;
+    for (const auto& rg : row_groups) total += rg.num_rows;
+    return total;
+  }
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<FileMetadata> Deserialize(BinaryReader* reader);
+};
+
+}  // namespace bauplan::format
+
+#endif  // BAUPLAN_FORMAT_METADATA_H_

@@ -1,0 +1,95 @@
+#include "format/predicate.h"
+
+#include "common/strings.h"
+
+namespace bauplan::format {
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string ColumnPredicate::ToString() const {
+  return StrCat(column, " ", CompareOpToString(op), " ", value.ToString());
+}
+
+bool ColumnPredicate::MightMatch(const columnar::ColumnStats& stats) const {
+  // No usable zone map (all nulls / empty chunk): cannot prune unless the
+  // chunk is provably all-null, in which case no comparison can match.
+  if (stats.min.is_null() || stats.max.is_null()) {
+    return stats.null_count < stats.value_count ? true
+           : stats.value_count == 0             ? true
+                                                : false;
+  }
+  if (value.is_null()) return false;  // `col <op> NULL` never matches
+  // Incomparable literal/stats types (e.g. a string literal against a
+  // numeric column): never prune — the exact filter decides.
+  {
+    columnar::TypeId lit = value.type();
+    columnar::TypeId col = stats.min.type();
+    bool comparable = lit == col || (columnar::IsNumeric(lit) &&
+                                     columnar::IsNumeric(col));
+    if (!comparable) return true;
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return value.Compare(stats.min) >= 0 && value.Compare(stats.max) <= 0;
+    case CompareOp::kNe:
+      // Only prunable when every value equals the literal.
+      return !(stats.min == stats.max && stats.min == value &&
+               stats.null_count == 0);
+    case CompareOp::kLt:
+      return stats.min.Compare(value) < 0;
+    case CompareOp::kLe:
+      return stats.min.Compare(value) <= 0;
+    case CompareOp::kGt:
+      return stats.max.Compare(value) > 0;
+    case CompareOp::kGe:
+      return stats.max.Compare(value) >= 0;
+  }
+  return true;
+}
+
+bool ColumnPredicate::Matches(const columnar::Value& v) const {
+  if (v.is_null() || value.is_null()) return false;
+  int cmp = v.Compare(value);
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+bool MightMatchAll(const std::vector<ColumnPredicate>& predicates,
+                   const std::string& column,
+                   const columnar::ColumnStats& stats) {
+  for (const auto& pred : predicates) {
+    if (pred.column == column && !pred.MightMatch(stats)) return false;
+  }
+  return true;
+}
+
+}  // namespace bauplan::format

@@ -1,0 +1,45 @@
+#ifndef BAUPLAN_FORMAT_PREDICATE_H_
+#define BAUPLAN_FORMAT_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "columnar/compute.h"
+#include "columnar/value.h"
+
+namespace bauplan::format {
+
+/// Comparison operator of a pushed-down predicate.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CompareOpToString(CompareOp op);
+
+/// One conjunct of a pushed-down filter: `column <op> literal`. The engine's
+/// optimizer extracts these from WHERE clauses; the file reader and the
+/// table scan planner use them to skip row groups / data files whose
+/// zone-map [min, max] range cannot satisfy the predicate.
+struct ColumnPredicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  columnar::Value value;
+
+  std::string ToString() const;
+
+  /// True when a chunk with the given stats MIGHT contain matching rows;
+  /// false only when the zone map proves no row can match. Conservative:
+  /// missing/null stats always return true.
+  bool MightMatch(const columnar::ColumnStats& stats) const;
+
+  /// Evaluates the predicate against a concrete value (null never matches,
+  /// per SQL three-valued logic collapsing to false).
+  bool Matches(const columnar::Value& v) const;
+};
+
+/// True when every predicate (conjunction) might match the stats.
+bool MightMatchAll(const std::vector<ColumnPredicate>& predicates,
+                   const std::string& column,
+                   const columnar::ColumnStats& stats);
+
+}  // namespace bauplan::format
+
+#endif  // BAUPLAN_FORMAT_PREDICATE_H_

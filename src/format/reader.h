@@ -1,0 +1,60 @@
+#ifndef BAUPLAN_FORMAT_READER_H_
+#define BAUPLAN_FORMAT_READER_H_
+
+#include <string>
+#include <vector>
+
+#include "columnar/table.h"
+#include "common/bytes.h"
+#include "common/result.h"
+#include "format/metadata.h"
+#include "format/predicate.h"
+
+namespace bauplan::format {
+
+/// What to read out of a BPF file.
+struct ReadOptions {
+  /// Columns to materialize; empty means all columns (in schema order).
+  std::vector<std::string> columns;
+  /// Conjunctive predicates used for row-group skipping via zone maps.
+  /// Skipping is conservative: surviving row groups may still contain
+  /// non-matching rows (the engine re-applies the filter exactly).
+  std::vector<ColumnPredicate> predicates;
+};
+
+/// Counters describing what a read actually touched; the scan-planning
+/// bench reports these.
+struct ReadStats {
+  int64_t row_groups_total = 0;
+  int64_t row_groups_read = 0;
+  int64_t bytes_read = 0;
+  int64_t bytes_skipped = 0;
+};
+
+/// Random-access reader over a complete BPF file image.
+class BpfReader {
+ public:
+  /// Parses and validates the footer; IOError on corrupt files.
+  static Result<BpfReader> Open(Bytes file);
+
+  const FileMetadata& metadata() const { return metadata_; }
+  const columnar::Schema& schema() const { return metadata_.schema; }
+  int64_t num_rows() const { return metadata_.TotalRows(); }
+
+  /// Materializes the requested columns of all row groups that survive
+  /// zone-map skipping, concatenated into one table. `stats`, when
+  /// non-null, receives what the read touched.
+  Result<columnar::Table> ReadTable(const ReadOptions& options = {},
+                                    ReadStats* stats = nullptr) const;
+
+ private:
+  BpfReader(Bytes file, FileMetadata metadata)
+      : file_(std::move(file)), metadata_(std::move(metadata)) {}
+
+  Bytes file_;
+  FileMetadata metadata_;
+};
+
+}  // namespace bauplan::format
+
+#endif  // BAUPLAN_FORMAT_READER_H_

@@ -1,0 +1,57 @@
+#include "format/writer.h"
+
+#include <algorithm>
+
+#include "columnar/compute.h"
+#include "format/encoding.h"
+#include "format/metadata.h"
+
+namespace bauplan::format {
+
+namespace {
+constexpr uint32_t kBpfMagic = 0x31465042;  // "BPF1"
+}  // namespace
+
+Result<Bytes> WriteBpfFile(const columnar::Table& table,
+                           const WriteOptions& options) {
+  if (options.row_group_size <= 0) {
+    return Status::InvalidArgument("row_group_size must be positive");
+  }
+  BinaryWriter writer;
+  writer.PutU32(kBpfMagic);
+
+  FileMetadata metadata;
+  metadata.schema = table.schema();
+
+  int64_t offset = 0;
+  while (offset < table.num_rows() || table.num_rows() == 0) {
+    int64_t rows =
+        std::min(options.row_group_size, table.num_rows() - offset);
+    BAUPLAN_ASSIGN_OR_RETURN(columnar::Table group,
+                             columnar::SliceTable(table, offset, rows));
+    RowGroupMeta rg_meta;
+    rg_meta.num_rows = group.num_rows();
+    for (int c = 0; c < group.num_columns(); ++c) {
+      const auto& column = group.column(c);
+      ColumnChunkMeta chunk;
+      chunk.encoding = options.enable_encodings ? ChooseEncoding(*column)
+                                                : Encoding::kPlain;
+      chunk.stats = columnar::ComputeStats(*column);
+      chunk.offset = writer.size();
+      BAUPLAN_RETURN_NOT_OK(EncodeArray(*column, chunk.encoding, &writer));
+      chunk.size = writer.size() - chunk.offset;
+      rg_meta.columns.push_back(std::move(chunk));
+    }
+    metadata.row_groups.push_back(std::move(rg_meta));
+    offset += rows;
+    if (table.num_rows() == 0) break;  // single empty row group
+  }
+
+  size_t footer_start = writer.size();
+  metadata.Serialize(&writer);
+  writer.PutU32(static_cast<uint32_t>(writer.size() - footer_start));
+  writer.PutU32(kBpfMagic);
+  return writer.TakeBuffer();
+}
+
+}  // namespace bauplan::format

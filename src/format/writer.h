@@ -1,0 +1,30 @@
+#ifndef BAUPLAN_FORMAT_WRITER_H_
+#define BAUPLAN_FORMAT_WRITER_H_
+
+#include <cstdint>
+
+#include "columnar/table.h"
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace bauplan::format {
+
+/// Knobs for writing a BPF file.
+struct WriteOptions {
+  /// Maximum rows per row group; smaller groups give finer-grained
+  /// zone-map skipping at the cost of footer size.
+  int64_t row_group_size = 64 * 1024;
+  /// When false, every chunk is written kPlain (used by benchmarks to
+  /// ablate encoding wins).
+  bool enable_encodings = true;
+};
+
+/// Serializes `table` into a complete BPF file image:
+///   [magic][chunk bytes ...][footer][footer_size u32][magic]
+/// Each column chunk carries min/max/null statistics in the footer.
+Result<Bytes> WriteBpfFile(const columnar::Table& table,
+                           const WriteOptions& options = {});
+
+}  // namespace bauplan::format
+
+#endif  // BAUPLAN_FORMAT_WRITER_H_

@@ -1,0 +1,129 @@
+#include "pipeline/dag.h"
+
+#include "common/strings.h"
+#include "sql/parser.h"
+
+namespace bauplan::pipeline {
+
+Result<Dag> Dag::Build(const PipelineProject& project,
+                       const std::set<std::string>& known_tables) {
+  Dag dag;
+  // Resolve references.
+  for (const auto& node : project.nodes()) {
+    DagNode entry;
+    entry.node = &node;
+    std::vector<std::string> refs;
+    if (node.kind == NodeKind::kSqlModel) {
+      BAUPLAN_ASSIGN_OR_RETURN(refs,
+                               sql::ExtractTableReferences(node.code));
+    } else {
+      BAUPLAN_ASSIGN_OR_RETURN(std::string target,
+                               node.ExpectationTarget());
+      refs.push_back(std::move(target));
+    }
+    for (const auto& ref : refs) {
+      if (ref == node.name) {
+        return Status::InvalidArgument(
+            StrCat("node '", node.name, "' references itself"));
+      }
+      if (project.FindNode(ref) != nullptr) {
+        entry.upstream_nodes.push_back(ref);
+      } else if (known_tables.count(ref) > 0) {
+        entry.source_tables.push_back(ref);
+      } else {
+        return Status::NotFound(
+            StrCat("node '", node.name, "' references '", ref,
+                   "', which is neither a pipeline node nor a table in ",
+                   "the catalog"));
+      }
+    }
+    dag.nodes_.emplace(node.name, std::move(entry));
+  }
+
+  // Kahn's algorithm over project order for deterministic output.
+  std::map<std::string, int> in_degree;
+  std::map<std::string, std::vector<std::string>> downstream;
+  for (const auto& node : project.nodes()) {
+    in_degree[node.name] =
+        static_cast<int>(dag.nodes_.at(node.name).upstream_nodes.size());
+    for (const auto& up : dag.nodes_.at(node.name).upstream_nodes) {
+      downstream[up].push_back(node.name);
+    }
+  }
+  std::vector<std::string> ready;
+  for (const auto& node : project.nodes()) {
+    if (in_degree[node.name] == 0) ready.push_back(node.name);
+  }
+  while (!ready.empty()) {
+    std::string current = ready.front();
+    ready.erase(ready.begin());
+    dag.order_.push_back(current);
+    for (const auto& next : downstream[current]) {
+      if (--in_degree[next] == 0) ready.push_back(next);
+    }
+  }
+  if (dag.order_.size() != dag.nodes_.size()) {
+    std::string cyclic;
+    for (const auto& [name, degree] : in_degree) {
+      if (degree > 0) {
+        if (!cyclic.empty()) cyclic += ", ";
+        cyclic += name;
+      }
+    }
+    return Status::InvalidArgument(
+        StrCat("pipeline has a dependency cycle involving: ", cyclic));
+  }
+  return dag;
+}
+
+std::set<std::string> Dag::AllSourceTables() const {
+  std::set<std::string> out;
+  for (const auto& [name, node] : nodes_) {
+    out.insert(node.source_tables.begin(), node.source_tables.end());
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> Dag::DescendantsOf(
+    const std::string& root) const {
+  if (nodes_.count(root) == 0) {
+    return Status::NotFound(StrCat("no node named '", root, "'"));
+  }
+  std::set<std::string> selected = {root};
+  // order_ is topological, so one forward pass closes the set.
+  for (const auto& name : order_) {
+    const DagNode& node = nodes_.at(name);
+    for (const auto& up : node.upstream_nodes) {
+      if (selected.count(up) > 0) {
+        selected.insert(name);
+        break;
+      }
+    }
+  }
+  std::vector<std::string> out;
+  for (const auto& name : order_) {
+    if (selected.count(name) > 0) out.push_back(name);
+  }
+  return out;
+}
+
+std::string Dag::ToString() const {
+  std::string out;
+  for (const auto& name : order_) {
+    const DagNode& node = nodes_.at(name);
+    out += name;
+    out += node.node->kind == NodeKind::kExpectation ? " [expectation]"
+                                                     : " [sql]";
+    std::vector<std::string> inputs = node.source_tables;
+    for (const auto& up : node.upstream_nodes) {
+      inputs.push_back(up);
+    }
+    if (!inputs.empty()) {
+      out += StrCat(" <- ", StrJoin(inputs, ", "));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace bauplan::pipeline

@@ -1,0 +1,32 @@
+#include "runtime/container.h"
+
+#include <algorithm>
+
+namespace bauplan::runtime {
+
+std::string ContainerSpec::Key() const {
+  std::vector<std::string> names;
+  names.reserve(packages.size());
+  for (const auto& p : packages) names.push_back(p.name);
+  std::sort(names.begin(), names.end());
+  std::string key = interpreter;
+  for (const auto& n : names) {
+    key += '|';
+    key += n;
+  }
+  return key;
+}
+
+std::string_view StartKindToString(StartKind kind) {
+  switch (kind) {
+    case StartKind::kCold:
+      return "cold";
+    case StartKind::kFrozenResume:
+      return "frozen-resume";
+    case StartKind::kWarmReuse:
+      return "warm";
+  }
+  return "?";
+}
+
+}  // namespace bauplan::runtime

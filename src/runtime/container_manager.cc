@@ -1,0 +1,119 @@
+#include "runtime/container_manager.h"
+
+#include "common/strings.h"
+
+namespace bauplan::runtime {
+
+ContainerManager::ContainerManager(Clock* clock,
+                                   PackageCache* package_cache,
+                                   Options options)
+    : clock_(clock), package_cache_(package_cache), options_(options) {}
+
+uint64_t ContainerManager::ColdStartMicros(const ContainerSpec& spec) {
+  const ContainerCostModel& cost = options_.cost;
+  uint64_t micros = cost.base_boot_micros + cost.interpreter_boot_micros;
+  clock_->AdvanceMicros(cost.base_boot_micros +
+                        cost.interpreter_boot_micros);
+  for (const auto& pkg : spec.packages) {
+    // Fetch charges the clock itself (download or local disk).
+    micros += package_cache_->Fetch(pkg);
+    uint64_t install =
+        cost.install_per_package_micros +
+        pkg.size_bytes * 1000000 / cost.install_bytes_per_second;
+    clock_->AdvanceMicros(install);
+    micros += install;
+  }
+  return micros;
+}
+
+Result<Acquisition> ContainerManager::Acquire(const ContainerSpec& spec) {
+  const std::string key = spec.Key();
+  // Prefer a warm container, then a frozen one.
+  Container* warm = nullptr;
+  Container* frozen = nullptr;
+  for (auto& [id, c] : containers_) {
+    if (c.spec_key != key || c.in_use) continue;
+    if (c.state == Container::State::kWarm && warm == nullptr) warm = &c;
+    if (c.state == Container::State::kFrozen && frozen == nullptr) {
+      frozen = &c;
+    }
+  }
+
+  Acquisition acq;
+  if (warm != nullptr) {
+    acq.kind = StartKind::kWarmReuse;
+    acq.startup_micros = options_.cost.warm_dispatch_micros;
+    clock_->AdvanceMicros(acq.startup_micros);
+    acq.container_id = warm->id;
+    warm->in_use = true;
+    warm->last_used_micros = clock_->NowMicros();
+    ++metrics_.warm_reuses;
+  } else if (frozen != nullptr) {
+    acq.kind = StartKind::kFrozenResume;
+    acq.startup_micros = options_.cost.resume_micros;
+    clock_->AdvanceMicros(acq.startup_micros);
+    frozen->state = Container::State::kWarm;
+    frozen->in_use = true;
+    frozen->last_used_micros = clock_->NowMicros();
+    acq.container_id = frozen->id;
+    ++metrics_.frozen_resumes;
+  } else {
+    acq.kind = StartKind::kCold;
+    acq.startup_micros = ColdStartMicros(spec);
+    Container c;
+    c.id = next_id_++;
+    c.spec_key = key;
+    c.state = Container::State::kWarm;
+    c.in_use = true;
+    c.last_used_micros = clock_->NowMicros();
+    acq.container_id = c.id;
+    containers_.emplace(c.id, std::move(c));
+    ++metrics_.cold_starts;
+    EvictIfNeeded();
+  }
+  metrics_.startup_micros_total += acq.startup_micros;
+  return acq;
+}
+
+Status ContainerManager::Release(int64_t container_id, bool freeze) {
+  auto it = containers_.find(container_id);
+  if (it == containers_.end()) {
+    return Status::NotFound(
+        StrCat("no container with id ", container_id));
+  }
+  if (!it->second.in_use) {
+    return Status::FailedPrecondition(
+        StrCat("container ", container_id, " is not held"));
+  }
+  it->second.in_use = false;
+  if (freeze) {
+    clock_->AdvanceMicros(options_.cost.freeze_micros);
+    it->second.state = Container::State::kFrozen;
+  }
+  it->second.last_used_micros = clock_->NowMicros();
+  return Status::OK();
+}
+
+void ContainerManager::EvictIfNeeded() {
+  while (containers_.size() > options_.max_containers) {
+    // Evict the least recently used frozen container.
+    auto victim = containers_.end();
+    for (auto it = containers_.begin(); it != containers_.end(); ++it) {
+      if (it->second.state != Container::State::kFrozen) continue;
+      if (victim == containers_.end() ||
+          it->second.last_used_micros <
+              victim->second.last_used_micros) {
+        victim = it;
+      }
+    }
+    if (victim == containers_.end()) return;  // everything is in use
+    containers_.erase(victim);
+    ++metrics_.evictions;
+  }
+}
+
+void ContainerManager::Clear() {
+  containers_.clear();
+}
+
+}  // namespace bauplan::runtime

@@ -1,0 +1,76 @@
+#include "runtime/executor.h"
+
+namespace bauplan::runtime {
+
+Result<InvocationReport> ServerlessExecutor::Invoke(
+    const FunctionRequest& request) {
+  InvocationReport report;
+  report.name = request.name;
+  uint64_t start = clock_->NowMicros();
+
+  // Place for memory + locality (charges transfer time).
+  BAUPLAN_ASSIGN_OR_RETURN(
+      Placement placement,
+      scheduler_->Place(request.input_artifact, request.input_bytes,
+                        request.memory_bytes));
+  report.worker = placement.worker;
+  report.transfer_micros = placement.transfer_micros;
+  report.locality_hit = placement.locality_hit;
+
+  // Start (or resume) the sandbox.
+  BAUPLAN_ASSIGN_OR_RETURN(Acquisition acq,
+                           containers_->Acquire(request.spec));
+  report.start_kind = acq.kind;
+  report.startup_micros = acq.startup_micros;
+
+  // Run the body; it may charge more simulated time itself.
+  uint64_t body_start = clock_->NowMicros();
+  Status body_status = Status::OK();
+  if (request.body) body_status = request.body();
+  report.body_micros = clock_->NowMicros() - body_start;
+
+  // Latency visible to the caller excludes the freeze/teardown below.
+  report.total_micros = clock_->NowMicros() - start;
+
+  // Wind down regardless of body outcome.
+  if (!request.output_artifact.empty()) {
+    scheduler_->RecordArtifact(request.output_artifact, placement.worker);
+  }
+  BAUPLAN_RETURN_NOT_OK(
+      scheduler_->ReleaseMemory(placement.worker, request.memory_bytes));
+  BAUPLAN_RETURN_NOT_OK(containers_->Release(acq.container_id,
+                                             !request.keep_warm));
+
+  if (!body_status.ok()) {
+    return body_status.WithContext(
+        std::string("function '") + request.name + "' failed");
+  }
+  return report;
+}
+
+int64_t ServerlessExecutor::Submit(FunctionRequest request) {
+  Pending pending;
+  pending.ticket = next_ticket_++;
+  pending.submitted_micros = clock_->NowMicros();
+  pending.request = std::move(request);
+  queue_.push_back(std::move(pending));
+  return queue_.back().ticket;
+}
+
+Result<std::vector<InvocationReport>> ServerlessExecutor::Drain() {
+  std::vector<InvocationReport> reports;
+  reports.reserve(queue_.size());
+  std::vector<Pending> batch;
+  batch.swap(queue_);
+  for (auto& pending : batch) {
+    uint64_t queued = clock_->NowMicros() - pending.submitted_micros;
+    BAUPLAN_ASSIGN_OR_RETURN(InvocationReport report,
+                             Invoke(pending.request));
+    report.queue_micros = queued;
+    report.total_micros += queued;
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace bauplan::runtime

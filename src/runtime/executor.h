@@ -1,0 +1,96 @@
+#ifndef BAUPLAN_RUNTIME_EXECUTOR_H_
+#define BAUPLAN_RUNTIME_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "runtime/container_manager.h"
+#include "runtime/scheduler.h"
+
+namespace bauplan::runtime {
+
+/// One function to run on the serverless substrate.
+struct FunctionRequest {
+  std::string name;
+  ContainerSpec spec;
+  /// Vertical elasticity: the memory this function needs, sized to its
+  /// artifacts ("the same logic should run with 10 GB or 20 GB of memory
+  /// depending on the underlying artifacts", section 4.5).
+  uint64_t memory_bytes = 1ull << 30;
+  /// The artifact the function reads (locality key); empty = none.
+  std::string input_artifact;
+  uint64_t input_bytes = 0;
+  /// Artifact the function produces (registered at its worker).
+  std::string output_artifact;
+  uint64_t output_bytes = 0;
+  /// Keep the container warm-idle after this invocation instead of
+  /// freezing it. The platform's runtime uses this inside a development
+  /// feedback loop (paper: "freezing a container after initialization
+  /// would make startup time negligible"); plain stateless functions
+  /// leave it false.
+  bool keep_warm = false;
+  /// The actual work. Runs in-process; simulated time for data movement
+  /// and startup is charged by the executor, while the body may charge
+  /// additional compute time itself. May be empty for pure simulations.
+  std::function<Status()> body;
+};
+
+/// Timing breakdown of one invocation on the simulated clock.
+struct InvocationReport {
+  std::string name;
+  StartKind start_kind = StartKind::kCold;
+  int worker = -1;
+  uint64_t queue_micros = 0;
+  uint64_t startup_micros = 0;
+  uint64_t transfer_micros = 0;
+  uint64_t body_micros = 0;
+  uint64_t total_micros = 0;
+  bool locality_hit = false;
+};
+
+/// Synchronous + asynchronous function execution over the container
+/// manager and locality scheduler — Table 1's two interaction modes.
+/// Sync = caller blocks on the result (the fast feedback loop of QW and
+/// dev-mode TD); async = requests queue and a later Drain() runs them
+/// (prod-mode TD driven by an orchestrator).
+class ServerlessExecutor {
+ public:
+  /// Does not own its collaborators.
+  ServerlessExecutor(Clock* clock, ContainerManager* containers,
+                     Scheduler* scheduler)
+      : clock_(clock), containers_(containers), scheduler_(scheduler) {}
+
+  /// Runs one function to completion, charging the clock for startup,
+  /// transfer and the body.
+  Result<InvocationReport> Invoke(const FunctionRequest& request);
+
+  /// Enqueues a function for later execution; returns a ticket.
+  int64_t Submit(FunctionRequest request);
+
+  /// Runs all queued functions in submit order, returning their reports
+  /// (each includes the time spent waiting in the queue).
+  Result<std::vector<InvocationReport>> Drain();
+
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Pending {
+    int64_t ticket;
+    uint64_t submitted_micros;
+    FunctionRequest request;
+  };
+
+  Clock* clock_;
+  ContainerManager* containers_;
+  Scheduler* scheduler_;
+  std::vector<Pending> queue_;
+  int64_t next_ticket_ = 1;
+};
+
+}  // namespace bauplan::runtime
+
+#endif  // BAUPLAN_RUNTIME_EXECUTOR_H_

@@ -1,0 +1,53 @@
+#include "runtime/package.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace bauplan::runtime {
+
+PackageRegistry::PackageRegistry(size_t n, double zipf_s, uint64_t seed)
+    : popularity_(n, zipf_s) {
+  Rng rng(seed);
+  packages_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Package pkg;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "pkg_%05zu", i);
+    pkg.name = buf;
+    // Log-normal sizes: median 2 MiB, sigma 1.2 gives a numpy-sized tail.
+    double mib = std::exp(rng.Normal(std::log(2.0), 1.2));
+    pkg.size_bytes = static_cast<uint64_t>(
+        std::max(64.0 * 1024, mib * 1024 * 1024));
+    total_bytes_ += pkg.size_bytes;
+    packages_.push_back(std::move(pkg));
+  }
+}
+
+const Package& PackageRegistry::SampleByPopularity(Rng& rng) const {
+  uint64_t rank = popularity_.Sample(rng);  // 1-based
+  return packages_[static_cast<size_t>(rank - 1)];
+}
+
+std::vector<Package> PackageRegistry::SampleRequirementSet(
+    Rng& rng, size_t k) const {
+  std::vector<Package> out;
+  k = std::min(k, packages_.size());
+  size_t guard = 0;
+  while (out.size() < k && guard < 100 * k + 100) {
+    const Package& pkg = SampleByPopularity(rng);
+    if (std::find(out.begin(), out.end(), pkg) == out.end()) {
+      out.push_back(pkg);
+    }
+    ++guard;
+  }
+  // Popularity sampling can stall on tiny universes; fill deterministically.
+  for (size_t i = 0; out.size() < k && i < packages_.size(); ++i) {
+    if (std::find(out.begin(), out.end(), packages_[i]) == out.end()) {
+      out.push_back(packages_[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace bauplan::runtime

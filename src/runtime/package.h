@@ -1,0 +1,50 @@
+#ifndef BAUPLAN_RUNTIME_PACKAGE_H_
+#define BAUPLAN_RUNTIME_PACKAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace bauplan::runtime {
+
+/// One installable package (a Python wheel in the paper's world).
+struct Package {
+  std::string name;
+  uint64_t size_bytes = 0;
+
+  bool operator==(const Package& o) const { return name == o.name; }
+};
+
+/// The package universe with a Zipf popularity law — the empirical
+/// observation (SOCK, paper section 4.5) that package utilization is
+/// power-law distributed, which is what makes a small disk cache remove
+/// most download time.
+class PackageRegistry {
+ public:
+  /// `n` packages with popularity Zipf(s) and log-normal sizes
+  /// (median ~2 MiB, heavy tail), deterministic in `seed`.
+  PackageRegistry(size_t n, double zipf_s, uint64_t seed);
+
+  size_t size() const { return packages_.size(); }
+  const Package& package(size_t i) const { return packages_[i]; }
+
+  /// Samples one package by popularity (rank 1 most popular).
+  const Package& SampleByPopularity(Rng& rng) const;
+
+  /// Samples `k` distinct packages by popularity — one node's
+  /// requirement set.
+  std::vector<Package> SampleRequirementSet(Rng& rng, size_t k) const;
+
+  uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  std::vector<Package> packages_;
+  ZipfDistribution popularity_;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace bauplan::runtime
+
+#endif  // BAUPLAN_RUNTIME_PACKAGE_H_

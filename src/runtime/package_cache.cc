@@ -1,0 +1,50 @@
+#include "runtime/package_cache.h"
+
+namespace bauplan::runtime {
+
+uint64_t PackageCache::Fetch(const Package& pkg) {
+  uint64_t micros = 0;
+  auto it = entries_.find(pkg.name);
+  if (it != entries_.end()) {
+    // Hit: read from local disk, refresh recency.
+    ++metrics_.hits;
+    micros = options_.disk_access_micros +
+             pkg.size_bytes * 1000000 / options_.disk_bytes_per_second;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    // Miss: download, then insert (evicting LRU entries as needed).
+    ++metrics_.misses;
+    micros = options_.download_request_micros +
+             pkg.size_bytes * 1000000 /
+                 options_.download_bytes_per_second;
+    metrics_.bytes_downloaded += pkg.size_bytes;
+    if (pkg.size_bytes <= options_.capacity_bytes) {
+      EvictUntilFits(pkg.size_bytes);
+      lru_.push_front(pkg);
+      entries_[pkg.name] = lru_.begin();
+      used_bytes_ += pkg.size_bytes;
+    }
+  }
+  clock_->AdvanceMicros(micros);
+  metrics_.fetch_micros_total += micros;
+  return micros;
+}
+
+void PackageCache::EvictUntilFits(uint64_t incoming_bytes) {
+  while (!lru_.empty() &&
+         used_bytes_ + incoming_bytes > options_.capacity_bytes) {
+    const Package& victim = lru_.back();
+    used_bytes_ -= victim.size_bytes;
+    metrics_.bytes_evicted += victim.size_bytes;
+    entries_.erase(victim.name);
+    lru_.pop_back();
+  }
+}
+
+void PackageCache::Clear() {
+  lru_.clear();
+  entries_.clear();
+  used_bytes_ = 0;
+}
+
+}  // namespace bauplan::runtime

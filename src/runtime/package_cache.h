@@ -1,0 +1,77 @@
+#ifndef BAUPLAN_RUNTIME_PACKAGE_CACHE_H_
+#define BAUPLAN_RUNTIME_PACKAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "runtime/package.h"
+
+namespace bauplan::runtime {
+
+/// Counters for the package cache (the Fig.-adjacent numbers of the
+/// package-cache bench).
+struct PackageCacheMetrics {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  uint64_t bytes_downloaded = 0;
+  uint64_t bytes_evicted = 0;
+  uint64_t fetch_micros_total = 0;
+
+  double HitRate() const {
+    int64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Local disk-backed LRU cache of packages. A miss downloads from the
+/// registry at `download_bytes_per_second`; a hit reads from local disk
+/// at `disk_bytes_per_second` — orders of magnitude faster, which
+/// combined with Zipf package popularity yields the paper's "exploit the
+/// power-law in package utilization to limit overall download times"
+/// (section 4.5).
+class PackageCache {
+ public:
+  struct Options {
+    uint64_t capacity_bytes = 10ull * 1024 * 1024 * 1024;  // 10 GiB disk
+    uint64_t download_bytes_per_second = 40ull * 1000 * 1000;  // PyPI-ish
+    uint64_t download_request_micros = 80000;  // per-package RTT+TLS
+    uint64_t disk_bytes_per_second = 2ull * 1000 * 1000 * 1000;
+    uint64_t disk_access_micros = 100;
+  };
+
+  /// Does not own `clock`.
+  PackageCache(Clock* clock, Options options)
+      : clock_(clock), options_(options) {}
+
+  /// Makes `pkg` available locally, charging the clock; returns the
+  /// simulated micros this fetch took.
+  uint64_t Fetch(const Package& pkg);
+
+  bool Contains(const std::string& name) const {
+    return entries_.count(name) > 0;
+  }
+  uint64_t used_bytes() const { return used_bytes_; }
+  const PackageCacheMetrics& metrics() const { return metrics_; }
+  void ResetMetrics() { metrics_ = PackageCacheMetrics(); }
+
+  /// Drops everything (a fresh node with a cold disk).
+  void Clear();
+
+ private:
+  void EvictUntilFits(uint64_t incoming_bytes);
+
+  Clock* clock_;
+  Options options_;
+  /// LRU list front = most recent; map holds iterators into it.
+  std::list<Package> lru_;
+  std::unordered_map<std::string, std::list<Package>::iterator> entries_;
+  uint64_t used_bytes_ = 0;
+  PackageCacheMetrics metrics_;
+};
+
+}  // namespace bauplan::runtime
+
+#endif  // BAUPLAN_RUNTIME_PACKAGE_CACHE_H_

@@ -1,0 +1,90 @@
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace bauplan::runtime {
+
+Scheduler::Scheduler(Clock* clock, Options options)
+    : clock_(clock),
+      options_(options),
+      used_memory_(static_cast<size_t>(options.num_workers), 0),
+      peak_memory_(static_cast<size_t>(options.num_workers), 0) {}
+
+Result<Placement> Scheduler::Place(const std::string& input_artifact,
+                                   uint64_t input_bytes,
+                                   uint64_t memory_bytes) {
+  if (memory_bytes > options_.worker_memory_bytes) {
+    return Status::ResourceExhausted(
+        StrCat("function needs ", FormatBytes(memory_bytes),
+               " but workers have ",
+               FormatBytes(options_.worker_memory_bytes)));
+  }
+  Placement placement;
+
+  // Locality preference: the worker already holding the input.
+  int preferred = -1;
+  if (options_.locality_aware && !input_artifact.empty()) {
+    preferred = WorkerOf(input_artifact);
+  }
+  if (preferred >= 0 && free_memory(preferred) >= memory_bytes) {
+    placement.worker = preferred;
+    placement.locality_hit = true;
+    ++locality_hits_;
+  } else {
+    // Round-robin over workers with room.
+    for (int i = 0; i < options_.num_workers; ++i) {
+      int candidate = (next_round_robin_ + i) % options_.num_workers;
+      if (free_memory(candidate) >= memory_bytes) {
+        placement.worker = candidate;
+        next_round_robin_ = (candidate + 1) % options_.num_workers;
+        break;
+      }
+    }
+    if (placement.worker < 0) {
+      return Status::ResourceExhausted(
+          StrCat("no worker has ", FormatBytes(memory_bytes), " free"));
+    }
+    if (!input_artifact.empty()) {
+      ++locality_misses_;
+      // Input must move: from a peer worker or object storage.
+      placement.bytes_moved = input_bytes;
+      placement.transfer_micros =
+          options_.network_request_micros +
+          input_bytes * 1000000 / options_.network_bytes_per_second;
+      clock_->AdvanceMicros(placement.transfer_micros);
+      total_bytes_moved_ += input_bytes;
+    }
+  }
+
+  used_memory_[static_cast<size_t>(placement.worker)] += memory_bytes;
+  peak_memory_[static_cast<size_t>(placement.worker)] =
+      std::max(peak_memory_[static_cast<size_t>(placement.worker)],
+               used_memory_[static_cast<size_t>(placement.worker)]);
+  return placement;
+}
+
+Status Scheduler::ReleaseMemory(int worker, uint64_t memory_bytes) {
+  if (worker < 0 || worker >= options_.num_workers) {
+    return Status::InvalidArgument(StrCat("no worker ", worker));
+  }
+  uint64_t& used = used_memory_[static_cast<size_t>(worker)];
+  if (memory_bytes > used) {
+    return Status::InvalidArgument(
+        "releasing more memory than reserved");
+  }
+  used -= memory_bytes;
+  return Status::OK();
+}
+
+void Scheduler::RecordArtifact(const std::string& artifact, int worker) {
+  artifact_locations_[artifact] = worker;
+}
+
+int Scheduler::WorkerOf(const std::string& artifact) const {
+  auto it = artifact_locations_.find(artifact);
+  return it == artifact_locations_.end() ? -1 : it->second;
+}
+
+}  // namespace bauplan::runtime

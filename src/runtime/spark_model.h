@@ -1,0 +1,71 @@
+#ifndef BAUPLAN_RUNTIME_SPARK_MODEL_H_
+#define BAUPLAN_RUNTIME_SPARK_MODEL_H_
+
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace bauplan::runtime {
+
+/// Deterministic cost model of the Spark baseline the paper departs from
+/// (section 3): a JVM cluster with long spin-up, per-job submit overhead,
+/// and stateful session reuse. Used by the startup and Table-1 benches as
+/// the comparator; numbers are calibrated to commonly reported EMR/
+/// Dataproc figures.
+class SparkSessionModel {
+ public:
+  struct Options {
+    /// Provisioning a cluster + starting the driver/executors JVMs.
+    uint64_t cluster_startup_micros = 45ull * 1000 * 1000;  // 45 s
+    /// Creating a SparkSession on a running cluster.
+    uint64_t session_create_micros = 8ull * 1000 * 1000;  // 8 s
+    /// Submitting one job to a live session (scheduling + JVM warmup).
+    uint64_t job_submit_micros = 1500 * 1000;  // 1.5 s
+    /// Idle timeout after which the cluster is torn down.
+    uint64_t idle_timeout_micros = 10ull * 60 * 1000 * 1000;  // 10 min
+  };
+
+  /// Does not own `clock`.
+  SparkSessionModel(Clock* clock, Options options)
+      : clock_(clock), options_(options) {}
+  explicit SparkSessionModel(Clock* clock)
+      : SparkSessionModel(clock, Options()) {}
+
+  /// Charges the clock for submitting one job, spinning the cluster/
+  /// session up first if absent or idle-expired; returns the total
+  /// latency before the job's own computation starts.
+  uint64_t SubmitJob() {
+    uint64_t now = clock_->NowMicros();
+    uint64_t micros = 0;
+    if (!alive_ || now - last_used_micros_ > options_.idle_timeout_micros) {
+      micros += options_.cluster_startup_micros +
+                options_.session_create_micros;
+      alive_ = true;
+      ++cold_cluster_starts_;
+    }
+    micros += options_.job_submit_micros;
+    clock_->AdvanceMicros(micros);
+    last_used_micros_ = clock_->NowMicros();
+    ++jobs_submitted_;
+    return micros;
+  }
+
+  /// Tears the cluster down (scale-to-zero between pipelines).
+  void Shutdown() { alive_ = false; }
+
+  bool alive() const { return alive_; }
+  int64_t jobs_submitted() const { return jobs_submitted_; }
+  int64_t cold_cluster_starts() const { return cold_cluster_starts_; }
+
+ private:
+  Clock* clock_;
+  Options options_;
+  bool alive_ = false;
+  uint64_t last_used_micros_ = 0;
+  int64_t jobs_submitted_ = 0;
+  int64_t cold_cluster_starts_ = 0;
+};
+
+}  // namespace bauplan::runtime
+
+#endif  // BAUPLAN_RUNTIME_SPARK_MODEL_H_

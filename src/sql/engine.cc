@@ -1,0 +1,44 @@
+#include "sql/engine.h"
+
+#include "common/strings.h"
+#include "sql/parser.h"
+
+namespace bauplan::sql {
+
+Result<QueryResult> RunQuery(std::string_view sql,
+                             const SchemaResolver& resolver,
+                             TableSource* source,
+                             const QueryOptions& options) {
+  BAUPLAN_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
+  BAUPLAN_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(stmt, resolver));
+  QueryResult result;
+  if (options.capture_plans) result.logical_plan = plan->ToString();
+  BAUPLAN_ASSIGN_OR_RETURN(plan, OptimizePlan(plan, options.optimizer));
+  if (options.capture_plans) result.physical_plan = plan->ToString();
+  BAUPLAN_ASSIGN_OR_RETURN(result.table,
+                           ExecutePlan(*plan, source, &result.stats));
+  result.stats.rows_output = result.table.num_rows();
+  return result;
+}
+
+Result<columnar::Schema> MemoryTableProvider::GetTableSchema(
+    const std::string& table_name) const {
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("no table named '", table_name, "'"));
+  }
+  return it->second.schema();
+}
+
+Result<columnar::Table> MemoryTableProvider::ScanTable(
+    const std::string& name, const std::vector<std::string>& columns,
+    const std::vector<format::ColumnPredicate>& /*predicates*/) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("no table named '", name, "'"));
+  }
+  if (columns.empty()) return it->second;
+  return it->second.SelectColumns(columns);
+}
+
+}  // namespace bauplan::sql

@@ -1,0 +1,70 @@
+#ifndef BAUPLAN_SQL_ENGINE_H_
+#define BAUPLAN_SQL_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "columnar/table.h"
+#include "common/result.h"
+#include "sql/executor.h"
+#include "sql/optimizer.h"
+#include "sql/planner.h"
+
+namespace bauplan::sql {
+
+/// Engine knobs.
+struct QueryOptions {
+  OptimizerOptions optimizer;
+  /// When true the plan text (pre- and post-optimization) is captured in
+  /// the result, like EXPLAIN ANALYZE.
+  bool capture_plans = false;
+};
+
+/// Everything a query run produces.
+struct QueryResult {
+  columnar::Table table;
+  ExecStats stats;
+  std::string logical_plan;
+  std::string physical_plan;
+  /// True when a platform-level result cache served this (the engine
+  /// itself never sets it).
+  bool from_cache = false;
+};
+
+/// The embedded analytical engine (DuckDB stand-in): parse -> bind/plan ->
+/// optimize -> execute, entirely in-process over columnar tables.
+Result<QueryResult> RunQuery(std::string_view sql,
+                             const SchemaResolver& resolver,
+                             TableSource* source,
+                             const QueryOptions& options = {});
+
+/// In-memory table provider: resolves schemas and scans from a map of
+/// materialized tables. Projection is honored; predicate hints are
+/// ignored (exact filters re-apply them), which is the degenerate case
+/// the TableSource contract allows.
+class MemoryTableProvider : public SchemaResolver, public TableSource {
+ public:
+  MemoryTableProvider() = default;
+
+  void AddTable(const std::string& name, columnar::Table table) {
+    tables_[name] = std::move(table);
+  }
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  Result<columnar::Schema> GetTableSchema(
+      const std::string& table_name) const override;
+
+  Result<columnar::Table> ScanTable(
+      const std::string& name, const std::vector<std::string>& columns,
+      const std::vector<format::ColumnPredicate>& predicates) override;
+
+ private:
+  std::map<std::string, columnar::Table> tables_;
+};
+
+}  // namespace bauplan::sql
+
+#endif  // BAUPLAN_SQL_ENGINE_H_

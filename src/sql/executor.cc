@@ -1,0 +1,428 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "columnar/builder.h"
+#include "columnar/compute.h"
+#include "common/hash.h"
+#include "common/strings.h"
+#include "sql/expr_eval.h"
+
+namespace bauplan::sql {
+
+using columnar::ArrayPtr;
+using columnar::AsBool;
+using columnar::Field;
+using columnar::Schema;
+using columnar::Table;
+using columnar::TypeId;
+using columnar::Value;
+
+namespace {
+
+// ---------------------------------------------------------------- helpers
+
+struct KeyHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    uint64_t h = 0xCBF29CE484222325ULL;
+    for (const auto& v : key) h = HashCombine(h, v.Hash());
+    return static_cast<size_t>(h);
+  }
+};
+
+struct KeyEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].is_null() != b[i].is_null()) return false;
+      if (!a[i].is_null() && a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return a.Compare(b) < 0;
+  }
+};
+
+/// Builds a table from evaluated arrays + names, deriving field types from
+/// the arrays themselves.
+Result<Table> TableFromArrays(const std::vector<std::string>& names,
+                              std::vector<ArrayPtr> arrays) {
+  std::vector<Field> fields;
+  fields.reserve(arrays.size());
+  for (size_t i = 0; i < arrays.size(); ++i) {
+    fields.push_back({names[i], arrays[i]->type(), true});
+  }
+  return Table::Make(Schema(std::move(fields)), std::move(arrays));
+}
+
+// -------------------------------------------------------------- aggregate
+
+/// Incremental state of one aggregate over one group.
+struct AggState {
+  int64_t count = 0;
+  double sum_double = 0;
+  int64_t sum_int = 0;
+  bool saw_double = false;
+  Value min;
+  Value max;
+  std::set<Value, ValueLess> distinct;
+};
+
+Result<Table> ExecAggregate(const PlanNode& plan, const Table& input) {
+  // Evaluate group keys and aggregate arguments once, vectorized.
+  std::vector<ArrayPtr> key_arrays;
+  for (const auto& key : plan.group_by) {
+    BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr arr, EvaluateExpr(*key, input));
+    key_arrays.push_back(std::move(arr));
+  }
+  std::vector<ArrayPtr> arg_arrays(plan.aggregates.size());
+  for (size_t i = 0; i < plan.aggregates.size(); ++i) {
+    if (plan.aggregates[i].arg != nullptr) {
+      BAUPLAN_ASSIGN_OR_RETURN(
+          arg_arrays[i], EvaluateExpr(*plan.aggregates[i].arg, input));
+    }
+  }
+
+  std::unordered_map<std::vector<Value>, std::vector<AggState>, KeyHash,
+                     KeyEq>
+      groups;
+  std::vector<std::vector<Value>> group_order;
+
+  for (int64_t row = 0; row < input.num_rows(); ++row) {
+    std::vector<Value> key;
+    key.reserve(key_arrays.size());
+    for (const auto& arr : key_arrays) key.push_back(arr->GetValue(row));
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      it = groups.emplace(key,
+                          std::vector<AggState>(plan.aggregates.size()))
+               .first;
+      group_order.push_back(key);
+    }
+    std::vector<AggState>& states = it->second;
+    for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+      const AggregateItem& agg = plan.aggregates[a];
+      AggState& state = states[a];
+      if (agg.arg == nullptr) {  // COUNT(*)
+        ++state.count;
+        continue;
+      }
+      Value v = arg_arrays[a]->GetValue(row);
+      if (v.is_null()) continue;  // aggregates skip nulls
+      if (agg.distinct && !state.distinct.insert(v).second) continue;
+      ++state.count;
+      if (agg.function == "SUM" || agg.function == "AVG") {
+        if (v.type() == TypeId::kDouble) {
+          state.saw_double = true;
+          state.sum_double += v.double_value();
+        } else {
+          BAUPLAN_ASSIGN_OR_RETURN(double d, v.AsDouble());
+          state.sum_double += d;
+          state.sum_int += v.int64_value();
+        }
+      }
+      if (state.min.is_null() || v.Compare(state.min) < 0) state.min = v;
+      if (state.max.is_null() || v.Compare(state.max) > 0) state.max = v;
+    }
+  }
+
+  // Global aggregate over an empty input still yields one row.
+  if (plan.group_by.empty() && group_order.empty()) {
+    group_order.emplace_back();
+    groups.emplace(std::vector<Value>(),
+                   std::vector<AggState>(plan.aggregates.size()));
+  }
+
+  // Emit one output row per group, in first-seen order (deterministic).
+  std::vector<std::unique_ptr<columnar::ArrayBuilder>> builders;
+  for (int i = 0; i < plan.schema.num_fields(); ++i) {
+    builders.push_back(columnar::MakeBuilder(plan.schema.field(i).type));
+  }
+  for (const auto& key : group_order) {
+    const std::vector<AggState>& states = groups.at(key);
+    size_t col = 0;
+    for (const auto& key_value : key) {
+      BAUPLAN_RETURN_NOT_OK(builders[col++]->AppendValue(key_value));
+    }
+    for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+      const AggregateItem& agg = plan.aggregates[a];
+      const AggState& state = states[a];
+      Value out;
+      if (agg.function == "COUNT") {
+        out = Value::Int64(state.count);
+      } else if (state.count == 0) {
+        out = Value::Null();  // SUM/AVG/MIN/MAX of no values
+      } else if (agg.function == "SUM") {
+        out = state.saw_double ? Value::Double(state.sum_double)
+                               : Value::Int64(state.sum_int);
+      } else if (agg.function == "AVG") {
+        out = Value::Double(state.sum_double /
+                            static_cast<double>(state.count));
+      } else if (agg.function == "MIN") {
+        out = state.min;
+      } else if (agg.function == "MAX") {
+        out = state.max;
+      } else {
+        return Status::Internal(
+            StrCat("unknown aggregate ", agg.function));
+      }
+      if (out.is_null()) {
+        builders[col++]->AppendNull();
+      } else {
+        BAUPLAN_RETURN_NOT_OK(builders[col++]->AppendValue(out));
+      }
+    }
+  }
+  std::vector<ArrayPtr> columns;
+  for (auto& b : builders) columns.push_back(b->Finish());
+  return Table::Make(plan.schema, std::move(columns));
+}
+
+// ------------------------------------------------------------------- join
+
+Result<Table> ExecJoin(const PlanNode& plan, const Table& left,
+                       const Table& right) {
+  // Evaluate key expressions on both sides.
+  std::vector<ArrayPtr> left_keys, right_keys;
+  for (const auto& k : plan.left_keys) {
+    BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr arr, EvaluateExpr(*k, left));
+    left_keys.push_back(std::move(arr));
+  }
+  for (const auto& k : plan.right_keys) {
+    BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr arr, EvaluateExpr(*k, right));
+    right_keys.push_back(std::move(arr));
+  }
+
+  // Build on the right side.
+  std::unordered_map<std::vector<Value>, std::vector<int64_t>, KeyHash,
+                     KeyEq>
+      hash_table;
+  for (int64_t row = 0; row < right.num_rows(); ++row) {
+    std::vector<Value> key;
+    bool has_null = false;
+    for (const auto& arr : right_keys) {
+      Value v = arr->GetValue(row);
+      if (v.is_null()) has_null = true;
+      key.push_back(std::move(v));
+    }
+    if (has_null) continue;  // null keys never join
+    hash_table[std::move(key)].push_back(row);
+  }
+
+  // Probe with the left side; emit matched (and, for LEFT, unmatched)
+  // index pairs. right index -1 = null row.
+  std::vector<int64_t> out_left, out_right;
+  for (int64_t row = 0; row < left.num_rows(); ++row) {
+    std::vector<Value> key;
+    bool has_null = false;
+    for (const auto& arr : left_keys) {
+      Value v = arr->GetValue(row);
+      if (v.is_null()) has_null = true;
+      key.push_back(std::move(v));
+    }
+    const std::vector<int64_t>* matches = nullptr;
+    if (!has_null) {
+      auto it = hash_table.find(key);
+      if (it != hash_table.end()) matches = &it->second;
+    }
+    if (matches != nullptr) {
+      for (int64_t r : *matches) {
+        out_left.push_back(row);
+        out_right.push_back(r);
+      }
+    } else if (plan.join_type == JoinType::kLeft) {
+      out_left.push_back(row);
+      out_right.push_back(-1);
+    }
+  }
+
+  // Assemble the combined table.
+  std::vector<ArrayPtr> columns;
+  BAUPLAN_ASSIGN_OR_RETURN(Table left_rows,
+                           columnar::TakeTable(left, out_left));
+  for (int c = 0; c < left_rows.num_columns(); ++c) {
+    columns.push_back(left_rows.column(c));
+  }
+  for (int c = 0; c < right.num_columns(); ++c) {
+    auto builder = columnar::MakeBuilder(right.schema().field(c).type);
+    const ArrayPtr& src = right.column(c);
+    for (int64_t r : out_right) {
+      if (r < 0 || src->IsNull(r)) {
+        builder->AppendNull();
+      } else {
+        BAUPLAN_RETURN_NOT_OK(builder->AppendValue(src->GetValue(r)));
+      }
+    }
+    columns.push_back(builder->Finish());
+  }
+  BAUPLAN_ASSIGN_OR_RETURN(Table joined,
+                           Table::Make(plan.schema, std::move(columns)));
+
+  if (plan.residual != nullptr) {
+    BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr mask,
+                             EvaluateExpr(*plan.residual, joined));
+    const auto* b = AsBool(*mask);
+    if (b == nullptr) {
+      return Status::InvalidArgument("join residual must be boolean");
+    }
+    // For LEFT joins a residual only filters matched rows; rows already
+    // null-extended stay. (Simplification: residual conditions in ON of a
+    // left join that reference right columns evaluate to null there and
+    // keep the row.)
+    if (plan.join_type == JoinType::kLeft) {
+      std::vector<int64_t> keep;
+      for (int64_t i = 0; i < joined.num_rows(); ++i) {
+        bool was_unmatched = out_right[static_cast<size_t>(i)] < 0;
+        if (was_unmatched || (!b->IsNull(i) && b->Value(i))) {
+          keep.push_back(i);
+        }
+      }
+      return columnar::TakeTable(joined, keep);
+    }
+    return columnar::FilterTable(joined, *b);
+  }
+  return joined;
+}
+
+// -------------------------------------------------------------------- sort
+
+Result<Table> ExecSort(const PlanNode& plan, const Table& input) {
+  std::vector<ArrayPtr> key_arrays;
+  for (const auto& key : plan.sort_keys) {
+    BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr arr, EvaluateExpr(*key.expr, input));
+    key_arrays.push_back(std::move(arr));
+  }
+  std::vector<int64_t> indices(static_cast<size_t>(input.num_rows()));
+  for (size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = static_cast<int64_t>(i);
+  }
+  std::stable_sort(
+      indices.begin(), indices.end(), [&](int64_t a, int64_t b) {
+        for (size_t k = 0; k < key_arrays.size(); ++k) {
+          Value va = key_arrays[k]->GetValue(a);
+          Value vb = key_arrays[k]->GetValue(b);
+          int cmp = va.Compare(vb);
+          if (cmp != 0) {
+            return plan.sort_keys[k].ascending ? cmp < 0 : cmp > 0;
+          }
+        }
+        return false;
+      });
+  return columnar::TakeTable(input, indices);
+}
+
+}  // namespace
+
+Result<Table> ExecutePlan(const PlanNode& plan, TableSource* source,
+                          ExecStats* stats) {
+  ExecStats local;
+  if (stats == nullptr) stats = &local;
+  ++stats->operators_executed;
+
+  switch (plan.kind) {
+    case PlanKind::kScan: {
+      BAUPLAN_ASSIGN_OR_RETURN(
+          Table table, source->ScanTable(plan.table_name, plan.scan_columns,
+                                         plan.scan_predicates));
+      stats->rows_scanned += table.num_rows();
+      return table;
+    }
+    case PlanKind::kFilter: {
+      BAUPLAN_ASSIGN_OR_RETURN(Table input,
+                               ExecutePlan(*plan.children[0], source,
+                                           stats));
+      BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr mask,
+                               EvaluateExpr(*plan.predicate, input));
+      const auto* b = AsBool(*mask);
+      if (b == nullptr) {
+        return Status::InvalidArgument(
+            StrCat("WHERE/HAVING must be boolean: ",
+                   plan.predicate->ToString()));
+      }
+      return columnar::FilterTable(input, *b);
+    }
+    case PlanKind::kProject: {
+      BAUPLAN_ASSIGN_OR_RETURN(Table input,
+                               ExecutePlan(*plan.children[0], source,
+                                           stats));
+      std::vector<ArrayPtr> columns;
+      for (const auto& expr : plan.expressions) {
+        BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr col, EvaluateExpr(*expr, input));
+        columns.push_back(std::move(col));
+      }
+      return TableFromArrays(plan.output_names, std::move(columns));
+    }
+    case PlanKind::kAggregate: {
+      BAUPLAN_ASSIGN_OR_RETURN(Table input,
+                               ExecutePlan(*plan.children[0], source,
+                                           stats));
+      return ExecAggregate(plan, input);
+    }
+    case PlanKind::kJoin: {
+      BAUPLAN_ASSIGN_OR_RETURN(Table left,
+                               ExecutePlan(*plan.children[0], source,
+                                           stats));
+      BAUPLAN_ASSIGN_OR_RETURN(Table right,
+                               ExecutePlan(*plan.children[1], source,
+                                           stats));
+      return ExecJoin(plan, left, right);
+    }
+    case PlanKind::kSort: {
+      BAUPLAN_ASSIGN_OR_RETURN(Table input,
+                               ExecutePlan(*plan.children[0], source,
+                                           stats));
+      return ExecSort(plan, input);
+    }
+    case PlanKind::kLimit: {
+      BAUPLAN_ASSIGN_OR_RETURN(Table input,
+                               ExecutePlan(*plan.children[0], source,
+                                           stats));
+      if (input.num_rows() <= plan.limit) return input;
+      return columnar::SliceTable(input, 0, plan.limit);
+    }
+    case PlanKind::kUnion: {
+      std::vector<Table> pieces;
+      pieces.reserve(plan.children.size());
+      for (const auto& child : plan.children) {
+        BAUPLAN_ASSIGN_OR_RETURN(Table piece,
+                                 ExecutePlan(*child, source, stats));
+        // Branches align by position; rebind to the union's output
+        // schema (names come from the first branch).
+        BAUPLAN_ASSIGN_OR_RETURN(piece, Table::Make(plan.schema,
+                                                    piece.columns()));
+        pieces.push_back(std::move(piece));
+      }
+      if (pieces.size() == 1) return pieces[0];
+      return columnar::ConcatTables(pieces);
+    }
+    case PlanKind::kDistinct: {
+      BAUPLAN_ASSIGN_OR_RETURN(Table input,
+                               ExecutePlan(*plan.children[0], source,
+                                           stats));
+      std::unordered_map<std::vector<Value>, bool, KeyHash, KeyEq> seen;
+      std::vector<int64_t> keep;
+      for (int64_t row = 0; row < input.num_rows(); ++row) {
+        std::vector<Value> key;
+        key.reserve(static_cast<size_t>(input.num_columns()));
+        for (int c = 0; c < input.num_columns(); ++c) {
+          key.push_back(input.GetValue(row, c));
+        }
+        if (seen.emplace(std::move(key), true).second) keep.push_back(row);
+      }
+      if (keep.size() == static_cast<size_t>(input.num_rows())) {
+        return input;
+      }
+      return columnar::TakeTable(input, keep);
+    }
+  }
+  return Status::Internal("unhandled plan kind");
+}
+
+}  // namespace bauplan::sql

@@ -1,0 +1,45 @@
+#ifndef BAUPLAN_SQL_EXECUTOR_H_
+#define BAUPLAN_SQL_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "columnar/table.h"
+#include "common/result.h"
+#include "format/predicate.h"
+#include "sql/logical_plan.h"
+
+namespace bauplan::sql {
+
+/// How Scan nodes obtain data. The engine binds this to the lakehouse
+/// (branch-aware, with partition/zone-map pruning) or to in-memory tables.
+class TableSource {
+ public:
+  virtual ~TableSource() = default;
+
+  /// Materializes `columns` of `name` (empty = all columns, schema order).
+  /// `predicates` are advisory pruning hints: the source may return
+  /// non-matching rows (the plan re-applies filters exactly), but must
+  /// never drop matching ones.
+  virtual Result<columnar::Table> ScanTable(
+      const std::string& name, const std::vector<std::string>& columns,
+      const std::vector<format::ColumnPredicate>& predicates) = 0;
+};
+
+/// Per-query execution counters.
+struct ExecStats {
+  int64_t rows_scanned = 0;
+  int64_t rows_output = 0;
+  int64_t operators_executed = 0;
+};
+
+/// Interprets a (optimized) plan tree bottom-up, fully materializing each
+/// operator's output — the column-at-a-time execution model that is
+/// sufficient at Reasonable Scale (paper section 3.1).
+Result<columnar::Table> ExecutePlan(const PlanNode& plan,
+                                    TableSource* source,
+                                    ExecStats* stats = nullptr);
+
+}  // namespace bauplan::sql
+
+#endif  // BAUPLAN_SQL_EXECUTOR_H_

@@ -1,0 +1,695 @@
+#include "sql/expr_eval.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "columnar/builder.h"
+#include "columnar/datetime.h"
+#include "common/strings.h"
+
+namespace bauplan::sql {
+
+using columnar::Array;
+using columnar::ArrayPtr;
+using columnar::AsBool;
+using columnar::AsDouble;
+using columnar::AsInt64;
+using columnar::AsString;
+using columnar::BoolBuilder;
+using columnar::DoubleBuilder;
+using columnar::Int64Builder;
+using columnar::StringBuilder;
+using columnar::Table;
+using columnar::TypeId;
+using columnar::Value;
+
+namespace {
+
+/// Materializes a constant array of `n` copies of `v`.
+Result<ArrayPtr> ConstantArray(const Value& v, int64_t n) {
+  auto builder =
+      columnar::MakeBuilder(v.is_null() ? TypeId::kInt64 : v.type());
+  for (int64_t i = 0; i < n; ++i) {
+    BAUPLAN_RETURN_NOT_OK(builder->AppendValue(v));
+  }
+  return builder->Finish();
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool CompareResult(BinaryOp op, int cmp) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return cmp == 0;
+    case BinaryOp::kNe:
+      return cmp != 0;
+    case BinaryOp::kLt:
+      return cmp < 0;
+    case BinaryOp::kLe:
+      return cmp <= 0;
+    case BinaryOp::kGt:
+      return cmp > 0;
+    case BinaryOp::kGe:
+      return cmp >= 0;
+    default:
+      return false;
+  }
+}
+
+/// Typed fast path: int64-vs-int64 comparison (covers timestamps too).
+ArrayPtr CompareInt64(BinaryOp op, const columnar::Int64Array& l,
+                      const columnar::Int64Array& r) {
+  BoolBuilder out;
+  for (int64_t i = 0; i < l.length(); ++i) {
+    if (l.IsNull(i) || r.IsNull(i)) {
+      out.AppendNull();
+      continue;
+    }
+    int64_t a = l.Value(i), b = r.Value(i);
+    out.Append(CompareResult(op, a < b ? -1 : (a > b ? 1 : 0)));
+  }
+  return out.Finish();
+}
+
+/// Coerces string literals to timestamps when compared against timestamp
+/// columns (`pickup_at >= '2019-04-01'`, paper appendix Step 1).
+Result<ArrayPtr> CoerceForComparison(ArrayPtr array, const Array& other) {
+  if (array->type() == TypeId::kString &&
+      other.type() == TypeId::kTimestamp) {
+    const auto* s = AsString(*array);
+    Int64Builder out(TypeId::kTimestamp);
+    for (int64_t i = 0; i < s->length(); ++i) {
+      if (s->IsNull(i)) {
+        out.AppendNull();
+        continue;
+      }
+      BAUPLAN_ASSIGN_OR_RETURN(int64_t micros,
+                               columnar::ParseTimestampString(s->Value(i)));
+      out.Append(micros);
+    }
+    return out.Finish();
+  }
+  return array;
+}
+
+Result<ArrayPtr> EvalComparison(BinaryOp op, ArrayPtr left, ArrayPtr right) {
+  BAUPLAN_ASSIGN_OR_RETURN(left, CoerceForComparison(left, *right));
+  BAUPLAN_ASSIGN_OR_RETURN(right, CoerceForComparison(right, *left));
+  const auto* li = AsInt64(*left);
+  const auto* ri = AsInt64(*right);
+  if (li != nullptr && ri != nullptr) {
+    return CompareInt64(op, *li, *ri);
+  }
+  // Generic boxed path with numeric cross-type support.
+  BoolBuilder out;
+  for (int64_t i = 0; i < left->length(); ++i) {
+    if (left->IsNull(i) || right->IsNull(i)) {
+      out.AppendNull();
+      continue;
+    }
+    Value a = left->GetValue(i);
+    Value b = right->GetValue(i);
+    bool comparable =
+        a.type() == b.type() ||
+        (columnar::IsNumeric(a.type()) && columnar::IsNumeric(b.type()));
+    if (!comparable) {
+      return Status::InvalidArgument(
+          StrCat("cannot compare ", columnar::TypeIdToString(a.type()),
+                 " with ", columnar::TypeIdToString(b.type())));
+    }
+    out.Append(CompareResult(op, a.Compare(b)));
+  }
+  return out.Finish();
+}
+
+Result<ArrayPtr> EvalArithmetic(BinaryOp op, const ArrayPtr& left,
+                                const ArrayPtr& right) {
+  bool left_num = columnar::IsNumeric(left->type());
+  bool right_num = columnar::IsNumeric(right->type());
+  if (!left_num || !right_num) {
+    return Status::InvalidArgument(
+        StrCat("arithmetic needs numeric operands, got ",
+               columnar::TypeIdToString(left->type()), " and ",
+               columnar::TypeIdToString(right->type())));
+  }
+  bool as_double = op == BinaryOp::kDiv || left->type() == TypeId::kDouble ||
+                   right->type() == TypeId::kDouble;
+  if (as_double) {
+    DoubleBuilder out;
+    out.Reserve(static_cast<size_t>(left->length()));
+    for (int64_t i = 0; i < left->length(); ++i) {
+      if (left->IsNull(i) || right->IsNull(i)) {
+        out.AppendNull();
+        continue;
+      }
+      double a = *left->GetValue(i).AsDouble();
+      double b = *right->GetValue(i).AsDouble();
+      double v = 0;
+      switch (op) {
+        case BinaryOp::kAdd:
+          v = a + b;
+          break;
+        case BinaryOp::kSub:
+          v = a - b;
+          break;
+        case BinaryOp::kMul:
+          v = a * b;
+          break;
+        case BinaryOp::kDiv:
+          if (b == 0) {
+            out.AppendNull();  // SQL: division by zero -> null (lenient)
+            continue;
+          }
+          v = a / b;
+          break;
+        case BinaryOp::kMod:
+          if (b == 0) {
+            out.AppendNull();
+            continue;
+          }
+          v = std::fmod(a, b);
+          break;
+        default:
+          return Status::Internal("not an arithmetic op");
+      }
+      out.Append(v);
+    }
+    return out.Finish();
+  }
+  // Integer path (timestamps degrade to int64 here).
+  const auto* li = AsInt64(*left);
+  const auto* ri = AsInt64(*right);
+  Int64Builder out;
+  out.Reserve(static_cast<size_t>(left->length()));
+  for (int64_t i = 0; i < left->length(); ++i) {
+    if (li->IsNull(i) || ri->IsNull(i)) {
+      out.AppendNull();
+      continue;
+    }
+    int64_t a = li->Value(i), b = ri->Value(i);
+    switch (op) {
+      case BinaryOp::kAdd:
+        out.Append(a + b);
+        break;
+      case BinaryOp::kSub:
+        out.Append(a - b);
+        break;
+      case BinaryOp::kMul:
+        out.Append(a * b);
+        break;
+      case BinaryOp::kMod:
+        if (b == 0) {
+          out.AppendNull();
+        } else {
+          out.Append(a % b);
+        }
+        break;
+      default:
+        return Status::Internal("not an integer arithmetic op");
+    }
+  }
+  return out.Finish();
+}
+
+/// Three-valued AND/OR over bool arrays.
+Result<ArrayPtr> EvalLogical(BinaryOp op, const ArrayPtr& left,
+                             const ArrayPtr& right) {
+  const auto* l = AsBool(*left);
+  const auto* r = AsBool(*right);
+  if (l == nullptr || r == nullptr) {
+    return Status::InvalidArgument(
+        StrCat(BinaryOpToString(op), " needs boolean operands"));
+  }
+  BoolBuilder out;
+  for (int64_t i = 0; i < l->length(); ++i) {
+    bool ln = l->IsNull(i), rn = r->IsNull(i);
+    bool lv = !ln && l->Value(i), rv = !rn && r->Value(i);
+    if (op == BinaryOp::kAnd) {
+      if ((!ln && !lv) || (!rn && !rv)) {
+        out.Append(false);  // false AND x == false
+      } else if (ln || rn) {
+        out.AppendNull();
+      } else {
+        out.Append(true);
+      }
+    } else {  // OR
+      if ((!ln && lv) || (!rn && rv)) {
+        out.Append(true);  // true OR x == true
+      } else if (ln || rn) {
+        out.AppendNull();
+      } else {
+        out.Append(false);
+      }
+    }
+  }
+  return out.Finish();
+}
+
+Result<ArrayPtr> EvalScalarFunction(const Expr& expr, const Table& input,
+                                    std::vector<ArrayPtr> args) {
+  const std::string& name = expr.function_name;
+  int64_t rows = input.num_rows();
+  if (name == "LOWER" || name == "UPPER") {
+    if (args.size() != 1 || args[0]->type() != TypeId::kString) {
+      return Status::InvalidArgument(StrCat(name, " needs a string"));
+    }
+    const auto* s = AsString(*args[0]);
+    StringBuilder out;
+    for (int64_t i = 0; i < rows; ++i) {
+      if (s->IsNull(i)) {
+        out.AppendNull();
+      } else {
+        out.Append(name == "LOWER" ? ToLower(s->Value(i))
+                                   : ToUpper(s->Value(i)));
+      }
+    }
+    return out.Finish();
+  }
+  if (name == "LENGTH") {
+    if (args.size() != 1 || args[0]->type() != TypeId::kString) {
+      return Status::InvalidArgument("LENGTH needs a string");
+    }
+    const auto* s = AsString(*args[0]);
+    Int64Builder out;
+    for (int64_t i = 0; i < rows; ++i) {
+      if (s->IsNull(i)) {
+        out.AppendNull();
+      } else {
+        out.Append(static_cast<int64_t>(s->Value(i).size()));
+      }
+    }
+    return out.Finish();
+  }
+  if (name == "ABS") {
+    if (args.size() != 1 || !columnar::IsNumeric(args[0]->type())) {
+      return Status::InvalidArgument("ABS needs a numeric argument");
+    }
+    if (args[0]->type() == TypeId::kDouble) {
+      const auto* d = AsDouble(*args[0]);
+      DoubleBuilder out;
+      for (int64_t i = 0; i < rows; ++i) {
+        if (d->IsNull(i)) {
+          out.AppendNull();
+        } else {
+          out.Append(std::fabs(d->Value(i)));
+        }
+      }
+      return out.Finish();
+    }
+    const auto* v = AsInt64(*args[0]);
+    Int64Builder out;
+    for (int64_t i = 0; i < rows; ++i) {
+      if (v->IsNull(i)) {
+        out.AppendNull();
+      } else {
+        out.Append(v->Value(i) < 0 ? -v->Value(i) : v->Value(i));
+      }
+    }
+    return out.Finish();
+  }
+  if (name == "ROUND" || name == "FLOOR" || name == "CEIL") {
+    if (args.size() != 1 || !columnar::IsNumeric(args[0]->type())) {
+      return Status::InvalidArgument(StrCat(name, " needs a numeric "
+                                            "argument"));
+    }
+    DoubleBuilder out;
+    for (int64_t i = 0; i < rows; ++i) {
+      if (args[0]->IsNull(i)) {
+        out.AppendNull();
+        continue;
+      }
+      double v = *args[0]->GetValue(i).AsDouble();
+      out.Append(name == "ROUND" ? std::round(v)
+                 : name == "FLOOR" ? std::floor(v)
+                                   : std::ceil(v));
+    }
+    return out.Finish();
+  }
+  if (name == "COALESCE") {
+    if (args.empty()) {
+      return Status::InvalidArgument("COALESCE needs arguments");
+    }
+    auto builder = columnar::MakeBuilder(args[0]->type());
+    for (int64_t i = 0; i < rows; ++i) {
+      bool appended = false;
+      for (const auto& arg : args) {
+        if (!arg->IsNull(i)) {
+          BAUPLAN_RETURN_NOT_OK(builder->AppendValue(arg->GetValue(i)));
+          appended = true;
+          break;
+        }
+      }
+      if (!appended) builder->AppendNull();
+    }
+    return builder->Finish();
+  }
+  return Status::InvalidArgument(StrCat("unknown function ", name));
+}
+
+Result<ArrayPtr> EvalCast(const Expr& expr, const ArrayPtr& input) {
+  auto builder = columnar::MakeBuilder(expr.cast_type);
+  for (int64_t i = 0; i < input->length(); ++i) {
+    if (input->IsNull(i)) {
+      builder->AppendNull();
+      continue;
+    }
+    Value v = input->GetValue(i);
+    switch (expr.cast_type) {
+      case TypeId::kInt64: {
+        if (v.type() == TypeId::kInt64 || v.type() == TypeId::kTimestamp) {
+          BAUPLAN_RETURN_NOT_OK(builder->AppendValue(
+              Value::Int64(v.int64_value())));
+        } else if (v.type() == TypeId::kDouble) {
+          BAUPLAN_RETURN_NOT_OK(builder->AppendValue(
+              Value::Int64(static_cast<int64_t>(v.double_value()))));
+        } else if (v.type() == TypeId::kBool) {
+          BAUPLAN_RETURN_NOT_OK(builder->AppendValue(
+              Value::Int64(v.bool_value() ? 1 : 0)));
+        } else {
+          int64_t parsed = 0;
+          const std::string& s = v.string_value();
+          auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(),
+                                         parsed);
+          if (ec != std::errc() || p != s.data() + s.size()) {
+            return Status::InvalidArgument(
+                StrCat("cannot cast '", s, "' to int64"));
+          }
+          BAUPLAN_RETURN_NOT_OK(builder->AppendValue(Value::Int64(parsed)));
+        }
+        break;
+      }
+      case TypeId::kDouble: {
+        if (v.type() == TypeId::kString) {
+          char* end = nullptr;
+          double parsed = std::strtod(v.string_value().c_str(), &end);
+          if (end == nullptr || *end != '\0') {
+            return Status::InvalidArgument(
+                StrCat("cannot cast '", v.string_value(), "' to double"));
+          }
+          BAUPLAN_RETURN_NOT_OK(
+              builder->AppendValue(Value::Double(parsed)));
+        } else {
+          BAUPLAN_ASSIGN_OR_RETURN(double d, v.AsDouble());
+          BAUPLAN_RETURN_NOT_OK(builder->AppendValue(Value::Double(d)));
+        }
+        break;
+      }
+      case TypeId::kString:
+        BAUPLAN_RETURN_NOT_OK(
+            builder->AppendValue(Value::String(v.ToString())));
+        break;
+      case TypeId::kTimestamp: {
+        if (v.type() == TypeId::kString) {
+          BAUPLAN_ASSIGN_OR_RETURN(
+              int64_t micros,
+              columnar::ParseTimestampString(v.string_value()));
+          BAUPLAN_RETURN_NOT_OK(
+              builder->AppendValue(Value::Timestamp(micros)));
+        } else if (v.type() == TypeId::kInt64 ||
+                   v.type() == TypeId::kTimestamp) {
+          BAUPLAN_RETURN_NOT_OK(
+              builder->AppendValue(Value::Timestamp(v.int64_value())));
+        } else {
+          return Status::InvalidArgument("cannot cast to timestamp");
+        }
+        break;
+      }
+      case TypeId::kBool:
+        if (v.type() == TypeId::kBool) {
+          BAUPLAN_RETURN_NOT_OK(builder->AppendValue(v));
+        } else {
+          return Status::InvalidArgument("cannot cast to bool");
+        }
+        break;
+    }
+  }
+  return builder->Finish();
+}
+
+}  // namespace
+
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  // Iterative glob matching with backtracking on '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Result<ArrayPtr> EvaluateExpr(const Expr& expr, const Table& input) {
+  switch (expr.kind) {
+    case ExprKind::kColumnRef:
+      return input.GetColumnByName(expr.column_name);
+    case ExprKind::kLiteral:
+      return ConstantArray(expr.literal, input.num_rows());
+    case ExprKind::kStar:
+      return Status::InvalidArgument("'*' cannot be evaluated as a value");
+    case ExprKind::kBinary: {
+      BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr left,
+                               EvaluateExpr(*expr.left, input));
+      BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr right,
+                               EvaluateExpr(*expr.right, input));
+      if (IsComparison(expr.binary_op)) {
+        return EvalComparison(expr.binary_op, std::move(left),
+                              std::move(right));
+      }
+      if (expr.binary_op == BinaryOp::kAnd ||
+          expr.binary_op == BinaryOp::kOr) {
+        return EvalLogical(expr.binary_op, left, right);
+      }
+      return EvalArithmetic(expr.binary_op, left, right);
+    }
+    case ExprKind::kUnary: {
+      BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr operand,
+                               EvaluateExpr(*expr.left, input));
+      if (expr.unary_op == UnaryOp::kNot) {
+        const auto* b = AsBool(*operand);
+        if (b == nullptr) {
+          return Status::InvalidArgument("NOT needs a boolean operand");
+        }
+        BoolBuilder out;
+        for (int64_t i = 0; i < b->length(); ++i) {
+          if (b->IsNull(i)) {
+            out.AppendNull();
+          } else {
+            out.Append(!b->Value(i));
+          }
+        }
+        return out.Finish();
+      }
+      // Negation.
+      if (operand->type() == TypeId::kDouble) {
+        const auto* d = columnar::AsDouble(*operand);
+        DoubleBuilder out;
+        for (int64_t i = 0; i < d->length(); ++i) {
+          if (d->IsNull(i)) {
+            out.AppendNull();
+          } else {
+            out.Append(-d->Value(i));
+          }
+        }
+        return out.Finish();
+      }
+      const auto* v = AsInt64(*operand);
+      if (v == nullptr) {
+        return Status::InvalidArgument("'-' needs a numeric operand");
+      }
+      Int64Builder out;
+      for (int64_t i = 0; i < v->length(); ++i) {
+        if (v->IsNull(i)) {
+          out.AppendNull();
+        } else {
+          out.Append(-v->Value(i));
+        }
+      }
+      return out.Finish();
+    }
+    case ExprKind::kFunction: {
+      std::vector<ArrayPtr> args;
+      for (const auto& arg : expr.args) {
+        BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr a, EvaluateExpr(*arg, input));
+        args.push_back(std::move(a));
+      }
+      return EvalScalarFunction(expr, input, std::move(args));
+    }
+    case ExprKind::kIsNull: {
+      BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr operand,
+                               EvaluateExpr(*expr.left, input));
+      BoolBuilder out;
+      for (int64_t i = 0; i < operand->length(); ++i) {
+        bool is_null = operand->IsNull(i);
+        out.Append(expr.negated ? !is_null : is_null);
+      }
+      return out.Finish();
+    }
+    case ExprKind::kBetween: {
+      // x BETWEEN a AND b == x >= a AND x <= b (3VL falls out of those).
+      ExprPtr ge = MakeBinary(BinaryOp::kGe, expr.left, expr.between_low);
+      ExprPtr le = MakeBinary(BinaryOp::kLe, expr.left, expr.between_high);
+      ExprPtr both = MakeBinary(BinaryOp::kAnd, ge, le);
+      if (expr.negated) both = MakeUnary(UnaryOp::kNot, both);
+      return EvaluateExpr(*both, input);
+    }
+    case ExprKind::kInList: {
+      BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr operand,
+                               EvaluateExpr(*expr.left, input));
+      // Evaluate list items as constants (IN lists are literal-only).
+      std::vector<Value> items;
+      for (const auto& item : expr.list) {
+        BAUPLAN_ASSIGN_OR_RETURN(Value v, EvaluateConstant(*item));
+        items.push_back(std::move(v));
+      }
+      BoolBuilder out;
+      for (int64_t i = 0; i < operand->length(); ++i) {
+        if (operand->IsNull(i)) {
+          out.AppendNull();
+          continue;
+        }
+        Value v = operand->GetValue(i);
+        bool found = false;
+        bool has_null = false;
+        for (const auto& item : items) {
+          if (item.is_null()) {
+            has_null = true;
+          } else if (item.Compare(v) == 0) {
+            found = true;
+            break;
+          }
+        }
+        if (found) {
+          out.Append(!expr.negated);
+        } else if (has_null) {
+          out.AppendNull();  // x IN (..., NULL) is unknown when not found
+        } else {
+          out.Append(expr.negated);
+        }
+      }
+      return out.Finish();
+    }
+    case ExprKind::kLike: {
+      BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr operand,
+                               EvaluateExpr(*expr.left, input));
+      const auto* s = AsString(*operand);
+      if (s == nullptr) {
+        return Status::InvalidArgument("LIKE needs a string operand");
+      }
+      BoolBuilder out;
+      for (int64_t i = 0; i < s->length(); ++i) {
+        if (s->IsNull(i)) {
+          out.AppendNull();
+          continue;
+        }
+        bool match = LikeMatch(s->Value(i), expr.pattern);
+        out.Append(expr.negated ? !match : match);
+      }
+      return out.Finish();
+    }
+    case ExprKind::kCast: {
+      BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr operand,
+                               EvaluateExpr(*expr.left, input));
+      return EvalCast(expr, operand);
+    }
+    case ExprKind::kCase: {
+      // Evaluate all branches, then pick per row (simple, fully
+      // vectorized; short-circuiting would need masks).
+      std::vector<ArrayPtr> conditions, results;
+      for (size_t i = 0; i + 1 < expr.list.size(); i += 2) {
+        BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr c,
+                                 EvaluateExpr(*expr.list[i], input));
+        if (AsBool(*c) == nullptr) {
+          return Status::InvalidArgument("CASE WHEN needs a boolean");
+        }
+        BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr r,
+                                 EvaluateExpr(*expr.list[i + 1], input));
+        conditions.push_back(std::move(c));
+        results.push_back(std::move(r));
+      }
+      ArrayPtr else_result;
+      if (expr.right != nullptr) {
+        BAUPLAN_ASSIGN_OR_RETURN(else_result,
+                                 EvaluateExpr(*expr.right, input));
+      }
+      TypeId out_type = results.empty() ? TypeId::kInt64 :
+                        results[0]->type();
+      auto builder = columnar::MakeBuilder(out_type);
+      for (int64_t row = 0; row < input.num_rows(); ++row) {
+        bool taken = false;
+        for (size_t b = 0; b < conditions.size(); ++b) {
+          const auto* cond = AsBool(*conditions[b]);
+          if (!cond->IsNull(row) && cond->Value(row)) {
+            if (results[b]->IsNull(row)) {
+              builder->AppendNull();
+            } else {
+              BAUPLAN_RETURN_NOT_OK(
+                  builder->AppendValue(results[b]->GetValue(row)));
+            }
+            taken = true;
+            break;
+          }
+        }
+        if (!taken) {
+          if (else_result != nullptr && !else_result->IsNull(row)) {
+            BAUPLAN_RETURN_NOT_OK(
+                builder->AppendValue(else_result->GetValue(row)));
+          } else {
+            builder->AppendNull();
+          }
+        }
+      }
+      return builder->Finish();
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<Value> EvaluateConstant(const Expr& expr) {
+  std::vector<std::string> refs;
+  CollectColumnRefs(expr, &refs);
+  if (!refs.empty()) {
+    return Status::InvalidArgument(
+        StrCat("expression is not constant: ", expr.ToString()));
+  }
+  // Evaluate against a one-row dummy table.
+  Table dummy = *Table::Make(
+      columnar::Schema({{"_", TypeId::kInt64, false}}), [] {
+        Int64Builder b;
+        b.Append(0);
+        return std::vector<ArrayPtr>{b.Finish()};
+      }());
+  BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr result, EvaluateExpr(expr, dummy));
+  if (result->length() != 1) {
+    return Status::Internal("constant evaluation produced multiple rows");
+  }
+  return result->GetValue(0);
+}
+
+}  // namespace bauplan::sql

@@ -1,0 +1,28 @@
+#ifndef BAUPLAN_SQL_EXPR_EVAL_H_
+#define BAUPLAN_SQL_EXPR_EVAL_H_
+
+#include "columnar/array.h"
+#include "columnar/table.h"
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace bauplan::sql {
+
+/// Evaluates a bound expression column-at-a-time against `input`,
+/// producing an array of input.num_rows() values. Null semantics follow
+/// SQL three-valued logic: comparisons and arithmetic over null are null;
+/// AND/OR propagate unknowns; WHERE later treats null as false.
+Result<columnar::ArrayPtr> EvaluateExpr(const Expr& expr,
+                                        const columnar::Table& input);
+
+/// Evaluates an expression with no column references to a single Value
+/// (used by the optimizer's constant folding). InvalidArgument when the
+/// expression references columns.
+Result<columnar::Value> EvaluateConstant(const Expr& expr);
+
+/// SQL LIKE with % (any run) and _ (any char); case-sensitive.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace bauplan::sql
+
+#endif  // BAUPLAN_SQL_EXPR_EVAL_H_

@@ -1,0 +1,218 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <set>
+
+#include "common/strings.h"
+
+namespace bauplan::sql {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::set<std::string>{
+      "SELECT", "FROM",  "WHERE",  "GROUP",    "BY",    "ORDER",  "ASC",
+      "DESC",   "LIMIT", "AS",     "AND",      "OR",    "NOT",    "NULL",
+      "IS",     "IN",    "BETWEEN", "LIKE",    "JOIN",  "INNER",  "LEFT",
+      "OUTER",  "ON",    "DISTINCT", "HAVING", "CAST",  "TRUE",   "FALSE",
+      "COUNT",  "SUM",   "AVG",    "MIN",      "MAX",   "CASE",   "WHEN",
+      "THEN",   "ELSE",  "END",     "UNION",  "ALL"};
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string word(sql.substr(start, i - start));
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper) > 0) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        token.text = word;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        if (sql[i] == '.') {
+          if (is_float) break;  // second dot ends the number
+          is_float = true;
+        }
+        ++i;
+      }
+      // Exponent.
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t exp = i + 1;
+        if (exp < n && (sql[exp] == '+' || sql[exp] == '-')) ++exp;
+        if (exp < n && std::isdigit(static_cast<unsigned char>(sql[exp]))) {
+          is_float = true;
+          i = exp;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+            ++i;
+          }
+        }
+      }
+      std::string text(sql.substr(start, i - start));
+      token.text = text;
+      if (is_float) {
+        token.type = TokenType::kFloatLiteral;
+        token.float_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        token.type = TokenType::kIntegerLiteral;
+        auto [ptr, ec] = std::from_chars(
+            text.data(), text.data() + text.size(), token.int_value);
+        if (ec != std::errc() || ptr != text.data() + text.size()) {
+          return Status::InvalidArgument(
+              StrCat("integer literal out of range at position ", start));
+        }
+      }
+    } else if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += sql[i++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrCat("unterminated string literal at position ",
+                   token.position));
+      }
+      token.type = TokenType::kStringLiteral;
+      token.text = std::move(text);
+    } else {
+      switch (c) {
+        case ',':
+          token.type = TokenType::kComma;
+          ++i;
+          break;
+        case '(':
+          token.type = TokenType::kLParen;
+          ++i;
+          break;
+        case ')':
+          token.type = TokenType::kRParen;
+          ++i;
+          break;
+        case '*':
+          token.type = TokenType::kStar;
+          ++i;
+          break;
+        case '+':
+          token.type = TokenType::kPlus;
+          ++i;
+          break;
+        case '-':
+          token.type = TokenType::kMinus;
+          ++i;
+          break;
+        case '/':
+          token.type = TokenType::kSlash;
+          ++i;
+          break;
+        case '%':
+          token.type = TokenType::kPercent;
+          ++i;
+          break;
+        case '.':
+          token.type = TokenType::kDot;
+          ++i;
+          break;
+        case ';':
+          token.type = TokenType::kSemicolon;
+          ++i;
+          break;
+        case '=':
+          token.type = TokenType::kEq;
+          ++i;
+          break;
+        case '!':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            token.type = TokenType::kNe;
+            i += 2;
+          } else {
+            return Status::InvalidArgument(
+                StrCat("stray '!' at position ", i));
+          }
+          break;
+        case '<':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            token.type = TokenType::kLe;
+            i += 2;
+          } else if (i + 1 < n && sql[i + 1] == '>') {
+            token.type = TokenType::kNe;
+            i += 2;
+          } else {
+            token.type = TokenType::kLt;
+            ++i;
+          }
+          break;
+        case '>':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            token.type = TokenType::kGe;
+            i += 2;
+          } else {
+            token.type = TokenType::kGt;
+            ++i;
+          }
+          break;
+        default:
+          return Status::InvalidArgument(
+              StrCat("unexpected character '", std::string(1, c),
+                     "' at position ", i));
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace bauplan::sql

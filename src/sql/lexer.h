@@ -1,0 +1,60 @@
+#ifndef BAUPLAN_SQL_LEXER_H_
+#define BAUPLAN_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace bauplan::sql {
+
+/// Kinds of lexical tokens. Keywords are recognized case-insensitively and
+/// carry their canonical uppercase text.
+enum class TokenType {
+  kKeyword,
+  kIdentifier,
+  kStringLiteral,
+  kIntegerLiteral,
+  kFloatLiteral,
+  // Punctuation / operators.
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kDot,
+  kSemicolon,
+  kEnd,
+};
+
+/// One token with its source position (for error messages).
+struct Token {
+  TokenType type = TokenType::kEnd;
+  /// Keyword (uppercased), identifier (as written), literal text.
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t position = 0;
+
+  bool IsKeyword(std::string_view kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+};
+
+/// Tokenizes `sql`; InvalidArgument on malformed input (unterminated
+/// string, stray characters). The trailing token is always kEnd.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace bauplan::sql
+
+#endif  // BAUPLAN_SQL_LEXER_H_

@@ -1,0 +1,108 @@
+#include "sql/logical_plan.h"
+
+#include "common/strings.h"
+
+namespace bauplan::sql {
+
+PlanPtr MakePlanNode(PlanKind kind) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = kind;
+  return node;
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad;
+  switch (kind) {
+    case PlanKind::kScan: {
+      out += StrCat("Scan(", table_name);
+      if (!scan_columns.empty()) {
+        out += StrCat(", columns=[", StrJoin(scan_columns, ", "), "]");
+      }
+      if (!scan_predicates.empty()) {
+        out += ", pushdown=[";
+        for (size_t i = 0; i < scan_predicates.size(); ++i) {
+          if (i > 0) out += " AND ";
+          out += scan_predicates[i].ToString();
+        }
+        out += "]";
+      }
+      out += ")";
+      break;
+    }
+    case PlanKind::kFilter:
+      out += StrCat("Filter(", predicate->ToString(), ")");
+      break;
+    case PlanKind::kProject: {
+      out += "Project(";
+      for (size_t i = 0; i < expressions.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += StrCat(expressions[i]->ToString(), " AS ", output_names[i]);
+      }
+      out += ")";
+      break;
+    }
+    case PlanKind::kAggregate: {
+      out += "Aggregate(";
+      if (!group_by.empty()) {
+        out += "by=[";
+        for (size_t i = 0; i < group_by.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += group_by[i]->ToString();
+        }
+        out += "], ";
+      }
+      out += "aggs=[";
+      for (size_t i = 0; i < aggregates.size(); ++i) {
+        if (i > 0) out += ", ";
+        const auto& agg = aggregates[i];
+        out += StrCat(agg.function, "(",
+                      agg.distinct ? "DISTINCT " : "",
+                      agg.arg == nullptr ? "*" : agg.arg->ToString(),
+                      ") AS ", agg.output_name);
+      }
+      out += "])";
+      break;
+    }
+    case PlanKind::kJoin: {
+      out += StrCat(join_type == JoinType::kLeft ? "LeftJoin(" :
+                    "InnerJoin(");
+      for (size_t i = 0; i < left_keys.size(); ++i) {
+        if (i > 0) out += " AND ";
+        out += StrCat(left_keys[i]->ToString(), " = ",
+                      right_keys[i]->ToString());
+      }
+      if (residual != nullptr) {
+        out += StrCat(", residual=", residual->ToString());
+      }
+      out += ")";
+      break;
+    }
+    case PlanKind::kSort: {
+      out += "Sort(";
+      for (size_t i = 0; i < sort_keys.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += StrCat(sort_keys[i].expr->ToString(),
+                      sort_keys[i].ascending ? " ASC" : " DESC");
+      }
+      out += ")";
+      break;
+    }
+    case PlanKind::kLimit:
+      out += StrCat("Limit(", limit, ")");
+      break;
+    case PlanKind::kDistinct:
+      out += "Distinct()";
+      break;
+    case PlanKind::kUnion:
+      out += StrCat("UnionAll(", children.size(), " inputs)");
+      break;
+  }
+  out += "\n";
+  for (const auto& child : children) {
+    out += child->ToString(indent + 1);
+  }
+  return out;
+}
+
+}  // namespace bauplan::sql

@@ -1,0 +1,93 @@
+#ifndef BAUPLAN_SQL_LOGICAL_PLAN_H_
+#define BAUPLAN_SQL_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnar/type.h"
+#include "format/predicate.h"
+#include "sql/ast.h"
+
+namespace bauplan::sql {
+
+enum class PlanKind {
+  kScan,
+  kFilter,
+  kProject,
+  kAggregate,
+  kJoin,
+  kSort,
+  kLimit,
+  /// Row-level deduplication (SELECT DISTINCT).
+  kDistinct,
+  /// Bag concatenation of same-shape children (UNION ALL).
+  kUnion,
+};
+
+struct PlanNode;
+using PlanPtr = std::shared_ptr<PlanNode>;
+
+/// One named aggregate computation: AVG(fare) AS avg_fare.
+struct AggregateItem {
+  /// COUNT/SUM/AVG/MIN/MAX.
+  std::string function;
+  /// Argument expression; null for COUNT(*).
+  ExprPtr arg;
+  bool distinct = false;
+  std::string output_name;
+};
+
+/// A node of the logical (and, after optimization, physical) plan. The
+/// optimizer rewrites this tree in place: pushing predicates into Scan
+/// nodes, trimming Scan projections, and folding constants — the same plan
+/// shape the paper's Fig. 3 middle layer depicts.
+struct PlanNode {
+  PlanKind kind;
+  /// Output schema of this node.
+  columnar::Schema schema;
+  std::vector<PlanPtr> children;
+
+  // kScan
+  std::string table_name;
+  std::string table_alias;
+  /// Columns the scan must produce (projection pushdown); empty = all.
+  std::vector<std::string> scan_columns;
+  /// Predicates pushed into the scan (zone-map / partition pruning).
+  std::vector<format::ColumnPredicate> scan_predicates;
+
+  // kFilter
+  ExprPtr predicate;
+
+  // kProject
+  std::vector<ExprPtr> expressions;
+  std::vector<std::string> output_names;
+
+  // kAggregate
+  std::vector<ExprPtr> group_by;
+  std::vector<std::string> group_names;
+  std::vector<AggregateItem> aggregates;
+
+  // kJoin
+  JoinType join_type = JoinType::kInner;
+  /// Equi-join keys (left expr = right expr), extracted from ON.
+  std::vector<ExprPtr> left_keys;
+  std::vector<ExprPtr> right_keys;
+  /// Residual non-equi condition evaluated on joined rows; may be null.
+  ExprPtr residual;
+
+  // kSort
+  std::vector<OrderKey> sort_keys;
+
+  // kLimit
+  int64_t limit = -1;
+
+  /// Indented, multi-line rendering for tests, EXPLAIN and docs.
+  std::string ToString(int indent = 0) const;
+};
+
+PlanPtr MakePlanNode(PlanKind kind);
+
+}  // namespace bauplan::sql
+
+#endif  // BAUPLAN_SQL_LOGICAL_PLAN_H_

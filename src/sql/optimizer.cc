@@ -1,0 +1,358 @@
+#include "sql/optimizer.h"
+
+#include <functional>
+#include <set>
+
+#include "columnar/datetime.h"
+#include "common/strings.h"
+#include "sql/expr_eval.h"
+
+namespace bauplan::sql {
+
+using columnar::Field;
+using columnar::Schema;
+using columnar::Value;
+using format::ColumnPredicate;
+using format::CompareOp;
+
+namespace {
+
+// ------------------------------------------------------ constant folding
+
+bool IsConstant(const Expr& expr) {
+  std::vector<std::string> refs;
+  CollectColumnRefs(expr, &refs);
+  if (!refs.empty()) return false;
+  // Aggregates are not constants even without column refs (COUNT(*)).
+  return !ContainsAggregate(expr);
+}
+
+/// Folds literal-only subtrees bottom-up. Leaves anything unevaluable
+/// (e.g. CAST errors) as-is; folding is best-effort.
+ExprPtr FoldExpr(const ExprPtr& expr) {
+  if (expr == nullptr) return nullptr;
+  auto copy = std::make_shared<Expr>(*expr);
+  copy->left = FoldExpr(expr->left);
+  copy->right = FoldExpr(expr->right);
+  copy->between_low = FoldExpr(expr->between_low);
+  copy->between_high = FoldExpr(expr->between_high);
+  for (auto& a : copy->args) a = FoldExpr(a);
+  for (auto& e : copy->list) e = FoldExpr(e);
+  if (copy->kind != ExprKind::kLiteral && IsConstant(*copy)) {
+    auto value = EvaluateConstant(*copy);
+    if (value.ok()) return MakeLiteral(*value);
+  }
+  return copy;
+}
+
+// ---------------------------------------------------- predicate pushdown
+
+Result<CompareOp> ToCompareOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return CompareOp::kEq;
+    case BinaryOp::kNe:
+      return CompareOp::kNe;
+    case BinaryOp::kLt:
+      return CompareOp::kLt;
+    case BinaryOp::kLe:
+      return CompareOp::kLe;
+    case BinaryOp::kGt:
+      return CompareOp::kGt;
+    case BinaryOp::kGe:
+      return CompareOp::kGe;
+    default:
+      return Status::InvalidArgument("not a comparison");
+  }
+}
+
+CompareOp FlipOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;
+  }
+}
+
+/// Extracts `column <op> literal` from a conjunct (either orientation).
+bool AsSimplePredicate(const Expr& expr, ColumnPredicate* out) {
+  if (expr.kind != ExprKind::kBinary) return false;
+  auto op = ToCompareOp(expr.binary_op);
+  if (!op.ok()) return false;
+  const Expr* col = nullptr;
+  const Expr* lit = nullptr;
+  bool flipped = false;
+  if (expr.left->kind == ExprKind::kColumnRef &&
+      expr.right->kind == ExprKind::kLiteral) {
+    col = expr.left.get();
+    lit = expr.right.get();
+  } else if (expr.right->kind == ExprKind::kColumnRef &&
+             expr.left->kind == ExprKind::kLiteral) {
+    col = expr.right.get();
+    lit = expr.left.get();
+    flipped = true;
+  } else {
+    return false;
+  }
+  out->column = col->column_name;
+  out->op = flipped ? FlipOp(*op) : *op;
+  out->value = lit->literal;
+  return true;
+}
+
+void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == ExprKind::kBinary &&
+      expr->binary_op == BinaryOp::kAnd) {
+    SplitConjuncts(expr->left, out);
+    SplitConjuncts(expr->right, out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+/// Pushes one predicate hint down to every scan that can use it. Renaming
+/// projections translate the column name; joins route by schema
+/// membership (never into the null-producing side of a LEFT join);
+/// aggregates and limits stop the descent.
+void PushHintToScans(const PlanPtr& node, ColumnPredicate pred) {
+  switch (node->kind) {
+    case PlanKind::kScan: {
+      int idx = node->schema.GetFieldIndex(pred.column);
+      if (idx < 0) return;
+      // Coerce string literals against timestamp columns so zone maps
+      // compare like with like ('2019-04-01' in the paper's Step 1).
+      if (node->schema.field(idx).type == columnar::TypeId::kTimestamp &&
+          !pred.value.is_null() &&
+          pred.value.type() == columnar::TypeId::kString) {
+        auto parsed =
+            columnar::ParseTimestampString(pred.value.string_value());
+        if (!parsed.ok()) return;  // unusable hint; the filter still runs
+        pred.value = Value::Timestamp(*parsed);
+      }
+      node->scan_predicates.push_back(std::move(pred));
+      return;
+    }
+    case PlanKind::kProject: {
+      // Translate output name -> input expression; only pure renames pass.
+      for (size_t i = 0; i < node->output_names.size(); ++i) {
+        if (node->output_names[i] == pred.column) {
+          const ExprPtr& e = node->expressions[i];
+          if (e->kind == ExprKind::kColumnRef) {
+            pred.column = e->column_name;
+            PushHintToScans(node->children[0], std::move(pred));
+          }
+          return;
+        }
+      }
+      return;
+    }
+    case PlanKind::kFilter:
+    case PlanKind::kSort:
+    case PlanKind::kDistinct:
+      PushHintToScans(node->children[0], std::move(pred));
+      return;
+    case PlanKind::kJoin: {
+      const PlanPtr& left = node->children[0];
+      const PlanPtr& right = node->children[1];
+      // Output column names are unique across sides (alias-qualified).
+      if (left->schema.HasField(pred.column)) {
+        PushHintToScans(left, std::move(pred));
+      } else if (right->schema.HasField(pred.column) &&
+                 node->join_type == JoinType::kInner) {
+        PushHintToScans(right, std::move(pred));
+      }
+      return;
+    }
+    case PlanKind::kAggregate:
+    case PlanKind::kLimit:
+    case PlanKind::kUnion:
+      return;  // cannot push through
+  }
+}
+
+void PushdownPredicates(const PlanPtr& node) {
+  if (node->kind == PlanKind::kFilter) {
+    std::vector<ExprPtr> conjuncts;
+    SplitConjuncts(node->predicate, &conjuncts);
+    for (const auto& conjunct : conjuncts) {
+      ColumnPredicate pred;
+      if (AsSimplePredicate(*conjunct, &pred) && !pred.value.is_null()) {
+        PushHintToScans(node->children[0], std::move(pred));
+      }
+    }
+  }
+  for (const auto& child : node->children) PushdownPredicates(child);
+}
+
+// --------------------------------------------------- projection pushdown
+
+void CollectExprColumns(const ExprPtr& expr, std::set<std::string>* out) {
+  if (expr == nullptr) return;
+  std::vector<std::string> refs;
+  CollectColumnRefs(*expr, &refs);
+  out->insert(refs.begin(), refs.end());
+}
+
+/// Prunes each node's output to `needed` (propagating requirements down)
+/// and recomputes schemas bottom-up.
+void PruneColumns(const PlanPtr& node, std::set<std::string> needed) {
+  switch (node->kind) {
+    case PlanKind::kScan: {
+      // Also keep columns needed by pushed-down predicate hints (the
+      // source prunes with them; it does not need them projected, but
+      // keeping the set consistent with `needed` is what matters here).
+      std::vector<std::string> columns;
+      for (const auto& f : node->schema.fields()) {
+        if (needed.count(f.name) > 0) columns.push_back(f.name);
+      }
+      // A scan must produce at least one column (COUNT(*) queries).
+      if (columns.empty() && node->schema.num_fields() > 0) {
+        columns.push_back(node->schema.field(0).name);
+      }
+      if (columns.size() ==
+          static_cast<size_t>(node->schema.num_fields())) {
+        return;  // nothing to trim
+      }
+      node->scan_columns = columns;
+      node->schema = *node->schema.Select(columns);
+      return;
+    }
+    case PlanKind::kProject: {
+      std::vector<ExprPtr> exprs;
+      std::vector<std::string> names;
+      std::vector<Field> fields;
+      std::set<std::string> child_needed;
+      for (size_t i = 0; i < node->expressions.size(); ++i) {
+        if (needed.count(node->output_names[i]) == 0) continue;
+        exprs.push_back(node->expressions[i]);
+        names.push_back(node->output_names[i]);
+        fields.push_back(node->schema.field(static_cast<int>(i)));
+        CollectExprColumns(node->expressions[i], &child_needed);
+      }
+      // Keep at least one column so row counts survive.
+      if (exprs.empty() && !node->expressions.empty()) {
+        exprs.push_back(node->expressions[0]);
+        names.push_back(node->output_names[0]);
+        fields.push_back(node->schema.field(0));
+        CollectExprColumns(node->expressions[0], &child_needed);
+      }
+      node->expressions = std::move(exprs);
+      node->output_names = std::move(names);
+      node->schema = Schema(std::move(fields));
+      PruneColumns(node->children[0], std::move(child_needed));
+      return;
+    }
+    case PlanKind::kFilter: {
+      CollectExprColumns(node->predicate, &needed);
+      PruneColumns(node->children[0], needed);
+      node->schema = node->children[0]->schema;
+      return;
+    }
+    case PlanKind::kSort: {
+      for (const auto& key : node->sort_keys) {
+        CollectExprColumns(key.expr, &needed);
+      }
+      PruneColumns(node->children[0], needed);
+      node->schema = node->children[0]->schema;
+      return;
+    }
+    case PlanKind::kLimit: {
+      PruneColumns(node->children[0], needed);
+      node->schema = node->children[0]->schema;
+      return;
+    }
+    case PlanKind::kDistinct: {
+      // Dropping columns would change which rows are duplicates; keep
+      // the child's full output.
+      std::set<std::string> all;
+      for (const auto& f : node->children[0]->schema.fields()) {
+        all.insert(f.name);
+      }
+      PruneColumns(node->children[0], std::move(all));
+      node->schema = node->children[0]->schema;
+      return;
+    }
+    case PlanKind::kUnion: {
+      // Branches align by position, so column sets must stay intact.
+      for (const auto& child : node->children) {
+        std::set<std::string> all;
+        for (const auto& f : child->schema.fields()) all.insert(f.name);
+        PruneColumns(child, std::move(all));
+      }
+      return;
+    }
+    case PlanKind::kAggregate: {
+      std::set<std::string> child_needed;
+      for (const auto& key : node->group_by) {
+        CollectExprColumns(key, &child_needed);
+      }
+      for (const auto& agg : node->aggregates) {
+        CollectExprColumns(agg.arg, &child_needed);
+      }
+      PruneColumns(node->children[0], std::move(child_needed));
+      return;  // aggregate output schema is already minimal
+    }
+    case PlanKind::kJoin: {
+      std::set<std::string> left_needed, right_needed;
+      auto route = [&](const std::string& name) {
+        if (node->children[0]->schema.HasField(name)) {
+          left_needed.insert(name);
+        } else if (node->children[1]->schema.HasField(name)) {
+          right_needed.insert(name);
+        }
+      };
+      for (const auto& name : needed) route(name);
+      std::set<std::string> key_columns;
+      for (const auto& k : node->left_keys) {
+        CollectExprColumns(k, &key_columns);
+      }
+      for (const auto& k : node->right_keys) {
+        CollectExprColumns(k, &key_columns);
+      }
+      CollectExprColumns(node->residual, &key_columns);
+      for (const auto& name : key_columns) route(name);
+      PruneColumns(node->children[0], std::move(left_needed));
+      PruneColumns(node->children[1], std::move(right_needed));
+      // Rebuild the combined schema from the trimmed children.
+      std::vector<Field> fields = node->children[0]->schema.fields();
+      for (const auto& f : node->children[1]->schema.fields()) {
+        Field copy = f;
+        if (node->join_type == JoinType::kLeft) copy.nullable = true;
+        fields.push_back(copy);
+      }
+      node->schema = Schema(std::move(fields));
+      return;
+    }
+  }
+}
+
+void FoldPlanConstants(const PlanPtr& node) {
+  if (node->predicate != nullptr) node->predicate = FoldExpr(node->predicate);
+  for (auto& e : node->expressions) e = FoldExpr(e);
+  if (node->residual != nullptr) node->residual = FoldExpr(node->residual);
+  for (const auto& child : node->children) FoldPlanConstants(child);
+}
+
+}  // namespace
+
+Result<PlanPtr> OptimizePlan(PlanPtr plan, const OptimizerOptions& options) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  if (options.fold_constants) FoldPlanConstants(plan);
+  if (options.pushdown_predicates) PushdownPredicates(plan);
+  if (options.pushdown_projections) {
+    std::set<std::string> needed;
+    for (const auto& f : plan->schema.fields()) needed.insert(f.name);
+    PruneColumns(plan, std::move(needed));
+  }
+  return plan;
+}
+
+}  // namespace bauplan::sql

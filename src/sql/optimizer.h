@@ -1,0 +1,31 @@
+#ifndef BAUPLAN_SQL_OPTIMIZER_H_
+#define BAUPLAN_SQL_OPTIMIZER_H_
+
+#include "common/result.h"
+#include "sql/logical_plan.h"
+
+namespace bauplan::sql {
+
+/// Which rewrites to run; benches toggle these to ablate their effect.
+struct OptimizerOptions {
+  /// Converts `col <op> literal` WHERE conjuncts into scan predicate
+  /// hints (zone-map / partition pruning). The filter itself stays —
+  /// pruning is conservative.
+  bool pushdown_predicates = true;
+  /// Trims scan (and intermediate projection) output to the columns the
+  /// query actually uses.
+  bool pushdown_projections = true;
+  /// Evaluates literal-only subexpressions at plan time.
+  bool fold_constants = true;
+};
+
+/// Rewrites `plan` in place and returns it. This turns the logical plan
+/// into the physical plan of the paper's Fig. 3 bottom layer: the
+/// "pushed down WHERE filters to obtain a smaller in-memory table" of
+/// section 4.4.2 is exactly pushdown_predicates + pushdown_projections.
+Result<PlanPtr> OptimizePlan(PlanPtr plan,
+                             const OptimizerOptions& options = {});
+
+}  // namespace bauplan::sql
+
+#endif  // BAUPLAN_SQL_OPTIMIZER_H_

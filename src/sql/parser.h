@@ -1,0 +1,31 @@
+#ifndef BAUPLAN_SQL_PARSER_H_
+#define BAUPLAN_SQL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace bauplan::sql {
+
+/// Parses one SELECT statement (optionally ;-terminated).
+/// InvalidArgument with position info on syntax errors.
+///
+/// Grammar (informal):
+///   SELECT item (, item)*
+///   FROM table [alias] ([INNER|LEFT [OUTER]] JOIN table [alias] ON expr)*
+///   [WHERE expr] [GROUP BY expr (, expr)*] [HAVING expr]
+///   [ORDER BY expr [ASC|DESC] (, ...)*] [LIMIT n]
+/// Expressions: OR > AND > NOT > comparison/IS/IN/BETWEEN/LIKE >
+/// additive > multiplicative > unary - > primary (literal, column, f(x),
+/// CAST, CASE, parenthesized).
+Result<SelectStatement> ParseSelect(std::string_view sql);
+
+/// Convenience for dependency extraction: table names referenced by the
+/// FROM/JOIN clauses of `sql`, in appearance order.
+Result<std::vector<std::string>> ExtractTableReferences(std::string_view sql);
+
+}  // namespace bauplan::sql
+
+#endif  // BAUPLAN_SQL_PARSER_H_

@@ -1,0 +1,37 @@
+#ifndef BAUPLAN_SQL_PLANNER_H_
+#define BAUPLAN_SQL_PLANNER_H_
+
+#include <string>
+
+#include "columnar/type.h"
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/logical_plan.h"
+
+namespace bauplan::sql {
+
+/// Where the planner looks up table schemas. The engine binds this to the
+/// lakehouse catalog (branch-aware) or to in-memory tables in tests.
+class SchemaResolver {
+ public:
+  virtual ~SchemaResolver() = default;
+  virtual Result<columnar::Schema> GetTableSchema(
+      const std::string& table_name) const = 0;
+};
+
+/// Infers the output type of a bound expression against `schema`.
+Result<columnar::TypeId> InferExprType(const Expr& expr,
+                                       const columnar::Schema& schema);
+
+/// Binds and plans one SELECT statement into a logical plan tree:
+///   Limit? <- Sort? <- Project <- Filter(having)? <- Aggregate? <-
+///   Filter(where)? <- Join* <- Scan
+/// Name resolution rules: single-table queries use plain column names;
+/// join outputs qualify every column as "alias.column" and unqualified
+/// references bind when the suffix is unique.
+Result<PlanPtr> PlanQuery(const SelectStatement& stmt,
+                          const SchemaResolver& resolver);
+
+}  // namespace bauplan::sql
+
+#endif  // BAUPLAN_SQL_PLANNER_H_

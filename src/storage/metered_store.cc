@@ -1,0 +1,61 @@
+#include "storage/metered_store.h"
+
+namespace bauplan::storage {
+
+void MeteredObjectStore::Charge(StoreOp op, uint64_t nbytes) const {
+  uint64_t micros = latency_.MicrosFor(op, nbytes);
+  clock_->AdvanceMicros(micros);
+  metrics_.simulated_micros += micros;
+  switch (op) {
+    case StoreOp::kGet:
+      ++metrics_.gets;
+      metrics_.bytes_read += static_cast<int64_t>(nbytes);
+      metrics_.credits += cost_.CreditsFor(nbytes);
+      break;
+    case StoreOp::kPut:
+      ++metrics_.puts;
+      metrics_.bytes_written += static_cast<int64_t>(nbytes);
+      metrics_.credits += cost_.CreditsFor(nbytes);
+      break;
+    case StoreOp::kHead:
+      ++metrics_.heads;
+      metrics_.credits += cost_.CreditsFor(0);
+      break;
+    case StoreOp::kList:
+      ++metrics_.lists;
+      metrics_.credits += cost_.CreditsFor(0);
+      break;
+    case StoreOp::kDelete:
+      ++metrics_.deletes;
+      break;
+  }
+}
+
+Status MeteredObjectStore::Put(const std::string& key, Bytes data) {
+  Charge(StoreOp::kPut, data.size());
+  return base_->Put(key, std::move(data));
+}
+
+Result<Bytes> MeteredObjectStore::Get(const std::string& key) const {
+  Result<Bytes> result = base_->Get(key);
+  Charge(StoreOp::kGet, result.ok() ? result->size() : 0);
+  return result;
+}
+
+Result<uint64_t> MeteredObjectStore::Head(const std::string& key) const {
+  Charge(StoreOp::kHead, 0);
+  return base_->Head(key);
+}
+
+Status MeteredObjectStore::Delete(const std::string& key) {
+  Charge(StoreOp::kDelete, 0);
+  return base_->Delete(key);
+}
+
+Result<std::vector<ObjectMeta>> MeteredObjectStore::List(
+    const std::string& prefix) const {
+  Charge(StoreOp::kList, 0);
+  return base_->List(prefix);
+}
+
+}  // namespace bauplan::storage

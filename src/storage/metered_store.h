@@ -1,0 +1,68 @@
+#ifndef BAUPLAN_STORAGE_METERED_STORE_H_
+#define BAUPLAN_STORAGE_METERED_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "storage/latency_model.h"
+#include "storage/object_store.h"
+
+namespace bauplan::storage {
+
+/// Running totals of everything a metered store did. The fusion benchmark
+/// (paper section 4.4.2) compares exactly these counters between the naive
+/// spill-through-storage execution and the fused in-memory one.
+struct StoreMetrics {
+  int64_t gets = 0;
+  int64_t puts = 0;
+  int64_t heads = 0;
+  int64_t lists = 0;
+  int64_t deletes = 0;
+  int64_t bytes_read = 0;
+  int64_t bytes_written = 0;
+  /// Total modeled latency charged to the clock, microseconds.
+  uint64_t simulated_micros = 0;
+  /// Accumulated scan credits (cost model).
+  double credits = 0.0;
+
+  int64_t TotalRequests() const {
+    return gets + puts + heads + lists + deletes;
+  }
+};
+
+/// Decorates any ObjectStore with a latency model (charged to a Clock) and
+/// a cost model (accumulated as credits). This is how the repo simulates
+/// "object storage is slow and should be a last resort" (paper section 4.5)
+/// without a real cloud: backends stay instant, and all timing claims are
+/// read off the simulated clock.
+class MeteredObjectStore : public ObjectStore {
+ public:
+  /// Does not take ownership of `base` or `clock`; both must outlive this.
+  MeteredObjectStore(ObjectStore* base, Clock* clock, LatencyModel latency,
+                     CostModel cost = {})
+      : base_(base), clock_(clock), latency_(latency), cost_(cost) {}
+
+  Status Put(const std::string& key, Bytes data) override;
+  Result<Bytes> Get(const std::string& key) const override;
+  Result<uint64_t> Head(const std::string& key) const override;
+  Status Delete(const std::string& key) override;
+  Result<std::vector<ObjectMeta>> List(
+      const std::string& prefix) const override;
+
+  const StoreMetrics& metrics() const { return metrics_; }
+  void ResetMetrics() { metrics_ = StoreMetrics(); }
+
+ private:
+  void Charge(StoreOp op, uint64_t nbytes) const;
+
+  ObjectStore* base_;
+  Clock* clock_;
+  LatencyModel latency_;
+  CostModel cost_;
+  mutable StoreMetrics metrics_;
+};
+
+}  // namespace bauplan::storage
+
+#endif  // BAUPLAN_STORAGE_METERED_STORE_H_

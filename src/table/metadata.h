@@ -1,0 +1,92 @@
+#ifndef BAUPLAN_TABLE_METADATA_H_
+#define BAUPLAN_TABLE_METADATA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columnar/compute.h"
+#include "columnar/type.h"
+#include "columnar/value.h"
+#include "common/bytes.h"
+#include "common/result.h"
+#include "table/partition.h"
+
+namespace bauplan::table {
+
+/// One immutable data file (a BPF file in object storage) tracked by a
+/// manifest: its partition tuple and per-column statistics let the scan
+/// planner prune it without opening it.
+struct DataFile {
+  /// Object-store key of the BPF payload.
+  std::string path;
+  int64_t record_count = 0;
+  uint64_t file_size_bytes = 0;
+  /// Partition tuple, ordered as the table's PartitionSpec fields.
+  std::vector<columnar::Value> partition;
+  /// Per-column stats ordered as the schema fields at write time; columns
+  /// appended later (schema evolution) are simply absent.
+  std::vector<columnar::ColumnStats> column_stats;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<DataFile> Deserialize(BinaryReader* reader);
+};
+
+/// A manifest: the list of data files added by one snapshot. Stored as its
+/// own object so unrelated snapshots share nothing.
+struct Manifest {
+  std::vector<DataFile> files;
+
+  Bytes Serialize() const;
+  static Result<Manifest> Deserialize(const Bytes& bytes);
+};
+
+/// One version of the table's contents. A snapshot owns a list of manifest
+/// keys; the live data of the table at this snapshot is the union of their
+/// files. Overwrites start a fresh manifest list; appends extend the
+/// parent's.
+struct Snapshot {
+  int64_t snapshot_id = 0;
+  int64_t parent_snapshot_id = -1;
+  uint64_t timestamp_micros = 0;
+  /// "append" or "overwrite".
+  std::string operation;
+  /// Object-store keys of all manifests live at this snapshot.
+  std::vector<std::string> manifest_keys;
+  int64_t total_records = 0;
+
+  void Serialize(BinaryWriter* writer) const;
+  static Result<Snapshot> Deserialize(BinaryReader* reader);
+};
+
+/// Root of the table's metadata tree (the Iceberg "table metadata file").
+/// Immutable: every commit writes a new metadata object and the catalog
+/// repoints the table name at it — which is what makes Nessie-style
+/// catalog versioning and time travel compose.
+struct TableMetadata {
+  std::string table_name;
+  /// Current schema; schema_version increments on evolution.
+  columnar::Schema schema;
+  int32_t schema_version = 0;
+  PartitionSpec spec;
+  /// All snapshots, oldest first.
+  std::vector<Snapshot> snapshots;
+  int64_t current_snapshot_id = -1;
+  uint64_t last_updated_micros = 0;
+
+  /// The current snapshot; NotFound for a table with no data yet.
+  Result<Snapshot> CurrentSnapshot() const;
+
+  /// Snapshot by id.
+  Result<Snapshot> SnapshotById(int64_t snapshot_id) const;
+
+  /// The newest snapshot whose timestamp is <= `micros` (time travel).
+  Result<Snapshot> SnapshotAsOf(uint64_t micros) const;
+
+  Bytes Serialize() const;
+  static Result<TableMetadata> Deserialize(const Bytes& bytes);
+};
+
+}  // namespace bauplan::table
+
+#endif  // BAUPLAN_TABLE_METADATA_H_

@@ -1,0 +1,51 @@
+#include "workload/cost_curve.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace bauplan::workload {
+
+Result<std::vector<CostCurvePoint>> ComputeCostCurve(
+    const std::vector<uint64_t>& bytes_scanned,
+    const storage::CostModel& cost) {
+  return ComputeCostCurve(bytes_scanned, [&cost](uint64_t bytes) {
+    return cost.CreditsFor(bytes);
+  });
+}
+
+Result<std::vector<CostCurvePoint>> ComputeCostCurve(
+    const std::vector<uint64_t>& bytes_scanned,
+    const std::function<double(uint64_t)>& credits_for) {
+  if (bytes_scanned.empty()) {
+    return Status::InvalidArgument("empty workload");
+  }
+  std::vector<uint64_t> sorted = bytes_scanned;
+  std::sort(sorted.begin(), sorted.end());
+
+  // Prefix sums of credits in ascending-bytes order.
+  std::vector<double> prefix(sorted.size() + 1, 0.0);
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    prefix[i + 1] = prefix[i] + credits_for(sorted[i]);
+  }
+  double total = prefix.back();
+  if (total <= 0) {
+    return Status::FailedPrecondition("workload has zero total cost");
+  }
+
+  std::vector<CostCurvePoint> out;
+  out.reserve(100);
+  for (int p = 1; p <= 100; ++p) {
+    size_t count = static_cast<size_t>(
+        static_cast<double>(sorted.size()) * p / 100.0);
+    count = std::min(std::max<size_t>(count, 1), sorted.size());
+    CostCurvePoint point;
+    point.percentile = p;
+    point.bytes_at_percentile = static_cast<double>(sorted[count - 1]);
+    point.cumulative_cost_share = prefix[count] / total;
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace bauplan::workload

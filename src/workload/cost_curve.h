@@ -1,0 +1,38 @@
+#ifndef BAUPLAN_WORKLOAD_COST_CURVE_H_
+#define BAUPLAN_WORKLOAD_COST_CURVE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/latency_model.h"
+
+namespace bauplan::workload {
+
+/// One point of Fig. 1 (right): queries up to the p-th bytes-scanned
+/// percentile are responsible for `cumulative_cost_share` of all credits.
+struct CostCurvePoint {
+  double percentile = 0;
+  /// Bytes-scanned value at this percentile.
+  double bytes_at_percentile = 0;
+  /// Fraction of total credits consumed by queries at or below it.
+  double cumulative_cost_share = 0;
+};
+
+/// Computes the cumulative-cost curve of a bytes-scanned workload under a
+/// credit cost model, at integer percentiles 1..100.
+Result<std::vector<CostCurvePoint>> ComputeCostCurve(
+    const std::vector<uint64_t>& bytes_scanned,
+    const storage::CostModel& cost = {});
+
+/// Same, with an arbitrary per-query cost function (e.g. warehouse-style
+/// time billing with a 60-second minimum, which is what produces the
+/// paper's 80/80 point).
+Result<std::vector<CostCurvePoint>> ComputeCostCurve(
+    const std::vector<uint64_t>& bytes_scanned,
+    const std::function<double(uint64_t)>& credits_for);
+
+}  // namespace bauplan::workload
+
+#endif  // BAUPLAN_WORKLOAD_COST_CURVE_H_

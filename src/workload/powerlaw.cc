@@ -1,0 +1,121 @@
+#include "workload/powerlaw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace bauplan::workload {
+
+std::vector<CcdfPoint> ComputeCcdf(std::vector<double> samples,
+                                   int points) {
+  std::vector<CcdfPoint> out;
+  if (samples.empty() || points <= 0) return out;
+  std::sort(samples.begin(), samples.end());
+  double lo = samples.front();
+  double hi = samples.back();
+  if (lo <= 0) lo = 1e-12;
+  if (hi <= lo) hi = lo * 1.0001;
+  double log_lo = std::log(lo);
+  double log_hi = std::log(hi);
+  const double n = static_cast<double>(samples.size());
+  for (int i = 0; i < points; ++i) {
+    double x = std::exp(log_lo + (log_hi - log_lo) * i /
+                        std::max(points - 1, 1));
+    // Count of samples >= x via binary search.
+    auto it = std::lower_bound(samples.begin(), samples.end(), x);
+    double count = static_cast<double>(samples.end() - it);
+    out.push_back({x, count / n});
+  }
+  return out;
+}
+
+Result<PowerLawFit> FitPowerLaw(const std::vector<double>& samples,
+                                double xmin) {
+  if (xmin <= 0) {
+    return Status::InvalidArgument("xmin must be positive");
+  }
+  double log_sum = 0;
+  int64_t n = 0;
+  std::vector<double> tail;
+  for (double x : samples) {
+    if (x >= xmin) {
+      log_sum += std::log(x / xmin);
+      tail.push_back(x);
+      ++n;
+    }
+  }
+  if (n < 10) {
+    return Status::FailedPrecondition(
+        StrCat("only ", n, " samples at or above xmin=", xmin,
+               "; need at least 10"));
+  }
+  if (log_sum <= 0) {
+    return Status::FailedPrecondition("degenerate tail (all equal xmin)");
+  }
+  PowerLawFit fit;
+  fit.alpha = 1.0 + static_cast<double>(n) / log_sum;
+  fit.xmin = xmin;
+  fit.tail_samples = n;
+
+  // KS distance between empirical tail CCDF and the fitted CCDF.
+  std::sort(tail.begin(), tail.end());
+  double ks = 0;
+  for (size_t i = 0; i < tail.size(); ++i) {
+    double empirical_cdf =
+        static_cast<double>(i + 1) / static_cast<double>(tail.size());
+    double model_cdf = 1.0 - std::pow(tail[i] / xmin, 1.0 - fit.alpha);
+    ks = std::max(ks, std::fabs(empirical_cdf - model_cdf));
+  }
+  fit.ks_distance = ks;
+  return fit;
+}
+
+Result<PowerLawFit> FitPowerLawAutoXmin(const std::vector<double>& samples,
+                                        int max_candidates) {
+  if (samples.size() < 20) {
+    return Status::FailedPrecondition("need at least 20 samples");
+  }
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  // Candidate xmins: quantiles of the lower 90% of the data.
+  std::vector<double> candidates;
+  int steps = std::max(1, max_candidates);
+  for (int i = 0; i < steps; ++i) {
+    size_t idx = static_cast<size_t>(
+        0.9 * static_cast<double>(sorted.size() - 1) * i / steps);
+    double candidate = sorted[idx];
+    if (candidate <= 0) continue;
+    if (!candidates.empty() && candidate == candidates.back()) continue;
+    candidates.push_back(candidate);
+  }
+  Result<PowerLawFit> best = Status::FailedPrecondition("no usable xmin");
+  for (double xmin : candidates) {
+    auto fit = FitPowerLaw(samples, xmin);
+    if (!fit.ok()) continue;
+    if (!best.ok() || fit->ks_distance < best->ks_distance) best = fit;
+  }
+  return best;
+}
+
+double PowerLawCcdf(const PowerLawFit& fit, double x) {
+  if (x <= fit.xmin) return 1.0;
+  return std::pow(x / fit.xmin, 1.0 - fit.alpha);
+}
+
+Result<double> Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("percentile of empty sample set");
+  }
+  if (p < 0 || p > 100) {
+    return Status::InvalidArgument("percentile must be in [0, 100]");
+  }
+  std::sort(samples.begin(), samples.end());
+  double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1 - frac) + samples[hi] * frac;
+}
+
+}  // namespace bauplan::workload

@@ -1,0 +1,55 @@
+#ifndef BAUPLAN_WORKLOAD_POWERLAW_H_
+#define BAUPLAN_WORKLOAD_POWERLAW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace bauplan::workload {
+
+/// One point of an empirical (or fitted) complementary CDF.
+struct CcdfPoint {
+  double x = 0;
+  /// P(X >= x).
+  double ccdf = 0;
+};
+
+/// Empirical CCDF of `samples` evaluated at `points` log-spaced x values
+/// between the min and max sample (the log-log series of Fig. 1 left).
+std::vector<CcdfPoint> ComputeCcdf(std::vector<double> samples,
+                                   int points = 50);
+
+/// Result of a continuous power-law MLE fit (Clauset/Alstott-style, the
+/// same method as the `powerlaw` package the paper used to anonymize its
+/// data).
+struct PowerLawFit {
+  /// Tail exponent of the density p(x) ~ x^-alpha (alpha = 1 + tail index).
+  double alpha = 0;
+  double xmin = 0;
+  /// Samples at or above xmin used in the fit.
+  int64_t tail_samples = 0;
+  /// Kolmogorov-Smirnov distance between empirical and fitted tails.
+  double ks_distance = 0;
+};
+
+/// Fits alpha by MLE with a fixed xmin:
+///   alpha = 1 + n / sum(ln(x_i / xmin)), x_i >= xmin.
+Result<PowerLawFit> FitPowerLaw(const std::vector<double>& samples,
+                                double xmin);
+
+/// Fits xmin too, by scanning candidate xmins (each observed value) and
+/// keeping the fit with the smallest KS distance — the standard
+/// Clauset-Shalizi-Newman procedure.
+Result<PowerLawFit> FitPowerLawAutoXmin(const std::vector<double>& samples,
+                                        int max_candidates = 50);
+
+/// CCDF of the fitted power law at x: (x/xmin)^-(alpha-1), for x >= xmin.
+double PowerLawCcdf(const PowerLawFit& fit, double x);
+
+/// The p-th percentile (0..100) of `samples` (linear interpolation).
+Result<double> Percentile(std::vector<double> samples, double p);
+
+}  // namespace bauplan::workload
+
+#endif  // BAUPLAN_WORKLOAD_POWERLAW_H_

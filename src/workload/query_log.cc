@@ -1,0 +1,58 @@
+#include "workload/query_log.h"
+
+#include <cmath>
+
+namespace bauplan::workload {
+
+std::vector<CompanyProfile> PaperCompanyProfiles() {
+  // Shapes chosen to straddle the paper's Fig. 1 (left): all power-law,
+  // "a good chunk of the queries in the 10^0-10^1 seconds range", with
+  // heavier tails for bigger companies.
+  return {
+      {"company_a_startup", 2.6, 0.4, 20000},
+      {"company_b_scaleup", 2.1, 0.6, 50000},
+      {"company_c_public", 1.7, 1.0, 120000},
+  };
+}
+
+QueryLog GenerateQueryLog(const CompanyProfile& profile, Rng& rng,
+                          double bytes_per_second_scan) {
+  QueryLog log;
+  log.company = profile.name;
+  log.durations_seconds.reserve(
+      static_cast<size_t>(profile.queries_per_month));
+  log.bytes_scanned.reserve(
+      static_cast<size_t>(profile.queries_per_month));
+  // Density exponent alpha corresponds to Pareto tail index alpha-1.
+  double tail_index = profile.alpha - 1.0;
+  for (int64_t i = 0; i < profile.queries_per_month; ++i) {
+    double duration = rng.Pareto(profile.xmin_seconds, tail_index);
+    // Statement timeout: queries that would run longer are killed and
+    // retried smaller (rejection-sample), truncating the extreme tail.
+    int guard = 0;
+    while (duration > profile.timeout_seconds && guard++ < 64) {
+      duration = rng.Pareto(profile.xmin_seconds, tail_index);
+    }
+    if (duration > profile.timeout_seconds) {
+      duration = profile.timeout_seconds;
+    }
+    log.durations_seconds.push_back(duration);
+    // Bytes scanned are duration-correlated with log-normal noise
+    // (sigma 0.5 ~ a 65% multiplicative spread).
+    double noise = std::exp(rng.Normal(0.0, 0.5));
+    log.bytes_scanned.push_back(static_cast<uint64_t>(
+        duration * bytes_per_second_scan * noise));
+  }
+  return log;
+}
+
+double CalibrateXminForPercentile(double alpha, double percentile,
+                                  double target_bytes) {
+  // Pareto CCDF (x/xmin)^-k with k = alpha-1; P(X <= x_p) = p means
+  // (x_p/xmin)^-k = 1-p, so xmin = x_p * (1-p)^(1/k).
+  double k = alpha - 1.0;
+  double p = percentile / 100.0;
+  return target_bytes * std::pow(1.0 - p, 1.0 / k);
+}
+
+}  // namespace bauplan::workload

@@ -1,0 +1,57 @@
+#ifndef BAUPLAN_WORKLOAD_QUERY_LOG_H_
+#define BAUPLAN_WORKLOAD_QUERY_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace bauplan::workload {
+
+/// Power-law profile of one company's SQL workload. The paper anonymized
+/// real query-history logs by fitting the `powerlaw` package and then
+/// re-sampling from the fit (section 3.1 footnote 2); these profiles play
+/// the role of those fitted parameters.
+struct CompanyProfile {
+  std::string name;
+  /// Tail exponent of the query-time density p(t) ~ t^-alpha.
+  double alpha = 2.0;
+  /// Minimum of the power-law regime, seconds.
+  double xmin_seconds = 0.5;
+  /// Queries in one month of history.
+  int64_t queries_per_month = 50000;
+  /// Statement timeout: real warehouses kill longer queries, which
+  /// truncates the power-law tail at the far right of Fig. 1.
+  double timeout_seconds = 7200.0;
+};
+
+/// One month of one company's query history.
+struct QueryLog {
+  std::string company;
+  /// Per-query durations, seconds.
+  std::vector<double> durations_seconds;
+  /// Per-query bytes scanned (correlated with duration, as the paper
+  /// observes: "query time correlates with byte scans and table size").
+  std::vector<uint64_t> bytes_scanned;
+};
+
+/// The paper's three sample companies (startup -> public firm): the same
+/// power-law shape with different tail exponents and volumes.
+std::vector<CompanyProfile> PaperCompanyProfiles();
+
+/// Samples a month of queries for `profile`. Durations are Pareto
+/// (xmin, alpha-1 tail); bytes scanned are duration-correlated with
+/// multiplicative noise around `bytes_per_second_scan`.
+QueryLog GenerateQueryLog(const CompanyProfile& profile, Rng& rng,
+                          double bytes_per_second_scan = 250e6);
+
+/// Calibrates a bytes-scanned Pareto distribution so that the p-th
+/// percentile equals `target_bytes` (the paper's design partner: P80 =
+/// 750 MB). Returns the xmin for the given alpha.
+double CalibrateXminForPercentile(double alpha, double percentile,
+                                  double target_bytes);
+
+}  // namespace bauplan::workload
+
+#endif  // BAUPLAN_WORKLOAD_QUERY_LOG_H_

@@ -1,0 +1,90 @@
+#include "workload/taxi_gen.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "columnar/builder.h"
+#include "columnar/datetime.h"
+
+namespace bauplan::workload {
+
+using columnar::DoubleBuilder;
+using columnar::Int64Builder;
+using columnar::Schema;
+using columnar::StringBuilder;
+using columnar::Table;
+using columnar::TypeId;
+
+Result<Table> GenerateTaxiTable(const TaxiGenOptions& options) {
+  if (options.rows < 0 || options.num_locations <= 0 || options.days <= 0) {
+    return Status::InvalidArgument("invalid taxi generator options");
+  }
+  BAUPLAN_ASSIGN_OR_RETURN(
+      int64_t start_micros,
+      columnar::ParseTimestampString(options.start_date));
+  Rng rng(options.seed);
+  ZipfDistribution location_popularity(
+      static_cast<uint64_t>(options.num_locations),
+      options.location_zipf_s);
+
+  Int64Builder trip_id;
+  Int64Builder pickup_at(TypeId::kTimestamp);
+  Int64Builder pickup_location, dropoff_location, passenger_count;
+  DoubleBuilder trip_distance, fare;
+  StringBuilder zone;
+
+  const int64_t span_micros =
+      static_cast<int64_t>(options.days) * 86400ll * 1000000;
+  for (int64_t i = 0; i < options.rows; ++i) {
+    trip_id.Append(i + 1);
+    // Diurnal timestamps: uniform day + normal around 14:00 local.
+    int64_t day_offset = rng.UniformInt(0, options.days - 1);
+    double hour = rng.Normal(14.0, 4.5);
+    if (hour < 0) hour = 0;
+    if (hour >= 24) hour = 23.99;
+    int64_t within_day = static_cast<int64_t>(hour * 3600e6);
+    int64_t ts = start_micros + day_offset * 86400ll * 1000000 + within_day;
+    if (ts >= start_micros + span_micros) ts = start_micros + span_micros - 1;
+    pickup_at.Append(ts);
+
+    int64_t pickup =
+        static_cast<int64_t>(location_popularity.Sample(rng));
+    int64_t dropoff =
+        static_cast<int64_t>(location_popularity.Sample(rng));
+    pickup_location.Append(pickup);
+    dropoff_location.Append(dropoff);
+
+    if (rng.Bernoulli(options.null_passenger_rate)) {
+      passenger_count.AppendNull();
+    } else {
+      // Mostly 1-2 passengers, occasionally a van.
+      int64_t pax = 1 + static_cast<int64_t>(rng.Exponential(1.2));
+      passenger_count.Append(pax > 6 ? 6 : pax);
+    }
+
+    double miles = std::exp(rng.Normal(std::log(2.2), 0.8));
+    trip_distance.Append(miles);
+    // Taxi-meter-ish fare: flagfall + per-mile with noise.
+    fare.Append(3.0 + 2.5 * miles + rng.Uniform(0.0, 2.0));
+
+    char zone_name[24];
+    std::snprintf(zone_name, sizeof(zone_name), "zone_%03lld",
+                  static_cast<long long>(pickup));
+    zone.Append(zone_name);
+  }
+
+  return Table::Make(
+      Schema({{"trip_id", TypeId::kInt64, false},
+              {"pickup_at", TypeId::kTimestamp, false},
+              {"pickup_location_id", TypeId::kInt64, false},
+              {"dropoff_location_id", TypeId::kInt64, false},
+              {"passenger_count", TypeId::kInt64, true},
+              {"trip_distance", TypeId::kDouble, false},
+              {"fare", TypeId::kDouble, false},
+              {"zone", TypeId::kString, false}}),
+      {trip_id.Finish(), pickup_at.Finish(), pickup_location.Finish(),
+       dropoff_location.Finish(), passenger_count.Finish(),
+       trip_distance.Finish(), fare.Finish(), zone.Finish()});
+}
+
+}  // namespace bauplan::workload

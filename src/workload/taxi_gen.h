@@ -1,0 +1,38 @@
+#ifndef BAUPLAN_WORKLOAD_TAXI_GEN_H_
+#define BAUPLAN_WORKLOAD_TAXI_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "columnar/table.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace bauplan::workload {
+
+/// Parameters of the synthetic NYC-taxi-like dataset (the paper's running
+/// example uses the public TLC trip records; we generate a statistically
+/// similar table: Zipf-popular pickup zones, diurnal timestamps,
+/// log-normal fares).
+struct TaxiGenOptions {
+  int64_t rows = 100000;
+  /// Trip timestamps span [start_date, start_date + days).
+  std::string start_date = "2019-04-01";
+  int days = 30;
+  /// Distinct pickup/dropoff location ids, Zipf-popular.
+  int64_t num_locations = 265;  // the real TLC zone count
+  double location_zipf_s = 1.05;
+  /// Fraction of rows with a null passenger_count (data dirtiness).
+  double null_passenger_rate = 0.01;
+  uint64_t seed = 42;
+};
+
+/// Schema of the generated table:
+///   trip_id int64, pickup_at timestamp, pickup_location_id int64,
+///   dropoff_location_id int64, passenger_count int64 (nullable),
+///   trip_distance double, fare double, zone string.
+Result<columnar::Table> GenerateTaxiTable(const TaxiGenOptions& options);
+
+}  // namespace bauplan::workload
+
+#endif  // BAUPLAN_WORKLOAD_TAXI_GEN_H_

@@ -1,0 +1,275 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/transaction.h"
+#include "common/clock.h"
+#include "storage/object_store.h"
+
+namespace bauplan::catalog {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto opened = Catalog::Open(&store_, &clock_);
+    ASSERT_TRUE(opened.ok());
+    catalog_ = std::make_unique<Catalog>(*opened);
+  }
+
+  Result<std::string> Commit(const std::string& branch,
+                             const std::string& table,
+                             const std::string& key,
+                             const std::string& expected_head = "") {
+    TableChanges changes;
+    changes.puts[table] = key;
+    return catalog_->CommitChanges(branch, "set " + table, "tester",
+                                   changes, expected_head);
+  }
+
+  storage::MemoryObjectStore store_;
+  SimClock clock_{1000};
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(CatalogTest, FreshCatalogHasMainWithRootCommit) {
+  EXPECT_TRUE(catalog_->HasBranch("main"));
+  auto log = catalog_->Log("main");
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(log->size(), 1u);
+  EXPECT_EQ((*log)[0].parent_id, "");
+  auto tables = catalog_->GetTables("main");
+  ASSERT_TRUE(tables.ok());
+  EXPECT_TRUE(tables->empty());
+}
+
+TEST_F(CatalogTest, ReopenSeesExistingState) {
+  ASSERT_TRUE(Commit("main", "taxi", "meta/v1").ok());
+  auto reopened = Catalog::Open(&store_, &clock_);
+  ASSERT_TRUE(reopened.ok());
+  auto key = reopened->GetTable("main", "taxi");
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(*key, "meta/v1");
+}
+
+TEST_F(CatalogTest, CommitAdvancesBranchAndKeepsHistory) {
+  auto c1 = Commit("main", "taxi", "meta/v1");
+  ASSERT_TRUE(c1.ok());
+  auto c2 = Commit("main", "taxi", "meta/v2");
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NE(*c1, *c2);
+
+  EXPECT_EQ(*catalog_->GetTable("main", "taxi"), "meta/v2");
+  // Old commit still readable by id (time travel).
+  EXPECT_EQ(*catalog_->GetTable(*c1, "taxi"), "meta/v1");
+
+  auto log = catalog_->Log("main");
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(log->size(), 3u);
+  EXPECT_EQ((*log)[0].id, *c2);
+  EXPECT_EQ((*log)[1].id, *c1);
+}
+
+TEST_F(CatalogTest, CommitDeletesTable) {
+  ASSERT_TRUE(Commit("main", "taxi", "meta/v1").ok());
+  TableChanges changes;
+  changes.deletes.push_back("taxi");
+  ASSERT_TRUE(
+      catalog_->CommitChanges("main", "drop taxi", "tester", changes).ok());
+  EXPECT_TRUE(catalog_->GetTable("main", "taxi").status().IsNotFound());
+  // Deleting a missing table fails.
+  EXPECT_FALSE(
+      catalog_->CommitChanges("main", "drop again", "tester", changes).ok());
+}
+
+TEST_F(CatalogTest, OptimisticConcurrencyConflict) {
+  auto head = catalog_->ResolveRef("main");
+  ASSERT_TRUE(head.ok());
+  ASSERT_TRUE(Commit("main", "a", "k1").ok());  // branch moves
+  auto stale = Commit("main", "b", "k2", *head);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_TRUE(stale.status().IsConflict());
+  // With the right head it succeeds.
+  auto fresh_head = catalog_->ResolveRef("main");
+  EXPECT_TRUE(Commit("main", "b", "k2", *fresh_head).ok());
+}
+
+TEST_F(CatalogTest, BranchesAreIsolated) {
+  ASSERT_TRUE(Commit("main", "taxi", "meta/v1").ok());
+  ASSERT_TRUE(catalog_->CreateBranch("feat_1", "main").ok());
+  ASSERT_TRUE(Commit("feat_1", "taxi", "meta/v2").ok());
+  EXPECT_EQ(*catalog_->GetTable("main", "taxi"), "meta/v1");
+  EXPECT_EQ(*catalog_->GetTable("feat_1", "taxi"), "meta/v2");
+}
+
+TEST_F(CatalogTest, BranchRules) {
+  EXPECT_FALSE(catalog_->CreateBranch("", "main").ok());
+  ASSERT_TRUE(catalog_->CreateBranch("dev", "main").ok());
+  EXPECT_TRUE(catalog_->CreateBranch("dev", "main").IsAlreadyExists());
+  EXPECT_TRUE(catalog_->CreateBranch("x", "no_such_ref").IsNotFound());
+  EXPECT_TRUE(catalog_->DeleteBranch("main").IsFailedPrecondition());
+  EXPECT_TRUE(catalog_->DeleteBranch("dev").ok());
+  EXPECT_TRUE(catalog_->DeleteBranch("dev").IsNotFound());
+
+  auto branches = catalog_->ListBranches();
+  ASSERT_TRUE(branches.ok());
+  ASSERT_EQ(branches->size(), 1u);
+  EXPECT_EQ((*branches)[0], "main");
+}
+
+TEST_F(CatalogTest, TagsResolveButAreImmutableRefs) {
+  auto c1 = Commit("main", "taxi", "meta/v1");
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(catalog_->CreateTag("release-1", "main").ok());
+  ASSERT_TRUE(Commit("main", "taxi", "meta/v2").ok());
+  // Tag still points at v1.
+  EXPECT_EQ(*catalog_->GetTable("release-1", "taxi"), "meta/v1");
+  EXPECT_TRUE(catalog_->CreateTag("release-1", "main").IsAlreadyExists());
+}
+
+TEST_F(CatalogTest, ResolveRefKinds) {
+  auto c1 = Commit("main", "t", "k");
+  ASSERT_TRUE(c1.ok());
+  EXPECT_EQ(*catalog_->ResolveRef("main"), *c1);
+  EXPECT_EQ(*catalog_->ResolveRef(*c1), *c1);
+  EXPECT_TRUE(catalog_->ResolveRef("bogus").status().IsNotFound());
+}
+
+TEST_F(CatalogTest, FastForwardMerge) {
+  ASSERT_TRUE(catalog_->CreateBranch("feat", "main").ok());
+  auto c = Commit("feat", "taxi", "meta/v1");
+  ASSERT_TRUE(c.ok());
+  auto merged = catalog_->Merge("feat", "main", "tester");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(merged->fast_forward);
+  EXPECT_EQ(merged->commit_id, *c);
+  EXPECT_EQ(*catalog_->GetTable("main", "taxi"), "meta/v1");
+}
+
+TEST_F(CatalogTest, MergeAlreadyMergedIsNoop) {
+  ASSERT_TRUE(catalog_->CreateBranch("feat", "main").ok());
+  auto head = catalog_->ResolveRef("main");
+  auto merged = catalog_->Merge("feat", "main", "tester");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(merged->fast_forward);
+  EXPECT_EQ(merged->commit_id, *head);
+}
+
+TEST_F(CatalogTest, ThreeWayMergeDisjointChanges) {
+  ASSERT_TRUE(Commit("main", "base_table", "base/v1").ok());
+  ASSERT_TRUE(catalog_->CreateBranch("feat", "main").ok());
+  ASSERT_TRUE(Commit("feat", "feat_table", "feat/v1").ok());
+  ASSERT_TRUE(Commit("main", "main_table", "main/v1").ok());
+
+  auto merged = catalog_->Merge("feat", "main", "tester");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_FALSE(merged->fast_forward);
+  EXPECT_EQ(*catalog_->GetTable("main", "base_table"), "base/v1");
+  EXPECT_EQ(*catalog_->GetTable("main", "feat_table"), "feat/v1");
+  EXPECT_EQ(*catalog_->GetTable("main", "main_table"), "main/v1");
+  // Merge commit records both parents.
+  auto log = catalog_->Log("main", 1);
+  ASSERT_TRUE(log.ok());
+  EXPECT_FALSE((*log)[0].merge_parent_id.empty());
+}
+
+TEST_F(CatalogTest, ThreeWayMergeConflict) {
+  ASSERT_TRUE(Commit("main", "taxi", "base").ok());
+  ASSERT_TRUE(catalog_->CreateBranch("feat", "main").ok());
+  ASSERT_TRUE(Commit("feat", "taxi", "theirs").ok());
+  ASSERT_TRUE(Commit("main", "taxi", "ours").ok());
+  auto merged = catalog_->Merge("feat", "main", "tester");
+  ASSERT_FALSE(merged.ok());
+  EXPECT_TRUE(merged.status().IsConflict());
+  // Target branch unchanged after a failed merge.
+  EXPECT_EQ(*catalog_->GetTable("main", "taxi"), "ours");
+}
+
+TEST_F(CatalogTest, ThreeWayMergeDeletionPropagates) {
+  ASSERT_TRUE(Commit("main", "taxi", "base").ok());
+  ASSERT_TRUE(catalog_->CreateBranch("feat", "main").ok());
+  TableChanges del;
+  del.deletes.push_back("taxi");
+  ASSERT_TRUE(
+      catalog_->CommitChanges("feat", "drop", "tester", del).ok());
+  ASSERT_TRUE(Commit("main", "other", "o/v1").ok());
+  auto merged = catalog_->Merge("feat", "main", "tester");
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(catalog_->GetTable("main", "taxi").status().IsNotFound());
+  EXPECT_EQ(*catalog_->GetTable("main", "other"), "o/v1");
+}
+
+TEST_F(CatalogTest, EphemeralBranchNamesAreUnique) {
+  auto b1 = catalog_->CreateEphemeralBranch("main", "run");
+  auto b2 = catalog_->CreateEphemeralBranch("main", "run");
+  ASSERT_TRUE(b1.ok());
+  ASSERT_TRUE(b2.ok());
+  EXPECT_NE(*b1, *b2);
+  EXPECT_TRUE(catalog_->HasBranch(*b1));
+}
+
+// ------------------------------------------------- transform-audit-write
+
+TEST_F(CatalogTest, TransformAuditWriteCommitsOnSuccess) {
+  auto result = RunTransformAuditWrite(
+      catalog_.get(), "main", "tester",
+      [](Catalog* cat, const std::string& branch) -> Status {
+        TableChanges changes;
+        changes.puts["pickups"] = "pickups/v1";
+        return cat->CommitChanges(branch, "build pickups", "tester",
+                                  changes).status();
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*catalog_->GetTable("main", "pickups"), "pickups/v1");
+  // Ephemeral branch is gone.
+  EXPECT_FALSE(catalog_->HasBranch(result->ephemeral_branch));
+}
+
+TEST_F(CatalogTest, TransformAuditWriteRollsBackOnFailure) {
+  std::string eph_name;
+  auto result = RunTransformAuditWrite(
+      catalog_.get(), "main", "tester",
+      [&eph_name](Catalog* cat, const std::string& branch) -> Status {
+        eph_name = branch;
+        TableChanges changes;
+        changes.puts["dirty"] = "dirty/v1";
+        BAUPLAN_RETURN_NOT_OK(cat->CommitChanges(branch, "dirty write",
+                                                 "tester", changes)
+                                  .status());
+        return Status::FailedPrecondition("expectation failed: mean <= 10");
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+  // Main never saw the dirty table; ephemeral branch is deleted.
+  EXPECT_TRUE(catalog_->GetTable("main", "dirty").status().IsNotFound());
+  EXPECT_FALSE(catalog_->HasBranch(eph_name));
+}
+
+TEST_F(CatalogTest, TransformAuditWriteOnMissingBranchFails) {
+  auto result = RunTransformAuditWrite(
+      catalog_.get(), "nope", "tester",
+      [](Catalog*, const std::string&) { return Status::OK(); });
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST_F(CatalogTest, CommitTimestampsComeFromClock) {
+  clock_.AdvanceMicros(5000);
+  auto c = Commit("main", "t", "k");
+  ASSERT_TRUE(c.ok());
+  auto commit = catalog_->GetCommit(*c);
+  ASSERT_TRUE(commit.ok());
+  EXPECT_EQ(commit->timestamp_micros, clock_.NowMicros());
+}
+
+TEST_F(CatalogTest, LogLimit) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(Commit("main", "t", "k" + std::to_string(i)).ok());
+  }
+  auto log = catalog_->Log("main", 3);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->size(), 3u);
+}
+
+}  // namespace
+}  // namespace bauplan::catalog

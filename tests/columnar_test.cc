@@ -1,0 +1,548 @@
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "columnar/builder.h"
+#include "columnar/compute.h"
+#include "columnar/datetime.h"
+#include "columnar/serialize.h"
+#include "columnar/table.h"
+#include "columnar/type.h"
+#include "columnar/value.h"
+
+namespace bauplan::columnar {
+namespace {
+
+Schema TaxiSchema() {
+  return Schema({{"pickup_location_id", TypeId::kInt64, false},
+                 {"passenger_count", TypeId::kInt64, true},
+                 {"fare", TypeId::kDouble, true},
+                 {"zone", TypeId::kString, true}});
+}
+
+Table SmallTable() {
+  Int64Builder ids;
+  for (int64_t v : {1, 2, 3, 4}) ids.Append(v);
+  Int64Builder counts;
+  counts.Append(2);
+  counts.AppendNull();
+  counts.Append(5);
+  counts.Append(1);
+  DoubleBuilder fares;
+  fares.Append(10.5);
+  fares.Append(7.25);
+  fares.AppendNull();
+  fares.Append(33.0);
+  StringBuilder zones;
+  zones.Append("JFK");
+  zones.Append("SoHo");
+  zones.Append("JFK");
+  zones.AppendNull();
+  auto table = Table::Make(
+      TaxiSchema(), {ids.Finish(), counts.Finish(), fares.Finish(),
+                     zones.Finish()});
+  return *table;
+}
+
+// ---------------------------------------------------------------- Types
+
+TEST(TypeTest, NamesRoundTrip) {
+  for (TypeId id : {TypeId::kBool, TypeId::kInt64, TypeId::kDouble,
+                    TypeId::kString, TypeId::kTimestamp}) {
+    auto parsed = TypeIdFromString(TypeIdToString(id));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, id);
+  }
+  EXPECT_FALSE(TypeIdFromString("decimal").ok());
+}
+
+TEST(TypeTest, IsNumeric) {
+  EXPECT_TRUE(IsNumeric(TypeId::kInt64));
+  EXPECT_TRUE(IsNumeric(TypeId::kDouble));
+  EXPECT_TRUE(IsNumeric(TypeId::kTimestamp));
+  EXPECT_FALSE(IsNumeric(TypeId::kString));
+  EXPECT_FALSE(IsNumeric(TypeId::kBool));
+}
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s = TaxiSchema();
+  EXPECT_EQ(s.num_fields(), 4);
+  EXPECT_EQ(s.GetFieldIndex("fare"), 2);
+  EXPECT_EQ(s.GetFieldIndex("nope"), -1);
+  EXPECT_TRUE(s.HasField("zone"));
+  auto f = s.GetFieldByName("passenger_count");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->type, TypeId::kInt64);
+  EXPECT_FALSE(s.GetFieldByName("nope").ok());
+}
+
+TEST(SchemaTest, AddRemoveSelect) {
+  Schema s = TaxiSchema();
+  auto added = s.AddField({"tip", TypeId::kDouble, true});
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(added->num_fields(), 5);
+  EXPECT_FALSE(s.AddField({"fare", TypeId::kDouble, true}).ok());
+
+  auto removed = added->RemoveField("zone");
+  ASSERT_TRUE(removed.ok());
+  EXPECT_FALSE(removed->HasField("zone"));
+  EXPECT_FALSE(s.RemoveField("nope").ok());
+
+  auto selected = s.Select({"zone", "fare"});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->field(0).name, "zone");
+  EXPECT_EQ(selected->field(1).name, "fare");
+  EXPECT_FALSE(s.Select({"nope"}).ok());
+}
+
+TEST(SchemaTest, SerializationRoundTrip) {
+  Schema s = TaxiSchema();
+  BinaryWriter w;
+  s.Serialize(&w);
+  BinaryReader r(w.buffer());
+  auto back = Schema::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(*back == s);
+}
+
+// ---------------------------------------------------------------- Value
+
+TEST(ValueTest, NullBehaviour) {
+  Value null = Value::Null();
+  EXPECT_TRUE(null.is_null());
+  EXPECT_EQ(null.ToString(), "NULL");
+  EXPECT_EQ(null.Compare(Value::Int64(0)), -1);  // nulls sort first
+  EXPECT_EQ(Value::Int64(0).Compare(null), 1);
+  EXPECT_EQ(null.Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, NumericCrossTypeComparison) {
+  EXPECT_EQ(Value::Int64(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Int64(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(10.0).Compare(Value::Int64(9)), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x"), Value::String("x"));
+}
+
+TEST(ValueTest, TimestampTypeAndFormat) {
+  auto ts = ParseTimestampString("2019-04-01");
+  ASSERT_TRUE(ts.ok());
+  Value v = Value::Timestamp(*ts);
+  EXPECT_EQ(v.type(), TypeId::kTimestamp);
+  EXPECT_EQ(v.ToString(), "2019-04-01");
+  EXPECT_EQ(v.int64_value(), *ts);
+}
+
+TEST(ValueTest, HashEqualValuesEqualHashes) {
+  EXPECT_EQ(Value::Int64(42).Hash(), Value::Int64(42).Hash());
+  EXPECT_EQ(Value::String("jfk").Hash(), Value::String("jfk").Hash());
+  EXPECT_NE(Value::String("jfk").Hash(), Value::String("lga").Hash());
+}
+
+TEST(ValueTest, SerializationRoundTrip) {
+  std::vector<Value> values = {
+      Value::Null(),         Value::Bool(true),
+      Value::Int64(-42),     Value::Double(2.75),
+      Value::String("зона"), Value::Timestamp(1554076800000000)};
+  BinaryWriter w;
+  for (const auto& v : values) v.Serialize(&w);
+  BinaryReader r(w.buffer());
+  for (const auto& expected : values) {
+    auto back = Value::Deserialize(&r);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->is_null(), expected.is_null());
+    if (!expected.is_null()) {
+      EXPECT_EQ(back->type(), expected.type());
+      EXPECT_EQ(*back, expected);
+    }
+  }
+}
+
+TEST(ValueTest, AsDouble) {
+  EXPECT_EQ(*Value::Int64(4).AsDouble(), 4.0);
+  EXPECT_EQ(*Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_FALSE(Value::String("x").AsDouble().ok());
+  EXPECT_FALSE(Value::Null().AsDouble().ok());
+}
+
+// ---------------------------------------------------------------- Datetime
+
+TEST(DatetimeTest, ParseDateAndDateTime) {
+  auto date = ParseTimestampString("2019-04-01");
+  ASSERT_TRUE(date.ok());
+  EXPECT_EQ(*date, 1554076800000000LL);
+
+  auto dt = ParseTimestampString("2019-04-01 12:30:45");
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ(*dt, 1554076800000000LL +
+                     (12LL * 3600 + 30 * 60 + 45) * 1000000);
+
+  auto iso = ParseTimestampString("2019-04-01T12:30:45");
+  ASSERT_TRUE(iso.ok());
+  EXPECT_EQ(*iso, *dt);
+}
+
+TEST(DatetimeTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseTimestampString("not a date").ok());
+  EXPECT_FALSE(ParseTimestampString("2019-13-01").ok());
+  EXPECT_FALSE(ParseTimestampString("2019-04-45").ok());
+}
+
+TEST(DatetimeTest, FormatRoundTrip) {
+  EXPECT_EQ(FormatTimestampString(*ParseTimestampString("2021-06-15")),
+            "2021-06-15");
+  EXPECT_EQ(
+      FormatTimestampString(*ParseTimestampString("2021-06-15 08:09:10")),
+      "2021-06-15 08:09:10");
+}
+
+// ---------------------------------------------------------------- Arrays
+
+TEST(ArrayTest, Int64BasicAndNulls) {
+  Int64Builder b;
+  b.Append(10);
+  b.AppendNull();
+  b.Append(30);
+  auto arr = b.Finish();
+  EXPECT_EQ(arr->length(), 3);
+  EXPECT_EQ(arr->null_count(), 1);
+  EXPECT_FALSE(arr->IsNull(0));
+  EXPECT_TRUE(arr->IsNull(1));
+  const auto* typed = AsInt64(*arr);
+  ASSERT_NE(typed, nullptr);
+  EXPECT_EQ(typed->Value(0), 10);
+  EXPECT_EQ(typed->Value(2), 30);
+  EXPECT_TRUE(arr->GetValue(1).is_null());
+  EXPECT_EQ(arr->GetValue(2), Value::Int64(30));
+}
+
+TEST(ArrayTest, NoNullsMeansNoValidityAllocation) {
+  Int64Builder b;
+  for (int i = 0; i < 100; ++i) b.Append(i);
+  auto arr = b.Finish();
+  EXPECT_EQ(arr->null_count(), 0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(arr->IsNull(i));
+}
+
+TEST(ArrayTest, StringViewsAndNulls) {
+  StringBuilder b;
+  b.Append("hello");
+  b.AppendNull();
+  b.Append("");
+  b.Append("world");
+  auto arr = b.Finish();
+  const auto* s = AsString(*arr);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->Value(0), "hello");
+  EXPECT_TRUE(s->IsNull(1));
+  EXPECT_EQ(s->Value(2), "");
+  EXPECT_EQ(s->Value(3), "world");
+}
+
+TEST(ArrayTest, TimestampArrayReportsTimestampType) {
+  Int64Builder b(TypeId::kTimestamp);
+  b.Append(1554076800000000LL);
+  auto arr = b.Finish();
+  EXPECT_EQ(arr->type(), TypeId::kTimestamp);
+  EXPECT_EQ(arr->GetValue(0).type(), TypeId::kTimestamp);
+  EXPECT_NE(AsInt64(*arr), nullptr);  // int64 storage is shared
+}
+
+TEST(ArrayTest, BoolArray) {
+  BoolBuilder b;
+  b.Append(true);
+  b.Append(false);
+  b.AppendNull();
+  auto arr = b.Finish();
+  const auto* typed = AsBool(*arr);
+  EXPECT_TRUE(typed->Value(0));
+  EXPECT_FALSE(typed->Value(1));
+  EXPECT_TRUE(typed->IsNull(2));
+}
+
+TEST(ArrayTest, DowncastMismatchedTypeIsNull) {
+  Int64Builder b;
+  b.Append(1);
+  auto arr = b.Finish();
+  EXPECT_EQ(AsString(*arr), nullptr);
+  EXPECT_EQ(AsBool(*arr), nullptr);
+  EXPECT_EQ(AsDouble(*arr), nullptr);
+}
+
+TEST(BuilderTest, AppendValueTypeChecks) {
+  Int64Builder b;
+  EXPECT_TRUE(b.AppendValue(Value::Int64(1)).ok());
+  EXPECT_TRUE(b.AppendValue(Value::Null()).ok());
+  EXPECT_FALSE(b.AppendValue(Value::String("x")).ok());
+  DoubleBuilder d;
+  EXPECT_TRUE(d.AppendValue(Value::Int64(2)).ok());  // widening allowed
+  EXPECT_TRUE(d.AppendValue(Value::Double(2.5)).ok());
+  EXPECT_FALSE(d.AppendValue(Value::Bool(true)).ok());
+}
+
+TEST(BuilderTest, MakeBuilderCoversAllTypes) {
+  for (TypeId id : {TypeId::kBool, TypeId::kInt64, TypeId::kDouble,
+                    TypeId::kString, TypeId::kTimestamp}) {
+    auto b = MakeBuilder(id);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->type(), id);
+    b->AppendNull();
+    auto arr = b->Finish();
+    EXPECT_EQ(arr->length(), 1);
+    EXPECT_TRUE(arr->IsNull(0));
+  }
+}
+
+// ---------------------------------------------------------------- Table
+
+TEST(TableTest, MakeValidatesShape) {
+  Int64Builder ids;
+  ids.Append(1);
+  auto ok = Table::Make(Schema({{"id", TypeId::kInt64, false}}),
+                        {ids.Finish()});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->num_rows(), 1);
+
+  Int64Builder a, bb;
+  a.Append(1);
+  bb.Append(1);
+  bb.Append(2);
+  auto mismatch = Table::Make(Schema({{"a", TypeId::kInt64, false},
+                                      {"b", TypeId::kInt64, false}}),
+                              {a.Finish(), bb.Finish()});
+  EXPECT_FALSE(mismatch.ok());
+
+  Int64Builder c;
+  c.Append(1);
+  auto wrong_type = Table::Make(Schema({{"c", TypeId::kString, false}}),
+                                {c.Finish()});
+  EXPECT_FALSE(wrong_type.ok());
+
+  auto arity = Table::Make(Schema({{"a", TypeId::kInt64, false}}), {});
+  EXPECT_FALSE(arity.ok());
+}
+
+TEST(TableTest, ColumnAccessAndSelect) {
+  Table t = SmallTable();
+  EXPECT_EQ(t.num_rows(), 4);
+  EXPECT_EQ(t.num_columns(), 4);
+  auto col = t.GetColumnByName("fare");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->type(), TypeId::kDouble);
+  EXPECT_FALSE(t.GetColumnByName("nope").ok());
+
+  auto proj = t.SelectColumns({"zone", "pickup_location_id"});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->num_columns(), 2);
+  EXPECT_EQ(proj->schema().field(0).name, "zone");
+  EXPECT_EQ(proj->num_rows(), 4);
+}
+
+TEST(TableTest, AddColumn) {
+  Table t = SmallTable();
+  DoubleBuilder tips;
+  for (int i = 0; i < 4; ++i) tips.Append(i * 0.5);
+  auto with_tip = t.AddColumn({"tip", TypeId::kDouble, true}, tips.Finish());
+  ASSERT_TRUE(with_tip.ok());
+  EXPECT_EQ(with_tip->num_columns(), 5);
+
+  DoubleBuilder wrong;
+  wrong.Append(1.0);
+  EXPECT_FALSE(
+      t.AddColumn({"bad", TypeId::kDouble, true}, wrong.Finish()).ok());
+}
+
+TEST(TableTest, ToStringShowsHeaderAndTruncation) {
+  Table t = SmallTable();
+  std::string text = t.ToString(2);
+  EXPECT_NE(text.find("pickup_location_id"), std::string::npos);
+  EXPECT_NE(text.find("2 more rows"), std::string::npos);
+}
+
+TEST(TableTest, EstimatedBytesPositive) {
+  EXPECT_GT(SmallTable().EstimatedBytes(), 0);
+}
+
+// ---------------------------------------------------------------- Compute
+
+TEST(ComputeTest, TakeReordersAndRepeats) {
+  Table t = SmallTable();
+  auto taken = TakeTable(t, {3, 0, 0});
+  ASSERT_TRUE(taken.ok());
+  EXPECT_EQ(taken->num_rows(), 3);
+  EXPECT_EQ(taken->GetValue(0, 0), Value::Int64(4));
+  EXPECT_EQ(taken->GetValue(1, 0), Value::Int64(1));
+  EXPECT_EQ(taken->GetValue(2, 0), Value::Int64(1));
+  // Null propagates through take.
+  EXPECT_TRUE(taken->GetValue(0, 3).is_null());  // zone of row 3 was null
+}
+
+TEST(ComputeTest, TakeOutOfRangeFails) {
+  Table t = SmallTable();
+  EXPECT_FALSE(TakeTable(t, {4}).ok());
+  EXPECT_FALSE(TakeTable(t, {-1}).ok());
+}
+
+TEST(ComputeTest, FilterKeepsTrueRowsDropsNullMask) {
+  Table t = SmallTable();
+  BoolBuilder mask;
+  mask.Append(true);
+  mask.Append(false);
+  mask.AppendNull();
+  mask.Append(true);
+  auto arr = mask.Finish();
+  auto filtered = FilterTable(t, *AsBool(*arr));
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->num_rows(), 2);
+  EXPECT_EQ(filtered->GetValue(0, 0), Value::Int64(1));
+  EXPECT_EQ(filtered->GetValue(1, 0), Value::Int64(4));
+}
+
+TEST(ComputeTest, FilterLengthMismatchFails) {
+  Table t = SmallTable();
+  BoolBuilder mask;
+  mask.Append(true);
+  auto arr = mask.Finish();
+  EXPECT_FALSE(FilterTable(t, *AsBool(*arr)).ok());
+}
+
+TEST(ComputeTest, ConcatStacksRows) {
+  Table t = SmallTable();
+  auto twice = ConcatTables({t, t});
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(twice->num_rows(), 8);
+  EXPECT_EQ(twice->GetValue(4, 0), Value::Int64(1));
+  EXPECT_FALSE(ConcatTables({}).ok());
+
+  Int64Builder other;
+  other.Append(9);
+  Table different =
+      *Table::Make(Schema({{"x", TypeId::kInt64, false}}), {other.Finish()});
+  EXPECT_FALSE(ConcatTables({t, different}).ok());
+}
+
+TEST(ComputeTest, SliceClampsAtEnd) {
+  Table t = SmallTable();
+  auto s = SliceTable(t, 2, 10);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_rows(), 2);
+  EXPECT_EQ(s->GetValue(0, 0), Value::Int64(3));
+  EXPECT_FALSE(SliceTable(t, 5, 1).ok());
+}
+
+TEST(ComputeTest, StatsMinMaxNulls) {
+  Table t = SmallTable();
+  ColumnStats fare = ComputeStats(**t.GetColumnByName("fare"));
+  EXPECT_EQ(fare.min, Value::Double(7.25));
+  EXPECT_EQ(fare.max, Value::Double(33.0));
+  EXPECT_EQ(fare.null_count, 1);
+  EXPECT_EQ(fare.value_count, 4);
+
+  ColumnStats zone = ComputeStats(**t.GetColumnByName("zone"));
+  EXPECT_EQ(zone.min, Value::String("JFK"));
+  EXPECT_EQ(zone.max, Value::String("SoHo"));
+}
+
+TEST(ComputeTest, StatsAllNull) {
+  Int64Builder b;
+  b.AppendNull();
+  b.AppendNull();
+  auto arr = b.Finish();
+  ColumnStats stats = ComputeStats(*arr);
+  EXPECT_TRUE(stats.min.is_null());
+  EXPECT_TRUE(stats.max.is_null());
+  EXPECT_EQ(stats.null_count, 2);
+}
+
+// ---------------------------------------------------------------- Serialize
+
+TEST(SerializeTest, TableRoundTrip) {
+  Table t = SmallTable();
+  Bytes bytes = SerializeTable(t);
+  auto back = DeserializeTable(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->schema() == t.schema());
+  EXPECT_EQ(back->num_rows(), t.num_rows());
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    for (int c = 0; c < t.num_columns(); ++c) {
+      Value a = t.GetValue(r, c);
+      Value b = back->GetValue(r, c);
+      EXPECT_EQ(a.is_null(), b.is_null());
+      if (!a.is_null()) { EXPECT_EQ(a, b); }
+    }
+  }
+}
+
+TEST(SerializeTest, EmptyTableRoundTrip) {
+  Table t = *Table::Make(Schema({{"x", TypeId::kInt64, true}}),
+                         {Int64Builder().Finish()});
+  Bytes bytes = SerializeTable(t);
+  auto back = DeserializeTable(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 0);
+}
+
+TEST(SerializeTest, CorruptMagicFails) {
+  Table t = SmallTable();
+  Bytes bytes = SerializeTable(t);
+  bytes[0] ^= 0xFF;
+  EXPECT_FALSE(DeserializeTable(bytes).ok());
+}
+
+TEST(SerializeTest, TruncatedPayloadFails) {
+  Table t = SmallTable();
+  Bytes bytes = SerializeTable(t);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(DeserializeTable(bytes).ok());
+}
+
+// Property-style sweep: round trip tables of varying sizes and null rates.
+class SerializeRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SerializeRoundTrip, PreservesEveryCell) {
+  int rows = std::get<0>(GetParam());
+  int null_every = std::get<1>(GetParam());
+  Int64Builder ints;
+  DoubleBuilder doubles;
+  StringBuilder strings;
+  for (int i = 0; i < rows; ++i) {
+    if (null_every > 0 && i % null_every == 0) {
+      ints.AppendNull();
+      doubles.AppendNull();
+      strings.AppendNull();
+    } else {
+      ints.Append(i * 7 - 3);
+      doubles.Append(i * 0.25);
+      strings.Append(std::string(static_cast<size_t>(i % 13), 'x'));
+    }
+  }
+  Table t = *Table::Make(Schema({{"i", TypeId::kInt64, true},
+                                 {"d", TypeId::kDouble, true},
+                                 {"s", TypeId::kString, true}}),
+                         {ints.Finish(), doubles.Finish(), strings.Finish()});
+  auto back = DeserializeTable(SerializeTable(t));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->num_rows(), rows);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      Value a = t.GetValue(r, c);
+      Value b = back->GetValue(r, c);
+      ASSERT_EQ(a.is_null(), b.is_null()) << "row " << r << " col " << c;
+      if (!a.is_null()) { ASSERT_EQ(a, b) << "row " << r << " col " << c; }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SerializeRoundTrip,
+    ::testing::Combine(::testing::Values(0, 1, 17, 256, 4096),
+                       ::testing::Values(0, 1, 3)));
+
+}  // namespace
+}  // namespace bauplan::columnar

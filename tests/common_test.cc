@@ -1,0 +1,365 @@
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace bauplan {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing table");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "missing table");
+  EXPECT_EQ(st.ToString(), "NotFound: missing table");
+}
+
+TEST(StatusTest, WithContextPrependsAndKeepsCode) {
+  Status st = Status::IOError("disk full").WithContext("writing manifest");
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_EQ(st.message(), "writing manifest: disk full");
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  Status st = Status::OK().WithContext("ctx");
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(StatusTest, AllFactoriesMatchPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::Conflict("x").IsConflict());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+// ---------------------------------------------------------------- Result
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> DoublePositive(int v) {
+  BAUPLAN_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 21);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*DoublePositive(10), 20);
+  EXPECT_FALSE(DoublePositive(0).ok());
+}
+
+Result<std::vector<int>> MakeVector() {
+  return std::vector<int>{1, 2, 3};
+}
+
+TEST(ResultTest, RangeForOverTemporaryIsSafe) {
+  // `*rvalue` returns by value, so the loop binds a lifetime-extended
+  // temporary instead of dangling into the destroyed Result.
+  int sum = 0;
+  for (int v : *MakeVector()) sum += v;
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+// ---------------------------------------------------------------- Strings
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  auto parts = StrSplit("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(StrJoin(parts, "/"), "x/y/z");
+  EXPECT_EQ(StrSplit("x/y/z", '/'), parts);
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("from"), "FROM");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hello\t\n"), "hello");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("s3://bucket/key", "s3://"));
+  EXPECT_FALSE(StartsWith("s3", "s3://"));
+  EXPECT_TRUE(EndsWith("data.bpf", ".bpf"));
+  EXPECT_FALSE(EndsWith("bpf", "data.bpf"));
+}
+
+TEST(StringsTest, StrCatMixesTypes) {
+  EXPECT_EQ(StrCat("rows=", 42, " frac=", 0.5), "rows=42 frac=0.5");
+}
+
+TEST(StringsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.5 KiB");
+  EXPECT_EQ(FormatBytes(750ull * 1024 * 1024), "750.0 MiB");
+}
+
+TEST(StringsTest, FormatDuration) {
+  EXPECT_EQ(FormatDurationMicros(320), "320 us");
+  EXPECT_EQ(FormatDurationMicros(4100), "4.1 ms");
+  EXPECT_EQ(FormatDurationMicros(2700000), "2.70 s");
+}
+
+// ---------------------------------------------------------------- Hash
+
+TEST(HashTest, Deterministic) {
+  EXPECT_EQ(Fnv1a64("bauplan"), Fnv1a64("bauplan"));
+  EXPECT_NE(Fnv1a64("bauplan"), Fnv1a64("bauplan!"));
+}
+
+TEST(HashTest, EmptyInputHasCanonicalBasis) {
+  EXPECT_EQ(Fnv1a64("", 0), 0xCBF29CE484222325ULL);
+}
+
+TEST(HashTest, CombineIsOrderDependent) {
+  uint64_t a = Fnv1a64("a"), b = Fnv1a64("b");
+  EXPECT_NE(HashCombine(a, b), HashCombine(b, a));
+}
+
+TEST(HashTest, FingerprintIs16HexChars) {
+  std::string fp = FingerprintHex("SELECT * FROM trips");
+  EXPECT_EQ(fp.size(), 16u);
+  EXPECT_EQ(fp.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_EQ(fp, FingerprintHex("SELECT * FROM trips"));
+}
+
+// ---------------------------------------------------------------- Clock
+
+TEST(ClockTest, SimClockAdvancesOnlyWhenAsked) {
+  SimClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100u);
+  clock.AdvanceMicros(50);
+  EXPECT_EQ(clock.NowMicros(), 150u);
+  EXPECT_EQ(clock.NowMicros(), 150u);
+}
+
+TEST(ClockTest, StopwatchMeasuresSimTime) {
+  SimClock clock;
+  Stopwatch sw(&clock);
+  clock.AdvanceMicros(1234);
+  EXPECT_EQ(sw.ElapsedMicros(), 1234u);
+  sw.Reset();
+  EXPECT_EQ(sw.ElapsedMicros(), 0u);
+}
+
+TEST(ClockTest, WallClockIsMonotonic) {
+  WallClock clock;
+  uint64_t a = clock.NowMicros();
+  uint64_t b = clock.NowMicros();
+  EXPECT_GE(b, a);
+}
+
+TEST(ClockTest, FormatTimestamp) {
+  // 2019-04-01 00:00:00 UTC == 1554076800 seconds.
+  EXPECT_EQ(FormatTimestampMicros(1554076800ull * 1000000),
+            "2019-04-01T00:00:00Z");
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntInRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ParetoRespectsXmin) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.Pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(RngTest, ParetoMeanMatchesTheory) {
+  // For alpha > 1, E[X] = alpha * xmin / (alpha - 1).
+  Rng rng(13);
+  const double xmin = 1.0, alpha = 3.0;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Pareto(xmin, alpha);
+  double mean = sum / n;
+  EXPECT_NEAR(mean, alpha * xmin / (alpha - 1), 0.03);
+}
+
+TEST(RngTest, ExponentialMeanMatchesTheory) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalMomentsMatchTheory) {
+  Rng rng(19);
+  double sum = 0, sumsq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sumsq += v * v;
+  }
+  double mean = sum / n;
+  double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(100, 1.1);
+  double total = 0;
+  for (uint64_t k = 1; k <= 100; ++k) total += zipf.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankOneIsMostPopular) {
+  ZipfDistribution zipf(1000, 1.1);
+  EXPECT_GT(zipf.Pmf(1), zipf.Pmf(2));
+  EXPECT_GT(zipf.Pmf(2), zipf.Pmf(100));
+}
+
+TEST(ZipfTest, SamplesFollowPmf) {
+  ZipfDistribution zipf(50, 1.0);
+  Rng rng(23);
+  std::vector<int> counts(51, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[zipf.Sample(rng)]++;
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, zipf.Pmf(1), 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[10]) / n, zipf.Pmf(10), 0.01);
+}
+
+// ---------------------------------------------------------------- Bytes
+
+TEST(BytesTest, RoundTripAllTypes) {
+  BinaryWriter w;
+  w.PutU8(7);
+  w.PutU32(1u << 30);
+  w.PutU64(1ull << 60);
+  w.PutI32(-5);
+  w.PutI64(-123456789012345);
+  w.PutDouble(3.25);
+  w.PutBool(true);
+  w.PutString("hello world");
+
+  BinaryReader r(w.buffer());
+  EXPECT_EQ(*r.GetU8(), 7);
+  EXPECT_EQ(*r.GetU32(), 1u << 30);
+  EXPECT_EQ(*r.GetU64(), 1ull << 60);
+  EXPECT_EQ(*r.GetI32(), -5);
+  EXPECT_EQ(*r.GetI64(), -123456789012345);
+  EXPECT_EQ(*r.GetDouble(), 3.25);
+  EXPECT_EQ(*r.GetBool(), true);
+  EXPECT_EQ(*r.GetString(), "hello world");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, TruncatedReadsFail) {
+  BinaryWriter w;
+  w.PutU32(5);
+  BinaryReader r(w.buffer());
+  EXPECT_FALSE(r.GetU64().ok());
+}
+
+TEST(BytesTest, TruncatedStringFails) {
+  BinaryWriter w;
+  w.PutU32(100);  // claims 100 bytes follow, but none do
+  BinaryReader r(w.buffer());
+  auto res = r.GetString();
+  ASSERT_FALSE(res.ok());
+  EXPECT_TRUE(res.status().IsIOError());
+}
+
+TEST(BytesTest, SeekAndSkip) {
+  BinaryWriter w;
+  w.PutU32(1);
+  w.PutU32(2);
+  w.PutU32(3);
+  BinaryReader r(w.buffer());
+  ASSERT_TRUE(r.Skip(4).ok());
+  EXPECT_EQ(*r.GetU32(), 2u);
+  ASSERT_TRUE(r.SeekTo(0).ok());
+  EXPECT_EQ(*r.GetU32(), 1u);
+  EXPECT_FALSE(r.SeekTo(100).ok());
+  EXPECT_FALSE(r.Skip(100).ok());
+}
+
+}  // namespace
+}  // namespace bauplan

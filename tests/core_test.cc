@@ -1,0 +1,425 @@
+#include <gtest/gtest.h>
+
+#include "columnar/builder.h"
+#include "columnar/datetime.h"
+#include "core/bauplan.h"
+#include "pipeline/project.h"
+#include "storage/object_store.h"
+#include "workload/taxi_gen.h"
+
+namespace bauplan::core {
+namespace {
+
+using columnar::Table;
+using columnar::TypeId;
+using columnar::Value;
+
+class BauplanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto opened = Bauplan::Open(&store_, &clock_);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    platform_ = std::move(*opened);
+    // Seed the lake with the paper's taxi_table on main.
+    workload::TaxiGenOptions gen;
+    gen.rows = 2000;
+    gen.start_date = "2019-03-01";
+    gen.days = 90;  // March through May
+    auto taxi = workload::GenerateTaxiTable(gen);
+    ASSERT_TRUE(taxi.ok());
+    taxi_rows_ = taxi->num_rows();
+    ASSERT_TRUE(
+        platform_->CreateTable("main", "taxi_table", taxi->schema()).ok());
+    ASSERT_TRUE(platform_->WriteTable("main", "taxi_table", *taxi).ok());
+  }
+
+  storage::MemoryObjectStore store_;
+  SimClock clock_{1700000000000000ull};
+  std::unique_ptr<Bauplan> platform_;
+  int64_t taxi_rows_ = 0;
+};
+
+TEST_F(BauplanTest, QueryOverLakehouse) {
+  auto result = platform_->Query(
+      "SELECT COUNT(*) AS n FROM taxi_table");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->table.GetValue(0, 0), Value::Int64(taxi_rows_));
+}
+
+TEST_F(BauplanTest, QueryWithBranchArgument) {
+  ASSERT_TRUE(platform_->CreateBranch("feat_1", "main").ok());
+  // Write extra rows only on feat_1.
+  workload::TaxiGenOptions gen;
+  gen.rows = 100;
+  gen.seed = 99;
+  auto extra = workload::GenerateTaxiTable(gen);
+  ASSERT_TRUE(platform_->WriteTable("feat_1", "taxi_table", *extra).ok());
+
+  auto on_main = platform_->Query("SELECT COUNT(*) AS n FROM taxi_table",
+                                  "main");
+  auto on_feat = platform_->Query("SELECT COUNT(*) AS n FROM taxi_table",
+                                  "feat_1");
+  ASSERT_TRUE(on_main.ok());
+  ASSERT_TRUE(on_feat.ok());
+  EXPECT_EQ(on_main->table.GetValue(0, 0), Value::Int64(taxi_rows_));
+  EXPECT_EQ(on_feat->table.GetValue(0, 0),
+            Value::Int64(taxi_rows_ + 100));
+}
+
+TEST_F(BauplanTest, QueryAtCommitIsTimeTravel) {
+  auto head_before = platform_->mutable_catalog()->ResolveRef("main");
+  workload::TaxiGenOptions gen;
+  gen.rows = 50;
+  gen.seed = 7;
+  auto extra = workload::GenerateTaxiTable(gen);
+  ASSERT_TRUE(platform_->WriteTable("main", "taxi_table", *extra).ok());
+
+  auto now = platform_->Query("SELECT COUNT(*) AS n FROM taxi_table");
+  auto then = platform_->Query("SELECT COUNT(*) AS n FROM taxi_table",
+                               *head_before);
+  EXPECT_EQ(now->table.GetValue(0, 0), Value::Int64(taxi_rows_ + 50));
+  EXPECT_EQ(then->table.GetValue(0, 0), Value::Int64(taxi_rows_));
+}
+
+TEST_F(BauplanTest, QueryErrors) {
+  EXPECT_TRUE(platform_->Query("SELECT * FROM nope").status().IsNotFound());
+  EXPECT_TRUE(platform_->Query("SELECT * FROM taxi_table", "no_branch")
+                  .status()
+                  .IsNotFound());
+  EXPECT_FALSE(platform_->Query("SELEC bad syntax").ok());
+}
+
+TEST_F(BauplanTest, RunPaperPipelineFused) {
+  auto report = platform_->Run(pipeline::MakePaperTaxiPipeline(1.0),
+                               "main");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->status, "succeeded");
+  EXPECT_TRUE(report->merged);
+  EXPECT_EQ(report->run_id, 1);
+  ASSERT_EQ(report->execution.nodes.size(), 3u);
+  EXPECT_TRUE(report->execution.all_expectations_passed);
+
+  // Artifacts are materialized and queryable on main.
+  auto tables = platform_->ListTables("main");
+  ASSERT_TRUE(tables.ok());
+  EXPECT_NE(std::find(tables->begin(), tables->end(), "trips"),
+            tables->end());
+  EXPECT_NE(std::find(tables->begin(), tables->end(), "pickups"),
+            tables->end());
+
+  auto pickups = platform_->Query(
+      "SELECT * FROM pickups ORDER BY counts DESC LIMIT 5");
+  ASSERT_TRUE(pickups.ok());
+  EXPECT_EQ(pickups->table.num_columns(), 3);
+  EXPECT_GT(pickups->table.num_rows(), 0);
+
+  // Fused mode never touched the spill store.
+  EXPECT_EQ(report->execution.spill_metrics.puts, 0);
+  EXPECT_EQ(report->execution.spill_metrics.gets, 0);
+
+  // No ephemeral branch left behind.
+  auto branches = platform_->ListBranches();
+  ASSERT_TRUE(branches.ok());
+  EXPECT_EQ(branches->size(), 1u);
+}
+
+TEST_F(BauplanTest, RunNaiveSpillsThroughObjectStore) {
+  PipelineRunOptions options;
+  options.fused = false;
+  auto report =
+      platform_->Run(pipeline::MakePaperTaxiPipeline(1.0), "main", options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->merged);
+  // The naive mapping spilled trips and pickups and re-read trips twice.
+  EXPECT_GE(report->execution.spill_metrics.puts, 2);
+  EXPECT_GE(report->execution.spill_metrics.gets, 2);
+}
+
+TEST_F(BauplanTest, FusedAndNaiveProduceIdenticalArtifacts) {
+  auto fused = platform_->Run(pipeline::MakePaperTaxiPipeline(1.0), "main");
+  ASSERT_TRUE(fused.ok());
+  PipelineRunOptions naive_options;
+  naive_options.fused = false;
+  auto naive = platform_->Run(pipeline::MakePaperTaxiPipeline(1.0), "main",
+                              naive_options);
+  ASSERT_TRUE(naive.ok());
+
+  const Table& a = fused->execution.artifacts.at("pickups");
+  const Table& b = naive->execution.artifacts.at("pickups");
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    for (int c = 0; c < a.num_columns(); ++c) {
+      ASSERT_EQ(a.GetValue(r, c), b.GetValue(r, c));
+    }
+  }
+}
+
+TEST_F(BauplanTest, FailedExpectationRollsBackEverything) {
+  // Impossible threshold: mean(count) > 1000.
+  auto report = platform_->Run(pipeline::MakePaperTaxiPipeline(1000.0),
+                               "main");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->merged);
+  EXPECT_NE(report->status.find("expectations failed"),
+            std::string::npos);
+  // Nothing leaked into main.
+  auto tables = platform_->ListTables("main");
+  EXPECT_EQ(std::find(tables->begin(), tables->end(), "trips"),
+            tables->end());
+  // No stray branches.
+  EXPECT_EQ(platform_->ListBranches()->size(), 1u);
+  // Run record says failed.
+  auto record = platform_->run_registry().GetRun(report->run_id);
+  ASSERT_TRUE(record.ok());
+  EXPECT_NE(record->status.find("failed"), std::string::npos);
+}
+
+TEST_F(BauplanTest, RunOnBranchIsIsolatedUntilMerged) {
+  ASSERT_TRUE(platform_->CreateBranch("feat_1", "main").ok());
+  auto report =
+      platform_->Run(pipeline::MakePaperTaxiPipeline(1.0), "feat_1");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->merged);
+
+  // Artifacts visible on feat_1, not on main.
+  EXPECT_TRUE(platform_->Query("SELECT * FROM pickups LIMIT 1", "feat_1")
+                  .ok());
+  EXPECT_FALSE(platform_->Query("SELECT * FROM pickups LIMIT 1", "main")
+                   .ok());
+
+  // Promote to production.
+  ASSERT_TRUE(platform_->MergeBranch("feat_1", "main").ok());
+  EXPECT_TRUE(
+      platform_->Query("SELECT * FROM pickups LIMIT 1", "main").ok());
+}
+
+TEST_F(BauplanTest, ReplayRunFull) {
+  auto original =
+      platform_->Run(pipeline::MakePaperTaxiPipeline(1.0), "main");
+  ASSERT_TRUE(original.ok());
+
+  // More data lands on main after the run.
+  workload::TaxiGenOptions gen;
+  gen.rows = 500;
+  gen.seed = 77;
+  gen.start_date = "2019-04-15";
+  ASSERT_TRUE(platform_->WriteTable(
+      "main", "taxi_table", *workload::GenerateTaxiTable(gen)).ok());
+
+  // Replay reads the recorded commit: same data, same results.
+  auto replay = platform_->ReplayRun(original->run_id);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_FALSE(replay->merged);
+  const Table& then = original->execution.artifacts.at("pickups");
+  const Table& again = replay->execution.artifacts.at("pickups");
+  ASSERT_EQ(then.num_rows(), again.num_rows());
+  for (int64_t r = 0; r < then.num_rows(); ++r) {
+    for (int c = 0; c < then.num_columns(); ++c) {
+      ASSERT_EQ(then.GetValue(r, c), again.GetValue(r, c));
+    }
+  }
+  // The sandbox branch is gone.
+  EXPECT_EQ(platform_->ListBranches()->size(), 1u);
+}
+
+TEST_F(BauplanTest, ReplaySelectorSubset) {
+  auto original =
+      platform_->Run(pipeline::MakePaperTaxiPipeline(1.0), "main");
+  ASSERT_TRUE(original.ok());
+
+  // `-m pickups+`: only pickups (it has no descendants).
+  auto replay = platform_->ReplayRun(original->run_id, "pickups+");
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_EQ(replay->execution.nodes.size(), 1u);
+  EXPECT_EQ(replay->execution.nodes[0].name, "pickups");
+  // Upstream trips came from the materialized run output.
+  EXPECT_GT(replay->execution.artifacts.at("pickups").num_rows(), 0);
+
+  // `-m trips+` replays everything downstream of trips.
+  auto full = platform_->ReplayRun(original->run_id, "trips+");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->execution.nodes.size(), 3u);
+
+  EXPECT_TRUE(
+      platform_->ReplayRun(original->run_id, "nope").status().IsNotFound());
+  EXPECT_TRUE(platform_->ReplayRun(999).status().IsNotFound());
+}
+
+TEST_F(BauplanTest, RunRecordsFingerprint) {
+  auto project = pipeline::MakePaperTaxiPipeline(1.0);
+  auto report = platform_->Run(project, "main");
+  auto record = platform_->run_registry().GetRun(report->run_id);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->fingerprint, project.Fingerprint());
+  EXPECT_EQ(record->branch, "main");
+  EXPECT_FALSE(record->data_commit_id.empty());
+  EXPECT_FALSE(record->result_commit_id.empty());
+}
+
+TEST_F(BauplanTest, WriteTableOverwrite) {
+  workload::TaxiGenOptions gen;
+  gen.rows = 10;
+  auto small = workload::GenerateTaxiTable(gen);
+  ASSERT_TRUE(platform_->WriteTable("main", "taxi_table", *small,
+                                    /*overwrite=*/true)
+                  .ok());
+  auto count = platform_->Query("SELECT COUNT(*) AS n FROM taxi_table");
+  EXPECT_EQ(count->table.GetValue(0, 0), Value::Int64(10));
+}
+
+TEST_F(BauplanTest, CreateTableTwiceFails) {
+  EXPECT_TRUE(platform_->CreateTable("main", "taxi_table",
+                                     columnar::Schema({{"x",
+                                                        TypeId::kInt64,
+                                                        false}}))
+                  .IsAlreadyExists());
+}
+
+TEST_F(BauplanTest, QueryPushdownPrunesPartitionedFiles) {
+  // End to end: a WHERE through the engine becomes partition pruning in
+  // the table format, observable as fewer bytes read from the lake.
+  table::PartitionSpec spec(
+      {{"pickup_at", table::Transform::kMonth, 0}});
+  workload::TaxiGenOptions gen;
+  gen.rows = 3000;
+  gen.start_date = "2019-01-01";
+  gen.days = 28;
+  auto january = workload::GenerateTaxiTable(gen);
+  ASSERT_TRUE(platform_->CreateTable("main", "monthly_trips",
+                                     january->schema(), spec).ok());
+  ASSERT_TRUE(
+      platform_->WriteTable("main", "monthly_trips", *january).ok());
+  for (const char* month : {"2019-02-01", "2019-03-01", "2019-04-01"}) {
+    gen.start_date = month;
+    gen.seed += 1;
+    ASSERT_TRUE(platform_->WriteTable(
+        "main", "monthly_trips",
+        *workload::GenerateTaxiTable(gen)).ok());
+  }
+
+  auto full = platform_->Query(
+      "SELECT COUNT(*) AS n FROM monthly_trips");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->table.GetValue(0, 0), columnar::Value::Int64(12000));
+  int64_t full_scanned = full->stats.rows_scanned;
+
+  auto pruned = platform_->Query(
+      "SELECT COUNT(*) AS n FROM monthly_trips "
+      "WHERE pickup_at >= '2019-04-01'");
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->table.GetValue(0, 0), columnar::Value::Int64(3000));
+  // The scan materialized only the surviving month's files.
+  EXPECT_LT(pruned->stats.rows_scanned, full_scanned / 2);
+}
+
+TEST_F(BauplanTest, CreateTableAs) {
+  ASSERT_TRUE(platform_->CreateTableAs(
+      "main", "busy_zones",
+      "SELECT zone, COUNT(*) AS trips FROM taxi_table GROUP BY zone "
+      "HAVING COUNT(*) > 5").ok());
+  auto result = platform_->Query("SELECT COUNT(*) AS n FROM busy_zones");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->table.GetValue(0, 0).int64_value(), 0);
+  // Name collision rejected; bad SQL rejected.
+  EXPECT_TRUE(platform_->CreateTableAs("main", "busy_zones",
+                                       "SELECT 1 AS x FROM taxi_table")
+                  .IsAlreadyExists());
+  EXPECT_FALSE(
+      platform_->CreateTableAs("main", "bad", "SELEC nope").ok());
+}
+
+TEST_F(BauplanTest, ConcurrentPromotionsConflictCleanly) {
+  // Two teams run the same pipeline on their own branches; both try to
+  // promote to main. The second promotion must fail with Conflict (both
+  // changed the same artifact tables), and main must keep team A's
+  // version — the database-transaction analogy of Fig. 4.
+  ASSERT_TRUE(platform_->CreateBranch("team_a", "main").ok());
+  ASSERT_TRUE(platform_->CreateBranch("team_b", "main").ok());
+  auto run_a = platform_->Run(pipeline::MakePaperTaxiPipeline(1.0),
+                              "team_a");
+  ASSERT_TRUE(run_a.ok());
+  ASSERT_TRUE(run_a->merged);
+  clock_.AdvanceMicros(1000000);
+  auto run_b = platform_->Run(pipeline::MakePaperTaxiPipeline(1.0),
+                              "team_b");
+  ASSERT_TRUE(run_b.ok());
+  ASSERT_TRUE(run_b->merged);
+
+  ASSERT_TRUE(platform_->MergeBranch("team_a", "main").ok());
+  auto second = platform_->MergeBranch("team_b", "main");
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsConflict());
+
+  // Main holds exactly team A's pickups (pointer equality through the
+  // catalog), and team B's branch is untouched for a rebase.
+  auto main_key = platform_->mutable_catalog()->GetTable("main", "pickups");
+  auto a_key = platform_->mutable_catalog()->GetTable("team_a", "pickups");
+  auto b_key = platform_->mutable_catalog()->GetTable("team_b", "pickups");
+  ASSERT_TRUE(main_key.ok());
+  EXPECT_EQ(*main_key, *a_key);
+  EXPECT_NE(*main_key, *b_key);
+}
+
+TEST_F(BauplanTest, RunMergesCleanlyAfterUnrelatedMainProgress) {
+  // Main moves (an unrelated table write) while a feature branch runs a
+  // pipeline; promoting the branch still merges three-way with no
+  // conflict because the changed tables are disjoint.
+  ASSERT_TRUE(platform_->CreateBranch("feat", "main").ok());
+  auto run = platform_->Run(pipeline::MakePaperTaxiPipeline(1.0), "feat");
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->merged);
+
+  workload::TaxiGenOptions gen;
+  gen.rows = 20;
+  gen.seed = 123;
+  ASSERT_TRUE(platform_->WriteTable(
+      "main", "taxi_table", *workload::GenerateTaxiTable(gen)).ok());
+
+  auto merged = platform_->MergeBranch("feat", "main");
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_FALSE(merged->fast_forward);
+  // Main now has both the extra rows and the pipeline artifacts.
+  EXPECT_TRUE(platform_->Query("SELECT * FROM pickups LIMIT 1").ok());
+  auto count = platform_->Query("SELECT COUNT(*) AS n FROM taxi_table");
+  EXPECT_EQ(count->table.GetValue(0, 0),
+            columnar::Value::Int64(taxi_rows_ + 20));
+}
+
+TEST_F(BauplanTest, PipelineWithJoinAcrossSources) {
+  // A pipeline whose node joins a source table with an upstream node.
+  columnar::Int64Builder ids;
+  columnar::StringBuilder names;
+  for (int64_t i = 1; i <= 265; ++i) {
+    ids.Append(i);
+    names.Append("zone_name_" + std::to_string(i));
+  }
+  Table zones = *Table::Make(
+      columnar::Schema({{"id", TypeId::kInt64, false},
+                        {"zone_name", TypeId::kString, false}}),
+      {ids.Finish(), names.Finish()});
+  ASSERT_TRUE(platform_->CreateTable("main", "zones", zones.schema()).ok());
+  ASSERT_TRUE(platform_->WriteTable("main", "zones", zones).ok());
+
+  pipeline::PipelineProject project("join_pipeline");
+  ASSERT_TRUE(project
+                  .AddSqlNode("busy", "SELECT pickup_location_id, COUNT(*)"
+                              " AS n FROM taxi_table GROUP BY "
+                              "pickup_location_id")
+                  .ok());
+  ASSERT_TRUE(project
+                  .AddSqlNode("named_busy",
+                              "SELECT z.zone_name, b.n FROM busy b JOIN "
+                              "zones z ON b.pickup_location_id = z.id "
+                              "ORDER BY b.n DESC LIMIT 10")
+                  .ok());
+  auto report = platform_->Run(project, "main");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->merged);
+  auto result = platform_->Query("SELECT * FROM named_busy");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.num_rows(), 10);
+}
+
+}  // namespace
+}  // namespace bauplan::core

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "columnar/builder.h"
+#include "columnar/csv.h"
+#include "columnar/datetime.h"
+
+namespace bauplan::columnar {
+namespace {
+
+TEST(CsvReadTest, BasicWithHeaderAndInference) {
+  auto table = ReadCsv(
+      "id,fare,zone,pickup_at\n"
+      "1,10.5,JFK,2019-04-01\n"
+      "2,8.25,LGA,2019-04-02 10:30:00\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), 2);
+  EXPECT_EQ(table->schema().field(0).type, TypeId::kInt64);
+  EXPECT_EQ(table->schema().field(1).type, TypeId::kDouble);
+  EXPECT_EQ(table->schema().field(2).type, TypeId::kString);
+  EXPECT_EQ(table->schema().field(3).type, TypeId::kTimestamp);
+  EXPECT_EQ(table->GetValue(0, 0), Value::Int64(1));
+  EXPECT_EQ(table->GetValue(1, 1), Value::Double(8.25));
+  EXPECT_EQ(table->GetValue(0, 2), Value::String("JFK"));
+  EXPECT_EQ(table->GetValue(0, 3).int64_value(),
+            *ParseTimestampString("2019-04-01"));
+}
+
+TEST(CsvReadTest, NoHeaderGeneratesNames) {
+  CsvReadOptions options;
+  options.has_header = false;
+  auto table = ReadCsv("1,a\n2,b\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().field(0).name, "c0");
+  EXPECT_EQ(table->schema().field(1).name, "c1");
+  EXPECT_EQ(table->num_rows(), 2);
+}
+
+TEST(CsvReadTest, QuotedFieldsAndEscapes) {
+  auto table = ReadCsv(
+      "name,notes\n"
+      "\"Smith, John\",\"said \"\"hi\"\"\"\n"
+      "plain,\"multi\nline\"\n");
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->GetValue(0, 0), Value::String("Smith, John"));
+  EXPECT_EQ(table->GetValue(0, 1), Value::String("said \"hi\""));
+  EXPECT_EQ(table->GetValue(1, 1), Value::String("multi\nline"));
+}
+
+TEST(CsvReadTest, EmptyUnquotedIsNullQuotedIsEmptyString) {
+  auto table = ReadCsv("a,b\n1,\n2,\"\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->GetValue(0, 1).is_null());
+  EXPECT_FALSE(table->GetValue(1, 1).is_null());
+  EXPECT_EQ(table->GetValue(1, 1), Value::String(""));
+}
+
+TEST(CsvReadTest, NullsDoNotBreakNumericInference) {
+  auto table = ReadCsv("x\n1\n\n3\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().field(0).type, TypeId::kInt64);
+  EXPECT_TRUE(table->GetValue(1, 0).is_null());
+  EXPECT_EQ(table->GetValue(2, 0), Value::Int64(3));
+}
+
+TEST(CsvReadTest, MixedColumnFallsBackToString) {
+  auto table = ReadCsv("x\n1\nhello\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().field(0).type, TypeId::kString);
+  EXPECT_EQ(table->GetValue(0, 0), Value::String("1"));
+}
+
+TEST(CsvReadTest, IntColumnBeatsDouble) {
+  auto ints = ReadCsv("x\n1\n2\n");
+  EXPECT_EQ(ints->schema().field(0).type, TypeId::kInt64);
+  auto doubles = ReadCsv("x\n1\n2.5\n");
+  EXPECT_EQ(doubles->schema().field(0).type, TypeId::kDouble);
+}
+
+TEST(CsvReadTest, Errors) {
+  EXPECT_FALSE(ReadCsv("").ok());
+  EXPECT_FALSE(ReadCsv("a,b\n1\n").ok());          // ragged row
+  EXPECT_FALSE(ReadCsv("a\n\"unterminated\n").ok());
+}
+
+TEST(CsvReadTest, CustomDelimiter) {
+  CsvReadOptions options;
+  options.delimiter = ';';
+  auto table = ReadCsv("a;b\n1;2\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_columns(), 2);
+  EXPECT_EQ(table->GetValue(0, 1), Value::Int64(2));
+}
+
+TEST(CsvWriteTest, RoundTrip) {
+  Int64Builder ids;
+  DoubleBuilder fares;
+  StringBuilder notes;
+  ids.Append(1);
+  ids.AppendNull();
+  fares.Append(10.5);
+  fares.Append(7.0);
+  notes.Append("plain");
+  notes.Append("has, comma and \"quote\"");
+  Table t = *Table::Make(Schema({{"id", TypeId::kInt64, true},
+                                 {"fare", TypeId::kDouble, true},
+                                 {"notes", TypeId::kString, true}}),
+                         {ids.Finish(), fares.Finish(), notes.Finish()});
+  std::string csv = WriteCsv(t);
+  auto back = ReadCsv(csv);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), 2);
+  EXPECT_EQ(back->GetValue(0, 0), Value::Int64(1));
+  EXPECT_TRUE(back->GetValue(1, 0).is_null());
+  EXPECT_EQ(back->GetValue(0, 2), Value::String("plain"));
+  EXPECT_EQ(back->GetValue(1, 2),
+            Value::String("has, comma and \"quote\""));
+}
+
+// Property sweep: round trip across shapes and null densities.
+class CsvRoundTrip : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CsvRoundTrip, PreservesValues) {
+  int rows = std::get<0>(GetParam());
+  int null_every = std::get<1>(GetParam());
+  Int64Builder ints;
+  DoubleBuilder doubles;
+  StringBuilder strings;
+  for (int i = 0; i < rows; ++i) {
+    if (null_every > 0 && i % null_every == 0) {
+      ints.AppendNull();
+      doubles.AppendNull();
+      strings.AppendNull();
+    } else {
+      ints.Append(i * 3 - 50);
+      doubles.Append(i * 0.5);
+      strings.Append(i % 2 == 0 ? "even,half" : "odd");
+    }
+  }
+  Table t = *Table::Make(Schema({{"i", TypeId::kInt64, true},
+                                 {"d", TypeId::kDouble, true},
+                                 {"s", TypeId::kString, true}}),
+                         {ints.Finish(), doubles.Finish(),
+                          strings.Finish()});
+  auto back = ReadCsv(WriteCsv(t));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->num_rows(), rows);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      Value a = t.GetValue(r, c);
+      Value b = back->GetValue(r, c);
+      ASSERT_EQ(a.is_null(), b.is_null()) << r << "," << c;
+      if (!a.is_null()) {
+        ASSERT_EQ(a, b) << r << "," << c;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CsvRoundTrip,
+                         ::testing::Combine(::testing::Values(1, 100, 999),
+                                            ::testing::Values(0, 1, 7)));
+
+}  // namespace
+}  // namespace bauplan::columnar

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "columnar/builder.h"
+#include "columnar/table.h"
+#include "expectations/expectation.h"
+#include "expectations/requirements.h"
+
+namespace bauplan::expectations {
+namespace {
+
+using columnar::DoubleBuilder;
+using columnar::Int64Builder;
+using columnar::Schema;
+using columnar::Table;
+using columnar::TypeId;
+
+Table CountsTable(std::vector<int64_t> counts, bool with_null = false) {
+  Int64Builder b;
+  for (int64_t c : counts) b.Append(c);
+  if (with_null) b.AppendNull();
+  return *Table::Make(Schema({{"count", TypeId::kInt64, true}}),
+                      {b.Finish()});
+}
+
+// ------------------------------------------------------------ requirements
+
+TEST(RequirementsTest, ParseSingle) {
+  auto req = PackageRequirement::Parse("pandas==2.0.0");
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->name, "pandas");
+  EXPECT_EQ(req->version, "2.0.0");
+  EXPECT_EQ(req->ToString(), "pandas==2.0.0");
+}
+
+TEST(RequirementsTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(PackageRequirement::Parse("pandas").ok());
+  EXPECT_FALSE(PackageRequirement::Parse("==2.0.0").ok());
+  EXPECT_FALSE(PackageRequirement::Parse("pandas==").ok());
+  EXPECT_FALSE(PackageRequirement::Parse("").ok());
+}
+
+TEST(RequirementsTest, SetIsSortedAndDeduplicated) {
+  auto set = RequirementSet::Parse("scipy==1.1.0, pandas==2.0.0, "
+                                   "pandas==2.0.0");
+  ASSERT_TRUE(set.ok());
+  ASSERT_EQ(set->items().size(), 2u);
+  EXPECT_EQ(set->items()[0].name, "pandas");
+  EXPECT_EQ(set->items()[1].name, "scipy");
+  EXPECT_EQ(set->ToString(), "pandas==2.0.0,scipy==1.1.0");
+}
+
+TEST(RequirementsTest, EmptySetParses) {
+  auto set = RequirementSet::Parse("  ");
+  ASSERT_TRUE(set.ok());
+  EXPECT_TRUE(set->empty());
+}
+
+// ------------------------------------------------------------ expectations
+
+TEST(ExpectationTest, MeanGreaterThanPaperExample) {
+  // The paper's Step 2: mean(count) > 10.
+  Expectation exp = ExpectMeanGreaterThan("count", 10.0);
+  auto pass = exp.Check(CountsTable({12, 15, 9}));
+  ASSERT_TRUE(pass.ok());
+  EXPECT_TRUE(pass->passed);
+
+  auto fail = exp.Check(CountsTable({1, 2, 3}));
+  ASSERT_TRUE(fail.ok());
+  EXPECT_FALSE(fail->passed);
+  EXPECT_NE(fail->details.find("mean(count) = 2"), std::string::npos);
+}
+
+TEST(ExpectationTest, MeanSkipsNulls) {
+  Expectation exp = ExpectMeanGreaterThan("count", 10.0);
+  auto result = exp.Check(CountsTable({20, 20}, /*with_null=*/true));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->passed);  // mean of {20, 20}, not {20, 20, 0}
+}
+
+TEST(ExpectationTest, MeanOfMissingColumnErrors) {
+  Expectation exp = ExpectMeanGreaterThan("nope", 1.0);
+  EXPECT_FALSE(exp.Check(CountsTable({1})).ok());
+}
+
+TEST(ExpectationTest, MeanOfAllNullsFails) {
+  Int64Builder b;
+  b.AppendNull();
+  Table t = *Table::Make(Schema({{"count", TypeId::kInt64, true}}),
+                         {b.Finish()});
+  Expectation exp = ExpectMeanGreaterThan("count", 1.0);
+  EXPECT_FALSE(exp.Check(t).ok());
+}
+
+TEST(ExpectationTest, MeanBetween) {
+  Expectation exp = ExpectMeanBetween("count", 2.0, 4.0);
+  EXPECT_TRUE(exp.Check(CountsTable({2, 4}))->passed);
+  EXPECT_FALSE(exp.Check(CountsTable({10, 20}))->passed);
+}
+
+TEST(ExpectationTest, NoNulls) {
+  EXPECT_TRUE(ExpectNoNulls("count").Check(CountsTable({1, 2}))->passed);
+  EXPECT_FALSE(
+      ExpectNoNulls("count").Check(CountsTable({1}, true))->passed);
+}
+
+TEST(ExpectationTest, Unique) {
+  EXPECT_TRUE(ExpectUnique("count").Check(CountsTable({1, 2, 3}))->passed);
+  EXPECT_FALSE(
+      ExpectUnique("count").Check(CountsTable({1, 2, 2}))->passed);
+  // Nulls do not count as duplicates.
+  EXPECT_TRUE(ExpectUnique("count").Check(CountsTable({1}, true))->passed);
+}
+
+TEST(ExpectationTest, RowCountBetween) {
+  EXPECT_TRUE(
+      ExpectRowCountBetween(1, 5).Check(CountsTable({1, 2}))->passed);
+  EXPECT_FALSE(ExpectRowCountBetween(3, 5).Check(CountsTable({1}))->passed);
+}
+
+TEST(ExpectationTest, ValuesBetween) {
+  EXPECT_TRUE(ExpectValuesBetween("count", 0, 10)
+                  .Check(CountsTable({1, 5, 10}))
+                  ->passed);
+  auto out = ExpectValuesBetween("count", 0, 3).Check(CountsTable({1, 9}));
+  EXPECT_FALSE(out->passed);
+  EXPECT_NE(out->details.find("1 values"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- DSL
+
+TEST(ExpectationDslTest, ParsesAllForms) {
+  EXPECT_TRUE(ParseExpectation("mean(count) > 10").ok());
+  EXPECT_TRUE(ParseExpectation("mean(fare) between 1 and 50").ok());
+  EXPECT_TRUE(ParseExpectation("not_null(zone)").ok());
+  EXPECT_TRUE(ParseExpectation("unique(trip_id)").ok());
+  EXPECT_TRUE(ParseExpectation("row_count between 1 and 1000").ok());
+  EXPECT_TRUE(ParseExpectation("values(fare) between 0 and 500").ok());
+}
+
+TEST(ExpectationDslTest, ParsedDslEvaluates) {
+  auto exp = ParseExpectation("mean(count) > 10");
+  ASSERT_TRUE(exp.ok());
+  EXPECT_TRUE(exp->Check(CountsTable({11, 12}))->passed);
+  EXPECT_FALSE(exp->Check(CountsTable({1, 2}))->passed);
+}
+
+TEST(ExpectationDslTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseExpectation("").ok());
+  EXPECT_FALSE(ParseExpectation("median(count) > 1").ok());
+  EXPECT_FALSE(ParseExpectation("mean(count) < 10").ok());
+  EXPECT_FALSE(ParseExpectation("mean(count)").ok());
+  EXPECT_FALSE(ParseExpectation("not_null(a) > 3").ok());
+  EXPECT_FALSE(ParseExpectation("row_count between x and y").ok());
+}
+
+}  // namespace
+}  // namespace bauplan::expectations

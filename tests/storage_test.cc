@@ -1,0 +1,209 @@
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "storage/latency_model.h"
+#include "storage/metered_store.h"
+#include "storage/object_store.h"
+
+namespace bauplan::storage {
+namespace {
+
+Bytes Blob(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// Shared contract tests run against both backends.
+class ObjectStoreContract
+    : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == "memory") {
+      store_ = std::make_unique<MemoryObjectStore>();
+    } else {
+      tmp_ = std::filesystem::temp_directory_path() /
+             ("bauplan_store_test_" + std::to_string(::getpid()));
+      std::filesystem::remove_all(tmp_);
+      auto opened = FileSystemObjectStore::Open(tmp_.string());
+      ASSERT_TRUE(opened.ok());
+      store_ = std::move(*opened);
+    }
+  }
+
+  void TearDown() override {
+    store_.reset();
+    if (!tmp_.empty()) std::filesystem::remove_all(tmp_);
+  }
+
+  std::unique_ptr<ObjectStore> store_;
+  std::filesystem::path tmp_;
+};
+
+TEST_P(ObjectStoreContract, PutGetRoundTrip) {
+  ASSERT_TRUE(store_->Put("a/b/data.bpf", Blob("hello")).ok());
+  auto got = store_->Get("a/b/data.bpf");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::string(got->begin(), got->end()), "hello");
+}
+
+TEST_P(ObjectStoreContract, GetMissingIsNotFound) {
+  auto got = store_->Get("nope");
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsNotFound());
+}
+
+TEST_P(ObjectStoreContract, PutOverwrites) {
+  ASSERT_TRUE(store_->Put("k", Blob("one")).ok());
+  ASSERT_TRUE(store_->Put("k", Blob("twotwo")).ok());
+  EXPECT_EQ(*store_->Head("k"), 6u);
+}
+
+TEST_P(ObjectStoreContract, HeadReportsSizeWithoutData) {
+  ASSERT_TRUE(store_->Put("k", Blob("12345")).ok());
+  EXPECT_EQ(*store_->Head("k"), 5u);
+  EXPECT_FALSE(store_->Head("missing").ok());
+  EXPECT_TRUE(store_->Exists("k"));
+  EXPECT_FALSE(store_->Exists("missing"));
+}
+
+TEST_P(ObjectStoreContract, DeleteRemoves) {
+  ASSERT_TRUE(store_->Put("k", Blob("x")).ok());
+  ASSERT_TRUE(store_->Delete("k").ok());
+  EXPECT_FALSE(store_->Exists("k"));
+  EXPECT_TRUE(store_->Delete("k").IsNotFound());
+}
+
+TEST_P(ObjectStoreContract, ListByPrefixSorted) {
+  ASSERT_TRUE(store_->Put("t/one", Blob("1")).ok());
+  ASSERT_TRUE(store_->Put("t/two", Blob("22")).ok());
+  ASSERT_TRUE(store_->Put("other/x", Blob("3")).ok());
+  auto listed = store_->List("t/");
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), 2u);
+  EXPECT_EQ((*listed)[0].key, "t/one");
+  EXPECT_EQ((*listed)[1].key, "t/two");
+  EXPECT_EQ((*listed)[1].size, 2u);
+
+  auto all = store_->List("");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 3u);
+}
+
+TEST_P(ObjectStoreContract, EmptyKeyRejected) {
+  EXPECT_FALSE(store_->Put("", Blob("x")).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ObjectStoreContract,
+                         ::testing::Values("memory", "filesystem"));
+
+TEST(FileSystemStoreTest, RejectsTraversalKeys) {
+  auto tmp = std::filesystem::temp_directory_path() / "bauplan_trav_test";
+  auto store = FileSystemObjectStore::Open(tmp.string());
+  ASSERT_TRUE(store.ok());
+  EXPECT_FALSE((*store)->Put("../escape", Blob("x")).ok());
+  std::filesystem::remove_all(tmp);
+}
+
+TEST(MemoryStoreTest, Accounting) {
+  MemoryObjectStore store;
+  ASSERT_TRUE(store.Put("a", Blob("xx")).ok());
+  ASSERT_TRUE(store.Put("b", Blob("yyy")).ok());
+  EXPECT_EQ(store.object_count(), 2u);
+  EXPECT_EQ(store.total_bytes(), 5u);
+}
+
+// ---------------------------------------------------------------- Latency
+
+TEST(LatencyModelTest, GetLatencyIsFirstBytePlusTransfer) {
+  LatencyModel model;  // defaults: 15 ms first byte, 90 MB/s
+  EXPECT_EQ(model.MicrosFor(StoreOp::kGet, 0), 15000u);
+  // 90 MB at 90 MB/s = 1 s of transfer.
+  EXPECT_EQ(model.MicrosFor(StoreOp::kGet, 90ull * 1000 * 1000),
+            15000u + 1000000u);
+}
+
+TEST(LatencyModelTest, InstantModelChargesNothing) {
+  LatencyModel model = LatencyModel::Instant();
+  for (StoreOp op : {StoreOp::kGet, StoreOp::kPut, StoreOp::kHead,
+                     StoreOp::kList, StoreOp::kDelete}) {
+    EXPECT_EQ(model.MicrosFor(op, 12345), 0u);
+  }
+}
+
+TEST(LatencyModelTest, LocalDiskOrdersOfMagnitudeFasterThanS3) {
+  LatencyModel s3;
+  LatencyModel disk = LatencyModel::LocalDisk();
+  uint64_t mb = 1000 * 1000;
+  EXPECT_LT(disk.MicrosFor(StoreOp::kGet, mb) * 10,
+            s3.MicrosFor(StoreOp::kGet, mb));
+}
+
+TEST(CostModelTest, CreditsScaleWithBytes) {
+  CostModel cost;
+  double small = cost.CreditsFor(1000);
+  double large = cost.CreditsFor(1000ull * 1000 * 1000);
+  EXPECT_GT(large, small);
+  EXPECT_GT(small, 0.0);
+}
+
+// ---------------------------------------------------------------- Metered
+
+TEST(MeteredStoreTest, ChargesClockAndCountsOps) {
+  MemoryObjectStore base;
+  SimClock clock;
+  LatencyModel model;
+  MeteredObjectStore store(&base, &clock, model);
+
+  ASSERT_TRUE(store.Put("k", Bytes(1000, 7)).ok());
+  uint64_t after_put = clock.NowMicros();
+  EXPECT_GE(after_put, model.put_first_byte_micros);
+
+  auto got = store.Get("k");
+  ASSERT_TRUE(got.ok());
+  EXPECT_GT(clock.NowMicros(), after_put);
+
+  const StoreMetrics& m = store.metrics();
+  EXPECT_EQ(m.puts, 1);
+  EXPECT_EQ(m.gets, 1);
+  EXPECT_EQ(m.bytes_written, 1000);
+  EXPECT_EQ(m.bytes_read, 1000);
+  EXPECT_EQ(m.TotalRequests(), 2);
+  EXPECT_GT(m.credits, 0.0);
+  EXPECT_EQ(m.simulated_micros, clock.NowMicros());
+}
+
+TEST(MeteredStoreTest, PassesThroughErrors) {
+  MemoryObjectStore base;
+  SimClock clock;
+  MeteredObjectStore store(&base, &clock, LatencyModel::Instant());
+  EXPECT_TRUE(store.Get("missing").status().IsNotFound());
+  EXPECT_TRUE(store.Delete("missing").IsNotFound());
+  EXPECT_EQ(store.metrics().gets, 1);
+}
+
+TEST(MeteredStoreTest, ResetMetrics) {
+  MemoryObjectStore base;
+  SimClock clock;
+  MeteredObjectStore store(&base, &clock, LatencyModel::Instant());
+  ASSERT_TRUE(store.Put("k", Blob("x")).ok());
+  store.ResetMetrics();
+  EXPECT_EQ(store.metrics().TotalRequests(), 0);
+}
+
+TEST(MeteredStoreTest, ListAndHeadCharged) {
+  MemoryObjectStore base;
+  SimClock clock;
+  LatencyModel model;
+  MeteredObjectStore store(&base, &clock, model);
+  ASSERT_TRUE(store.Put("p/x", Blob("1")).ok());
+  ASSERT_TRUE(store.List("p/").ok());
+  ASSERT_TRUE(store.Head("p/x").ok());
+  EXPECT_EQ(store.metrics().lists, 1);
+  EXPECT_EQ(store.metrics().heads, 1);
+  EXPECT_GE(clock.NowMicros(),
+            model.put_first_byte_micros + model.list_micros +
+                model.head_micros);
+}
+
+}  // namespace
+}  // namespace bauplan::storage

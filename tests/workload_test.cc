@@ -1,0 +1,247 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/cost_curve.h"
+#include "workload/powerlaw.h"
+#include "workload/query_log.h"
+#include "workload/taxi_gen.h"
+
+namespace bauplan::workload {
+namespace {
+
+// ---------------------------------------------------------------- powerlaw
+
+TEST(CcdfTest, MonotoneNonIncreasingFromOne) {
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < 10000; ++i) samples.push_back(rng.Pareto(1.0, 1.5));
+  auto ccdf = ComputeCcdf(samples, 40);
+  ASSERT_EQ(ccdf.size(), 40u);
+  EXPECT_NEAR(ccdf.front().ccdf, 1.0, 0.01);
+  for (size_t i = 1; i < ccdf.size(); ++i) {
+    EXPECT_LE(ccdf[i].ccdf, ccdf[i - 1].ccdf);
+    EXPECT_GT(ccdf[i].x, ccdf[i - 1].x);
+  }
+}
+
+TEST(CcdfTest, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(ComputeCcdf({}, 10).empty());
+  EXPECT_TRUE(ComputeCcdf({1.0}, 0).empty());
+  auto single = ComputeCcdf({5.0, 5.0}, 5);
+  EXPECT_EQ(single.size(), 5u);
+}
+
+TEST(PowerLawFitTest, RecoversKnownAlpha) {
+  // Pareto with tail index k has density exponent alpha = k + 1.
+  Rng rng(11);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(rng.Pareto(1.0, 1.5));
+  auto fit = FitPowerLaw(samples, 1.0);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->alpha, 2.5, 0.05);
+  EXPECT_EQ(fit->tail_samples, 50000);
+  EXPECT_LT(fit->ks_distance, 0.02);
+}
+
+TEST(PowerLawFitTest, AutoXminFindsTail) {
+  // Mixture: uniform body below 5, Pareto tail above.
+  Rng rng(13);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(rng.Uniform(0.1, 5.0));
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.Pareto(5.0, 1.2));
+  auto fit = FitPowerLawAutoXmin(samples);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->alpha, 2.2, 0.25);
+  EXPECT_GT(fit->xmin, 2.0);
+}
+
+TEST(PowerLawFitTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(FitPowerLaw({1, 2, 3}, 0.0).ok());
+  EXPECT_FALSE(FitPowerLaw({1, 2, 3}, 100.0).ok());  // empty tail
+  EXPECT_FALSE(FitPowerLawAutoXmin({1.0, 2.0}).ok());
+}
+
+TEST(PowerLawFitTest, CcdfOfFit) {
+  PowerLawFit fit;
+  fit.alpha = 2.0;
+  fit.xmin = 1.0;
+  EXPECT_EQ(PowerLawCcdf(fit, 0.5), 1.0);
+  EXPECT_NEAR(PowerLawCcdf(fit, 10.0), 0.1, 1e-9);
+}
+
+TEST(PercentileTest, InterpolatesAndValidates) {
+  std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_EQ(*Percentile(v, 0), 10);
+  EXPECT_EQ(*Percentile(v, 100), 40);
+  EXPECT_NEAR(*Percentile(v, 50), 25, 1e-9);
+  EXPECT_FALSE(Percentile({}, 50).ok());
+  EXPECT_FALSE(Percentile(v, 101).ok());
+}
+
+// --------------------------------------------------------------- query log
+
+TEST(QueryLogTest, PaperProfilesShape) {
+  auto profiles = PaperCompanyProfiles();
+  ASSERT_EQ(profiles.size(), 3u);
+  // Bigger firms: more queries, heavier tails (smaller alpha).
+  EXPECT_LT(profiles[2].alpha, profiles[0].alpha);
+  EXPECT_GT(profiles[2].queries_per_month,
+            profiles[0].queries_per_month);
+}
+
+TEST(QueryLogTest, GeneratedLogMatchesProfile) {
+  CompanyProfile profile{"test", 2.2, 0.5, 30000};
+  Rng rng(21);
+  QueryLog log = GenerateQueryLog(profile, rng);
+  ASSERT_EQ(log.durations_seconds.size(), 30000u);
+  ASSERT_EQ(log.bytes_scanned.size(), 30000u);
+  for (double d : log.durations_seconds) EXPECT_GE(d, 0.5);
+  // Refit recovers the generating alpha.
+  auto fit = FitPowerLaw(log.durations_seconds, profile.xmin_seconds);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->alpha, profile.alpha, 0.1);
+}
+
+TEST(QueryLogTest, BytesCorrelateWithDuration) {
+  CompanyProfile profile{"test", 2.0, 0.5, 20000};
+  Rng rng(23);
+  QueryLog log = GenerateQueryLog(profile, rng);
+  // Rank correlation proxy: mean bytes of the slowest decile should far
+  // exceed mean bytes of the fastest decile.
+  std::vector<size_t> index(log.durations_seconds.size());
+  for (size_t i = 0; i < index.size(); ++i) index[i] = i;
+  std::sort(index.begin(), index.end(), [&](size_t a, size_t b) {
+    return log.durations_seconds[a] < log.durations_seconds[b];
+  });
+  size_t decile = index.size() / 10;
+  double fast = 0, slow = 0;
+  for (size_t i = 0; i < decile; ++i) {
+    fast += static_cast<double>(log.bytes_scanned[index[i]]);
+    slow += static_cast<double>(
+        log.bytes_scanned[index[index.size() - 1 - i]]);
+  }
+  EXPECT_GT(slow, 5 * fast);
+}
+
+TEST(QueryLogTest, CalibrationHitsTargetPercentile) {
+  double alpha = 2.3;
+  double target = 750e6;  // the paper's P80 = 750 MB
+  double xmin = CalibrateXminForPercentile(alpha, 80.0, target);
+  // Sample and verify the empirical P80 lands near the target.
+  Rng rng(29);
+  std::vector<double> bytes;
+  for (int i = 0; i < 200000; ++i) {
+    bytes.push_back(rng.Pareto(xmin, alpha - 1.0));
+  }
+  double p80 = *Percentile(bytes, 80.0);
+  EXPECT_NEAR(p80 / target, 1.0, 0.05);
+}
+
+// --------------------------------------------------------------- cost curve
+
+TEST(CostCurveTest, MonotoneAndEndsAtOne) {
+  Rng rng(31);
+  std::vector<uint64_t> bytes;
+  for (int i = 0; i < 50000; ++i) {
+    bytes.push_back(static_cast<uint64_t>(rng.Pareto(1e6, 1.3)));
+  }
+  auto curve = ComputeCostCurve(bytes);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_EQ(curve->size(), 100u);
+  EXPECT_NEAR(curve->back().cumulative_cost_share, 1.0, 1e-9);
+  for (size_t i = 1; i < curve->size(); ++i) {
+    EXPECT_GE((*curve)[i].cumulative_cost_share,
+              (*curve)[i - 1].cumulative_cost_share);
+    EXPECT_GE((*curve)[i].bytes_at_percentile,
+              (*curve)[i - 1].bytes_at_percentile);
+  }
+}
+
+TEST(CostCurveTest, EmptyWorkloadRejected) {
+  EXPECT_FALSE(ComputeCostCurve({}).ok());
+}
+
+TEST(CostCurveTest, UniformWorkloadIsLinear) {
+  std::vector<uint64_t> bytes(1000, 1000000);
+  auto curve = ComputeCostCurve(bytes);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_NEAR((*curve)[49].cumulative_cost_share, 0.5, 0.02);
+}
+
+// ----------------------------------------------------------------- taxigen
+
+TEST(TaxiGenTest, GeneratesRequestedShape) {
+  TaxiGenOptions options;
+  options.rows = 5000;
+  auto table = GenerateTaxiTable(options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 5000);
+  EXPECT_EQ(table->num_columns(), 8);
+  EXPECT_TRUE(table->schema().HasField("pickup_at"));
+  EXPECT_TRUE(table->schema().HasField("fare"));
+}
+
+TEST(TaxiGenTest, DeterministicInSeed) {
+  TaxiGenOptions options;
+  options.rows = 100;
+  auto a = GenerateTaxiTable(options);
+  auto b = GenerateTaxiTable(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a->GetValue(i, 6), b->GetValue(i, 6));  // fare column
+  }
+  options.seed = 43;
+  auto c = GenerateTaxiTable(options);
+  bool any_diff = false;
+  for (int64_t i = 0; i < 100 && !any_diff; ++i) {
+    any_diff = !(a->GetValue(i, 6) == c->GetValue(i, 6));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TaxiGenTest, TimestampsInRangeAndLocationsBounded) {
+  TaxiGenOptions options;
+  options.rows = 2000;
+  options.start_date = "2019-04-01";
+  options.days = 30;
+  options.num_locations = 50;
+  auto table = GenerateTaxiTable(options);
+  ASSERT_TRUE(table.ok());
+  auto pickup_at = *table->GetColumnByName("pickup_at");
+  auto loc = *table->GetColumnByName("pickup_location_id");
+  int64_t start = 1554076800000000LL;
+  int64_t end = start + 30ll * 86400 * 1000000;
+  for (int64_t i = 0; i < table->num_rows(); ++i) {
+    int64_t ts = pickup_at->GetValue(i).int64_value();
+    EXPECT_GE(ts, start);
+    EXPECT_LT(ts, end);
+    int64_t l = loc->GetValue(i).int64_value();
+    EXPECT_GE(l, 1);
+    EXPECT_LE(l, 50);
+  }
+}
+
+TEST(TaxiGenTest, NullRateRoughlyHonored) {
+  TaxiGenOptions options;
+  options.rows = 20000;
+  options.null_passenger_rate = 0.05;
+  auto table = GenerateTaxiTable(options);
+  auto pax = *table->GetColumnByName("passenger_count");
+  double rate = static_cast<double>(pax->null_count()) / 20000.0;
+  EXPECT_NEAR(rate, 0.05, 0.01);
+}
+
+TEST(TaxiGenTest, RejectsBadOptions) {
+  TaxiGenOptions options;
+  options.rows = -1;
+  EXPECT_FALSE(GenerateTaxiTable(options).ok());
+  options.rows = 10;
+  options.start_date = "not a date";
+  EXPECT_FALSE(GenerateTaxiTable(options).ok());
+}
+
+}  // namespace
+}  // namespace bauplan::workload
