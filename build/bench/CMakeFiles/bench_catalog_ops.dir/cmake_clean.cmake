@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_catalog_ops.dir/bench_catalog_ops.cc.o"
+  "CMakeFiles/bench_catalog_ops.dir/bench_catalog_ops.cc.o.d"
+  "bench_catalog_ops"
+  "bench_catalog_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_catalog_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

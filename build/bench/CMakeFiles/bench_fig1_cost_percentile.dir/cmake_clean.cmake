@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_cost_percentile.dir/bench_fig1_cost_percentile.cc.o"
+  "CMakeFiles/bench_fig1_cost_percentile.dir/bench_fig1_cost_percentile.cc.o.d"
+  "bench_fig1_cost_percentile"
+  "bench_fig1_cost_percentile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_cost_percentile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

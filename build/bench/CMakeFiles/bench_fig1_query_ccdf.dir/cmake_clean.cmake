@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_query_ccdf.dir/bench_fig1_query_ccdf.cc.o"
+  "CMakeFiles/bench_fig1_query_ccdf.dir/bench_fig1_query_ccdf.cc.o.d"
+  "bench_fig1_query_ccdf"
+  "bench_fig1_query_ccdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_query_ccdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fusion_speedup.dir/bench_fusion_speedup.cc.o"
+  "CMakeFiles/bench_fusion_speedup.dir/bench_fusion_speedup.cc.o.d"
+  "bench_fusion_speedup"
+  "bench_fusion_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fusion_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_package_cache.dir/bench_package_cache.cc.o"
+  "CMakeFiles/bench_package_cache.dir/bench_package_cache.cc.o.d"
+  "bench_package_cache"
+  "bench_package_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_package_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scan_planning.dir/bench_scan_planning.cc.o"
+  "CMakeFiles/bench_scan_planning.dir/bench_scan_planning.cc.o.d"
+  "bench_scan_planning"
+  "bench_scan_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scan_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_modalities.dir/bench_table1_modalities.cc.o"
+  "CMakeFiles/bench_table1_modalities.dir/bench_table1_modalities.cc.o.d"
+  "bench_table1_modalities"
+  "bench_table1_modalities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_modalities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

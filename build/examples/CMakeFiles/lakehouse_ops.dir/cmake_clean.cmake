@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakehouse_ops.dir/lakehouse_ops.cpp.o"
+  "CMakeFiles/lakehouse_ops.dir/lakehouse_ops.cpp.o.d"
+  "lakehouse_ops"
+  "lakehouse_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakehouse_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_analytics.dir/serverless_analytics.cpp.o"
+  "CMakeFiles/serverless_analytics.dir/serverless_analytics.cpp.o.d"
+  "serverless_analytics"
+  "serverless_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

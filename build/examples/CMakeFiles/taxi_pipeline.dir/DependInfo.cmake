@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/taxi_pipeline.cpp" "examples/CMakeFiles/taxi_pipeline.dir/taxi_pipeline.cpp.o" "gcc" "examples/CMakeFiles/taxi_pipeline.dir/taxi_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bauplan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bauplan_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/bauplan_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/bauplan_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/expectations/CMakeFiles/bauplan_expectations.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bauplan_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/bauplan_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/bauplan_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/bauplan_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/bauplan_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bauplan_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bauplan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_pipeline.dir/taxi_pipeline.cpp.o"
+  "CMakeFiles/taxi_pipeline.dir/taxi_pipeline.cpp.o.d"
+  "taxi_pipeline"
+  "taxi_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

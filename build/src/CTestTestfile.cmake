@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("columnar")
+subdirs("format")
+subdirs("storage")
+subdirs("catalog")
+subdirs("table")
+subdirs("sql")
+subdirs("expectations")
+subdirs("pipeline")
+subdirs("runtime")
+subdirs("workload")
+subdirs("core")
+subdirs("cli")

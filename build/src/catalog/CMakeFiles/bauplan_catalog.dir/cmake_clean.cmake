@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bauplan_catalog.dir/catalog.cc.o"
+  "CMakeFiles/bauplan_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/bauplan_catalog.dir/commit.cc.o"
+  "CMakeFiles/bauplan_catalog.dir/commit.cc.o.d"
+  "CMakeFiles/bauplan_catalog.dir/transaction.cc.o"
+  "CMakeFiles/bauplan_catalog.dir/transaction.cc.o.d"
+  "libbauplan_catalog.a"
+  "libbauplan_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bauplan_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

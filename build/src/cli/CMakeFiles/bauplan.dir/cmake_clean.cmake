@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bauplan.dir/main.cc.o"
+  "CMakeFiles/bauplan.dir/main.cc.o.d"
+  "bauplan"
+  "bauplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bauplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

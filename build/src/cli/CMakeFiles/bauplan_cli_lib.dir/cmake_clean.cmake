@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bauplan_cli_lib.dir/project_loader.cc.o"
+  "CMakeFiles/bauplan_cli_lib.dir/project_loader.cc.o.d"
+  "libbauplan_cli_lib.a"
+  "libbauplan_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bauplan_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

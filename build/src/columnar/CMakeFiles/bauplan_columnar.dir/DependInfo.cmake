@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/columnar/builder.cc" "src/columnar/CMakeFiles/bauplan_columnar.dir/builder.cc.o" "gcc" "src/columnar/CMakeFiles/bauplan_columnar.dir/builder.cc.o.d"
+  "/root/repo/src/columnar/compute.cc" "src/columnar/CMakeFiles/bauplan_columnar.dir/compute.cc.o" "gcc" "src/columnar/CMakeFiles/bauplan_columnar.dir/compute.cc.o.d"
+  "/root/repo/src/columnar/csv.cc" "src/columnar/CMakeFiles/bauplan_columnar.dir/csv.cc.o" "gcc" "src/columnar/CMakeFiles/bauplan_columnar.dir/csv.cc.o.d"
+  "/root/repo/src/columnar/datetime.cc" "src/columnar/CMakeFiles/bauplan_columnar.dir/datetime.cc.o" "gcc" "src/columnar/CMakeFiles/bauplan_columnar.dir/datetime.cc.o.d"
+  "/root/repo/src/columnar/serialize.cc" "src/columnar/CMakeFiles/bauplan_columnar.dir/serialize.cc.o" "gcc" "src/columnar/CMakeFiles/bauplan_columnar.dir/serialize.cc.o.d"
+  "/root/repo/src/columnar/table.cc" "src/columnar/CMakeFiles/bauplan_columnar.dir/table.cc.o" "gcc" "src/columnar/CMakeFiles/bauplan_columnar.dir/table.cc.o.d"
+  "/root/repo/src/columnar/type.cc" "src/columnar/CMakeFiles/bauplan_columnar.dir/type.cc.o" "gcc" "src/columnar/CMakeFiles/bauplan_columnar.dir/type.cc.o.d"
+  "/root/repo/src/columnar/value.cc" "src/columnar/CMakeFiles/bauplan_columnar.dir/value.cc.o" "gcc" "src/columnar/CMakeFiles/bauplan_columnar.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bauplan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bauplan_columnar.dir/builder.cc.o"
+  "CMakeFiles/bauplan_columnar.dir/builder.cc.o.d"
+  "CMakeFiles/bauplan_columnar.dir/compute.cc.o"
+  "CMakeFiles/bauplan_columnar.dir/compute.cc.o.d"
+  "CMakeFiles/bauplan_columnar.dir/csv.cc.o"
+  "CMakeFiles/bauplan_columnar.dir/csv.cc.o.d"
+  "CMakeFiles/bauplan_columnar.dir/datetime.cc.o"
+  "CMakeFiles/bauplan_columnar.dir/datetime.cc.o.d"
+  "CMakeFiles/bauplan_columnar.dir/serialize.cc.o"
+  "CMakeFiles/bauplan_columnar.dir/serialize.cc.o.d"
+  "CMakeFiles/bauplan_columnar.dir/table.cc.o"
+  "CMakeFiles/bauplan_columnar.dir/table.cc.o.d"
+  "CMakeFiles/bauplan_columnar.dir/type.cc.o"
+  "CMakeFiles/bauplan_columnar.dir/type.cc.o.d"
+  "CMakeFiles/bauplan_columnar.dir/value.cc.o"
+  "CMakeFiles/bauplan_columnar.dir/value.cc.o.d"
+  "libbauplan_columnar.a"
+  "libbauplan_columnar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bauplan_columnar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

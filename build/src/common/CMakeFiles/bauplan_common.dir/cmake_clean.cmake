@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bauplan_common.dir/clock.cc.o"
+  "CMakeFiles/bauplan_common.dir/clock.cc.o.d"
+  "CMakeFiles/bauplan_common.dir/hash.cc.o"
+  "CMakeFiles/bauplan_common.dir/hash.cc.o.d"
+  "CMakeFiles/bauplan_common.dir/logging.cc.o"
+  "CMakeFiles/bauplan_common.dir/logging.cc.o.d"
+  "CMakeFiles/bauplan_common.dir/rng.cc.o"
+  "CMakeFiles/bauplan_common.dir/rng.cc.o.d"
+  "CMakeFiles/bauplan_common.dir/status.cc.o"
+  "CMakeFiles/bauplan_common.dir/status.cc.o.d"
+  "CMakeFiles/bauplan_common.dir/strings.cc.o"
+  "CMakeFiles/bauplan_common.dir/strings.cc.o.d"
+  "libbauplan_common.a"
+  "libbauplan_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bauplan_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit_log.cc" "src/core/CMakeFiles/bauplan_core.dir/audit_log.cc.o" "gcc" "src/core/CMakeFiles/bauplan_core.dir/audit_log.cc.o.d"
+  "/root/repo/src/core/bauplan.cc" "src/core/CMakeFiles/bauplan_core.dir/bauplan.cc.o" "gcc" "src/core/CMakeFiles/bauplan_core.dir/bauplan.cc.o.d"
+  "/root/repo/src/core/lakehouse_source.cc" "src/core/CMakeFiles/bauplan_core.dir/lakehouse_source.cc.o" "gcc" "src/core/CMakeFiles/bauplan_core.dir/lakehouse_source.cc.o.d"
+  "/root/repo/src/core/pipeline_runner.cc" "src/core/CMakeFiles/bauplan_core.dir/pipeline_runner.cc.o" "gcc" "src/core/CMakeFiles/bauplan_core.dir/pipeline_runner.cc.o.d"
+  "/root/repo/src/core/query_cache.cc" "src/core/CMakeFiles/bauplan_core.dir/query_cache.cc.o" "gcc" "src/core/CMakeFiles/bauplan_core.dir/query_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/catalog/CMakeFiles/bauplan_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/expectations/CMakeFiles/bauplan_expectations.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/bauplan_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/bauplan_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/bauplan_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/bauplan_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bauplan_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/format/CMakeFiles/bauplan_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/bauplan_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bauplan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

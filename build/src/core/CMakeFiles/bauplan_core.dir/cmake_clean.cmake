@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bauplan_core.dir/audit_log.cc.o"
+  "CMakeFiles/bauplan_core.dir/audit_log.cc.o.d"
+  "CMakeFiles/bauplan_core.dir/bauplan.cc.o"
+  "CMakeFiles/bauplan_core.dir/bauplan.cc.o.d"
+  "CMakeFiles/bauplan_core.dir/lakehouse_source.cc.o"
+  "CMakeFiles/bauplan_core.dir/lakehouse_source.cc.o.d"
+  "CMakeFiles/bauplan_core.dir/pipeline_runner.cc.o"
+  "CMakeFiles/bauplan_core.dir/pipeline_runner.cc.o.d"
+  "CMakeFiles/bauplan_core.dir/query_cache.cc.o"
+  "CMakeFiles/bauplan_core.dir/query_cache.cc.o.d"
+  "libbauplan_core.a"
+  "libbauplan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bauplan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

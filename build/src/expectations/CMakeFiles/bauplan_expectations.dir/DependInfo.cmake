@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expectations/expectation.cc" "src/expectations/CMakeFiles/bauplan_expectations.dir/expectation.cc.o" "gcc" "src/expectations/CMakeFiles/bauplan_expectations.dir/expectation.cc.o.d"
+  "/root/repo/src/expectations/requirements.cc" "src/expectations/CMakeFiles/bauplan_expectations.dir/requirements.cc.o" "gcc" "src/expectations/CMakeFiles/bauplan_expectations.dir/requirements.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/columnar/CMakeFiles/bauplan_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bauplan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

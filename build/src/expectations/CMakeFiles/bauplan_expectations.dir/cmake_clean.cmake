@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bauplan_expectations.dir/expectation.cc.o"
+  "CMakeFiles/bauplan_expectations.dir/expectation.cc.o.d"
+  "CMakeFiles/bauplan_expectations.dir/requirements.cc.o"
+  "CMakeFiles/bauplan_expectations.dir/requirements.cc.o.d"
+  "libbauplan_expectations.a"
+  "libbauplan_expectations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bauplan_expectations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/format/encoding.cc" "src/format/CMakeFiles/bauplan_format.dir/encoding.cc.o" "gcc" "src/format/CMakeFiles/bauplan_format.dir/encoding.cc.o.d"
+  "/root/repo/src/format/metadata.cc" "src/format/CMakeFiles/bauplan_format.dir/metadata.cc.o" "gcc" "src/format/CMakeFiles/bauplan_format.dir/metadata.cc.o.d"
+  "/root/repo/src/format/predicate.cc" "src/format/CMakeFiles/bauplan_format.dir/predicate.cc.o" "gcc" "src/format/CMakeFiles/bauplan_format.dir/predicate.cc.o.d"
+  "/root/repo/src/format/reader.cc" "src/format/CMakeFiles/bauplan_format.dir/reader.cc.o" "gcc" "src/format/CMakeFiles/bauplan_format.dir/reader.cc.o.d"
+  "/root/repo/src/format/writer.cc" "src/format/CMakeFiles/bauplan_format.dir/writer.cc.o" "gcc" "src/format/CMakeFiles/bauplan_format.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/columnar/CMakeFiles/bauplan_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bauplan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bauplan_format.dir/encoding.cc.o"
+  "CMakeFiles/bauplan_format.dir/encoding.cc.o.d"
+  "CMakeFiles/bauplan_format.dir/metadata.cc.o"
+  "CMakeFiles/bauplan_format.dir/metadata.cc.o.d"
+  "CMakeFiles/bauplan_format.dir/predicate.cc.o"
+  "CMakeFiles/bauplan_format.dir/predicate.cc.o.d"
+  "CMakeFiles/bauplan_format.dir/reader.cc.o"
+  "CMakeFiles/bauplan_format.dir/reader.cc.o.d"
+  "CMakeFiles/bauplan_format.dir/writer.cc.o"
+  "CMakeFiles/bauplan_format.dir/writer.cc.o.d"
+  "libbauplan_format.a"
+  "libbauplan_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bauplan_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

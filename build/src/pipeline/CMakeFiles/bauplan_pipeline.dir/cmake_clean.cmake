@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bauplan_pipeline.dir/dag.cc.o"
+  "CMakeFiles/bauplan_pipeline.dir/dag.cc.o.d"
+  "CMakeFiles/bauplan_pipeline.dir/project.cc.o"
+  "CMakeFiles/bauplan_pipeline.dir/project.cc.o.d"
+  "CMakeFiles/bauplan_pipeline.dir/run_registry.cc.o"
+  "CMakeFiles/bauplan_pipeline.dir/run_registry.cc.o.d"
+  "libbauplan_pipeline.a"
+  "libbauplan_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bauplan_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/container.cc" "src/runtime/CMakeFiles/bauplan_runtime.dir/container.cc.o" "gcc" "src/runtime/CMakeFiles/bauplan_runtime.dir/container.cc.o.d"
+  "/root/repo/src/runtime/container_manager.cc" "src/runtime/CMakeFiles/bauplan_runtime.dir/container_manager.cc.o" "gcc" "src/runtime/CMakeFiles/bauplan_runtime.dir/container_manager.cc.o.d"
+  "/root/repo/src/runtime/executor.cc" "src/runtime/CMakeFiles/bauplan_runtime.dir/executor.cc.o" "gcc" "src/runtime/CMakeFiles/bauplan_runtime.dir/executor.cc.o.d"
+  "/root/repo/src/runtime/package.cc" "src/runtime/CMakeFiles/bauplan_runtime.dir/package.cc.o" "gcc" "src/runtime/CMakeFiles/bauplan_runtime.dir/package.cc.o.d"
+  "/root/repo/src/runtime/package_cache.cc" "src/runtime/CMakeFiles/bauplan_runtime.dir/package_cache.cc.o" "gcc" "src/runtime/CMakeFiles/bauplan_runtime.dir/package_cache.cc.o.d"
+  "/root/repo/src/runtime/scheduler.cc" "src/runtime/CMakeFiles/bauplan_runtime.dir/scheduler.cc.o" "gcc" "src/runtime/CMakeFiles/bauplan_runtime.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bauplan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bauplan_runtime.dir/container.cc.o"
+  "CMakeFiles/bauplan_runtime.dir/container.cc.o.d"
+  "CMakeFiles/bauplan_runtime.dir/container_manager.cc.o"
+  "CMakeFiles/bauplan_runtime.dir/container_manager.cc.o.d"
+  "CMakeFiles/bauplan_runtime.dir/executor.cc.o"
+  "CMakeFiles/bauplan_runtime.dir/executor.cc.o.d"
+  "CMakeFiles/bauplan_runtime.dir/package.cc.o"
+  "CMakeFiles/bauplan_runtime.dir/package.cc.o.d"
+  "CMakeFiles/bauplan_runtime.dir/package_cache.cc.o"
+  "CMakeFiles/bauplan_runtime.dir/package_cache.cc.o.d"
+  "CMakeFiles/bauplan_runtime.dir/scheduler.cc.o"
+  "CMakeFiles/bauplan_runtime.dir/scheduler.cc.o.d"
+  "libbauplan_runtime.a"
+  "libbauplan_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bauplan_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

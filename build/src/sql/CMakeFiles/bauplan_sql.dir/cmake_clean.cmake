@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bauplan_sql.dir/ast.cc.o"
+  "CMakeFiles/bauplan_sql.dir/ast.cc.o.d"
+  "CMakeFiles/bauplan_sql.dir/engine.cc.o"
+  "CMakeFiles/bauplan_sql.dir/engine.cc.o.d"
+  "CMakeFiles/bauplan_sql.dir/executor.cc.o"
+  "CMakeFiles/bauplan_sql.dir/executor.cc.o.d"
+  "CMakeFiles/bauplan_sql.dir/expr_eval.cc.o"
+  "CMakeFiles/bauplan_sql.dir/expr_eval.cc.o.d"
+  "CMakeFiles/bauplan_sql.dir/lexer.cc.o"
+  "CMakeFiles/bauplan_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/bauplan_sql.dir/logical_plan.cc.o"
+  "CMakeFiles/bauplan_sql.dir/logical_plan.cc.o.d"
+  "CMakeFiles/bauplan_sql.dir/optimizer.cc.o"
+  "CMakeFiles/bauplan_sql.dir/optimizer.cc.o.d"
+  "CMakeFiles/bauplan_sql.dir/parser.cc.o"
+  "CMakeFiles/bauplan_sql.dir/parser.cc.o.d"
+  "CMakeFiles/bauplan_sql.dir/planner.cc.o"
+  "CMakeFiles/bauplan_sql.dir/planner.cc.o.d"
+  "libbauplan_sql.a"
+  "libbauplan_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bauplan_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

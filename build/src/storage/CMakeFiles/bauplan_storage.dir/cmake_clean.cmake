@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bauplan_storage.dir/metered_store.cc.o"
+  "CMakeFiles/bauplan_storage.dir/metered_store.cc.o.d"
+  "CMakeFiles/bauplan_storage.dir/object_store.cc.o"
+  "CMakeFiles/bauplan_storage.dir/object_store.cc.o.d"
+  "libbauplan_storage.a"
+  "libbauplan_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bauplan_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

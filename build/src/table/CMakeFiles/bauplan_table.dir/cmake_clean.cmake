@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bauplan_table.dir/maintenance.cc.o"
+  "CMakeFiles/bauplan_table.dir/maintenance.cc.o.d"
+  "CMakeFiles/bauplan_table.dir/metadata.cc.o"
+  "CMakeFiles/bauplan_table.dir/metadata.cc.o.d"
+  "CMakeFiles/bauplan_table.dir/partition.cc.o"
+  "CMakeFiles/bauplan_table.dir/partition.cc.o.d"
+  "CMakeFiles/bauplan_table.dir/table_ops.cc.o"
+  "CMakeFiles/bauplan_table.dir/table_ops.cc.o.d"
+  "libbauplan_table.a"
+  "libbauplan_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bauplan_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

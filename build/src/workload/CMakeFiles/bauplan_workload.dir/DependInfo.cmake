@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/cost_curve.cc" "src/workload/CMakeFiles/bauplan_workload.dir/cost_curve.cc.o" "gcc" "src/workload/CMakeFiles/bauplan_workload.dir/cost_curve.cc.o.d"
+  "/root/repo/src/workload/powerlaw.cc" "src/workload/CMakeFiles/bauplan_workload.dir/powerlaw.cc.o" "gcc" "src/workload/CMakeFiles/bauplan_workload.dir/powerlaw.cc.o.d"
+  "/root/repo/src/workload/query_log.cc" "src/workload/CMakeFiles/bauplan_workload.dir/query_log.cc.o" "gcc" "src/workload/CMakeFiles/bauplan_workload.dir/query_log.cc.o.d"
+  "/root/repo/src/workload/taxi_gen.cc" "src/workload/CMakeFiles/bauplan_workload.dir/taxi_gen.cc.o" "gcc" "src/workload/CMakeFiles/bauplan_workload.dir/taxi_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/columnar/CMakeFiles/bauplan_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bauplan_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bauplan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

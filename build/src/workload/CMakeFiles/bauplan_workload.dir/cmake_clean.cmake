@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bauplan_workload.dir/cost_curve.cc.o"
+  "CMakeFiles/bauplan_workload.dir/cost_curve.cc.o.d"
+  "CMakeFiles/bauplan_workload.dir/powerlaw.cc.o"
+  "CMakeFiles/bauplan_workload.dir/powerlaw.cc.o.d"
+  "CMakeFiles/bauplan_workload.dir/query_log.cc.o"
+  "CMakeFiles/bauplan_workload.dir/query_log.cc.o.d"
+  "CMakeFiles/bauplan_workload.dir/taxi_gen.cc.o"
+  "CMakeFiles/bauplan_workload.dir/taxi_gen.cc.o.d"
+  "libbauplan_workload.a"
+  "libbauplan_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bauplan_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

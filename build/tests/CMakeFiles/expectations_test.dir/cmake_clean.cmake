@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expectations_test.dir/expectations_test.cc.o"
+  "CMakeFiles/expectations_test.dir/expectations_test.cc.o.d"
+  "expectations_test"
+  "expectations_test.pdb"
+  "expectations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expectations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_extensions_test.dir/platform_extensions_test.cc.o"
+  "CMakeFiles/platform_extensions_test.dir/platform_extensions_test.cc.o.d"
+  "platform_extensions_test"
+  "platform_extensions_test.pdb"
+  "platform_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
