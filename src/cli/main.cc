@@ -45,8 +45,10 @@ commands:
         pipeline project to <lake>_demo_project
   query -q SQL [-b REF] [--explain]
         run a synchronous SQL query at a branch/tag/commit
-  run --project DIR [-b BRANCH] [--naive] [--explain]
-        execute a pipeline with transform-audit-write semantics
+  run --project DIR [-b BRANCH] [--naive] [--parallel N] [--explain]
+        execute a pipeline with transform-audit-write semantics;
+        --parallel N dispatches independent nodes of a --naive run as
+        wavefronts with up to N bodies at a time
   run --run-id N [-m NODE[+]]
         replay a recorded run, sandboxed
   runs  list recorded runs
@@ -105,17 +107,30 @@ class Args {
 void PrintRunReport(const core::RunReport& report) {
   std::printf("run %lld: %s\n", static_cast<long long>(report.run_id),
               report.status.c_str());
+  bool fused = report.execution.fused_invocation.has_value();
+  if (fused) {
+    const runtime::InvocationReport& fn =
+        *report.execution.fused_invocation;
+    std::printf("  fused into one function: start=%s (%s) worker=%d\n",
+                FormatDurationMicros(fn.startup_micros).c_str(),
+                std::string(runtime::StartKindToString(fn.start_kind))
+                    .c_str(),
+                fn.worker);
+  }
   for (const auto& node : report.execution.nodes) {
     const char* kind =
         node.kind == pipeline::NodeKind::kExpectation ? "expectation"
                                                       : "sql";
-    std::printf("  %-24s [%s] rows=%lld start=%s (%s)", node.name.c_str(),
-                kind, static_cast<long long>(node.output_rows),
-                FormatDurationMicros(node.invocation.startup_micros)
-                    .c_str(),
-                std::string(
-                    runtime::StartKindToString(node.invocation.start_kind))
-                    .c_str());
+    std::printf("  %-24s [%s] rows=%lld", node.name.c_str(), kind,
+                static_cast<long long>(node.output_rows));
+    if (!fused) {
+      std::printf(" start=%s (%s)",
+                  FormatDurationMicros(node.invocation.startup_micros)
+                      .c_str(),
+                  std::string(runtime::StartKindToString(
+                                  node.invocation.start_kind))
+                      .c_str());
+    }
     if (node.kind == pipeline::NodeKind::kExpectation) {
       std::printf(" -> %s (%s)", node.expectation_passed ? "PASS" : "FAIL",
                   node.details.c_str());
@@ -224,6 +239,14 @@ int Main(int argc, char** argv) {
     }
     core::PipelineRunOptions options;
     options.fused = !args.Has("--naive");
+    if (args.Has("--parallel")) {
+      int parallelism = std::atoi(args.Get("--parallel", "1").c_str());
+      if (parallelism < 1) {
+        return Fail(Status::InvalidArgument(
+            "--parallel needs a positive worker count"));
+      }
+      options.parallelism = parallelism;
+    }
     auto report = bp.Run(*project, args.Get("-b", "main"), options);
     if (!report.ok()) return Fail(report.status());
     PrintRunReport(*report);

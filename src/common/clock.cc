@@ -3,8 +3,57 @@
 #include <chrono>
 #include <cstdio>
 #include <ctime>
+#include <vector>
 
 namespace bauplan {
+
+namespace {
+
+/// One active fork of a ForkableClock on this thread. A stack supports
+/// nesting (a forked body that itself dispatches a wave degrades to the
+/// sequential path, but bookkeeping stays well-defined either way).
+struct ClockFork {
+  const void* owner;
+  uint64_t now;
+};
+
+thread_local std::vector<ClockFork> tls_clock_forks;
+
+ClockFork* TopForkOf(const void* owner) {
+  if (tls_clock_forks.empty()) return nullptr;
+  ClockFork& top = tls_clock_forks.back();
+  return top.owner == owner ? &top : nullptr;
+}
+
+}  // namespace
+
+uint64_t ForkableClock::NowMicros() const {
+  const ClockFork* fork = TopForkOf(this);
+  return fork != nullptr ? fork->now : base_->NowMicros();
+}
+
+void ForkableClock::AdvanceMicros(uint64_t micros) {
+  ClockFork* fork = TopForkOf(this);
+  if (fork != nullptr) {
+    fork->now += micros;
+  } else {
+    base_->AdvanceMicros(micros);
+  }
+}
+
+void ForkableClock::BeginFork(uint64_t start_micros) {
+  tls_clock_forks.push_back(ClockFork{this, start_micros});
+}
+
+uint64_t ForkableClock::EndFork() {
+  ClockFork* fork = TopForkOf(this);
+  if (fork == nullptr) return base_->NowMicros();  // unbalanced; degrade
+  uint64_t end = fork->now;
+  tls_clock_forks.pop_back();
+  return end;
+}
+
+bool ForkableClock::ForkActive() const { return TopForkOf(this) != nullptr; }
 
 uint64_t WallClock::NowMicros() const {
   auto now = std::chrono::system_clock::now().time_since_epoch();

@@ -1,6 +1,7 @@
 #ifndef BAUPLAN_COMMON_CLOCK_H_
 #define BAUPLAN_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -23,16 +24,53 @@ class Clock {
 
 /// Virtual clock: time only moves when AdvanceMicros is called. All bench
 /// and test latencies are measured on this clock so results are exact and
-/// deterministic.
+/// deterministic. Reads and advances are atomic so helper threads (e.g.
+/// the parallel scan decoder) may observe it without racing.
 class SimClock : public Clock {
  public:
   explicit SimClock(uint64_t start_micros = 0) : now_(start_micros) {}
 
-  uint64_t NowMicros() const override { return now_; }
-  void AdvanceMicros(uint64_t micros) override { now_ += micros; }
+  uint64_t NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void AdvanceMicros(uint64_t micros) override {
+    now_.fetch_add(micros, std::memory_order_relaxed);
+  }
 
  private:
-  uint64_t now_;
+  std::atomic<uint64_t> now_;
+};
+
+/// Wraps a base clock with per-thread forked timelines, the substrate of
+/// the parallel wavefront executor: while a fork is active on the calling
+/// thread, NowMicros/AdvanceMicros operate on a thread-private virtual
+/// time and the base clock is untouched, so concurrent function bodies
+/// each accumulate their own latency instead of summing onto one global
+/// clock. Threads without an active fork pass straight through to the
+/// base, which keeps every sequential code path byte-for-byte identical.
+class ForkableClock : public Clock {
+ public:
+  /// Does not own `base`.
+  explicit ForkableClock(Clock* base) : base_(base) {}
+
+  uint64_t NowMicros() const override;
+  void AdvanceMicros(uint64_t micros) override;
+
+  /// Starts a thread-private timeline at `start_micros`. Forks nest: an
+  /// inner fork shadows the outer one until its EndFork.
+  void BeginFork(uint64_t start_micros);
+
+  /// Ends the innermost fork on this thread, returning its final virtual
+  /// time. The elapsed fork time is NOT propagated to the base clock —
+  /// the caller decides what (e.g. the max over parallel branches) to
+  /// charge.
+  uint64_t EndFork();
+
+  /// True when the calling thread currently runs on a fork of this clock.
+  bool ForkActive() const;
+
+ private:
+  Clock* base_;
 };
 
 /// Wall clock (microseconds since the Unix epoch); AdvanceMicros is a no-op (the

@@ -9,21 +9,26 @@ namespace bauplan::core {
 Bauplan::Bauplan(storage::ObjectStore* base_store, Clock* clock,
                  BauplanOptions options)
     : clock_(clock), options_(std::move(options)) {
+  // Every component runs on the forkable wrapper: sequential paths pass
+  // straight through to the caller's clock, while wavefront execution
+  // gives each concurrent function body its own virtual timeline.
+  fork_clock_ = std::make_unique<ForkableClock>(clock);
+  Clock* run_clock = fork_clock_.get();
   lake_store_ = std::make_unique<storage::MeteredObjectStore>(
-      base_store, clock, options_.lake_latency, options_.lake_cost);
+      base_store, run_clock, options_.lake_latency, options_.lake_cost);
   spill_backing_ = std::make_unique<storage::MemoryObjectStore>();
   spill_store_ = std::make_unique<storage::MeteredObjectStore>(
-      spill_backing_.get(), clock, options_.lake_latency,
+      spill_backing_.get(), run_clock, options_.lake_latency,
       options_.lake_cost);
   package_cache_ = std::make_unique<runtime::PackageCache>(
-      clock, options_.package_cache);
+      run_clock, options_.package_cache);
   containers_ = std::make_unique<runtime::ContainerManager>(
-      clock, package_cache_.get(), options_.containers);
+      run_clock, package_cache_.get(), options_.containers);
   scheduler_ =
-      std::make_unique<runtime::Scheduler>(clock, options_.scheduler);
+      std::make_unique<runtime::Scheduler>(run_clock, options_.scheduler);
   executor_ = std::make_unique<runtime::ServerlessExecutor>(
-      clock, containers_.get(), scheduler_.get());
-  audit_ = std::make_unique<AuditLog>(lake_store_.get(), clock);
+      run_clock, containers_.get(), scheduler_.get());
+  audit_ = std::make_unique<AuditLog>(lake_store_.get(), run_clock);
   query_cache_ =
       std::make_unique<QueryResultCache>(options_.query_cache_bytes);
 }
@@ -43,16 +48,17 @@ Result<std::unique_ptr<Bauplan>> Bauplan::Open(
     BauplanOptions options) {
   std::unique_ptr<Bauplan> platform(
       new Bauplan(base_store, clock, std::move(options)));
+  Clock* run_clock = platform->fork_clock_.get();
   BAUPLAN_ASSIGN_OR_RETURN(
       catalog::Catalog catalog,
-      catalog::Catalog::Open(platform->lake_store_.get(), clock));
+      catalog::Catalog::Open(platform->lake_store_.get(), run_clock));
   platform->catalog_ = std::make_unique<catalog::Catalog>(catalog);
   platform->table_ops_ = std::make_unique<table::TableOps>(
-      platform->lake_store_.get(), clock);
+      platform->lake_store_.get(), run_clock);
   platform->registry_ = std::make_unique<pipeline::RunRegistry>(
-      platform->lake_store_.get(), clock);
+      platform->lake_store_.get(), run_clock);
   platform->runner_ = std::make_unique<PipelineRunner>(
-      clock, platform->catalog_.get(), platform->table_ops_.get(),
+      run_clock, platform->catalog_.get(), platform->table_ops_.get(),
       platform->executor_.get(), platform->spill_store_.get());
   return platform;
 }

@@ -138,6 +138,7 @@ class Bauplan {
     return package_cache_->metrics();
   }
   runtime::ServerlessExecutor* executor() { return executor_.get(); }
+  runtime::Scheduler* scheduler() { return scheduler_.get(); }
   Clock* clock() { return clock_; }
 
  private:
@@ -154,6 +155,10 @@ class Bauplan {
 
   Clock* clock_;
   BauplanOptions options_;
+  /// Wraps `clock_`; every component below runs on it so the wavefront
+  /// executor can fork per-function timelines. Declared first: it must
+  /// outlive everything that holds it.
+  std::unique_ptr<ForkableClock> fork_clock_;
   std::unique_ptr<storage::MeteredObjectStore> lake_store_;
   std::unique_ptr<storage::MemoryObjectStore> spill_backing_;
   std::unique_ptr<storage::MeteredObjectStore> spill_store_;

@@ -1,6 +1,8 @@
 #include "core/pipeline_runner.h"
 
 #include <algorithm>
+#include <deque>
+#include <mutex>
 #include <set>
 
 #include "columnar/serialize.h"
@@ -17,6 +19,24 @@ using pipeline::Dag;
 using pipeline::NodeKind;
 using pipeline::PipelineNode;
 
+namespace internal {
+
+/// State one naive run's node functions share: the selection, the sizes
+/// of artifacts produced so far, and the report the bodies write into.
+/// `mu` serializes body writes when nodes run on a wavefront.
+struct NaiveRunContext {
+  const Dag* dag = nullptr;
+  std::string ref;
+  std::set<std::string> selected_set;
+  PipelineRunReport* report = nullptr;
+  std::mutex mu;
+  /// Artifact name -> serialized bytes (produced this run, or estimated
+  /// from catalog metadata for replayed upstreams).
+  std::map<std::string, int64_t> artifact_bytes;
+};
+
+}  // namespace internal
+
 namespace {
 
 /// Estimated function memory for a table of `bytes`: artifact + working
@@ -30,6 +50,28 @@ std::vector<std::string> SelectOrAll(const Dag& dag,
                                      const std::vector<std::string>& sel) {
   if (sel.empty()) return dag.execution_order();
   return sel;
+}
+
+std::string SpillKey(const std::string& node) {
+  return StrCat("spill/", node, ".tbl");
+}
+
+/// Serialized-footprint estimate of a materialized catalog table:
+/// records times an ~8-bytes-per-value row width. Used to size functions
+/// reading replayed upstreams, where the exact spill size is unknown but
+/// the row count is right in the table metadata.
+int64_t EstimateCatalogArtifactBytes(const catalog::Catalog* catalog,
+                                     const table::TableOps* ops,
+                                     const std::string& ref,
+                                     const std::string& table_name) {
+  auto metadata_key = catalog->GetTable(ref, table_name);
+  if (!metadata_key.ok()) return 0;
+  auto metadata = ops->LoadMetadata(*metadata_key);
+  if (!metadata.ok()) return 0;
+  auto snapshot = metadata->CurrentSnapshot();
+  if (!snapshot.ok()) return 0;
+  int64_t row_width = 8 * metadata->schema.num_fields() + 8;
+  return snapshot->total_records * row_width;
 }
 
 }  // namespace
@@ -62,6 +104,11 @@ Result<PipelineRunReport> PipelineRunner::Execute(
   spill_store_->ResetMetrics();
   if (options.fused) {
     return ExecuteFused(dag, ref, SelectOrAll(dag, options.selected));
+  }
+  if (options.parallelism > 1) {
+    return ExecuteParallelNaive(dag, ref,
+                                SelectOrAll(dag, options.selected),
+                                options.parallelism);
   }
   return ExecuteNaive(dag, ref, SelectOrAll(dag, options.selected));
 }
@@ -97,7 +144,6 @@ Result<PipelineRunReport> PipelineRunner::ExecuteFused(
   request.keep_warm = true;
   std::set<std::string> selected_set(selected.begin(), selected.end());
 
-  Status body_status = Status::OK();
   request.body = [&]() -> Status {
     // All intermediates live in the source overlay; the engine pushes
     // WHERE filters and projections into the lakehouse scans.
@@ -139,10 +185,7 @@ Result<PipelineRunReport> PipelineRunner::ExecuteFused(
 
   BAUPLAN_ASSIGN_OR_RETURN(runtime::InvocationReport invocation,
                            executor_->Invoke(request));
-  if (!report.nodes.empty()) {
-    report.nodes.front().invocation = invocation;
-  }
-  (void)body_status;
+  report.fused_invocation = std::move(invocation);
   report.total_micros = clock_->NowMicros() - start;
   report.spill_metrics = spill_store_->metrics();
   return report;
@@ -150,112 +193,220 @@ Result<PipelineRunReport> PipelineRunner::ExecuteFused(
 
 // --------------------------------------------------------------- naive
 
+runtime::FunctionRequest PipelineRunner::BuildNaiveRequest(
+    internal::NaiveRunContext& ctx, const std::string& name,
+    NodeReport* node_report) {
+  const pipeline::DagNode& dag_node = ctx.dag->GetNode(name);
+  const PipelineNode& node = *dag_node.node;
+  node_report->name = name;
+  node_report->kind = node.kind;
+
+  // Each node is its own serverless function reading inputs through
+  // the object store — the isomorphic mapping of plan to execution.
+  // Every upstream artifact is listed (placement and transfer see the
+  // full input set, not just the last upstream).
+  runtime::FunctionRequest request;
+  request.name = name;
+  request.spec = SpecForNode(node);
+  request.output_artifact = SpillKey(name);
+
+  int64_t input_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(ctx.mu);
+    for (const auto& up : dag_node.upstream_nodes) {
+      bool up_selected = ctx.selected_set.count(up) > 0;
+      auto it = ctx.artifact_bytes.find(up);
+      int64_t bytes = it != ctx.artifact_bytes.end() ? it->second : 0;
+      if (it == ctx.artifact_bytes.end() && !up_selected) {
+        bytes = EstimateCatalogArtifactBytes(catalog_, ops_, ctx.ref, up);
+        ctx.artifact_bytes[up] = bytes;
+      }
+      input_bytes += bytes;
+      // A replayed upstream lives in the catalog, not at any worker, so
+      // its key never matches a recorded artifact — reading it always
+      // pays the object-storage transfer.
+      request.inputs.push_back(runtime::ArtifactRef{
+          up_selected ? SpillKey(up) : StrCat("catalog/", up),
+          static_cast<uint64_t>(bytes)});
+    }
+  }
+  request.memory_bytes = MemoryForBytes(input_bytes);
+
+  request.body = [this, &ctx, &dag_node, &node, name,
+                  node_report]() -> Status {
+    // Assemble inputs: source tables scanned in full (no pushdown —
+    // the naive plan maps each logical op to one function), upstream
+    // artifacts fetched from the spill store.
+    sql::MemoryTableProvider inputs;
+    for (const auto& table_name : dag_node.source_tables) {
+      BAUPLAN_ASSIGN_OR_RETURN(std::string metadata_key,
+                               catalog_->GetTable(ctx.ref, table_name));
+      BAUPLAN_ASSIGN_OR_RETURN(Table table,
+                               ops_->ScanTable(metadata_key));
+      inputs.AddTable(table_name, std::move(table));
+    }
+    for (const auto& up : dag_node.upstream_nodes) {
+      if (ctx.selected_set.count(up) > 0) {
+        BAUPLAN_ASSIGN_OR_RETURN(Bytes bytes,
+                                 spill_store_->Get(SpillKey(up)));
+        BAUPLAN_ASSIGN_OR_RETURN(Table table,
+                                 columnar::DeserializeTable(bytes));
+        inputs.AddTable(up, std::move(table));
+      } else {
+        // Replay subset: the upstream artifact was materialized by the
+        // original run; read it from the catalog.
+        BAUPLAN_ASSIGN_OR_RETURN(std::string metadata_key,
+                                 catalog_->GetTable(ctx.ref, up));
+        BAUPLAN_ASSIGN_OR_RETURN(Table table,
+                                 ops_->ScanTable(metadata_key));
+        inputs.AddTable(up, std::move(table));
+      }
+    }
+
+    if (node.kind == NodeKind::kSqlModel) {
+      sql::QueryOptions qopts;
+      // No scan pushdown in the naive mapping.
+      qopts.optimizer.pushdown_predicates = false;
+      qopts.optimizer.pushdown_projections = false;
+      BAUPLAN_ASSIGN_OR_RETURN(
+          sql::QueryResult result,
+          sql::RunQuery(node.code, inputs, &inputs, qopts));
+      node_report->output_rows = result.table.num_rows();
+      // Spill the artifact for downstream functions.
+      Bytes payload = columnar::SerializeTable(result.table);
+      int64_t payload_bytes = static_cast<int64_t>(payload.size());
+      BAUPLAN_RETURN_NOT_OK(
+          spill_store_->Put(SpillKey(name), std::move(payload)));
+      std::lock_guard<std::mutex> lock(ctx.mu);
+      ctx.artifact_bytes[name] = payload_bytes;
+      ctx.report->artifacts[name] = std::move(result.table);
+    } else {
+      BAUPLAN_ASSIGN_OR_RETURN(std::string target,
+                               node.ExpectationTarget());
+      BAUPLAN_ASSIGN_OR_RETURN(
+          expectations::Expectation expectation,
+          expectations::ParseExpectation(node.code));
+      BAUPLAN_ASSIGN_OR_RETURN(Table table,
+                               inputs.ScanTable(target, {}, {}));
+      BAUPLAN_ASSIGN_OR_RETURN(auto outcome, expectation.Check(table));
+      node_report->expectation_passed = outcome.passed;
+      node_report->details = outcome.details;
+      node_report->output_rows = table.num_rows();
+      if (!outcome.passed) {
+        std::lock_guard<std::mutex> lock(ctx.mu);
+        ctx.report->all_expectations_passed = false;
+      }
+    }
+    return Status::OK();
+  };
+  return request;
+}
+
 Result<PipelineRunReport> PipelineRunner::ExecuteNaive(
     const Dag& dag, const std::string& ref,
     const std::vector<std::string>& selected) {
   PipelineRunReport report;
   uint64_t start = clock_->NowMicros();
-  std::set<std::string> selected_set(selected.begin(), selected.end());
 
-  // Spill keys of intermediates produced so far this run.
-  auto spill_key = [](const std::string& node) {
-    return StrCat("spill/", node, ".tbl");
-  };
-  std::map<std::string, int64_t> artifact_bytes;
+  internal::NaiveRunContext ctx;
+  ctx.dag = &dag;
+  ctx.ref = ref;
+  ctx.selected_set = std::set<std::string>(selected.begin(),
+                                           selected.end());
+  ctx.report = &report;
 
   for (const auto& name : dag.execution_order()) {
-    if (selected_set.count(name) == 0) continue;
-    const pipeline::DagNode& dag_node = dag.GetNode(name);
-    const PipelineNode& node = *dag_node.node;
-
+    if (ctx.selected_set.count(name) == 0) continue;
     NodeReport node_report;
-    node_report.name = name;
-    node_report.kind = node.kind;
-
-    // Each node is its own serverless function reading inputs through
-    // the object store — the isomorphic mapping of plan to execution.
-    runtime::FunctionRequest request;
-    request.name = name;
-    request.spec = SpecForNode(node);
-    std::string input_artifact;
-    int64_t input_bytes = 0;
-    for (const auto& up : dag_node.upstream_nodes) {
-      input_artifact = spill_key(up);
-      auto it = artifact_bytes.find(up);
-      if (it != artifact_bytes.end()) input_bytes += it->second;
-    }
-    request.input_artifact = input_artifact;
-    request.input_bytes = static_cast<uint64_t>(input_bytes);
-    request.memory_bytes = MemoryForBytes(input_bytes);
-    request.output_artifact = spill_key(name);
-
-    Status node_status = Status::OK();
-    request.body = [&]() -> Status {
-      // Assemble inputs: source tables scanned in full (no pushdown —
-      // the naive plan maps each logical op to one function), upstream
-      // artifacts fetched from the spill store.
-      sql::MemoryTableProvider inputs;
-      for (const auto& table_name : dag_node.source_tables) {
-        BAUPLAN_ASSIGN_OR_RETURN(std::string metadata_key,
-                                 catalog_->GetTable(ref, table_name));
-        BAUPLAN_ASSIGN_OR_RETURN(Table table,
-                                 ops_->ScanTable(metadata_key));
-        inputs.AddTable(table_name, std::move(table));
-      }
-      for (const auto& up : dag_node.upstream_nodes) {
-        if (selected_set.count(up) > 0) {
-          BAUPLAN_ASSIGN_OR_RETURN(Bytes bytes,
-                                   spill_store_->Get(spill_key(up)));
-          BAUPLAN_ASSIGN_OR_RETURN(Table table,
-                                   columnar::DeserializeTable(bytes));
-          inputs.AddTable(up, std::move(table));
-        } else {
-          // Replay subset: the upstream artifact was materialized by the
-          // original run; read it from the catalog.
-          BAUPLAN_ASSIGN_OR_RETURN(std::string metadata_key,
-                                   catalog_->GetTable(ref, up));
-          BAUPLAN_ASSIGN_OR_RETURN(Table table,
-                                   ops_->ScanTable(metadata_key));
-          inputs.AddTable(up, std::move(table));
-        }
-      }
-
-      if (node.kind == NodeKind::kSqlModel) {
-        sql::QueryOptions qopts;
-        // No scan pushdown in the naive mapping.
-        qopts.optimizer.pushdown_predicates = false;
-        qopts.optimizer.pushdown_projections = false;
-        BAUPLAN_ASSIGN_OR_RETURN(
-            sql::QueryResult result,
-            sql::RunQuery(node.code, inputs, &inputs, qopts));
-        node_report.output_rows = result.table.num_rows();
-        // Spill the artifact for downstream functions.
-        Bytes payload = columnar::SerializeTable(result.table);
-        artifact_bytes[name] = static_cast<int64_t>(payload.size());
-        BAUPLAN_RETURN_NOT_OK(
-            spill_store_->Put(spill_key(name), std::move(payload)));
-        report.artifacts[name] = std::move(result.table);
-      } else {
-        BAUPLAN_ASSIGN_OR_RETURN(std::string target,
-                                 node.ExpectationTarget());
-        BAUPLAN_ASSIGN_OR_RETURN(
-            expectations::Expectation expectation,
-            expectations::ParseExpectation(node.code));
-        BAUPLAN_ASSIGN_OR_RETURN(Table table,
-                                 inputs.ScanTable(target, {}, {}));
-        BAUPLAN_ASSIGN_OR_RETURN(auto outcome, expectation.Check(table));
-        node_report.expectation_passed = outcome.passed;
-        node_report.details = outcome.details;
-        node_report.output_rows = table.num_rows();
-        if (!outcome.passed) report.all_expectations_passed = false;
-      }
-      return Status::OK();
-    };
-
+    runtime::FunctionRequest request =
+        BuildNaiveRequest(ctx, name, &node_report);
     BAUPLAN_ASSIGN_OR_RETURN(node_report.invocation,
                              executor_->Invoke(request));
-    (void)node_status;
     report.nodes.push_back(std::move(node_report));
+  }
+
+  report.total_micros = clock_->NowMicros() - start;
+  report.spill_metrics = spill_store_->metrics();
+  return report;
+}
+
+Result<PipelineRunReport> PipelineRunner::ExecuteParallelNaive(
+    const Dag& dag, const std::string& ref,
+    const std::vector<std::string>& selected, int parallelism) {
+  PipelineRunReport report;
+  uint64_t start = clock_->NowMicros();
+
+  internal::NaiveRunContext ctx;
+  ctx.dag = &dag;
+  ctx.ref = ref;
+  ctx.selected_set = std::set<std::string>(selected.begin(),
+                                           selected.end());
+  ctx.report = &report;
+
+  // Ready-set bookkeeping: indegree among selected nodes only (replayed
+  // upstreams are already materialized, hence never block).
+  std::map<std::string, int> indegree;
+  std::map<std::string, std::vector<std::string>> downstream;
+  for (const auto& name : dag.execution_order()) {
+    if (ctx.selected_set.count(name) == 0) continue;
+    int degree = 0;
+    for (const auto& up : dag.GetNode(name).upstream_nodes) {
+      if (ctx.selected_set.count(up) == 0) continue;
+      ++degree;
+      downstream[up].push_back(name);
+    }
+    indegree[name] = degree;
+  }
+
+  // NodeReports live in a deque so function bodies hold stable pointers
+  // across waves.
+  std::deque<NodeReport> slots;
+  std::map<std::string, NodeReport*> slot_of;
+  std::set<std::string> dispatched;
+  size_t completed = 0;
+
+  while (completed < indegree.size()) {
+    // The next wave: every undispatched node whose selected upstreams
+    // all finished, in execution order (deterministic).
+    std::vector<runtime::FunctionRequest> ready;
+    for (const auto& name : dag.execution_order()) {
+      auto it = indegree.find(name);
+      if (it == indegree.end() || it->second > 0) continue;
+      if (dispatched.count(name) > 0) continue;
+      NodeReport*& slot = slot_of[name];
+      if (slot == nullptr) {
+        slots.emplace_back();
+        slot = &slots.back();
+      }
+      ready.push_back(BuildNaiveRequest(ctx, name, slot));
+      dispatched.insert(name);
+    }
+    if (ready.empty()) {
+      return Status::Internal(
+          "pipeline wavefront stalled with nodes unfinished");
+    }
+
+    BAUPLAN_ASSIGN_OR_RETURN(
+        runtime::WaveReport wave,
+        executor_->InvokeWave(std::move(ready), parallelism));
+    for (runtime::InvocationReport& invocation : wave.reports) {
+      const std::string node_name = invocation.name;
+      slot_of.at(node_name)->invocation = std::move(invocation);
+      ++completed;
+      for (const auto& down : downstream[node_name]) --indegree[down];
+    }
+    // Members bounced on resources stay ready; rebuild them next wave.
+    for (const runtime::FunctionRequest& bounced : wave.deferred) {
+      dispatched.erase(bounced.name);
+    }
+  }
+
+  // Merge per-node reports deterministically, in execution order — the
+  // same order the sequential walk emits.
+  for (const auto& name : dag.execution_order()) {
+    auto it = slot_of.find(name);
+    if (it == slot_of.end()) continue;
+    report.nodes.push_back(std::move(*it->second));
   }
 
   report.total_micros = clock_->NowMicros() - start;

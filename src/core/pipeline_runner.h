@@ -2,6 +2,7 @@
 #define BAUPLAN_CORE_PIPELINE_RUNNER_H_
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,10 @@
 
 namespace bauplan::core {
 
+namespace internal {
+struct NaiveRunContext;
+}  // namespace internal
+
 /// How to execute a DAG.
 struct PipelineRunOptions {
   /// Fused (default): the whole DAG runs as one function, intermediates
@@ -24,6 +29,12 @@ struct PipelineRunOptions {
   /// isomorphic plan-to-execution mapping the paper's first version used
   /// (section 4.4.2).
   bool fused = true;
+  /// Naive mode only: with > 1, independent nodes dispatch together as
+  /// wavefronts and their bodies run on up to this many threads; the
+  /// run's latency reflects the DAG's critical path instead of the sum
+  /// of nodes. 1 = the classic sequential walk. Ignored in fused mode
+  /// (one function has nothing to parallelize over).
+  int parallelism = 1;
   /// Run only these nodes (replay selection); empty = all. Upstream
   /// artifacts of unselected nodes are read from the catalog.
   std::vector<std::string> selected;
@@ -50,6 +61,9 @@ struct PipelineRunReport {
   bool all_expectations_passed = true;
   /// Artifact name -> produced table (SQL nodes only).
   std::map<std::string, columnar::Table> artifacts;
+  /// Fused mode: the single invocation the whole DAG ran as (naive mode
+  /// reports per node instead, in NodeReport::invocation).
+  std::optional<runtime::InvocationReport> fused_invocation;
 };
 
 /// Executes an extracted DAG on the serverless substrate in fused or
@@ -83,6 +97,21 @@ class PipelineRunner {
   Result<PipelineRunReport> ExecuteNaive(
       const pipeline::Dag& dag, const std::string& ref,
       const std::vector<std::string>& selected);
+  /// Wavefront variant of ExecuteNaive: ready nodes dispatch together
+  /// through ServerlessExecutor::InvokeWave. Produces the same artifacts,
+  /// expectation outcomes and spill metrics as the sequential walk (the
+  /// bodies are identical; only the schedule differs).
+  Result<PipelineRunReport> ExecuteParallelNaive(
+      const pipeline::Dag& dag, const std::string& ref,
+      const std::vector<std::string>& selected, int parallelism);
+
+  /// The per-node FunctionRequest both naive paths dispatch: inputs list
+  /// every upstream artifact, memory is sized from their bytes, and the
+  /// body (scan sources, fetch spills, run the node, spill the output)
+  /// writes its results into `node_report` and the shared context.
+  runtime::FunctionRequest BuildNaiveRequest(
+      internal::NaiveRunContext& ctx, const std::string& name,
+      NodeReport* node_report);
 
   /// Container spec for a node (interpreter + its requirement set mapped
   /// onto synthetic packages).

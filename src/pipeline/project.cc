@@ -138,4 +138,57 @@ PipelineProject MakePaperTaxiPipeline(double expectation_threshold) {
   return project;
 }
 
+PipelineProject MakeWideTaxiPipeline(int fan_out) {
+  PipelineProject project("nyc_taxi_wide");
+  // Diamond: base feeds two disjoint slices that re-join downstream.
+  Status st = project.AddSqlNode(
+      "base",
+      "SELECT pickup_location_id, dropoff_location_id, "
+      "passenger_count AS count, trip_distance, fare FROM taxi_table "
+      "WHERE pickup_at >= '2019-01-01'");
+  if (st.ok()) {
+    auto reqs =
+        expectations::RequirementSet::Parse("pandas==2.0.0").ValueOrDie();
+    st = project.AddExpectationNode("base_expectation", "mean(count) > 0",
+                                    reqs);
+  }
+  if (st.ok()) {
+    st = project.AddSqlNode(
+        "short_trips",
+        "SELECT pickup_location_id, COUNT(*) AS rides, SUM(fare) AS "
+        "revenue FROM base WHERE trip_distance < 2.5 "
+        "GROUP BY pickup_location_id");
+  }
+  if (st.ok()) {
+    st = project.AddSqlNode(
+        "long_trips",
+        "SELECT pickup_location_id, COUNT(*) AS rides, SUM(fare) AS "
+        "revenue FROM base WHERE trip_distance >= 2.5 "
+        "GROUP BY pickup_location_id");
+  }
+  if (st.ok()) {
+    st = project.AddSqlNode(
+        "trip_balance",
+        "SELECT short_trips.pickup_location_id, "
+        "short_trips.rides AS short_rides, "
+        "long_trips.rides AS long_rides FROM short_trips "
+        "JOIN long_trips ON short_trips.pickup_location_id = "
+        "long_trips.pickup_location_id "
+        "ORDER BY short_trips.pickup_location_id");
+  }
+  // Fan-out: mutually independent rollups straight off the source table
+  // (no edges between them, so a wavefront runs them all at once).
+  for (int i = 1; st.ok() && i <= fan_out; ++i) {
+    st = project.AddSqlNode(
+        StrCat("fan_", i),
+        StrCat("SELECT dropoff_location_id, COUNT(*) AS rides_", i,
+               " FROM taxi_table WHERE passenger_count >= ", i,
+               " GROUP BY dropoff_location_id ORDER BY "
+               "dropoff_location_id"));
+  }
+  // The fixed pipeline above cannot fail to assemble.
+  (void)st;
+  return project;
+}
+
 }  // namespace bauplan::pipeline

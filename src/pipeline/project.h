@@ -80,6 +80,14 @@ class PipelineProject {
 /// threshold), pickups (SQL over trips).
 PipelineProject MakePaperTaxiPipeline(double expectation_threshold = 10.0);
 
+/// A wide DAG exercising the wavefront scheduler: a diamond (base ->
+/// short_trips/long_trips -> trip_balance) plus `fan_out` independent
+/// per-dimension rollups of taxi_table and an expectation on base. With
+/// `fan_out` >= 4 the DAG has at least four mutually independent nodes,
+/// so a parallel run's makespan is bounded by the critical path while the
+/// sequential walk pays the sum.
+PipelineProject MakeWideTaxiPipeline(int fan_out = 4);
+
 }  // namespace bauplan::pipeline
 
 #endif  // BAUPLAN_PIPELINE_PROJECT_H_

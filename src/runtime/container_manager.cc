@@ -27,6 +27,7 @@ uint64_t ContainerManager::ColdStartMicros(const ContainerSpec& spec) {
 }
 
 Result<Acquisition> ContainerManager::Acquire(const ContainerSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
   const std::string key = spec.Key();
   // Prefer a warm container, then a frozen one.
   Container* warm = nullptr;
@@ -58,6 +59,16 @@ Result<Acquisition> ContainerManager::Acquire(const ContainerSpec& spec) {
     acq.container_id = frozen->id;
     ++metrics_.frozen_resumes;
   } else {
+    // Make room before booting a new container; refuse when every slot
+    // is held by a running function (the caller unwinds its memory
+    // reservation and either queues the function or fails the run).
+    while (containers_.size() >= options_.max_containers) {
+      if (!EvictOneFrozen()) {
+        return Status::ResourceExhausted(
+            StrCat("container pool exhausted: all ",
+                   options_.max_containers, " containers in use"));
+      }
+    }
     acq.kind = StartKind::kCold;
     acq.startup_micros = ColdStartMicros(spec);
     Container c;
@@ -69,13 +80,13 @@ Result<Acquisition> ContainerManager::Acquire(const ContainerSpec& spec) {
     acq.container_id = c.id;
     containers_.emplace(c.id, std::move(c));
     ++metrics_.cold_starts;
-    EvictIfNeeded();
   }
   metrics_.startup_micros_total += acq.startup_micros;
   return acq;
 }
 
 Status ContainerManager::Release(int64_t container_id, bool freeze) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = containers_.find(container_id);
   if (it == containers_.end()) {
     return Status::NotFound(
@@ -94,25 +105,29 @@ Status ContainerManager::Release(int64_t container_id, bool freeze) {
   return Status::OK();
 }
 
-void ContainerManager::EvictIfNeeded() {
-  while (containers_.size() > options_.max_containers) {
-    // Evict the least recently used frozen container.
-    auto victim = containers_.end();
-    for (auto it = containers_.begin(); it != containers_.end(); ++it) {
-      if (it->second.state != Container::State::kFrozen) continue;
-      if (victim == containers_.end() ||
-          it->second.last_used_micros <
-              victim->second.last_used_micros) {
-        victim = it;
-      }
+bool ContainerManager::EvictOneFrozen() {
+  // Evict the least recently used frozen container.
+  auto victim = containers_.end();
+  for (auto it = containers_.begin(); it != containers_.end(); ++it) {
+    if (it->second.state != Container::State::kFrozen) continue;
+    if (victim == containers_.end() ||
+        it->second.last_used_micros < victim->second.last_used_micros) {
+      victim = it;
     }
-    if (victim == containers_.end()) return;  // everything is in use
-    containers_.erase(victim);
-    ++metrics_.evictions;
   }
+  if (victim == containers_.end()) return false;  // everything is in use
+  containers_.erase(victim);
+  ++metrics_.evictions;
+  return true;
+}
+
+size_t ContainerManager::pool_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return containers_.size();
 }
 
 void ContainerManager::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   containers_.clear();
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,11 @@ struct Acquisition {
 /// acquisition pays the ~300 ms resume instead of a cold start. Package
 /// installs on cold starts go through the shared PackageCache, so the
 /// Zipf head of the package distribution is almost always local.
+///
+/// Thread safety: Acquire/Release/Clear may be called concurrently (the
+/// parallel wavefront executor acquires a container per in-flight
+/// function). Metrics reads are only meaningful when the pool is
+/// quiescent.
 class ContainerManager {
  public:
   struct Options {
@@ -50,7 +56,8 @@ class ContainerManager {
       : ContainerManager(clock, package_cache, Options()) {}
 
   /// Acquires a container satisfying `spec`, charging the clock for
-  /// whatever start kind was needed.
+  /// whatever start kind was needed. ResourceExhausted when the pool is
+  /// at capacity and every container is held by a running function.
   Result<Acquisition> Acquire(const ContainerSpec& spec);
 
   /// Returns a container to the pool. By default it is checkpointed to
@@ -62,18 +69,20 @@ class ContainerManager {
   const ContainerManagerMetrics& metrics() const { return metrics_; }
   void ResetMetrics() { metrics_ = ContainerManagerMetrics(); }
 
-  size_t pool_size() const { return containers_.size(); }
+  size_t pool_size() const;
 
   /// Drops the whole pool (a fresh host).
   void Clear();
 
  private:
   uint64_t ColdStartMicros(const ContainerSpec& spec);
-  void EvictIfNeeded();
+  /// Evicts the least-recently-used frozen container; false when none.
+  bool EvictOneFrozen();
 
   Clock* clock_;
   PackageCache* package_cache_;
   Options options_;
+  mutable std::mutex mu_;
   std::map<int64_t, Container> containers_;
   int64_t next_id_ = 1;
   ContainerManagerMetrics metrics_;

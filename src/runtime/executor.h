@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,10 +22,15 @@ struct FunctionRequest {
   /// artifacts ("the same logic should run with 10 GB or 20 GB of memory
   /// depending on the underlying artifacts", section 4.5).
   uint64_t memory_bytes = 1ull << 30;
-  /// The artifact the function reads (locality key); empty = none.
+  /// The artifacts the function reads (locality keys + sizes). Multi-
+  /// upstream DAG nodes list every upstream here so placement and
+  /// transfer accounting see all of them.
+  std::vector<ArtifactRef> inputs;
+  /// Single-input convenience, folded into `inputs`; empty = none.
   std::string input_artifact;
   uint64_t input_bytes = 0;
-  /// Artifact the function produces (registered at its worker).
+  /// Artifact the function produces (registered at its worker on
+  /// success; a failed body registers nothing).
   std::string output_artifact;
   uint64_t output_bytes = 0;
   /// Keep the container warm-idle after this invocation instead of
@@ -33,6 +39,9 @@ struct FunctionRequest {
   /// would make startup time negligible"); plain stateless functions
   /// leave it false.
   bool keep_warm = false;
+  /// Caller-provided correlation id, echoed in the InvocationReport
+  /// (Submit/Drain fill it with the queue ticket).
+  int64_t ticket = 0;
   /// The actual work. Runs in-process; simulated time for data movement
   /// and startup is charged by the executor, while the body may charge
   /// additional compute time itself. May be empty for pure simulations.
@@ -50,6 +59,18 @@ struct InvocationReport {
   uint64_t body_micros = 0;
   uint64_t total_micros = 0;
   bool locality_hit = false;
+  /// Echo of FunctionRequest::ticket.
+  int64_t ticket = 0;
+};
+
+/// Result of dispatching one wavefront of ready functions.
+struct WaveReport {
+  /// One report per function that ran, in request order.
+  std::vector<InvocationReport> reports;
+  /// Functions bounced by resource exhaustion (no worker memory or
+  /// container slot free while the rest of the wave held them). They
+  /// stay runnable: re-dispatch them in the next wave.
+  std::vector<FunctionRequest> deferred;
 };
 
 /// Synchronous + asynchronous function execution over the container
@@ -57,6 +78,14 @@ struct InvocationReport {
 /// Sync = caller blocks on the result (the fast feedback loop of QW and
 /// dev-mode TD); async = requests queue and a later Drain() runs them
 /// (prod-mode TD driven by an orchestrator).
+///
+/// InvokeWave adds the wavefront mode: a set of functions whose inputs
+/// are all ready runs concurrently on a thread pool, each on its own
+/// forked virtual timeline, and the global clock advances by the wave's
+/// makespan (max over members) instead of the sum. Functions placed on
+/// the same worker serialize through the scheduler's per-worker
+/// busy-until timeline, so the makespan reflects the critical path under
+/// real worker contention.
 class ServerlessExecutor {
  public:
   /// Does not own its collaborators.
@@ -68,14 +97,28 @@ class ServerlessExecutor {
   /// transfer and the body.
   Result<InvocationReport> Invoke(const FunctionRequest& request);
 
+  /// Runs a wave of functions, up to `parallelism` bodies at a time.
+  /// Timing: all members start from the same wave clock; the global
+  /// clock advances by max over member end times. Requires the executor
+  /// clock to be a ForkableClock; otherwise (or when `parallelism` <= 1,
+  /// or when already running inside a fork — a nested dispatch) the wave
+  /// degrades to sequential Invoke calls.
+  Result<WaveReport> InvokeWave(std::vector<FunctionRequest> requests,
+                                int parallelism);
+
   /// Enqueues a function for later execution; returns a ticket.
   int64_t Submit(FunctionRequest request);
 
-  /// Runs all queued functions in submit order, returning their reports
-  /// (each includes the time spent waiting in the queue).
-  Result<std::vector<InvocationReport>> Drain();
+  /// Runs all queued functions, returning their reports (each includes
+  /// the time spent waiting in the queue). With `parallelism` <= 1 they
+  /// run sequentially in submit order; otherwise they dispatch as one
+  /// wave (plus follow-up waves for deferred members).
+  Result<std::vector<InvocationReport>> Drain(int parallelism = 1);
 
-  size_t pending() const { return queue_.size(); }
+  size_t pending() const {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    return queue_.size();
+  }
 
  private:
   struct Pending {
@@ -87,6 +130,7 @@ class ServerlessExecutor {
   Clock* clock_;
   ContainerManager* containers_;
   Scheduler* scheduler_;
+  mutable std::mutex queue_mu_;
   std::vector<Pending> queue_;
   int64_t next_ticket_ = 1;
 };

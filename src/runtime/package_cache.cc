@@ -3,6 +3,7 @@
 namespace bauplan::runtime {
 
 uint64_t PackageCache::Fetch(const Package& pkg) {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t micros = 0;
   auto it = entries_.find(pkg.name);
   if (it != entries_.end()) {
@@ -42,6 +43,7 @@ void PackageCache::EvictUntilFits(uint64_t incoming_bytes) {
 }
 
 void PackageCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   entries_.clear();
   used_bytes_ = 0;

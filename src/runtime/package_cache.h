@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -32,6 +33,10 @@ struct PackageCacheMetrics {
 /// combined with Zipf package popularity yields the paper's "exploit the
 /// power-law in package utilization to limit overall download times"
 /// (section 4.5).
+///
+/// Thread safety: Fetch/Contains/Clear may be called concurrently (cold
+/// starts on parallel wavefronts all fetch through the shared cache).
+/// Metrics reads are only meaningful when the cache is quiescent.
 class PackageCache {
  public:
   struct Options {
@@ -51,11 +56,18 @@ class PackageCache {
   uint64_t Fetch(const Package& pkg);
 
   bool Contains(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return entries_.count(name) > 0;
   }
-  uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t used_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return used_bytes_;
+  }
   const PackageCacheMetrics& metrics() const { return metrics_; }
-  void ResetMetrics() { metrics_ = PackageCacheMetrics(); }
+  void ResetMetrics() {
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_ = PackageCacheMetrics();
+  }
 
   /// Drops everything (a fresh node with a cold disk).
   void Clear();
@@ -65,6 +77,7 @@ class PackageCache {
 
   Clock* clock_;
   Options options_;
+  mutable std::mutex mu_;
   /// LRU list front = most recent; map holds iterators into it.
   std::list<Package> lru_;
   std::unordered_map<std::string, std::list<Package>::iterator> entries_;

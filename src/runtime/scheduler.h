@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,10 +12,16 @@
 
 namespace bauplan::runtime {
 
+/// One artifact a function reads: locality key plus payload size.
+struct ArtifactRef {
+  std::string key;
+  uint64_t bytes = 0;
+};
+
 /// A placement decision for one function invocation.
 struct Placement {
   int worker = -1;
-  /// Simulated time spent moving inputs to the worker (0 when local).
+  /// Simulated time spent moving inputs to the worker (0 when all local).
   uint64_t transfer_micros = 0;
   /// Bytes that had to move across the network / from object storage.
   uint64_t bytes_moved = 0;
@@ -24,8 +31,15 @@ struct Placement {
 /// Vertical-elasticity + data-locality scheduler (paper section 4.5):
 /// functions get fine-grained memory reservations on a small pool of big
 /// workers, and the scheduler prefers the worker already holding the
-/// input artifact — "moving data is slow and expensive, and object
+/// input artifacts — "moving data is slow and expensive, and object
 /// storage should be treated as a last resort".
+///
+/// Thread safety: all public methods are safe to call concurrently; the
+/// parallel wavefront executor places and releases from many timelines at
+/// once. Each worker additionally carries a virtual timeline
+/// (busy-until), which the executor uses to serialize functions that land
+/// on the same worker so a run's makespan reflects the critical path, not
+/// the sum of nodes.
 class Scheduler {
  public:
   struct Options {
@@ -42,10 +56,15 @@ class Scheduler {
   /// Does not own `clock`.
   Scheduler(Clock* clock, Options options);
 
-  /// Picks a worker for a function that reads `input_artifact`
-  /// (possibly empty) of `input_bytes`, reserving `memory_bytes` on it.
-  /// ResourceExhausted when no worker can fit the reservation. Charges
-  /// the clock for any input transfer.
+  /// Picks a worker for a function reading `inputs` (possibly empty),
+  /// reserving `memory_bytes` on it. Prefers the worker holding the most
+  /// input bytes; inputs that are not local to the chosen worker are
+  /// transferred (clock charged per remote artifact). ResourceExhausted
+  /// when no worker can fit the reservation.
+  Result<Placement> Place(const std::vector<ArtifactRef>& inputs,
+                          uint64_t memory_bytes);
+
+  /// Single-input convenience (empty `input_artifact` = no input).
   Result<Placement> Place(const std::string& input_artifact,
                           uint64_t input_bytes, uint64_t memory_bytes);
 
@@ -58,22 +77,39 @@ class Scheduler {
   /// Worker currently holding `artifact`, or -1.
   int WorkerOf(const std::string& artifact) const;
 
-  uint64_t free_memory(int worker) const {
+  // -- per-worker virtual timelines ------------------------------------
+
+  /// The simulated time until which `worker` is running a function
+  /// (0 / past values mean idle). Out-of-range workers report 0.
+  uint64_t WorkerBusyUntil(int worker) const;
+
+  /// Extends `worker`'s timeline to `busy_until_micros` (monotonic: an
+  /// earlier value is ignored).
+  void ExtendWorkerTimeline(int worker, uint64_t busy_until_micros);
+
+  // -- introspection ---------------------------------------------------
+
+  uint64_t used_memory(int worker) const;
+  uint64_t free_memory(int worker) const;
+  uint64_t peak_memory(int worker) const;
+  int64_t locality_hits() const;
+  int64_t locality_misses() const;
+  uint64_t total_bytes_moved() const;
+
+ private:
+  uint64_t FreeMemoryLocked(int worker) const {
     return options_.worker_memory_bytes -
            used_memory_[static_cast<size_t>(worker)];
   }
-  uint64_t peak_memory(int worker) const {
-    return peak_memory_[static_cast<size_t>(worker)];
-  }
-  int64_t locality_hits() const { return locality_hits_; }
-  int64_t locality_misses() const { return locality_misses_; }
-  uint64_t total_bytes_moved() const { return total_bytes_moved_; }
+  int WorkerOfLocked(const std::string& artifact) const;
 
- private:
   Clock* clock_;
   Options options_;
+  mutable std::mutex mu_;
   std::vector<uint64_t> used_memory_;
   std::vector<uint64_t> peak_memory_;
+  /// Virtual time until which each worker is occupied (wavefront mode).
+  std::vector<uint64_t> busy_until_micros_;
   std::map<std::string, int> artifact_locations_;
   int next_round_robin_ = 0;
   int64_t locality_hits_ = 0;

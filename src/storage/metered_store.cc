@@ -5,6 +5,7 @@ namespace bauplan::storage {
 void MeteredObjectStore::Charge(StoreOp op, uint64_t nbytes) const {
   uint64_t micros = latency_.MicrosFor(op, nbytes);
   clock_->AdvanceMicros(micros);
+  std::lock_guard<std::mutex> lock(mu_);
   metrics_.simulated_micros += micros;
   switch (op) {
     case StoreOp::kGet:

@@ -1,6 +1,7 @@
 #ifndef BAUPLAN_STORAGE_METERED_STORE_H_
 #define BAUPLAN_STORAGE_METERED_STORE_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,10 @@ struct StoreMetrics {
 /// "object storage is slow and should be a last resort" (paper section 4.5)
 /// without a real cloud: backends stay instant, and all timing claims are
 /// read off the simulated clock.
+///
+/// Thread safety: operations may be called concurrently (metric updates
+/// are serialized internally; the backing store provides its own per-key
+/// atomicity). metrics() reads are only meaningful when quiescent.
 class MeteredObjectStore : public ObjectStore {
  public:
   /// Does not take ownership of `base` or `clock`; both must outlive this.
@@ -51,7 +56,10 @@ class MeteredObjectStore : public ObjectStore {
       const std::string& prefix) const override;
 
   const StoreMetrics& metrics() const { return metrics_; }
-  void ResetMetrics() { metrics_ = StoreMetrics(); }
+  void ResetMetrics() {
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_ = StoreMetrics();
+  }
 
  private:
   void Charge(StoreOp op, uint64_t nbytes) const;
@@ -60,6 +68,7 @@ class MeteredObjectStore : public ObjectStore {
   Clock* clock_;
   LatencyModel latency_;
   CostModel cost_;
+  mutable std::mutex mu_;
   mutable StoreMetrics metrics_;
 };
 

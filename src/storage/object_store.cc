@@ -14,11 +14,13 @@ namespace fs = std::filesystem;
 
 Status MemoryObjectStore::Put(const std::string& key, Bytes data) {
   if (key.empty()) return Status::InvalidArgument("empty object key");
+  std::lock_guard<std::mutex> lock(mu_);
   objects_[key] = std::move(data);
   return Status::OK();
 }
 
 Result<Bytes> MemoryObjectStore::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) {
     return Status::NotFound(StrCat("no object with key '", key, "'"));
@@ -27,6 +29,7 @@ Result<Bytes> MemoryObjectStore::Get(const std::string& key) const {
 }
 
 Result<uint64_t> MemoryObjectStore::Head(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) {
     return Status::NotFound(StrCat("no object with key '", key, "'"));
@@ -35,6 +38,7 @@ Result<uint64_t> MemoryObjectStore::Head(const std::string& key) const {
 }
 
 Status MemoryObjectStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = objects_.find(key);
   if (it == objects_.end()) {
     return Status::NotFound(StrCat("no object with key '", key, "'"));
@@ -45,6 +49,7 @@ Status MemoryObjectStore::Delete(const std::string& key) {
 
 Result<std::vector<ObjectMeta>> MemoryObjectStore::List(
     const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<ObjectMeta> out;
   for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
     if (!StartsWith(it->first, prefix)) break;
@@ -53,9 +58,13 @@ Result<std::vector<ObjectMeta>> MemoryObjectStore::List(
   return out;
 }
 
-size_t MemoryObjectStore::object_count() const { return objects_.size(); }
+size_t MemoryObjectStore::object_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return objects_.size();
+}
 
 uint64_t MemoryObjectStore::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& [key, data] : objects_) total += data.size();
   return total;

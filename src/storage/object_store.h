@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,8 @@ class ObjectStore {
 
 /// In-process hash-map store; the default substrate for tests and
 /// simulation (latency is modeled by MeteredObjectStore, not here).
+/// Thread-safe: per-key atomicity holds under concurrent callers (the
+/// parallel wavefront executor spills from many function bodies at once).
 class MemoryObjectStore : public ObjectStore {
  public:
   MemoryObjectStore() = default;
@@ -55,6 +58,7 @@ class MemoryObjectStore : public ObjectStore {
   uint64_t total_bytes() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Bytes> objects_;
 };
 

@@ -1,6 +1,7 @@
 #include <cmath>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -209,6 +210,66 @@ TEST(ClockTest, FormatTimestamp) {
   // 2019-04-01 00:00:00 UTC == 1554076800 seconds.
   EXPECT_EQ(FormatTimestampMicros(1554076800ull * 1000000),
             "2019-04-01T00:00:00Z");
+}
+
+TEST(ForkableClockTest, PassesThroughWhenUnforked) {
+  SimClock base(100);
+  ForkableClock clock(&base);
+  EXPECT_FALSE(clock.ForkActive());
+  EXPECT_EQ(clock.NowMicros(), 100u);
+  clock.AdvanceMicros(50);
+  EXPECT_EQ(base.NowMicros(), 150u);
+  EXPECT_EQ(clock.NowMicros(), 150u);
+}
+
+TEST(ForkableClockTest, ForkIsPrivateAndBaseUntouched) {
+  SimClock base(1000);
+  ForkableClock clock(&base);
+  clock.BeginFork(5000);
+  EXPECT_TRUE(clock.ForkActive());
+  EXPECT_EQ(clock.NowMicros(), 5000u);
+  clock.AdvanceMicros(250);
+  EXPECT_EQ(clock.NowMicros(), 5250u);
+  // The base never saw the forked advance.
+  EXPECT_EQ(base.NowMicros(), 1000u);
+  EXPECT_EQ(clock.EndFork(), 5250u);
+  EXPECT_FALSE(clock.ForkActive());
+  EXPECT_EQ(clock.NowMicros(), 1000u);
+}
+
+TEST(ForkableClockTest, ForksNest) {
+  SimClock base;
+  ForkableClock clock(&base);
+  clock.BeginFork(10);
+  clock.AdvanceMicros(5);
+  clock.BeginFork(100);  // inner fork shadows the outer
+  clock.AdvanceMicros(7);
+  EXPECT_EQ(clock.EndFork(), 107u);
+  // Back on the outer fork, which kept its own time.
+  EXPECT_EQ(clock.NowMicros(), 15u);
+  EXPECT_EQ(clock.EndFork(), 15u);
+  EXPECT_EQ(base.NowMicros(), 0u);
+}
+
+TEST(ForkableClockTest, ForksAreThreadLocal) {
+  SimClock base;
+  ForkableClock clock(&base);
+  clock.BeginFork(1000);
+  clock.AdvanceMicros(1);
+  uint64_t other_thread_now = 0;
+  bool other_thread_forked = true;
+  std::thread t([&] {
+    // A fresh thread has no fork: it reads the base clock.
+    other_thread_forked = clock.ForkActive();
+    clock.AdvanceMicros(42);
+    other_thread_now = clock.NowMicros();
+  });
+  t.join();
+  EXPECT_FALSE(other_thread_forked);
+  EXPECT_EQ(other_thread_now, 42u);
+  // This thread's fork never saw the other thread's advance.
+  EXPECT_EQ(clock.EndFork(), 1001u);
+  EXPECT_EQ(base.NowMicros(), 42u);
 }
 
 // ---------------------------------------------------------------- Rng

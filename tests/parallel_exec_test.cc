@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "core/bauplan.h"
+#include "pipeline/project.h"
+#include "storage/object_store.h"
+#include "workload/taxi_gen.h"
+
+namespace bauplan::core {
+namespace {
+
+using columnar::Table;
+
+// End-to-end checks that the parallel naive (wavefront) execution mode is
+// an observationally pure speedup: identical artifacts, expectations and
+// spill traffic as the sequential walk, with a strictly lower makespan on
+// a DAG that has independent branches.
+class ParallelExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto opened = Bauplan::Open(&store_, &clock_);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    platform_ = std::move(*opened);
+    workload::TaxiGenOptions gen;
+    gen.rows = 2000;
+    gen.start_date = "2019-03-01";
+    gen.days = 90;
+    auto taxi = workload::GenerateTaxiTable(gen);
+    ASSERT_TRUE(taxi.ok());
+    ASSERT_TRUE(
+        platform_->CreateTable("main", "taxi_table", taxi->schema()).ok());
+    ASSERT_TRUE(platform_->WriteTable("main", "taxi_table", *taxi).ok());
+  }
+
+  Result<RunReport> RunWide(int parallelism) {
+    PipelineRunOptions options;
+    options.fused = false;
+    options.parallelism = parallelism;
+    return platform_->Run(pipeline::MakeWideTaxiPipeline(4), "main",
+                          options);
+  }
+
+  void ExpectWorkersDrained() {
+    for (int w = 0; w < 4; ++w) {
+      EXPECT_EQ(platform_->scheduler()->used_memory(w), 0u)
+          << "worker " << w;
+    }
+  }
+
+  storage::MemoryObjectStore store_;
+  SimClock clock_{1700000000000000ull};
+  std::unique_ptr<Bauplan> platform_;
+};
+
+void ExpectTablesIdentical(const Table& a, const Table& b,
+                           const std::string& name) {
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << name;
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << name;
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    for (int c = 0; c < a.num_columns(); ++c) {
+      ASSERT_EQ(a.GetValue(r, c), b.GetValue(r, c))
+          << name << " row " << r << " col " << c;
+    }
+  }
+}
+
+TEST_F(ParallelExecTest, ParallelMatchesSequentialAndIsFaster) {
+  auto sequential = RunWide(/*parallelism=*/1);
+  ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+  auto parallel = RunWide(/*parallelism=*/4);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  const PipelineRunReport& seq = sequential->execution;
+  const PipelineRunReport& par = parallel->execution;
+
+  // Same artifacts, cell for cell.
+  ASSERT_EQ(seq.artifacts.size(), par.artifacts.size());
+  for (const auto& [name, table] : seq.artifacts) {
+    auto it = par.artifacts.find(name);
+    ASSERT_NE(it, par.artifacts.end()) << name;
+    ExpectTablesIdentical(table, it->second, name);
+  }
+
+  // Same expectation outcomes and node set.
+  EXPECT_EQ(seq.all_expectations_passed, par.all_expectations_passed);
+  ASSERT_EQ(seq.nodes.size(), par.nodes.size());
+  for (size_t i = 0; i < seq.nodes.size(); ++i) {
+    EXPECT_EQ(seq.nodes[i].name, par.nodes[i].name);
+    EXPECT_EQ(seq.nodes[i].output_rows, par.nodes[i].output_rows);
+    EXPECT_EQ(seq.nodes[i].expectation_passed,
+              par.nodes[i].expectation_passed);
+  }
+
+  // Same spill traffic: the bodies are identical, only the schedule
+  // differs, so every byte through the spill store matches.
+  EXPECT_EQ(seq.spill_metrics.puts, par.spill_metrics.puts);
+  EXPECT_EQ(seq.spill_metrics.gets, par.spill_metrics.gets);
+  EXPECT_EQ(seq.spill_metrics.bytes_written,
+            par.spill_metrics.bytes_written);
+  EXPECT_EQ(seq.spill_metrics.bytes_read, par.spill_metrics.bytes_read);
+  EXPECT_EQ(seq.spill_metrics.simulated_micros,
+            par.spill_metrics.simulated_micros);
+
+  // The wide DAG has >= 4 independent nodes, so the wavefront makespan
+  // beats the sequential sum.
+  EXPECT_LT(par.total_micros, seq.total_micros);
+
+  ExpectWorkersDrained();
+}
+
+TEST_F(ParallelExecTest, ParallelRunsAreDeterministic) {
+  // Two fresh platforms, same seed: wavefront execution must not let
+  // thread scheduling leak into results or simulated timings.
+  auto run_fresh = [] {
+    storage::MemoryObjectStore store;
+    SimClock clock{1700000000000000ull};
+    auto platform = Bauplan::Open(&store, &clock).ValueOrDie();
+    workload::TaxiGenOptions gen;
+    gen.rows = 2000;
+    gen.start_date = "2019-03-01";
+    gen.days = 90;
+    auto taxi = workload::GenerateTaxiTable(gen);
+    EXPECT_TRUE(
+        platform->CreateTable("main", "taxi_table", taxi->schema()).ok());
+    EXPECT_TRUE(platform->WriteTable("main", "taxi_table", *taxi).ok());
+    PipelineRunOptions options;
+    options.fused = false;
+    options.parallelism = 4;
+    return platform->Run(pipeline::MakeWideTaxiPipeline(4), "main",
+                         options);
+  };
+  auto first = run_fresh();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = run_fresh();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first->execution.total_micros,
+            second->execution.total_micros);
+  EXPECT_EQ(first->execution.spill_metrics.simulated_micros,
+            second->execution.spill_metrics.simulated_micros);
+  for (const auto& [name, table] : first->execution.artifacts) {
+    ExpectTablesIdentical(table, second->execution.artifacts.at(name),
+                          name);
+  }
+}
+
+TEST_F(ParallelExecTest, FailedNodeLeavesNoArtifactOrReservation) {
+  pipeline::PipelineProject project("broken");
+  ASSERT_TRUE(project
+                  .AddSqlNode("ok_node",
+                              "SELECT pickup_location_id FROM taxi_table")
+                  .ok());
+  ASSERT_TRUE(project
+                  .AddSqlNode("bad_node",
+                              "SELECT no_such_column FROM taxi_table")
+                  .ok());
+
+  PipelineRunOptions options;
+  options.fused = false;
+  options.parallelism = 2;
+  // Infrastructure failures are reported in-band: the run record says
+  // failed and nothing merges.
+  auto run = platform_->Run(project, "main", options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_FALSE(run->merged);
+  EXPECT_NE(run->status.find("failed"), std::string::npos);
+
+  // The failed function registered no artifact location (a phantom entry
+  // would fake locality for a spill that never happened) and every
+  // memory reservation was unwound.
+  EXPECT_EQ(platform_->scheduler()->WorkerOf("spill/bad_node.tbl"), -1);
+  ExpectWorkersDrained();
+
+  // The platform is still healthy: a clean run succeeds afterwards.
+  auto retry = RunWide(/*parallelism=*/4);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_TRUE(retry->execution.all_expectations_passed);
+}
+
+}  // namespace
+}  // namespace bauplan::core

@@ -1,3 +1,5 @@
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "common/clock.h"
@@ -280,6 +282,36 @@ TEST(SchedulerTest, MemoryAccounting) {
   EXPECT_EQ(scheduler.peak_memory(0), 6ull << 30);
 }
 
+TEST(SchedulerTest, MultiInputPlacePrefersBiggestLocalBytes) {
+  SimClock clock;
+  Scheduler::Options options;
+  options.num_workers = 3;
+  Scheduler scheduler(&clock, options);
+  uint64_t mb = 1 << 20;
+  scheduler.RecordArtifact("small", 0);
+  scheduler.RecordArtifact("big", 1);
+
+  // Worker 1 holds 100 MiB of the inputs, worker 0 only 1 MiB: the
+  // function lands on worker 1 and pays transfer for "small" alone.
+  std::vector<ArtifactRef> inputs = {{"small", mb}, {"big", 100 * mb}};
+  auto placement = scheduler.Place(inputs, mb);
+  ASSERT_TRUE(placement.ok());
+  EXPECT_EQ(placement->worker, 1);
+  EXPECT_TRUE(placement->locality_hit);
+  EXPECT_EQ(placement->bytes_moved, mb);
+  EXPECT_GT(placement->transfer_micros, 0u);
+}
+
+TEST(SchedulerTest, WorkerTimelinesAreMonotonic) {
+  SimClock clock;
+  Scheduler scheduler(&clock, {});
+  EXPECT_EQ(scheduler.WorkerBusyUntil(0), 0u);
+  scheduler.ExtendWorkerTimeline(0, 500);
+  scheduler.ExtendWorkerTimeline(0, 200);  // earlier value is ignored
+  EXPECT_EQ(scheduler.WorkerBusyUntil(0), 500u);
+  EXPECT_EQ(scheduler.WorkerBusyUntil(99), 0u);  // out of range: idle
+}
+
 TEST(SchedulerTest, OversizedRequestRejected) {
   SimClock clock;
   Scheduler::Options options;
@@ -389,6 +421,188 @@ TEST_F(ExecutorTest, OutputArtifactRegisteredForLocality) {
   EXPECT_TRUE(r2->locality_hit);
   EXPECT_EQ(r2->worker, r1->worker);
   EXPECT_EQ(r2->transfer_micros, 0u);
+}
+
+TEST_F(ExecutorTest, FailedBodyRecordsNoArtifact) {
+  FunctionRequest request = MakeRequest("broken_producer");
+  request.output_artifact = "phantom";
+  request.output_bytes = 1 << 20;
+  request.body = [] { return Status::Internal("body blew up"); };
+  auto report = executor_.Invoke(request);
+  ASSERT_FALSE(report.ok());
+  // The failed function produced nothing, so no worker may claim its
+  // artifact — a phantom location would fake locality hits downstream.
+  EXPECT_EQ(scheduler_.WorkerOf("phantom"), -1);
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_EQ(scheduler_.used_memory(w), 0u) << "worker " << w;
+  }
+}
+
+TEST(ExecutorCleanupTest, ExhaustedContainerPoolReleasesReservation) {
+  SimClock clock;
+  PackageCache cache(&clock, {});
+  ContainerManager::Options copts;
+  copts.max_containers = 1;
+  ContainerManager containers(&clock, &cache, copts);
+  Scheduler scheduler(&clock, {});
+  ServerlessExecutor executor(&clock, &containers, &scheduler);
+
+  // Occupy the single container slot so Acquire inside Invoke fails
+  // after the scheduler memory reservation was already made.
+  auto held = containers.Acquire(ContainerSpec{});
+  ASSERT_TRUE(held.ok());
+
+  FunctionRequest request;
+  request.name = "starved";
+  request.memory_bytes = 1 << 30;
+  request.body = [] { return Status::OK(); };
+  auto report = executor.Invoke(request);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsResourceExhausted());
+  // The reservation must not leak: every worker is back to zero.
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_EQ(scheduler.used_memory(w), 0u) << "worker " << w;
+  }
+  // Releasing the slot makes the same request succeed.
+  ASSERT_TRUE(containers.Release(held->container_id).ok());
+  EXPECT_TRUE(executor.Invoke(request).ok());
+}
+
+// ------------------------------------------------------------- wavefront
+
+class WaveExecutorTest : public ::testing::Test {
+ protected:
+  WaveExecutorTest()
+      : fork_clock_(&base_clock_),
+        cache_(&fork_clock_, {}),
+        containers_(&fork_clock_, &cache_),
+        scheduler_(&fork_clock_, {}),
+        executor_(&fork_clock_, &containers_, &scheduler_) {}
+
+  FunctionRequest MakeRequest(const std::string& name,
+                              uint64_t body_micros) {
+    FunctionRequest request;
+    request.name = name;
+    request.memory_bytes = 1 << 20;
+    request.body = [this, body_micros] {
+      fork_clock_.AdvanceMicros(body_micros);
+      return Status::OK();
+    };
+    return request;
+  }
+
+  SimClock base_clock_;
+  ForkableClock fork_clock_;
+  PackageCache cache_;
+  ContainerManager containers_;
+  Scheduler scheduler_;
+  ServerlessExecutor executor_;
+};
+
+TEST_F(WaveExecutorTest, WaveAdvancesClockByMakespanNotSum) {
+  std::vector<FunctionRequest> wave;
+  for (int i = 0; i < 4; ++i) {
+    wave.push_back(
+        MakeRequest("fn" + std::to_string(i), 1000000));
+  }
+  uint64_t start = base_clock_.NowMicros();
+  auto report = executor_.InvokeWave(std::move(wave), 4);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->reports.size(), 4u);
+  EXPECT_TRUE(report->deferred.empty());
+
+  uint64_t max_total = 0, sum_total = 0;
+  for (const auto& r : report->reports) {
+    EXPECT_EQ(r.body_micros, 1000000u);
+    max_total = std::max(max_total, r.total_micros);
+    sum_total += r.total_micros;
+  }
+  // Four independent bodies on four workers: the caller only waits the
+  // longest member, not the sum of all of them.
+  uint64_t elapsed = base_clock_.NowMicros() - start;
+  EXPECT_EQ(elapsed, max_total);
+  EXPECT_LT(elapsed, sum_total);
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_EQ(scheduler_.used_memory(w), 0u) << "worker " << w;
+  }
+}
+
+TEST_F(WaveExecutorTest, SameWorkerMembersSerializeOnTimeline) {
+  // One worker: both members run there, so the second one's start is
+  // pushed behind the first on the worker's busy-until timeline.
+  Scheduler::Options opts;
+  opts.num_workers = 1;
+  Scheduler one_worker(&fork_clock_, opts);
+  ServerlessExecutor executor(&fork_clock_, &containers_, &one_worker);
+
+  std::vector<FunctionRequest> wave;
+  wave.push_back(MakeRequest("first", 1000000));
+  wave.push_back(MakeRequest("second", 1000000));
+  uint64_t start = base_clock_.NowMicros();
+  auto report = executor.InvokeWave(std::move(wave), 2);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->reports.size(), 2u);
+  // The wave makespan covers both bodies back to back.
+  uint64_t elapsed = base_clock_.NowMicros() - start;
+  EXPECT_GE(elapsed, 2000000u);
+  EXPECT_GE(one_worker.WorkerBusyUntil(0), base_clock_.NowMicros());
+  EXPECT_EQ(one_worker.used_memory(0), 0u);
+}
+
+TEST_F(WaveExecutorTest, PoolExhaustionDefersInsteadOfFailing) {
+  SimClock clock;
+  ForkableClock fork(&clock);
+  PackageCache cache(&fork, {});
+  ContainerManager::Options copts;
+  copts.max_containers = 1;
+  ContainerManager containers(&fork, &cache, copts);
+  Scheduler scheduler(&fork, {});
+  ServerlessExecutor executor(&fork, &containers, &scheduler);
+
+  std::vector<FunctionRequest> wave;
+  for (int i = 0; i < 3; ++i) {
+    FunctionRequest request;
+    request.name = "fn" + std::to_string(i);
+    request.memory_bytes = 1 << 20;
+    request.body = [&fork] {
+      fork.AdvanceMicros(1000);
+      return Status::OK();
+    };
+    wave.push_back(std::move(request));
+  }
+  // Only one container slot: one member runs, the others bounce back as
+  // deferred (still runnable) instead of failing the wave.
+  auto report = executor.InvokeWave(std::move(wave), 3);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->reports.size(), 1u);
+  EXPECT_EQ(report->deferred.size(), 2u);
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_EQ(scheduler.used_memory(w), 0u) << "worker " << w;
+  }
+  // Re-dispatching the deferred members drains them.
+  auto next = executor.InvokeWave(std::move(report->deferred), 3);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(next->reports.size(), 1u);
+  EXPECT_EQ(next->deferred.size(), 1u);
+}
+
+TEST_F(WaveExecutorTest, DrainWithParallelismRunsAllPending) {
+  for (int i = 0; i < 4; ++i) {
+    executor_.Submit(MakeRequest("queued" + std::to_string(i), 50000));
+  }
+  EXPECT_EQ(executor_.pending(), 4u);
+  uint64_t start = base_clock_.NowMicros();
+  auto reports = executor_.Drain(/*parallelism=*/4);
+  ASSERT_TRUE(reports.ok());
+  ASSERT_EQ(reports->size(), 4u);
+  EXPECT_EQ(executor_.pending(), 0u);
+  uint64_t elapsed = base_clock_.NowMicros() - start;
+  uint64_t sum_work = 0;
+  for (const auto& r : *reports) {
+    sum_work += r.startup_micros + r.transfer_micros + r.body_micros;
+  }
+  // Members overlapped: the caller waited less than the summed work.
+  EXPECT_LT(elapsed, sum_work);
 }
 
 }  // namespace
