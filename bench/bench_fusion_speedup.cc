@@ -10,10 +10,15 @@
 // cold first run and the object-store traffic each mode causes.
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/strings.h"
 #include "core/bauplan.h"
+#include "observability/trace.h"
 #include "pipeline/project.h"
 #include "storage/object_store.h"
 #include "workload/taxi_gen.h"
@@ -24,12 +29,20 @@ using bauplan::FormatDurationMicros;
 using bauplan::SimClock;
 using bauplan::core::Bauplan;
 using bauplan::core::PipelineRunOptions;
+namespace span_kind = bauplan::observability::span_kind;
 
 struct ModeResult {
   uint64_t cold_micros = 0;
   uint64_t warm_micros = 0;
   int64_t spill_requests = 0;
   int64_t spill_bytes = 0;
+  /// Where the warm run's simulated time went, summed from the span
+  /// trace: SQL bodies, spill traffic, source scans, expectations.
+  uint64_t span_sql_micros = 0;
+  uint64_t span_spill_micros = 0;
+  uint64_t span_scan_micros = 0;
+  uint64_t span_expectation_micros = 0;
+  size_t span_count = 0;
 };
 
 ModeResult RunMode(Bauplan& bp, const std::string& branch,
@@ -38,14 +51,35 @@ ModeResult RunMode(Bauplan& bp, const std::string& branch,
   ModeResult result;
   auto cold = bp.Run(project, branch, options);
   if (!cold.ok() || !cold->merged) return result;
-  result.cold_micros = cold->execution.total_micros;
+  result.cold_micros = cold->total_micros;
   auto warm = bp.Run(project, branch, options);
   if (!warm.ok()) return result;
-  result.warm_micros = warm->execution.total_micros;
-  result.spill_requests = warm->execution.spill_metrics.TotalRequests();
-  result.spill_bytes = warm->execution.spill_metrics.bytes_read +
-                       warm->execution.spill_metrics.bytes_written;
+  result.warm_micros = warm->total_micros;
+  result.spill_requests = warm->spill_metrics.TotalRequests();
+  result.spill_bytes = warm->spill_metrics.bytes_read +
+                       warm->spill_metrics.bytes_written;
+  const bauplan::observability::Trace& trace = warm->trace;
+  result.span_sql_micros = trace.SumByKind(span_kind::kSql);
+  result.span_spill_micros = trace.SumByKind(span_kind::kSpill);
+  result.span_scan_micros = trace.SumByKind(span_kind::kScan);
+  result.span_expectation_micros = trace.SumByKind(span_kind::kExpectation);
+  result.span_count = trace.spans.size();
   return result;
+}
+
+std::string ModeJson(const ModeResult& mode) {
+  std::ostringstream out;
+  out << "{\"cold_micros\": " << mode.cold_micros
+      << ", \"warm_micros\": " << mode.warm_micros
+      << ", \"spill_requests\": " << mode.spill_requests
+      << ", \"spill_bytes\": " << mode.spill_bytes
+      << ", \"spans\": {\"count\": " << mode.span_count
+      << ", \"sql_micros\": " << mode.span_sql_micros
+      << ", \"spill_micros\": " << mode.span_spill_micros
+      << ", \"scan_micros\": " << mode.span_scan_micros
+      << ", \"expectation_micros\": " << mode.span_expectation_micros
+      << "}}";
+  return out.str();
 }
 
 }  // namespace
@@ -59,6 +93,8 @@ int main() {
               "naive_cold", "naive_warm", "naive_spill", "fused_cold",
               "fused_warm", "speedup");
 
+  std::vector<std::string> fusion_json;
+  std::vector<std::string> wavefront_json;
   for (int64_t rows : {10000, 50000, 100000, 250000}) {
     bauplan::storage::MemoryObjectStore store;
     SimClock clock(1700000000000000ull);
@@ -90,6 +126,9 @@ int main() {
     }
     double speedup = static_cast<double>(naive.warm_micros) /
                      static_cast<double>(fused.warm_micros);
+    fusion_json.push_back(bauplan::StrCat(
+        "{\"rows\": ", rows, ", \"naive\": ", ModeJson(naive),
+        ", \"fused\": ", ModeJson(fused), "}"));
     std::printf("%9lld | %10s %10s %7lld ops %s | %10s %10s | %6.1fx\n",
                 static_cast<long long>(rows),
                 FormatDurationMicros(naive.cold_micros).c_str(),
@@ -163,6 +202,10 @@ int main() {
     if (par_gain < 2.0 || fused.warm_micros >= par.warm_micros) {
       parallel_ok = false;
     }
+    wavefront_json.push_back(bauplan::StrCat(
+        "{\"rows\": ", rows, ", \"naive_sequential\": ", ModeJson(seq),
+        ", \"naive_parallel\": ", ModeJson(par),
+        ", \"fused\": ", ModeJson(fused), "}"));
     std::printf("%9lld | %10s %10s %10s | %8.1fx %8.1fx\n",
                 static_cast<long long>(rows),
                 FormatDurationMicros(seq.warm_micros).c_str(),
@@ -178,6 +221,24 @@ int main() {
     std::fprintf(stderr,
                  "FAIL: wavefront speedup below 2x or fused not fastest\n");
     return 1;
+  }
+
+  // Machine-readable record of the run, including where the simulated
+  // time went per mode (from the span trace).
+  std::ofstream json_out("BENCH_fusion.json");
+  if (json_out) {
+    json_out << "{\n  \"bench\": \"fusion_speedup\",\n  \"fusion\": [\n";
+    for (size_t i = 0; i < fusion_json.size(); ++i) {
+      json_out << "    " << fusion_json[i]
+               << (i + 1 < fusion_json.size() ? ",\n" : "\n");
+    }
+    json_out << "  ],\n  \"wavefront\": [\n";
+    for (size_t i = 0; i < wavefront_json.size(); ++i) {
+      json_out << "    " << wavefront_json[i]
+               << (i + 1 < wavefront_json.size() ? ",\n" : "\n");
+    }
+    json_out << "  ]\n}\n";
+    std::printf("\nspan breakdown written to BENCH_fusion.json\n");
   }
   return 0;
 }

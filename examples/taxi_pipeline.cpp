@@ -63,11 +63,11 @@ int main() {
               "(spill: %lld object-store ops)\n",
               static_cast<long long>(fused->run_id),
               fused->status.c_str(),
-              FormatDurationMicros(fused->execution.total_micros).c_str(),
+              FormatDurationMicros(fused->total_micros).c_str(),
               FormatDurationMicros(
-                  fused_warm->execution.total_micros).c_str(),
+                  fused_warm->total_micros).c_str(),
               static_cast<long long>(
-                  fused->execution.spill_metrics.TotalRequests()));
+                  fused->spill_metrics.TotalRequests()));
 
   // Naive execution of the same DAG: one function per node, object-store
   // spill between them (the paper's first implementation).
@@ -79,14 +79,14 @@ int main() {
               "(spill: %lld object-store ops)\n",
               static_cast<long long>(naive->run_id),
               naive->status.c_str(),
-              FormatDurationMicros(naive->execution.total_micros).c_str(),
+              FormatDurationMicros(naive->total_micros).c_str(),
               FormatDurationMicros(
-                  naive_warm->execution.total_micros).c_str(),
+                  naive_warm->total_micros).c_str(),
               static_cast<long long>(
-                  naive->execution.spill_metrics.TotalRequests()));
+                  naive->spill_metrics.TotalRequests()));
   double speedup =
-      static_cast<double>(naive_warm->execution.total_micros) /
-      static_cast<double>(fused_warm->execution.total_micros);
+      static_cast<double>(naive_warm->total_micros) /
+      static_cast<double>(fused_warm->total_micros);
   std::printf("=> fused iteration is %.1fx faster feedback "
               "(paper claims ~5x)\n\n",
               speedup);
@@ -104,6 +104,6 @@ int main() {
   std::printf("replay of run %lld (-m pickups+): %s, %lld node(s)\n",
               static_cast<long long>(fused->run_id),
               replay->status.c_str(),
-              static_cast<long long>(replay->execution.nodes.size()));
+              static_cast<long long>(replay->nodes.size()));
   return 0;
 }

@@ -117,6 +117,21 @@ Result<std::string> Catalog::ResolveRef(const std::string& ref) const {
       StrCat("'", ref, "' is not a branch, tag, or commit id"));
 }
 
+Result<std::string> Catalog::Resolve(const RefSpec& spec) const {
+  BAUPLAN_ASSIGN_OR_RETURN(std::string id, ResolveRef(spec.name()));
+  if (!spec.has_timestamp()) return id;
+  // As-of: newest commit on the first-parent chain at or before the
+  // timestamp (the chain is newest-first, so the first match wins).
+  while (!id.empty()) {
+    BAUPLAN_ASSIGN_OR_RETURN(Commit c, GetCommit(id));
+    if (c.timestamp_micros <= spec.timestamp_micros()) return id;
+    id = c.parent_id;
+  }
+  return Status::NotFound(
+      StrCat("'", spec.name(), "' has no commit at or before @",
+             spec.timestamp_micros()));
+}
+
 Result<Commit> Catalog::GetCommit(const std::string& commit_id) const {
   auto data = store_->Get(CommitKey(commit_id));
   if (!data.ok()) {

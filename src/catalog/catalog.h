@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "catalog/commit.h"
+#include "catalog/refspec.h"
 #include "common/clock.h"
 #include "common/result.h"
 #include "storage/object_store.h"
@@ -62,6 +63,11 @@ class Catalog {
 
   /// Resolves a branch name, tag name, or literal commit id to a commit id.
   Result<std::string> ResolveRef(const std::string& ref) const;
+
+  /// Resolves a parsed refspec. Without a timestamp this is ResolveRef;
+  /// with one ("name@timestamp") it walks the ref's first-parent log to
+  /// the newest commit at or before the timestamp (as-of time travel).
+  Result<std::string> Resolve(const RefSpec& spec) const;
 
   // -- history --------------------------------------------------------
 

@@ -1,0 +1,137 @@
+#include "catalog/refspec.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace bauplan::catalog {
+
+namespace {
+
+bool AllDigits(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+/// Days since the Unix epoch for a civil date (Howard Hinnant's
+/// days-from-civil, valid for all post-1970 dates used here).
+int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+/// Parses exactly `width` digits at `pos`, advancing it.
+bool TakeNumber(const std::string& s, size_t& pos, size_t width,
+                unsigned* out) {
+  if (pos + width > s.size()) return false;
+  unsigned value = 0;
+  for (size_t i = 0; i < width; ++i) {
+    char c = s[pos + i];
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    value = value * 10 + static_cast<unsigned>(c - '0');
+  }
+  pos += width;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Result<uint64_t> ParseRefTimestamp(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("empty timestamp in refspec");
+  }
+  if (AllDigits(text)) {
+    return static_cast<uint64_t>(std::strtoull(text.c_str(), nullptr, 10));
+  }
+  // ISO8601: YYYY-MM-DD, optionally "THH:MM:SS" (UTC).
+  size_t pos = 0;
+  unsigned year = 0, month = 0, day = 0;
+  unsigned hour = 0, minute = 0, second = 0;
+  auto bad = [&]() {
+    return Status::InvalidArgument(
+        StrCat("cannot parse refspec timestamp '", text,
+               "' (want epoch micros or YYYY-MM-DD[THH:MM:SS])"));
+  };
+  if (!TakeNumber(text, pos, 4, &year)) return bad();
+  if (pos >= text.size() || text[pos] != '-') return bad();
+  ++pos;
+  if (!TakeNumber(text, pos, 2, &month)) return bad();
+  if (pos >= text.size() || text[pos] != '-') return bad();
+  ++pos;
+  if (!TakeNumber(text, pos, 2, &day)) return bad();
+  if (pos < text.size()) {
+    if (text[pos] != 'T' && text[pos] != ' ') return bad();
+    ++pos;
+    if (!TakeNumber(text, pos, 2, &hour)) return bad();
+    if (pos >= text.size() || text[pos] != ':') return bad();
+    ++pos;
+    if (!TakeNumber(text, pos, 2, &minute)) return bad();
+    if (pos < text.size()) {
+      if (text[pos] != ':') return bad();
+      ++pos;
+      if (!TakeNumber(text, pos, 2, &second)) return bad();
+    }
+    if (pos != text.size()) return bad();
+  }
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hour > 23 ||
+      minute > 59 || second > 59) {
+    return bad();
+  }
+  int64_t days = DaysFromCivil(year, month, day);
+  int64_t seconds =
+      days * 86400 + hour * 3600 + minute * 60 + second;
+  if (seconds < 0) return bad();
+  return static_cast<uint64_t>(seconds) * 1000000ull;
+}
+
+RefSpec::RefSpec() : name_("main") {}
+
+RefSpec::RefSpec(std::string name, uint64_t timestamp_micros)
+    : name_(std::move(name)), timestamp_micros_(timestamp_micros) {}
+
+RefSpec::RefSpec(const std::string& spec) {
+  auto parsed = Parse(spec);
+  if (parsed.ok()) {
+    *this = std::move(*parsed);
+  } else {
+    // Lenient fallback: keep the raw string as the name; resolution will
+    // report the unknown ref.
+    name_ = spec;
+  }
+}
+
+RefSpec::RefSpec(const char* spec) : RefSpec(std::string(spec)) {}
+
+Result<RefSpec> RefSpec::Parse(const std::string& spec) {
+  size_t at = spec.rfind('@');
+  RefSpec parsed;
+  if (at == std::string::npos) {
+    parsed.name_ = spec;
+  } else {
+    parsed.name_ = spec.substr(0, at);
+    BAUPLAN_ASSIGN_OR_RETURN(uint64_t ts,
+                             ParseRefTimestamp(spec.substr(at + 1)));
+    parsed.timestamp_micros_ = ts;
+  }
+  if (parsed.name_.empty()) {
+    return Status::InvalidArgument(
+        StrCat("refspec '", spec, "' has no ref name"));
+  }
+  return parsed;
+}
+
+std::string RefSpec::ToString() const {
+  if (!has_timestamp()) return name_;
+  return StrCat(name_, "@", *timestamp_micros_);
+}
+
+}  // namespace bauplan::catalog

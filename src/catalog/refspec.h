@@ -1,0 +1,65 @@
+#ifndef BAUPLAN_CATALOG_REFSPEC_H_
+#define BAUPLAN_CATALOG_REFSPEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+
+namespace bauplan::catalog {
+
+/// A parsed catalog reference: a branch name, tag name, or commit id,
+/// optionally with an "@timestamp" as-of suffix for time travel —
+/// `main@2023-04-01`, `main@2023-04-01T12:30:00`, or
+/// `main@1680000000000000` (epoch micros). Resolution walks the ref's
+/// commit log to the newest commit at or before the timestamp
+/// (Catalog::Resolve).
+///
+/// Implicitly convertible from a string so every API that used to take a
+/// raw ref string keeps working; a malformed timestamp suffix keeps the
+/// whole string as the name, and resolution fails with the usual
+/// unknown-ref error.
+class RefSpec {
+ public:
+  /// The default ref: branch "main", no as-of.
+  RefSpec();
+
+  // Implicit by design: migration path for `Query(sql, "main")` etc.
+  RefSpec(const char* spec);                 // NOLINT(runtime/explicit)
+  RefSpec(const std::string& spec);          // NOLINT(runtime/explicit)
+  RefSpec(std::string name, uint64_t timestamp_micros);
+
+  /// Strict parse: errors on an empty name or an unparseable
+  /// "@timestamp" suffix instead of falling back.
+  static Result<RefSpec> Parse(const std::string& spec);
+
+  const std::string& name() const { return name_; }
+  bool has_timestamp() const { return timestamp_micros_.has_value(); }
+  /// Only meaningful when has_timestamp().
+  uint64_t timestamp_micros() const {
+    return timestamp_micros_.value_or(0);
+  }
+
+  /// Round-trips: "<name>" or "<name>@<epoch micros>".
+  std::string ToString() const;
+
+  bool operator==(const RefSpec& other) const {
+    return name_ == other.name_ &&
+           timestamp_micros_ == other.timestamp_micros_;
+  }
+  bool operator!=(const RefSpec& other) const { return !(*this == other); }
+
+ private:
+  std::string name_;
+  std::optional<uint64_t> timestamp_micros_;
+};
+
+/// Parses the timestamp half of a refspec: a run of digits is epoch
+/// micros; otherwise ISO8601 "YYYY-MM-DD" or "YYYY-MM-DDTHH:MM:SS"
+/// (treated as UTC). Exposed for tests.
+Result<uint64_t> ParseRefTimestamp(const std::string& text);
+
+}  // namespace bauplan::catalog
+
+#endif  // BAUPLAN_CATALOG_REFSPEC_H_

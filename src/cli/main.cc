@@ -16,15 +16,18 @@
 #include <map>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include <fstream>
 #include <sstream>
 
+#include "catalog/refspec.h"
 #include "cli/project_loader.h"
 #include "columnar/csv.h"
 #include "columnar/table.h"
 #include "common/clock.h"
+#include "common/logging.h"
 #include "common/strings.h"
 #include "core/bauplan.h"
 #include "pipeline/dag.h"
@@ -43,13 +46,16 @@ commands:
   init-demo [--rows N] [--threshold X]
         seed the lake with a synthetic taxi_table and write the demo
         pipeline project to <lake>_demo_project
-  query -q SQL [-b REF] [--explain]
-        run a synchronous SQL query at a branch/tag/commit
+  query -q SQL [-b REF] [--explain] [--explain-metrics]
+        run a synchronous SQL query at a branch/tag/commit/"ref@timestamp";
+        --explain-metrics dumps the platform metric instruments afterwards
   run --project DIR [-b BRANCH] [--naive] [--parallel N] [--explain]
+      [--trace-out FILE]
         execute a pipeline with transform-audit-write semantics;
         --parallel N dispatches independent nodes of a --naive run as
-        wavefronts with up to N bodies at a time
-  run --run-id N [-m NODE[+]]
+        wavefronts with up to N bodies at a time; --trace-out writes the
+        run's hierarchical span trace as JSON
+  run --run-id N [-m NODE[+]] [--trace-out FILE]
         replay a recorded run, sandboxed
   runs  list recorded runs
   ctas -t TABLE -q SQL [-b BRANCH]
@@ -70,25 +76,115 @@ commands:
         rewrite fragmented partitions into one file each
   expire -t TABLE [-b BRANCH]
         drop historical snapshots and reclaim unreferenced files
+
+Every REF-taking verb accepts -b or --branch interchangeably; a REF is a
+branch, tag, commit id, or "name@timestamp" (epoch micros or ISO8601)
+for as-of reads. BAUPLAN_LOG_LEVEL=debug|info|warn|error adjusts log
+verbosity. Exit codes: 0 ok, 1 error, 2 usage error (or run not merged).
 )";
 
-/// Minimal flag parser: positional arguments plus --flag/-f value pairs.
+/// One flag a verb accepts: canonical spelling, optional alias (stored
+/// under the canonical key either way), and whether a value follows.
+struct FlagDef {
+  std::string_view canonical;
+  std::string_view alias;
+  bool takes_value = false;
+};
+
+constexpr FlagDef kBranchFlag{"-b", "--branch", true};
+
+/// Per-verb flag vocabulary. Parsing rejects anything not listed here
+/// (usage error, exit 2) instead of silently ignoring typos.
+const std::map<std::string, std::vector<FlagDef>, std::less<>>& VerbFlags() {
+  static const std::map<std::string, std::vector<FlagDef>, std::less<>>
+      kVerbs = {
+          {"init-demo",
+           {{"--rows", "", true}, {"--threshold", "", true}, kBranchFlag}},
+          {"query",
+           {{"-q", "--query", true},
+            {"--explain", "", false},
+            {"--explain-metrics", "", false},
+            kBranchFlag}},
+          {"run",
+           {{"--project", "", true},
+            {"--naive", "", false},
+            {"--parallel", "", true},
+            {"--explain", "", false},
+            {"--run-id", "", true},
+            {"-m", "", true},
+            {"--trace-out", "", true},
+            kBranchFlag}},
+          {"runs", {kBranchFlag}},
+          {"ctas", {{"-t", "--table", true}, {"-q", "--query", true},
+                    kBranchFlag}},
+          {"import",
+           {{"-t", "--table", true},
+            {"--csv", "", true},
+            {"--overwrite", "", false},
+            kBranchFlag}},
+          {"export",
+           {{"-t", "--table", true}, {"--out", "", true}, kBranchFlag}},
+          {"branch", {{"--from", "", true}, kBranchFlag}},
+          {"tag", {{"--at", "", true}, kBranchFlag}},
+          {"merge", {kBranchFlag}},
+          {"log", {{"-n", "", true}, kBranchFlag}},
+          {"tables", {kBranchFlag}},
+          {"audit", {{"-n", "", true}, kBranchFlag}},
+          {"compact", {{"-t", "--table", true}, kBranchFlag}},
+          {"expire", {{"-t", "--table", true}, kBranchFlag}},
+      };
+  return kVerbs;
+}
+
+/// Spec-driven flag parser: global flags anywhere, verb flags once the
+/// first positional names the verb. Unknown flags or missing values are
+/// hard errors rather than silently dropped arguments.
 class Args {
  public:
-  Args(int argc, char** argv) {
+  static Result<Args> Parse(int argc, char** argv) {
+    Args args;
+    std::vector<FlagDef> spec = {{"--lake", "", true}, {"--help", "", false}};
     for (int i = 1; i < argc; ++i) {
-      std::string arg = argv[i];
+      std::string_view arg = argv[i];
       if (arg.size() >= 2 && arg[0] == '-') {
-        std::string key = arg;
-        if (i + 1 < argc && argv[i + 1][0] != '-') {
-          flags_[key] = argv[++i];
-        } else {
-          flags_[key] = "";
+        const FlagDef* def = nullptr;
+        for (const FlagDef& candidate : spec) {
+          if (arg == candidate.canonical ||
+              (!candidate.alias.empty() && arg == candidate.alias)) {
+            def = &candidate;
+            break;
+          }
         }
-      } else {
-        positional_.push_back(arg);
+        if (def == nullptr) {
+          return Status::InvalidArgument(
+              args.command_.empty()
+                  ? StrCat("unknown flag '", arg, "'")
+                  : StrCat("unknown flag '", arg, "' for '", args.command_,
+                           "'"));
+        }
+        if (def->takes_value) {
+          if (i + 1 >= argc) {
+            return Status::InvalidArgument(
+                StrCat("flag '", arg, "' needs a value"));
+          }
+          args.flags_[std::string(def->canonical)] = argv[++i];
+        } else {
+          args.flags_[std::string(def->canonical)] = "";
+        }
+        continue;
+      }
+      args.positional_.push_back(std::string(arg));
+      if (args.command_.empty()) {
+        args.command_ = std::string(arg);
+        auto it = VerbFlags().find(args.command_);
+        if (it == VerbFlags().end()) {
+          return Status::InvalidArgument(
+              StrCat("unknown command '", args.command_, "'"));
+        }
+        spec.insert(spec.end(), it->second.begin(), it->second.end());
       }
     }
+    return args;
   }
 
   std::string Get(const std::string& key,
@@ -98,38 +194,42 @@ class Args {
   }
   bool Has(const std::string& key) const { return flags_.count(key) > 0; }
   const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& command() const { return command_; }
 
  private:
+  Args() = default;
+
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
+  std::string command_;
 };
 
 void PrintRunReport(const core::RunReport& report) {
   std::printf("run %lld: %s\n", static_cast<long long>(report.run_id),
               report.status.c_str());
-  bool fused = report.execution.fused_invocation.has_value();
-  if (fused) {
-    const runtime::InvocationReport& fn =
-        *report.execution.fused_invocation;
+  if (report.fused.has_value()) {
+    const core::NodeExecution& fn = *report.fused;
     std::printf("  fused into one function: start=%s (%s) worker=%d\n",
                 FormatDurationMicros(fn.startup_micros).c_str(),
                 std::string(runtime::StartKindToString(fn.start_kind))
                     .c_str(),
                 fn.worker);
   }
-  for (const auto& node : report.execution.nodes) {
+  for (const auto& node : report.nodes) {
     const char* kind =
         node.kind == pipeline::NodeKind::kExpectation ? "expectation"
                                                       : "sql";
     std::printf("  %-24s [%s] rows=%lld", node.name.c_str(), kind,
                 static_cast<long long>(node.output_rows));
-    if (!fused) {
+    if (!report.fused.has_value()) {
       std::printf(" start=%s (%s)",
-                  FormatDurationMicros(node.invocation.startup_micros)
-                      .c_str(),
-                  std::string(runtime::StartKindToString(
-                                  node.invocation.start_kind))
+                  FormatDurationMicros(node.startup_micros).c_str(),
+                  std::string(runtime::StartKindToString(node.start_kind))
                       .c_str());
+      if (node.queue_micros > 0) {
+        std::printf(" queue=%s",
+                    FormatDurationMicros(node.queue_micros).c_str());
+      }
     }
     if (node.kind == pipeline::NodeKind::kExpectation) {
       std::printf(" -> %s (%s)", node.expectation_passed ? "PASS" : "FAIL",
@@ -138,9 +238,9 @@ void PrintRunReport(const core::RunReport& report) {
     std::printf("\n");
   }
   std::printf("  total (simulated): %s; spill: %lld puts / %lld gets\n",
-              FormatDurationMicros(report.execution.total_micros).c_str(),
-              static_cast<long long>(report.execution.spill_metrics.puts),
-              static_cast<long long>(report.execution.spill_metrics.gets));
+              FormatDurationMicros(report.total_micros).c_str(),
+              static_cast<long long>(report.spill_metrics.puts),
+              static_cast<long long>(report.spill_metrics.gets));
   if (report.merged) {
     std::printf("  merged into branch at commit %s\n",
                 report.merged_commit_id.c_str());
@@ -152,11 +252,29 @@ int Fail(const Status& status) {
   return 1;
 }
 
+int UsageError(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n\n%s", message.c_str(), kUsage);
+  return 2;
+}
+
+/// Writes the run's span trace as JSON; used by `run --trace-out`.
+Status WriteTrace(const std::string& path, const core::RunReport& report) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError(StrCat("cannot write '", path, "'"));
+  }
+  out << report.trace.ToJson() << "\n";
+  return Status::OK();
+}
+
 int Main(int argc, char** argv) {
-  Args args(argc, argv);
+  InitLogLevelFromEnv();
+  auto parsed = Args::Parse(argc, argv);
+  if (!parsed.ok()) return UsageError(parsed.status().message());
+  const Args& args = *parsed;
   if (args.positional().empty() || args.Has("--help")) {
     std::fputs(kUsage, stdout);
-    return args.positional().empty() ? 1 : 0;
+    return args.positional().empty() ? 2 : 0;
   }
   std::string lake_dir = args.Get("--lake", "./bauplan_lake");
   auto store = storage::FileSystemObjectStore::Open(lake_dir);
@@ -171,7 +289,11 @@ int Main(int argc, char** argv) {
   if (!platform.ok()) return Fail(platform.status());
   core::Bauplan& bp = **platform;
 
-  const std::string& command = args.positional()[0];
+  const std::string& command = args.command();
+  // Parsed once: every ref-taking verb funnels -b/--branch through the
+  // same RefSpec grammar, so a malformed "-b main@20x4" fails uniformly.
+  auto ref = catalog::RefSpec::Parse(args.Get("-b", "main"));
+  if (!ref.ok()) return Fail(ref.status());
 
   if (command == "init-demo") {
     workload::TaxiGenOptions gen;
@@ -197,11 +319,11 @@ int Main(int argc, char** argv) {
 
   if (command == "query") {
     if (!args.Has("-q")) {
-      return Fail(Status::InvalidArgument("query needs -q \"SQL\""));
+      return UsageError("query needs -q \"SQL\"");
     }
     sql::QueryOptions options;
     options.capture_plans = args.Has("--explain");
-    auto result = bp.Query(args.Get("-q"), args.Get("-b", "main"), options);
+    auto result = bp.Query(args.Get("-q"), *ref, options);
     if (!result.ok()) return Fail(result.status());
     if (args.Has("--explain")) {
       std::printf("-- physical plan --\n%s\n",
@@ -211,6 +333,10 @@ int Main(int argc, char** argv) {
     std::printf("(%lld rows, %lld scanned)\n",
                 static_cast<long long>(result->stats.rows_output),
                 static_cast<long long>(result->stats.rows_scanned));
+    if (args.Has("--explain-metrics")) {
+      std::printf("-- metrics --\n%s",
+                  bp.metrics_snapshot().ToText().c_str());
+    }
     return 0;
   }
 
@@ -220,16 +346,19 @@ int Main(int argc, char** argv) {
                                  args.Get("-m"));
       if (!report.ok()) return Fail(report.status());
       PrintRunReport(*report);
+      if (args.Has("--trace-out")) {
+        Status st = WriteTrace(args.Get("--trace-out"), *report);
+        if (!st.ok()) return Fail(st);
+      }
       return 0;
     }
     if (!args.Has("--project")) {
-      return Fail(Status::InvalidArgument(
-          "run needs --project DIR (or --run-id N)"));
+      return UsageError("run needs --project DIR (or --run-id N)");
     }
     auto project = LoadProjectFromDir(args.Get("--project"));
     if (!project.ok()) return Fail(project.status());
     if (args.Has("--explain")) {
-      auto tables = bp.ListTables(args.Get("-b", "main"));
+      auto tables = bp.ListTables(*ref);
       if (!tables.ok()) return Fail(tables.status());
       std::set<std::string> known(tables->begin(), tables->end());
       auto dag = pipeline::Dag::Build(*project, known);
@@ -242,33 +371,36 @@ int Main(int argc, char** argv) {
     if (args.Has("--parallel")) {
       int parallelism = std::atoi(args.Get("--parallel", "1").c_str());
       if (parallelism < 1) {
-        return Fail(Status::InvalidArgument(
-            "--parallel needs a positive worker count"));
+        return UsageError("--parallel needs a positive worker count");
       }
       options.parallelism = parallelism;
     }
-    auto report = bp.Run(*project, args.Get("-b", "main"), options);
+    auto report = bp.Run(*project, ref->name(), options);
     if (!report.ok()) return Fail(report.status());
     PrintRunReport(*report);
+    if (args.Has("--trace-out")) {
+      Status st = WriteTrace(args.Get("--trace-out"), *report);
+      if (!st.ok()) return Fail(st);
+      std::printf("  trace written to %s\n",
+                  args.Get("--trace-out").c_str());
+    }
     return report->merged ? 0 : 2;
   }
 
   if (command == "ctas") {
     if (!args.Has("-t") || !args.Has("-q")) {
-      return Fail(Status::InvalidArgument("ctas needs -t TABLE -q SQL"));
+      return UsageError("ctas needs -t TABLE -q SQL");
     }
-    Status st = bp.CreateTableAs(args.Get("-b", "main"), args.Get("-t"),
-                                 args.Get("-q"));
+    Status st = bp.CreateTableAs(*ref, args.Get("-t"), args.Get("-q"));
     if (!st.ok()) return Fail(st);
     std::printf("created %s on %s\n", args.Get("-t").c_str(),
-                args.Get("-b", "main").c_str());
+                ref->name().c_str());
     return 0;
   }
 
   if (command == "import") {
     if (!args.Has("-t") || !args.Has("--csv")) {
-      return Fail(Status::InvalidArgument(
-          "import needs -t TABLE --csv FILE"));
+      return UsageError("import needs -t TABLE --csv FILE");
     }
     std::ifstream in(args.Get("--csv"));
     if (!in) {
@@ -279,7 +411,7 @@ int Main(int argc, char** argv) {
     buffer << in.rdbuf();
     auto table = columnar::ReadCsv(buffer.str());
     if (!table.ok()) return Fail(table.status());
-    std::string branch = args.Get("-b", "main");
+    const std::string& branch = ref->name();
     std::string name = args.Get("-t");
     auto tables = bp.ListTables(branch);
     if (!tables.ok()) return Fail(tables.status());
@@ -300,10 +432,9 @@ int Main(int argc, char** argv) {
 
   if (command == "export") {
     if (!args.Has("-t") || !args.Has("--out")) {
-      return Fail(Status::InvalidArgument(
-          "export needs -t TABLE --out FILE"));
+      return UsageError("export needs -t TABLE --out FILE");
     }
-    auto table = bp.ReadTable(args.Get("-b", "main"), args.Get("-t"));
+    auto table = bp.ReadTable(*ref, args.Get("-t"));
     if (!table.ok()) return Fail(table.status());
     std::ofstream out(args.Get("--out"));
     if (!out) {
@@ -333,8 +464,7 @@ int Main(int argc, char** argv) {
 
   if (command == "branch") {
     if (args.positional().size() < 2) {
-      return Fail(Status::InvalidArgument(
-          "branch needs create|list|delete"));
+      return UsageError("branch needs create|list|delete");
     }
     const std::string& sub = args.positional()[1];
     if (sub == "list") {
@@ -344,7 +474,7 @@ int Main(int argc, char** argv) {
       return 0;
     }
     if (args.positional().size() < 3) {
-      return Fail(Status::InvalidArgument("branch name missing"));
+      return UsageError("branch name missing");
     }
     const std::string& name = args.positional()[2];
     Status st = sub == "create"
@@ -360,7 +490,7 @@ int Main(int argc, char** argv) {
 
   if (command == "tag") {
     if (args.positional().size() < 2) {
-      return Fail(Status::InvalidArgument("tag needs NAME"));
+      return UsageError("tag needs NAME");
     }
     Status st = bp.mutable_catalog()->CreateTag(args.positional()[1],
                                                 args.Get("--at", "main"));
@@ -388,10 +518,9 @@ int Main(int argc, char** argv) {
 
   if (command == "compact" || command == "expire") {
     if (!args.Has("-t")) {
-      return Fail(Status::InvalidArgument(
-          StrCat(command, " needs -t TABLE")));
+      return UsageError(StrCat(command, " needs -t TABLE"));
     }
-    std::string branch = args.Get("-b", "main");
+    const std::string& branch = ref->name();
     std::string name = args.Get("-t");
     auto metadata_key = bp.mutable_catalog()->GetTable(branch, name);
     if (!metadata_key.ok()) return Fail(metadata_key.status());
@@ -431,7 +560,7 @@ int Main(int argc, char** argv) {
 
   if (command == "merge") {
     if (args.positional().size() < 3) {
-      return Fail(Status::InvalidArgument("merge needs FROM INTO"));
+      return UsageError("merge needs FROM INTO");
     }
     auto merged =
         bp.MergeBranch(args.positional()[1], args.positional()[2]);
@@ -457,15 +586,13 @@ int Main(int argc, char** argv) {
   }
 
   if (command == "tables") {
-    auto tables = bp.ListTables(args.Get("-b", "main"));
+    auto tables = bp.ListTables(*ref);
     if (!tables.ok()) return Fail(tables.status());
     for (const auto& name : *tables) std::printf("%s\n", name.c_str());
     return 0;
   }
 
-  std::fprintf(stderr, "unknown command '%s'\n\n%s", command.c_str(),
-               kUsage);
-  return 1;
+  return UsageError(StrCat("unknown command '", command, "'"));
 }
 
 }  // namespace

@@ -2,11 +2,22 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/strings.h"
 
 namespace bauplan {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+/// Serializes the stderr writes so concurrent callers (parallel wavefront
+/// bodies) never interleave partial lines.
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -31,13 +42,41 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+std::optional<LogLevel> ParseLogLevel(std::string_view name) {
+  std::string lower = ToLower(name);
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarning;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+bool InitLogLevelFromEnv() {
+  const char* value = std::getenv("BAUPLAN_LOG_LEVEL");
+  if (value == nullptr) return false;
+  auto level = ParseLogLevel(value);
+  if (!level.has_value()) return false;
+  SetLogLevel(*level);
+  return true;
+}
+
 void Log(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) <
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::fprintf(stderr, "[%s] %.*s\n", LevelName(level),
-               static_cast<int>(message.size()), message.data());
+  // One formatted buffer, one write, under one lock: concurrent callers
+  // cannot interleave partial lines.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += "[";
+  line += LevelName(level);
+  line += "] ";
+  line.append(message.data(), message.size());
+  line += "\n";
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace bauplan

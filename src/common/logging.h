@@ -1,6 +1,7 @@
 #ifndef BAUPLAN_COMMON_LOGGING_H_
 #define BAUPLAN_COMMON_LOGGING_H_
 
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -12,8 +13,17 @@ enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses "debug" / "info" / "warn" / "warning" / "error" (any case).
+std::optional<LogLevel> ParseLogLevel(std::string_view name);
+
+/// Applies the BAUPLAN_LOG_LEVEL environment variable if set to a valid
+/// level name; returns whether it was applied. The CLI calls this on
+/// startup; libraries never read the environment on their own.
+bool InitLogLevelFromEnv();
+
 /// Writes one line to stderr as "[LEVEL] message" if `level` passes the
-/// threshold.
+/// threshold. The write is a single formatted buffer under a mutex, so
+/// concurrent callers never interleave partial lines.
 void Log(LogLevel level, std::string_view message);
 
 inline void LogDebug(std::string_view m) { Log(LogLevel::kDebug, m); }

@@ -14,23 +14,31 @@ Bauplan::Bauplan(storage::ObjectStore* base_store, Clock* clock,
   // gives each concurrent function body its own virtual timeline.
   fork_clock_ = std::make_unique<ForkableClock>(clock);
   Clock* run_clock = fork_clock_.get();
+  // One registry + tracer for the whole platform: components below
+  // register their counters here, and the runner / query path stamp
+  // spans from the forkable clock so wavefront traces stay
+  // deterministic.
+  metrics_ = std::make_unique<observability::MetricsRegistry>();
+  tracer_ = std::make_unique<observability::Tracer>(run_clock);
   lake_store_ = std::make_unique<storage::MeteredObjectStore>(
-      base_store, run_clock, options_.lake_latency, options_.lake_cost);
+      base_store, run_clock, options_.lake_latency, options_.lake_cost,
+      "store.lake", metrics_.get());
   spill_backing_ = std::make_unique<storage::MemoryObjectStore>();
   spill_store_ = std::make_unique<storage::MeteredObjectStore>(
       spill_backing_.get(), run_clock, options_.lake_latency,
-      options_.lake_cost);
+      options_.lake_cost, "store.spill", metrics_.get());
   package_cache_ = std::make_unique<runtime::PackageCache>(
-      run_clock, options_.package_cache);
+      run_clock, options_.package_cache, metrics_.get());
   containers_ = std::make_unique<runtime::ContainerManager>(
-      run_clock, package_cache_.get(), options_.containers);
-  scheduler_ =
-      std::make_unique<runtime::Scheduler>(run_clock, options_.scheduler);
+      run_clock, package_cache_.get(), options_.containers,
+      metrics_.get());
+  scheduler_ = std::make_unique<runtime::Scheduler>(
+      run_clock, options_.scheduler, metrics_.get());
   executor_ = std::make_unique<runtime::ServerlessExecutor>(
       run_clock, containers_.get(), scheduler_.get());
   audit_ = std::make_unique<AuditLog>(lake_store_.get(), run_clock);
-  query_cache_ =
-      std::make_unique<QueryResultCache>(options_.query_cache_bytes);
+  query_cache_ = std::make_unique<QueryResultCache>(
+      options_.query_cache_bytes, metrics_.get());
 }
 
 void Bauplan::Audit(const std::string& operation, const std::string& ref,
@@ -59,7 +67,8 @@ Result<std::unique_ptr<Bauplan>> Bauplan::Open(
       platform->lake_store_.get(), run_clock);
   platform->runner_ = std::make_unique<PipelineRunner>(
       run_clock, platform->catalog_.get(), platform->table_ops_.get(),
-      platform->executor_.get(), platform->spill_store_.get());
+      platform->executor_.get(), platform->spill_store_.get(),
+      platform->tracer_.get());
   return platform;
 }
 
@@ -109,27 +118,30 @@ Status Bauplan::WriteTable(const std::string& branch,
 }
 
 Result<columnar::Table> Bauplan::ReadTable(
-    const std::string& ref, const std::string& name,
+    const catalog::RefSpec& ref, const std::string& name,
     const table::ScanOptions& options) const {
+  BAUPLAN_ASSIGN_OR_RETURN(std::string commit_id, catalog_->Resolve(ref));
   BAUPLAN_ASSIGN_OR_RETURN(std::string metadata_key,
-                           catalog_->GetTable(ref, name));
+                           catalog_->GetTable(commit_id, name));
   return table_ops_->ScanTable(metadata_key, options);
 }
 
 Result<std::vector<std::string>> Bauplan::ListTables(
-    const std::string& ref) const {
-  BAUPLAN_ASSIGN_OR_RETURN(auto tables, catalog_->GetTables(ref));
+    const catalog::RefSpec& ref) const {
+  BAUPLAN_ASSIGN_OR_RETURN(std::string commit_id, catalog_->Resolve(ref));
+  BAUPLAN_ASSIGN_OR_RETURN(auto tables, catalog_->GetTables(commit_id));
   std::vector<std::string> names;
   names.reserve(tables.size());
   for (const auto& [name, key] : tables) names.push_back(name);
   return names;
 }
 
-Status Bauplan::CreateTableAs(const std::string& branch,
+Status Bauplan::CreateTableAs(const catalog::RefSpec& ref,
                               const std::string& name,
                               std::string_view sql_text) {
-  BAUPLAN_ASSIGN_OR_RETURN(sql::QueryResult result,
-                           Query(sql_text, branch));
+  // Read at the full ref (possibly as-of); write to its branch.
+  BAUPLAN_ASSIGN_OR_RETURN(sql::QueryResult result, Query(sql_text, ref));
+  const std::string& branch = ref.name();
   BAUPLAN_RETURN_NOT_OK(CreateTable(branch, name, result.table.schema()));
   return WriteTable(branch, name, result.table, /*overwrite=*/true);
 }
@@ -137,23 +149,45 @@ Status Bauplan::CreateTableAs(const std::string& branch,
 // ---------------------------------------------------------------- query
 
 Result<sql::QueryResult> Bauplan::Query(std::string_view sql_text,
-                                        const std::string& ref,
+                                        const catalog::RefSpec& ref,
                                         const sql::QueryOptions& options) {
   std::string sql(sql_text);
-  // The result cache is sound because refs resolve to immutable commits.
-  auto commit = catalog_->ResolveRef(ref);
+  const std::string ref_text = ref.ToString();
+  uint64_t query_span = tracer_->StartSpan(
+      "query", observability::span_kind::kQuery);
+  tracer_->AddAttribute(query_span, "ref", ref_text);
+  auto finish_trace = [&](sql::QueryResult* r) {
+    tracer_->EndSpan(query_span);
+    observability::Trace trace = tracer_->ExtractTrace(query_span);
+    if (r != nullptr) r->trace = std::move(trace);
+  };
+  LogDebug(StrCat("query at ", ref_text, ": ", sql));
+  // The result cache is sound because refs resolve to immutable commits
+  // (an as-of ref resolves to the snapshot commit, so it caches too).
+  auto commit = catalog_->Resolve(ref);
   if (commit.ok()) {
     sql::QueryResult cached;
     if (query_cache_->Lookup(sql, *commit, &cached.table)) {
       cached.from_cache = true;
       cached.stats.rows_output = cached.table.num_rows();
-      Audit("query", ref, StrCat(sql, " [cache hit]"), Status::OK());
+      tracer_->AddAttribute(query_span, "cache", "hit");
+      LogDebug(StrCat("query cache hit at commit ", *commit));
+      finish_trace(&cached);
+      Audit("query", ref_text, StrCat(sql, " [cache hit]"), Status::OK());
       return cached;
     }
   }
-  LakehouseSource source(catalog_.get(), table_ops_.get(), ref);
-  auto result = sql::RunQuery(sql, source, &source, options);
-  Audit("query", ref, sql, result.status());
+  // Scans read at the pinned commit so an as-of ref sees history; fall
+  // back to the raw name when resolution failed (the scan will surface
+  // the unknown-ref error).
+  LakehouseSource source(catalog_.get(), table_ops_.get(),
+                         commit.ok() ? *commit : ref.name());
+  sql::QueryOptions traced = options;
+  traced.tracer = tracer_.get();
+  traced.parent_span = query_span;
+  auto result = sql::RunQuery(sql, source, &source, traced);
+  finish_trace(result.ok() ? &*result : nullptr);
+  Audit("query", ref_text, sql, result.status());
   if (result.ok() && commit.ok()) {
     query_cache_->Insert(sql, *commit, result->table);
   }
@@ -193,7 +227,7 @@ Result<std::vector<catalog::Commit>> Bauplan::Log(const std::string& ref,
 
 // ------------------------------------------------------------------ run
 
-Status Bauplan::MaterializeArtifacts(const PipelineRunReport& execution,
+Status Bauplan::MaterializeArtifacts(const RunReport& execution,
                                      const std::string& target_branch) {
   for (const auto& [name, data] : execution.artifacts) {
     bool exists = catalog_->GetTable(target_branch, name).ok();
@@ -215,6 +249,9 @@ Result<RunReport> Bauplan::Run(const pipeline::PipelineProject& project,
                            registry_->RegisterRun(project, branch, head));
   RunReport report;
   report.run_id = record.run_id;
+  LogInfo(StrCat("run ", record.run_id, " started on '", branch, "' (",
+                 project.nodes().size(), " nodes, ",
+                 options.fused ? "fused" : "naive", ")"));
 
   // Fig. 4: execute in an ephemeral branch; merge only on full success.
   BAUPLAN_ASSIGN_OR_RETURN(std::string run_branch,
@@ -225,6 +262,8 @@ Result<RunReport> Bauplan::Run(const pipeline::PipelineProject& project,
         registry_->FinishRun(record.run_id, StrCat("failed: ", why)));
     report.status = StrCat("failed: ", why);
     report.merged = false;
+    report.metrics = metrics_->Snapshot();
+    LogWarning(StrCat("run ", report.run_id, " failed: ", why));
     Audit("run", branch, StrCat("run ", report.run_id, " failed"),
           Status::FailedPrecondition(why));
     return report;
@@ -238,11 +277,14 @@ Result<RunReport> Bauplan::Run(const pipeline::PipelineProject& project,
 
   auto execution = runner_->Execute(*dag, run_branch, options);
   if (!execution.ok()) return fail(execution.status().ToString());
-  report.execution = std::move(*execution);
+  // The runner produced the execution half of the report; keep the
+  // identity fields the facade already filled in.
+  execution->run_id = report.run_id;
+  report = std::move(*execution);
 
-  if (!report.execution.all_expectations_passed) {
+  if (!report.all_expectations_passed) {
     std::string details;
-    for (const auto& node : report.execution.nodes) {
+    for (const auto& node : report.nodes) {
       if (node.kind == pipeline::NodeKind::kExpectation &&
           !node.expectation_passed) {
         if (!details.empty()) details += "; ";
@@ -253,8 +295,7 @@ Result<RunReport> Bauplan::Run(const pipeline::PipelineProject& project,
   }
 
   // Audit passed: write artifacts into the ephemeral branch, then merge.
-  Status materialized =
-      MaterializeArtifacts(report.execution, run_branch);
+  Status materialized = MaterializeArtifacts(report, run_branch);
   if (!materialized.ok()) return fail(materialized.ToString());
 
   auto merged = catalog_->Merge(run_branch, branch, options_.author);
@@ -265,6 +306,9 @@ Result<RunReport> Bauplan::Run(const pipeline::PipelineProject& project,
   report.merged = true;
   report.merged_commit_id = merged->commit_id;
   report.status = "succeeded";
+  report.metrics = metrics_->Snapshot();
+  LogInfo(StrCat("run ", report.run_id, " merged into '", branch,
+                 "' at commit ", merged->commit_id));
   Audit("run", branch,
         StrCat("run ", report.run_id, " fingerprint ", record.fingerprint),
         Status::OK());
@@ -329,13 +373,13 @@ Result<RunReport> Bauplan::ReplayRun(int64_t run_id,
   cleanup();
   BAUPLAN_RETURN_NOT_OK(execution.status());
 
-  RunReport report;
+  RunReport report = std::move(*execution);
   report.run_id = run_id;
-  report.execution = std::move(*execution);
   report.merged = false;  // replays never touch user branches
-  report.status = report.execution.all_expectations_passed
+  report.status = report.all_expectations_passed
                       ? "replayed"
                       : "replayed (expectations failed)";
+  report.metrics = metrics_->Snapshot();
   Audit("replay", record.branch,
         StrCat("run ", run_id, selector.empty() ? "" : " -m ", selector),
         Status::OK());

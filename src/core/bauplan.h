@@ -11,6 +11,9 @@
 #include "core/audit_log.h"
 #include "core/pipeline_runner.h"
 #include "core/query_cache.h"
+#include "core/run_report.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
 #include "pipeline/run_registry.h"
 #include "runtime/executor.h"
 #include "sql/engine.h"
@@ -37,17 +40,6 @@ struct BauplanOptions {
   bool enable_audit_log = true;
 };
 
-/// Outcome of `Run` (and `ReplayRun`).
-struct RunReport {
-  int64_t run_id = 0;
-  /// Per-node execution details.
-  PipelineRunReport execution;
-  /// Commit the target branch ended at ("" when not merged).
-  std::string merged_commit_id;
-  bool merged = false;
-  std::string status;
-};
-
 /// The Bauplan platform facade: one object wiring together the versioned
 /// catalog (Nessie stand-in), table format (Iceberg stand-in), SQL engine
 /// (DuckDB stand-in), serverless runtime and code intelligence, behind
@@ -72,26 +64,30 @@ class Bauplan {
   Status WriteTable(const std::string& branch, const std::string& name,
                     const columnar::Table& data, bool overwrite = false);
 
-  /// Reads a table at any ref (branch, tag, or commit), with optional
-  /// time travel inside the table's snapshot history.
+  /// Reads a table at any ref (branch, tag, commit, or "name@timestamp"
+  /// as-of), with optional time travel inside the table's snapshot
+  /// history.
   Result<columnar::Table> ReadTable(
-      const std::string& ref, const std::string& name,
+      const catalog::RefSpec& ref, const std::string& name,
       const table::ScanOptions& options = {}) const;
 
   /// Table names visible at `ref`.
-  Result<std::vector<std::string>> ListTables(const std::string& ref) const;
+  Result<std::vector<std::string>> ListTables(
+      const catalog::RefSpec& ref) const;
 
-  /// CREATE TABLE AS: runs `sql_text` at `branch` and materializes the
-  /// result as a new table (one-query-one-artifact without a pipeline).
-  Status CreateTableAs(const std::string& branch, const std::string& name,
+  /// CREATE TABLE AS: runs `sql_text` at `ref` (possibly an as-of view)
+  /// and materializes the result as a new table on the ref's branch
+  /// (one-query-one-artifact without a pipeline).
+  Status CreateTableAs(const catalog::RefSpec& ref, const std::string& name,
                        std::string_view sql_text);
 
   // ------------------------------------------------------------ query
 
   /// `bauplan query -q "..." [-b ref]`: synchronous SQL over the
-  /// lakehouse at `ref`, with pushdown into partition/zone-map pruning.
+  /// lakehouse at `ref` (branch, tag, commit, or "name@timestamp"), with
+  /// pushdown into partition/zone-map pruning.
   Result<sql::QueryResult> Query(std::string_view sql_text,
-                                 const std::string& ref = "main",
+                                 const catalog::RefSpec& ref = {},
                                  const sql::QueryOptions& options = {});
 
   // --------------------------------------------------------- branches
@@ -125,18 +121,30 @@ class Bauplan {
   const pipeline::RunRegistry& run_registry() const { return *registry_; }
   /// The durable audit trail (Full Auditability, section 2).
   const AuditLog& audit_log() const { return *audit_; }
-  const QueryResultCache::Stats& query_cache_stats() const {
+  // Metric accessors return point-in-time snapshots by value; call again
+  // for fresh numbers.
+  QueryResultCache::Stats query_cache_stats() const {
     return query_cache_->stats();
   }
-  const storage::StoreMetrics& lake_metrics() const {
+  storage::StoreMetrics lake_metrics() const {
     return lake_store_->metrics();
   }
-  const runtime::ContainerManagerMetrics& container_metrics() const {
+  runtime::ContainerManagerMetrics container_metrics() const {
     return containers_->metrics();
   }
-  const runtime::PackageCacheMetrics& package_cache_metrics() const {
+  runtime::PackageCacheMetrics package_cache_metrics() const {
     return package_cache_->metrics();
   }
+  /// Flat dump of every instrument the platform's components registered
+  /// (store.lake.*, store.spill.*, scheduler.*, containers.*,
+  /// package_cache.*, query_cache.*).
+  observability::MetricsSnapshot metrics_snapshot() const {
+    return metrics_->Snapshot();
+  }
+  observability::MetricsRegistry* metrics_registry() {
+    return metrics_.get();
+  }
+  observability::Tracer* tracer() { return tracer_.get(); }
   runtime::ServerlessExecutor* executor() { return executor_.get(); }
   runtime::Scheduler* scheduler() { return scheduler_.get(); }
   Clock* clock() { return clock_; }
@@ -146,7 +154,7 @@ class Bauplan {
           BauplanOptions options);
 
   /// Materializes run artifacts as catalog tables on `target_branch`.
-  Status MaterializeArtifacts(const PipelineRunReport& execution,
+  Status MaterializeArtifacts(const RunReport& execution,
                               const std::string& target_branch);
 
   /// Records one audit entry; failures are logged, never fatal.
@@ -159,6 +167,11 @@ class Bauplan {
   /// executor can fork per-function timelines. Declared first: it must
   /// outlive everything that holds it.
   std::unique_ptr<ForkableClock> fork_clock_;
+  /// One registry + tracer per platform (benches open several platforms
+  /// side by side; a process-global registry would mix their counters).
+  /// Declared before the components that register into them.
+  std::unique_ptr<observability::MetricsRegistry> metrics_;
+  std::unique_ptr<observability::Tracer> tracer_;
   std::unique_ptr<storage::MeteredObjectStore> lake_store_;
   std::unique_ptr<storage::MemoryObjectStore> spill_backing_;
   std::unique_ptr<storage::MeteredObjectStore> spill_store_;

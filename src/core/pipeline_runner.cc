@@ -15,6 +15,7 @@
 namespace bauplan::core {
 
 using columnar::Table;
+using observability::ScopedSpan;
 using pipeline::Dag;
 using pipeline::NodeKind;
 using pipeline::PipelineNode;
@@ -28,7 +29,7 @@ struct NaiveRunContext {
   const Dag* dag = nullptr;
   std::string ref;
   std::set<std::string> selected_set;
-  PipelineRunReport* report = nullptr;
+  RunReport* report = nullptr;
   std::mutex mu;
   /// Artifact name -> serialized bytes (produced this run, or estimated
   /// from catalog metadata for replayed upstreams).
@@ -92,7 +93,7 @@ runtime::ContainerSpec PipelineRunner::SpecForNode(
   return spec;
 }
 
-Result<PipelineRunReport> PipelineRunner::Execute(
+Result<RunReport> PipelineRunner::Execute(
     const Dag& dag, const std::string& ref,
     const PipelineRunOptions& options) {
   for (const auto& name : options.selected) {
@@ -102,23 +103,46 @@ Result<PipelineRunReport> PipelineRunner::Execute(
     }
   }
   spill_store_->ResetMetrics();
-  if (options.fused) {
-    return ExecuteFused(dag, ref, SelectOrAll(dag, options.selected));
+
+  uint64_t run_span = 0;
+  if (tracer_ != nullptr) {
+    run_span = tracer_->StartSpan("run", observability::span_kind::kRun);
+    tracer_->AddAttribute(run_span, "ref", ref);
+    tracer_->AddAttribute(
+        run_span, "mode",
+        options.fused ? "fused"
+                      : (options.parallelism > 1 ? "parallel_naive"
+                                                 : "naive"));
   }
-  if (options.parallelism > 1) {
-    return ExecuteParallelNaive(dag, ref,
+
+  Result<RunReport> result =
+      options.fused
+          ? ExecuteFused(dag, ref, SelectOrAll(dag, options.selected),
+                         run_span)
+          : (options.parallelism > 1
+                 ? ExecuteParallelNaive(dag, ref,
+                                        SelectOrAll(dag, options.selected),
+                                        options.parallelism, run_span)
+                 : ExecuteNaive(dag, ref,
                                 SelectOrAll(dag, options.selected),
-                                options.parallelism);
+                                run_span));
+
+  if (tracer_ != nullptr) {
+    tracer_->EndSpan(run_span);
+    // Extract even on failure so aborted runs don't pile spans up in the
+    // tracer; the trace only ships on success.
+    observability::Trace trace = tracer_->ExtractTrace(run_span);
+    if (result.ok()) result->trace = std::move(trace);
   }
-  return ExecuteNaive(dag, ref, SelectOrAll(dag, options.selected));
+  return result;
 }
 
 // --------------------------------------------------------------- fused
 
-Result<PipelineRunReport> PipelineRunner::ExecuteFused(
+Result<RunReport> PipelineRunner::ExecuteFused(
     const Dag& dag, const std::string& ref,
-    const std::vector<std::string>& selected) {
-  PipelineRunReport report;
+    const std::vector<std::string>& selected, uint64_t run_span) {
+  RunReport report;
   uint64_t start = clock_->NowMicros();
 
   // One function for the whole DAG: union of all requirements, memory
@@ -144,6 +168,12 @@ Result<PipelineRunReport> PipelineRunner::ExecuteFused(
   request.keep_warm = true;
   std::set<std::string> selected_set(selected.begin(), selected.end());
 
+  uint64_t fused_span = 0;
+  if (tracer_ != nullptr) {
+    fused_span = tracer_->StartSpan(
+        "fused_dag", observability::span_kind::kInvocation, run_span);
+  }
+
   request.body = [&]() -> Status {
     // All intermediates live in the source overlay; the engine pushes
     // WHERE filters and projections into the lakehouse scans.
@@ -151,10 +181,12 @@ Result<PipelineRunReport> PipelineRunner::ExecuteFused(
     for (const auto& name : dag.execution_order()) {
       if (selected_set.count(name) == 0) continue;
       const PipelineNode& node = *dag.GetNode(name).node;
-      NodeReport node_report;
+      NodeExecution node_report;
       node_report.name = name;
       node_report.kind = node.kind;
       if (node.kind == NodeKind::kSqlModel) {
+        ScopedSpan sql_span(tracer_, name,
+                            observability::span_kind::kSql, fused_span);
         auto result = sql::RunQuery(node.code, source, &source);
         if (!result.ok()) {
           return result.status().WithContext(
@@ -164,6 +196,9 @@ Result<PipelineRunReport> PipelineRunner::ExecuteFused(
         report.artifacts[name] = result->table;
         source.AddOverlayTable(name, std::move(result->table));
       } else {
+        ScopedSpan exp_span(tracer_, name,
+                            observability::span_kind::kExpectation,
+                            fused_span);
         BAUPLAN_ASSIGN_OR_RETURN(std::string target,
                                  node.ExpectationTarget());
         BAUPLAN_ASSIGN_OR_RETURN(
@@ -183,9 +218,18 @@ Result<PipelineRunReport> PipelineRunner::ExecuteFused(
     return Status::OK();
   };
 
-  BAUPLAN_ASSIGN_OR_RETURN(runtime::InvocationReport invocation,
-                           executor_->Invoke(request));
-  report.fused_invocation = std::move(invocation);
+  Result<runtime::InvocationReport> invocation =
+      executor_->Invoke(request);
+  if (tracer_ != nullptr) tracer_->EndSpan(fused_span);
+  BAUPLAN_RETURN_NOT_OK(invocation.status());
+  NodeExecution fused;
+  fused.name = invocation->name;
+  fused.ApplyInvocation(*invocation);
+  if (tracer_ != nullptr) {
+    tracer_->AddAttribute(fused_span, "worker",
+                          StrCat(invocation->worker));
+  }
+  report.fused = std::move(fused);
   report.total_micros = clock_->NowMicros() - start;
   report.spill_metrics = spill_store_->metrics();
   return report;
@@ -195,7 +239,7 @@ Result<PipelineRunReport> PipelineRunner::ExecuteFused(
 
 runtime::FunctionRequest PipelineRunner::BuildNaiveRequest(
     internal::NaiveRunContext& ctx, const std::string& name,
-    NodeReport* node_report) {
+    NodeExecution* node_report, uint64_t node_span) {
   const pipeline::DagNode& dag_node = ctx.dag->GetNode(name);
   const PipelineNode& node = *dag_node.node;
   node_report->name = name;
@@ -232,13 +276,15 @@ runtime::FunctionRequest PipelineRunner::BuildNaiveRequest(
   }
   request.memory_bytes = MemoryForBytes(input_bytes);
 
-  request.body = [this, &ctx, &dag_node, &node, name,
-                  node_report]() -> Status {
+  request.body = [this, &ctx, &dag_node, &node, name, node_report,
+                  node_span]() -> Status {
     // Assemble inputs: source tables scanned in full (no pushdown —
     // the naive plan maps each logical op to one function), upstream
     // artifacts fetched from the spill store.
     sql::MemoryTableProvider inputs;
     for (const auto& table_name : dag_node.source_tables) {
+      ScopedSpan scan_span(tracer_, table_name,
+                           observability::span_kind::kScan, node_span);
       BAUPLAN_ASSIGN_OR_RETURN(std::string metadata_key,
                                catalog_->GetTable(ctx.ref, table_name));
       BAUPLAN_ASSIGN_OR_RETURN(Table table,
@@ -247,6 +293,9 @@ runtime::FunctionRequest PipelineRunner::BuildNaiveRequest(
     }
     for (const auto& up : dag_node.upstream_nodes) {
       if (ctx.selected_set.count(up) > 0) {
+        ScopedSpan spill_span(tracer_, StrCat("get ", SpillKey(up)),
+                              observability::span_kind::kSpill,
+                              node_span);
         BAUPLAN_ASSIGN_OR_RETURN(Bytes bytes,
                                  spill_store_->Get(SpillKey(up)));
         BAUPLAN_ASSIGN_OR_RETURN(Table table,
@@ -255,6 +304,8 @@ runtime::FunctionRequest PipelineRunner::BuildNaiveRequest(
       } else {
         // Replay subset: the upstream artifact was materialized by the
         // original run; read it from the catalog.
+        ScopedSpan scan_span(tracer_, up,
+                             observability::span_kind::kScan, node_span);
         BAUPLAN_ASSIGN_OR_RETURN(std::string metadata_key,
                                  catalog_->GetTable(ctx.ref, up));
         BAUPLAN_ASSIGN_OR_RETURN(Table table,
@@ -268,19 +319,30 @@ runtime::FunctionRequest PipelineRunner::BuildNaiveRequest(
       // No scan pushdown in the naive mapping.
       qopts.optimizer.pushdown_predicates = false;
       qopts.optimizer.pushdown_projections = false;
-      BAUPLAN_ASSIGN_OR_RETURN(
-          sql::QueryResult result,
-          sql::RunQuery(node.code, inputs, &inputs, qopts));
-      node_report->output_rows = result.table.num_rows();
+      Result<sql::QueryResult> result = [&] {
+        ScopedSpan sql_span(tracer_, name,
+                            observability::span_kind::kSql, node_span);
+        return sql::RunQuery(node.code, inputs, &inputs, qopts);
+      }();
+      BAUPLAN_RETURN_NOT_OK(result.status());
+      node_report->output_rows = result->table.num_rows();
       // Spill the artifact for downstream functions.
-      Bytes payload = columnar::SerializeTable(result.table);
+      Bytes payload = columnar::SerializeTable(result->table);
       int64_t payload_bytes = static_cast<int64_t>(payload.size());
-      BAUPLAN_RETURN_NOT_OK(
-          spill_store_->Put(SpillKey(name), std::move(payload)));
+      {
+        ScopedSpan spill_span(tracer_, StrCat("put ", SpillKey(name)),
+                              observability::span_kind::kSpill,
+                              node_span);
+        BAUPLAN_RETURN_NOT_OK(
+            spill_store_->Put(SpillKey(name), std::move(payload)));
+      }
       std::lock_guard<std::mutex> lock(ctx.mu);
       ctx.artifact_bytes[name] = payload_bytes;
-      ctx.report->artifacts[name] = std::move(result.table);
+      ctx.report->artifacts[name] = std::move(result->table);
     } else {
+      ScopedSpan exp_span(tracer_, name,
+                          observability::span_kind::kExpectation,
+                          node_span);
       BAUPLAN_ASSIGN_OR_RETURN(std::string target,
                                node.ExpectationTarget());
       BAUPLAN_ASSIGN_OR_RETURN(
@@ -302,10 +364,10 @@ runtime::FunctionRequest PipelineRunner::BuildNaiveRequest(
   return request;
 }
 
-Result<PipelineRunReport> PipelineRunner::ExecuteNaive(
+Result<RunReport> PipelineRunner::ExecuteNaive(
     const Dag& dag, const std::string& ref,
-    const std::vector<std::string>& selected) {
-  PipelineRunReport report;
+    const std::vector<std::string>& selected, uint64_t run_span) {
+  RunReport report;
   uint64_t start = clock_->NowMicros();
 
   internal::NaiveRunContext ctx;
@@ -317,11 +379,25 @@ Result<PipelineRunReport> PipelineRunner::ExecuteNaive(
 
   for (const auto& name : dag.execution_order()) {
     if (ctx.selected_set.count(name) == 0) continue;
-    NodeReport node_report;
+    NodeExecution node_report;
+    // Sequential walk: the node span brackets the whole invocation
+    // (placement, startup, body) on the shared clock.
+    uint64_t node_span = 0;
+    if (tracer_ != nullptr) {
+      node_span = tracer_->StartSpan(
+          name, observability::span_kind::kNode, run_span);
+    }
     runtime::FunctionRequest request =
-        BuildNaiveRequest(ctx, name, &node_report);
-    BAUPLAN_ASSIGN_OR_RETURN(node_report.invocation,
-                             executor_->Invoke(request));
+        BuildNaiveRequest(ctx, name, &node_report, node_span);
+    Result<runtime::InvocationReport> invocation =
+        executor_->Invoke(request);
+    if (tracer_ != nullptr) tracer_->EndSpan(node_span);
+    BAUPLAN_RETURN_NOT_OK(invocation.status());
+    node_report.ApplyInvocation(*invocation);
+    if (tracer_ != nullptr) {
+      tracer_->AddAttribute(node_span, "worker",
+                            StrCat(invocation->worker));
+    }
     report.nodes.push_back(std::move(node_report));
   }
 
@@ -330,10 +406,11 @@ Result<PipelineRunReport> PipelineRunner::ExecuteNaive(
   return report;
 }
 
-Result<PipelineRunReport> PipelineRunner::ExecuteParallelNaive(
+Result<RunReport> PipelineRunner::ExecuteParallelNaive(
     const Dag& dag, const std::string& ref,
-    const std::vector<std::string>& selected, int parallelism) {
-  PipelineRunReport report;
+    const std::vector<std::string>& selected, int parallelism,
+    uint64_t run_span) {
+  RunReport report;
   uint64_t start = clock_->NowMicros();
 
   internal::NaiveRunContext ctx;
@@ -342,6 +419,12 @@ Result<PipelineRunReport> PipelineRunner::ExecuteParallelNaive(
   ctx.selected_set = std::set<std::string>(selected.begin(),
                                            selected.end());
   ctx.report = &report;
+
+  // Wave bodies run on forked timelines only when the executor's clock
+  // can fork; otherwise InvokeWave degrades to sequential invocations on
+  // the shared clock and span intervals need no queue fixup.
+  const bool forked_waves =
+      dynamic_cast<ForkableClock*>(clock_) != nullptr;
 
   // Ready-set bookkeeping: indegree among selected nodes only (replayed
   // upstreams are already materialized, hence never block).
@@ -358,14 +441,25 @@ Result<PipelineRunReport> PipelineRunner::ExecuteParallelNaive(
     indegree[name] = degree;
   }
 
-  // NodeReports live in a deque so function bodies hold stable pointers
-  // across waves.
-  std::deque<NodeReport> slots;
-  std::map<std::string, NodeReport*> slot_of;
+  // NodeExecutions live in a deque so function bodies hold stable
+  // pointers across waves.
+  std::deque<NodeExecution> slots;
+  std::map<std::string, NodeExecution*> slot_of;
+  std::map<std::string, uint64_t> span_of;
   std::set<std::string> dispatched;
   size_t completed = 0;
+  int wave_index = 0;
 
   while (completed < indegree.size()) {
+    uint64_t wave_start = clock_->NowMicros();
+    uint64_t wave_span = 0;
+    if (tracer_ != nullptr) {
+      wave_span = tracer_->StartSpan(
+          StrCat("wave_", wave_index),
+          observability::span_kind::kWave, run_span);
+    }
+    ++wave_index;
+
     // The next wave: every undispatched node whose selected upstreams
     // all finished, in execution order (deterministic).
     std::vector<runtime::FunctionRequest> ready;
@@ -373,30 +467,68 @@ Result<PipelineRunReport> PipelineRunner::ExecuteParallelNaive(
       auto it = indegree.find(name);
       if (it == indegree.end() || it->second > 0) continue;
       if (dispatched.count(name) > 0) continue;
-      NodeReport*& slot = slot_of[name];
+      NodeExecution*& slot = slot_of[name];
       if (slot == nullptr) {
         slots.emplace_back();
         slot = &slots.back();
       }
-      ready.push_back(BuildNaiveRequest(ctx, name, slot));
+      uint64_t node_span = 0;
+      if (tracer_ != nullptr) {
+        uint64_t& span = span_of[name];
+        if (span == 0) {
+          // Pre-created: the member's final interval is only known once
+          // the wave completes (per-worker serialization).
+          span = tracer_->StartSpan(
+              name, observability::span_kind::kNode, wave_span);
+        } else {
+          // Bounced in an earlier wave; it re-dispatches under this one.
+          tracer_->SetSpanParent(span, wave_span);
+        }
+        node_span = span;
+      }
+      ready.push_back(BuildNaiveRequest(ctx, name, slot, node_span));
       dispatched.insert(name);
     }
     if (ready.empty()) {
+      if (tracer_ != nullptr) tracer_->EndSpan(wave_span);
       return Status::Internal(
           "pipeline wavefront stalled with nodes unfinished");
     }
 
-    BAUPLAN_ASSIGN_OR_RETURN(
-        runtime::WaveReport wave,
-        executor_->InvokeWave(std::move(ready), parallelism));
-    for (runtime::InvocationReport& invocation : wave.reports) {
+    Result<runtime::WaveReport> wave =
+        executor_->InvokeWave(std::move(ready), parallelism);
+    if (tracer_ != nullptr) tracer_->EndSpan(wave_span);
+    BAUPLAN_RETURN_NOT_OK(wave.status());
+
+    // Degraded (sequential) waves run members back to back; track the
+    // running offset to place their spans.
+    uint64_t sequential_offset = 0;
+    for (runtime::InvocationReport& invocation : wave->reports) {
       const std::string node_name = invocation.name;
-      slot_of.at(node_name)->invocation = std::move(invocation);
+      if (tracer_ != nullptr) {
+        uint64_t span = span_of.at(node_name);
+        uint64_t begin = forked_waves
+                             ? wave_start + invocation.queue_micros
+                             : wave_start + sequential_offset;
+        uint64_t end = forked_waves
+                           ? wave_start + invocation.total_micros
+                           : begin + invocation.total_micros;
+        tracer_->SetSpanInterval(span, begin, end);
+        if (forked_waves && invocation.queue_micros > 0) {
+          // Body children were stamped on a fork starting at
+          // wave_start + prelude; slide them to the member's real slot.
+          tracer_->ShiftDescendants(
+              span, static_cast<int64_t>(invocation.queue_micros));
+        }
+        tracer_->AddAttribute(span, "worker", StrCat(invocation.worker));
+        sequential_offset += invocation.total_micros;
+      }
+      slot_of.at(node_name)->ApplyInvocation(invocation);
       ++completed;
       for (const auto& down : downstream[node_name]) --indegree[down];
     }
     // Members bounced on resources stay ready; rebuild them next wave.
-    for (const runtime::FunctionRequest& bounced : wave.deferred) {
+    for (const runtime::FunctionRequest& bounced : wave->deferred) {
       dispatched.erase(bounced.name);
     }
   }

@@ -1,14 +1,13 @@
 #ifndef BAUPLAN_CORE_PIPELINE_RUNNER_H_
 #define BAUPLAN_CORE_PIPELINE_RUNNER_H_
 
-#include <map>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
-#include "columnar/table.h"
 #include "common/clock.h"
+#include "core/run_report.h"
+#include "observability/trace.h"
 #include "pipeline/dag.h"
 #include "runtime/executor.h"
 #include "storage/metered_store.h"
@@ -40,78 +39,62 @@ struct PipelineRunOptions {
   std::vector<std::string> selected;
 };
 
-/// Per-node outcome.
-struct NodeReport {
-  std::string name;
-  pipeline::NodeKind kind = pipeline::NodeKind::kSqlModel;
-  int64_t output_rows = 0;
-  /// Expectation nodes only.
-  bool expectation_passed = true;
-  std::string details;
-  runtime::InvocationReport invocation;
-};
-
-/// Everything one DAG execution produced.
-struct PipelineRunReport {
-  std::vector<NodeReport> nodes;
-  /// Simulated end-to-end latency of the run.
-  uint64_t total_micros = 0;
-  /// Object-store traffic caused by intermediate spill (naive mode).
-  storage::StoreMetrics spill_metrics;
-  bool all_expectations_passed = true;
-  /// Artifact name -> produced table (SQL nodes only).
-  std::map<std::string, columnar::Table> artifacts;
-  /// Fused mode: the single invocation the whole DAG ran as (naive mode
-  /// reports per node instead, in NodeReport::invocation).
-  std::optional<runtime::InvocationReport> fused_invocation;
-};
-
 /// Executes an extracted DAG on the serverless substrate in fused or
-/// naive mode. Materialization back to the catalog is the caller's job
-/// (the Bauplan facade wraps this in transform-audit-write).
+/// naive mode, producing the execution half of a RunReport (run_id and
+/// merge outcome stay defaulted — materialization back to the catalog is
+/// the caller's job; the Bauplan facade wraps this in
+/// transform-audit-write).
 class PipelineRunner {
  public:
   /// Does not own its collaborators. `spill_store` is the metered store
-  /// naive mode spills intermediates through.
+  /// naive mode spills intermediates through. With a non-null `tracer`
+  /// every run produces a span tree (run -> wave -> node -> {scan, sql,
+  /// expectation, spill}) extracted into RunReport::trace.
   PipelineRunner(Clock* clock, const catalog::Catalog* catalog,
                  const table::TableOps* ops,
                  runtime::ServerlessExecutor* executor,
-                 storage::MeteredObjectStore* spill_store)
+                 storage::MeteredObjectStore* spill_store,
+                 observability::Tracer* tracer = nullptr)
       : clock_(clock),
         catalog_(catalog),
         ops_(ops),
         executor_(executor),
-        spill_store_(spill_store) {}
+        spill_store_(spill_store),
+        tracer_(tracer) {}
 
   /// Runs `dag` reading source tables at `ref`. Expectation failures are
   /// reported in the result (not as an error Status); infrastructure
   /// failures are errors.
-  Result<PipelineRunReport> Execute(const pipeline::Dag& dag,
-                                    const std::string& ref,
-                                    const PipelineRunOptions& options);
+  Result<RunReport> Execute(const pipeline::Dag& dag,
+                            const std::string& ref,
+                            const PipelineRunOptions& options);
 
  private:
-  Result<PipelineRunReport> ExecuteFused(
-      const pipeline::Dag& dag, const std::string& ref,
-      const std::vector<std::string>& selected);
-  Result<PipelineRunReport> ExecuteNaive(
-      const pipeline::Dag& dag, const std::string& ref,
-      const std::vector<std::string>& selected);
+  Result<RunReport> ExecuteFused(const pipeline::Dag& dag,
+                                 const std::string& ref,
+                                 const std::vector<std::string>& selected,
+                                 uint64_t run_span);
+  Result<RunReport> ExecuteNaive(const pipeline::Dag& dag,
+                                 const std::string& ref,
+                                 const std::vector<std::string>& selected,
+                                 uint64_t run_span);
   /// Wavefront variant of ExecuteNaive: ready nodes dispatch together
   /// through ServerlessExecutor::InvokeWave. Produces the same artifacts,
   /// expectation outcomes and spill metrics as the sequential walk (the
   /// bodies are identical; only the schedule differs).
-  Result<PipelineRunReport> ExecuteParallelNaive(
+  Result<RunReport> ExecuteParallelNaive(
       const pipeline::Dag& dag, const std::string& ref,
-      const std::vector<std::string>& selected, int parallelism);
+      const std::vector<std::string>& selected, int parallelism,
+      uint64_t run_span);
 
   /// The per-node FunctionRequest both naive paths dispatch: inputs list
   /// every upstream artifact, memory is sized from their bytes, and the
   /// body (scan sources, fetch spills, run the node, spill the output)
   /// writes its results into `node_report` and the shared context.
+  /// `node_span` parents the body's scan/sql/expectation/spill spans.
   runtime::FunctionRequest BuildNaiveRequest(
       internal::NaiveRunContext& ctx, const std::string& name,
-      NodeReport* node_report);
+      NodeExecution* node_report, uint64_t node_span);
 
   /// Container spec for a node (interpreter + its requirement set mapped
   /// onto synthetic packages).
@@ -122,6 +105,7 @@ class PipelineRunner {
   const table::TableOps* ops_;
   runtime::ServerlessExecutor* executor_;
   storage::MeteredObjectStore* spill_store_;
+  observability::Tracer* tracer_;
 };
 
 }  // namespace bauplan::core

@@ -4,6 +4,26 @@
 
 namespace bauplan::core {
 
+QueryResultCache::QueryResultCache(
+    uint64_t capacity_bytes, observability::MetricsRegistry* registry)
+    : capacity_bytes_(capacity_bytes) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<observability::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  hits_ = registry->GetCounter("query_cache.hits");
+  misses_ = registry->GetCounter("query_cache.misses");
+  evictions_ = registry->GetCounter("query_cache.evictions");
+}
+
+QueryResultCache::Stats QueryResultCache::stats() const {
+  Stats snapshot;
+  snapshot.hits = hits_->Value();
+  snapshot.misses = misses_->Value();
+  snapshot.evictions = evictions_->Value();
+  return snapshot;
+}
+
 std::string QueryResultCache::MakeKey(const std::string& sql,
                                       const std::string& commit_id) {
   return FingerprintHex(sql) + ":" + commit_id;
@@ -15,12 +35,12 @@ bool QueryResultCache::Lookup(const std::string& sql,
   if (capacity_bytes_ == 0) return false;
   auto it = entries_.find(MakeKey(sql, commit_id));
   if (it == entries_.end()) {
-    ++stats_.misses;
+    misses_->Increment();
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   *out = it->second->table;
-  ++stats_.hits;
+  hits_->Increment();
   return true;
 }
 
@@ -44,7 +64,7 @@ void QueryResultCache::EvictUntilFits(uint64_t incoming) {
     used_bytes_ -= victim.bytes;
     entries_.erase(victim.key);
     lru_.pop_back();
-    ++stats_.evictions;
+    evictions_->Increment();
   }
 }
 

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <string>
 #include <unordered_map>
 
 #include "columnar/table.h"
+#include "observability/metrics.h"
 
 namespace bauplan::core {
 
@@ -25,9 +27,12 @@ class QueryResultCache {
   };
 
   /// `capacity_bytes` bounds the total EstimatedBytes of cached tables;
-  /// 0 disables caching entirely.
-  explicit QueryResultCache(uint64_t capacity_bytes = 256ull << 20)
-      : capacity_bytes_(capacity_bytes) {}
+  /// 0 disables caching entirely. Does not own `registry`; counters
+  /// register as "query_cache.*" instruments, with a private fallback
+  /// registry when null.
+  explicit QueryResultCache(
+      uint64_t capacity_bytes = 256ull << 20,
+      observability::MetricsRegistry* registry = nullptr);
 
   /// Looks up a result; copies it into `out` on a hit.
   bool Lookup(const std::string& sql, const std::string& commit_id,
@@ -38,7 +43,8 @@ class QueryResultCache {
   void Insert(const std::string& sql, const std::string& commit_id,
               const columnar::Table& table);
 
-  const Stats& stats() const { return stats_; }
+  /// Snapshot by value; call again for fresh numbers.
+  Stats stats() const;
   uint64_t used_bytes() const { return used_bytes_; }
   size_t entry_count() const { return entries_.size(); }
 
@@ -59,7 +65,10 @@ class QueryResultCache {
   uint64_t used_bytes_ = 0;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
-  Stats stats_;
+  std::unique_ptr<observability::MetricsRegistry> owned_registry_;
+  observability::Counter* hits_;
+  observability::Counter* misses_;
+  observability::Counter* evictions_;
 };
 
 }  // namespace bauplan::core

@@ -1,0 +1,260 @@
+#include "observability/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace bauplan::observability {
+
+// ----------------------------------------------------------------- Trace
+
+const Span* Trace::Find(uint64_t id) const {
+  for (const Span& span : spans) {
+    if (span.id == id) return &span;
+  }
+  return nullptr;
+}
+
+std::vector<const Span*> Trace::ChildrenOf(uint64_t id) const {
+  std::vector<const Span*> children;
+  for (const Span& span : spans) {
+    if (span.parent_id == id && span.id != id) children.push_back(&span);
+  }
+  return children;
+}
+
+uint64_t Trace::TotalMicros() const {
+  const Span* r = root();
+  return r == nullptr ? 0 : r->DurationMicros();
+}
+
+uint64_t Trace::SumByKind(const std::string& kind) const {
+  uint64_t total = 0;
+  for (const Span& span : spans) {
+    if (span.kind == kind) total += span.DurationMicros();
+  }
+  return total;
+}
+
+std::string Trace::ToJson() const {
+  std::ostringstream out;
+  out << "{\"version\":" << kSchemaVersion << ",\"root_id\":" << root_id
+      << ",\"spans\":[";
+  bool first_span = true;
+  for (const Span& span : spans) {
+    if (!first_span) out << ",";
+    first_span = false;
+    out << "{\"id\":" << span.id << ",\"parent_id\":" << span.parent_id
+        << ",\"name\":\"" << JsonEscape(span.name) << "\",\"kind\":\""
+        << JsonEscape(span.kind) << "\",\"start_micros\":"
+        << span.start_micros << ",\"end_micros\":" << span.end_micros
+        << ",\"duration_micros\":" << span.DurationMicros();
+    if (!span.attributes.empty()) {
+      auto sorted = span.attributes;
+      std::sort(sorted.begin(), sorted.end());
+      out << ",\"attributes\":{";
+      bool first_attr = true;
+      for (const auto& [key, value] : sorted) {
+        if (!first_attr) out << ",";
+        first_attr = false;
+        out << "\"" << JsonEscape(key) << "\":\"" << JsonEscape(value)
+            << "\"";
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+// ---------------------------------------------------------------- Tracer
+
+uint64_t Tracer::StartSpan(const std::string& name, const std::string& kind,
+                           uint64_t parent_id) {
+  return StartSpanAt(name, kind, parent_id, clock_->NowMicros());
+}
+
+uint64_t Tracer::StartSpanAt(const std::string& name,
+                             const std::string& kind, uint64_t parent_id,
+                             uint64_t start_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.id = next_id_++;
+  span.parent_id = parent_id;
+  span.name = name;
+  span.kind = kind;
+  span.start_micros = start_micros;
+  span.end_micros = start_micros;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(uint64_t id) { EndSpanAt(id, clock_->NowMicros()); }
+
+void Tracer::EndSpanAt(uint64_t id, uint64_t end_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Span& span : spans_) {
+    if (span.id == id) {
+      span.end_micros = end_micros;
+      return;
+    }
+  }
+}
+
+void Tracer::SetSpanInterval(uint64_t id, uint64_t start_micros,
+                             uint64_t end_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Span& span : spans_) {
+    if (span.id == id) {
+      span.start_micros = start_micros;
+      span.end_micros = end_micros;
+      return;
+    }
+  }
+}
+
+void Tracer::SetSpanParent(uint64_t id, uint64_t parent_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Span& span : spans_) {
+    if (span.id == id) {
+      span.parent_id = parent_id;
+      return;
+    }
+  }
+}
+
+void Tracer::AddAttribute(uint64_t id, const std::string& key,
+                          const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Span& span : spans_) {
+    if (span.id == id) {
+      span.attributes.emplace_back(key, value);
+      return;
+    }
+  }
+}
+
+void Tracer::ShiftDescendants(uint64_t id, int64_t delta_micros) {
+  if (delta_micros == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Collect the strict descendants via the parent links (the graph is a
+  // forest and span counts per run are small).
+  std::map<uint64_t, std::vector<Span*>> children;
+  for (Span& span : spans_) children[span.parent_id].push_back(&span);
+  std::vector<uint64_t> frontier{id};
+  while (!frontier.empty()) {
+    uint64_t current = frontier.back();
+    frontier.pop_back();
+    auto it = children.find(current);
+    if (it == children.end()) continue;
+    for (Span* child : it->second) {
+      if (child->id == current) continue;
+      child->start_micros = static_cast<uint64_t>(
+          static_cast<int64_t>(child->start_micros) + delta_micros);
+      child->end_micros = static_cast<uint64_t>(
+          static_cast<int64_t>(child->end_micros) + delta_micros);
+      frontier.push_back(child->id);
+    }
+  }
+}
+
+Trace Tracer::ExtractTrace(uint64_t root_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Collect the subtree (ids are unique, the graph is a forest).
+  std::map<uint64_t, std::vector<const Span*>> children;
+  const Span* root = nullptr;
+  for (const Span& span : spans_) {
+    if (span.id == root_id) root = &span;
+    children[span.parent_id].push_back(&span);
+  }
+  Trace trace;
+  if (root == nullptr) return trace;
+
+  // Depth-first from the root, children in (start, kind, name) order —
+  // canonical regardless of the thread arrival order during a wave.
+  auto by_schedule = [](const Span* a, const Span* b) {
+    return std::tie(a->start_micros, a->kind, a->name, a->id) <
+           std::tie(b->start_micros, b->kind, b->name, b->id);
+  };
+  std::vector<std::pair<const Span*, uint64_t>> stack;  // {span, new parent}
+  stack.emplace_back(root, 0);
+  std::vector<uint64_t> extracted_ids;
+  uint64_t next_new_id = 1;
+  while (!stack.empty()) {
+    auto [span, new_parent] = stack.back();
+    stack.pop_back();
+    Span copy = *span;
+    extracted_ids.push_back(span->id);
+    copy.parent_id = new_parent;
+    copy.id = next_new_id++;
+    uint64_t new_id = copy.id;
+    trace.spans.push_back(std::move(copy));
+    auto it = children.find(span->id);
+    if (it != children.end()) {
+      auto kids = it->second;
+      std::sort(kids.begin(), kids.end(), by_schedule);
+      // Reverse push so the stack pops them in sorted order.
+      for (auto kid = kids.rbegin(); kid != kids.rend(); ++kid) {
+        stack.emplace_back(*kid, new_id);
+      }
+    }
+  }
+  trace.root_id = 1;
+
+  // Remove the extracted spans from the working set.
+  std::sort(extracted_ids.begin(), extracted_ids.end());
+  spans_.erase(std::remove_if(spans_.begin(), spans_.end(),
+                              [&](const Span& span) {
+                                return std::binary_search(
+                                    extracted_ids.begin(),
+                                    extracted_ids.end(), span.id);
+                              }),
+               spans_.end());
+  return trace;
+}
+
+size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+// ------------------------------------------------------------------ json
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace bauplan::observability

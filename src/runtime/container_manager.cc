@@ -6,8 +6,42 @@ namespace bauplan::runtime {
 
 ContainerManager::ContainerManager(Clock* clock,
                                    PackageCache* package_cache,
-                                   Options options)
-    : clock_(clock), package_cache_(package_cache), options_(options) {}
+                                   Options options,
+                                   observability::MetricsRegistry* registry)
+    : clock_(clock), package_cache_(package_cache), options_(options) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<observability::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  cold_starts_ = registry->GetCounter("containers.cold_starts");
+  frozen_resumes_ = registry->GetCounter("containers.frozen_resumes");
+  warm_reuses_ = registry->GetCounter("containers.warm_reuses");
+  evictions_ = registry->GetCounter("containers.evictions");
+  startup_micros_total_ =
+      registry->GetCounter("containers.startup_micros_total");
+  startup_micros_ = registry->GetHistogram("containers.startup_micros");
+  pool_size_gauge_ = registry->GetGauge("containers.pool_size");
+}
+
+ContainerManagerMetrics ContainerManager::metrics() const {
+  ContainerManagerMetrics snapshot;
+  snapshot.cold_starts = cold_starts_->Value();
+  snapshot.frozen_resumes = frozen_resumes_->Value();
+  snapshot.warm_reuses = warm_reuses_->Value();
+  snapshot.evictions = evictions_->Value();
+  snapshot.startup_micros_total =
+      static_cast<uint64_t>(startup_micros_total_->Value());
+  return snapshot;
+}
+
+void ContainerManager::ResetMetrics() {
+  cold_starts_->Reset();
+  frozen_resumes_->Reset();
+  warm_reuses_->Reset();
+  evictions_->Reset();
+  startup_micros_total_->Reset();
+  startup_micros_->Reset();
+}
 
 uint64_t ContainerManager::ColdStartMicros(const ContainerSpec& spec) {
   const ContainerCostModel& cost = options_.cost;
@@ -48,7 +82,7 @@ Result<Acquisition> ContainerManager::Acquire(const ContainerSpec& spec) {
     acq.container_id = warm->id;
     warm->in_use = true;
     warm->last_used_micros = clock_->NowMicros();
-    ++metrics_.warm_reuses;
+    warm_reuses_->Increment();
   } else if (frozen != nullptr) {
     acq.kind = StartKind::kFrozenResume;
     acq.startup_micros = options_.cost.resume_micros;
@@ -57,7 +91,7 @@ Result<Acquisition> ContainerManager::Acquire(const ContainerSpec& spec) {
     frozen->in_use = true;
     frozen->last_used_micros = clock_->NowMicros();
     acq.container_id = frozen->id;
-    ++metrics_.frozen_resumes;
+    frozen_resumes_->Increment();
   } else {
     // Make room before booting a new container; refuse when every slot
     // is held by a running function (the caller unwinds its memory
@@ -79,9 +113,12 @@ Result<Acquisition> ContainerManager::Acquire(const ContainerSpec& spec) {
     c.last_used_micros = clock_->NowMicros();
     acq.container_id = c.id;
     containers_.emplace(c.id, std::move(c));
-    ++metrics_.cold_starts;
+    cold_starts_->Increment();
   }
-  metrics_.startup_micros_total += acq.startup_micros;
+  startup_micros_total_->Increment(
+      static_cast<int64_t>(acq.startup_micros));
+  startup_micros_->Observe(acq.startup_micros);
+  pool_size_gauge_->Set(static_cast<int64_t>(containers_.size()));
   return acq;
 }
 
@@ -117,7 +154,7 @@ bool ContainerManager::EvictOneFrozen() {
   }
   if (victim == containers_.end()) return false;  // everything is in use
   containers_.erase(victim);
-  ++metrics_.evictions;
+  evictions_->Increment();
   return true;
 }
 

@@ -3,18 +3,21 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "observability/metrics.h"
 #include "runtime/container.h"
 #include "runtime/package_cache.h"
 
 namespace bauplan::runtime {
 
-/// Counters across the manager's lifetime.
+/// Point-in-time counter snapshot across the manager's lifetime (built
+/// from "containers.*" registry instruments on each call).
 struct ContainerManagerMetrics {
   int64_t cold_starts = 0;
   int64_t frozen_resumes = 0;
@@ -49,9 +52,12 @@ class ContainerManager {
     size_t max_containers = 64;
   };
 
-  /// Does not own `clock` or `package_cache`.
+  /// Does not own `clock`, `package_cache` or `registry`. Counters
+  /// register as "containers.*" instruments; with a null `registry` the
+  /// manager keeps a private one.
   ContainerManager(Clock* clock, PackageCache* package_cache,
-                   Options options);
+                   Options options,
+                   observability::MetricsRegistry* registry = nullptr);
   ContainerManager(Clock* clock, PackageCache* package_cache)
       : ContainerManager(clock, package_cache, Options()) {}
 
@@ -66,8 +72,9 @@ class ContainerManager {
   /// same DAG execution, at the cost of held memory).
   Status Release(int64_t container_id, bool freeze = true);
 
-  const ContainerManagerMetrics& metrics() const { return metrics_; }
-  void ResetMetrics() { metrics_ = ContainerManagerMetrics(); }
+  /// Snapshot by value; call again for fresh numbers.
+  ContainerManagerMetrics metrics() const;
+  void ResetMetrics();
 
   size_t pool_size() const;
 
@@ -85,7 +92,14 @@ class ContainerManager {
   mutable std::mutex mu_;
   std::map<int64_t, Container> containers_;
   int64_t next_id_ = 1;
-  ContainerManagerMetrics metrics_;
+  std::unique_ptr<observability::MetricsRegistry> owned_registry_;
+  observability::Counter* cold_starts_;
+  observability::Counter* frozen_resumes_;
+  observability::Counter* warm_reuses_;
+  observability::Counter* evictions_;
+  observability::Counter* startup_micros_total_;
+  observability::Histogram* startup_micros_;
+  observability::Gauge* pool_size_gauge_;
 };
 
 }  // namespace bauplan::runtime

@@ -2,23 +2,58 @@
 
 namespace bauplan::runtime {
 
+PackageCache::PackageCache(Clock* clock, Options options,
+                           observability::MetricsRegistry* registry)
+    : clock_(clock), options_(options) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<observability::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  hits_ = registry->GetCounter("package_cache.hits");
+  misses_ = registry->GetCounter("package_cache.misses");
+  bytes_downloaded_ = registry->GetCounter("package_cache.bytes_downloaded");
+  bytes_evicted_ = registry->GetCounter("package_cache.bytes_evicted");
+  fetch_micros_total_ =
+      registry->GetCounter("package_cache.fetch_micros_total");
+}
+
+PackageCacheMetrics PackageCache::metrics() const {
+  PackageCacheMetrics snapshot;
+  snapshot.hits = hits_->Value();
+  snapshot.misses = misses_->Value();
+  snapshot.bytes_downloaded =
+      static_cast<uint64_t>(bytes_downloaded_->Value());
+  snapshot.bytes_evicted = static_cast<uint64_t>(bytes_evicted_->Value());
+  snapshot.fetch_micros_total =
+      static_cast<uint64_t>(fetch_micros_total_->Value());
+  return snapshot;
+}
+
+void PackageCache::ResetMetrics() {
+  hits_->Reset();
+  misses_->Reset();
+  bytes_downloaded_->Reset();
+  bytes_evicted_->Reset();
+  fetch_micros_total_->Reset();
+}
+
 uint64_t PackageCache::Fetch(const Package& pkg) {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t micros = 0;
   auto it = entries_.find(pkg.name);
   if (it != entries_.end()) {
     // Hit: read from local disk, refresh recency.
-    ++metrics_.hits;
+    hits_->Increment();
     micros = options_.disk_access_micros +
              pkg.size_bytes * 1000000 / options_.disk_bytes_per_second;
     lru_.splice(lru_.begin(), lru_, it->second);
   } else {
     // Miss: download, then insert (evicting LRU entries as needed).
-    ++metrics_.misses;
+    misses_->Increment();
     micros = options_.download_request_micros +
              pkg.size_bytes * 1000000 /
                  options_.download_bytes_per_second;
-    metrics_.bytes_downloaded += pkg.size_bytes;
+    bytes_downloaded_->Increment(static_cast<int64_t>(pkg.size_bytes));
     if (pkg.size_bytes <= options_.capacity_bytes) {
       EvictUntilFits(pkg.size_bytes);
       lru_.push_front(pkg);
@@ -27,7 +62,7 @@ uint64_t PackageCache::Fetch(const Package& pkg) {
     }
   }
   clock_->AdvanceMicros(micros);
-  metrics_.fetch_micros_total += micros;
+  fetch_micros_total_->Increment(static_cast<int64_t>(micros));
   return micros;
 }
 
@@ -36,7 +71,7 @@ void PackageCache::EvictUntilFits(uint64_t incoming_bytes) {
          used_bytes_ + incoming_bytes > options_.capacity_bytes) {
     const Package& victim = lru_.back();
     used_bytes_ -= victim.size_bytes;
-    metrics_.bytes_evicted += victim.size_bytes;
+    bytes_evicted_->Increment(static_cast<int64_t>(victim.size_bytes));
     entries_.erase(victim.name);
     lru_.pop_back();
   }

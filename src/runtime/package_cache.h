@@ -3,17 +3,20 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "common/clock.h"
+#include "observability/metrics.h"
 #include "runtime/package.h"
 
 namespace bauplan::runtime {
 
-/// Counters for the package cache (the Fig.-adjacent numbers of the
-/// package-cache bench).
+/// Point-in-time counter snapshot for the package cache (the
+/// Fig.-adjacent numbers of the package-cache bench), built from
+/// "package_cache.*" registry instruments.
 struct PackageCacheMetrics {
   int64_t hits = 0;
   int64_t misses = 0;
@@ -47,9 +50,11 @@ class PackageCache {
     uint64_t disk_access_micros = 100;
   };
 
-  /// Does not own `clock`.
-  PackageCache(Clock* clock, Options options)
-      : clock_(clock), options_(options) {}
+  /// Does not own `clock` or `registry`. Counters register as
+  /// "package_cache.*" instruments; with a null `registry` the cache
+  /// keeps a private one.
+  PackageCache(Clock* clock, Options options,
+               observability::MetricsRegistry* registry = nullptr);
 
   /// Makes `pkg` available locally, charging the clock; returns the
   /// simulated micros this fetch took.
@@ -63,11 +68,9 @@ class PackageCache {
     std::lock_guard<std::mutex> lock(mu_);
     return used_bytes_;
   }
-  const PackageCacheMetrics& metrics() const { return metrics_; }
-  void ResetMetrics() {
-    std::lock_guard<std::mutex> lock(mu_);
-    metrics_ = PackageCacheMetrics();
-  }
+  /// Snapshot by value; call again for fresh numbers.
+  PackageCacheMetrics metrics() const;
+  void ResetMetrics();
 
   /// Drops everything (a fresh node with a cold disk).
   void Clear();
@@ -82,7 +85,12 @@ class PackageCache {
   std::list<Package> lru_;
   std::unordered_map<std::string, std::list<Package>::iterator> entries_;
   uint64_t used_bytes_ = 0;
-  PackageCacheMetrics metrics_;
+  std::unique_ptr<observability::MetricsRegistry> owned_registry_;
+  observability::Counter* hits_;
+  observability::Counter* misses_;
+  observability::Counter* bytes_downloaded_;
+  observability::Counter* bytes_evicted_;
+  observability::Counter* fetch_micros_total_;
 };
 
 }  // namespace bauplan::runtime

@@ -6,12 +6,24 @@
 
 namespace bauplan::runtime {
 
-Scheduler::Scheduler(Clock* clock, Options options)
+Scheduler::Scheduler(Clock* clock, Options options,
+                     observability::MetricsRegistry* registry)
     : clock_(clock),
       options_(options),
       used_memory_(static_cast<size_t>(options.num_workers), 0),
       peak_memory_(static_cast<size_t>(options.num_workers), 0),
-      busy_until_micros_(static_cast<size_t>(options.num_workers), 0) {}
+      busy_until_micros_(static_cast<size_t>(options.num_workers), 0) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<observability::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  locality_hits_ = registry->GetCounter("scheduler.locality_hits");
+  locality_misses_ = registry->GetCounter("scheduler.locality_misses");
+  bytes_moved_ = registry->GetCounter("scheduler.bytes_moved");
+  placements_ = registry->GetCounter("scheduler.placements");
+  peak_memory_gauge_ =
+      registry->GetGauge("scheduler.peak_worker_memory_bytes");
+}
 
 Result<Placement> Scheduler::Place(const std::vector<ArtifactRef>& inputs,
                                    uint64_t memory_bytes) {
@@ -48,7 +60,7 @@ Result<Placement> Scheduler::Place(const std::vector<ArtifactRef>& inputs,
   if (preferred >= 0 && FreeMemoryLocked(preferred) >= memory_bytes) {
     placement.worker = preferred;
     placement.locality_hit = true;
-    ++locality_hits_;
+    locality_hits_->Increment();
   } else {
     // Round-robin over workers with room.
     for (int i = 0; i < options_.num_workers; ++i) {
@@ -63,7 +75,7 @@ Result<Placement> Scheduler::Place(const std::vector<ArtifactRef>& inputs,
       return Status::ResourceExhausted(
           StrCat("no worker has ", FormatBytes(memory_bytes), " free"));
     }
-    if (!inputs.empty()) ++locality_misses_;
+    if (!inputs.empty()) locality_misses_->Increment();
   }
 
   // Inputs not resident on the chosen worker move across the network
@@ -85,13 +97,16 @@ Result<Placement> Scheduler::Place(const std::vector<ArtifactRef>& inputs,
         placement.bytes_moved * 1000000 /
             options_.network_bytes_per_second;
     clock_->AdvanceMicros(placement.transfer_micros);
-    total_bytes_moved_ += placement.bytes_moved;
+    bytes_moved_->Increment(static_cast<int64_t>(placement.bytes_moved));
   }
 
+  placements_->Increment();
   used_memory_[static_cast<size_t>(placement.worker)] += memory_bytes;
   peak_memory_[static_cast<size_t>(placement.worker)] =
       std::max(peak_memory_[static_cast<size_t>(placement.worker)],
                used_memory_[static_cast<size_t>(placement.worker)]);
+  peak_memory_gauge_->SetMax(static_cast<int64_t>(
+      peak_memory_[static_cast<size_t>(placement.worker)]));
   return placement;
 }
 
@@ -164,18 +179,15 @@ uint64_t Scheduler::peak_memory(int worker) const {
 }
 
 int64_t Scheduler::locality_hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return locality_hits_;
+  return locality_hits_->Value();
 }
 
 int64_t Scheduler::locality_misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return locality_misses_;
+  return locality_misses_->Value();
 }
 
 uint64_t Scheduler::total_bytes_moved() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return total_bytes_moved_;
+  return static_cast<uint64_t>(bytes_moved_->Value());
 }
 
 }  // namespace bauplan::runtime

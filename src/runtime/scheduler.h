@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "observability/metrics.h"
 
 namespace bauplan::runtime {
 
@@ -53,8 +55,11 @@ class Scheduler {
     bool locality_aware = true;
   };
 
-  /// Does not own `clock`.
-  Scheduler(Clock* clock, Options options);
+  /// Does not own `clock` or `registry`. Locality and transfer counters
+  /// register as "scheduler.*" instruments; with a null `registry` the
+  /// scheduler keeps a private one.
+  Scheduler(Clock* clock, Options options,
+            observability::MetricsRegistry* registry = nullptr);
 
   /// Picks a worker for a function reading `inputs` (possibly empty),
   /// reserving `memory_bytes` on it. Prefers the worker holding the most
@@ -112,9 +117,13 @@ class Scheduler {
   std::vector<uint64_t> busy_until_micros_;
   std::map<std::string, int> artifact_locations_;
   int next_round_robin_ = 0;
-  int64_t locality_hits_ = 0;
-  int64_t locality_misses_ = 0;
-  uint64_t total_bytes_moved_ = 0;
+  /// Registry-backed counters (shared with the platform dump).
+  std::unique_ptr<observability::MetricsRegistry> owned_registry_;
+  observability::Counter* locality_hits_;
+  observability::Counter* locality_misses_;
+  observability::Counter* bytes_moved_;
+  observability::Counter* placements_;
+  observability::Gauge* peak_memory_gauge_;
 };
 
 }  // namespace bauplan::runtime

@@ -9,14 +9,25 @@ Result<QueryResult> RunQuery(std::string_view sql,
                              const SchemaResolver& resolver,
                              TableSource* source,
                              const QueryOptions& options) {
-  BAUPLAN_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
-  BAUPLAN_ASSIGN_OR_RETURN(PlanPtr plan, PlanQuery(stmt, resolver));
   QueryResult result;
-  if (options.capture_plans) result.logical_plan = plan->ToString();
-  BAUPLAN_ASSIGN_OR_RETURN(plan, OptimizePlan(plan, options.optimizer));
-  if (options.capture_plans) result.physical_plan = plan->ToString();
-  BAUPLAN_ASSIGN_OR_RETURN(result.table,
-                           ExecutePlan(*plan, source, &result.stats));
+  PlanPtr plan;
+  {
+    observability::ScopedSpan plan_span(options.tracer, "plan",
+                                        observability::span_kind::kPlan,
+                                        options.parent_span);
+    BAUPLAN_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
+    BAUPLAN_ASSIGN_OR_RETURN(plan, PlanQuery(stmt, resolver));
+    if (options.capture_plans) result.logical_plan = plan->ToString();
+    BAUPLAN_ASSIGN_OR_RETURN(plan, OptimizePlan(plan, options.optimizer));
+    if (options.capture_plans) result.physical_plan = plan->ToString();
+  }
+  {
+    observability::ScopedSpan exec_span(
+        options.tracer, "execute", observability::span_kind::kExecute,
+        options.parent_span);
+    BAUPLAN_ASSIGN_OR_RETURN(result.table,
+                             ExecutePlan(*plan, source, &result.stats));
+  }
   result.stats.rows_output = result.table.num_rows();
   return result;
 }

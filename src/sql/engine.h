@@ -7,6 +7,7 @@
 
 #include "columnar/table.h"
 #include "common/result.h"
+#include "observability/trace.h"
 #include "sql/executor.h"
 #include "sql/optimizer.h"
 #include "sql/planner.h"
@@ -19,6 +20,10 @@ struct QueryOptions {
   /// When true the plan text (pre- and post-optimization) is captured in
   /// the result, like EXPLAIN ANALYZE.
   bool capture_plans = false;
+  /// When set, the engine opens plan/execute child spans under
+  /// `parent_span` (the caller's query span). Not owned.
+  observability::Tracer* tracer = nullptr;
+  uint64_t parent_span = 0;
 };
 
 /// Everything a query run produces.
@@ -30,6 +35,9 @@ struct QueryResult {
   /// True when a platform-level result cache served this (the engine
   /// itself never sets it).
   bool from_cache = false;
+  /// query -> plan -> execute span tree (the platform facade extracts it
+  /// when it owns a tracer; empty otherwise).
+  observability::Trace trace;
 };
 
 /// The embedded analytical engine (DuckDB stand-in): parse -> bind/plan ->

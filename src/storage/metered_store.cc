@@ -2,32 +2,82 @@
 
 namespace bauplan::storage {
 
+MeteredObjectStore::MeteredObjectStore(
+    ObjectStore* base, Clock* clock, LatencyModel latency, CostModel cost,
+    std::string metric_prefix, observability::MetricsRegistry* registry)
+    : base_(base),
+      clock_(clock),
+      latency_(latency),
+      cost_(cost),
+      metric_prefix_(std::move(metric_prefix)) {
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<observability::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  gets_ = registry->GetCounter(metric_prefix_ + ".gets");
+  puts_ = registry->GetCounter(metric_prefix_ + ".puts");
+  heads_ = registry->GetCounter(metric_prefix_ + ".heads");
+  lists_ = registry->GetCounter(metric_prefix_ + ".lists");
+  deletes_ = registry->GetCounter(metric_prefix_ + ".deletes");
+  bytes_read_ = registry->GetCounter(metric_prefix_ + ".bytes_read");
+  bytes_written_ = registry->GetCounter(metric_prefix_ + ".bytes_written");
+  simulated_micros_ =
+      registry->GetCounter(metric_prefix_ + ".simulated_micros");
+  credits_ = registry->GetDoubleCounter(metric_prefix_ + ".credits");
+}
+
+StoreMetrics MeteredObjectStore::metrics() const {
+  StoreMetrics snapshot;
+  snapshot.gets = gets_->Value();
+  snapshot.puts = puts_->Value();
+  snapshot.heads = heads_->Value();
+  snapshot.lists = lists_->Value();
+  snapshot.deletes = deletes_->Value();
+  snapshot.bytes_read = bytes_read_->Value();
+  snapshot.bytes_written = bytes_written_->Value();
+  snapshot.simulated_micros =
+      static_cast<uint64_t>(simulated_micros_->Value());
+  snapshot.credits = credits_->Value();
+  return snapshot;
+}
+
+void MeteredObjectStore::ResetMetrics() {
+  gets_->Reset();
+  puts_->Reset();
+  heads_->Reset();
+  lists_->Reset();
+  deletes_->Reset();
+  bytes_read_->Reset();
+  bytes_written_->Reset();
+  simulated_micros_->Reset();
+  credits_->Reset();
+}
+
 void MeteredObjectStore::Charge(StoreOp op, uint64_t nbytes) const {
   uint64_t micros = latency_.MicrosFor(op, nbytes);
   clock_->AdvanceMicros(micros);
-  std::lock_guard<std::mutex> lock(mu_);
-  metrics_.simulated_micros += micros;
+  simulated_micros_->Increment(static_cast<int64_t>(micros));
   switch (op) {
     case StoreOp::kGet:
-      ++metrics_.gets;
-      metrics_.bytes_read += static_cast<int64_t>(nbytes);
-      metrics_.credits += cost_.CreditsFor(nbytes);
+      gets_->Increment();
+      bytes_read_->Increment(static_cast<int64_t>(nbytes));
+      credits_->Add(cost_.CreditsFor(nbytes));
       break;
     case StoreOp::kPut:
-      ++metrics_.puts;
-      metrics_.bytes_written += static_cast<int64_t>(nbytes);
-      metrics_.credits += cost_.CreditsFor(nbytes);
+      puts_->Increment();
+      bytes_written_->Increment(static_cast<int64_t>(nbytes));
+      credits_->Add(cost_.CreditsFor(nbytes));
       break;
     case StoreOp::kHead:
-      ++metrics_.heads;
-      metrics_.credits += cost_.CreditsFor(0);
+      heads_->Increment();
+      credits_->Add(cost_.CreditsFor(0));
       break;
     case StoreOp::kList:
-      ++metrics_.lists;
-      metrics_.credits += cost_.CreditsFor(0);
+      lists_->Increment();
+      credits_->Add(cost_.CreditsFor(0));
       break;
     case StoreOp::kDelete:
-      ++metrics_.deletes;
+      deletes_->Increment();
       break;
   }
 }

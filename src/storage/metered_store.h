@@ -1,19 +1,22 @@
 #ifndef BAUPLAN_STORAGE_METERED_STORE_H_
 #define BAUPLAN_STORAGE_METERED_STORE_H_
 
-#include <mutex>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "observability/metrics.h"
 #include "storage/latency_model.h"
 #include "storage/object_store.h"
 
 namespace bauplan::storage {
 
-/// Running totals of everything a metered store did. The fusion benchmark
-/// (paper section 4.4.2) compares exactly these counters between the naive
-/// spill-through-storage execution and the fused in-memory one.
+/// Point-in-time totals of everything a metered store did. The fusion
+/// benchmark (paper section 4.4.2) compares exactly these counters
+/// between the naive spill-through-storage execution and the fused
+/// in-memory one. Built on demand from the store's registry instruments
+/// — this is a snapshot value, not a live reference.
 struct StoreMetrics {
   int64_t gets = 0;
   int64_t puts = 0;
@@ -38,15 +41,22 @@ struct StoreMetrics {
 /// without a real cloud: backends stay instant, and all timing claims are
 /// read off the simulated clock.
 ///
-/// Thread safety: operations may be called concurrently (metric updates
-/// are serialized internally; the backing store provides its own per-key
+/// Counters live as instruments named "<prefix>.gets", "<prefix>.puts",
+/// ... in a MetricsRegistry, so a platform-wide metrics dump sees every
+/// store alongside the runtime components.
+///
+/// Thread safety: operations may be called concurrently (instrument
+/// updates are atomic; the backing store provides its own per-key
 /// atomicity). metrics() reads are only meaningful when quiescent.
 class MeteredObjectStore : public ObjectStore {
  public:
-  /// Does not take ownership of `base` or `clock`; both must outlive this.
+  /// Does not take ownership of `base`, `clock` or `registry`; all must
+  /// outlive this. Instruments register under `metric_prefix`; with a
+  /// null `registry` the store keeps a private one.
   MeteredObjectStore(ObjectStore* base, Clock* clock, LatencyModel latency,
-                     CostModel cost = {})
-      : base_(base), clock_(clock), latency_(latency), cost_(cost) {}
+                     CostModel cost = {},
+                     std::string metric_prefix = "store",
+                     observability::MetricsRegistry* registry = nullptr);
 
   Status Put(const std::string& key, Bytes data) override;
   Result<Bytes> Get(const std::string& key) const override;
@@ -55,11 +65,14 @@ class MeteredObjectStore : public ObjectStore {
   Result<std::vector<ObjectMeta>> List(
       const std::string& prefix) const override;
 
-  const StoreMetrics& metrics() const { return metrics_; }
-  void ResetMetrics() {
-    std::lock_guard<std::mutex> lock(mu_);
-    metrics_ = StoreMetrics();
-  }
+  /// Snapshot of this store's counters (by value; call again for fresh
+  /// numbers).
+  StoreMetrics metrics() const;
+
+  /// Zeroes this store's instruments (other registry members untouched).
+  void ResetMetrics();
+
+  const std::string& metric_prefix() const { return metric_prefix_; }
 
  private:
   void Charge(StoreOp op, uint64_t nbytes) const;
@@ -68,8 +81,17 @@ class MeteredObjectStore : public ObjectStore {
   Clock* clock_;
   LatencyModel latency_;
   CostModel cost_;
-  mutable std::mutex mu_;
-  mutable StoreMetrics metrics_;
+  std::string metric_prefix_;
+  std::unique_ptr<observability::MetricsRegistry> owned_registry_;
+  observability::Counter* gets_;
+  observability::Counter* puts_;
+  observability::Counter* heads_;
+  observability::Counter* lists_;
+  observability::Counter* deletes_;
+  observability::Counter* bytes_read_;
+  observability::Counter* bytes_written_;
+  observability::Counter* simulated_micros_;
+  observability::DoubleCounter* credits_;
 };
 
 }  // namespace bauplan::storage

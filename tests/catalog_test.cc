@@ -271,5 +271,103 @@ TEST_F(CatalogTest, LogLimit) {
   EXPECT_EQ(log->size(), 3u);
 }
 
+
+// ---------------------------------------------------------------- RefSpec
+
+TEST(RefSpecTest, ParsePlainNameAndDefaults) {
+  EXPECT_EQ(RefSpec().name(), "main");
+  EXPECT_FALSE(RefSpec().has_timestamp());
+
+  auto spec = RefSpec::Parse("feat_1");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->name(), "feat_1");
+  EXPECT_FALSE(spec->has_timestamp());
+  EXPECT_EQ(spec->ToString(), "feat_1");
+}
+
+TEST(RefSpecTest, ParseEpochMicrosSuffix) {
+  auto spec = RefSpec::Parse("main@1680000000000000");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->name(), "main");
+  ASSERT_TRUE(spec->has_timestamp());
+  EXPECT_EQ(spec->timestamp_micros(), 1680000000000000ull);
+  // Round trip through ToString and back.
+  auto again = RefSpec::Parse(spec->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *spec);
+}
+
+TEST(RefSpecTest, ParseIso8601Suffix) {
+  // 2023-04-01T00:00:00 UTC = 1680307200 seconds.
+  auto day = RefSpec::Parse("main@2023-04-01");
+  ASSERT_TRUE(day.ok());
+  EXPECT_EQ(day->timestamp_micros(), 1680307200000000ull);
+
+  auto second = RefSpec::Parse("main@2023-04-01T12:30:05");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->timestamp_micros(),
+            1680307200000000ull + (12ull * 3600 + 30 * 60 + 5) * 1000000);
+}
+
+TEST(RefSpecTest, ParseErrors) {
+  EXPECT_FALSE(RefSpec::Parse("").ok());
+  EXPECT_FALSE(RefSpec::Parse("@123").ok());
+  EXPECT_FALSE(RefSpec::Parse("main@").ok());
+  EXPECT_FALSE(RefSpec::Parse("main@not-a-time").ok());
+  EXPECT_FALSE(RefSpec::Parse("main@2023-13-01").ok());
+}
+
+TEST(RefSpecTest, LenientConversionKeepsRawStringOnBadSuffix) {
+  // The implicit constructor is the migration path for call sites that
+  // pass raw strings; a malformed suffix stays part of the name and
+  // fails later as an unknown ref, not as a parse error.
+  RefSpec bad("main@oops");
+  EXPECT_EQ(bad.name(), "main@oops");
+  EXPECT_FALSE(bad.has_timestamp());
+
+  RefSpec good(std::string("main@1680000000000000"));
+  EXPECT_EQ(good.name(), "main");
+  EXPECT_TRUE(good.has_timestamp());
+}
+
+TEST_F(CatalogTest, ResolveRefSpecWithoutTimestampMatchesResolveRef) {
+  ASSERT_TRUE(Commit("main", "t", "k1").ok());
+  auto by_name = catalog_->ResolveRef("main");
+  auto by_spec = catalog_->Resolve(RefSpec("main"));
+  ASSERT_TRUE(by_spec.ok());
+  EXPECT_EQ(*by_spec, *by_name);
+}
+
+TEST_F(CatalogTest, ResolveAsOfWalksToNewestCommitAtOrBefore) {
+  ASSERT_TRUE(Commit("main", "t", "k1").ok());
+  uint64_t after_first = clock_.NowMicros();
+  clock_.AdvanceMicros(1000000);
+  ASSERT_TRUE(Commit("main", "t", "k2").ok());
+  auto head = catalog_->ResolveRef("main");
+  ASSERT_TRUE(head.ok());
+
+  // As-of the first commit's time: sees k1, not k2.
+  auto pinned = catalog_->Resolve(RefSpec("main", after_first));
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_NE(*pinned, *head);
+  auto tables = catalog_->GetTables(*pinned);
+  ASSERT_TRUE(tables.ok());
+  EXPECT_EQ(tables->at("t"), "k1");
+
+  // As-of now (or later): the head commit.
+  auto at_head = catalog_->Resolve(RefSpec("main", clock_.NowMicros()));
+  ASSERT_TRUE(at_head.ok());
+  EXPECT_EQ(*at_head, *head);
+
+  // As-of before the root commit: nothing to resolve.
+  EXPECT_TRUE(
+      catalog_->Resolve(RefSpec("main", 1)).status().IsNotFound());
+
+  // Unknown ref still errors the usual way.
+  EXPECT_TRUE(catalog_->Resolve(RefSpec("nope", after_first))
+                  .status()
+                  .IsNotFound());
+}
+
 }  // namespace
 }  // namespace bauplan::catalog

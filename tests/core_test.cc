@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "columnar/builder.h"
 #include "columnar/datetime.h"
 #include "core/bauplan.h"
@@ -81,6 +83,44 @@ TEST_F(BauplanTest, QueryAtCommitIsTimeTravel) {
   EXPECT_EQ(then->table.GetValue(0, 0), Value::Int64(taxi_rows_));
 }
 
+TEST_F(BauplanTest, QueryAtTimestampIsAsOfTimeTravel) {
+  uint64_t before = clock_.NowMicros();
+  clock_.AdvanceMicros(2000000);
+  workload::TaxiGenOptions gen;
+  gen.rows = 50;
+  gen.seed = 7;
+  auto extra = workload::GenerateTaxiTable(gen);
+  ASSERT_TRUE(platform_->WriteTable("main", "taxi_table", *extra).ok());
+
+  // "main@<epoch micros>" resolves to the newest commit at or before the
+  // timestamp — the seed data, not the later write.
+  auto then = platform_->Query("SELECT COUNT(*) AS n FROM taxi_table",
+                               "main@" + std::to_string(before));
+  ASSERT_TRUE(then.ok()) << then.status().ToString();
+  EXPECT_EQ(then->table.GetValue(0, 0), Value::Int64(taxi_rows_));
+  auto now = platform_->Query("SELECT COUNT(*) AS n FROM taxi_table");
+  EXPECT_EQ(now->table.GetValue(0, 0), Value::Int64(taxi_rows_ + 50));
+
+  // ReadTable honors the same as-of grammar.
+  auto table = platform_->ReadTable(
+      catalog::RefSpec("main", before), "taxi_table");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), taxi_rows_);
+}
+
+TEST_F(BauplanTest, QueryEmitsPlanAndExecuteSpans) {
+  auto result = platform_->Query("SELECT COUNT(*) AS n FROM taxi_table");
+  ASSERT_TRUE(result.ok());
+  const observability::Span* root = result->trace.root();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->kind, observability::span_kind::kQuery);
+  auto children = result->trace.ChildrenOf(root->id);
+  ASSERT_EQ(children.size(), 2u);
+  std::set<std::string> kinds{children[0]->kind, children[1]->kind};
+  EXPECT_TRUE(kinds.count(observability::span_kind::kPlan));
+  EXPECT_TRUE(kinds.count(observability::span_kind::kExecute));
+}
+
 TEST_F(BauplanTest, QueryErrors) {
   EXPECT_TRUE(platform_->Query("SELECT * FROM nope").status().IsNotFound());
   EXPECT_TRUE(platform_->Query("SELECT * FROM taxi_table", "no_branch")
@@ -96,8 +136,8 @@ TEST_F(BauplanTest, RunPaperPipelineFused) {
   EXPECT_EQ(report->status, "succeeded");
   EXPECT_TRUE(report->merged);
   EXPECT_EQ(report->run_id, 1);
-  ASSERT_EQ(report->execution.nodes.size(), 3u);
-  EXPECT_TRUE(report->execution.all_expectations_passed);
+  ASSERT_EQ(report->nodes.size(), 3u);
+  EXPECT_TRUE(report->all_expectations_passed);
 
   // Artifacts are materialized and queryable on main.
   auto tables = platform_->ListTables("main");
@@ -114,13 +154,53 @@ TEST_F(BauplanTest, RunPaperPipelineFused) {
   EXPECT_GT(pickups->table.num_rows(), 0);
 
   // Fused mode never touched the spill store.
-  EXPECT_EQ(report->execution.spill_metrics.puts, 0);
-  EXPECT_EQ(report->execution.spill_metrics.gets, 0);
+  EXPECT_EQ(report->spill_metrics.puts, 0);
+  EXPECT_EQ(report->spill_metrics.gets, 0);
 
   // No ephemeral branch left behind.
   auto branches = platform_->ListBranches();
   ASSERT_TRUE(branches.ok());
   EXPECT_EQ(branches->size(), 1u);
+}
+
+TEST_F(BauplanTest, RunReportEmbedsTraceAndMetrics) {
+  auto report = platform_->Run(pipeline::MakePaperTaxiPipeline(1.0),
+                               "main");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // The trace root is the run span; its duration is the run makespan.
+  const observability::Span* root = report->trace.root();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->kind, observability::span_kind::kRun);
+  EXPECT_EQ(root->DurationMicros(), report->total_micros);
+  // Fused mode: one invocation span under the run, SQL bodies below it.
+  ASSERT_TRUE(report->fused.has_value());
+  auto children = report->trace.ChildrenOf(root->id);
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0]->kind, observability::span_kind::kInvocation);
+  // One SQL span per model, one per expectation, under the invocation
+  // (zero-width here: the test platform's storage model is instant).
+  size_t sql_spans = 0;
+  size_t expectation_spans = 0;
+  for (const observability::Span& span : report->trace.spans) {
+    if (span.kind == observability::span_kind::kSql) ++sql_spans;
+    if (span.kind == observability::span_kind::kExpectation) {
+      ++expectation_spans;
+    }
+  }
+  EXPECT_EQ(sql_spans, 2u);
+  EXPECT_EQ(expectation_spans, 1u);
+
+  // The metrics snapshot captures platform-wide instruments at run end.
+  EXPECT_GT(report->metrics.Get("store.lake.puts"), 0.0);
+  EXPECT_GT(report->metrics.Get("containers.cold_starts"), 0.0);
+
+  // The versioned JSON export carries all of it.
+  std::string json = report->ToJson();
+  EXPECT_NE(json.find("\"version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\":"), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"run\""), std::string::npos);
 }
 
 TEST_F(BauplanTest, RunNaiveSpillsThroughObjectStore) {
@@ -131,8 +211,8 @@ TEST_F(BauplanTest, RunNaiveSpillsThroughObjectStore) {
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_TRUE(report->merged);
   // The naive mapping spilled trips and pickups and re-read trips twice.
-  EXPECT_GE(report->execution.spill_metrics.puts, 2);
-  EXPECT_GE(report->execution.spill_metrics.gets, 2);
+  EXPECT_GE(report->spill_metrics.puts, 2);
+  EXPECT_GE(report->spill_metrics.gets, 2);
 }
 
 TEST_F(BauplanTest, FusedAndNaiveProduceIdenticalArtifacts) {
@@ -144,8 +224,8 @@ TEST_F(BauplanTest, FusedAndNaiveProduceIdenticalArtifacts) {
                               naive_options);
   ASSERT_TRUE(naive.ok());
 
-  const Table& a = fused->execution.artifacts.at("pickups");
-  const Table& b = naive->execution.artifacts.at("pickups");
+  const Table& a = fused->artifacts.at("pickups");
+  const Table& b = naive->artifacts.at("pickups");
   ASSERT_EQ(a.num_rows(), b.num_rows());
   ASSERT_EQ(a.num_columns(), b.num_columns());
   for (int64_t r = 0; r < a.num_rows(); ++r) {
@@ -211,8 +291,8 @@ TEST_F(BauplanTest, ReplayRunFull) {
   auto replay = platform_->ReplayRun(original->run_id);
   ASSERT_TRUE(replay.ok()) << replay.status().ToString();
   EXPECT_FALSE(replay->merged);
-  const Table& then = original->execution.artifacts.at("pickups");
-  const Table& again = replay->execution.artifacts.at("pickups");
+  const Table& then = original->artifacts.at("pickups");
+  const Table& again = replay->artifacts.at("pickups");
   ASSERT_EQ(then.num_rows(), again.num_rows());
   for (int64_t r = 0; r < then.num_rows(); ++r) {
     for (int c = 0; c < then.num_columns(); ++c) {
@@ -231,15 +311,15 @@ TEST_F(BauplanTest, ReplaySelectorSubset) {
   // `-m pickups+`: only pickups (it has no descendants).
   auto replay = platform_->ReplayRun(original->run_id, "pickups+");
   ASSERT_TRUE(replay.ok()) << replay.status().ToString();
-  ASSERT_EQ(replay->execution.nodes.size(), 1u);
-  EXPECT_EQ(replay->execution.nodes[0].name, "pickups");
+  ASSERT_EQ(replay->nodes.size(), 1u);
+  EXPECT_EQ(replay->nodes[0].name, "pickups");
   // Upstream trips came from the materialized run output.
-  EXPECT_GT(replay->execution.artifacts.at("pickups").num_rows(), 0);
+  EXPECT_GT(replay->artifacts.at("pickups").num_rows(), 0);
 
   // `-m trips+` replays everything downstream of trips.
   auto full = platform_->ReplayRun(original->run_id, "trips+");
   ASSERT_TRUE(full.ok());
-  EXPECT_EQ(full->execution.nodes.size(), 3u);
+  EXPECT_EQ(full->nodes.size(), 3u);
 
   EXPECT_TRUE(
       platform_->ReplayRun(original->run_id, "nope").status().IsNotFound());
