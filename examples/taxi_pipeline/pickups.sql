@@ -1,0 +1,1 @@
+SELECT pickup_location_id, dropoff_location_id, COUNT(*) AS counts FROM trips GROUP BY pickup_location_id, dropoff_location_id ORDER BY counts DESC

@@ -1,0 +1,1 @@
+SELECT pickup_location_id, passenger_count AS count, dropoff_location_id FROM taxi_table WHERE pickup_at >= '2019-04-01'

@@ -49,12 +49,19 @@ commands:
   query -q SQL [-b REF] [--explain] [--explain-metrics]
         run a synchronous SQL query at a branch/tag/commit/"ref@timestamp";
         --explain-metrics dumps the platform metric instruments afterwards
+  check --project DIR [-b REF] [--json]
+        statically analyze a pipeline project against the catalog at REF
+        without running it: reference resolution, column-level schema
+        propagation, expectation validation; exit 0 when clean, 1 when
+        the analyzer reports errors
   run --project DIR [-b BRANCH] [--naive] [--parallel N] [--explain]
-      [--trace-out FILE]
-        execute a pipeline with transform-audit-write semantics;
-        --parallel N dispatches independent nodes of a --naive run as
-        wavefronts with up to N bodies at a time; --trace-out writes the
-        run's hierarchical span trace as JSON
+      [--no-verify] [--trace-out FILE]
+        execute a pipeline with transform-audit-write semantics; the
+        project is statically analyzed first and refused on errors
+        (--no-verify skips this); --parallel N dispatches independent
+        nodes of a --naive run as wavefronts with up to N bodies at a
+        time; --trace-out writes the run's hierarchical span trace as
+        JSON
   run --run-id N [-m NODE[+]] [--trace-out FILE]
         replay a recorded run, sandboxed
   runs  list recorded runs
@@ -105,11 +112,14 @@ const std::map<std::string, std::vector<FlagDef>, std::less<>>& VerbFlags() {
             {"--explain", "", false},
             {"--explain-metrics", "", false},
             kBranchFlag}},
+          {"check",
+           {{"--project", "", true}, {"--json", "", false}, kBranchFlag}},
           {"run",
            {{"--project", "", true},
             {"--naive", "", false},
             {"--parallel", "", true},
             {"--explain", "", false},
+            {"--no-verify", "", false},
             {"--run-id", "", true},
             {"-m", "", true},
             {"--trace-out", "", true},
@@ -340,6 +350,21 @@ int Main(int argc, char** argv) {
     return 0;
   }
 
+  if (command == "check") {
+    if (!args.Has("--project")) {
+      return UsageError("check needs --project DIR");
+    }
+    auto project = LoadProjectFromDir(args.Get("--project"));
+    if (!project.ok()) return Fail(project.status());
+    auto result = bp.Check(*project, *ref);
+    if (!result.ok()) return Fail(result.status());
+    std::string rendered = args.Has("--json")
+                               ? result->diagnostics.ToJson() + "\n"
+                               : result->diagnostics.ToText();
+    std::fputs(rendered.c_str(), stdout);
+    return result->ok() ? 0 : 1;
+  }
+
   if (command == "run") {
     if (args.Has("--run-id")) {
       auto report = bp.ReplayRun(std::atoll(args.Get("--run-id").c_str()),
@@ -368,6 +393,7 @@ int Main(int argc, char** argv) {
     }
     core::PipelineRunOptions options;
     options.fused = !args.Has("--naive");
+    options.verify = !args.Has("--no-verify");
     if (args.Has("--parallel")) {
       int parallelism = std::atoi(args.Get("--parallel", "1").c_str());
       if (parallelism < 1) {

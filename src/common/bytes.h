@@ -36,8 +36,10 @@ class BinaryWriter {
     PutRaw(s.data(), s.size());
   }
 
-  /// Raw bytes, no prefix.
+  /// Raw bytes, no prefix. A zero-size put is a no-op (an empty vector's
+  /// data() may be null, and null + 0 arithmetic is undefined).
   void PutRaw(const void* data, size_t size) {
+    if (size == 0) return;
     const auto* p = static_cast<const uint8_t*>(data);
     buf_.insert(buf_.end(), p, p + size);
   }
@@ -77,16 +79,19 @@ class BinaryReader {
     if (len > Remaining()) {
       return Status::IOError("truncated string in binary payload");
     }
+    if (len == 0) return std::string();
     std::string out(reinterpret_cast<const char*>(data_ + pos_), len);
     pos_ += len;
     return out;
   }
 
-  /// Copies `n` raw bytes out.
+  /// Copies `n` raw bytes out. A zero-size get is a no-op (the underlying
+  /// buffer may be empty with a null data pointer).
   Status GetRaw(void* out, size_t n) {
     if (n > Remaining()) {
       return Status::IOError("truncated binary payload");
     }
+    if (n == 0) return Status::OK();
     std::memcpy(out, data_ + pos_, n);
     pos_ += n;
     return Status::OK();

@@ -1,0 +1,137 @@
+#include "common/diagnostic.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace bauplan {
+
+namespace {
+
+/// Minimal JSON string escaping (common cannot depend on the
+/// observability exporter, which has its own copy for span attributes).
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view DiagnosticSeverityToString(DiagnosticSeverity severity) {
+  switch (severity) {
+    case DiagnosticSeverity::kError:
+      return "error";
+    case DiagnosticSeverity::kWarning:
+      return "warning";
+    case DiagnosticSeverity::kNote:
+      return "note";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out =
+      StrCat(DiagnosticSeverityToString(severity), "[", code, "]");
+  if (!node.empty()) out = StrCat(out, " ", node);
+  if (!location.empty()) out = StrCat(out, " (", location, ")");
+  out = StrCat(out, ": ", message);
+  if (!hint.empty()) out = StrCat(out, "\n  hint: ", hint);
+  return out;
+}
+
+void DiagnosticEngine::Report(Diagnostic diagnostic) {
+  if (diagnostic.severity == DiagnosticSeverity::kError) ++errors_;
+  if (diagnostic.severity == DiagnosticSeverity::kWarning) ++warnings_;
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+Diagnostic& DiagnosticEngine::Error(std::string code, std::string node,
+                                    std::string message) {
+  Diagnostic d;
+  d.code = std::move(code);
+  d.severity = DiagnosticSeverity::kError;
+  d.node = std::move(node);
+  d.message = std::move(message);
+  Report(std::move(d));
+  return diagnostics_.back();
+}
+
+Diagnostic& DiagnosticEngine::Warning(std::string code, std::string node,
+                                      std::string message) {
+  Diagnostic d;
+  d.code = std::move(code);
+  d.severity = DiagnosticSeverity::kWarning;
+  d.node = std::move(node);
+  d.message = std::move(message);
+  Report(std::move(d));
+  return diagnostics_.back();
+}
+
+std::string DiagnosticEngine::ToText() const {
+  std::string out;
+  for (const auto& d : diagnostics_) {
+    out += d.ToString();
+    out += "\n";
+  }
+  if (diagnostics_.empty()) {
+    out += "check: clean\n";
+  } else {
+    out += StrCat("check: ", errors_, " error(s), ", warnings_,
+                  " warning(s)\n");
+  }
+  return out;
+}
+
+std::string DiagnosticEngine::ToJson() const {
+  std::string out = StrCat("{\"version\":1,\"errors\":", errors_,
+                           ",\"warnings\":", warnings_,
+                           ",\"diagnostics\":[");
+  for (size_t i = 0; i < diagnostics_.size(); ++i) {
+    const Diagnostic& d = diagnostics_[i];
+    if (i > 0) out += ",";
+    out += StrCat("{\"code\":\"", EscapeJson(d.code), "\",\"severity\":\"",
+                  DiagnosticSeverityToString(d.severity), "\",\"node\":\"",
+                  EscapeJson(d.node), "\",\"location\":\"",
+                  EscapeJson(d.location), "\",\"message\":\"",
+                  EscapeJson(d.message), "\",\"hint\":\"",
+                  EscapeJson(d.hint), "\"}");
+  }
+  out += "]}";
+  return out;
+}
+
+void DiagnosticEngine::Clear() {
+  diagnostics_.clear();
+  errors_ = 0;
+  warnings_ = 0;
+}
+
+}  // namespace bauplan

@@ -1,0 +1,86 @@
+#ifndef BAUPLAN_COMMON_DIAGNOSTIC_H_
+#define BAUPLAN_COMMON_DIAGNOSTIC_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bauplan {
+
+/// How bad a diagnostic is. Errors make an analysis fail (and `bauplan
+/// check` exit 1); warnings and notes are advisory.
+enum class DiagnosticSeverity {
+  kError = 0,
+  kWarning = 1,
+  kNote = 2,
+};
+
+/// Canonical lowercase name ("error", "warning", "note").
+std::string_view DiagnosticSeverityToString(DiagnosticSeverity severity);
+
+/// One structured finding from a static analysis pass: a stable
+/// machine-readable code (BP1001, BP2002, ...), a severity, the pipeline
+/// node it anchors to, a source location, the human-readable message, and
+/// an optional fix-it hint. Codes are part of the tool's contract — tests
+/// and downstream tooling match on them, so a code's meaning never
+/// changes once shipped.
+struct Diagnostic {
+  std::string code;
+  DiagnosticSeverity severity = DiagnosticSeverity::kError;
+  /// Pipeline node the diagnostic anchors to; empty = project-level.
+  std::string node;
+  /// Source location in the project's one-file-per-node layout
+  /// ("trips.sql", "expectations.conf: trips_expectation").
+  std::string location;
+  std::string message;
+  /// Optional fix-it hint ("did you mean 'taxi_table'?").
+  std::string hint;
+
+  /// "error[BP1001] trips (trips.sql): message" plus an indented hint
+  /// line when a hint is present.
+  std::string ToString() const;
+};
+
+/// Collects diagnostics emitted by analysis passes and renders them as
+/// text or JSON. Insertion order is preserved (passes run in a
+/// deterministic order, so output is stable and golden-testable).
+class DiagnosticEngine {
+ public:
+  void Report(Diagnostic diagnostic);
+
+  /// Convenience emitters; the returned reference stays valid until the
+  /// next Report/Clear and lets callers attach a hint or location.
+  Diagnostic& Error(std::string code, std::string node,
+                    std::string message);
+  Diagnostic& Warning(std::string code, std::string node,
+                      std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  size_t error_count() const { return errors_; }
+  size_t warning_count() const { return warnings_; }
+  bool has_errors() const { return errors_ > 0; }
+  bool empty() const { return diagnostics_.empty(); }
+
+  /// One diagnostic per line (see Diagnostic::ToString) followed by a
+  /// "check: N error(s), M warning(s)" summary line; "check: clean" when
+  /// nothing was reported.
+  std::string ToText() const;
+
+  /// Deterministic JSON rendering:
+  /// {"version":1,"errors":N,"warnings":M,"diagnostics":[{...},...]}.
+  std::string ToJson() const;
+
+  void Clear();
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  size_t errors_ = 0;
+  size_t warnings_ = 0;
+};
+
+}  // namespace bauplan
+
+#endif  // BAUPLAN_COMMON_DIAGNOSTIC_H_

@@ -65,7 +65,8 @@ bool EndsWith(std::string_view s, std::string_view suffix) {
 }
 
 std::string FormatBytes(uint64_t bytes) {
-  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB",
+                                           "TiB"};
   double value = static_cast<double>(bytes);
   int unit = 0;
   while (value >= 1024.0 && unit < 4) {

@@ -1,0 +1,68 @@
+#ifndef BAUPLAN_COMMON_THREAD_ANNOTATIONS_H_
+#define BAUPLAN_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute shim (the usual abseil-style
+/// macros, prefixed). Under clang with `-Wthread-safety` the compiler
+/// statically checks that BAUPLAN_GUARDED_BY members are only touched
+/// with their mutex held and that BAUPLAN_REQUIRES functions are only
+/// called under lock; under other compilers the macros expand to nothing.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define BAUPLAN_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define BAUPLAN_THREAD_ANNOTATION_IMPL(x)  // no-op
+#endif
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define BAUPLAN_GUARDED_BY(x) BAUPLAN_THREAD_ANNOTATION_IMPL(guarded_by(x))
+#endif
+#if __has_attribute(pt_guarded_by)
+#define BAUPLAN_PT_GUARDED_BY(x) \
+  BAUPLAN_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+#endif
+#if __has_attribute(requires_capability)
+#define BAUPLAN_REQUIRES(...) \
+  BAUPLAN_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+#endif
+#if __has_attribute(acquire_capability)
+#define BAUPLAN_ACQUIRE(...) \
+  BAUPLAN_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+#endif
+#if __has_attribute(release_capability)
+#define BAUPLAN_RELEASE(...) \
+  BAUPLAN_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+#endif
+#if __has_attribute(locks_excluded)
+#define BAUPLAN_EXCLUDES(...) \
+  BAUPLAN_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+#endif
+#if __has_attribute(no_thread_safety_analysis)
+#define BAUPLAN_NO_THREAD_SAFETY_ANALYSIS \
+  BAUPLAN_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)
+#endif
+#endif  // __clang__ && __has_attribute
+
+#ifndef BAUPLAN_GUARDED_BY
+#define BAUPLAN_GUARDED_BY(x)
+#endif
+#ifndef BAUPLAN_PT_GUARDED_BY
+#define BAUPLAN_PT_GUARDED_BY(x)
+#endif
+#ifndef BAUPLAN_REQUIRES
+#define BAUPLAN_REQUIRES(...)
+#endif
+#ifndef BAUPLAN_ACQUIRE
+#define BAUPLAN_ACQUIRE(...)
+#endif
+#ifndef BAUPLAN_RELEASE
+#define BAUPLAN_RELEASE(...)
+#endif
+#ifndef BAUPLAN_EXCLUDES
+#define BAUPLAN_EXCLUDES(...)
+#endif
+#ifndef BAUPLAN_NO_THREAD_SAFETY_ANALYSIS
+#define BAUPLAN_NO_THREAD_SAFETY_ANALYSIS
+#endif
+
+#endif  // BAUPLAN_COMMON_THREAD_ANNOTATIONS_H_

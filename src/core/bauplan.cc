@@ -225,6 +225,34 @@ Result<std::vector<catalog::Commit>> Bauplan::Log(const std::string& ref,
   return catalog_->Log(ref, limit);
 }
 
+// ---------------------------------------------------------------- check
+
+Result<analysis::AnalysisResult> Bauplan::Check(
+    const pipeline::PipelineProject& project, const catalog::RefSpec& ref) {
+  BAUPLAN_ASSIGN_OR_RETURN(std::string commit_id, catalog_->Resolve(ref));
+  BAUPLAN_ASSIGN_OR_RETURN(auto tables, catalog_->GetTables(commit_id));
+  std::set<std::string> known;
+  for (const auto& [name, key] : tables) known.insert(name);
+  // Schemas resolve at the pinned commit, exactly as a run's scans would.
+  LakehouseSource source(catalog_.get(), table_ops_.get(), commit_id);
+  analysis::Analyzer analyzer(std::move(known), &source);
+  analysis::AnalyzerOptions opts;
+  opts.tracer = tracer_.get();
+  opts.metrics = metrics_.get();
+  analysis::AnalysisResult result = analyzer.Analyze(project, opts);
+  if (result.root_span != 0) {
+    result.trace = tracer_->ExtractTrace(result.root_span);
+  }
+  Audit("check", ref.ToString(),
+        StrCat(project.name(), ": ",
+               result.diagnostics.error_count(), " error(s), ",
+               result.diagnostics.warning_count(), " warning(s)"),
+        result.ok()
+            ? Status::OK()
+            : Status::FailedPrecondition("static analysis found errors"));
+  return result;
+}
+
 // ------------------------------------------------------------------ run
 
 Status Bauplan::MaterializeArtifacts(const RunReport& execution,
@@ -244,6 +272,19 @@ Status Bauplan::MaterializeArtifacts(const RunReport& execution,
 Result<RunReport> Bauplan::Run(const pipeline::PipelineProject& project,
                                const std::string& branch,
                                const PipelineRunOptions& options) {
+  // Pre-flight: refuse to schedule a project the analyzer rejects —
+  // before a run is registered, a branch is created, or any container is
+  // acquired. `--no-verify` (options.verify = false) skips this.
+  if (options.verify) {
+    BAUPLAN_ASSIGN_OR_RETURN(analysis::AnalysisResult check,
+                             Check(project, catalog::RefSpec(branch)));
+    if (!check.ok()) {
+      return Status::FailedPrecondition(
+          StrCat("project failed static analysis (re-run with --no-verify "
+                 "to force):\n",
+                 check.diagnostics.ToText()));
+    }
+  }
   BAUPLAN_ASSIGN_OR_RETURN(std::string head, catalog_->ResolveRef(branch));
   BAUPLAN_ASSIGN_OR_RETURN(pipeline::RunRecord record,
                            registry_->RegisterRun(project, branch, head));

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "catalog/catalog.h"
 #include "columnar/table.h"
 #include "common/clock.h"
@@ -99,6 +100,18 @@ class Bauplan {
   Result<std::vector<std::string>> ListBranches() const;
   Result<std::vector<catalog::Commit>> Log(const std::string& ref,
                                            size_t limit = 0) const;
+
+  // ------------------------------------------------------------- check
+
+  /// `bauplan check`: statically analyzes the project against the
+  /// catalog at `ref` — structural reference resolution, column-level
+  /// schema propagation through the planner, expectation validation —
+  /// without executing anything. Problems come back as diagnostics in
+  /// the result; the returned Status is only for infrastructure errors
+  /// (unknown ref, catalog I/O).
+  Result<analysis::AnalysisResult> Check(
+      const pipeline::PipelineProject& project,
+      const catalog::RefSpec& ref = {});
 
   // --------------------------------------------------------------- run
 

@@ -37,6 +37,10 @@ struct PipelineRunOptions {
   /// Run only these nodes (replay selection); empty = all. Upstream
   /// artifacts of unselected nodes are read from the catalog.
   std::vector<std::string> selected;
+  /// Static pre-flight: analyze the project before scheduling and refuse
+  /// to run (FailedPrecondition, no container acquired) when the
+  /// analyzer reports errors. `bauplan run --no-verify` turns this off.
+  bool verify = true;
 };
 
 /// Executes an extracted DAG on the serverless substrate in fused or

@@ -139,7 +139,7 @@ Expectation ExpectValuesBetween(const std::string& column, double lo,
       });
 }
 
-Result<Expectation> ParseExpectation(std::string_view text) {
+Result<ExpectationSpec> ParseExpectationSpec(std::string_view text) {
   std::string s(StripWhitespace(text));
 
   auto parse_call = [&](std::string_view fn_name,
@@ -172,49 +172,80 @@ Result<Expectation> ParseExpectation(std::string_view text) {
            parse_number(StripWhitespace(rest.substr(and_pos + 5)), hi);
   };
 
-  std::string arg;
-  if (parse_call("mean", &arg)) {
-    double lo = 0, hi = 0;
-    if (parse_between(&lo, &hi)) return ExpectMeanBetween(arg, lo, hi);
-    if (StartsWith(s, ">")) {
-      double threshold = 0;
-      if (parse_number(StripWhitespace(s.substr(1)), &threshold)) {
-        return ExpectMeanGreaterThan(arg, threshold);
-      }
+  ExpectationSpec spec;
+  if (parse_call("mean", &spec.column)) {
+    if (parse_between(&spec.lo, &spec.hi)) {
+      spec.kind = ExpectationKind::kMeanBetween;
+      return spec;
+    }
+    if (StartsWith(s, ">") &&
+        parse_number(StripWhitespace(s.substr(1)), &spec.threshold)) {
+      spec.kind = ExpectationKind::kMeanGreaterThan;
+      return spec;
     }
     return Status::InvalidArgument(
         StrCat("cannot parse mean expectation tail: '", s, "'"));
   }
-  if (parse_call("not_null", &arg)) {
+  if (parse_call("not_null", &spec.column)) {
     if (!s.empty()) {
       return Status::InvalidArgument("not_null takes no operator");
     }
-    return ExpectNoNulls(arg);
+    spec.kind = ExpectationKind::kNotNull;
+    return spec;
   }
-  if (parse_call("unique", &arg)) {
+  if (parse_call("unique", &spec.column)) {
     if (!s.empty()) {
       return Status::InvalidArgument("unique takes no operator");
     }
-    return ExpectUnique(arg);
+    spec.kind = ExpectationKind::kUnique;
+    return spec;
   }
-  if (parse_call("values", &arg)) {
-    double lo = 0, hi = 0;
-    if (parse_between(&lo, &hi)) return ExpectValuesBetween(arg, lo, hi);
+  if (parse_call("values", &spec.column)) {
+    if (parse_between(&spec.lo, &spec.hi)) {
+      spec.kind = ExpectationKind::kValuesBetween;
+      return spec;
+    }
     return Status::InvalidArgument(
         StrCat("values(...) needs 'between X and Y', got '", s, "'"));
   }
   if (StartsWith(ToLower(s), "row_count ")) {
     s = std::string(StripWhitespace(s.substr(10)));
-    double lo = 0, hi = 0;
-    if (parse_between(&lo, &hi)) {
-      return ExpectRowCountBetween(static_cast<int64_t>(lo),
-                                   static_cast<int64_t>(hi));
+    if (parse_between(&spec.lo, &spec.hi)) {
+      spec.kind = ExpectationKind::kRowCountBetween;
+      return spec;
     }
     return Status::InvalidArgument(
         StrCat("row_count needs 'between X and Y', got '", s, "'"));
   }
   return Status::InvalidArgument(
       StrCat("cannot parse expectation '", text, "'"));
+}
+
+Expectation MakeExpectation(const ExpectationSpec& spec) {
+  switch (spec.kind) {
+    case ExpectationKind::kMeanGreaterThan:
+      return ExpectMeanGreaterThan(spec.column, spec.threshold);
+    case ExpectationKind::kMeanBetween:
+      return ExpectMeanBetween(spec.column, spec.lo, spec.hi);
+    case ExpectationKind::kNotNull:
+      return ExpectNoNulls(spec.column);
+    case ExpectationKind::kUnique:
+      return ExpectUnique(spec.column);
+    case ExpectationKind::kRowCountBetween:
+      return ExpectRowCountBetween(static_cast<int64_t>(spec.lo),
+                                   static_cast<int64_t>(spec.hi));
+    case ExpectationKind::kValuesBetween:
+      return ExpectValuesBetween(spec.column, spec.lo, spec.hi);
+  }
+  // Unreachable for valid kinds; a fail-closed check for corrupt specs.
+  return Expectation("invalid", [](const Table&) -> Result<ExpectationOutcome> {
+    return Status::Internal("invalid expectation spec");
+  });
+}
+
+Result<Expectation> ParseExpectation(std::string_view text) {
+  BAUPLAN_ASSIGN_OR_RETURN(ExpectationSpec spec, ParseExpectationSpec(text));
+  return MakeExpectation(spec);
 }
 
 }  // namespace bauplan::expectations

@@ -64,12 +64,53 @@ Expectation ExpectRowCountBetween(int64_t lo, int64_t hi);
 Expectation ExpectValuesBetween(const std::string& column, double lo,
                                 double hi);
 
+// ------------------------------------------------------------ DSL parsing
+
+/// Which built-in check an expectation DSL line names.
+enum class ExpectationKind {
+  kMeanGreaterThan,
+  kMeanBetween,
+  kNotNull,
+  kUnique,
+  kRowCountBetween,
+  kValuesBetween,
+};
+
+/// The statically-parsed structure of one expectation DSL line — what
+/// the code-intelligence analyzer inspects to validate the referenced
+/// column and its type without building (or running) the check itself.
+struct ExpectationSpec {
+  ExpectationKind kind = ExpectationKind::kNotNull;
+  /// The audited column; empty for row_count.
+  std::string column;
+  /// kMeanGreaterThan only.
+  double threshold = 0;
+  /// The between kinds only.
+  double lo = 0;
+  double hi = 0;
+
+  /// True for checks that average or range-compare values (mean, values):
+  /// the column must hold a numeric type.
+  bool RequiresNumericColumn() const {
+    return kind == ExpectationKind::kMeanGreaterThan ||
+           kind == ExpectationKind::kMeanBetween ||
+           kind == ExpectationKind::kValuesBetween;
+  }
+};
+
 /// Parses the tiny expectation DSL used by pipeline manifests:
 ///   mean(col) > 10        | mean(col) between 1 and 5
 ///   not_null(col)         | unique(col)
 ///   row_count between 1 and 100
 ///   values(col) between 0 and 1
 /// InvalidArgument on anything else.
+Result<ExpectationSpec> ParseExpectationSpec(std::string_view text);
+
+/// Instantiates the runtime check a spec describes.
+Expectation MakeExpectation(const ExpectationSpec& spec);
+
+/// ParseExpectationSpec + MakeExpectation in one step (the pipeline
+/// runner's path).
 Result<Expectation> ParseExpectation(std::string_view text);
 
 }  // namespace bauplan::expectations

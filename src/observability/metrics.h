@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace bauplan::observability {
 
 /// Monotonic integer counter. Increments are lock-free; safe from any
@@ -127,10 +129,14 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<DoubleCounter>> double_counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      BAUPLAN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<DoubleCounter>> double_counters_
+      BAUPLAN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      BAUPLAN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      BAUPLAN_GUARDED_BY(mu_);
 };
 
 }  // namespace bauplan::observability

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 
 namespace bauplan::observability {
 
@@ -27,6 +28,10 @@ inline constexpr const char* kSpill = "spill";
 inline constexpr const char* kQuery = "query";
 inline constexpr const char* kPlan = "plan";
 inline constexpr const char* kExecute = "execute";
+/// Static analysis: one analysis span per checked project, one pass
+/// span per analyzer pass (structural, schema, expectation).
+inline constexpr const char* kAnalysis = "analysis";
+inline constexpr const char* kPass = "pass";
 }  // namespace span_kind
 
 /// One timed interval on the simulated clock. Parent links form the
@@ -122,8 +127,8 @@ class Tracer {
  private:
   const Clock* clock_;
   mutable std::mutex mu_;
-  uint64_t next_id_ = 1;
-  std::vector<Span> spans_;
+  uint64_t next_id_ BAUPLAN_GUARDED_BY(mu_) = 1;
+  std::vector<Span> spans_ BAUPLAN_GUARDED_BY(mu_);
 };
 
 /// RAII helper: ends the span on scope exit.

@@ -1,5 +1,7 @@
 #include "pipeline/dag.h"
 
+#include <deque>
+
 #include "common/strings.h"
 #include "sql/parser.h"
 
@@ -50,13 +52,15 @@ Result<Dag> Dag::Build(const PipelineProject& project,
       downstream[up].push_back(node.name);
     }
   }
-  std::vector<std::string> ready;
+  // A deque keeps the FIFO pop O(1); erasing the front of a vector is
+  // O(n) per node, quadratic over wide DAGs.
+  std::deque<std::string> ready;
   for (const auto& node : project.nodes()) {
     if (in_degree[node.name] == 0) ready.push_back(node.name);
   }
   while (!ready.empty()) {
-    std::string current = ready.front();
-    ready.erase(ready.begin());
+    std::string current = std::move(ready.front());
+    ready.pop_front();
     dag.order_.push_back(current);
     for (const auto& next : downstream[current]) {
       if (--in_degree[next] == 0) ready.push_back(next);

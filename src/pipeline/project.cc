@@ -6,7 +6,7 @@
 namespace bauplan::pipeline {
 
 namespace {
-constexpr const char* kExpectationSuffix = "_expectation";
+constexpr std::string_view kExpectationSuffix = "_expectation";
 }  // namespace
 
 Result<std::string> PipelineNode::ExpectationTarget() const {
@@ -15,13 +15,12 @@ Result<std::string> PipelineNode::ExpectationTarget() const {
         StrCat("node '", name, "' is not an expectation"));
   }
   if (!EndsWith(name, kExpectationSuffix) ||
-      name.size() == std::string(kExpectationSuffix).size()) {
+      name.size() == kExpectationSuffix.size()) {
     return Status::InvalidArgument(
         StrCat("expectation node '", name,
                "' must be named '<table>_expectation'"));
   }
-  return name.substr(0, name.size() -
-                            std::string(kExpectationSuffix).size());
+  return name.substr(0, name.size() - kExpectationSuffix.size());
 }
 
 Status PipelineProject::AddNode(PipelineNode node) {

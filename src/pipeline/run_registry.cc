@@ -59,6 +59,9 @@ Result<int64_t> RunRegistry::NextRunId() {
 Result<RunRecord> RunRegistry::RegisterRun(
     const PipelineProject& project, const std::string& branch,
     const std::string& data_commit_id) {
+  // Registration is a read-modify-write (list ids, take max+1, put the
+  // record); the lock keeps concurrent registrations from colliding.
+  std::lock_guard<std::mutex> lock(mu_);
   BAUPLAN_ASSIGN_OR_RETURN(int64_t run_id, NextRunId());
   RunRecord record;
   record.run_id = run_id;

@@ -2,11 +2,13 @@
 #define BAUPLAN_PIPELINE_RUN_REGISTRY_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "pipeline/project.h"
 #include "storage/object_store.h"
 
@@ -66,11 +68,15 @@ class RunRegistry {
 
  private:
   std::string RunKey(int64_t run_id) const;
-  Result<int64_t> NextRunId();
+  /// List-and-increment over the stored runs; callers must hold `mu_` so
+  /// two concurrent registrations cannot allocate the same id.
+  Result<int64_t> NextRunId() BAUPLAN_REQUIRES(mu_);
 
   storage::ObjectStore* store_;
   Clock* clock_;
   std::string prefix_;
+  /// Serializes the id-allocate + record-put pair in RegisterRun.
+  std::mutex mu_;
 };
 
 /// Parses a replay selector: "node" (just that node) or "node+" (the node

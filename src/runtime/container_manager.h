@@ -10,6 +10,7 @@
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "observability/metrics.h"
 #include "runtime/container.h"
 #include "runtime/package_cache.h"
@@ -82,16 +83,16 @@ class ContainerManager {
   void Clear();
 
  private:
-  uint64_t ColdStartMicros(const ContainerSpec& spec);
+  uint64_t ColdStartMicros(const ContainerSpec& spec) BAUPLAN_REQUIRES(mu_);
   /// Evicts the least-recently-used frozen container; false when none.
-  bool EvictOneFrozen();
+  bool EvictOneFrozen() BAUPLAN_REQUIRES(mu_);
 
   Clock* clock_;
   PackageCache* package_cache_;
   Options options_;
   mutable std::mutex mu_;
-  std::map<int64_t, Container> containers_;
-  int64_t next_id_ = 1;
+  std::map<int64_t, Container> containers_ BAUPLAN_GUARDED_BY(mu_);
+  int64_t next_id_ BAUPLAN_GUARDED_BY(mu_) = 1;
   std::unique_ptr<observability::MetricsRegistry> owned_registry_;
   observability::Counter* cold_starts_;
   observability::Counter* frozen_resumes_;

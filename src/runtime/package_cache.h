@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 #include "observability/metrics.h"
 #include "runtime/package.h"
 
@@ -76,15 +77,16 @@ class PackageCache {
   void Clear();
 
  private:
-  void EvictUntilFits(uint64_t incoming_bytes);
+  void EvictUntilFits(uint64_t incoming_bytes) BAUPLAN_REQUIRES(mu_);
 
   Clock* clock_;
   Options options_;
   mutable std::mutex mu_;
   /// LRU list front = most recent; map holds iterators into it.
-  std::list<Package> lru_;
-  std::unordered_map<std::string, std::list<Package>::iterator> entries_;
-  uint64_t used_bytes_ = 0;
+  std::list<Package> lru_ BAUPLAN_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Package>::iterator> entries_
+      BAUPLAN_GUARDED_BY(mu_);
+  uint64_t used_bytes_ BAUPLAN_GUARDED_BY(mu_) = 0;
   std::unique_ptr<observability::MetricsRegistry> owned_registry_;
   observability::Counter* hits_;
   observability::Counter* misses_;

@@ -10,6 +10,7 @@
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "observability/metrics.h"
 
 namespace bauplan::runtime {
@@ -102,21 +103,22 @@ class Scheduler {
   uint64_t total_bytes_moved() const;
 
  private:
-  uint64_t FreeMemoryLocked(int worker) const {
+  uint64_t FreeMemoryLocked(int worker) const BAUPLAN_REQUIRES(mu_) {
     return options_.worker_memory_bytes -
            used_memory_[static_cast<size_t>(worker)];
   }
-  int WorkerOfLocked(const std::string& artifact) const;
+  int WorkerOfLocked(const std::string& artifact) const
+      BAUPLAN_REQUIRES(mu_);
 
   Clock* clock_;
   Options options_;
   mutable std::mutex mu_;
-  std::vector<uint64_t> used_memory_;
-  std::vector<uint64_t> peak_memory_;
+  std::vector<uint64_t> used_memory_ BAUPLAN_GUARDED_BY(mu_);
+  std::vector<uint64_t> peak_memory_ BAUPLAN_GUARDED_BY(mu_);
   /// Virtual time until which each worker is occupied (wavefront mode).
-  std::vector<uint64_t> busy_until_micros_;
-  std::map<std::string, int> artifact_locations_;
-  int next_round_robin_ = 0;
+  std::vector<uint64_t> busy_until_micros_ BAUPLAN_GUARDED_BY(mu_);
+  std::map<std::string, int> artifact_locations_ BAUPLAN_GUARDED_BY(mu_);
+  int next_round_robin_ BAUPLAN_GUARDED_BY(mu_) = 0;
   /// Registry-backed counters (shared with the platform dump).
   std::unique_ptr<observability::MetricsRegistry> owned_registry_;
   observability::Counter* locality_hits_;

@@ -1,0 +1,536 @@
+// Tests for the static analyzer (code intelligence, paper section 4.5):
+// structural reference checks, column-level schema propagation through
+// the planner, expectation validation, the diagnostic renderings, and
+// the platform surfaces (`bauplan check`, the run pre-flight).
+
+#include <map>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "cli/project_loader.h"
+#include "common/clock.h"
+#include "common/strings.h"
+#include "core/bauplan.h"
+#include "pipeline/project.h"
+#include "storage/object_store.h"
+#include "workload/taxi_gen.h"
+
+namespace bauplan {
+namespace {
+
+using analysis::AnalysisResult;
+using analysis::Analyzer;
+using columnar::Schema;
+using columnar::TypeId;
+using pipeline::PipelineProject;
+
+/// In-memory resolver over a fixed name -> schema map.
+class MapResolver : public sql::SchemaResolver {
+ public:
+  explicit MapResolver(std::map<std::string, Schema> schemas)
+      : schemas_(std::move(schemas)) {}
+
+  Result<Schema> GetTableSchema(
+      const std::string& table_name) const override {
+    auto it = schemas_.find(table_name);
+    if (it == schemas_.end()) {
+      return Status::NotFound(StrCat("table '", table_name, "' not found"));
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, Schema> schemas_;
+};
+
+Schema TaxiSchema() {
+  return Schema({{"trip_id", TypeId::kInt64, false},
+                 {"pickup_at", TypeId::kTimestamp, false},
+                 {"pickup_location_id", TypeId::kInt64, false},
+                 {"dropoff_location_id", TypeId::kInt64, false},
+                 {"passenger_count", TypeId::kInt64, true},
+                 {"trip_distance", TypeId::kDouble, false},
+                 {"fare", TypeId::kDouble, false},
+                 {"zone", TypeId::kString, false}});
+}
+
+/// Analyzer over a catalog holding just taxi_table.
+AnalysisResult AnalyzeWithTaxi(const PipelineProject& project) {
+  static MapResolver resolver({{"taxi_table", TaxiSchema()}});
+  Analyzer analyzer({"taxi_table"}, &resolver);
+  return analyzer.Analyze(project);
+}
+
+bool HasCode(const AnalysisResult& result, const std::string& code,
+             std::string* message = nullptr) {
+  for (const auto& d : result.diagnostics.diagnostics()) {
+    if (d.code == code) {
+      if (message != nullptr) *message = d.message;
+      return true;
+    }
+  }
+  return false;
+}
+
+// -------------------------------------------------------- clean projects
+
+TEST(AnalyzerTest, PaperPipelineIsClean) {
+  AnalysisResult result =
+      AnalyzeWithTaxi(pipeline::MakePaperTaxiPipeline());
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.diagnostics.empty())
+      << result.diagnostics.ToText();
+  // Column-level propagation: trips renames passenger_count to count,
+  // pickups aggregates trips into counts.
+  ASSERT_EQ(result.node_schemas.count("trips"), 1u);
+  const Schema& trips = result.node_schemas.at("trips");
+  EXPECT_TRUE(trips.HasField("count"));
+  EXPECT_FALSE(trips.HasField("passenger_count"));
+  ASSERT_EQ(result.node_schemas.count("pickups"), 1u);
+  const Schema& pickups = result.node_schemas.at("pickups");
+  ASSERT_TRUE(pickups.HasField("counts"));
+  EXPECT_EQ(pickups.GetFieldByName("counts")->type, TypeId::kInt64);
+}
+
+TEST(AnalyzerTest, WidePipelineIsClean) {
+  AnalysisResult result =
+      AnalyzeWithTaxi(pipeline::MakeWideTaxiPipeline());
+  EXPECT_TRUE(result.ok()) << result.diagnostics.ToText();
+  // The join node's inferred schema flows from both upstream inferences.
+  ASSERT_EQ(result.node_schemas.count("trip_balance"), 1u);
+  EXPECT_TRUE(
+      result.node_schemas.at("trip_balance").HasField("short_rides"));
+}
+
+// ---------------------------------------------------- structural errors
+
+TEST(AnalyzerTest, UnknownTableIsBP1001WithSuggestion) {
+  PipelineProject project("p");
+  ASSERT_TRUE(
+      project.AddSqlNode("a", "SELECT fare FROM taxi_tabel").ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_FALSE(result.ok());
+  std::string message;
+  ASSERT_TRUE(HasCode(result, analysis::codes::kUnknownTable, &message));
+  EXPECT_NE(message.find("taxi_tabel"), std::string::npos);
+  // The near-miss gets a fix-it hint.
+  const Diagnostic& d = result.diagnostics.diagnostics()[0];
+  EXPECT_NE(d.hint.find("taxi_table"), std::string::npos);
+  EXPECT_EQ(d.node, "a");
+  EXPECT_EQ(d.location, "a.sql");
+}
+
+TEST(AnalyzerTest, ExpectationNodeIsNotATable) {
+  PipelineProject project("p");
+  ASSERT_TRUE(
+      project.AddSqlNode("a", "SELECT fare FROM taxi_table").ok());
+  ASSERT_TRUE(
+      project.AddExpectationNode("a_expectation", "not_null(fare)").ok());
+  ASSERT_TRUE(
+      project.AddSqlNode("b", "SELECT * FROM a_expectation").ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  std::string message;
+  ASSERT_TRUE(HasCode(result, analysis::codes::kUnknownTable, &message));
+  EXPECT_NE(message.find("a_expectation"), std::string::npos);
+}
+
+TEST(AnalyzerTest, CycleIsBP1002) {
+  PipelineProject project("p");
+  ASSERT_TRUE(project.AddSqlNode("a", "SELECT x FROM b").ok());
+  ASSERT_TRUE(project.AddSqlNode("b", "SELECT x FROM a").ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_FALSE(result.ok());
+  std::string message;
+  ASSERT_TRUE(
+      HasCode(result, analysis::codes::kDependencyCycle, &message));
+  EXPECT_NE(message.find("a"), std::string::npos);
+  EXPECT_NE(message.find("b"), std::string::npos);
+}
+
+TEST(AnalyzerTest, SelfReferenceIsBP1002) {
+  PipelineProject project("p");
+  ASSERT_TRUE(project.AddSqlNode("a", "SELECT x FROM a").ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_TRUE(HasCode(result, analysis::codes::kDependencyCycle));
+}
+
+TEST(AnalyzerTest, ShadowWarningAloneDoesNotFailCheck) {
+  PipelineProject project("p");
+  // Re-running a pipeline whose outputs already exist in the catalog
+  // must stay runnable: shadowing alone is a warning.
+  ASSERT_TRUE(
+      project.AddSqlNode("trips", "SELECT fare FROM taxi_table").ok());
+  MapResolver resolver(
+      {{"taxi_table", TaxiSchema()},
+       {"trips", Schema({{"fare", TypeId::kDouble, false}})}});
+  Analyzer analyzer({"taxi_table", "trips"}, &resolver);
+  AnalysisResult result = analyzer.Analyze(project);
+  EXPECT_TRUE(result.ok()) << result.diagnostics.ToText();
+  EXPECT_TRUE(HasCode(result, analysis::codes::kDuplicateOutput));
+  EXPECT_EQ(result.diagnostics.warning_count(), 1u);
+}
+
+TEST(AnalyzerTest, DeadAuditIsBP1004Warning) {
+  PipelineProject project("p");
+  ASSERT_TRUE(
+      project.AddSqlNode("a", "SELECT fare FROM taxi_table").ok());
+  ASSERT_TRUE(project.AddExpectationNode("taxi_table_expectation",
+                                         "not_null(fare)")
+                  .ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_TRUE(result.ok());  // warning only
+  EXPECT_TRUE(HasCode(result, analysis::codes::kDeadNode));
+}
+
+TEST(AnalyzerTest, SqlParseErrorIsBP1005) {
+  PipelineProject project("p");
+  ASSERT_TRUE(project.AddSqlNode("a", "SELEKT fare FORM nowhere").ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(HasCode(result, analysis::codes::kSqlParseError));
+  // A node that does not parse produces no downstream noise.
+  EXPECT_FALSE(HasCode(result, analysis::codes::kUnknownTable));
+}
+
+// ------------------------------------------------- schema propagation
+
+TEST(AnalyzerTest, UnknownColumnIsBP2001) {
+  PipelineProject project("p");
+  ASSERT_TRUE(
+      project.AddSqlNode("a", "SELECT no_such_column FROM taxi_table")
+          .ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_FALSE(result.ok());
+  std::string message;
+  ASSERT_TRUE(HasCode(result, analysis::codes::kUnknownColumn, &message));
+  EXPECT_NE(message.find("no_such_column"), std::string::npos);
+  // The hint lists the input columns for fixing the reference.
+  EXPECT_NE(result.diagnostics.diagnostics()[0].hint.find("fare"),
+            std::string::npos);
+}
+
+TEST(AnalyzerTest, UnknownColumnPropagatesThroughUpstreamSchema) {
+  PipelineProject project("p");
+  // `b` reads a column `a` renamed away: only the inferred (not source)
+  // schema can catch this.
+  ASSERT_TRUE(project.AddSqlNode(
+                         "a",
+                         "SELECT passenger_count AS count FROM taxi_table")
+                  .ok());
+  ASSERT_TRUE(
+      project.AddSqlNode("b", "SELECT passenger_count FROM a").ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(HasCode(result, analysis::codes::kUnknownColumn));
+}
+
+TEST(AnalyzerTest, PlannerRejectionIsBP2002) {
+  PipelineProject project("p");
+  ASSERT_TRUE(
+      project.AddSqlNode("a", "SELECT frobnicate(fare) FROM taxi_table")
+          .ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_FALSE(result.ok());
+  std::string message;
+  ASSERT_TRUE(HasCode(result, analysis::codes::kTypeMismatch, &message));
+  // The parser upper-cases scalar function names.
+  EXPECT_NE(message.find("FROBNICATE"), std::string::npos);
+}
+
+TEST(AnalyzerTest, SchemaNarrowingOverwriteIsBP2003) {
+  PipelineProject project("p");
+  // `trips` exists in the catalog with (fare double, zone string); the
+  // node overwrites it dropping `zone` — the */narrower-table trap.
+  ASSERT_TRUE(
+      project.AddSqlNode("trips", "SELECT fare FROM taxi_table").ok());
+  MapResolver resolver(
+      {{"taxi_table", TaxiSchema()},
+       {"trips", Schema({{"fare", TypeId::kDouble, false},
+                         {"zone", TypeId::kString, false}})}});
+  Analyzer analyzer({"taxi_table", "trips"}, &resolver);
+  AnalysisResult result = analyzer.Analyze(project);
+  EXPECT_TRUE(result.ok());  // warning severity
+  std::string message;
+  ASSERT_TRUE(
+      HasCode(result, analysis::codes::kSchemaNarrowing, &message));
+  EXPECT_NE(message.find("drops column 'zone'"), std::string::npos);
+}
+
+// ------------------------------------------------------- expectations
+
+TEST(AnalyzerTest, BadExpectationDslIsBP3001) {
+  PipelineProject project("p");
+  ASSERT_TRUE(
+      project.AddSqlNode("a", "SELECT fare FROM taxi_table").ok());
+  ASSERT_TRUE(
+      project.AddExpectationNode("a_expectation", "median(fare) > 1")
+          .ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(HasCode(result, analysis::codes::kBadExpectation));
+}
+
+TEST(AnalyzerTest, ExpectationUnknownColumnIsBP3002) {
+  PipelineProject project("p");
+  ASSERT_TRUE(project.AddSqlNode(
+                         "a",
+                         "SELECT passenger_count AS count FROM taxi_table")
+                  .ok());
+  ASSERT_TRUE(project.AddExpectationNode("a_expectation",
+                                         "mean(passenger_count) > 1")
+                  .ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_FALSE(result.ok());
+  std::string message;
+  ASSERT_TRUE(HasCode(result, analysis::codes::kExpectationUnknownColumn,
+                      &message));
+  EXPECT_NE(message.find("passenger_count"), std::string::npos);
+}
+
+TEST(AnalyzerTest, ExpectationOverNonNumericColumnIsBP3003) {
+  PipelineProject project("p");
+  ASSERT_TRUE(
+      project.AddSqlNode("a", "SELECT zone FROM taxi_table").ok());
+  ASSERT_TRUE(
+      project.AddExpectationNode("a_expectation", "mean(zone) > 1").ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_FALSE(result.ok());
+  std::string message;
+  ASSERT_TRUE(HasCode(result, analysis::codes::kExpectationTypeMismatch,
+                      &message));
+  EXPECT_NE(message.find("string"), std::string::npos);
+}
+
+TEST(AnalyzerTest, NonNumericChecksAllowNonNumericColumns) {
+  PipelineProject project("p");
+  ASSERT_TRUE(
+      project.AddSqlNode("a", "SELECT zone FROM taxi_table").ok());
+  ASSERT_TRUE(
+      project.AddExpectationNode("a_expectation", "unique(zone)").ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_TRUE(result.ok()) << result.diagnostics.ToText();
+}
+
+// ------------------------------------------------ diagnostic rendering
+
+TEST(DiagnosticTest, GoldenTextRendering) {
+  DiagnosticEngine engine;
+  Diagnostic& d = engine.Error("BP1001", "trips", "unknown table 'tripz'");
+  d.location = "trips.sql";
+  d.hint = "did you mean 'trips'?";
+  engine.Warning("BP1004", "x_expectation", "dead audit");
+  EXPECT_EQ(engine.ToText(),
+            "error[BP1001] trips (trips.sql): unknown table 'tripz'\n"
+            "  hint: did you mean 'trips'?\n"
+            "warning[BP1004] x_expectation: dead audit\n"
+            "check: 1 error(s), 1 warning(s)\n");
+}
+
+TEST(DiagnosticTest, GoldenJsonRendering) {
+  DiagnosticEngine engine;
+  engine.Error("BP1002", "", "cycle \"a\"");
+  EXPECT_EQ(engine.ToJson(),
+            "{\"version\":1,\"errors\":1,\"warnings\":0,\"diagnostics\":["
+            "{\"code\":\"BP1002\",\"severity\":\"error\",\"node\":\"\","
+            "\"location\":\"\",\"message\":\"cycle \\\"a\\\"\","
+            "\"hint\":\"\"}]}");
+}
+
+TEST(DiagnosticTest, CleanEngineRendersClean) {
+  DiagnosticEngine engine;
+  EXPECT_TRUE(engine.empty());
+  EXPECT_EQ(engine.ToText(), "check: clean\n");
+  EXPECT_EQ(engine.ToJson(),
+            "{\"version\":1,\"errors\":0,\"warnings\":0,"
+            "\"diagnostics\":[]}");
+}
+
+TEST(AnalyzerTest, EveryErrorCodeRendersInJson) {
+  PipelineProject project("p");
+  ASSERT_TRUE(project.AddSqlNode("a", "SELECT x FROM nowhere").ok());
+  ASSERT_TRUE(project.AddSqlNode("b", "SELECT x FROM b").ok());
+  ASSERT_TRUE(project.AddExpectationNode("c_expectation",
+                                         "gibberish")
+                  .ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  std::string json = result.diagnostics.ToJson();
+  EXPECT_NE(json.find("\"BP1001\""), std::string::npos);
+  EXPECT_NE(json.find("\"BP1002\""), std::string::npos);
+  EXPECT_NE(json.find("\"BP1001\""), std::string::npos);
+}
+
+// -------------------------------------------------- observability wiring
+
+TEST(AnalyzerTest, EmitsSpansAndCounters) {
+  SimClock clock(0);
+  observability::Tracer tracer(&clock);
+  observability::MetricsRegistry metrics;
+  analysis::AnalyzerOptions options;
+  options.tracer = &tracer;
+  options.metrics = &metrics;
+
+  MapResolver resolver({{"taxi_table", TaxiSchema()}});
+  Analyzer analyzer({"taxi_table"}, &resolver);
+  AnalysisResult result =
+      analyzer.Analyze(pipeline::MakePaperTaxiPipeline(), options);
+  ASSERT_NE(result.root_span, 0u);
+
+  observability::Trace trace = tracer.ExtractTrace(result.root_span);
+  ASSERT_NE(trace.root(), nullptr);
+  EXPECT_EQ(trace.root()->kind, observability::span_kind::kAnalysis);
+  auto passes = trace.ChildrenOf(trace.root_id);
+  ASSERT_EQ(passes.size(), 3u);
+  EXPECT_EQ(passes[0]->kind, observability::span_kind::kPass);
+
+  auto snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.Get("analysis.runs"), 1.0);
+  EXPECT_EQ(snapshot.Get("analysis.nodes"), 3.0);
+  EXPECT_EQ(snapshot.Get("analysis.errors"), 0.0);
+}
+
+// --------------------------------------------------- platform surfaces
+
+class PlatformCheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_ = std::make_unique<SimClock>(1700000000000000ull);
+    auto platform = core::Bauplan::Open(&store_, clock_.get());
+    ASSERT_TRUE(platform.ok());
+    bp_ = std::move(*platform);
+    workload::TaxiGenOptions gen;
+    gen.rows = 500;
+    auto taxi = workload::GenerateTaxiTable(gen);
+    ASSERT_TRUE(taxi.ok());
+    ASSERT_TRUE(
+        bp_->CreateTable("main", "taxi_table", taxi->schema()).ok());
+    ASSERT_TRUE(bp_->WriteTable("main", "taxi_table", *taxi).ok());
+  }
+
+  storage::MemoryObjectStore store_;
+  std::unique_ptr<SimClock> clock_;
+  std::unique_ptr<core::Bauplan> bp_;
+};
+
+TEST_F(PlatformCheckTest, CheckPassesCleanProject) {
+  auto result = bp_->Check(pipeline::MakePaperTaxiPipeline());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ok()) << result->diagnostics.ToText();
+  // The check's span tree is extracted into the result.
+  ASSERT_NE(result->trace.root(), nullptr);
+  EXPECT_EQ(result->trace.root()->kind,
+            observability::span_kind::kAnalysis);
+  EXPECT_EQ(bp_->metrics_snapshot().Get("analysis.runs"), 1.0);
+}
+
+TEST_F(PlatformCheckTest, CheckReportsBrokenProject) {
+  PipelineProject project("broken");
+  ASSERT_TRUE(project.AddSqlNode("a", "SELECT x FROM nowhere").ok());
+  auto result = bp_->Check(project);
+  ASSERT_TRUE(result.ok());  // analysis ran; problems are diagnostics
+  EXPECT_FALSE(result->ok());
+  EXPECT_TRUE(result->diagnostics.has_errors());
+}
+
+TEST_F(PlatformCheckTest, RunRefusesBrokenProjectBeforeScheduling) {
+  PipelineProject project("broken");
+  ASSERT_TRUE(project.AddSqlNode("a", "SELECT x FROM nowhere").ok());
+  ASSERT_TRUE(project.AddSqlNode("b", "SELECT x FROM b").ok());
+
+  auto report = bp_->Run(project, "main");
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsFailedPrecondition());
+  // The rendered diagnostics ride along in the refusal.
+  EXPECT_NE(report.status().message().find("BP1001"), std::string::npos);
+  EXPECT_NE(report.status().message().find("BP1002"), std::string::npos);
+
+  // Refused before anything was scheduled: no container was acquired, no
+  // run was registered, no stray branch exists.
+  EXPECT_EQ(bp_->container_metrics().cold_starts, 0);
+  auto runs = bp_->run_registry().ListRuns();
+  ASSERT_TRUE(runs.ok());
+  EXPECT_TRUE(runs->empty());
+  auto branches = bp_->ListBranches();
+  ASSERT_TRUE(branches.ok());
+  EXPECT_EQ(branches->size(), 1u);  // just main
+}
+
+TEST_F(PlatformCheckTest, NoVerifySkipsPreflight) {
+  PipelineProject project("broken");
+  ASSERT_TRUE(project.AddSqlNode("a", "SELECT x FROM nowhere").ok());
+  core::PipelineRunOptions options;
+  options.verify = false;
+  // Without the pre-flight the failure surfaces later, from DAG
+  // extraction inside the registered run: the run exists and is marked
+  // failed instead of being refused outright.
+  auto report = bp_->Run(project, "main", options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->merged);
+  EXPECT_NE(report->status.find("failed"), std::string::npos);
+  auto runs = bp_->run_registry().ListRuns();
+  ASSERT_TRUE(runs.ok());
+  EXPECT_EQ(runs->size(), 1u);
+}
+
+TEST_F(PlatformCheckTest, RunStillMergesCleanProject) {
+  auto report = bp_->Run(pipeline::MakePaperTaxiPipeline(0.0), "main");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->merged);
+  // Pre-flight ran: analysis counters registered on the platform.
+  EXPECT_EQ(bp_->metrics_snapshot().Get("analysis.runs"), 1.0);
+}
+
+TEST_F(PlatformCheckTest, SecondRunOverOwnOutputsStaysClean) {
+  // After a successful run, trips/pickups exist in the catalog; checking
+  // the same project again must stay runnable (shadow warnings only).
+  auto first = bp_->Run(pipeline::MakePaperTaxiPipeline(0.0), "main");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->merged);
+  auto check = bp_->Check(pipeline::MakePaperTaxiPipeline(0.0));
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->ok()) << check->diagnostics.ToText();
+  EXPECT_TRUE(
+      HasCode(*check, analysis::codes::kDuplicateOutput));
+  auto second = bp_->Run(pipeline::MakePaperTaxiPipeline(0.0), "main");
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->merged);
+}
+
+TEST_F(PlatformCheckTest, ExamplesTaxiPipelineChecksClean) {
+  auto project =
+      cli::LoadProjectFromDir(std::string(BAUPLAN_EXAMPLES_DIR) +
+                              "/taxi_pipeline");
+  ASSERT_TRUE(project.ok()) << project.status().ToString();
+  auto result = bp_->Check(*project);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ok()) << result->diagnostics.ToText();
+  auto report = bp_->Run(*project, "main");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->merged);
+}
+
+TEST_F(PlatformCheckTest, BrokenTripleReportsAllThreeCodes) {
+  // The acceptance scenario: unknown table + cycle + expectation over a
+  // missing column, all reported in one pass.
+  PipelineProject project("triple");
+  ASSERT_TRUE(project.AddSqlNode("a", "SELECT fare FROM missing").ok());
+  ASSERT_TRUE(project.AddSqlNode("b", "SELECT x FROM b").ok());
+  ASSERT_TRUE(
+      project.AddSqlNode("c", "SELECT fare FROM taxi_table").ok());
+  ASSERT_TRUE(project.AddExpectationNode("c_expectation",
+                                         "mean(no_such_column) > 1")
+                  .ok());
+  auto result = bp_->Check(project);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->ok());
+  EXPECT_TRUE(HasCode(*result, analysis::codes::kUnknownTable));
+  EXPECT_TRUE(HasCode(*result, analysis::codes::kDependencyCycle));
+  EXPECT_TRUE(
+      HasCode(*result, analysis::codes::kExpectationUnknownColumn));
+  EXPECT_EQ(result->diagnostics.error_count(), 3u);
+}
+
+}  // namespace
+}  // namespace bauplan

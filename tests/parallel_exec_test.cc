@@ -228,6 +228,9 @@ TEST_F(ParallelExecTest, FailedNodeLeavesNoArtifactOrReservation) {
   PipelineRunOptions options;
   options.fused = false;
   options.parallelism = 2;
+  // The static pre-flight would refuse this project outright; skip it —
+  // this test exercises how the *runtime* unwinds a mid-wave failure.
+  options.verify = false;
   // Infrastructure failures are reported in-band: the run record says
   // failed and nothing merges.
   auto run = platform_->Run(project, "main", options);
