@@ -46,9 +46,12 @@ commands:
   init-demo [--rows N] [--threshold X]
         seed the lake with a synthetic taxi_table and write the demo
         pipeline project to <lake>_demo_project
-  query -q SQL [-b REF] [--explain] [--explain-metrics]
+  query -q SQL [-b REF] [--explain] [--explain-metrics] [--threads N]
         run a synchronous SQL query at a branch/tag/commit/"ref@timestamp";
-        --explain-metrics dumps the platform metric instruments afterwards
+        --explain-metrics dumps the platform metric instruments (including
+        the exec.* engine counters) afterwards; --threads N runs the
+        vectorized engine with N-way morsel parallelism (results are
+        bit-identical for any N)
   check --project DIR [-b REF] [--json]
         statically analyze a pipeline project against the catalog at REF
         without running it: reference resolution, column-level schema
@@ -111,6 +114,7 @@ const std::map<std::string, std::vector<FlagDef>, std::less<>>& VerbFlags() {
            {{"-q", "--query", true},
             {"--explain", "", false},
             {"--explain-metrics", "", false},
+            {"--threads", "", true},
             kBranchFlag}},
           {"check",
            {{"--project", "", true}, {"--json", "", false}, kBranchFlag}},
@@ -333,6 +337,13 @@ int Main(int argc, char** argv) {
     }
     sql::QueryOptions options;
     options.capture_plans = args.Has("--explain");
+    if (args.Has("--threads")) {
+      int threads = std::atoi(args.Get("--threads", "1").c_str());
+      if (threads < 1) {
+        return UsageError("--threads needs a positive thread count");
+      }
+      options.exec.threads = threads;
+    }
     auto result = bp.Query(args.Get("-q"), *ref, options);
     if (!result.ok()) return Fail(result.status());
     if (args.Has("--explain")) {

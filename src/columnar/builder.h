@@ -120,6 +120,10 @@ class StringBuilder : public ArrayBuilder {
   }
   void AppendNull() override;
   Status AppendValue(const Value& value) override;
+  void Reserve(size_t rows, size_t data_bytes) {
+    offsets_.reserve(offsets_.size() + rows);
+    data_.reserve(data_.size() + data_bytes);
+  }
 
   TypeId type() const override { return TypeId::kString; }
   int64_t length() const override {

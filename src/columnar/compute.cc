@@ -1,12 +1,109 @@
 #include "columnar/compute.h"
 
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
 #include "columnar/builder.h"
+#include "common/hash.h"
 #include "common/strings.h"
 
 namespace bauplan::columnar {
 
-Result<ArrayPtr> Take(const ArrayPtr& array,
-                      const std::vector<int64_t>& indices) {
+namespace {
+
+/// Hash tag for null rows: nulls hash equal so null group-by/distinct
+/// keys land in one bucket.
+constexpr uint64_t kNullHash = 0x9E3779B97F4A7C15ULL;
+
+bool IsInt64Backed(TypeId t) {
+  return t == TypeId::kInt64 || t == TypeId::kTimestamp;
+}
+
+/// Validity of an elementwise binary result: null where either input is.
+std::vector<uint8_t> CombinedValidity(const Array& l, const Array& r,
+                                      int64_t* null_count) {
+  *null_count = 0;
+  if (l.null_count() == 0 && r.null_count() == 0) return {};
+  std::vector<uint8_t> validity(static_cast<size_t>(l.length()), 1);
+  for (int64_t i = 0; i < l.length(); ++i) {
+    if (l.IsNull(i) || r.IsNull(i)) {
+      validity[static_cast<size_t>(i)] = 0;
+      ++*null_count;
+    }
+  }
+  return validity;
+}
+
+bool CompareResult(CompareOp op, int cmp) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+/// Total order over doubles used by comparisons and sorts: NaN orders
+/// after every non-NaN value and equals itself, so sort comparators stay
+/// a strict weak ordering even with NaN keys.
+int CompareDouble(double a, double b) {
+  bool a_nan = std::isnan(a), b_nan = std::isnan(b);
+  if (a_nan || b_nan) return a_nan == b_nan ? 0 : (a_nan ? 1 : -1);
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+int CompareInt64(int64_t a, int64_t b) {
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+/// Emits one bool per row from a three-way comparison callback; rows
+/// where either input is null come out null.
+template <typename Cmp>
+ArrayPtr CompareLoop(CompareOp op, const Array& l, const Array& r,
+                     Cmp&& cmp) {
+  int64_t n = l.length();
+  int64_t nulls = 0;
+  std::vector<uint8_t> validity = CombinedValidity(l, r, &nulls);
+  std::vector<uint8_t> values(static_cast<size_t>(n), 0);
+  if (nulls == 0) {
+    for (int64_t i = 0; i < n; ++i) {
+      values[static_cast<size_t>(i)] = CompareResult(op, cmp(i)) ? 1 : 0;
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      if (validity[static_cast<size_t>(i)] == 0) continue;
+      values[static_cast<size_t>(i)] = CompareResult(op, cmp(i)) ? 1 : 0;
+    }
+  }
+  return std::make_shared<BoolArray>(std::move(values), std::move(validity),
+                                     nulls);
+}
+
+/// Row accessor that reads any numeric array as double.
+std::function<double(int64_t)> AsDoubleAccessor(const Array& a) {
+  if (a.type() == TypeId::kDouble) {
+    const auto* d = AsDouble(a);
+    return [d](int64_t i) { return d->Value(i); };
+  }
+  const auto* v = AsInt64(a);
+  return [v](int64_t i) { return static_cast<double>(v->Value(i)); };
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- gather
+
+Result<ArrayPtr> Take(const ArrayPtr& array, const SelectionVector& indices) {
   for (int64_t idx : indices) {
     if (idx < 0 || idx >= array->length()) {
       return Status::OutOfRange(
@@ -58,6 +155,9 @@ Result<ArrayPtr> Take(const ArrayPtr& array,
     case TypeId::kString: {
       const auto* src = AsString(*array);
       StringBuilder builder;
+      size_t bytes = 0;
+      for (int64_t idx : indices) bytes += src->Value(idx).size();
+      builder.Reserve(indices.size(), bytes);
       for (int64_t idx : indices) {
         if (src->IsNull(idx)) {
           builder.AppendNull();
@@ -71,8 +171,78 @@ Result<ArrayPtr> Take(const ArrayPtr& array,
   return Status::Internal("unhandled type in Take");
 }
 
-Result<Table> TakeTable(const Table& table,
-                        const std::vector<int64_t>& indices) {
+Result<ArrayPtr> TakeAllowNull(const ArrayPtr& array,
+                               const SelectionVector& indices) {
+  for (int64_t idx : indices) {
+    if (idx < -1 || idx >= array->length()) {
+      return Status::OutOfRange(
+          StrCat("take index ", idx, " out of range [-1, ", array->length(),
+                 ")"));
+    }
+  }
+  auto builder = MakeBuilder(array->type());
+  switch (array->type()) {
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      const auto* src = AsInt64(*array);
+      auto* out = static_cast<Int64Builder*>(builder.get());
+      out->Reserve(indices.size());
+      for (int64_t idx : indices) {
+        if (idx < 0 || src->IsNull(idx)) {
+          out->AppendNull();
+        } else {
+          out->Append(src->Value(idx));
+        }
+      }
+      break;
+    }
+    case TypeId::kDouble: {
+      const auto* src = AsDouble(*array);
+      auto* out = static_cast<DoubleBuilder*>(builder.get());
+      out->Reserve(indices.size());
+      for (int64_t idx : indices) {
+        if (idx < 0 || src->IsNull(idx)) {
+          out->AppendNull();
+        } else {
+          out->Append(src->Value(idx));
+        }
+      }
+      break;
+    }
+    case TypeId::kBool: {
+      const auto* src = AsBool(*array);
+      auto* out = static_cast<BoolBuilder*>(builder.get());
+      for (int64_t idx : indices) {
+        if (idx < 0 || src->IsNull(idx)) {
+          out->AppendNull();
+        } else {
+          out->Append(src->Value(idx));
+        }
+      }
+      break;
+    }
+    case TypeId::kString: {
+      const auto* src = AsString(*array);
+      auto* out = static_cast<StringBuilder*>(builder.get());
+      size_t bytes = 0;
+      for (int64_t idx : indices) {
+        if (idx >= 0) bytes += src->Value(idx).size();
+      }
+      out->Reserve(indices.size(), bytes);
+      for (int64_t idx : indices) {
+        if (idx < 0 || src->IsNull(idx)) {
+          out->AppendNull();
+        } else {
+          out->Append(src->Value(idx));
+        }
+      }
+      break;
+    }
+  }
+  return builder->Finish();
+}
+
+Result<Table> TakeTable(const Table& table, const SelectionVector& indices) {
   std::vector<ArrayPtr> columns;
   columns.reserve(static_cast<size_t>(table.num_columns()));
   for (int c = 0; c < table.num_columns(); ++c) {
@@ -82,17 +252,195 @@ Result<Table> TakeTable(const Table& table,
   return Table::Make(table.schema(), std::move(columns));
 }
 
+SelectionVector MaskToSelection(const BoolArray& mask) {
+  SelectionVector indices;
+  for (int64_t i = 0; i < mask.length(); ++i) {
+    if (!mask.IsNull(i) && mask.Value(i)) indices.push_back(i);
+  }
+  return indices;
+}
+
 Result<Table> FilterTable(const Table& table, const BoolArray& mask) {
   if (mask.length() != table.num_rows()) {
     return Status::InvalidArgument(
         StrCat("filter mask length ", mask.length(), " != table rows ",
                table.num_rows()));
   }
-  std::vector<int64_t> indices;
-  for (int64_t i = 0; i < mask.length(); ++i) {
-    if (!mask.IsNull(i) && mask.Value(i)) indices.push_back(i);
+  return TakeTable(table, MaskToSelection(mask));
+}
+
+Result<ArrayPtr> SliceArray(const ArrayPtr& array, int64_t offset,
+                            int64_t length) {
+  if (offset < 0 || offset > array->length() || length < 0) {
+    return Status::OutOfRange(StrCat("slice [", offset, ", +", length,
+                                     ") out of range [0, ", array->length(),
+                                     "]"));
   }
-  return TakeTable(table, indices);
+  int64_t end = std::min(offset + length, array->length());
+  size_t lo = static_cast<size_t>(offset), hi = static_cast<size_t>(end);
+  if (offset == 0 && end == array->length()) return array;  // whole array
+
+  // Slice validity (empty = all valid) and recount nulls in the window.
+  std::vector<uint8_t> validity;
+  int64_t nulls = 0;
+  if (array->null_count() > 0) {
+    for (int64_t i = offset; i < end; ++i) {
+      if (array->IsNull(i)) ++nulls;
+    }
+  }
+
+  switch (array->type()) {
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      const auto& src = AsInt64(*array)->values();
+      std::vector<int64_t> values(src.begin() + lo, src.begin() + hi);
+      if (nulls > 0) {
+        validity.reserve(hi - lo);
+        for (int64_t i = offset; i < end; ++i) {
+          validity.push_back(array->IsNull(i) ? 0 : 1);
+        }
+      }
+      return std::make_shared<Int64Array>(std::move(values),
+                                          std::move(validity), nulls,
+                                          array->type());
+    }
+    case TypeId::kDouble: {
+      const auto& src = AsDouble(*array)->values();
+      std::vector<double> values(src.begin() + lo, src.begin() + hi);
+      if (nulls > 0) {
+        validity.reserve(hi - lo);
+        for (int64_t i = offset; i < end; ++i) {
+          validity.push_back(array->IsNull(i) ? 0 : 1);
+        }
+      }
+      return std::make_shared<DoubleArray>(std::move(values),
+                                           std::move(validity), nulls);
+    }
+    case TypeId::kBool: {
+      const auto* src = AsBool(*array);
+      std::vector<uint8_t> values;
+      values.reserve(hi - lo);
+      for (int64_t i = offset; i < end; ++i) {
+        values.push_back(src->Value(i) ? 1 : 0);
+      }
+      if (nulls > 0) {
+        validity.reserve(hi - lo);
+        for (int64_t i = offset; i < end; ++i) {
+          validity.push_back(array->IsNull(i) ? 0 : 1);
+        }
+      }
+      return std::make_shared<BoolArray>(std::move(values),
+                                         std::move(validity), nulls);
+    }
+    case TypeId::kString: {
+      const auto* src = AsString(*array);
+      const auto& offsets = src->offsets();
+      std::vector<uint32_t> new_offsets;
+      new_offsets.reserve(hi - lo + 1);
+      std::string data;
+      if (offsets.empty()) {
+        new_offsets.push_back(0);
+      } else {
+        uint32_t base = offsets[lo];
+        for (size_t i = lo; i <= hi; ++i) {
+          new_offsets.push_back(offsets[i] - base);
+        }
+        data = src->data().substr(base, offsets[hi] - base);
+      }
+      if (nulls > 0) {
+        validity.reserve(hi - lo);
+        for (int64_t i = offset; i < end; ++i) {
+          validity.push_back(array->IsNull(i) ? 0 : 1);
+        }
+      }
+      return std::make_shared<StringArray>(std::move(data),
+                                           std::move(new_offsets),
+                                           std::move(validity), nulls);
+    }
+  }
+  return Status::Internal("unhandled type in SliceArray");
+}
+
+Result<ArrayPtr> ConcatArrays(const std::vector<ArrayPtr>& arrays) {
+  if (arrays.empty()) {
+    return Status::InvalidArgument("cannot concat zero arrays");
+  }
+  TypeId type = arrays[0]->type();
+  int64_t total = 0, nulls = 0;
+  for (const ArrayPtr& a : arrays) {
+    if (a->type() != type) {
+      return Status::InvalidArgument(
+          StrCat("cannot concat ", TypeIdToString(type), " with ",
+                 TypeIdToString(a->type())));
+    }
+    total += a->length();
+    nulls += a->null_count();
+  }
+  if (arrays.size() == 1) return arrays[0];
+
+  std::vector<uint8_t> validity;
+  if (nulls > 0) {
+    validity.reserve(static_cast<size_t>(total));
+    for (const ArrayPtr& a : arrays) {
+      for (int64_t i = 0; i < a->length(); ++i) {
+        validity.push_back(a->IsNull(i) ? 0 : 1);
+      }
+    }
+  }
+  switch (type) {
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      std::vector<int64_t> values;
+      values.reserve(static_cast<size_t>(total));
+      for (const ArrayPtr& a : arrays) {
+        const auto& src = AsInt64(*a)->values();
+        values.insert(values.end(), src.begin(), src.end());
+      }
+      return std::make_shared<Int64Array>(std::move(values),
+                                          std::move(validity), nulls, type);
+    }
+    case TypeId::kDouble: {
+      std::vector<double> values;
+      values.reserve(static_cast<size_t>(total));
+      for (const ArrayPtr& a : arrays) {
+        const auto& src = AsDouble(*a)->values();
+        values.insert(values.end(), src.begin(), src.end());
+      }
+      return std::make_shared<DoubleArray>(std::move(values),
+                                           std::move(validity), nulls);
+    }
+    case TypeId::kBool: {
+      std::vector<uint8_t> values;
+      values.reserve(static_cast<size_t>(total));
+      for (const ArrayPtr& a : arrays) {
+        const auto* src = AsBool(*a);
+        for (int64_t i = 0; i < src->length(); ++i) {
+          values.push_back(src->Value(i) ? 1 : 0);
+        }
+      }
+      return std::make_shared<BoolArray>(std::move(values),
+                                         std::move(validity), nulls);
+    }
+    case TypeId::kString: {
+      std::string data;
+      std::vector<uint32_t> offsets;
+      offsets.reserve(static_cast<size_t>(total) + 1);
+      offsets.push_back(0);
+      for (const ArrayPtr& a : arrays) {
+        const auto* src = AsString(*a);
+        uint32_t base = static_cast<uint32_t>(data.size());
+        data.append(src->data());
+        const auto& src_offsets = src->offsets();
+        for (size_t i = 1; i < src_offsets.size(); ++i) {
+          offsets.push_back(base + src_offsets[i]);
+        }
+      }
+      return std::make_shared<StringArray>(std::move(data),
+                                           std::move(offsets),
+                                           std::move(validity), nulls);
+    }
+  }
+  return Status::Internal("unhandled type in ConcatArrays");
 }
 
 Result<Table> ConcatTables(const std::vector<Table>& tables) {
@@ -106,16 +454,15 @@ Result<Table> ConcatTables(const std::vector<Table>& tables) {
           "cannot concat tables with different schemas");
     }
   }
+  if (tables.size() == 1) return tables[0];
   std::vector<ArrayPtr> columns;
+  columns.reserve(static_cast<size_t>(schema.num_fields()));
   for (int c = 0; c < schema.num_fields(); ++c) {
-    auto builder = MakeBuilder(schema.field(c).type);
-    for (const Table& t : tables) {
-      const ArrayPtr& col = t.column(c);
-      for (int64_t i = 0; i < col->length(); ++i) {
-        BAUPLAN_RETURN_NOT_OK(builder->AppendValue(col->GetValue(i)));
-      }
-    }
-    columns.push_back(builder->Finish());
+    std::vector<ArrayPtr> parts;
+    parts.reserve(tables.size());
+    for (const Table& t : tables) parts.push_back(t.column(c));
+    BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr col, ConcatArrays(parts));
+    columns.push_back(std::move(col));
   }
   return Table::Make(schema, std::move(columns));
 }
@@ -126,12 +473,468 @@ Result<Table> SliceTable(const Table& table, int64_t offset, int64_t length) {
                                      " out of range [0, ", table.num_rows(),
                                      "]"));
   }
-  int64_t end = std::min(offset + length, table.num_rows());
-  std::vector<int64_t> indices;
-  indices.reserve(static_cast<size_t>(end - offset));
-  for (int64_t i = offset; i < end; ++i) indices.push_back(i);
-  return TakeTable(table, indices);
+  std::vector<ArrayPtr> columns;
+  columns.reserve(static_cast<size_t>(table.num_columns()));
+  for (int c = 0; c < table.num_columns(); ++c) {
+    BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr col,
+                             SliceArray(table.column(c), offset, length));
+    columns.push_back(std::move(col));
+  }
+  return Table::Make(table.schema(), std::move(columns));
 }
+
+ArrayPtr MakeConstantArray(const Value& v, int64_t n) {
+  size_t count = static_cast<size_t>(n);
+  if (v.is_null()) {
+    return std::make_shared<Int64Array>(std::vector<int64_t>(count, 0),
+                                        std::vector<uint8_t>(count, 0), n);
+  }
+  switch (v.type()) {
+    case TypeId::kInt64:
+    case TypeId::kTimestamp:
+      return std::make_shared<Int64Array>(
+          std::vector<int64_t>(count, v.int64_value()),
+          std::vector<uint8_t>(), 0, v.type());
+    case TypeId::kDouble:
+      return std::make_shared<DoubleArray>(
+          std::vector<double>(count, v.double_value()),
+          std::vector<uint8_t>(), 0);
+    case TypeId::kBool:
+      return std::make_shared<BoolArray>(
+          std::vector<uint8_t>(count, v.bool_value() ? 1 : 0),
+          std::vector<uint8_t>(), 0);
+    case TypeId::kString: {
+      const std::string& s = v.string_value();
+      std::string data;
+      data.reserve(count * s.size());
+      std::vector<uint32_t> offsets;
+      offsets.reserve(count + 1);
+      offsets.push_back(0);
+      for (size_t i = 0; i < count; ++i) {
+        data.append(s);
+        offsets.push_back(static_cast<uint32_t>(data.size()));
+      }
+      return std::make_shared<StringArray>(std::move(data),
+                                           std::move(offsets),
+                                           std::vector<uint8_t>(), 0);
+    }
+  }
+  return nullptr;  // unreachable
+}
+
+// ---------------------------------------------------- elementwise kernels
+
+Result<ArrayPtr> CompareArrays(CompareOp op, const Array& left,
+                               const Array& right) {
+  if (left.length() != right.length()) {
+    return Status::InvalidArgument(
+        StrCat("compare length mismatch: ", left.length(), " vs ",
+               right.length()));
+  }
+  TypeId lt = left.type(), rt = right.type();
+  if (IsInt64Backed(lt) && IsInt64Backed(rt)) {
+    const auto* l = AsInt64(left);
+    const auto* r = AsInt64(right);
+    return CompareLoop(op, left, right, [l, r](int64_t i) {
+      return CompareInt64(l->Value(i), r->Value(i));
+    });
+  }
+  if (IsNumeric(lt) && IsNumeric(rt)) {
+    auto l = AsDoubleAccessor(left);
+    auto r = AsDoubleAccessor(right);
+    return CompareLoop(op, left, right, [l, r](int64_t i) {
+      return CompareDouble(l(i), r(i));
+    });
+  }
+  if (lt == TypeId::kString && rt == TypeId::kString) {
+    const auto* l = AsString(left);
+    const auto* r = AsString(right);
+    return CompareLoop(op, left, right, [l, r](int64_t i) {
+      int c = l->Value(i).compare(r->Value(i));
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    });
+  }
+  if (lt == TypeId::kBool && rt == TypeId::kBool) {
+    const auto* l = AsBool(left);
+    const auto* r = AsBool(right);
+    return CompareLoop(op, left, right, [l, r](int64_t i) {
+      return CompareInt64(l->Value(i) ? 1 : 0, r->Value(i) ? 1 : 0);
+    });
+  }
+  return Status::InvalidArgument(StrCat("cannot compare ",
+                                        TypeIdToString(lt), " with ",
+                                        TypeIdToString(rt)));
+}
+
+Result<ArrayPtr> ArithmeticArrays(ArithOp op, const Array& left,
+                                  const Array& right) {
+  if (left.length() != right.length()) {
+    return Status::InvalidArgument(
+        StrCat("arithmetic length mismatch: ", left.length(), " vs ",
+               right.length()));
+  }
+  if (!IsNumeric(left.type()) || !IsNumeric(right.type())) {
+    return Status::InvalidArgument(
+        StrCat("arithmetic needs numeric operands, got ",
+               TypeIdToString(left.type()), " and ",
+               TypeIdToString(right.type())));
+  }
+  int64_t n = left.length();
+  bool as_double = op == ArithOp::kDiv || left.type() == TypeId::kDouble ||
+                   right.type() == TypeId::kDouble;
+  int64_t nulls = 0;
+  std::vector<uint8_t> validity = CombinedValidity(left, right, &nulls);
+
+  if (as_double) {
+    auto l = AsDoubleAccessor(left);
+    auto r = AsDoubleAccessor(right);
+    std::vector<double> values(static_cast<size_t>(n), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      if (!validity.empty() && validity[static_cast<size_t>(i)] == 0) {
+        continue;
+      }
+      double a = l(i), b = r(i);
+      double v = 0;
+      switch (op) {
+        case ArithOp::kAdd:
+          v = a + b;
+          break;
+        case ArithOp::kSub:
+          v = a - b;
+          break;
+        case ArithOp::kMul:
+          v = a * b;
+          break;
+        case ArithOp::kDiv:
+        case ArithOp::kMod:
+          if (b == 0) {  // SQL: division by zero -> null (lenient)
+            if (validity.empty()) {
+              validity.assign(static_cast<size_t>(n), 1);
+              // Rows before i were valid; keep their flags.
+            }
+            validity[static_cast<size_t>(i)] = 0;
+            ++nulls;
+            continue;
+          }
+          v = op == ArithOp::kDiv ? a / b : std::fmod(a, b);
+          break;
+      }
+      values[static_cast<size_t>(i)] = v;
+    }
+    return std::make_shared<DoubleArray>(std::move(values),
+                                         std::move(validity), nulls);
+  }
+
+  const auto* l = AsInt64(left);
+  const auto* r = AsInt64(right);
+  std::vector<int64_t> values(static_cast<size_t>(n), 0);
+  for (int64_t i = 0; i < n; ++i) {
+    if (!validity.empty() && validity[static_cast<size_t>(i)] == 0) continue;
+    int64_t a = l->Value(i), b = r->Value(i);
+    int64_t v = 0;
+    switch (op) {
+      case ArithOp::kAdd:
+        v = a + b;
+        break;
+      case ArithOp::kSub:
+        v = a - b;
+        break;
+      case ArithOp::kMul:
+        v = a * b;
+        break;
+      case ArithOp::kMod:
+        if (b == 0) {
+          if (validity.empty()) validity.assign(static_cast<size_t>(n), 1);
+          validity[static_cast<size_t>(i)] = 0;
+          ++nulls;
+          continue;
+        }
+        v = a % b;
+        break;
+      case ArithOp::kDiv:
+        return Status::Internal("integer division reaches the double path");
+    }
+    values[static_cast<size_t>(i)] = v;
+  }
+  return std::make_shared<Int64Array>(std::move(values), std::move(validity),
+                                      nulls);
+}
+
+namespace {
+
+Result<ArrayPtr> LogicalLoop(const Array& left, const Array& right,
+                             bool is_and) {
+  const auto* l = AsBool(left);
+  const auto* r = AsBool(right);
+  if (l == nullptr || r == nullptr) {
+    return Status::InvalidArgument(
+        StrCat(is_and ? "AND" : "OR", " needs boolean operands"));
+  }
+  if (left.length() != right.length()) {
+    return Status::InvalidArgument(
+        StrCat("logical length mismatch: ", left.length(), " vs ",
+               right.length()));
+  }
+  int64_t n = left.length();
+  std::vector<uint8_t> values(static_cast<size_t>(n), 0);
+  std::vector<uint8_t> validity;
+  int64_t nulls = 0;
+  bool any_null_inputs = left.null_count() > 0 || right.null_count() > 0;
+  if (any_null_inputs) validity.assign(static_cast<size_t>(n), 1);
+  for (int64_t i = 0; i < n; ++i) {
+    bool ln = l->IsNull(i), rn = r->IsNull(i);
+    bool lv = !ln && l->Value(i), rv = !rn && r->Value(i);
+    size_t idx = static_cast<size_t>(i);
+    if (is_and) {
+      if ((!ln && !lv) || (!rn && !rv)) {
+        values[idx] = 0;  // false AND x == false
+      } else if (ln || rn) {
+        validity[idx] = 0;
+        ++nulls;
+      } else {
+        values[idx] = 1;
+      }
+    } else {
+      if ((!ln && lv) || (!rn && rv)) {
+        values[idx] = 1;  // true OR x == true
+      } else if (ln || rn) {
+        validity[idx] = 0;
+        ++nulls;
+      } else {
+        values[idx] = 0;
+      }
+    }
+  }
+  if (nulls == 0) validity.clear();
+  return std::make_shared<BoolArray>(std::move(values), std::move(validity),
+                                     nulls);
+}
+
+}  // namespace
+
+Result<ArrayPtr> AndArrays(const Array& left, const Array& right) {
+  return LogicalLoop(left, right, /*is_and=*/true);
+}
+
+Result<ArrayPtr> OrArrays(const Array& left, const Array& right) {
+  return LogicalLoop(left, right, /*is_and=*/false);
+}
+
+Result<ArrayPtr> NotArray(const Array& input) {
+  const auto* b = AsBool(input);
+  if (b == nullptr) {
+    return Status::InvalidArgument("NOT needs a boolean operand");
+  }
+  int64_t n = input.length();
+  std::vector<uint8_t> values(static_cast<size_t>(n), 0);
+  std::vector<uint8_t> validity;
+  int64_t nulls = input.null_count();
+  if (nulls > 0) {
+    validity.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      validity.push_back(input.IsNull(i) ? 0 : 1);
+    }
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    if (!input.IsNull(i)) {
+      values[static_cast<size_t>(i)] = b->Value(i) ? 0 : 1;
+    }
+  }
+  return std::make_shared<BoolArray>(std::move(values), std::move(validity),
+                                     nulls);
+}
+
+// ----------------------------------------------------------- hash kernels
+
+void HashArray(const Array& array, bool combine,
+               std::vector<uint64_t>* hashes) {
+  size_t n = static_cast<size_t>(array.length());
+  if (!combine) hashes->assign(n, 0);
+  auto mix = [combine, hashes](size_t i, uint64_t h) {
+    (*hashes)[i] = combine ? HashCombine((*hashes)[i], h) : h;
+  };
+  switch (array.type()) {
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      const auto* a = AsInt64(array);
+      for (size_t i = 0; i < n; ++i) {
+        if (a->IsNull(static_cast<int64_t>(i))) {
+          mix(i, kNullHash);
+          continue;
+        }
+        int64_t v = a->Value(static_cast<int64_t>(i));
+        mix(i, Fnv1a64(&v, sizeof(v)));
+      }
+      return;
+    }
+    case TypeId::kDouble: {
+      const auto* a = AsDouble(array);
+      for (size_t i = 0; i < n; ++i) {
+        if (a->IsNull(static_cast<int64_t>(i))) {
+          mix(i, kNullHash);
+          continue;
+        }
+        double v = a->Value(static_cast<int64_t>(i));
+        if (v == 0.0) v = 0.0;  // normalize -0.0
+        mix(i, Fnv1a64(&v, sizeof(v)));
+      }
+      return;
+    }
+    case TypeId::kBool: {
+      const auto* a = AsBool(array);
+      for (size_t i = 0; i < n; ++i) {
+        if (a->IsNull(static_cast<int64_t>(i))) {
+          mix(i, kNullHash);
+          continue;
+        }
+        mix(i, a->Value(static_cast<int64_t>(i)) ? 0x9E37ULL : 0x79B9ULL);
+      }
+      return;
+    }
+    case TypeId::kString: {
+      const auto* a = AsString(array);
+      for (size_t i = 0; i < n; ++i) {
+        if (a->IsNull(static_cast<int64_t>(i))) {
+          mix(i, kNullHash);
+          continue;
+        }
+        mix(i, Fnv1a64(a->Value(static_cast<int64_t>(i))));
+      }
+      return;
+    }
+  }
+}
+
+namespace {
+
+bool CellsEqual(const Array& a, int64_t ai, const Array& b, int64_t bi) {
+  bool a_null = a.IsNull(ai), b_null = b.IsNull(bi);
+  if (a_null || b_null) return a_null && b_null;
+  TypeId at = a.type(), bt = b.type();
+  if (IsInt64Backed(at) && IsInt64Backed(bt)) {
+    return AsInt64(a)->Value(ai) == AsInt64(b)->Value(bi);
+  }
+  if (IsNumeric(at) && IsNumeric(bt)) {
+    double x = at == TypeId::kDouble
+                   ? AsDouble(a)->Value(ai)
+                   : static_cast<double>(AsInt64(a)->Value(ai));
+    double y = bt == TypeId::kDouble
+                   ? AsDouble(b)->Value(bi)
+                   : static_cast<double>(AsInt64(b)->Value(bi));
+    return x == y;
+  }
+  if (at != bt) return false;
+  switch (at) {
+    case TypeId::kBool:
+      return AsBool(a)->Value(ai) == AsBool(b)->Value(bi);
+    case TypeId::kString:
+      return AsString(a)->Value(ai) == AsString(b)->Value(bi);
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool RowsEqual(const std::vector<ArrayPtr>& left, int64_t left_row,
+               const std::vector<ArrayPtr>& right, int64_t right_row) {
+  for (size_t c = 0; c < left.size(); ++c) {
+    if (!CellsEqual(*left[c], left_row, *right[c], right_row)) return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------ sort kernels
+
+namespace {
+
+/// Three-way row comparator for one key column; nulls order first.
+std::function<int(int64_t, int64_t)> MakeColumnComparator(
+    const ArrayPtr& array) {
+  const Array* a = array.get();
+  auto with_nulls = [a](auto typed_cmp) {
+    return [a, typed_cmp](int64_t x, int64_t y) {
+      bool xn = a->IsNull(x), yn = a->IsNull(y);
+      if (xn || yn) return xn == yn ? 0 : (xn ? -1 : 1);
+      return typed_cmp(x, y);
+    };
+  };
+  switch (array->type()) {
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      const auto* v = AsInt64(*array);
+      return with_nulls([v](int64_t x, int64_t y) {
+        return CompareInt64(v->Value(x), v->Value(y));
+      });
+    }
+    case TypeId::kDouble: {
+      const auto* v = AsDouble(*array);
+      return with_nulls([v](int64_t x, int64_t y) {
+        return CompareDouble(v->Value(x), v->Value(y));
+      });
+    }
+    case TypeId::kBool: {
+      const auto* v = AsBool(*array);
+      return with_nulls([v](int64_t x, int64_t y) {
+        return CompareInt64(v->Value(x) ? 1 : 0, v->Value(y) ? 1 : 0);
+      });
+    }
+    case TypeId::kString: {
+      const auto* v = AsString(*array);
+      return with_nulls([v](int64_t x, int64_t y) {
+        int c = v->Value(x).compare(v->Value(y));
+        return c < 0 ? -1 : (c > 0 ? 1 : 0);
+      });
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<SelectionVector> SortIndices(const std::vector<SortKeySpec>& keys,
+                                    int64_t limit) {
+  if (keys.empty()) {
+    return Status::InvalidArgument("SortIndices needs at least one key");
+  }
+  int64_t n = keys[0].array->length();
+  struct KeyCmp {
+    std::function<int(int64_t, int64_t)> cmp;
+    bool ascending;
+  };
+  std::vector<KeyCmp> comparators;
+  comparators.reserve(keys.size());
+  for (const SortKeySpec& key : keys) {
+    if (key.array->length() != n) {
+      return Status::InvalidArgument("sort key length mismatch");
+    }
+    comparators.push_back({MakeColumnComparator(key.array), key.ascending});
+  }
+  SelectionVector indices(static_cast<size_t>(n));
+  for (size_t i = 0; i < indices.size(); ++i) {
+    indices[i] = static_cast<int64_t>(i);
+  }
+  // Final index tie-break makes this a total order, so plain sort (and
+  // partial_sort for top-N) reproduce exactly what a stable sort would.
+  auto less = [&comparators](int64_t x, int64_t y) {
+    for (const KeyCmp& k : comparators) {
+      int c = k.cmp(x, y);
+      if (c != 0) return k.ascending ? c < 0 : c > 0;
+    }
+    return x < y;
+  };
+  if (limit >= 0 && limit < n) {
+    std::partial_sort(indices.begin(),
+                      indices.begin() + static_cast<size_t>(limit),
+                      indices.end(), less);
+    indices.resize(static_cast<size_t>(limit));
+  } else {
+    std::sort(indices.begin(), indices.end(), less);
+  }
+  return indices;
+}
+
+// -------------------------------------------------------------- statistics
 
 ColumnStats ComputeStats(const Array& array) {
   ColumnStats stats;

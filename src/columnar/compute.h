@@ -10,23 +10,103 @@
 
 namespace bauplan::columnar {
 
+/// Row indices into an array/table; the currency between filter, take and
+/// sort kernels. -1 is only meaningful for TakeAllowNull (null row).
+using SelectionVector = std::vector<int64_t>;
+
+// ------------------------------------------------------------ gather
+
 /// Gathers rows of `array` at `indices` into a new array.
-Result<ArrayPtr> Take(const ArrayPtr& array,
-                      const std::vector<int64_t>& indices);
+Result<ArrayPtr> Take(const ArrayPtr& array, const SelectionVector& indices);
+
+/// Like Take, but index -1 produces a null row (hash-join null extension
+/// for unmatched LEFT rows).
+Result<ArrayPtr> TakeAllowNull(const ArrayPtr& array,
+                               const SelectionVector& indices);
 
 /// Gathers rows of `table` at `indices` into a new table.
-Result<Table> TakeTable(const Table& table,
-                        const std::vector<int64_t>& indices);
+Result<Table> TakeTable(const Table& table, const SelectionVector& indices);
 
 /// Keeps the rows of `table` where `mask` is true (null mask entries drop
 /// the row, matching SQL WHERE semantics).
 Result<Table> FilterTable(const Table& table, const BoolArray& mask);
+
+/// Row indices where `mask` is true and not null.
+SelectionVector MaskToSelection(const BoolArray& mask);
+
+/// Copies rows [offset, offset+length) of `array` (typed, no boxing).
+Result<ArrayPtr> SliceArray(const ArrayPtr& array, int64_t offset,
+                            int64_t length);
+
+/// Vertically concatenates same-typed arrays (typed buffer appends).
+Result<ArrayPtr> ConcatArrays(const std::vector<ArrayPtr>& arrays);
 
 /// Vertically concatenates tables with identical schemas.
 Result<Table> ConcatTables(const std::vector<Table>& tables);
 
 /// Slices rows [offset, offset+length) out of `table` (copying).
 Result<Table> SliceTable(const Table& table, int64_t offset, int64_t length);
+
+/// Materializes `n` copies of `v` as a typed array (null `v` yields an
+/// all-null int64 column).
+ArrayPtr MakeConstantArray(const Value& v, int64_t n);
+
+// --------------------------------------------------- elementwise kernels
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd, kSub, kMul, kDiv, kMod };
+
+/// Elementwise comparison with SQL null propagation (null input -> null
+/// output). Typed paths cover int64/timestamp, double, mixed numeric,
+/// string and bool operands; incomparable types are InvalidArgument.
+Result<ArrayPtr> CompareArrays(CompareOp op, const Array& left,
+                               const Array& right);
+
+/// Elementwise arithmetic over numeric arrays. Division always yields
+/// double; any op with a double operand yields double; division/modulo by
+/// zero yields null (lenient SQL semantics). Nulls propagate.
+Result<ArrayPtr> ArithmeticArrays(ArithOp op, const Array& left,
+                                  const Array& right);
+
+/// Three-valued AND / OR / NOT over bool arrays.
+Result<ArrayPtr> AndArrays(const Array& left, const Array& right);
+Result<ArrayPtr> OrArrays(const Array& left, const Array& right);
+Result<ArrayPtr> NotArray(const Array& input);
+
+// --------------------------------------------------------- hash kernels
+
+/// Hashes every row of `array` into `hashes` (resized to the array
+/// length). When `combine` is true the new column hash is mixed into the
+/// existing entries — call once per key column to get multi-column row
+/// hashes without materializing boxed keys. Null rows hash to a fixed
+/// tag, so null keys land in one bucket.
+void HashArray(const Array& array, bool combine,
+               std::vector<uint64_t>* hashes);
+
+/// True when row `left_row` of `left` equals row `right_row` of `right`
+/// column-by-column. Nulls compare equal to nulls (group-by/distinct
+/// semantics; join build/probe filters null keys out beforehand). Mixed
+/// int64/double columns compare numerically.
+bool RowsEqual(const std::vector<ArrayPtr>& left, int64_t left_row,
+               const std::vector<ArrayPtr>& right, int64_t right_row);
+
+// ---------------------------------------------------------- sort kernels
+
+/// Sort order of one key column.
+struct SortKeySpec {
+  ArrayPtr array;
+  bool ascending = true;
+};
+
+/// Index order that sorts by `keys` (stable: equal keys keep input
+/// order). Ordering per column: nulls first ascending (last descending),
+/// then values; double NaN orders after every non-NaN number. When
+/// `limit` >= 0 only the first `limit` indices of the full stable order
+/// are produced (top-N: LIMIT pushed into ORDER BY).
+Result<SelectionVector> SortIndices(const std::vector<SortKeySpec>& keys,
+                                    int64_t limit = -1);
+
+// ------------------------------------------------------------ statistics
 
 /// Min/max/null statistics of one column, used for file zone maps.
 struct ColumnStats {

@@ -1,0 +1,90 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace bauplan {
+
+ThreadPool::ThreadPool(int num_workers) {
+  if (num_workers < 0) num_workers = 0;
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() BAUPLAN_REQUIRES(mu_) {
+        return stopping_ || !queue_.empty();
+      });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  if (workers_.empty() || n == 1) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared claim/completion state. `done` is updated under the state
+  // mutex so finished morsel outputs happen-before the caller's reads.
+  struct State {
+    std::atomic<int64_t> next{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    int64_t done = 0;
+  };
+  auto state = std::make_shared<State>();
+
+  auto drain = [state, n, fn]() {
+    int64_t index;
+    while ((index = state->next.fetch_add(1, std::memory_order_relaxed)) <
+           n) {
+      fn(index);
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (++state->done == n) state->cv.notify_all();
+    }
+  };
+
+  int64_t helpers =
+      std::min<int64_t>(static_cast<int64_t>(workers_.size()), n - 1);
+  for (int64_t i = 0; i < helpers; ++i) Submit(drain);
+  drain();  // the caller claims indices too
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&state, n]() BAUPLAN_REQUIRES(state->mu) {
+    return state->done == n;
+  });
+}
+
+}  // namespace bauplan

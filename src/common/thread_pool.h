@@ -1,0 +1,59 @@
+#ifndef BAUPLAN_COMMON_THREAD_POOL_H_
+#define BAUPLAN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace bauplan {
+
+/// Fixed-size worker pool backing morsel-driven query execution (and any
+/// other data-parallel loop). Workers block on a shared queue; the pool
+/// joins them on destruction after draining outstanding tasks.
+///
+/// Determinism contract: ParallelFor only changes *which thread* runs each
+/// index, never the index set or the caller's merge order. Callers that
+/// partition work into fixed morsels and combine partial results by morsel
+/// index therefore produce bit-identical output for any pool size,
+/// including zero workers (fully inline execution).
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads; 0 is valid and makes every ParallelFor
+  /// run inline on the calling thread.
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a fire-and-forget task.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(0) .. fn(n-1), blocking until all calls return. The calling
+  /// thread participates, so progress is guaranteed even when all workers
+  /// are busy elsewhere. With no workers the indices run inline in order.
+  /// Tasks must be independent; errors are the callback's business
+  /// (collect per-index Status and inspect after the call).
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_ BAUPLAN_GUARDED_BY(mu_);
+  bool stopping_ BAUPLAN_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bauplan
+
+#endif  // BAUPLAN_COMMON_THREAD_POOL_H_

@@ -185,6 +185,7 @@ Result<sql::QueryResult> Bauplan::Query(std::string_view sql_text,
   sql::QueryOptions traced = options;
   traced.tracer = tracer_.get();
   traced.parent_span = query_span;
+  traced.exec.metrics = metrics_.get();
   auto result = sql::RunQuery(sql, source, &source, traced);
   finish_trace(result.ok() ? &*result : nullptr);
   Audit("query", ref_text, sql, result.status());

@@ -28,6 +28,9 @@ inline constexpr const char* kSpill = "spill";
 inline constexpr const char* kQuery = "query";
 inline constexpr const char* kPlan = "plan";
 inline constexpr const char* kExecute = "execute";
+/// One span per physical query operator (filter, aggregate, join, ...),
+/// children of the execute span.
+inline constexpr const char* kOperator = "operator";
 /// Static analysis: one analysis span per checked project, one pass
 /// span per analyzer pass (structural, schema, expectation).
 inline constexpr const char* kAnalysis = "analysis";

@@ -25,8 +25,11 @@ Result<QueryResult> RunQuery(std::string_view sql,
     observability::ScopedSpan exec_span(
         options.tracer, "execute", observability::span_kind::kExecute,
         options.parent_span);
-    BAUPLAN_ASSIGN_OR_RETURN(result.table,
-                             ExecutePlan(*plan, source, &result.stats));
+    ExecOptions exec = options.exec;
+    exec.tracer = options.tracer;
+    exec.parent_span = exec_span.id();
+    BAUPLAN_ASSIGN_OR_RETURN(
+        result.table, ExecutePlan(*plan, source, &result.stats, exec));
   }
   result.stats.rows_output = result.table.num_rows();
   return result;

@@ -24,6 +24,10 @@ struct QueryOptions {
   /// `parent_span` (the caller's query span). Not owned.
   observability::Tracer* tracer = nullptr;
   uint64_t parent_span = 0;
+  /// Execution knobs (engine choice, threads, morsel size, metrics sink).
+  /// The tracer/parent_span fields inside are overwritten by the engine so
+  /// operator spans nest under the execute span.
+  ExecOptions exec;
 };
 
 /// Everything a query run produces.

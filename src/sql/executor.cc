@@ -1,8 +1,10 @@
 #include "sql/executor.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 #include <unordered_map>
+#include <utility>
 
 #include "columnar/builder.h"
 #include "columnar/compute.h"
@@ -12,13 +14,20 @@
 
 namespace bauplan::sql {
 
+using columnar::Array;
 using columnar::ArrayPtr;
 using columnar::AsBool;
+using columnar::AsDouble;
+using columnar::AsInt64;
+using columnar::AsString;
 using columnar::Field;
 using columnar::Schema;
+using columnar::SelectionVector;
 using columnar::Table;
 using columnar::TypeId;
 using columnar::Value;
+
+namespace obs = observability;
 
 namespace {
 
@@ -62,9 +71,209 @@ Result<Table> TableFromArrays(const std::vector<std::string>& names,
   return Table::Make(Schema(std::move(fields)), std::move(arrays));
 }
 
+// ------------------------------------------------------ execution context
+
+/// Per-ExecutePlan state threaded through the operator tree: the bound
+/// source, accumulated stats, resolved options and (optional) worker pool.
+struct ExecContext {
+  TableSource* source = nullptr;
+  ExecStats* stats = nullptr;
+  ExecOptions options;
+  ThreadPool* pool = nullptr;  // null = run morsels inline
+
+  void Count(const char* name, int64_t delta) const {
+    if (options.metrics != nullptr && delta != 0) {
+      options.metrics->GetCounter(name)->Increment(delta);
+    }
+  }
+};
+
+/// One contiguous row range [begin, end) of an operator's input.
+struct Morsel {
+  int64_t begin = 0;
+  int64_t end = 0;
+};
+
+/// Fixed partitioning of `rows` into `morsel_rows`-sized ranges. The
+/// partitioning depends only on the row count, never on the thread count
+/// — the root of the parallel-equals-serial determinism guarantee. Zero
+/// rows still yield one empty morsel so expression evaluation runs once
+/// and empty outputs come out correctly typed.
+std::vector<Morsel> MakeMorsels(int64_t rows, int64_t morsel_rows) {
+  std::vector<Morsel> morsels;
+  if (morsel_rows <= 0) morsel_rows = 64 * 1024;
+  if (rows <= 0) {
+    morsels.push_back({0, 0});
+    return morsels;
+  }
+  morsels.reserve(static_cast<size_t>((rows + morsel_rows - 1) /
+                                      morsel_rows));
+  for (int64_t b = 0; b < rows; b += morsel_rows) {
+    morsels.push_back({b, std::min(b + morsel_rows, rows)});
+  }
+  return morsels;
+}
+
+/// Runs fn(0..n-1) on the context's pool (or inline), counting morsels.
+void RunMorsels(const ExecContext& ctx, int64_t n,
+                const std::function<void(int64_t)>& fn) {
+  ctx.stats->morsels += n;
+  ctx.Count("exec.morsels", n);
+  if (ctx.pool != nullptr) {
+    ctx.pool->ParallelFor(n, fn);
+  } else {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+Status FirstError(const std::vector<Status>& errors) {
+  for (const Status& s : errors) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Result<Table> ExecNode(ExecContext* ctx, const PlanNode& plan,
+                       uint64_t parent_span);
+
+// ------------------------------------------------------- filter / project
+
+Result<Table> ExecFilterVectorized(const ExecContext& ctx,
+                                   const PlanNode& plan,
+                                   const Table& input) {
+  std::vector<Morsel> morsels =
+      MakeMorsels(input.num_rows(), ctx.options.morsel_rows);
+  int64_t m = static_cast<int64_t>(morsels.size());
+  std::vector<SelectionVector> selected(static_cast<size_t>(m));
+  std::vector<Status> errors(static_cast<size_t>(m));
+  RunMorsels(ctx, m, [&](int64_t mi) {
+    const Morsel& mo = morsels[static_cast<size_t>(mi)];
+    Result<Table> slice =
+        columnar::SliceTable(input, mo.begin, mo.end - mo.begin);
+    if (!slice.ok()) {
+      errors[static_cast<size_t>(mi)] = slice.status();
+      return;
+    }
+    Result<ArrayPtr> mask = EvaluateExpr(*plan.predicate, *slice);
+    if (!mask.ok()) {
+      errors[static_cast<size_t>(mi)] = mask.status();
+      return;
+    }
+    const auto* b = AsBool(**mask);
+    if (b == nullptr) {
+      errors[static_cast<size_t>(mi)] = Status::InvalidArgument(
+          StrCat("WHERE/HAVING must be boolean: ",
+                 plan.predicate->ToString()));
+      return;
+    }
+    SelectionVector sel = columnar::MaskToSelection(*b);
+    for (int64_t& idx : sel) idx += mo.begin;
+    selected[static_cast<size_t>(mi)] = std::move(sel);
+  });
+  BAUPLAN_RETURN_NOT_OK(FirstError(errors));
+
+  // Merge per-morsel selections in morsel order (deterministic).
+  size_t total = 0;
+  for (const auto& sel : selected) total += sel.size();
+  SelectionVector all;
+  all.reserve(total);
+  for (const auto& sel : selected) {
+    all.insert(all.end(), sel.begin(), sel.end());
+  }
+  int64_t dropped = input.num_rows() - static_cast<int64_t>(all.size());
+  ctx.stats->rows_filtered += dropped;
+  ctx.Count("exec.rows_filtered", dropped);
+  return columnar::TakeTable(input, all);
+}
+
+Result<Table> ExecFilterScalar(const ExecContext& ctx, const PlanNode& plan,
+                               const Table& input) {
+  BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr mask,
+                           EvaluateExpr(*plan.predicate, input));
+  const auto* b = AsBool(*mask);
+  if (b == nullptr) {
+    return Status::InvalidArgument(StrCat("WHERE/HAVING must be boolean: ",
+                                          plan.predicate->ToString()));
+  }
+  BAUPLAN_ASSIGN_OR_RETURN(Table out, columnar::FilterTable(input, *b));
+  int64_t dropped = input.num_rows() - out.num_rows();
+  ctx.stats->rows_filtered += dropped;
+  ctx.Count("exec.rows_filtered", dropped);
+  return out;
+}
+
+Result<Table> ExecProjectVectorized(const ExecContext& ctx,
+                                    const PlanNode& plan,
+                                    const Table& input) {
+  // Pure column projections (SELECT a, b ...) need no evaluation at all:
+  // share the input columns, zero copy. Computed projections morselize.
+  bool all_refs = !plan.expressions.empty();
+  for (const auto& expr : plan.expressions) {
+    if (expr->kind != ExprKind::kColumnRef) {
+      all_refs = false;
+      break;
+    }
+  }
+  if (all_refs) {
+    std::vector<ArrayPtr> columns;
+    columns.reserve(plan.expressions.size());
+    for (const auto& expr : plan.expressions) {
+      BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr col,
+                               input.GetColumnByName(expr->column_name));
+      columns.push_back(std::move(col));
+    }
+    return TableFromArrays(plan.output_names, std::move(columns));
+  }
+
+  std::vector<Morsel> morsels =
+      MakeMorsels(input.num_rows(), ctx.options.morsel_rows);
+  int64_t m = static_cast<int64_t>(morsels.size());
+  size_t ncols = plan.expressions.size();
+  // parts[c][mi] = column c of morsel mi.
+  std::vector<std::vector<ArrayPtr>> parts(
+      ncols, std::vector<ArrayPtr>(static_cast<size_t>(m)));
+  std::vector<Status> errors(static_cast<size_t>(m));
+  RunMorsels(ctx, m, [&](int64_t mi) {
+    const Morsel& mo = morsels[static_cast<size_t>(mi)];
+    Result<Table> slice =
+        columnar::SliceTable(input, mo.begin, mo.end - mo.begin);
+    if (!slice.ok()) {
+      errors[static_cast<size_t>(mi)] = slice.status();
+      return;
+    }
+    for (size_t c = 0; c < ncols; ++c) {
+      Result<ArrayPtr> col = EvaluateExpr(*plan.expressions[c], *slice);
+      if (!col.ok()) {
+        errors[static_cast<size_t>(mi)] = col.status();
+        return;
+      }
+      parts[c][static_cast<size_t>(mi)] = std::move(*col);
+    }
+  });
+  BAUPLAN_RETURN_NOT_OK(FirstError(errors));
+
+  std::vector<ArrayPtr> columns;
+  columns.reserve(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr col, columnar::ConcatArrays(parts[c]));
+    columns.push_back(std::move(col));
+  }
+  return TableFromArrays(plan.output_names, std::move(columns));
+}
+
+Result<Table> ExecProjectScalar(const PlanNode& plan, const Table& input) {
+  std::vector<ArrayPtr> columns;
+  for (const auto& expr : plan.expressions) {
+    BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr col, EvaluateExpr(*expr, input));
+    columns.push_back(std::move(col));
+  }
+  return TableFromArrays(plan.output_names, std::move(columns));
+}
+
 // -------------------------------------------------------------- aggregate
 
-/// Incremental state of one aggregate over one group.
+/// Incremental state of one aggregate over one group (partial within a
+/// morsel, merged across morsels in morsel order).
 struct AggState {
   int64_t count = 0;
   double sum_double = 0;
@@ -75,8 +284,322 @@ struct AggState {
   std::set<Value, ValueLess> distinct;
 };
 
-Result<Table> ExecAggregate(const PlanNode& plan, const Table& input) {
-  // Evaluate group keys and aggregate arguments once, vectorized.
+/// Typed three-way compare of two non-null rows of one array. Doubles use
+/// the seed Value::Compare convention (NaN compares equal to everything),
+/// so MIN/MAX results match the scalar engine.
+int CompareCells(const Array& arr, int64_t x, int64_t y) {
+  switch (arr.type()) {
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      const auto* v = AsInt64(arr);
+      int64_t a = v->Value(x), b = v->Value(y);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case TypeId::kDouble: {
+      const auto* v = AsDouble(arr);
+      double a = v->Value(x), b = v->Value(y);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case TypeId::kBool: {
+      const auto* v = AsBool(arr);
+      int a = v->Value(x) ? 1 : 0, b = v->Value(y) ? 1 : 0;
+      return a - b;
+    }
+    case TypeId::kString: {
+      const auto* v = AsString(arr);
+      int c = v->Value(x).compare(v->Value(y));
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+/// Per-morsel partial aggregation result: local groups in first-seen
+/// order, each with its evaluated key columns and one AggState per
+/// aggregate.
+struct MorselGroups {
+  std::vector<ArrayPtr> key_arrays;  // evaluated over this morsel's slice
+  std::vector<int64_t> rep_rows;     // local representative row per group
+  std::vector<std::vector<AggState>> states;
+};
+
+/// Groups one morsel's rows (hash + typed key equality) and accumulates
+/// typed partials. Runs concurrently across morsels.
+Status AggregateMorsel(const PlanNode& plan, const Table& slice,
+                       MorselGroups* out) {
+  int64_t rows = slice.num_rows();
+  for (const auto& key : plan.group_by) {
+    BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr arr, EvaluateExpr(*key, slice));
+    out->key_arrays.push_back(std::move(arr));
+  }
+  std::vector<ArrayPtr> arg_arrays(plan.aggregates.size());
+  for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+    if (plan.aggregates[a].arg != nullptr) {
+      BAUPLAN_ASSIGN_OR_RETURN(
+          arg_arrays[a], EvaluateExpr(*plan.aggregates[a].arg, slice));
+    }
+  }
+  if (rows == 0) return Status::OK();
+
+  // Assign each row a dense local group id.
+  std::vector<int64_t> gids(static_cast<size_t>(rows), 0);
+  if (out->key_arrays.empty()) {
+    out->rep_rows.push_back(0);  // global aggregate: one group
+  } else {
+    std::vector<uint64_t> hashes;
+    for (size_t k = 0; k < out->key_arrays.size(); ++k) {
+      columnar::HashArray(*out->key_arrays[k], /*combine=*/k > 0, &hashes);
+    }
+    std::unordered_map<uint64_t, std::vector<int64_t>> buckets;
+    buckets.reserve(static_cast<size_t>(rows));
+    for (int64_t r = 0; r < rows; ++r) {
+      std::vector<int64_t>& cands = buckets[hashes[static_cast<size_t>(r)]];
+      int64_t gid = -1;
+      for (int64_t cand : cands) {
+        if (columnar::RowsEqual(out->key_arrays, r, out->key_arrays,
+                                out->rep_rows[static_cast<size_t>(cand)])) {
+          gid = cand;
+          break;
+        }
+      }
+      if (gid < 0) {
+        gid = static_cast<int64_t>(out->rep_rows.size());
+        out->rep_rows.push_back(r);
+        cands.push_back(gid);
+      }
+      gids[static_cast<size_t>(r)] = gid;
+    }
+  }
+  size_t ngroups = out->rep_rows.size();
+  out->states.resize(ngroups,
+                     std::vector<AggState>(plan.aggregates.size()));
+
+  // Typed accumulation, one pass per aggregate.
+  for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+    const AggregateItem& agg = plan.aggregates[a];
+    if (agg.arg == nullptr) {  // COUNT(*)
+      for (int64_t r = 0; r < rows; ++r) {
+        ++out->states[static_cast<size_t>(gids[static_cast<size_t>(r)])][a]
+              .count;
+      }
+      continue;
+    }
+    const Array& arr = *arg_arrays[a];
+    if (agg.distinct) {
+      // Partial phase only fills the distinct set; counts and sums are
+      // derived from the merged set so values seen in several morsels
+      // are not double-counted.
+      for (int64_t r = 0; r < rows; ++r) {
+        if (arr.IsNull(r)) continue;
+        out->states[static_cast<size_t>(gids[static_cast<size_t>(r)])][a]
+            .distinct.insert(arr.GetValue(r));
+      }
+      continue;
+    }
+    bool want_sum = agg.function == "SUM" || agg.function == "AVG";
+    bool want_minmax = agg.function == "MIN" || agg.function == "MAX";
+    if (want_sum && !columnar::IsNumeric(arr.type())) {
+      return Status::InvalidArgument(
+          StrCat(agg.function, " needs a numeric argument, got ",
+                 columnar::TypeIdToString(arr.type())));
+    }
+    bool is_double = arr.type() == TypeId::kDouble;
+    const auto* iv = AsInt64(arr);
+    const auto* dv = AsDouble(arr);
+    std::vector<int64_t> min_row(ngroups, -1), max_row(ngroups, -1);
+    for (int64_t r = 0; r < rows; ++r) {
+      if (arr.IsNull(r)) continue;  // aggregates skip nulls
+      size_t g = static_cast<size_t>(gids[static_cast<size_t>(r)]);
+      AggState& s = out->states[g][a];
+      ++s.count;
+      if (want_sum) {
+        if (is_double) {
+          s.saw_double = true;
+          s.sum_double += dv->Value(r);
+        } else {
+          s.sum_int += iv->Value(r);
+          s.sum_double += static_cast<double>(iv->Value(r));
+        }
+      }
+      if (want_minmax) {
+        if (min_row[g] < 0 || CompareCells(arr, r, min_row[g]) < 0) {
+          min_row[g] = r;
+        }
+        if (max_row[g] < 0 || CompareCells(arr, r, max_row[g]) > 0) {
+          max_row[g] = r;
+        }
+      }
+    }
+    if (want_minmax) {
+      for (size_t g = 0; g < ngroups; ++g) {
+        if (min_row[g] >= 0) {
+          out->states[g][a].min = arr.GetValue(min_row[g]);
+          out->states[g][a].max = arr.GetValue(max_row[g]);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Emits the final table from merged groups (shared by both engines).
+Result<Table> EmitAggregateOutput(
+    const PlanNode& plan, const std::vector<std::vector<Value>>& group_order,
+    const std::vector<std::vector<AggState>>& group_states) {
+  std::vector<std::unique_ptr<columnar::ArrayBuilder>> builders;
+  for (int i = 0; i < plan.schema.num_fields(); ++i) {
+    builders.push_back(columnar::MakeBuilder(plan.schema.field(i).type));
+  }
+  for (size_t gi = 0; gi < group_order.size(); ++gi) {
+    size_t col = 0;
+    for (const auto& key_value : group_order[gi]) {
+      if (key_value.is_null()) {
+        builders[col++]->AppendNull();
+      } else {
+        BAUPLAN_RETURN_NOT_OK(builders[col++]->AppendValue(key_value));
+      }
+    }
+    for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+      const AggregateItem& agg = plan.aggregates[a];
+      const AggState& state = group_states[gi][a];
+      Value out;
+      if (agg.function == "COUNT") {
+        out = Value::Int64(state.count);
+      } else if (state.count == 0) {
+        out = Value::Null();  // SUM/AVG/MIN/MAX of no values
+      } else if (agg.function == "SUM") {
+        out = state.saw_double ? Value::Double(state.sum_double)
+                               : Value::Int64(state.sum_int);
+      } else if (agg.function == "AVG") {
+        out = Value::Double(state.sum_double /
+                            static_cast<double>(state.count));
+      } else if (agg.function == "MIN") {
+        out = state.min;
+      } else if (agg.function == "MAX") {
+        out = state.max;
+      } else {
+        return Status::Internal(StrCat("unknown aggregate ", agg.function));
+      }
+      if (out.is_null()) {
+        builders[col++]->AppendNull();
+      } else {
+        BAUPLAN_RETURN_NOT_OK(builders[col++]->AppendValue(out));
+      }
+    }
+  }
+  std::vector<ArrayPtr> columns;
+  for (auto& b : builders) columns.push_back(b->Finish());
+  return Table::Make(plan.schema, std::move(columns));
+}
+
+/// Re-derives count/sums/min/max of DISTINCT aggregates from the merged
+/// value set (deterministic: sets iterate in value order).
+void FinalizeDistinct(const PlanNode& plan,
+                      std::vector<std::vector<AggState>>* group_states) {
+  for (auto& states : *group_states) {
+    for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+      const AggregateItem& agg = plan.aggregates[a];
+      if (!agg.distinct || agg.arg == nullptr) continue;
+      AggState& s = states[a];
+      s.count = static_cast<int64_t>(s.distinct.size());
+      s.sum_int = 0;
+      s.sum_double = 0;
+      s.saw_double = false;
+      for (const Value& v : s.distinct) {
+        if (v.type() == TypeId::kDouble) {
+          s.saw_double = true;
+          s.sum_double += v.double_value();
+        } else if (columnar::IsNumeric(v.type())) {
+          s.sum_int += v.int64_value();
+          s.sum_double += static_cast<double>(v.int64_value());
+        }
+      }
+      if (!s.distinct.empty()) {
+        s.min = *s.distinct.begin();
+        s.max = *s.distinct.rbegin();
+      }
+    }
+  }
+}
+
+Result<Table> ExecAggregateVectorized(const ExecContext& ctx,
+                                      const PlanNode& plan,
+                                      const Table& input) {
+  std::vector<Morsel> morsels =
+      MakeMorsels(input.num_rows(), ctx.options.morsel_rows);
+  int64_t m = static_cast<int64_t>(morsels.size());
+  std::vector<MorselGroups> partials(static_cast<size_t>(m));
+  std::vector<Status> errors(static_cast<size_t>(m));
+  RunMorsels(ctx, m, [&](int64_t mi) {
+    const Morsel& mo = morsels[static_cast<size_t>(mi)];
+    Result<Table> slice =
+        columnar::SliceTable(input, mo.begin, mo.end - mo.begin);
+    if (!slice.ok()) {
+      errors[static_cast<size_t>(mi)] = slice.status();
+      return;
+    }
+    errors[static_cast<size_t>(mi)] =
+        AggregateMorsel(plan, *slice, &partials[static_cast<size_t>(mi)]);
+  });
+  BAUPLAN_RETURN_NOT_OK(FirstError(errors));
+
+  // Merge partials serially in morsel order. Group keys box here — the
+  // number of groups is small compared to rows, so this is off the hot
+  // path. First-seen order across ordered morsels reproduces the scalar
+  // engine's first-seen order exactly.
+  std::unordered_map<std::vector<Value>, size_t, KeyHash, KeyEq> index;
+  std::vector<std::vector<Value>> group_order;
+  std::vector<std::vector<AggState>> group_states;
+  for (const MorselGroups& part : partials) {
+    for (size_t g = 0; g < part.rep_rows.size(); ++g) {
+      std::vector<Value> key;
+      key.reserve(part.key_arrays.size());
+      for (const auto& arr : part.key_arrays) {
+        key.push_back(arr->GetValue(part.rep_rows[g]));
+      }
+      auto [it, inserted] = index.emplace(key, group_order.size());
+      if (inserted) {
+        group_order.push_back(std::move(key));
+        group_states.push_back(part.states[g]);
+        continue;
+      }
+      std::vector<AggState>& into = group_states[it->second];
+      const std::vector<AggState>& from = part.states[g];
+      for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+        AggState& s = into[a];
+        const AggState& p = from[a];
+        s.count += p.count;
+        s.sum_int += p.sum_int;
+        s.sum_double += p.sum_double;
+        s.saw_double = s.saw_double || p.saw_double;
+        if (!p.min.is_null() &&
+            (s.min.is_null() || p.min.Compare(s.min) < 0)) {
+          s.min = p.min;
+        }
+        if (!p.max.is_null() &&
+            (s.max.is_null() || p.max.Compare(s.max) > 0)) {
+          s.max = p.max;
+        }
+        s.distinct.insert(p.distinct.begin(), p.distinct.end());
+      }
+    }
+  }
+  FinalizeDistinct(plan, &group_states);
+
+  // Global aggregate over an empty input still yields one row.
+  if (plan.group_by.empty() && group_order.empty()) {
+    group_order.emplace_back();
+    group_states.emplace_back(plan.aggregates.size());
+  }
+  ctx.stats->groups += static_cast<int64_t>(group_order.size());
+  ctx.Count("exec.groups", static_cast<int64_t>(group_order.size()));
+  return EmitAggregateOutput(plan, group_order, group_states);
+}
+
+/// Row-at-a-time reference aggregation (the seed implementation), kept as
+/// the scalar engine for baselining and differential testing.
+Result<Table> ExecAggregateScalar(const ExecContext& ctx,
+                                  const PlanNode& plan, const Table& input) {
   std::vector<ArrayPtr> key_arrays;
   for (const auto& key : plan.group_by) {
     BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr arr, EvaluateExpr(*key, input));
@@ -133,63 +656,94 @@ Result<Table> ExecAggregate(const PlanNode& plan, const Table& input) {
     }
   }
 
-  // Global aggregate over an empty input still yields one row.
   if (plan.group_by.empty() && group_order.empty()) {
     group_order.emplace_back();
     groups.emplace(std::vector<Value>(),
                    std::vector<AggState>(plan.aggregates.size()));
   }
+  ctx.stats->groups += static_cast<int64_t>(group_order.size());
+  ctx.Count("exec.groups", static_cast<int64_t>(group_order.size()));
 
-  // Emit one output row per group, in first-seen order (deterministic).
-  std::vector<std::unique_ptr<columnar::ArrayBuilder>> builders;
-  for (int i = 0; i < plan.schema.num_fields(); ++i) {
-    builders.push_back(columnar::MakeBuilder(plan.schema.field(i).type));
-  }
-  for (const auto& key : group_order) {
-    const std::vector<AggState>& states = groups.at(key);
-    size_t col = 0;
-    for (const auto& key_value : key) {
-      BAUPLAN_RETURN_NOT_OK(builders[col++]->AppendValue(key_value));
-    }
-    for (size_t a = 0; a < plan.aggregates.size(); ++a) {
-      const AggregateItem& agg = plan.aggregates[a];
-      const AggState& state = states[a];
-      Value out;
-      if (agg.function == "COUNT") {
-        out = Value::Int64(state.count);
-      } else if (state.count == 0) {
-        out = Value::Null();  // SUM/AVG/MIN/MAX of no values
-      } else if (agg.function == "SUM") {
-        out = state.saw_double ? Value::Double(state.sum_double)
-                               : Value::Int64(state.sum_int);
-      } else if (agg.function == "AVG") {
-        out = Value::Double(state.sum_double /
-                            static_cast<double>(state.count));
-      } else if (agg.function == "MIN") {
-        out = state.min;
-      } else if (agg.function == "MAX") {
-        out = state.max;
-      } else {
-        return Status::Internal(
-            StrCat("unknown aggregate ", agg.function));
-      }
-      if (out.is_null()) {
-        builders[col++]->AppendNull();
-      } else {
-        BAUPLAN_RETURN_NOT_OK(builders[col++]->AppendValue(out));
-      }
-    }
-  }
-  std::vector<ArrayPtr> columns;
-  for (auto& b : builders) columns.push_back(b->Finish());
-  return Table::Make(plan.schema, std::move(columns));
+  std::vector<std::vector<AggState>> group_states;
+  group_states.reserve(group_order.size());
+  for (const auto& key : group_order) group_states.push_back(groups.at(key));
+  return EmitAggregateOutput(plan, group_order, group_states);
 }
 
 // ------------------------------------------------------------------- join
 
-Result<Table> ExecJoin(const PlanNode& plan, const Table& left,
-                       const Table& right) {
-  // Evaluate key expressions on both sides.
+/// Applies the residual ON condition after row assembly. For LEFT joins a
+/// residual only filters matched rows; rows already null-extended stay.
+Result<Table> ApplyJoinResidual(const PlanNode& plan, const Table& joined,
+                                const std::vector<int64_t>& out_right) {
+  BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr mask,
+                           EvaluateExpr(*plan.residual, joined));
+  const auto* b = AsBool(*mask);
+  if (b == nullptr) {
+    return Status::InvalidArgument("join residual must be boolean");
+  }
+  if (plan.join_type == JoinType::kLeft) {
+    std::vector<int64_t> keep;
+    for (int64_t i = 0; i < joined.num_rows(); ++i) {
+      bool was_unmatched = out_right[static_cast<size_t>(i)] < 0;
+      if (was_unmatched || (!b->IsNull(i) && b->Value(i))) {
+        keep.push_back(i);
+      }
+    }
+    return columnar::TakeTable(joined, keep);
+  }
+  return columnar::FilterTable(joined, *b);
+}
+
+/// Flat open-addressing hash table over a single int64/timestamp build
+/// key — the dominant equi-join shape. Rows with equal keys chain through
+/// `next` in ascending build-row order, so probe emission matches the
+/// generic bucket path exactly (both engines must agree row-for-row).
+struct Int64JoinTable {
+  std::vector<int64_t> key;   // bucket -> key stored there
+  std::vector<int64_t> head;  // bucket -> first build row, -1 = empty
+  std::vector<int64_t> next;  // build row -> next row with the same key
+  uint64_t mask = 0;
+
+  static uint64_t Mix(int64_t k) {
+    uint64_t h = static_cast<uint64_t>(k) * 0x9E3779B97F4A7C15ULL;
+    return h ^ (h >> 32);
+  }
+
+  void Build(const columnar::Int64Array& keys,
+             const std::vector<uint8_t>& null_flag) {
+    size_t cap = 16;
+    while (cap < static_cast<size_t>(keys.length()) * 2) cap <<= 1;
+    mask = cap - 1;
+    key.assign(cap, 0);
+    head.assign(cap, -1);
+    next.assign(static_cast<size_t>(keys.length()), -1);
+    // Inserting in reverse and prepending keeps chains ascending.
+    for (int64_t r = keys.length() - 1; r >= 0; --r) {
+      if (!null_flag.empty() && null_flag[static_cast<size_t>(r)]) continue;
+      int64_t k = keys.Value(r);
+      uint64_t b = Mix(k) & mask;
+      while (head[b] != -1 && key[b] != k) b = (b + 1) & mask;
+      key[b] = k;
+      next[static_cast<size_t>(r)] = head[b];
+      head[b] = r;
+    }
+  }
+
+  /// First build row whose key equals `k`, or -1; later rows follow via
+  /// `next`.
+  int64_t Find(int64_t k) const {
+    uint64_t b = Mix(k) & mask;
+    while (head[b] != -1) {
+      if (key[b] == k) return head[b];
+      b = (b + 1) & mask;
+    }
+    return -1;
+  }
+};
+
+Result<Table> ExecJoinVectorized(const ExecContext& ctx, const PlanNode& plan,
+                                 const Table& left, const Table& right) {
   std::vector<ArrayPtr> left_keys, right_keys;
   for (const auto& k : plan.left_keys) {
     BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr arr, EvaluateExpr(*k, left));
@@ -200,7 +754,175 @@ Result<Table> ExecJoin(const PlanNode& plan, const Table& left,
     right_keys.push_back(std::move(arr));
   }
 
-  // Build on the right side.
+  // Null keys never join: flag rows with any null key up front.
+  auto null_flags = [](const std::vector<ArrayPtr>& keys, int64_t rows) {
+    std::vector<uint8_t> flags(static_cast<size_t>(rows), 0);
+    for (const ArrayPtr& arr : keys) {
+      if (arr->null_count() == 0) continue;
+      for (int64_t r = 0; r < rows; ++r) {
+        if (arr->IsNull(r)) flags[static_cast<size_t>(r)] = 1;
+      }
+    }
+    return flags;
+  };
+  std::vector<uint8_t> right_null = null_flags(right_keys, right.num_rows());
+  std::vector<uint8_t> left_null = null_flags(left_keys, left.num_rows());
+
+  // Build side (right). Single int64/timestamp keys (the dominant
+  // equi-join shape) get a flat open-addressing table probed by value;
+  // everything else goes through vectorized row hashes into hash -> row
+  // buckets resolved by RowsEqual.
+  auto int64_backed = [](const ArrayPtr& a) {
+    return a->type() == TypeId::kInt64 || a->type() == TypeId::kTimestamp;
+  };
+  bool fast = left_keys.size() == 1 && right_keys.size() == 1 &&
+              int64_backed(left_keys[0]) && int64_backed(right_keys[0]);
+  Int64JoinTable flat;
+  std::unordered_map<uint64_t, std::vector<int64_t>> buckets;
+  std::vector<uint64_t> left_hashes;
+  if (fast) {
+    flat.Build(*AsInt64(*right_keys[0]), right_null);
+  } else {
+    std::vector<uint64_t> right_hashes;
+    for (size_t k = 0; k < right_keys.size(); ++k) {
+      columnar::HashArray(*right_keys[k], /*combine=*/k > 0, &right_hashes);
+    }
+    buckets.reserve(static_cast<size_t>(right.num_rows()));
+    for (int64_t r = 0; r < right.num_rows(); ++r) {
+      if (right_null[static_cast<size_t>(r)]) continue;
+      buckets[right_hashes[static_cast<size_t>(r)]].push_back(r);
+    }
+    for (size_t k = 0; k < left_keys.size(); ++k) {
+      columnar::HashArray(*left_keys[k], /*combine=*/k > 0, &left_hashes);
+    }
+  }
+
+  // Probe side (left) in parallel morsels; pairs merge in morsel order.
+  ctx.stats->join_probe_rows += left.num_rows();
+  ctx.Count("exec.join_probe_rows", left.num_rows());
+  std::vector<Morsel> morsels =
+      MakeMorsels(left.num_rows(), ctx.options.morsel_rows);
+  int64_t m = static_cast<int64_t>(morsels.size());
+  std::vector<std::pair<SelectionVector, SelectionVector>> pairs(
+      static_cast<size_t>(m));
+  bool left_join = plan.join_type == JoinType::kLeft;
+  if (fast) {
+    const auto* probe_keys = AsInt64(*left_keys[0]);
+    RunMorsels(ctx, m, [&](int64_t mi) {
+      const Morsel& mo = morsels[static_cast<size_t>(mi)];
+      SelectionVector& out_l = pairs[static_cast<size_t>(mi)].first;
+      SelectionVector& out_r = pairs[static_cast<size_t>(mi)].second;
+      for (int64_t row = mo.begin; row < mo.end; ++row) {
+        int64_t r = left_null[static_cast<size_t>(row)]
+                        ? -1
+                        : flat.Find(probe_keys->Value(row));
+        if (r >= 0) {
+          for (; r != -1; r = flat.next[static_cast<size_t>(r)]) {
+            out_l.push_back(row);
+            out_r.push_back(r);
+          }
+        } else if (left_join) {
+          out_l.push_back(row);
+          out_r.push_back(-1);
+        }
+      }
+    });
+  } else {
+    RunMorsels(ctx, m, [&](int64_t mi) {
+      const Morsel& mo = morsels[static_cast<size_t>(mi)];
+      SelectionVector& out_l = pairs[static_cast<size_t>(mi)].first;
+      SelectionVector& out_r = pairs[static_cast<size_t>(mi)].second;
+      for (int64_t row = mo.begin; row < mo.end; ++row) {
+        const std::vector<int64_t>* matches = nullptr;
+        if (!left_null[static_cast<size_t>(row)]) {
+          auto it = buckets.find(left_hashes[static_cast<size_t>(row)]);
+          if (it != buckets.end()) matches = &it->second;
+        }
+        bool matched = false;
+        if (matches != nullptr) {
+          for (int64_t r : *matches) {
+            if (columnar::RowsEqual(left_keys, row, right_keys, r)) {
+              out_l.push_back(row);
+              out_r.push_back(r);
+              matched = true;
+            }
+          }
+        }
+        if (!matched && left_join) {
+          out_l.push_back(row);
+          out_r.push_back(-1);
+        }
+      }
+    });
+  }
+
+  size_t total = 0;
+  for (const auto& p : pairs) total += p.first.size();
+  SelectionVector out_left, out_right;
+  out_left.reserve(total);
+  out_right.reserve(total);
+  for (const auto& p : pairs) {
+    out_left.insert(out_left.end(), p.first.begin(), p.first.end());
+    out_right.insert(out_right.end(), p.second.begin(), p.second.end());
+  }
+
+  // Gather the output rows in morsel-sized chunks: every chunk takes all
+  // columns, chunks run in parallel, and ConcatTables stitches them back
+  // in chunk order. Row-chunking parallelizes the string-heavy copies
+  // that per-column gathering cannot split.
+  int left_cols = left.num_columns();
+  int total_cols = left_cols + right.num_columns();
+  std::vector<Morsel> chunks =
+      MakeMorsels(static_cast<int64_t>(total), ctx.options.morsel_rows);
+  int64_t nchunks = static_cast<int64_t>(chunks.size());
+  std::vector<Table> parts(static_cast<size_t>(nchunks));
+  std::vector<Status> errors(static_cast<size_t>(nchunks));
+  RunMorsels(ctx, nchunks, [&](int64_t ci) {
+    const Morsel& ch = chunks[static_cast<size_t>(ci)];
+    SelectionVector sel_l(out_left.begin() + ch.begin,
+                          out_left.begin() + ch.end);
+    SelectionVector sel_r(out_right.begin() + ch.begin,
+                          out_right.begin() + ch.end);
+    std::vector<ArrayPtr> cols(static_cast<size_t>(total_cols));
+    for (int c = 0; c < total_cols; ++c) {
+      Result<ArrayPtr> col =
+          c < left_cols
+              ? columnar::Take(left.column(c), sel_l)
+              : columnar::TakeAllowNull(right.column(c - left_cols), sel_r);
+      if (!col.ok()) {
+        errors[static_cast<size_t>(ci)] = col.status();
+        return;
+      }
+      cols[static_cast<size_t>(c)] = std::move(*col);
+    }
+    Result<Table> part = Table::Make(plan.schema, std::move(cols));
+    if (!part.ok()) {
+      errors[static_cast<size_t>(ci)] = part.status();
+      return;
+    }
+    parts[static_cast<size_t>(ci)] = std::move(*part);
+  });
+  BAUPLAN_RETURN_NOT_OK(FirstError(errors));
+  BAUPLAN_ASSIGN_OR_RETURN(Table joined, columnar::ConcatTables(parts));
+  if (plan.residual != nullptr) {
+    return ApplyJoinResidual(plan, joined, out_right);
+  }
+  return joined;
+}
+
+/// Row-at-a-time reference join (the seed implementation).
+Result<Table> ExecJoinScalar(const ExecContext& ctx, const PlanNode& plan,
+                             const Table& left, const Table& right) {
+  std::vector<ArrayPtr> left_keys, right_keys;
+  for (const auto& k : plan.left_keys) {
+    BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr arr, EvaluateExpr(*k, left));
+    left_keys.push_back(std::move(arr));
+  }
+  for (const auto& k : plan.right_keys) {
+    BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr arr, EvaluateExpr(*k, right));
+    right_keys.push_back(std::move(arr));
+  }
+
   std::unordered_map<std::vector<Value>, std::vector<int64_t>, KeyHash,
                      KeyEq>
       hash_table;
@@ -216,8 +938,8 @@ Result<Table> ExecJoin(const PlanNode& plan, const Table& left,
     hash_table[std::move(key)].push_back(row);
   }
 
-  // Probe with the left side; emit matched (and, for LEFT, unmatched)
-  // index pairs. right index -1 = null row.
+  ctx.stats->join_probe_rows += left.num_rows();
+  ctx.Count("exec.join_probe_rows", left.num_rows());
   std::vector<int64_t> out_left, out_right;
   for (int64_t row = 0; row < left.num_rows(); ++row) {
     std::vector<Value> key;
@@ -243,7 +965,6 @@ Result<Table> ExecJoin(const PlanNode& plan, const Table& left,
     }
   }
 
-  // Assemble the combined table.
   std::vector<ArrayPtr> columns;
   BAUPLAN_ASSIGN_OR_RETURN(Table left_rows,
                            columnar::TakeTable(left, out_left));
@@ -264,36 +985,32 @@ Result<Table> ExecJoin(const PlanNode& plan, const Table& left,
   }
   BAUPLAN_ASSIGN_OR_RETURN(Table joined,
                            Table::Make(plan.schema, std::move(columns)));
-
   if (plan.residual != nullptr) {
-    BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr mask,
-                             EvaluateExpr(*plan.residual, joined));
-    const auto* b = AsBool(*mask);
-    if (b == nullptr) {
-      return Status::InvalidArgument("join residual must be boolean");
-    }
-    // For LEFT joins a residual only filters matched rows; rows already
-    // null-extended stay. (Simplification: residual conditions in ON of a
-    // left join that reference right columns evaluate to null there and
-    // keep the row.)
-    if (plan.join_type == JoinType::kLeft) {
-      std::vector<int64_t> keep;
-      for (int64_t i = 0; i < joined.num_rows(); ++i) {
-        bool was_unmatched = out_right[static_cast<size_t>(i)] < 0;
-        if (was_unmatched || (!b->IsNull(i) && b->Value(i))) {
-          keep.push_back(i);
-        }
-      }
-      return columnar::TakeTable(joined, keep);
-    }
-    return columnar::FilterTable(joined, *b);
+    return ApplyJoinResidual(plan, joined, out_right);
   }
   return joined;
 }
 
 // -------------------------------------------------------------------- sort
 
-Result<Table> ExecSort(const PlanNode& plan, const Table& input) {
+/// Typed sort via SortIndices; `limit` >= 0 produces only the top-N
+/// prefix of the full stable order (LIMIT pushed into ORDER BY).
+Result<Table> ExecSortVectorized(const PlanNode& plan, const Table& input,
+                                 int64_t limit) {
+  std::vector<columnar::SortKeySpec> keys;
+  keys.reserve(plan.sort_keys.size());
+  for (const auto& key : plan.sort_keys) {
+    BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr arr, EvaluateExpr(*key.expr, input));
+    keys.push_back({std::move(arr), key.ascending});
+  }
+  if (keys.empty()) return input;
+  BAUPLAN_ASSIGN_OR_RETURN(SelectionVector indices,
+                           columnar::SortIndices(keys, limit));
+  return columnar::TakeTable(input, indices);
+}
+
+/// Boxed stable sort (the seed implementation).
+Result<Table> ExecSortScalar(const PlanNode& plan, const Table& input) {
   std::vector<ArrayPtr> key_arrays;
   for (const auto& key : plan.sort_keys) {
     BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr arr, EvaluateExpr(*key.expr, input));
@@ -318,72 +1035,142 @@ Result<Table> ExecSort(const PlanNode& plan, const Table& input) {
   return columnar::TakeTable(input, indices);
 }
 
-}  // namespace
+// ---------------------------------------------------------------- distinct
 
-Result<Table> ExecutePlan(const PlanNode& plan, TableSource* source,
-                          ExecStats* stats) {
-  ExecStats local;
-  if (stats == nullptr) stats = &local;
-  ++stats->operators_executed;
+/// Hash-based distinct: vectorized row hashes + typed equality, keeping
+/// the first occurrence of each row (deterministic).
+Result<Table> ExecDistinctVectorized(const Table& input) {
+  int64_t rows = input.num_rows();
+  if (rows == 0 || input.num_columns() == 0) return input;
+  const std::vector<ArrayPtr>& columns = input.columns();
+  std::vector<uint64_t> hashes;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    columnar::HashArray(*columns[c], /*combine=*/c > 0, &hashes);
+  }
+  std::unordered_map<uint64_t, std::vector<int64_t>> buckets;
+  buckets.reserve(static_cast<size_t>(rows));
+  SelectionVector keep;
+  for (int64_t row = 0; row < rows; ++row) {
+    std::vector<int64_t>& cands = buckets[hashes[static_cast<size_t>(row)]];
+    bool dup = false;
+    for (int64_t cand : cands) {
+      if (columnar::RowsEqual(columns, row, columns, cand)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      cands.push_back(row);
+      keep.push_back(row);
+    }
+  }
+  if (keep.size() == static_cast<size_t>(rows)) return input;
+  return columnar::TakeTable(input, keep);
+}
 
+/// Boxed distinct (the seed implementation).
+Result<Table> ExecDistinctScalar(const Table& input) {
+  std::unordered_map<std::vector<Value>, bool, KeyHash, KeyEq> seen;
+  SelectionVector keep;
+  for (int64_t row = 0; row < input.num_rows(); ++row) {
+    std::vector<Value> key;
+    key.reserve(static_cast<size_t>(input.num_columns()));
+    for (int c = 0; c < input.num_columns(); ++c) {
+      key.push_back(input.GetValue(row, c));
+    }
+    if (seen.emplace(std::move(key), true).second) keep.push_back(row);
+  }
+  if (keep.size() == static_cast<size_t>(input.num_rows())) {
+    return input;
+  }
+  return columnar::TakeTable(input, keep);
+}
+
+// ------------------------------------------------------------ plan walker
+
+const char* OpName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kScan:
+      return "scan";
+    case PlanKind::kFilter:
+      return "filter";
+    case PlanKind::kProject:
+      return "project";
+    case PlanKind::kAggregate:
+      return "aggregate";
+    case PlanKind::kJoin:
+      return "join";
+    case PlanKind::kSort:
+      return "sort";
+    case PlanKind::kLimit:
+      return "limit";
+    case PlanKind::kUnion:
+      return "union";
+    case PlanKind::kDistinct:
+      return "distinct";
+  }
+  return "unknown";
+}
+
+Result<Table> ExecNodeImpl(ExecContext* ctx, const PlanNode& plan,
+                           uint64_t span_id) {
+  bool vectorized = ctx->options.engine == ExecOptions::Engine::kVectorized;
   switch (plan.kind) {
     case PlanKind::kScan: {
       BAUPLAN_ASSIGN_OR_RETURN(
-          Table table, source->ScanTable(plan.table_name, plan.scan_columns,
-                                         plan.scan_predicates));
-      stats->rows_scanned += table.num_rows();
+          Table table, ctx->source->ScanTable(plan.table_name,
+                                              plan.scan_columns,
+                                              plan.scan_predicates));
+      ctx->stats->rows_scanned += table.num_rows();
+      ctx->Count("exec.rows_scanned", table.num_rows());
       return table;
     }
     case PlanKind::kFilter: {
       BAUPLAN_ASSIGN_OR_RETURN(Table input,
-                               ExecutePlan(*plan.children[0], source,
-                                           stats));
-      BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr mask,
-                               EvaluateExpr(*plan.predicate, input));
-      const auto* b = AsBool(*mask);
-      if (b == nullptr) {
-        return Status::InvalidArgument(
-            StrCat("WHERE/HAVING must be boolean: ",
-                   plan.predicate->ToString()));
-      }
-      return columnar::FilterTable(input, *b);
+                               ExecNode(ctx, *plan.children[0], span_id));
+      return vectorized ? ExecFilterVectorized(*ctx, plan, input)
+                        : ExecFilterScalar(*ctx, plan, input);
     }
     case PlanKind::kProject: {
       BAUPLAN_ASSIGN_OR_RETURN(Table input,
-                               ExecutePlan(*plan.children[0], source,
-                                           stats));
-      std::vector<ArrayPtr> columns;
-      for (const auto& expr : plan.expressions) {
-        BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr col, EvaluateExpr(*expr, input));
-        columns.push_back(std::move(col));
-      }
-      return TableFromArrays(plan.output_names, std::move(columns));
+                               ExecNode(ctx, *plan.children[0], span_id));
+      return vectorized ? ExecProjectVectorized(*ctx, plan, input)
+                        : ExecProjectScalar(plan, input);
     }
     case PlanKind::kAggregate: {
       BAUPLAN_ASSIGN_OR_RETURN(Table input,
-                               ExecutePlan(*plan.children[0], source,
-                                           stats));
-      return ExecAggregate(plan, input);
+                               ExecNode(ctx, *plan.children[0], span_id));
+      return vectorized ? ExecAggregateVectorized(*ctx, plan, input)
+                        : ExecAggregateScalar(*ctx, plan, input);
     }
     case PlanKind::kJoin: {
       BAUPLAN_ASSIGN_OR_RETURN(Table left,
-                               ExecutePlan(*plan.children[0], source,
-                                           stats));
+                               ExecNode(ctx, *plan.children[0], span_id));
       BAUPLAN_ASSIGN_OR_RETURN(Table right,
-                               ExecutePlan(*plan.children[1], source,
-                                           stats));
-      return ExecJoin(plan, left, right);
+                               ExecNode(ctx, *plan.children[1], span_id));
+      return vectorized ? ExecJoinVectorized(*ctx, plan, left, right)
+                        : ExecJoinScalar(*ctx, plan, left, right);
     }
     case PlanKind::kSort: {
       BAUPLAN_ASSIGN_OR_RETURN(Table input,
-                               ExecutePlan(*plan.children[0], source,
-                                           stats));
-      return ExecSort(plan, input);
+                               ExecNode(ctx, *plan.children[0], span_id));
+      return vectorized ? ExecSortVectorized(plan, input, /*limit=*/-1)
+                        : ExecSortScalar(plan, input);
     }
     case PlanKind::kLimit: {
-      BAUPLAN_ASSIGN_OR_RETURN(Table input,
-                               ExecutePlan(*plan.children[0], source,
-                                           stats));
+      const PlanNode& child = *plan.children[0];
+      if (vectorized && child.kind == PlanKind::kSort &&
+          !child.sort_keys.empty()) {
+        // Top-N: push LIMIT into the sort (partial_sort of the same total
+        // order produces exactly the stable full-sort prefix).
+        ++ctx->stats->operators_executed;
+        obs::ScopedSpan sort_span(ctx->options.tracer, "op.sort",
+                                  obs::span_kind::kOperator, span_id);
+        BAUPLAN_ASSIGN_OR_RETURN(
+            Table input, ExecNode(ctx, *child.children[0], sort_span.id()));
+        return ExecSortVectorized(child, input, plan.limit);
+      }
+      BAUPLAN_ASSIGN_OR_RETURN(Table input, ExecNode(ctx, child, span_id));
       if (input.num_rows() <= plan.limit) return input;
       return columnar::SliceTable(input, 0, plan.limit);
     }
@@ -391,8 +1178,8 @@ Result<Table> ExecutePlan(const PlanNode& plan, TableSource* source,
       std::vector<Table> pieces;
       pieces.reserve(plan.children.size());
       for (const auto& child : plan.children) {
-        BAUPLAN_ASSIGN_OR_RETURN(Table piece,
-                                 ExecutePlan(*child, source, stats));
+        BAUPLAN_ASSIGN_OR_RETURN(Table piece, ExecNode(ctx, *child,
+                                                       span_id));
         // Branches align by position; rebind to the union's output
         // schema (names come from the first branch).
         BAUPLAN_ASSIGN_OR_RETURN(piece, Table::Make(plan.schema,
@@ -404,25 +1191,59 @@ Result<Table> ExecutePlan(const PlanNode& plan, TableSource* source,
     }
     case PlanKind::kDistinct: {
       BAUPLAN_ASSIGN_OR_RETURN(Table input,
-                               ExecutePlan(*plan.children[0], source,
-                                           stats));
-      std::unordered_map<std::vector<Value>, bool, KeyHash, KeyEq> seen;
-      std::vector<int64_t> keep;
-      for (int64_t row = 0; row < input.num_rows(); ++row) {
-        std::vector<Value> key;
-        key.reserve(static_cast<size_t>(input.num_columns()));
-        for (int c = 0; c < input.num_columns(); ++c) {
-          key.push_back(input.GetValue(row, c));
-        }
-        if (seen.emplace(std::move(key), true).second) keep.push_back(row);
-      }
-      if (keep.size() == static_cast<size_t>(input.num_rows())) {
-        return input;
-      }
-      return columnar::TakeTable(input, keep);
+                               ExecNode(ctx, *plan.children[0], span_id));
+      return vectorized ? ExecDistinctVectorized(input)
+                        : ExecDistinctScalar(input);
     }
   }
   return Status::Internal("unhandled plan kind");
+}
+
+Result<Table> ExecNode(ExecContext* ctx, const PlanNode& plan,
+                       uint64_t parent_span) {
+  ++ctx->stats->operators_executed;
+  // Spans are opened and closed on the driver thread only; morsel workers
+  // never touch the tracer.
+  obs::ScopedSpan span(ctx->options.tracer,
+                       StrCat("op.", OpName(plan.kind)),
+                       obs::span_kind::kOperator, parent_span);
+  Result<Table> out = ExecNodeImpl(ctx, plan, span.id());
+  if (out.ok() && ctx->options.tracer != nullptr) {
+    ctx->options.tracer->AddAttribute(span.id(), "rows_out",
+                                      StrCat(out->num_rows()));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ExecutePlan(const PlanNode& plan, TableSource* source,
+                          ExecStats* stats, const ExecOptions& options) {
+  ExecStats local;
+  if (stats == nullptr) stats = &local;
+
+  ExecContext ctx;
+  ctx.source = source;
+  ctx.stats = stats;
+  ctx.options = options;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (options.pool != nullptr) {
+    ctx.pool = options.pool;
+  } else {
+    // threads = total workers including this (driver) thread, which
+    // participates in every ParallelFor. Requests beyond the hardware
+    // concurrency are clamped: oversubscribing cores cannot help
+    // wall-clock and costs context switches (results are unaffected —
+    // the morsel partitioning never depends on the thread count).
+    int threads = options.threads;
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    if (hw > 0 && threads > hw) threads = hw;
+    if (threads > 1) {
+      owned_pool = std::make_unique<ThreadPool>(threads - 1);
+      ctx.pool = owned_pool.get();
+    }
+  }
+  return ExecNode(&ctx, plan, options.parent_span);
 }
 
 }  // namespace bauplan::sql

@@ -1,12 +1,16 @@
 #ifndef BAUPLAN_SQL_EXECUTOR_H_
 #define BAUPLAN_SQL_EXECUTOR_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "columnar/table.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "format/predicate.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
 #include "sql/logical_plan.h"
 
 namespace bauplan::sql {
@@ -26,19 +30,63 @@ class TableSource {
       const std::vector<format::ColumnPredicate>& predicates) = 0;
 };
 
-/// Per-query execution counters.
+/// Per-query execution counters. Mirrored into a MetricsRegistry as
+/// `exec.*` counters when ExecOptions::metrics is set.
 struct ExecStats {
   int64_t rows_scanned = 0;
   int64_t rows_output = 0;
   int64_t operators_executed = 0;
+  int64_t rows_filtered = 0;    // rows dropped by Filter operators
+  int64_t groups = 0;           // groups produced by Aggregate operators
+  int64_t join_probe_rows = 0;  // probe-side rows fed to HashJoin
+  int64_t morsels = 0;          // morsels dispatched (parallel or inline)
+};
+
+/// Execution knobs for one plan run.
+///
+/// Determinism contract: the result bytes depend only on `engine` and the
+/// plan/input — never on `threads`. Morsel partitioning is fixed by
+/// `morsel_rows`, and partial results merge in morsel order, so
+/// `threads=8` is bit-identical to `threads=1`.
+struct ExecOptions {
+  enum class Engine {
+    kVectorized,  // typed kernels + morsel parallelism (default)
+    kScalar,      // row-at-a-time reference operators (seed behavior)
+  };
+  Engine engine = Engine::kVectorized;
+
+  /// Total threads working a query (1 = inline on the caller). The
+  /// executor spins up `threads - 1` pool workers unless `pool` is set;
+  /// requests beyond the hardware concurrency are clamped (an external
+  /// `pool` is used as-is). Thread count never affects result bytes.
+  int threads = 1;
+
+  /// Rows per morsel; fixed across thread counts for determinism.
+  int64_t morsel_rows = 64 * 1024;
+
+  /// Optional externally-owned worker pool. When set, `threads` only
+  /// bounds how many morsels run concurrently via that pool.
+  ThreadPool* pool = nullptr;
+
+  /// Per-operator span emission (null = no tracing). Spans are created on
+  /// the driver thread only; morsel workers never touch the tracer.
+  observability::Tracer* tracer = nullptr;
+  uint64_t parent_span = 0;
+
+  /// `exec.*` counter sink (null = stats struct only).
+  observability::MetricsRegistry* metrics = nullptr;
 };
 
 /// Interprets a (optimized) plan tree bottom-up, fully materializing each
 /// operator's output — the column-at-a-time execution model that is
-/// sufficient at Reasonable Scale (paper section 3.1).
+/// sufficient at Reasonable Scale (paper section 3.1). The vectorized
+/// engine runs scan/filter/project and partial aggregation as parallel
+/// morsels over a shared ThreadPool; the scalar engine preserves the
+/// original row-at-a-time operators as a baseline.
 Result<columnar::Table> ExecutePlan(const PlanNode& plan,
                                     TableSource* source,
-                                    ExecStats* stats = nullptr);
+                                    ExecStats* stats = nullptr,
+                                    const ExecOptions& options = {});
 
 }  // namespace bauplan::sql
 

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "columnar/builder.h"
+#include "columnar/compute.h"
 #include "columnar/datetime.h"
 #include "common/strings.h"
 
@@ -27,16 +28,6 @@ using columnar::Value;
 
 namespace {
 
-/// Materializes a constant array of `n` copies of `v`.
-Result<ArrayPtr> ConstantArray(const Value& v, int64_t n) {
-  auto builder =
-      columnar::MakeBuilder(v.is_null() ? TypeId::kInt64 : v.type());
-  for (int64_t i = 0; i < n; ++i) {
-    BAUPLAN_RETURN_NOT_OK(builder->AppendValue(v));
-  }
-  return builder->Finish();
-}
-
 bool IsComparison(BinaryOp op) {
   switch (op) {
     case BinaryOp::kEq:
@@ -51,38 +42,21 @@ bool IsComparison(BinaryOp op) {
   }
 }
 
-bool CompareResult(BinaryOp op, int cmp) {
+columnar::CompareOp ToCompareOp(BinaryOp op) {
   switch (op) {
     case BinaryOp::kEq:
-      return cmp == 0;
+      return columnar::CompareOp::kEq;
     case BinaryOp::kNe:
-      return cmp != 0;
+      return columnar::CompareOp::kNe;
     case BinaryOp::kLt:
-      return cmp < 0;
+      return columnar::CompareOp::kLt;
     case BinaryOp::kLe:
-      return cmp <= 0;
+      return columnar::CompareOp::kLe;
     case BinaryOp::kGt:
-      return cmp > 0;
-    case BinaryOp::kGe:
-      return cmp >= 0;
+      return columnar::CompareOp::kGt;
     default:
-      return false;
+      return columnar::CompareOp::kGe;
   }
-}
-
-/// Typed fast path: int64-vs-int64 comparison (covers timestamps too).
-ArrayPtr CompareInt64(BinaryOp op, const columnar::Int64Array& l,
-                      const columnar::Int64Array& r) {
-  BoolBuilder out;
-  for (int64_t i = 0; i < l.length(); ++i) {
-    if (l.IsNull(i) || r.IsNull(i)) {
-      out.AppendNull();
-      continue;
-    }
-    int64_t a = l.Value(i), b = r.Value(i);
-    out.Append(CompareResult(op, a < b ? -1 : (a > b ? 1 : 0)));
-  }
-  return out.Finish();
 }
 
 /// Coerces string literals to timestamps when compared against timestamp
@@ -109,154 +83,43 @@ Result<ArrayPtr> CoerceForComparison(ArrayPtr array, const Array& other) {
 Result<ArrayPtr> EvalComparison(BinaryOp op, ArrayPtr left, ArrayPtr right) {
   BAUPLAN_ASSIGN_OR_RETURN(left, CoerceForComparison(left, *right));
   BAUPLAN_ASSIGN_OR_RETURN(right, CoerceForComparison(right, *left));
-  const auto* li = AsInt64(*left);
-  const auto* ri = AsInt64(*right);
-  if (li != nullptr && ri != nullptr) {
-    return CompareInt64(op, *li, *ri);
-  }
-  // Generic boxed path with numeric cross-type support.
-  BoolBuilder out;
-  for (int64_t i = 0; i < left->length(); ++i) {
-    if (left->IsNull(i) || right->IsNull(i)) {
-      out.AppendNull();
-      continue;
-    }
-    Value a = left->GetValue(i);
-    Value b = right->GetValue(i);
-    bool comparable =
-        a.type() == b.type() ||
-        (columnar::IsNumeric(a.type()) && columnar::IsNumeric(b.type()));
-    if (!comparable) {
-      return Status::InvalidArgument(
-          StrCat("cannot compare ", columnar::TypeIdToString(a.type()),
-                 " with ", columnar::TypeIdToString(b.type())));
-    }
-    out.Append(CompareResult(op, a.Compare(b)));
-  }
-  return out.Finish();
+  return columnar::CompareArrays(ToCompareOp(op), *left, *right);
 }
 
 Result<ArrayPtr> EvalArithmetic(BinaryOp op, const ArrayPtr& left,
                                 const ArrayPtr& right) {
-  bool left_num = columnar::IsNumeric(left->type());
-  bool right_num = columnar::IsNumeric(right->type());
-  if (!left_num || !right_num) {
-    return Status::InvalidArgument(
-        StrCat("arithmetic needs numeric operands, got ",
-               columnar::TypeIdToString(left->type()), " and ",
-               columnar::TypeIdToString(right->type())));
+  columnar::ArithOp aop;
+  switch (op) {
+    case BinaryOp::kAdd:
+      aop = columnar::ArithOp::kAdd;
+      break;
+    case BinaryOp::kSub:
+      aop = columnar::ArithOp::kSub;
+      break;
+    case BinaryOp::kMul:
+      aop = columnar::ArithOp::kMul;
+      break;
+    case BinaryOp::kDiv:
+      aop = columnar::ArithOp::kDiv;
+      break;
+    case BinaryOp::kMod:
+      aop = columnar::ArithOp::kMod;
+      break;
+    default:
+      return Status::Internal("not an arithmetic op");
   }
-  bool as_double = op == BinaryOp::kDiv || left->type() == TypeId::kDouble ||
-                   right->type() == TypeId::kDouble;
-  if (as_double) {
-    DoubleBuilder out;
-    out.Reserve(static_cast<size_t>(left->length()));
-    for (int64_t i = 0; i < left->length(); ++i) {
-      if (left->IsNull(i) || right->IsNull(i)) {
-        out.AppendNull();
-        continue;
-      }
-      double a = *left->GetValue(i).AsDouble();
-      double b = *right->GetValue(i).AsDouble();
-      double v = 0;
-      switch (op) {
-        case BinaryOp::kAdd:
-          v = a + b;
-          break;
-        case BinaryOp::kSub:
-          v = a - b;
-          break;
-        case BinaryOp::kMul:
-          v = a * b;
-          break;
-        case BinaryOp::kDiv:
-          if (b == 0) {
-            out.AppendNull();  // SQL: division by zero -> null (lenient)
-            continue;
-          }
-          v = a / b;
-          break;
-        case BinaryOp::kMod:
-          if (b == 0) {
-            out.AppendNull();
-            continue;
-          }
-          v = std::fmod(a, b);
-          break;
-        default:
-          return Status::Internal("not an arithmetic op");
-      }
-      out.Append(v);
-    }
-    return out.Finish();
-  }
-  // Integer path (timestamps degrade to int64 here).
-  const auto* li = AsInt64(*left);
-  const auto* ri = AsInt64(*right);
-  Int64Builder out;
-  out.Reserve(static_cast<size_t>(left->length()));
-  for (int64_t i = 0; i < left->length(); ++i) {
-    if (li->IsNull(i) || ri->IsNull(i)) {
-      out.AppendNull();
-      continue;
-    }
-    int64_t a = li->Value(i), b = ri->Value(i);
-    switch (op) {
-      case BinaryOp::kAdd:
-        out.Append(a + b);
-        break;
-      case BinaryOp::kSub:
-        out.Append(a - b);
-        break;
-      case BinaryOp::kMul:
-        out.Append(a * b);
-        break;
-      case BinaryOp::kMod:
-        if (b == 0) {
-          out.AppendNull();
-        } else {
-          out.Append(a % b);
-        }
-        break;
-      default:
-        return Status::Internal("not an integer arithmetic op");
-    }
-  }
-  return out.Finish();
+  return columnar::ArithmeticArrays(aop, *left, *right);
 }
 
 /// Three-valued AND/OR over bool arrays.
 Result<ArrayPtr> EvalLogical(BinaryOp op, const ArrayPtr& left,
                              const ArrayPtr& right) {
-  const auto* l = AsBool(*left);
-  const auto* r = AsBool(*right);
-  if (l == nullptr || r == nullptr) {
+  if (AsBool(*left) == nullptr || AsBool(*right) == nullptr) {
     return Status::InvalidArgument(
         StrCat(BinaryOpToString(op), " needs boolean operands"));
   }
-  BoolBuilder out;
-  for (int64_t i = 0; i < l->length(); ++i) {
-    bool ln = l->IsNull(i), rn = r->IsNull(i);
-    bool lv = !ln && l->Value(i), rv = !rn && r->Value(i);
-    if (op == BinaryOp::kAnd) {
-      if ((!ln && !lv) || (!rn && !rv)) {
-        out.Append(false);  // false AND x == false
-      } else if (ln || rn) {
-        out.AppendNull();
-      } else {
-        out.Append(true);
-      }
-    } else {  // OR
-      if ((!ln && lv) || (!rn && rv)) {
-        out.Append(true);  // true OR x == true
-      } else if (ln || rn) {
-        out.AppendNull();
-      } else {
-        out.Append(false);
-      }
-    }
-  }
-  return out.Finish();
+  return op == BinaryOp::kAnd ? columnar::AndArrays(*left, *right)
+                              : columnar::OrArrays(*left, *right);
 }
 
 Result<ArrayPtr> EvalScalarFunction(const Expr& expr, const Table& input,
@@ -442,27 +305,70 @@ Result<ArrayPtr> EvalCast(const Expr& expr, const ArrayPtr& input) {
 
 }  // namespace
 
-bool LikeMatch(std::string_view text, std::string_view pattern) {
-  // Iterative glob matching with backtracking on '%'.
-  size_t t = 0, p = 0;
-  size_t star_p = std::string_view::npos, star_t = 0;
-  while (t < text.size()) {
-    if (p < pattern.size() &&
-        (pattern[p] == '_' || pattern[p] == text[t])) {
-      ++t;
-      ++p;
-    } else if (p < pattern.size() && pattern[p] == '%') {
-      star_p = p++;
-      star_t = t;
-    } else if (star_p != std::string_view::npos) {
-      p = star_p + 1;
-      t = ++star_t;
-    } else {
-      return false;
-    }
+namespace {
+
+/// Matches a '%'-free pattern segment (literals and '_') at exactly
+/// text[pos, pos+seg.size()).
+bool SegmentMatchesAt(std::string_view text, size_t pos,
+                      std::string_view seg) {
+  for (size_t i = 0; i < seg.size(); ++i) {
+    if (seg[i] != '_' && seg[i] != text[pos + i]) return false;
   }
-  while (p < pattern.size() && pattern[p] == '%') ++p;
-  return p == pattern.size();
+  return true;
+}
+
+}  // namespace
+
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  // Segment matcher: split the pattern on '%' into '%'-free segments.
+  // The first segment is anchored at the start, the last at the end, and
+  // each middle segment greedily takes its leftmost match after the
+  // previous one. Leftmost placement is always safe because later
+  // segments can only benefit from more remaining text, so unlike the
+  // classic backtracking glob this is O(text * pattern) worst case —
+  // patterns like '%a%a%a%a%b' against long 'aaaa…' runs stay linear-ish
+  // instead of exponential.
+  size_t first_pct = pattern.find('%');
+  if (first_pct == std::string_view::npos) {
+    return text.size() == pattern.size() &&
+           SegmentMatchesAt(text, 0, pattern);
+  }
+
+  // Anchored prefix (before the first '%').
+  std::string_view prefix = pattern.substr(0, first_pct);
+  if (text.size() < prefix.size() || !SegmentMatchesAt(text, 0, prefix)) {
+    return false;
+  }
+  size_t pos = prefix.size();
+
+  // Anchored suffix (after the last '%').
+  size_t last_pct = pattern.rfind('%');
+  std::string_view suffix = pattern.substr(last_pct + 1);
+  if (text.size() - pos < suffix.size()) return false;
+  size_t suffix_start = text.size() - suffix.size();
+  if (!SegmentMatchesAt(text, suffix_start, suffix)) return false;
+
+  // Middle segments float between prefix and suffix; each takes its
+  // leftmost match while reserving room for the suffix.
+  size_t p = first_pct;
+  while (p < last_pct) {
+    size_t next_pct = pattern.find('%', p + 1);
+    std::string_view seg = pattern.substr(p + 1, next_pct - p - 1);
+    if (!seg.empty()) {
+      bool placed = false;
+      while (pos + seg.size() <= suffix_start) {
+        if (SegmentMatchesAt(text, pos, seg)) {
+          pos += seg.size();
+          placed = true;
+          break;
+        }
+        ++pos;
+      }
+      if (!placed) return false;
+    }
+    p = next_pct;
+  }
+  return true;
 }
 
 Result<ArrayPtr> EvaluateExpr(const Expr& expr, const Table& input) {
@@ -470,7 +376,7 @@ Result<ArrayPtr> EvaluateExpr(const Expr& expr, const Table& input) {
     case ExprKind::kColumnRef:
       return input.GetColumnByName(expr.column_name);
     case ExprKind::kLiteral:
-      return ConstantArray(expr.literal, input.num_rows());
+      return columnar::MakeConstantArray(expr.literal, input.num_rows());
     case ExprKind::kStar:
       return Status::InvalidArgument("'*' cannot be evaluated as a value");
     case ExprKind::kBinary: {
@@ -492,19 +398,7 @@ Result<ArrayPtr> EvaluateExpr(const Expr& expr, const Table& input) {
       BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr operand,
                                EvaluateExpr(*expr.left, input));
       if (expr.unary_op == UnaryOp::kNot) {
-        const auto* b = AsBool(*operand);
-        if (b == nullptr) {
-          return Status::InvalidArgument("NOT needs a boolean operand");
-        }
-        BoolBuilder out;
-        for (int64_t i = 0; i < b->length(); ++i) {
-          if (b->IsNull(i)) {
-            out.AppendNull();
-          } else {
-            out.Append(!b->Value(i));
-          }
-        }
-        return out.Finish();
+        return columnar::NotArray(*operand);
       }
       // Negation.
       if (operand->type() == TypeId::kDouble) {

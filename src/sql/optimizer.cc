@@ -192,6 +192,76 @@ void PushdownPredicates(const PlanPtr& node) {
   for (const auto& child : node->children) PushdownPredicates(child);
 }
 
+// ------------------------------------------- filter-through-join pushdown
+
+/// True when every column `expr` references exists in `schema`.
+bool RefsBoundBy(const Expr& expr, const columnar::Schema& schema) {
+  std::vector<std::string> refs;
+  CollectColumnRefs(expr, &refs);
+  for (const auto& name : refs) {
+    if (!schema.HasField(name)) return false;
+  }
+  return true;
+}
+
+ExprPtr AndTogether(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr out;
+  for (const auto& c : conjuncts) {
+    out = out == nullptr ? c : MakeBinary(BinaryOp::kAnd, out, c);
+  }
+  return out;
+}
+
+/// Moves WHERE conjuncts that reference only one side of a join below the
+/// join, so it builds and probes pre-filtered inputs. Unlike the advisory
+/// scan hints above, this is an exact plan rewrite — the moved conjunct is
+/// gone from the upper filter. For LEFT joins only probe-side (left)
+/// conjuncts move: filtering the null-producing right side would change
+/// which probe rows null-extend.
+void PushFiltersThroughJoins(PlanPtr& node) {
+  for (auto& child : node->children) PushFiltersThroughJoins(child);
+  if (node->kind != PlanKind::kFilter) return;
+  PlanPtr join = node->children[0];
+  if (join->kind != PlanKind::kJoin) return;
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(node->predicate, &conjuncts);
+  std::vector<ExprPtr> left_push, right_push, keep;
+  for (const auto& c : conjuncts) {
+    // Name lookups below mirror execution: the joined table resolves a
+    // duplicated name to the left side first, so a conjunct bound by the
+    // left schema must stay with the left side.
+    if (ContainsAggregate(*c)) {
+      keep.push_back(c);
+    } else if (RefsBoundBy(*c, join->children[0]->schema)) {
+      left_push.push_back(c);
+    } else if (join->join_type == JoinType::kInner &&
+               RefsBoundBy(*c, join->children[1]->schema)) {
+      right_push.push_back(c);
+    } else {
+      keep.push_back(c);
+    }
+  }
+  if (left_push.empty() && right_push.empty()) return;
+  auto wrap = [](PlanPtr input, ExprPtr pred) {
+    PlanPtr filter = MakePlanNode(PlanKind::kFilter);
+    filter->schema = input->schema;
+    filter->predicate = std::move(pred);
+    filter->children = {std::move(input)};
+    return filter;
+  };
+  if (!left_push.empty()) {
+    join->children[0] = wrap(join->children[0], AndTogether(left_push));
+  }
+  if (!right_push.empty()) {
+    join->children[1] = wrap(join->children[1], AndTogether(right_push));
+  }
+  if (keep.empty()) {
+    node = join;  // every conjunct moved; the filter dissolves
+  } else {
+    node->predicate = AndTogether(keep);
+  }
+}
+
 // --------------------------------------------------- projection pushdown
 
 void CollectExprColumns(const ExprPtr& expr, std::set<std::string>* out) {
@@ -346,6 +416,7 @@ void FoldPlanConstants(const PlanPtr& node) {
 Result<PlanPtr> OptimizePlan(PlanPtr plan, const OptimizerOptions& options) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
   if (options.fold_constants) FoldPlanConstants(plan);
+  if (options.pushdown_filters) PushFiltersThroughJoins(plan);
   if (options.pushdown_predicates) PushdownPredicates(plan);
   if (options.pushdown_projections) {
     std::set<std::string> needed;

@@ -12,6 +12,9 @@ struct OptimizerOptions {
   /// hints (zone-map / partition pruning). The filter itself stays —
   /// pruning is conservative.
   bool pushdown_predicates = true;
+  /// Moves WHERE conjuncts that touch only one side of a join below the
+  /// join (exact rewrite), so joins build and probe pre-filtered inputs.
+  bool pushdown_filters = true;
   /// Trims scan (and intermediate projection) output to the columns the
   /// query actually uses.
   bool pushdown_projections = true;
