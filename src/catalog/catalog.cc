@@ -118,6 +118,9 @@ Result<std::string> Catalog::ResolveRef(const std::string& ref) const {
 }
 
 Result<std::string> Catalog::Resolve(const RefSpec& spec) const {
+  // A spec that swallowed a malformed @timestamp reports the parse error
+  // here, not a misleading unknown-ref failure on the raw string.
+  BAUPLAN_RETURN_NOT_OK(spec.status());
   BAUPLAN_ASSIGN_OR_RETURN(std::string id, ResolveRef(spec.name()));
   if (!spec.has_timestamp()) return id;
   // As-of: newest commit on the first-parent chain at or before the

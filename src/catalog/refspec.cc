@@ -102,10 +102,20 @@ RefSpec::RefSpec(const std::string& spec) {
   auto parsed = Parse(spec);
   if (parsed.ok()) {
     *this = std::move(*parsed);
-  } else {
-    // Lenient fallback: keep the raw string as the name; resolution will
-    // report the unknown ref.
-    name_ = spec;
+    return;
+  }
+  // Lenient fallback: keep the raw string as the name so legacy callers
+  // that never time-travel keep working. But a spec containing '@' was
+  // meant as name@timestamp — treating `main@2026-13-99` as a branch
+  // named "main@2026-13-99" turns a typo into a baffling unknown-ref
+  // error, so record the parse failure for resolution to surface.
+  name_ = spec;
+  if (spec.find('@') != std::string::npos) {
+    status_ = Status::InvalidArgument(
+        StrCat(parsed.status().message(),
+               " — for time travel use <ref>@<epoch micros> or "
+               "<ref>@YYYY-MM-DD[THH:MM:SS]; to address a ref literally "
+               "named '", spec, "', rename it without '@'"));
   }
 }
 

@@ -17,9 +17,11 @@ namespace bauplan::catalog {
 /// (Catalog::Resolve).
 ///
 /// Implicitly convertible from a string so every API that used to take a
-/// raw ref string keeps working; a malformed timestamp suffix keeps the
-/// whole string as the name, and resolution fails with the usual
-/// unknown-ref error.
+/// raw ref string keeps working. A string containing '@' whose timestamp
+/// half fails to parse keeps the raw string as the name but records the
+/// parse error — resolution surfaces "invalid timestamp" with a fix-it
+/// hint instead of a misleading unknown-ref message for what is almost
+/// certainly a time-travel typo. '@'-free strings never carry an error.
 class RefSpec {
  public:
   /// The default ref: branch "main", no as-of.
@@ -33,6 +35,11 @@ class RefSpec {
   /// Strict parse: errors on an empty name or an unparseable
   /// "@timestamp" suffix instead of falling back.
   static Result<RefSpec> Parse(const std::string& spec);
+
+  /// False when the lenient string conversion swallowed a malformed
+  /// "@timestamp" suffix; status() then explains the rejection.
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
 
   const std::string& name() const { return name_; }
   bool has_timestamp() const { return timestamp_micros_.has_value(); }
@@ -53,6 +60,7 @@ class RefSpec {
  private:
   std::string name_;
   std::optional<uint64_t> timestamp_micros_;
+  Status status_ = Status::OK();
 };
 
 /// Parses the timestamp half of a refspec: a run of digits is epoch

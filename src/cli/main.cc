@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <map>
 #include <set>
 #include <string>
@@ -47,11 +48,15 @@ commands:
         seed the lake with a synthetic taxi_table and write the demo
         pipeline project to <lake>_demo_project
   query -q SQL [-b REF] [--explain] [--explain-metrics] [--threads N]
+        [--memory-budget BYTES]
         run a synchronous SQL query at a branch/tag/commit/"ref@timestamp";
         --explain-metrics dumps the platform metric instruments (including
         the exec.* engine counters) afterwards; --threads N runs the
         vectorized engine with N-way morsel parallelism (results are
-        bit-identical for any N)
+        bit-identical for any N); --memory-budget BYTES caps the working
+        set of joins/sorts/aggregates, spilling to the metered spill
+        store beyond it (0 = unlimited; results are bit-identical for
+        any budget)
   check --project DIR [-b REF] [--json]
         statically analyze a pipeline project against the catalog at REF
         without running it: reference resolution, column-level schema
@@ -115,6 +120,7 @@ const std::map<std::string, std::vector<FlagDef>, std::less<>>& VerbFlags() {
             {"--explain", "", false},
             {"--explain-metrics", "", false},
             {"--threads", "", true},
+            {"--memory-budget", "", true},
             kBranchFlag}},
           {"check",
            {{"--project", "", true}, {"--json", "", false}, kBranchFlag}},
@@ -271,6 +277,40 @@ int UsageError(const std::string& message) {
   return 2;
 }
 
+/// Strict integer flag lookup: `atoi` silently mapped `--threads abc` to
+/// 0 and let `--parallel 999999999999` overflow, so every numeric flag
+/// funnels through ParseInt64 plus an explicit range. Errors here become
+/// usage errors (exit 2).
+Result<int64_t> Int64Flag(const Args& args, const std::string& flag,
+                          int64_t fallback, int64_t min, int64_t max) {
+  if (!args.Has(flag)) return fallback;
+  const std::string text = args.Get(flag);
+  int64_t value = 0;
+  if (!ParseInt64(text, &value)) {
+    return Status::InvalidArgument(
+        StrCat("flag '", flag, "' needs an integer, got '", text, "'"));
+  }
+  if (value < min || value > max) {
+    return Status::InvalidArgument(StrCat("flag '", flag, "' value ", text,
+                                          " out of range [", min, ", ", max,
+                                          "]"));
+  }
+  return value;
+}
+
+/// Strict floating-point flag lookup; same contract as Int64Flag.
+Result<double> DoubleFlag(const Args& args, const std::string& flag,
+                          double fallback) {
+  if (!args.Has(flag)) return fallback;
+  const std::string text = args.Get(flag);
+  double value = 0.0;
+  if (!ParseDouble(text, &value)) {
+    return Status::InvalidArgument(
+        StrCat("flag '", flag, "' needs a number, got '", text, "'"));
+  }
+  return value;
+}
+
 /// Writes the run's span trace as JSON; used by `run --trace-out`.
 Status WriteTrace(const std::string& path, const core::RunReport& report) {
   std::ofstream out(path);
@@ -311,7 +351,9 @@ int Main(int argc, char** argv) {
 
   if (command == "init-demo") {
     workload::TaxiGenOptions gen;
-    gen.rows = std::atoll(args.Get("--rows", "100000").c_str());
+    auto rows = Int64Flag(args, "--rows", 100000, 1, 1'000'000'000);
+    if (!rows.ok()) return UsageError(rows.status().message());
+    gen.rows = *rows;
     auto taxi = workload::GenerateTaxiTable(gen);
     if (!taxi.ok()) return Fail(taxi.status());
     if (!bp.ListTables("main")->empty()) {
@@ -322,8 +364,9 @@ int Main(int argc, char** argv) {
     if (st.ok()) st = bp.WriteTable("main", "taxi_table", *taxi);
     if (!st.ok()) return Fail(st);
     std::string project_dir = lake_dir + "_demo_project";
-    double threshold = std::atof(args.Get("--threshold", "1.0").c_str());
-    st = WriteDemoProject(project_dir, threshold);
+    auto threshold = DoubleFlag(args, "--threshold", 1.0);
+    if (!threshold.ok()) return UsageError(threshold.status().message());
+    st = WriteDemoProject(project_dir, *threshold);
     if (!st.ok()) return Fail(st);
     std::printf("seeded taxi_table with %lld rows on main\n",
                 static_cast<long long>(taxi->num_rows()));
@@ -337,13 +380,13 @@ int Main(int argc, char** argv) {
     }
     sql::QueryOptions options;
     options.capture_plans = args.Has("--explain");
-    if (args.Has("--threads")) {
-      int threads = std::atoi(args.Get("--threads", "1").c_str());
-      if (threads < 1) {
-        return UsageError("--threads needs a positive thread count");
-      }
-      options.exec.threads = threads;
-    }
+    auto threads = Int64Flag(args, "--threads", 1, 1, 4096);
+    if (!threads.ok()) return UsageError(threads.status().message());
+    options.exec.threads = static_cast<int>(*threads);
+    auto budget = Int64Flag(args, "--memory-budget", 0, 0,
+                            std::numeric_limits<int64_t>::max());
+    if (!budget.ok()) return UsageError(budget.status().message());
+    options.exec.memory_budget_bytes = *budget;
     auto result = bp.Query(args.Get("-q"), *ref, options);
     if (!result.ok()) return Fail(result.status());
     if (args.Has("--explain")) {
@@ -378,8 +421,10 @@ int Main(int argc, char** argv) {
 
   if (command == "run") {
     if (args.Has("--run-id")) {
-      auto report = bp.ReplayRun(std::atoll(args.Get("--run-id").c_str()),
-                                 args.Get("-m"));
+      auto run_id = Int64Flag(args, "--run-id", 0, 0,
+                              std::numeric_limits<int64_t>::max());
+      if (!run_id.ok()) return UsageError(run_id.status().message());
+      auto report = bp.ReplayRun(*run_id, args.Get("-m"));
       if (!report.ok()) return Fail(report.status());
       PrintRunReport(*report);
       if (args.Has("--trace-out")) {
@@ -405,13 +450,9 @@ int Main(int argc, char** argv) {
     core::PipelineRunOptions options;
     options.fused = !args.Has("--naive");
     options.verify = !args.Has("--no-verify");
-    if (args.Has("--parallel")) {
-      int parallelism = std::atoi(args.Get("--parallel", "1").c_str());
-      if (parallelism < 1) {
-        return UsageError("--parallel needs a positive worker count");
-      }
-      options.parallelism = parallelism;
-    }
+    auto parallelism = Int64Flag(args, "--parallel", 1, 1, 4096);
+    if (!parallelism.ok()) return UsageError(parallelism.status().message());
+    options.parallelism = static_cast<int>(*parallelism);
     auto report = bp.Run(*project, ref->name(), options);
     if (!report.ok()) return Fail(report.status());
     PrintRunReport(*report);
@@ -538,9 +579,9 @@ int Main(int argc, char** argv) {
   }
 
   if (command == "audit") {
-    size_t limit = static_cast<size_t>(
-        std::atoll(args.Get("-n", "20").c_str()));
-    auto entries = bp.audit_log().Tail(limit);
+    auto limit = Int64Flag(args, "-n", 20, 0, 10'000'000);
+    if (!limit.ok()) return UsageError(limit.status().message());
+    auto entries = bp.audit_log().Tail(static_cast<size_t>(*limit));
     if (!entries.ok()) return Fail(entries.status());
     for (const auto& entry : *entries) {
       std::printf("%6lld  %s  %-14s %-10s %-6s %s\n",
@@ -610,9 +651,9 @@ int Main(int argc, char** argv) {
   }
 
   if (command == "log") {
-    size_t limit = static_cast<size_t>(std::atoll(
-        args.Get("-n", "10").c_str()));
-    auto log = bp.Log(args.Get("-b", "main"), limit);
+    auto limit = Int64Flag(args, "-n", 10, 0, 10'000'000);
+    if (!limit.ok()) return UsageError(limit.status().message());
+    auto log = bp.Log(args.Get("-b", "main"), static_cast<size_t>(*limit));
     if (!log.ok()) return Fail(log.status());
     for (const auto& commit : *log) {
       std::printf("%s  %s  %s (%s)\n", commit.id.c_str(),

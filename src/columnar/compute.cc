@@ -276,7 +276,10 @@ Result<ArrayPtr> SliceArray(const ArrayPtr& array, int64_t offset,
                                      ") out of range [0, ", array->length(),
                                      "]"));
   }
-  int64_t end = std::min(offset + length, array->length());
+  // Clamp before adding: `offset + length` can overflow int64 (UB) when
+  // a caller passes a huge length such as an unbounded LIMIT.
+  int64_t end = length > array->length() - offset ? array->length()
+                                                  : offset + length;
   size_t lo = static_cast<size_t>(offset), hi = static_cast<size_t>(end);
   if (offset == 0 && end == array->length()) return array;  // whole array
 

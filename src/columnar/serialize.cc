@@ -41,9 +41,18 @@ void SerializeArray(const Array& array, BinaryWriter* writer) {
     }
     case TypeId::kString: {
       const auto* a = AsString(array);
-      writer->PutU64(a->offsets().size());
-      writer->PutRaw(a->offsets().data(),
-                     a->offsets().size() * sizeof(uint32_t));
+      if (a->offsets().empty()) {
+        // An empty StringArray may carry zero offsets instead of the
+        // canonical single 0; normalize so the reader's length+1
+        // invariant holds on round-trip.
+        static constexpr uint32_t kZero = 0;
+        writer->PutU64(1);
+        writer->PutRaw(&kZero, sizeof(uint32_t));
+      } else {
+        writer->PutU64(a->offsets().size());
+        writer->PutRaw(a->offsets().data(),
+                       a->offsets().size() * sizeof(uint32_t));
+      }
       writer->PutString(a->data());
       break;
     }

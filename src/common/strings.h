@@ -37,6 +37,18 @@ std::string StrCat(const Args&... args) {
   return oss.str();
 }
 
+/// Strict base-10 integer parse of the whole string: optional leading
+/// '-', digits only, no whitespace, no trailing junk, range-checked.
+/// Returns false (leaving `*out` untouched) on any violation — the
+/// checked replacement for atoi/atoll, which silently return 0 or
+/// overflow.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Strict floating-point parse of the whole string (decimal or
+/// scientific notation; no whitespace or trailing junk). "inf"/"nan"
+/// are rejected: every caller is a CLI flag where they are typos.
+bool ParseDouble(std::string_view s, double* out);
+
 /// Formats a byte count with a binary-scaled unit suffix ("1.5 MiB").
 std::string FormatBytes(uint64_t bytes);
 

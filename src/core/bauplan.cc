@@ -152,6 +152,10 @@ Result<sql::QueryResult> Bauplan::Query(std::string_view sql_text,
                                         const catalog::RefSpec& ref,
                                         const sql::QueryOptions& options) {
   std::string sql(sql_text);
+  // Resolution failures fall back to scanning the raw name below, so a
+  // ref that swallowed a malformed @timestamp must be rejected here —
+  // the fallback would turn the typo into an unknown-table error.
+  BAUPLAN_RETURN_NOT_OK(ref.status());
   const std::string ref_text = ref.ToString();
   uint64_t query_span = tracer_->StartSpan(
       "query", observability::span_kind::kQuery);
@@ -186,6 +190,11 @@ Result<sql::QueryResult> Bauplan::Query(std::string_view sql_text,
   traced.tracer = tracer_.get();
   traced.parent_span = query_span;
   traced.exec.metrics = metrics_.get();
+  if (traced.exec.spill_store == nullptr) {
+    // Budgeted operators spill through the metered store so spill
+    // traffic shows up in the platform metrics like any other I/O.
+    traced.exec.spill_store = spill_store_.get();
+  }
   auto result = sql::RunQuery(sql, source, &source, traced);
   finish_trace(result.ok() ? &*result : nullptr);
   Audit("query", ref_text, sql, result.status());

@@ -1,16 +1,22 @@
 #include "sql/executor.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <memory>
+#include <queue>
 #include <set>
 #include <unordered_map>
 #include <utility>
 
 #include "columnar/builder.h"
 #include "columnar/compute.h"
+#include "columnar/serialize.h"
+#include "common/bytes.h"
 #include "common/hash.h"
 #include "common/strings.h"
 #include "sql/expr_eval.h"
+#include "storage/object_store.h"
 
 namespace bauplan::sql {
 
@@ -81,6 +87,12 @@ struct ExecContext {
   ExecOptions options;
   ThreadPool* pool = nullptr;  // null = run morsels inline
 
+  /// Non-null only when a memory budget is active. Spill objects are
+  /// written and read on the driver thread exclusively.
+  storage::ObjectStore* spill = nullptr;
+  uint64_t spill_query_id = 0;  // disambiguates keys on shared stores
+  int64_t spill_seq = 0;        // driver-thread object counter
+
   void Count(const char* name, int64_t delta) const {
     if (options.metrics != nullptr && delta != 0) {
       options.metrics->GetCounter(name)->Increment(delta);
@@ -135,6 +147,82 @@ Status FirstError(const std::vector<Status>& errors) {
 
 Result<Table> ExecNode(ExecContext* ctx, const PlanNode& plan,
                        uint64_t parent_span);
+
+// ---------------------------------------------------------------- spilling
+//
+// When ExecOptions::memory_budget_bytes is set and an operator's input
+// exceeds it, the vectorized join/sort/aggregate degrade to spilling
+// variants: Grace hash join, external merge sort, and hash-partitioned
+// aggregation, all staged through an ObjectStore via columnar::serialize.
+// The overriding constraint is bit-identity: for any budget and thread
+// count the result bytes must equal the unlimited in-memory path, so each
+// variant reproduces the in-memory emission order exactly (per-operator
+// notes below; determinism argument in DESIGN.md section 8).
+
+/// Re-partitioning stops after this many levels; a partition that still
+/// exceeds the budget then (an extremely skewed key, which hashing cannot
+/// split) is processed in memory.
+constexpr int kMaxSpillDepth = 3;
+constexpr uint32_t kMaxSpillFanout = 64;
+/// Partial aggregate states buffered per partition before flushing.
+constexpr int64_t kAggSpillFlushRows = 4096;
+
+bool ShouldSpill(const ExecContext& ctx, int64_t bytes) {
+  return ctx.spill != nullptr && ctx.options.memory_budget_bytes > 0 &&
+         bytes > ctx.options.memory_budget_bytes;
+}
+
+/// Serializes and writes one table to the spill store, returning its key.
+Result<std::string> SpillWrite(ExecContext* ctx, const char* tag,
+                               const Table& table) {
+  std::string key = StrCat("exec-spill/q", ctx->spill_query_id, "/", tag,
+                           "/", ctx->spill_seq++);
+  Bytes payload = columnar::SerializeTable(table);
+  int64_t nbytes = static_cast<int64_t>(payload.size());
+  BAUPLAN_RETURN_NOT_OK(ctx->spill->Put(key, std::move(payload)));
+  ctx->stats->spill_bytes_written += nbytes;
+  ctx->Count("exec.spill.bytes_written", nbytes);
+  return key;
+}
+
+/// Reads a spilled table back and deletes it: spill objects are
+/// single-read scratch, so a query leaves the store empty.
+Result<Table> SpillRead(ExecContext* ctx, const std::string& key) {
+  BAUPLAN_ASSIGN_OR_RETURN(Bytes payload, ctx->spill->Get(key));
+  int64_t nbytes = static_cast<int64_t>(payload.size());
+  ctx->stats->spill_bytes_read += nbytes;
+  ctx->Count("exec.spill.bytes_read", nbytes);
+  BAUPLAN_ASSIGN_OR_RETURN(Table table, columnar::DeserializeTable(payload));
+  BAUPLAN_RETURN_NOT_OK(ctx->spill->Delete(key));
+  return table;
+}
+
+void CountSpillPartitions(const ExecContext& ctx, int64_t n) {
+  ctx.stats->spill_partitions += n;
+  ctx.Count("exec.spill.partitions", n);
+}
+
+/// Partition of a row hash at a recursion level. The salt makes levels
+/// independent: a partition that collides at level L spreads at L+1
+/// (unless all rows share one key value, which no hash can split —
+/// kMaxSpillDepth bounds that case).
+uint32_t SpillPartitionOf(uint64_t hash, int level, uint32_t fanout) {
+  uint64_t h =
+      hash + 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(level + 1);
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return static_cast<uint32_t>(h & (fanout - 1));
+}
+
+/// Power-of-two partition count sized so the average partition fits half
+/// the budget (the other half is working space for the merge/join phase).
+uint32_t SpillFanout(int64_t bytes, int64_t budget) {
+  uint32_t fanout = 2;
+  int64_t half = std::max<int64_t>(1, budget / 2);
+  while (fanout < kMaxSpillFanout && bytes / fanout > half) fanout <<= 1;
+  return fanout;
+}
 
 // ------------------------------------------------------- filter / project
 
@@ -283,6 +371,26 @@ struct AggState {
   Value max;
   std::set<Value, ValueLess> distinct;
 };
+
+/// Folds a later partial into an earlier one. Shared by the in-memory
+/// morsel merge and the spilled partition merge so floating-point sums
+/// associate identically on both paths (merge order is morsel order
+/// either way).
+void MergeAggState(AggState* into, const AggState& from) {
+  into->count += from.count;
+  into->sum_int += from.sum_int;
+  into->sum_double += from.sum_double;
+  into->saw_double = into->saw_double || from.saw_double;
+  if (!from.min.is_null() &&
+      (into->min.is_null() || from.min.Compare(into->min) < 0)) {
+    into->min = from.min;
+  }
+  if (!from.max.is_null() &&
+      (into->max.is_null() || from.max.Compare(into->max) > 0)) {
+    into->max = from.max;
+  }
+  into->distinct.insert(from.distinct.begin(), from.distinct.end());
+}
 
 /// Typed three-way compare of two non-null rows of one array. Doubles use
 /// the seed Value::Compare convention (NaN compares equal to everything),
@@ -522,9 +630,320 @@ void FinalizeDistinct(const PlanNode& plan,
   }
 }
 
-Result<Table> ExecAggregateVectorized(const ExecContext& ctx,
-                                      const PlanNode& plan,
-                                      const Table& input) {
+// Spilled aggregation. Partial states are produced by the very same
+// AggregateMorsel over the very same morsel boundaries as the in-memory
+// path (floating-point partial sums depend on those boundaries), then
+// hash-partitioned by group key and flushed to the spill store as
+// columnar state tables. Each partition merges its states in (morsel,
+// local group id) order — exactly the order the in-memory merge sees —
+// and the final groups are emitted in ascending first-seen (morsel,
+// local group id), which is precisely the in-memory first-seen order.
+
+/// Columnar encoding of partial aggregate states for one spill
+/// partition. Schema: __mi/__gid (merge-order coordinates), one column
+/// per group key, then per aggregate: count, sum_int, sum_double,
+/// saw_double, min, max (argument type) and the distinct set (an array
+/// serialized into a string cell).
+class AggSpillWriter {
+ public:
+  static Result<AggSpillWriter> Make(const PlanNode& plan,
+                                     const std::vector<TypeId>& key_types,
+                                     const std::vector<TypeId>& arg_types) {
+    AggSpillWriter w;
+    w.Add("__mi", TypeId::kInt64);
+    w.Add("__gid", TypeId::kInt64);
+    for (size_t k = 0; k < key_types.size(); ++k) {
+      w.Add(StrCat("__key", k), key_types[k]);
+    }
+    for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+      w.Add(StrCat("__a", a, "_count"), TypeId::kInt64);
+      w.Add(StrCat("__a", a, "_sumi"), TypeId::kInt64);
+      w.Add(StrCat("__a", a, "_sumd"), TypeId::kDouble);
+      w.Add(StrCat("__a", a, "_sawd"), TypeId::kBool);
+      w.Add(StrCat("__a", a, "_min"), arg_types[a]);
+      w.Add(StrCat("__a", a, "_max"), arg_types[a]);
+      w.Add(StrCat("__a", a, "_set"), TypeId::kString);
+    }
+    w.arg_types_ = arg_types;
+    return w;
+  }
+
+  int64_t rows() const { return rows_; }
+
+  Status Append(int64_t mi, int64_t gid,
+                const std::vector<ArrayPtr>& key_arrays, int64_t rep_row,
+                const std::vector<AggState>& states) {
+    size_t c = 0;
+    BAUPLAN_RETURN_NOT_OK(AppendCell(c++, Value::Int64(mi)));
+    BAUPLAN_RETURN_NOT_OK(AppendCell(c++, Value::Int64(gid)));
+    for (const auto& arr : key_arrays) {
+      BAUPLAN_RETURN_NOT_OK(AppendCell(c++, arr->GetValue(rep_row)));
+    }
+    for (size_t a = 0; a < states.size(); ++a) {
+      const AggState& s = states[a];
+      BAUPLAN_RETURN_NOT_OK(AppendCell(c++, Value::Int64(s.count)));
+      BAUPLAN_RETURN_NOT_OK(AppendCell(c++, Value::Int64(s.sum_int)));
+      BAUPLAN_RETURN_NOT_OK(AppendCell(c++, Value::Double(s.sum_double)));
+      BAUPLAN_RETURN_NOT_OK(AppendCell(c++, Value::Bool(s.saw_double)));
+      BAUPLAN_RETURN_NOT_OK(AppendCell(c++, s.min));
+      BAUPLAN_RETURN_NOT_OK(AppendCell(c++, s.max));
+      if (s.distinct.empty()) {
+        builders_[c++]->AppendNull();
+      } else {
+        auto b = columnar::MakeBuilder(arg_types_[a]);
+        for (const Value& v : s.distinct) {
+          BAUPLAN_RETURN_NOT_OK(b->AppendValue(v));
+        }
+        BinaryWriter w;
+        columnar::SerializeArray(*b->Finish(), &w);
+        Bytes buf = w.TakeBuffer();
+        auto* sb = static_cast<columnar::StringBuilder*>(builders_[c++].get());
+        sb->Append(std::string_view(reinterpret_cast<const char*>(buf.data()),
+                                    buf.size()));
+      }
+    }
+    ++rows_;
+    return Status::OK();
+  }
+
+  /// Builds the pending rows into a table and resets for the next chunk.
+  Result<Table> Flush() {
+    std::vector<ArrayPtr> cols;
+    cols.reserve(builders_.size());
+    std::vector<std::unique_ptr<columnar::ArrayBuilder>> fresh;
+    fresh.reserve(builders_.size());
+    for (size_t i = 0; i < builders_.size(); ++i) {
+      cols.push_back(builders_[i]->Finish());
+      fresh.push_back(columnar::MakeBuilder(types_[i]));
+    }
+    builders_ = std::move(fresh);
+    rows_ = 0;
+    return TableFromArrays(names_, std::move(cols));
+  }
+
+ private:
+  AggSpillWriter() = default;
+
+  void Add(std::string name, TypeId type) {
+    names_.push_back(std::move(name));
+    types_.push_back(type);
+    builders_.push_back(columnar::MakeBuilder(type));
+  }
+
+  Status AppendCell(size_t c, const Value& v) {
+    if (v.is_null()) {
+      builders_[c]->AppendNull();
+      return Status::OK();
+    }
+    return builders_[c]->AppendValue(v);
+  }
+
+  std::vector<std::string> names_;
+  std::vector<TypeId> types_;
+  std::vector<TypeId> arg_types_;
+  std::vector<std::unique_ptr<columnar::ArrayBuilder>> builders_;
+  int64_t rows_ = 0;
+};
+
+/// Decodes the distinct-value set serialized by AggSpillWriter.
+Status DecodeDistinctSet(std::string_view cell, AggState* state) {
+  BinaryReader reader(reinterpret_cast<const uint8_t*>(cell.data()),
+                      cell.size());
+  BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr values,
+                           columnar::DeserializeArray(&reader));
+  for (int64_t i = 0; i < values->length(); ++i) {
+    state->distinct.insert(values->GetValue(i));
+  }
+  return Status::OK();
+}
+
+Result<Table> ExecAggregateSpilled(ExecContext* ctx, const PlanNode& plan,
+                                   const Table& input, uint64_t span_id) {
+  obs::ScopedSpan spill_span(ctx->options.tracer, "spill.aggregate",
+                             obs::span_kind::kSpill, span_id);
+  int64_t partitions_before = ctx->stats->spill_partitions;
+
+  // Static key/argument types, derived from an empty slice so no data is
+  // touched (expression types do not depend on rows).
+  BAUPLAN_ASSIGN_OR_RETURN(Table empty_slice,
+                           columnar::SliceTable(input, 0, 0));
+  std::vector<TypeId> key_types;
+  for (const auto& key : plan.group_by) {
+    BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr arr, EvaluateExpr(*key, empty_slice));
+    key_types.push_back(arr->type());
+  }
+  std::vector<TypeId> arg_types;
+  for (const auto& agg : plan.aggregates) {
+    if (agg.arg == nullptr) {
+      arg_types.push_back(TypeId::kInt64);  // COUNT(*): columns stay null
+      continue;
+    }
+    BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr arr,
+                             EvaluateExpr(*agg.arg, empty_slice));
+    arg_types.push_back(arr->type());
+  }
+
+  uint32_t fanout =
+      SpillFanout(input.EstimatedBytes(), ctx->options.memory_budget_bytes);
+  std::vector<AggSpillWriter> writers;
+  std::vector<std::vector<std::string>> chunks(fanout);
+  writers.reserve(fanout);
+  for (uint32_t p = 0; p < fanout; ++p) {
+    BAUPLAN_ASSIGN_OR_RETURN(AggSpillWriter w,
+                             AggSpillWriter::Make(plan, key_types, arg_types));
+    writers.push_back(std::move(w));
+  }
+  auto flush = [&](uint32_t p) -> Status {
+    BAUPLAN_ASSIGN_OR_RETURN(Table chunk, writers[p].Flush());
+    BAUPLAN_ASSIGN_OR_RETURN(std::string key,
+                             SpillWrite(ctx, "agg-state", chunk));
+    chunks[p].push_back(std::move(key));
+    return Status::OK();
+  };
+
+  // Phase 1: partial aggregation in bounded batches of morsels — the SAME
+  // morsel boundaries as the in-memory path (MakeMorsels depends only on
+  // row count), so per-morsel float partials are identical. Each batch's
+  // group states are routed to their key-hash partition and flushed.
+  std::vector<Morsel> morsels =
+      MakeMorsels(input.num_rows(), ctx->options.morsel_rows);
+  int64_t m = static_cast<int64_t>(morsels.size());
+  int64_t batch = std::max<int64_t>(1, 2 * ctx->options.threads);
+  for (int64_t batch_begin = 0; batch_begin < m; batch_begin += batch) {
+    int64_t n = std::min(batch, m - batch_begin);
+    std::vector<MorselGroups> partials(static_cast<size_t>(n));
+    std::vector<Status> errors(static_cast<size_t>(n));
+    RunMorsels(*ctx, n, [&](int64_t i) {
+      const Morsel& mo = morsels[static_cast<size_t>(batch_begin + i)];
+      Result<Table> slice =
+          columnar::SliceTable(input, mo.begin, mo.end - mo.begin);
+      if (!slice.ok()) {
+        errors[static_cast<size_t>(i)] = slice.status();
+        return;
+      }
+      errors[static_cast<size_t>(i)] =
+          AggregateMorsel(plan, *slice, &partials[static_cast<size_t>(i)]);
+    });
+    BAUPLAN_RETURN_NOT_OK(FirstError(errors));
+    for (int64_t i = 0; i < n; ++i) {
+      const MorselGroups& part = partials[static_cast<size_t>(i)];
+      if (part.rep_rows.empty()) continue;
+      std::vector<uint64_t> hashes;
+      for (size_t k = 0; k < part.key_arrays.size(); ++k) {
+        columnar::HashArray(*part.key_arrays[k], /*combine=*/k > 0,
+                            &hashes);
+      }
+      for (size_t g = 0; g < part.rep_rows.size(); ++g) {
+        int64_t rep = part.rep_rows[g];
+        uint32_t p = SpillPartitionOf(
+            hashes[static_cast<size_t>(rep)], /*level=*/0, fanout);
+        BAUPLAN_RETURN_NOT_OK(writers[p].Append(
+            batch_begin + i, static_cast<int64_t>(g), part.key_arrays, rep,
+            part.states[g]));
+        if (writers[p].rows() >= kAggSpillFlushRows) {
+          BAUPLAN_RETURN_NOT_OK(flush(p));
+        }
+      }
+    }
+  }
+  int64_t written = 0;
+  for (uint32_t p = 0; p < fanout; ++p) {
+    if (writers[p].rows() > 0) BAUPLAN_RETURN_NOT_OK(flush(p));
+    if (!chunks[p].empty()) ++written;
+  }
+  CountSpillPartitions(*ctx, written);
+
+  // Phase 2: merge each partition. Chunks are read back in write order,
+  // so states stream in ascending (morsel, local gid) — the in-memory
+  // merge order — and MergeAggState folds them identically.
+  struct SpilledGroup {
+    int64_t mi;
+    int64_t gid;
+    std::vector<Value> key;
+    std::vector<AggState> states;
+  };
+  std::vector<SpilledGroup> groups;
+  size_t nkeys = key_types.size();
+  size_t naggs = plan.aggregates.size();
+  for (uint32_t p = 0; p < fanout; ++p) {
+    if (chunks[p].empty()) continue;
+    std::unordered_map<std::vector<Value>, size_t, KeyHash, KeyEq> index;
+    for (const std::string& chunk_key : chunks[p]) {
+      BAUPLAN_ASSIGN_OR_RETURN(Table chunk, SpillRead(ctx, chunk_key));
+      const auto* mi_col = AsInt64(*chunk.column(0));
+      const auto* gid_col = AsInt64(*chunk.column(1));
+      for (int64_t r = 0; r < chunk.num_rows(); ++r) {
+        std::vector<Value> key;
+        key.reserve(nkeys);
+        for (size_t k = 0; k < nkeys; ++k) {
+          key.push_back(chunk.column(2 + static_cast<int>(k))->GetValue(r));
+        }
+        std::vector<AggState> states(naggs);
+        for (size_t a = 0; a < naggs; ++a) {
+          int base = static_cast<int>(2 + nkeys + 7 * a);
+          AggState& s = states[a];
+          s.count = AsInt64(*chunk.column(base))->Value(r);
+          s.sum_int = AsInt64(*chunk.column(base + 1))->Value(r);
+          s.sum_double = AsDouble(*chunk.column(base + 2))->Value(r);
+          s.saw_double = AsBool(*chunk.column(base + 3))->Value(r);
+          s.min = chunk.column(base + 4)->GetValue(r);
+          s.max = chunk.column(base + 5)->GetValue(r);
+          const ArrayPtr& set_col = chunk.column(base + 6);
+          if (!set_col->IsNull(r)) {
+            BAUPLAN_RETURN_NOT_OK(
+                DecodeDistinctSet(AsString(*set_col)->Value(r), &s));
+          }
+        }
+        auto [it, inserted] = index.emplace(key, groups.size());
+        if (inserted) {
+          groups.push_back({mi_col->Value(r), gid_col->Value(r),
+                            std::move(key), std::move(states)});
+        } else {
+          std::vector<AggState>& into = groups[it->second].states;
+          for (size_t a = 0; a < naggs; ++a) {
+            MergeAggState(&into[a], states[a]);
+          }
+        }
+      }
+    }
+  }
+
+  // First-seen order across ordered morsels == ascending (mi, gid).
+  std::sort(groups.begin(), groups.end(),
+            [](const SpilledGroup& a, const SpilledGroup& b) {
+              return a.mi != b.mi ? a.mi < b.mi : a.gid < b.gid;
+            });
+  std::vector<std::vector<Value>> group_order;
+  std::vector<std::vector<AggState>> group_states;
+  group_order.reserve(groups.size());
+  group_states.reserve(groups.size());
+  for (SpilledGroup& g : groups) {
+    group_order.push_back(std::move(g.key));
+    group_states.push_back(std::move(g.states));
+  }
+  FinalizeDistinct(plan, &group_states);
+  ctx->stats->groups += static_cast<int64_t>(group_order.size());
+  ctx->Count("exec.groups", static_cast<int64_t>(group_order.size()));
+  if (ctx->options.tracer != nullptr) {
+    ctx->options.tracer->AddAttribute(
+        spill_span.id(), "partitions",
+        StrCat(ctx->stats->spill_partitions - partitions_before));
+    ctx->options.tracer->AddAttribute(spill_span.id(), "groups",
+                                      StrCat(group_order.size()));
+  }
+  return EmitAggregateOutput(plan, group_order, group_states);
+}
+
+Result<Table> ExecAggregateVectorized(ExecContext* mctx, const PlanNode& plan,
+                                      const Table& input, uint64_t span_id) {
+  // Grouped aggregation over a too-large input degrades to the spilled
+  // variant. Global aggregates (no GROUP BY) keep O(1) state per morsel
+  // and never need to spill.
+  if (!plan.group_by.empty() && input.num_rows() > 0 &&
+      ShouldSpill(*mctx, input.EstimatedBytes())) {
+    return ExecAggregateSpilled(mctx, plan, input, span_id);
+  }
+  const ExecContext& ctx = *mctx;
   std::vector<Morsel> morsels =
       MakeMorsels(input.num_rows(), ctx.options.morsel_rows);
   int64_t m = static_cast<int64_t>(morsels.size());
@@ -566,21 +985,7 @@ Result<Table> ExecAggregateVectorized(const ExecContext& ctx,
       std::vector<AggState>& into = group_states[it->second];
       const std::vector<AggState>& from = part.states[g];
       for (size_t a = 0; a < plan.aggregates.size(); ++a) {
-        AggState& s = into[a];
-        const AggState& p = from[a];
-        s.count += p.count;
-        s.sum_int += p.sum_int;
-        s.sum_double += p.sum_double;
-        s.saw_double = s.saw_double || p.saw_double;
-        if (!p.min.is_null() &&
-            (s.min.is_null() || p.min.Compare(s.min) < 0)) {
-          s.min = p.min;
-        }
-        if (!p.max.is_null() &&
-            (s.max.is_null() || p.max.Compare(s.max) > 0)) {
-          s.max = p.max;
-        }
-        s.distinct.insert(p.distinct.begin(), p.distinct.end());
+        MergeAggState(&into[a], from[a]);
       }
     }
   }
@@ -742,8 +1147,262 @@ struct Int64JoinTable {
   }
 };
 
-Result<Table> ExecJoinVectorized(const ExecContext& ctx, const PlanNode& plan,
-                                 const Table& left, const Table& right) {
+/// Materializes the join output from matched (left,right) row pairs:
+/// chunked parallel gather of all columns plus the residual filter.
+/// Shared by the in-memory and Grace paths, so once their pair sequences
+/// agree the output bytes cannot diverge.
+Result<Table> AssembleJoinOutput(const ExecContext& ctx, const PlanNode& plan,
+                                 const Table& left, const Table& right,
+                                 const SelectionVector& out_left,
+                                 const SelectionVector& out_right) {
+  // Gather the output rows in morsel-sized chunks: every chunk takes all
+  // columns, chunks run in parallel, and ConcatTables stitches them back
+  // in chunk order. Row-chunking parallelizes the string-heavy copies
+  // that per-column gathering cannot split. MakeMorsels yields one empty
+  // morsel for zero pairs, so ConcatTables never sees an empty list.
+  int left_cols = left.num_columns();
+  int total_cols = left_cols + right.num_columns();
+  std::vector<Morsel> chunks = MakeMorsels(
+      static_cast<int64_t>(out_left.size()), ctx.options.morsel_rows);
+  int64_t nchunks = static_cast<int64_t>(chunks.size());
+  std::vector<Table> parts(static_cast<size_t>(nchunks));
+  std::vector<Status> errors(static_cast<size_t>(nchunks));
+  RunMorsels(ctx, nchunks, [&](int64_t ci) {
+    const Morsel& ch = chunks[static_cast<size_t>(ci)];
+    SelectionVector sel_l(out_left.begin() + ch.begin,
+                          out_left.begin() + ch.end);
+    SelectionVector sel_r(out_right.begin() + ch.begin,
+                          out_right.begin() + ch.end);
+    std::vector<ArrayPtr> cols(static_cast<size_t>(total_cols));
+    for (int c = 0; c < total_cols; ++c) {
+      Result<ArrayPtr> col =
+          c < left_cols
+              ? columnar::Take(left.column(c), sel_l)
+              : columnar::TakeAllowNull(right.column(c - left_cols), sel_r);
+      if (!col.ok()) {
+        errors[static_cast<size_t>(ci)] = col.status();
+        return;
+      }
+      cols[static_cast<size_t>(c)] = std::move(*col);
+    }
+    Result<Table> part = Table::Make(plan.schema, std::move(cols));
+    if (!part.ok()) {
+      errors[static_cast<size_t>(ci)] = part.status();
+      return;
+    }
+    parts[static_cast<size_t>(ci)] = std::move(*part);
+  });
+  BAUPLAN_RETURN_NOT_OK(FirstError(errors));
+  BAUPLAN_ASSIGN_OR_RETURN(Table joined, columnar::ConcatTables(parts));
+  if (plan.residual != nullptr) {
+    return ApplyJoinResidual(plan, joined, out_right);
+  }
+  return joined;
+}
+
+// Grace join. Both sides shrink to "side tables" of key columns plus the
+// global row index; partitions of those spill to the object store and
+// join pairwise, emitting global (left,right) index pairs. Payload
+// columns are never spilled — the executor materializes operator inputs
+// regardless, so the budget governs the join's own working set (hash
+// table + partition buffers), and the final gather runs through the
+// shared AssembleJoinOutput. Pair order: the in-memory path emits pairs
+// exactly sorted by (left_row, right_row) — probe rows ascend, build
+// chains ascend, and an unmatched LEFT row contributes a single
+// (left_row, -1) — so sorting the partition-scattered pairs restores
+// bit-identity.
+
+/// Key columns + global row ids of one side's non-null-key rows.
+Result<Table> MakeJoinSideTable(const std::vector<ArrayPtr>& keys,
+                                const std::vector<uint8_t>& null_flag,
+                                int64_t rows) {
+  SelectionVector keep;
+  keep.reserve(static_cast<size_t>(rows));
+  for (int64_t r = 0; r < rows; ++r) {
+    if (null_flag.empty() || !null_flag[static_cast<size_t>(r)]) {
+      keep.push_back(r);
+    }
+  }
+  std::vector<std::string> names;
+  std::vector<ArrayPtr> cols;
+  for (size_t k = 0; k < keys.size(); ++k) {
+    BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr col, columnar::Take(keys[k], keep));
+    names.push_back(StrCat("__key", k));
+    cols.push_back(std::move(col));
+  }
+  names.push_back("__row");
+  cols.push_back(std::make_shared<columnar::Int64Array>(
+      std::vector<int64_t>(keep.begin(), keep.end()),
+      std::vector<uint8_t>{}, 0));
+  return TableFromArrays(names, std::move(cols));
+}
+
+/// Hash-partitions one side table into up to `fanout` spilled objects
+/// with the level-salted partition function. Returns one key per
+/// partition; "" marks an empty partition (nothing written).
+Result<std::vector<std::string>> SpillJoinPartitions(ExecContext* ctx,
+                                                     const Table& side,
+                                                     int level,
+                                                     uint32_t fanout,
+                                                     const char* tag) {
+  int nkeys = side.num_columns() - 1;
+  std::vector<uint64_t> hashes;
+  for (int k = 0; k < nkeys; ++k) {
+    columnar::HashArray(*side.column(k), /*combine=*/k > 0, &hashes);
+  }
+  std::vector<SelectionVector> parts(fanout);
+  for (int64_t r = 0; r < side.num_rows(); ++r) {
+    parts[SpillPartitionOf(hashes[static_cast<size_t>(r)], level, fanout)]
+        .push_back(r);
+  }
+  std::vector<std::string> keys(fanout);
+  int64_t written = 0;
+  for (uint32_t p = 0; p < fanout; ++p) {
+    if (parts[p].empty()) continue;
+    BAUPLAN_ASSIGN_OR_RETURN(Table part, columnar::TakeTable(side, parts[p]));
+    BAUPLAN_ASSIGN_OR_RETURN(keys[p], SpillWrite(ctx, tag, part));
+    ++written;
+  }
+  CountSpillPartitions(*ctx, written);
+  return keys;
+}
+
+/// Joins one resident (build, probe) partition pair with the generic
+/// hash-bucket algorithm, emitting global row pairs. Probe rows ascend
+/// and bucket chains ascend, matching the in-memory emission order
+/// within the partition.
+Status JoinSpillPartition(const Table& build, const Table& probe,
+                          bool left_join,
+                          std::vector<std::pair<int64_t, int64_t>>* pairs) {
+  int nkeys = build.num_columns() - 1;
+  std::vector<ArrayPtr> bkeys, pkeys;
+  for (int k = 0; k < nkeys; ++k) {
+    bkeys.push_back(build.column(k));
+    pkeys.push_back(probe.column(k));
+  }
+  const auto* brow = AsInt64(*build.column(nkeys));
+  const auto* prow = AsInt64(*probe.column(nkeys));
+  std::vector<uint64_t> bh, ph;
+  for (int k = 0; k < nkeys; ++k) {
+    columnar::HashArray(*bkeys[k], /*combine=*/k > 0, &bh);
+    columnar::HashArray(*pkeys[k], /*combine=*/k > 0, &ph);
+  }
+  std::unordered_map<uint64_t, std::vector<int64_t>> buckets;
+  buckets.reserve(static_cast<size_t>(build.num_rows()));
+  for (int64_t r = 0; r < build.num_rows(); ++r) {
+    buckets[bh[static_cast<size_t>(r)]].push_back(r);
+  }
+  for (int64_t r = 0; r < probe.num_rows(); ++r) {
+    bool matched = false;
+    auto it = buckets.find(ph[static_cast<size_t>(r)]);
+    if (it != buckets.end()) {
+      for (int64_t cand : it->second) {
+        if (columnar::RowsEqual(pkeys, r, bkeys, cand)) {
+          pairs->push_back({prow->Value(r), brow->Value(cand)});
+          matched = true;
+        }
+      }
+    }
+    if (!matched && left_join) pairs->push_back({prow->Value(r), -1});
+  }
+  return Status::OK();
+}
+
+Result<Table> ExecJoinGrace(ExecContext* ctx, const PlanNode& plan,
+                            const Table& left, const Table& right,
+                            const std::vector<ArrayPtr>& left_keys,
+                            const std::vector<ArrayPtr>& right_keys,
+                            const std::vector<uint8_t>& left_null,
+                            const std::vector<uint8_t>& right_null,
+                            uint64_t span_id) {
+  obs::ScopedSpan spill_span(ctx->options.tracer, "spill.join",
+                             obs::span_kind::kSpill, span_id);
+  int64_t partitions_before = ctx->stats->spill_partitions;
+  bool left_join = plan.join_type == JoinType::kLeft;
+
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  if (left_join && !left_null.empty()) {
+    for (int64_t r = 0; r < left.num_rows(); ++r) {
+      if (left_null[static_cast<size_t>(r)]) pairs.push_back({r, -1});
+    }
+  }
+  BAUPLAN_ASSIGN_OR_RETURN(
+      Table build, MakeJoinSideTable(right_keys, right_null,
+                                     right.num_rows()));
+  BAUPLAN_ASSIGN_OR_RETURN(
+      Table probe, MakeJoinSideTable(left_keys, left_null, left.num_rows()));
+
+  // Level 0 always partitions (the operator was chosen because its input
+  // busts the budget); deeper levels re-partition only while the build
+  // partition still exceeds it, up to kMaxSpillDepth for skewed keys.
+  std::function<Status(Table, Table, int)> join_rec =
+      [&](Table b, Table p, int level) -> Status {
+    if (level > 0 && (level >= kMaxSpillDepth ||
+                      !ShouldSpill(*ctx, b.EstimatedBytes()))) {
+      return JoinSpillPartition(b, p, left_join, &pairs);
+    }
+    uint32_t fanout =
+        SpillFanout(b.EstimatedBytes(), ctx->options.memory_budget_bytes);
+    BAUPLAN_ASSIGN_OR_RETURN(
+        std::vector<std::string> bkeys,
+        SpillJoinPartitions(ctx, b, level, fanout, "join-build"));
+    BAUPLAN_ASSIGN_OR_RETURN(
+        std::vector<std::string> pkeys,
+        SpillJoinPartitions(ctx, p, level, fanout, "join-probe"));
+    b = Table();  // parent partitions are on disk now; free the RAM
+    p = Table();
+    for (uint32_t part = 0; part < fanout; ++part) {
+      if (pkeys[part].empty()) {
+        // No probe rows: nothing to emit; drop any orphan build partition.
+        if (!bkeys[part].empty()) {
+          BAUPLAN_RETURN_NOT_OK(ctx->spill->Delete(bkeys[part]));
+        }
+        continue;
+      }
+      BAUPLAN_ASSIGN_OR_RETURN(Table pp, SpillRead(ctx, pkeys[part]));
+      if (bkeys[part].empty()) {
+        // No build rows: every probe row here is unmatched.
+        if (left_join) {
+          const auto* prow = AsInt64(*pp.column(pp.num_columns() - 1));
+          for (int64_t r = 0; r < pp.num_rows(); ++r) {
+            pairs.push_back({prow->Value(r), -1});
+          }
+        }
+        continue;
+      }
+      BAUPLAN_ASSIGN_OR_RETURN(Table bp, SpillRead(ctx, bkeys[part]));
+      BAUPLAN_RETURN_NOT_OK(
+          join_rec(std::move(bp), std::move(pp), level + 1));
+    }
+    return Status::OK();
+  };
+  BAUPLAN_RETURN_NOT_OK(join_rec(std::move(build), std::move(probe), 0));
+
+  // Scattered partitions emitted pairs out of global order; the total
+  // (left_row, right_row) sort restores the in-memory sequence (-1 < any
+  // right row, and a left row never mixes matches with -1).
+  std::sort(pairs.begin(), pairs.end());
+  SelectionVector out_left, out_right;
+  out_left.reserve(pairs.size());
+  out_right.reserve(pairs.size());
+  for (const auto& [l, r] : pairs) {
+    out_left.push_back(l);
+    out_right.push_back(r);
+  }
+  if (ctx->options.tracer != nullptr) {
+    ctx->options.tracer->AddAttribute(
+        spill_span.id(), "partitions",
+        StrCat(ctx->stats->spill_partitions - partitions_before));
+    ctx->options.tracer->AddAttribute(spill_span.id(), "pairs",
+                                      StrCat(pairs.size()));
+  }
+  return AssembleJoinOutput(*ctx, plan, left, right, out_left, out_right);
+}
+
+Result<Table> ExecJoinVectorized(ExecContext* mctx, const PlanNode& plan,
+                                 const Table& left, const Table& right,
+                                 uint64_t span_id) {
+  const ExecContext& ctx = *mctx;
   std::vector<ArrayPtr> left_keys, right_keys;
   for (const auto& k : plan.left_keys) {
     BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr arr, EvaluateExpr(*k, left));
@@ -767,6 +1426,18 @@ Result<Table> ExecJoinVectorized(const ExecContext& ctx, const PlanNode& plan,
   };
   std::vector<uint8_t> right_null = null_flags(right_keys, right.num_rows());
   std::vector<uint8_t> left_null = null_flags(left_keys, left.num_rows());
+
+  // Either side over budget degrades to the Grace join: the build hash
+  // table scales with the right side, but the probe side table and the
+  // pair buffers scale with the left, so both inputs bound the join's
+  // working set.
+  ctx.stats->join_probe_rows += left.num_rows();
+  ctx.Count("exec.join_probe_rows", left.num_rows());
+  if (!left_keys.empty() && (ShouldSpill(ctx, right.EstimatedBytes()) ||
+                             ShouldSpill(ctx, left.EstimatedBytes()))) {
+    return ExecJoinGrace(mctx, plan, left, right, left_keys, right_keys,
+                         left_null, right_null, span_id);
+  }
 
   // Build side (right). Single int64/timestamp keys (the dominant
   // equi-join shape) get a flat open-addressing table probed by value;
@@ -798,8 +1469,6 @@ Result<Table> ExecJoinVectorized(const ExecContext& ctx, const PlanNode& plan,
   }
 
   // Probe side (left) in parallel morsels; pairs merge in morsel order.
-  ctx.stats->join_probe_rows += left.num_rows();
-  ctx.Count("exec.join_probe_rows", left.num_rows());
   std::vector<Morsel> morsels =
       MakeMorsels(left.num_rows(), ctx.options.morsel_rows);
   int64_t m = static_cast<int64_t>(morsels.size());
@@ -865,49 +1534,7 @@ Result<Table> ExecJoinVectorized(const ExecContext& ctx, const PlanNode& plan,
     out_left.insert(out_left.end(), p.first.begin(), p.first.end());
     out_right.insert(out_right.end(), p.second.begin(), p.second.end());
   }
-
-  // Gather the output rows in morsel-sized chunks: every chunk takes all
-  // columns, chunks run in parallel, and ConcatTables stitches them back
-  // in chunk order. Row-chunking parallelizes the string-heavy copies
-  // that per-column gathering cannot split.
-  int left_cols = left.num_columns();
-  int total_cols = left_cols + right.num_columns();
-  std::vector<Morsel> chunks =
-      MakeMorsels(static_cast<int64_t>(total), ctx.options.morsel_rows);
-  int64_t nchunks = static_cast<int64_t>(chunks.size());
-  std::vector<Table> parts(static_cast<size_t>(nchunks));
-  std::vector<Status> errors(static_cast<size_t>(nchunks));
-  RunMorsels(ctx, nchunks, [&](int64_t ci) {
-    const Morsel& ch = chunks[static_cast<size_t>(ci)];
-    SelectionVector sel_l(out_left.begin() + ch.begin,
-                          out_left.begin() + ch.end);
-    SelectionVector sel_r(out_right.begin() + ch.begin,
-                          out_right.begin() + ch.end);
-    std::vector<ArrayPtr> cols(static_cast<size_t>(total_cols));
-    for (int c = 0; c < total_cols; ++c) {
-      Result<ArrayPtr> col =
-          c < left_cols
-              ? columnar::Take(left.column(c), sel_l)
-              : columnar::TakeAllowNull(right.column(c - left_cols), sel_r);
-      if (!col.ok()) {
-        errors[static_cast<size_t>(ci)] = col.status();
-        return;
-      }
-      cols[static_cast<size_t>(c)] = std::move(*col);
-    }
-    Result<Table> part = Table::Make(plan.schema, std::move(cols));
-    if (!part.ok()) {
-      errors[static_cast<size_t>(ci)] = part.status();
-      return;
-    }
-    parts[static_cast<size_t>(ci)] = std::move(*part);
-  });
-  BAUPLAN_RETURN_NOT_OK(FirstError(errors));
-  BAUPLAN_ASSIGN_OR_RETURN(Table joined, columnar::ConcatTables(parts));
-  if (plan.residual != nullptr) {
-    return ApplyJoinResidual(plan, joined, out_right);
-  }
-  return joined;
+  return AssembleJoinOutput(ctx, plan, left, right, out_left, out_right);
 }
 
 /// Row-at-a-time reference join (the seed implementation).
@@ -993,10 +1620,207 @@ Result<Table> ExecJoinScalar(const ExecContext& ctx, const PlanNode& plan,
 
 // -------------------------------------------------------------------- sort
 
+/// Three-way compare of one sort cell across two arrays, replicating
+/// SortIndices' per-column order exactly: nulls first (the ascending
+/// flag then flips them to last on descending keys), NaN after every
+/// non-NaN double and equal to itself.
+int CompareSortCells(const Array& a, int64_t x, const Array& b, int64_t y) {
+  bool xn = a.IsNull(x), yn = b.IsNull(y);
+  if (xn || yn) return xn == yn ? 0 : (xn ? -1 : 1);
+  switch (a.type()) {
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      int64_t va = AsInt64(a)->Value(x), vb = AsInt64(b)->Value(y);
+      return va < vb ? -1 : (va > vb ? 1 : 0);
+    }
+    case TypeId::kDouble: {
+      double va = AsDouble(a)->Value(x), vb = AsDouble(b)->Value(y);
+      bool na = std::isnan(va), nb = std::isnan(vb);
+      if (na || nb) return na == nb ? 0 : (na ? 1 : -1);
+      return va < vb ? -1 : (va > vb ? 1 : 0);
+    }
+    case TypeId::kBool: {
+      int va = AsBool(a)->Value(x) ? 1 : 0, vb = AsBool(b)->Value(y) ? 1 : 0;
+      return va - vb;
+    }
+    case TypeId::kString: {
+      int c = AsString(a)->Value(x).compare(AsString(b)->Value(y));
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+/// External merge sort. Runs are contiguous input slices sorted with
+/// SortIndices itself, spilled in blocks (payload plus the evaluated key
+/// columns), then k-way merged with the same per-column comparator and
+/// the run index as tie-break. Bit-identity: runs are ascending slices,
+/// so within-run order already matches SortIndices' global-index
+/// tie-break and equal keys across runs resolve to the lower run — the
+/// global-index order again. A `limit` >= 0 truncates each run to its
+/// top-N (any global top-N row is in its run's top-N) and stops the
+/// merge at N rows.
+Result<Table> ExecSortExternal(ExecContext* ctx, const Table& input,
+                               const std::vector<columnar::SortKeySpec>& keys,
+                               int64_t limit, uint64_t span_id) {
+  obs::ScopedSpan spill_span(ctx->options.tracer, "spill.sort",
+                             obs::span_kind::kSpill, span_id);
+  int64_t rows = input.num_rows();
+  int64_t budget = ctx->options.memory_budget_bytes;
+  int64_t row_bytes = std::max<int64_t>(
+      1, input.EstimatedBytes() / std::max<int64_t>(1, rows));
+  int64_t run_rows = std::clamp<int64_t>((budget / 2) / row_bytes, 1, rows);
+  int64_t nruns = (rows + run_rows - 1) / run_rows;
+  // During the merge one block per run is resident; size blocks so that
+  // working set also fits half the budget.
+  int64_t block_rows = std::max<int64_t>(
+      1, (budget / 2) / std::max<int64_t>(1, row_bytes * nruns));
+  size_t nkeys = keys.size();
+
+  std::vector<std::vector<std::string>> run_blocks(
+      static_cast<size_t>(nruns));
+  for (int64_t run = 0; run < nruns; ++run) {
+    int64_t begin = run * run_rows;
+    int64_t len = std::min(run_rows, rows - begin);
+    std::vector<columnar::SortKeySpec> run_keys;
+    run_keys.reserve(nkeys);
+    for (const auto& k : keys) {
+      BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr sliced,
+                               columnar::SliceArray(k.array, begin, len));
+      run_keys.push_back({std::move(sliced), k.ascending});
+    }
+    BAUPLAN_ASSIGN_OR_RETURN(SelectionVector order,
+                             columnar::SortIndices(run_keys, limit));
+    for (int64_t& idx : order) idx += begin;
+    BAUPLAN_ASSIGN_OR_RETURN(Table sorted, columnar::TakeTable(input, order));
+    std::vector<std::string> names;
+    std::vector<ArrayPtr> cols;
+    for (int c = 0; c < sorted.num_columns(); ++c) {
+      names.push_back(input.schema().field(c).name);
+      cols.push_back(sorted.column(c));
+    }
+    for (size_t k = 0; k < nkeys; ++k) {
+      BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr kc,
+                               columnar::Take(keys[k].array, order));
+      names.push_back(StrCat("__spill_key_", k));
+      cols.push_back(std::move(kc));
+    }
+    BAUPLAN_ASSIGN_OR_RETURN(Table run_table,
+                             TableFromArrays(names, std::move(cols)));
+    for (int64_t off = 0; off < run_table.num_rows(); off += block_rows) {
+      int64_t blen = std::min(block_rows, run_table.num_rows() - off);
+      BAUPLAN_ASSIGN_OR_RETURN(Table block,
+                               columnar::SliceTable(run_table, off, blen));
+      BAUPLAN_ASSIGN_OR_RETURN(std::string key,
+                               SpillWrite(ctx, "sort-run", block));
+      run_blocks[static_cast<size_t>(run)].push_back(std::move(key));
+    }
+  }
+  CountSpillPartitions(*ctx, nruns);
+
+  struct Cursor {
+    size_t next_block = 0;
+    Table block;
+    int64_t pos = 0;
+    std::vector<ArrayPtr> keycols;
+    bool done = false;
+  };
+  std::vector<Cursor> cursors(static_cast<size_t>(nruns));
+  auto load_next = [&](int64_t run) -> Status {
+    Cursor& cur = cursors[static_cast<size_t>(run)];
+    const auto& blocks = run_blocks[static_cast<size_t>(run)];
+    while (cur.next_block < blocks.size()) {
+      BAUPLAN_ASSIGN_OR_RETURN(Table t,
+                               SpillRead(ctx, blocks[cur.next_block++]));
+      if (t.num_rows() == 0) continue;
+      cur.keycols.clear();
+      int base = t.num_columns() - static_cast<int>(nkeys);
+      for (size_t k = 0; k < nkeys; ++k) {
+        cur.keycols.push_back(t.column(base + static_cast<int>(k)));
+      }
+      cur.block = std::move(t);
+      cur.pos = 0;
+      return Status::OK();
+    }
+    cur.done = true;
+    cur.block = Table();
+    cur.keycols.clear();
+    return Status::OK();
+  };
+  for (int64_t run = 0; run < nruns; ++run) {
+    BAUPLAN_RETURN_NOT_OK(load_next(run));
+  }
+
+  // Min-heap of run indices; a run's cursor only advances while it is
+  // out of the heap, so comparisons always see stable rows.
+  auto heap_after = [&](int64_t x, int64_t y) {
+    const Cursor& cx = cursors[static_cast<size_t>(x)];
+    const Cursor& cy = cursors[static_cast<size_t>(y)];
+    for (size_t k = 0; k < nkeys; ++k) {
+      int c = CompareSortCells(*cx.keycols[k], cx.pos, *cy.keycols[k],
+                               cy.pos);
+      if (c != 0) return keys[k].ascending ? c > 0 : c < 0;
+    }
+    return x > y;  // equal keys: the earlier run holds earlier input rows
+  };
+  std::priority_queue<int64_t, std::vector<int64_t>, decltype(heap_after)>
+      heap(heap_after);
+  for (int64_t run = 0; run < nruns; ++run) {
+    if (!cursors[static_cast<size_t>(run)].done) heap.push(run);
+  }
+
+  std::vector<std::unique_ptr<columnar::ArrayBuilder>> builders;
+  for (int c = 0; c < input.num_columns(); ++c) {
+    builders.push_back(columnar::MakeBuilder(input.schema().field(c).type));
+  }
+  int64_t target = limit >= 0 ? std::min(limit, rows) : rows;
+  int64_t emitted = 0;
+  while (emitted < target && !heap.empty()) {
+    int64_t run = heap.top();
+    heap.pop();
+    Cursor& cur = cursors[static_cast<size_t>(run)];
+    for (int c = 0; c < input.num_columns(); ++c) {
+      Value v = cur.block.column(c)->GetValue(cur.pos);
+      if (v.is_null()) {
+        builders[static_cast<size_t>(c)]->AppendNull();
+      } else {
+        BAUPLAN_RETURN_NOT_OK(
+            builders[static_cast<size_t>(c)]->AppendValue(v));
+      }
+    }
+    ++emitted;
+    if (++cur.pos >= cur.block.num_rows()) {
+      BAUPLAN_RETURN_NOT_OK(load_next(run));
+    }
+    if (!cur.done) heap.push(run);
+  }
+  // A top-N merge stops early; sweep unread blocks so the spill store
+  // comes out empty either way.
+  for (int64_t run = 0; run < nruns; ++run) {
+    const Cursor& cur = cursors[static_cast<size_t>(run)];
+    const auto& blocks = run_blocks[static_cast<size_t>(run)];
+    for (size_t b = cur.next_block; b < blocks.size(); ++b) {
+      BAUPLAN_RETURN_NOT_OK(ctx->spill->Delete(blocks[b]));
+    }
+  }
+  if (ctx->options.tracer != nullptr) {
+    ctx->options.tracer->AddAttribute(spill_span.id(), "runs",
+                                      StrCat(nruns));
+    ctx->options.tracer->AddAttribute(spill_span.id(), "rows_out",
+                                      StrCat(emitted));
+  }
+  std::vector<ArrayPtr> columns;
+  columns.reserve(builders.size());
+  for (auto& b : builders) columns.push_back(b->Finish());
+  return Table::Make(input.schema(), std::move(columns));
+}
+
 /// Typed sort via SortIndices; `limit` >= 0 produces only the top-N
-/// prefix of the full stable order (LIMIT pushed into ORDER BY).
-Result<Table> ExecSortVectorized(const PlanNode& plan, const Table& input,
-                                 int64_t limit) {
+/// prefix of the full stable order (LIMIT pushed into ORDER BY). Inputs
+/// over the memory budget take the external-sort path instead.
+Result<Table> ExecSortVectorized(ExecContext* ctx, const PlanNode& plan,
+                                 const Table& input, int64_t limit,
+                                 uint64_t span_id) {
   std::vector<columnar::SortKeySpec> keys;
   keys.reserve(plan.sort_keys.size());
   for (const auto& key : plan.sort_keys) {
@@ -1004,6 +1828,9 @@ Result<Table> ExecSortVectorized(const PlanNode& plan, const Table& input,
     keys.push_back({std::move(arr), key.ascending});
   }
   if (keys.empty()) return input;
+  if (ShouldSpill(*ctx, input.EstimatedBytes())) {
+    return ExecSortExternal(ctx, input, keys, limit, span_id);
+  }
   BAUPLAN_ASSIGN_OR_RETURN(SelectionVector indices,
                            columnar::SortIndices(keys, limit));
   return columnar::TakeTable(input, indices);
@@ -1140,7 +1967,7 @@ Result<Table> ExecNodeImpl(ExecContext* ctx, const PlanNode& plan,
     case PlanKind::kAggregate: {
       BAUPLAN_ASSIGN_OR_RETURN(Table input,
                                ExecNode(ctx, *plan.children[0], span_id));
-      return vectorized ? ExecAggregateVectorized(*ctx, plan, input)
+      return vectorized ? ExecAggregateVectorized(ctx, plan, input, span_id)
                         : ExecAggregateScalar(*ctx, plan, input);
     }
     case PlanKind::kJoin: {
@@ -1148,14 +1975,15 @@ Result<Table> ExecNodeImpl(ExecContext* ctx, const PlanNode& plan,
                                ExecNode(ctx, *plan.children[0], span_id));
       BAUPLAN_ASSIGN_OR_RETURN(Table right,
                                ExecNode(ctx, *plan.children[1], span_id));
-      return vectorized ? ExecJoinVectorized(*ctx, plan, left, right)
+      return vectorized ? ExecJoinVectorized(ctx, plan, left, right, span_id)
                         : ExecJoinScalar(*ctx, plan, left, right);
     }
     case PlanKind::kSort: {
       BAUPLAN_ASSIGN_OR_RETURN(Table input,
                                ExecNode(ctx, *plan.children[0], span_id));
-      return vectorized ? ExecSortVectorized(plan, input, /*limit=*/-1)
-                        : ExecSortScalar(plan, input);
+      return vectorized
+                 ? ExecSortVectorized(ctx, plan, input, /*limit=*/-1, span_id)
+                 : ExecSortScalar(plan, input);
     }
     case PlanKind::kLimit: {
       const PlanNode& child = *plan.children[0];
@@ -1168,7 +1996,8 @@ Result<Table> ExecNodeImpl(ExecContext* ctx, const PlanNode& plan,
                                   obs::span_kind::kOperator, span_id);
         BAUPLAN_ASSIGN_OR_RETURN(
             Table input, ExecNode(ctx, *child.children[0], sort_span.id()));
-        return ExecSortVectorized(child, input, plan.limit);
+        return ExecSortVectorized(ctx, child, input, plan.limit,
+                                  sort_span.id());
       }
       BAUPLAN_ASSIGN_OR_RETURN(Table input, ExecNode(ctx, child, span_id));
       if (input.num_rows() <= plan.limit) return input;
@@ -1226,6 +2055,19 @@ Result<Table> ExecutePlan(const PlanNode& plan, TableSource* source,
   ctx.source = source;
   ctx.stats = stats;
   ctx.options = options;
+  std::unique_ptr<storage::ObjectStore> owned_spill;
+  if (options.memory_budget_bytes > 0) {
+    if (options.spill_store != nullptr) {
+      ctx.spill = options.spill_store;
+    } else {
+      owned_spill = std::make_unique<storage::MemoryObjectStore>();
+      ctx.spill = owned_spill.get();
+    }
+    // Namespaces spill keys so concurrent queries sharing one store
+    // (e.g. the facade's metered store) never collide.
+    static std::atomic<uint64_t> next_query_id{1};
+    ctx.spill_query_id = next_query_id.fetch_add(1);
+  }
   std::unique_ptr<ThreadPool> owned_pool;
   if (options.pool != nullptr) {
     ctx.pool = options.pool;

@@ -13,6 +13,10 @@
 #include "observability/trace.h"
 #include "sql/logical_plan.h"
 
+namespace bauplan::storage {
+class ObjectStore;
+}  // namespace bauplan::storage
+
 namespace bauplan::sql {
 
 /// How Scan nodes obtain data. The engine binds this to the lakehouse
@@ -40,6 +44,9 @@ struct ExecStats {
   int64_t groups = 0;           // groups produced by Aggregate operators
   int64_t join_probe_rows = 0;  // probe-side rows fed to HashJoin
   int64_t morsels = 0;          // morsels dispatched (parallel or inline)
+  int64_t spill_partitions = 0;     // partitions written by spilling ops
+  int64_t spill_bytes_written = 0;  // serialized bytes put to spill store
+  int64_t spill_bytes_read = 0;     // serialized bytes read back
 };
 
 /// Execution knobs for one plan run.
@@ -75,6 +82,22 @@ struct ExecOptions {
 
   /// `exec.*` counter sink (null = stats struct only).
   observability::MetricsRegistry* metrics = nullptr;
+
+  /// Soft cap on an operator's working-set bytes; 0 = unlimited (today's
+  /// behavior). When set, the vectorized join/sort/aggregate operators
+  /// degrade to spilling variants (Grace join, external merge sort,
+  /// partitioned aggregation) once their input exceeds the budget.
+  /// Results stay bit-identical to the in-memory path for any budget and
+  /// thread count; spilling shows up as `spill` child spans and
+  /// `exec.spill.*` counters. The scalar engine ignores the budget (it is
+  /// the row-at-a-time reference, not a production path).
+  int64_t memory_budget_bytes = 0;
+
+  /// Where spilled partitions go (not owned). Null with a nonzero budget
+  /// means each ExecutePlan call uses a private in-process store; the
+  /// platform facade passes its metered spill store so spill traffic is
+  /// accounted like any other storage.
+  storage::ObjectStore* spill_store = nullptr;
 };
 
 /// Interprets a (optimized) plan tree bottom-up, fully materializing each

@@ -317,17 +317,30 @@ TEST(RefSpecTest, ParseErrors) {
   EXPECT_FALSE(RefSpec::Parse("main@2023-13-01").ok());
 }
 
-TEST(RefSpecTest, LenientConversionKeepsRawStringOnBadSuffix) {
+TEST(RefSpecTest, LenientConversionRecordsBadTimestampSuffix) {
   // The implicit constructor is the migration path for call sites that
-  // pass raw strings; a malformed suffix stays part of the name and
-  // fails later as an unknown ref, not as a parse error.
+  // pass raw strings. A malformed "@timestamp" suffix keeps the raw
+  // string as the name but records the parse error with a fix-it hint:
+  // `main@2026-13-99` is a time-travel typo, not a branch name, and
+  // resolving it as one produced a baffling unknown-ref message.
   RefSpec bad("main@oops");
   EXPECT_EQ(bad.name(), "main@oops");
   EXPECT_FALSE(bad.has_timestamp());
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_NE(bad.status().message().find("epoch micros"), std::string::npos);
+
+  RefSpec typo("main@2026-13-99");
+  EXPECT_FALSE(typo.ok());
+
+  // '@'-free strings never carry an error, however odd the name.
+  RefSpec plain("feat/weird-name");
+  EXPECT_TRUE(plain.ok());
 
   RefSpec good(std::string("main@1680000000000000"));
   EXPECT_EQ(good.name(), "main");
   EXPECT_TRUE(good.has_timestamp());
+  EXPECT_TRUE(good.ok());
 }
 
 TEST_F(CatalogTest, ResolveRefSpecWithoutTimestampMatchesResolveRef) {
@@ -367,6 +380,17 @@ TEST_F(CatalogTest, ResolveAsOfWalksToNewestCommitAtOrBefore) {
   EXPECT_TRUE(catalog_->Resolve(RefSpec("nope", after_first))
                   .status()
                   .IsNotFound());
+}
+
+TEST_F(CatalogTest, ResolveRejectsMalformedTimestampSuffix) {
+  ASSERT_TRUE(Commit("main", "t", "k1").ok());
+  // The swallowed parse error surfaces at resolution instead of a
+  // misleading "'main@2026-13-99' is not a branch" message.
+  auto resolved = catalog_->Resolve(RefSpec("main@2026-13-99"));
+  ASSERT_FALSE(resolved.ok());
+  EXPECT_TRUE(resolved.status().IsInvalidArgument());
+  EXPECT_NE(resolved.status().message().find("YYYY-MM-DD"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <string>
 #include <thread>
@@ -132,6 +133,48 @@ TEST(StringsTest, StripWhitespace) {
   EXPECT_EQ(StripWhitespace("  hello\t\n"), "hello");
   EXPECT_EQ(StripWhitespace("   "), "");
   EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StringsTest, ParseInt64Strict) {
+  int64_t v = -1;
+  EXPECT_TRUE(ParseInt64("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(ParseInt64("9223372036854775807", &v));
+  EXPECT_EQ(v, std::numeric_limits<int64_t>::max());
+
+  // Everything atoi/atoll silently mangled is a hard error: junk,
+  // trailing junk, whitespace, overflow, empty.
+  int64_t keep = 7;
+  EXPECT_FALSE(ParseInt64("abc", &keep));
+  EXPECT_FALSE(ParseInt64("12abc", &keep));
+  EXPECT_FALSE(ParseInt64(" 12", &keep));
+  EXPECT_FALSE(ParseInt64("12 ", &keep));
+  EXPECT_FALSE(ParseInt64("", &keep));
+  EXPECT_FALSE(ParseInt64("+12", &keep));
+  EXPECT_FALSE(ParseInt64("9223372036854775808", &keep));  // max + 1
+  EXPECT_FALSE(ParseInt64("1.5", &keep));
+  EXPECT_EQ(keep, 7);  // failures never clobber the output
+}
+
+TEST(StringsTest, ParseDoubleStrict) {
+  double v = -1.0;
+  EXPECT_TRUE(ParseDouble("1.5", &v));
+  EXPECT_DOUBLE_EQ(v, 1.5);
+  EXPECT_TRUE(ParseDouble("-2e3", &v));
+  EXPECT_DOUBLE_EQ(v, -2000.0);
+  EXPECT_TRUE(ParseDouble("42", &v));
+  EXPECT_DOUBLE_EQ(v, 42.0);
+
+  double keep = 7.0;
+  EXPECT_FALSE(ParseDouble("", &keep));
+  EXPECT_FALSE(ParseDouble("x", &keep));
+  EXPECT_FALSE(ParseDouble("1.5x", &keep));
+  EXPECT_FALSE(ParseDouble(" 1.5", &keep));
+  EXPECT_FALSE(ParseDouble("nan", &keep));
+  EXPECT_FALSE(ParseDouble("inf", &keep));
+  EXPECT_DOUBLE_EQ(keep, 7.0);
 }
 
 TEST(StringsTest, StartsEndsWith) {
