@@ -1,17 +1,24 @@
-// Vectorized, morsel-parallel SQL execution vs the seed scalar engine.
+// Streaming / vectorized / morsel-parallel SQL execution vs the seed
+// scalar engine.
 //
 // The paper's thesis is that at Reasonable Scale one beefy function
 // running a decent columnar engine beats a distributed framework. This
 // bench quantifies the "decent engine" part: the same logical plans run
 // through (a) the row-at-a-time scalar operators the repo seeded with,
-// (b) the typed vectorized kernels, and (c) vectorized + morsel-parallel
-// execution on 8 threads. Workloads are ~1M-row filter / group-by
-// aggregate / hash join / top-N sort over the synthetic taxi table.
+// (b) the typed vectorized kernels, (c) vectorized + morsel-parallel
+// execution on 8 threads, and (d) the push-based streaming engine on 8
+// threads (pipelines instead of materialize-per-operator; peak
+// intermediate bytes reported next to the materialized baseline).
+// Workloads are ~1M-row filter / group-by aggregate / hash join / top-N
+// sort over the synthetic taxi table.
 //
 // Invariants enforced (exit 1 on violation):
 //   - every mode returns the same row count per workload
 //   - the 8-thread run is BIT-IDENTICAL to the 1-thread vectorized run
-//     (serialized table bytes compared)
+//     (serialized table bytes compared), and the streaming run is
+//     bit-identical to both
+//   - the streaming aggregate's peak intermediate stays a small
+//     fraction of the materialized engine's (the O(morsel) claim)
 //   - the join/sort/aggregate workloads rerun under a 32 MiB memory
 //     budget must spill (nonzero exec.spill.* counters) and stay
 //     bit-identical to the unlimited in-memory results
@@ -55,6 +62,13 @@ constexpr Workload kWorkloads[] = {
      "SELECT pickup_location_id, COUNT(*) AS trips, SUM(fare) AS revenue, "
      "AVG(trip_distance) AS avg_distance FROM taxi "
      "GROUP BY pickup_location_id"},
+    // The streaming engine's showcase: the filter output is a large
+    // materialized intermediate for the vectorized engine but streams
+    // morsel-by-morsel into the aggregate under the streaming engine.
+    {"filter_agg",
+     "SELECT pickup_location_id, COUNT(*) AS trips, SUM(fare) AS revenue "
+     "FROM taxi WHERE passenger_count >= 1 AND fare > 5.0 "
+     "GROUP BY pickup_location_id"},
     {"join",
      "SELECT t.trip_id, z.zone_name FROM taxi t "
      "JOIN zones z ON t.pickup_location_id = z.location_id "
@@ -87,6 +101,7 @@ constexpr Workload kBudgetWorkloads[] = {
 struct ModeTiming {
   double seconds = 0;
   int64_t rows = 0;
+  int64_t peak_bytes = 0;  // largest intermediate the engine held
   int64_t spill_partitions = 0;
   int64_t spill_bytes_written = 0;
   std::vector<uint8_t> bytes;  // serialized result (determinism checks)
@@ -119,6 +134,7 @@ Result<ModeTiming> RunMode(MemoryTableProvider& provider, const char* sql,
         std::chrono::steady_clock::now() - start;
     timing.seconds = std::min(timing.seconds, elapsed.count());
     timing.rows = result.table.num_rows();
+    timing.peak_bytes = result.stats.peak_bytes;
     timing.spill_partitions = result.stats.spill_partitions;
     timing.spill_bytes_written = result.stats.spill_bytes_written;
     if (i == 0) {
@@ -175,9 +191,9 @@ int main(int argc, char** argv) {
   provider.AddTable("taxi", *taxi);
   provider.AddTable("zones", *zones);
 
-  std::printf("%10s | %10s %10s %11s | %8s %8s | %s\n", "workload",
-              "scalar", "vector", "parallel(8)", "vec_x", "par_x",
-              "rows");
+  std::printf("%10s | %10s %10s %11s %11s | %8s %8s | %s\n", "workload",
+              "scalar", "vector", "parallel(8)", "streaming", "par_x",
+              "str_x", "peak str/mat");
 
   std::vector<std::string> json_rows;
   bool ok = true;
@@ -189,19 +205,27 @@ int main(int argc, char** argv) {
     auto parallel = RunMode(provider, w.sql,
                             ExecOptions::Engine::kVectorized,
                             parallel_threads, iters);
-    if (!scalar.ok() || !vectorized.ok() || !parallel.ok()) {
-      std::fprintf(stderr, "%s failed: %s%s%s\n", w.name,
+    auto streaming = RunMode(provider, w.sql,
+                             ExecOptions::Engine::kStreaming,
+                             parallel_threads, iters);
+    if (!scalar.ok() || !vectorized.ok() || !parallel.ok() ||
+        !streaming.ok()) {
+      std::fprintf(stderr, "%s failed: %s%s%s%s\n", w.name,
                    scalar.status().ToString().c_str(),
                    vectorized.status().ToString().c_str(),
-                   parallel.status().ToString().c_str());
+                   parallel.status().ToString().c_str(),
+                   streaming.status().ToString().c_str());
       return 1;
     }
     if (scalar->rows != vectorized->rows ||
-        vectorized->rows != parallel->rows) {
-      std::fprintf(stderr, "FAIL: %s row counts diverge (%lld/%lld/%lld)\n",
+        vectorized->rows != parallel->rows ||
+        parallel->rows != streaming->rows) {
+      std::fprintf(stderr,
+                   "FAIL: %s row counts diverge (%lld/%lld/%lld/%lld)\n",
                    w.name, static_cast<long long>(scalar->rows),
                    static_cast<long long>(vectorized->rows),
-                   static_cast<long long>(parallel->rows));
+                   static_cast<long long>(parallel->rows),
+                   static_cast<long long>(streaming->rows));
       ok = false;
     }
     if (vectorized->bytes != parallel->bytes) {
@@ -210,26 +234,62 @@ int main(int argc, char** argv) {
                    w.name);
       ok = false;
     }
-    double vec_x = scalar->seconds / vectorized->seconds;
+    if (vectorized->bytes != streaming->bytes) {
+      std::fprintf(stderr,
+                   "FAIL: %s streaming result not bit-identical to "
+                   "materialized\n",
+                   w.name);
+      ok = false;
+    }
+    // The O(morsel) peak claim: the filter->project->aggregate chain's
+    // streaming intermediates (morsel chunks + cuts + the ~250-row
+    // result) must be a small fraction of the materialized engine's
+    // full filter output. Skipped in smoke mode, where the whole input
+    // fits in one morsel and the two peaks degenerate to the same
+    // table-sized chunk.
+    if (std::strcmp(w.name, "filter_agg") == 0 && !smoke &&
+        streaming->peak_bytes * 4 >= parallel->peak_bytes) {
+      std::fprintf(stderr,
+                   "FAIL: %s streaming peak %lld not << materialized "
+                   "peak %lld\n",
+                   w.name, static_cast<long long>(streaming->peak_bytes),
+                   static_cast<long long>(parallel->peak_bytes));
+      ok = false;
+    }
     double par_x = scalar->seconds / parallel->seconds;
+    double str_x = scalar->seconds / streaming->seconds;
     double scalar_rps = static_cast<double>(rows) / scalar->seconds;
     double parallel_rps = static_cast<double>(rows) / parallel->seconds;
-    std::printf("%10s | %9.1fms %9.1fms %10.1fms | %7.1fx %7.1fx | %lld\n",
-                w.name, scalar->seconds * 1e3, vectorized->seconds * 1e3,
-                parallel->seconds * 1e3, vec_x, par_x,
-                static_cast<long long>(parallel->rows));
+    std::printf(
+        "%10s | %9.1fms %9.1fms %10.1fms %10.1fms | %7.1fx %7.1fx | "
+        "%s / %s\n",
+        w.name, scalar->seconds * 1e3, vectorized->seconds * 1e3,
+        parallel->seconds * 1e3, streaming->seconds * 1e3, par_x, str_x,
+        bauplan::FormatBytes(static_cast<uint64_t>(streaming->peak_bytes))
+            .c_str(),
+        bauplan::FormatBytes(static_cast<uint64_t>(parallel->peak_bytes))
+            .c_str());
     std::ostringstream j;
     j << "{\"workload\": \"" << w.name << "\", \"rows_in\": " << rows
       << ", \"rows_out\": " << parallel->rows
       << ", \"scalar_seconds\": " << scalar->seconds
       << ", \"vectorized_seconds\": " << vectorized->seconds
       << ", \"parallel_seconds\": " << parallel->seconds
+      << ", \"streaming_seconds\": " << streaming->seconds
       << ", \"scalar_rows_per_sec\": " << scalar_rps
       << ", \"parallel_rows_per_sec\": " << parallel_rps
-      << ", \"vectorized_speedup\": " << vec_x
+      << ", \"vectorized_speedup\": " << (scalar->seconds /
+                                          vectorized->seconds)
       << ", \"parallel_speedup\": " << par_x
+      << ", \"streaming_speedup\": " << str_x
+      << ", \"streaming_peak_bytes\": " << streaming->peak_bytes
+      << ", \"materialized_peak_bytes\": " << parallel->peak_bytes
       << ", \"bit_identical\": "
-      << (vectorized->bytes == parallel->bytes ? "true" : "false") << "}";
+      << (vectorized->bytes == parallel->bytes &&
+                  vectorized->bytes == streaming->bytes
+              ? "true"
+              : "false")
+      << "}";
     json_rows.push_back(j.str());
   }
 
@@ -295,7 +355,10 @@ int main(int argc, char** argv) {
   std::printf("\nvectorized: typed kernels replace boxed per-row Values; "
               "parallel adds\nmorsel-driven execution (64K-row morsels, "
               "deterministic merge order —\n8-thread output is "
-              "bit-identical to 1-thread).\n");
+              "bit-identical to 1-thread). streaming pushes morsels\n"
+              "through operator pipelines instead of materializing every "
+              "intermediate\n(peak str/mat compares the largest "
+              "intermediate each engine held).\n");
 
   std::ofstream json_out("BENCH_query.json");
   if (json_out) {

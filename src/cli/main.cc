@@ -50,13 +50,15 @@ commands:
   query -q SQL [-b REF] [--explain] [--explain-metrics] [--threads N]
         [--memory-budget BYTES]
         run a synchronous SQL query at a branch/tag/commit/"ref@timestamp";
+        queries execute on the streaming engine (push-based pipelines,
+        morsels flow operator-to-operator without materializing);
         --explain-metrics dumps the platform metric instruments (including
-        the exec.* engine counters) afterwards; --threads N runs the
-        vectorized engine with N-way morsel parallelism (results are
-        bit-identical for any N); --memory-budget BYTES caps the working
-        set of joins/sorts/aggregates, spilling to the metered spill
-        store beyond it (0 = unlimited; results are bit-identical for
-        any budget)
+        the exec.* engine counters and the exec.peak_bytes high-water
+        gauge) afterwards; --threads N sets morsel parallelism (results
+        are bit-identical for any N); --memory-budget BYTES caps the
+        working set of joins/sorts/aggregates, spilling to the metered
+        spill store beyond it (0 = unlimited; results are bit-identical
+        for any budget)
   check --project DIR [-b REF] [--json]
         statically analyze a pipeline project against the catalog at REF
         without running it: reference resolution, column-level schema
@@ -95,7 +97,9 @@ commands:
 Every REF-taking verb accepts -b or --branch interchangeably; a REF is a
 branch, tag, commit id, or "name@timestamp" (epoch micros or ISO8601)
 for as-of reads. BAUPLAN_LOG_LEVEL=debug|info|warn|error adjusts log
-verbosity. Exit codes: 0 ok, 1 error, 2 usage error (or run not merged).
+verbosity. BAUPLAN_THREADS and BAUPLAN_MEMORY_BUDGET set execution
+defaults for query and run; --threads / --memory-budget override them.
+Exit codes: 0 ok, 1 error, 2 usage error (or run not merged).
 )";
 
 /// One flag a verb accepts: canonical spelling, optional alias (stored
@@ -380,10 +384,14 @@ int Main(int argc, char** argv) {
     }
     sql::QueryOptions options;
     options.capture_plans = args.Has("--explain");
-    auto threads = Int64Flag(args, "--threads", 1, 1, 4096);
+    auto env_exec = sql::ExecOptions::FromEnv();
+    if (!env_exec.ok()) return UsageError(env_exec.status().message());
+    options.exec = *env_exec;
+    auto threads = Int64Flag(args, "--threads", options.exec.threads, 1, 4096);
     if (!threads.ok()) return UsageError(threads.status().message());
     options.exec.threads = static_cast<int>(*threads);
-    auto budget = Int64Flag(args, "--memory-budget", 0, 0,
+    auto budget = Int64Flag(args, "--memory-budget",
+                            options.exec.memory_budget_bytes, 0,
                             std::numeric_limits<int64_t>::max());
     if (!budget.ok()) return UsageError(budget.status().message());
     options.exec.memory_budget_bytes = *budget;
@@ -453,6 +461,9 @@ int Main(int argc, char** argv) {
     auto parallelism = Int64Flag(args, "--parallel", 1, 1, 4096);
     if (!parallelism.ok()) return UsageError(parallelism.status().message());
     options.parallelism = static_cast<int>(*parallelism);
+    auto env_exec = sql::ExecOptions::FromEnv();
+    if (!env_exec.ok()) return UsageError(env_exec.status().message());
+    options.exec = *env_exec;
     auto report = bp.Run(*project, ref->name(), options);
     if (!report.ok()) return Fail(report.status());
     PrintRunReport(*report);

@@ -254,10 +254,15 @@ Result<Table> TakeTable(const Table& table, const SelectionVector& indices) {
 
 SelectionVector MaskToSelection(const BoolArray& mask) {
   SelectionVector indices;
-  for (int64_t i = 0; i < mask.length(); ++i) {
-    if (!mask.IsNull(i) && mask.Value(i)) indices.push_back(i);
-  }
+  MaskToSelectionInto(mask, &indices);
   return indices;
+}
+
+void MaskToSelectionInto(const BoolArray& mask, SelectionVector* indices) {
+  indices->clear();
+  for (int64_t i = 0; i < mask.length(); ++i) {
+    if (!mask.IsNull(i) && mask.Value(i)) indices->push_back(i);
+  }
 }
 
 Result<Table> FilterTable(const Table& table, const BoolArray& mask) {

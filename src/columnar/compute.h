@@ -34,6 +34,12 @@ Result<Table> FilterTable(const Table& table, const BoolArray& mask);
 /// Row indices where `mask` is true and not null.
 SelectionVector MaskToSelection(const BoolArray& mask);
 
+/// MaskToSelection into a caller-owned vector (cleared first, capacity
+/// reused). The morsel-granular entry point for streaming pipelines: one
+/// scratch selection per in-flight chunk instead of an allocation per
+/// filter evaluation.
+void MaskToSelectionInto(const BoolArray& mask, SelectionVector* indices);
+
 /// Copies rows [offset, offset+length) of `array` (typed, no boxing).
 Result<ArrayPtr> SliceArray(const ArrayPtr& array, int64_t offset,
                             int64_t length);

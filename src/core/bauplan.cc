@@ -326,7 +326,15 @@ Result<RunReport> Bauplan::Run(const pipeline::PipelineProject& project,
   auto dag = pipeline::Dag::Build(project, known);
   if (!dag.ok()) return fail(dag.status().ToString());
 
-  auto execution = runner_->Execute(*dag, run_branch, options);
+  // Same platform defaulting queries get: node bodies report exec.*
+  // metrics here, and operator spills flow through the metered spill
+  // store unless the caller routed them elsewhere.
+  PipelineRunOptions wired = options;
+  wired.exec.metrics = metrics_.get();
+  if (wired.exec.spill_store == nullptr) {
+    wired.exec.spill_store = spill_store_.get();
+  }
+  auto execution = runner_->Execute(*dag, run_branch, wired);
   if (!execution.ok()) return fail(execution.status().ToString());
   // The runner produced the execution half of the report; keep the
   // identity fields the facade already filled in.
@@ -397,6 +405,8 @@ Result<RunReport> Bauplan::ReplayRun(int64_t run_id,
   }
 
   PipelineRunOptions options;
+  options.exec.metrics = metrics_.get();
+  options.exec.spill_store = spill_store_.get();
   if (!selector.empty()) {
     auto parsed = pipeline::ReplaySelector::Parse(selector);
     if (!parsed.ok()) {

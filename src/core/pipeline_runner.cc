@@ -29,6 +29,7 @@ struct NaiveRunContext {
   const Dag* dag = nullptr;
   std::string ref;
   std::set<std::string> selected_set;
+  sql::ExecOptions exec;  // execution knobs for every SQL node body
   RunReport* report = nullptr;
   std::mutex mu;
   /// Artifact name -> serialized bytes (produced this run, or estimated
@@ -118,14 +119,15 @@ Result<RunReport> PipelineRunner::Execute(
   Result<RunReport> result =
       options.fused
           ? ExecuteFused(dag, ref, SelectOrAll(dag, options.selected),
-                         run_span)
+                         options.exec, run_span)
           : (options.parallelism > 1
                  ? ExecuteParallelNaive(dag, ref,
                                         SelectOrAll(dag, options.selected),
-                                        options.parallelism, run_span)
+                                        options.exec, options.parallelism,
+                                        run_span)
                  : ExecuteNaive(dag, ref,
                                 SelectOrAll(dag, options.selected),
-                                run_span));
+                                options.exec, run_span));
 
   if (tracer_ != nullptr) {
     tracer_->EndSpan(run_span);
@@ -141,7 +143,8 @@ Result<RunReport> PipelineRunner::Execute(
 
 Result<RunReport> PipelineRunner::ExecuteFused(
     const Dag& dag, const std::string& ref,
-    const std::vector<std::string>& selected, uint64_t run_span) {
+    const std::vector<std::string>& selected,
+    const sql::ExecOptions& exec, uint64_t run_span) {
   RunReport report;
   uint64_t start = clock_->NowMicros();
 
@@ -187,7 +190,9 @@ Result<RunReport> PipelineRunner::ExecuteFused(
       if (node.kind == NodeKind::kSqlModel) {
         ScopedSpan sql_span(tracer_, name,
                             observability::span_kind::kSql, fused_span);
-        auto result = sql::RunQuery(node.code, source, &source);
+        sql::QueryOptions qopts;
+        qopts.exec = exec;
+        auto result = sql::RunQuery(node.code, source, &source, qopts);
         if (!result.ok()) {
           return result.status().WithContext(
               StrCat("node '", name, "'"));
@@ -316,6 +321,7 @@ runtime::FunctionRequest PipelineRunner::BuildNaiveRequest(
 
     if (node.kind == NodeKind::kSqlModel) {
       sql::QueryOptions qopts;
+      qopts.exec = ctx.exec;
       // No scan pushdown in the naive mapping.
       qopts.optimizer.pushdown_predicates = false;
       qopts.optimizer.pushdown_projections = false;
@@ -366,7 +372,8 @@ runtime::FunctionRequest PipelineRunner::BuildNaiveRequest(
 
 Result<RunReport> PipelineRunner::ExecuteNaive(
     const Dag& dag, const std::string& ref,
-    const std::vector<std::string>& selected, uint64_t run_span) {
+    const std::vector<std::string>& selected,
+    const sql::ExecOptions& exec, uint64_t run_span) {
   RunReport report;
   uint64_t start = clock_->NowMicros();
 
@@ -375,6 +382,7 @@ Result<RunReport> PipelineRunner::ExecuteNaive(
   ctx.ref = ref;
   ctx.selected_set = std::set<std::string>(selected.begin(),
                                            selected.end());
+  ctx.exec = exec;
   ctx.report = &report;
 
   for (const auto& name : dag.execution_order()) {
@@ -408,8 +416,8 @@ Result<RunReport> PipelineRunner::ExecuteNaive(
 
 Result<RunReport> PipelineRunner::ExecuteParallelNaive(
     const Dag& dag, const std::string& ref,
-    const std::vector<std::string>& selected, int parallelism,
-    uint64_t run_span) {
+    const std::vector<std::string>& selected,
+    const sql::ExecOptions& exec, int parallelism, uint64_t run_span) {
   RunReport report;
   uint64_t start = clock_->NowMicros();
 
@@ -418,6 +426,7 @@ Result<RunReport> PipelineRunner::ExecuteParallelNaive(
   ctx.ref = ref;
   ctx.selected_set = std::set<std::string>(selected.begin(),
                                            selected.end());
+  ctx.exec = exec;
   ctx.report = &report;
 
   // Wave bodies run on forked timelines only when the executor's clock

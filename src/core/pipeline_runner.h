@@ -10,6 +10,7 @@
 #include "observability/trace.h"
 #include "pipeline/dag.h"
 #include "runtime/executor.h"
+#include "sql/executor.h"
 #include "storage/metered_store.h"
 #include "table/table_ops.h"
 
@@ -41,6 +42,12 @@ struct PipelineRunOptions {
   /// to run (FailedPrecondition, no container acquired) when the
   /// analyzer reports errors. `bauplan run --no-verify` turns this off.
   bool verify = true;
+  /// Execution knobs for every SQL node body (engine, threads, morsel
+  /// size, memory budget) — the same struct queries take, embedded by
+  /// value instead of copied field-by-field. Defaults come from
+  /// sql::ExecOptions::FromEnv() at the CLI layer; tracer/metrics/spill
+  /// wiring inside is overridden per node by the runner.
+  sql::ExecOptions exec;
 };
 
 /// Executes an extracted DAG on the serverless substrate in fused or
@@ -77,10 +84,12 @@ class PipelineRunner {
   Result<RunReport> ExecuteFused(const pipeline::Dag& dag,
                                  const std::string& ref,
                                  const std::vector<std::string>& selected,
+                                 const sql::ExecOptions& exec,
                                  uint64_t run_span);
   Result<RunReport> ExecuteNaive(const pipeline::Dag& dag,
                                  const std::string& ref,
                                  const std::vector<std::string>& selected,
+                                 const sql::ExecOptions& exec,
                                  uint64_t run_span);
   /// Wavefront variant of ExecuteNaive: ready nodes dispatch together
   /// through ServerlessExecutor::InvokeWave. Produces the same artifacts,
@@ -88,8 +97,8 @@ class PipelineRunner {
   /// bodies are identical; only the schedule differs).
   Result<RunReport> ExecuteParallelNaive(
       const pipeline::Dag& dag, const std::string& ref,
-      const std::vector<std::string>& selected, int parallelism,
-      uint64_t run_span);
+      const std::vector<std::string>& selected,
+      const sql::ExecOptions& exec, int parallelism, uint64_t run_span);
 
   /// The per-node FunctionRequest both naive paths dispatch: inputs list
   /// every upstream artifact, memory is sized from their bytes, and the

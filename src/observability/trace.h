@@ -31,6 +31,10 @@ inline constexpr const char* kExecute = "execute";
 /// One span per physical query operator (filter, aggregate, join, ...),
 /// children of the execute span.
 inline constexpr const char* kOperator = "operator";
+/// One span per streaming pipeline (the streaming engine groups its
+/// operator spans under the pipeline that drives them; breaker operators
+/// parent the pipelines that feed them).
+inline constexpr const char* kPipeline = "pipeline";
 /// Static analysis: one analysis span per checked project, one pass
 /// span per analyzer pass (structural, schema, expectation).
 inline constexpr const char* kAnalysis = "analysis";

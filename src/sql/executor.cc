@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <deque>
 #include <memory>
 #include <queue>
 #include <set>
@@ -93,9 +95,24 @@ struct ExecContext {
   uint64_t spill_query_id = 0;  // disambiguates keys on shared stores
   int64_t spill_seq = 0;        // driver-thread object counter
 
+  /// High-water mark of materialized intermediates (per-morsel chunks,
+  /// breaker inputs/outputs, operator outputs). Atomic: morsel workers
+  /// record their chunk sizes concurrently; the final value lands in
+  /// ExecStats::peak_bytes and the exec.peak_bytes gauge on the driver.
+  std::atomic<int64_t>* peak = nullptr;
+
   void Count(const char* name, int64_t delta) const {
     if (options.metrics != nullptr && delta != 0) {
       options.metrics->GetCounter(name)->Increment(delta);
+    }
+  }
+
+  void TrackPeak(int64_t bytes) const {
+    if (peak == nullptr) return;
+    int64_t cur = peak->load(std::memory_order_relaxed);
+    while (bytes > cur &&
+           !peak->compare_exchange_weak(cur, bytes,
+                                        std::memory_order_relaxed)) {
     }
   }
 };
@@ -126,16 +143,22 @@ std::vector<Morsel> MakeMorsels(int64_t rows, int64_t morsel_rows) {
   return morsels;
 }
 
-/// Runs fn(0..n-1) on the context's pool (or inline), counting morsels.
+/// Runs fn(0..n-1) on the context's pool (or inline). Scheduled morsels
+/// count up front, completed morsels only after the batch returns: every
+/// morsel here runs to completion, but streaming pipelines short-circuit
+/// at a satisfied LIMIT, so exec.morsels (completed) and
+/// exec.morsels_scheduled diverge there and must stay distinguishable.
 void RunMorsels(const ExecContext& ctx, int64_t n,
                 const std::function<void(int64_t)>& fn) {
-  ctx.stats->morsels += n;
-  ctx.Count("exec.morsels", n);
+  ctx.stats->morsels_scheduled += n;
+  ctx.Count("exec.morsels_scheduled", n);
   if (ctx.pool != nullptr) {
     ctx.pool->ParallelFor(n, fn);
   } else {
     for (int64_t i = 0; i < n; ++i) fn(i);
   }
+  ctx.stats->morsels += n;
+  ctx.Count("exec.morsels", n);
 }
 
 Status FirstError(const std::vector<Status>& errors) {
@@ -630,6 +653,51 @@ void FinalizeDistinct(const PlanNode& plan,
   }
 }
 
+/// Serial morsel-order merge of partial aggregation results, shared by
+/// the materialized path and the streaming aggregate sink so the
+/// first-seen group order and the float partial-sum association are
+/// identical on both engines. Group keys box here — the number of groups
+/// is small compared to rows, so this is off the hot path.
+struct GroupMerger {
+  std::unordered_map<std::vector<Value>, size_t, KeyHash, KeyEq> index;
+  std::vector<std::vector<Value>> group_order;
+  std::vector<std::vector<AggState>> group_states;
+
+  void Merge(const PlanNode& plan, const MorselGroups& part) {
+    for (size_t g = 0; g < part.rep_rows.size(); ++g) {
+      std::vector<Value> key;
+      key.reserve(part.key_arrays.size());
+      for (const auto& arr : part.key_arrays) {
+        key.push_back(arr->GetValue(part.rep_rows[g]));
+      }
+      auto [it, inserted] = index.emplace(key, group_order.size());
+      if (inserted) {
+        group_order.push_back(std::move(key));
+        group_states.push_back(part.states[g]);
+        continue;
+      }
+      std::vector<AggState>& into = group_states[it->second];
+      const std::vector<AggState>& from = part.states[g];
+      for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+        MergeAggState(&into[a], from[a]);
+      }
+    }
+  }
+
+  /// Finalizes and emits (a global aggregate over empty input still
+  /// yields one row).
+  Result<Table> Emit(const ExecContext& ctx, const PlanNode& plan) {
+    FinalizeDistinct(plan, &group_states);
+    if (plan.group_by.empty() && group_order.empty()) {
+      group_order.emplace_back();
+      group_states.emplace_back(plan.aggregates.size());
+    }
+    ctx.stats->groups += static_cast<int64_t>(group_order.size());
+    ctx.Count("exec.groups", static_cast<int64_t>(group_order.size()));
+    return EmitAggregateOutput(plan, group_order, group_states);
+  }
+};
+
 // Spilled aggregation. Partial states are produced by the very same
 // AggregateMorsel over the very same morsel boundaries as the in-memory
 // path (floating-point partial sums depend on those boundaries), then
@@ -962,43 +1030,14 @@ Result<Table> ExecAggregateVectorized(ExecContext* mctx, const PlanNode& plan,
   });
   BAUPLAN_RETURN_NOT_OK(FirstError(errors));
 
-  // Merge partials serially in morsel order. Group keys box here — the
-  // number of groups is small compared to rows, so this is off the hot
-  // path. First-seen order across ordered morsels reproduces the scalar
-  // engine's first-seen order exactly.
-  std::unordered_map<std::vector<Value>, size_t, KeyHash, KeyEq> index;
-  std::vector<std::vector<Value>> group_order;
-  std::vector<std::vector<AggState>> group_states;
+  // Merge partials serially in morsel order. First-seen order across
+  // ordered morsels reproduces the scalar engine's first-seen order
+  // exactly.
+  GroupMerger merger;
   for (const MorselGroups& part : partials) {
-    for (size_t g = 0; g < part.rep_rows.size(); ++g) {
-      std::vector<Value> key;
-      key.reserve(part.key_arrays.size());
-      for (const auto& arr : part.key_arrays) {
-        key.push_back(arr->GetValue(part.rep_rows[g]));
-      }
-      auto [it, inserted] = index.emplace(key, group_order.size());
-      if (inserted) {
-        group_order.push_back(std::move(key));
-        group_states.push_back(part.states[g]);
-        continue;
-      }
-      std::vector<AggState>& into = group_states[it->second];
-      const std::vector<AggState>& from = part.states[g];
-      for (size_t a = 0; a < plan.aggregates.size(); ++a) {
-        MergeAggState(&into[a], from[a]);
-      }
-    }
+    merger.Merge(plan, part);
   }
-  FinalizeDistinct(plan, &group_states);
-
-  // Global aggregate over an empty input still yields one row.
-  if (plan.group_by.empty() && group_order.empty()) {
-    group_order.emplace_back();
-    group_states.emplace_back(plan.aggregates.size());
-  }
-  ctx.stats->groups += static_cast<int64_t>(group_order.size());
-  ctx.Count("exec.groups", static_cast<int64_t>(group_order.size()));
-  return EmitAggregateOutput(plan, group_order, group_states);
+  return merger.Emit(ctx, plan);
 }
 
 /// Row-at-a-time reference aggregation (the seed implementation), kept as
@@ -1146,6 +1185,210 @@ struct Int64JoinTable {
     return -1;
   }
 };
+
+/// Flat open-addressing table over composite (int64, int64) build keys
+/// packed into one 128-bit word — the natural extension of the single-key
+/// fast path to two-column equi-joins. Only used when both build key
+/// columns are null-free (a null cell has no 128-bit encoding); rows with
+/// null probe keys are screened by the caller's null flags, exactly like
+/// the single-key path. Chains ascend for the same reverse-insert reason.
+struct Int128JoinTable {
+  std::vector<unsigned __int128> key;
+  std::vector<int64_t> head;  // bucket -> first build row, -1 = empty
+  std::vector<int64_t> next;  // build row -> next row with the same key
+  uint64_t mask = 0;
+
+  static unsigned __int128 Pack(int64_t hi, int64_t lo) {
+    return (static_cast<unsigned __int128>(static_cast<uint64_t>(hi))
+            << 64) |
+           static_cast<uint64_t>(lo);
+  }
+
+  static uint64_t Mix(unsigned __int128 k) {
+    uint64_t h = static_cast<uint64_t>(k) * 0x9E3779B97F4A7C15ULL;
+    h ^= static_cast<uint64_t>(k >> 64) * 0xC2B2AE3D27D4EB4FULL;
+    return h ^ (h >> 32);
+  }
+
+  void Build(const columnar::Int64Array& k0,
+             const columnar::Int64Array& k1) {
+    size_t cap = 16;
+    while (cap < static_cast<size_t>(k0.length()) * 2) cap <<= 1;
+    mask = cap - 1;
+    key.assign(cap, 0);
+    head.assign(cap, -1);
+    next.assign(static_cast<size_t>(k0.length()), -1);
+    for (int64_t r = k0.length() - 1; r >= 0; --r) {
+      unsigned __int128 k = Pack(k0.Value(r), k1.Value(r));
+      uint64_t b = Mix(k) & mask;
+      while (head[b] != -1 && key[b] != k) b = (b + 1) & mask;
+      key[b] = k;
+      next[static_cast<size_t>(r)] = head[b];
+      head[b] = r;
+    }
+  }
+
+  int64_t Find(unsigned __int128 k) const {
+    uint64_t b = Mix(k) & mask;
+    while (head[b] != -1) {
+      if (key[b] == k) return head[b];
+      b = (b + 1) & mask;
+    }
+    return -1;
+  }
+};
+
+bool Int64Backed(const ArrayPtr& a) {
+  return a->type() == TypeId::kInt64 || a->type() == TypeId::kTimestamp;
+}
+
+bool Int64BackedType(TypeId t) {
+  return t == TypeId::kInt64 || t == TypeId::kTimestamp;
+}
+
+/// Null-key flags: rows with any null key column never join.
+std::vector<uint8_t> JoinNullFlags(const std::vector<ArrayPtr>& keys,
+                                   int64_t rows) {
+  std::vector<uint8_t> flags(static_cast<size_t>(rows), 0);
+  for (const ArrayPtr& arr : keys) {
+    if (arr->null_count() == 0) continue;
+    for (int64_t r = 0; r < rows; ++r) {
+      if (arr->IsNull(r)) flags[static_cast<size_t>(r)] = 1;
+    }
+  }
+  return flags;
+}
+
+/// The build-side artifact of one hash join, shared by the materialized
+/// probe loop and the streaming probe operator so both emit identical
+/// pair sequences. Single int64/timestamp keys take the flat table,
+/// composite (int64, int64) keys with a null-free build side take the
+/// 128-bit packed table, everything else falls back to vectorized row
+/// hashes into hash -> row buckets resolved by RowsEqual.
+struct JoinBuildState {
+  enum class Mode { kFlat64, kFlat128, kBuckets };
+  Mode mode = Mode::kBuckets;
+  Table right;  // materialized build-side payload
+  std::vector<ArrayPtr> right_keys;
+  std::vector<uint8_t> right_null;
+  Int64JoinTable flat64;
+  Int128JoinTable flat128;
+  std::unordered_map<uint64_t, std::vector<int64_t>> buckets;
+  bool left_join = false;
+
+  /// `left_key_types` decides fast-path eligibility without touching
+  /// probe data (streaming pipelines learn them from an empty slice).
+  Status Build(const PlanNode& plan, const std::vector<TypeId>& left_key_types) {
+    left_join = plan.join_type == JoinType::kLeft;
+    bool types_match =
+        left_key_types.size() == right_keys.size() &&
+        std::all_of(left_key_types.begin(), left_key_types.end(),
+                    Int64BackedType) &&
+        std::all_of(right_keys.begin(), right_keys.end(), Int64Backed);
+    if (types_match && right_keys.size() == 1) {
+      mode = Mode::kFlat64;
+      flat64.Build(*AsInt64(*right_keys[0]), right_null);
+      return Status::OK();
+    }
+    if (types_match && right_keys.size() == 2 &&
+        right_keys[0]->null_count() == 0 &&
+        right_keys[1]->null_count() == 0) {
+      mode = Mode::kFlat128;
+      flat128.Build(*AsInt64(*right_keys[0]), *AsInt64(*right_keys[1]));
+      return Status::OK();
+    }
+    mode = Mode::kBuckets;
+    std::vector<uint64_t> right_hashes;
+    for (size_t k = 0; k < right_keys.size(); ++k) {
+      columnar::HashArray(*right_keys[k], /*combine=*/k > 0, &right_hashes);
+    }
+    buckets.reserve(static_cast<size_t>(right.num_rows()));
+    for (int64_t r = 0; r < right.num_rows(); ++r) {
+      if (!right_null.empty() && right_null[static_cast<size_t>(r)]) {
+        continue;
+      }
+      buckets[right_hashes[static_cast<size_t>(r)]].push_back(r);
+    }
+    return Status::OK();
+  }
+};
+
+/// Probes rows [begin, end) of the evaluated `left_keys` against the
+/// build state, appending matched (probe_row, build_row) pairs —
+/// `left_hashes` is consulted in bucket mode only. Probe rows ascend and
+/// build chains ascend in every mode, so the emitted pair order is the
+/// same regardless of which fast path fired.
+void ProbeJoinRows(const JoinBuildState& st,
+                   const std::vector<ArrayPtr>& left_keys,
+                   const std::vector<uint64_t>& left_hashes,
+                   const std::vector<uint8_t>& left_null, int64_t begin,
+                   int64_t end, SelectionVector* out_l,
+                   SelectionVector* out_r) {
+  switch (st.mode) {
+    case JoinBuildState::Mode::kFlat64: {
+      const auto* probe_keys = AsInt64(*left_keys[0]);
+      for (int64_t row = begin; row < end; ++row) {
+        int64_t r = left_null[static_cast<size_t>(row)]
+                        ? -1
+                        : st.flat64.Find(probe_keys->Value(row));
+        if (r >= 0) {
+          for (; r != -1; r = st.flat64.next[static_cast<size_t>(r)]) {
+            out_l->push_back(row);
+            out_r->push_back(r);
+          }
+        } else if (st.left_join) {
+          out_l->push_back(row);
+          out_r->push_back(-1);
+        }
+      }
+      return;
+    }
+    case JoinBuildState::Mode::kFlat128: {
+      const auto* k0 = AsInt64(*left_keys[0]);
+      const auto* k1 = AsInt64(*left_keys[1]);
+      for (int64_t row = begin; row < end; ++row) {
+        int64_t r = left_null[static_cast<size_t>(row)]
+                        ? -1
+                        : st.flat128.Find(Int128JoinTable::Pack(
+                              k0->Value(row), k1->Value(row)));
+        if (r >= 0) {
+          for (; r != -1; r = st.flat128.next[static_cast<size_t>(r)]) {
+            out_l->push_back(row);
+            out_r->push_back(r);
+          }
+        } else if (st.left_join) {
+          out_l->push_back(row);
+          out_r->push_back(-1);
+        }
+      }
+      return;
+    }
+    case JoinBuildState::Mode::kBuckets: {
+      for (int64_t row = begin; row < end; ++row) {
+        const std::vector<int64_t>* matches = nullptr;
+        if (!left_null[static_cast<size_t>(row)]) {
+          auto it = st.buckets.find(left_hashes[static_cast<size_t>(row)]);
+          if (it != st.buckets.end()) matches = &it->second;
+        }
+        bool matched = false;
+        if (matches != nullptr) {
+          for (int64_t r : *matches) {
+            if (columnar::RowsEqual(left_keys, row, st.right_keys, r)) {
+              out_l->push_back(row);
+              out_r->push_back(r);
+              matched = true;
+            }
+          }
+        }
+        if (!matched && st.left_join) {
+          out_l->push_back(row);
+          out_r->push_back(-1);
+        }
+      }
+      return;
+    }
+  }
+}
 
 /// Materializes the join output from matched (left,right) row pairs:
 /// chunked parallel gather of all columns plus the residual filter.
@@ -1413,19 +1656,10 @@ Result<Table> ExecJoinVectorized(ExecContext* mctx, const PlanNode& plan,
     right_keys.push_back(std::move(arr));
   }
 
-  // Null keys never join: flag rows with any null key up front.
-  auto null_flags = [](const std::vector<ArrayPtr>& keys, int64_t rows) {
-    std::vector<uint8_t> flags(static_cast<size_t>(rows), 0);
-    for (const ArrayPtr& arr : keys) {
-      if (arr->null_count() == 0) continue;
-      for (int64_t r = 0; r < rows; ++r) {
-        if (arr->IsNull(r)) flags[static_cast<size_t>(r)] = 1;
-      }
-    }
-    return flags;
-  };
-  std::vector<uint8_t> right_null = null_flags(right_keys, right.num_rows());
-  std::vector<uint8_t> left_null = null_flags(left_keys, left.num_rows());
+  std::vector<uint8_t> right_null = JoinNullFlags(right_keys,
+                                                  right.num_rows());
+  std::vector<uint8_t> left_null = JoinNullFlags(left_keys,
+                                                 left.num_rows());
 
   // Either side over budget degrades to the Grace join: the build hash
   // table scales with the right side, but the probe side table and the
@@ -1439,30 +1673,17 @@ Result<Table> ExecJoinVectorized(ExecContext* mctx, const PlanNode& plan,
                          left_null, right_null, span_id);
   }
 
-  // Build side (right). Single int64/timestamp keys (the dominant
-  // equi-join shape) get a flat open-addressing table probed by value;
-  // everything else goes through vectorized row hashes into hash -> row
-  // buckets resolved by RowsEqual.
-  auto int64_backed = [](const ArrayPtr& a) {
-    return a->type() == TypeId::kInt64 || a->type() == TypeId::kTimestamp;
-  };
-  bool fast = left_keys.size() == 1 && right_keys.size() == 1 &&
-              int64_backed(left_keys[0]) && int64_backed(right_keys[0]);
-  Int64JoinTable flat;
-  std::unordered_map<uint64_t, std::vector<int64_t>> buckets;
+  // Build side (right), shared with the streaming probe operator.
+  JoinBuildState state;
+  state.right = right;
+  state.right_keys = right_keys;
+  state.right_null = right_null;
+  std::vector<TypeId> left_key_types;
+  left_key_types.reserve(left_keys.size());
+  for (const ArrayPtr& arr : left_keys) left_key_types.push_back(arr->type());
+  BAUPLAN_RETURN_NOT_OK(state.Build(plan, left_key_types));
   std::vector<uint64_t> left_hashes;
-  if (fast) {
-    flat.Build(*AsInt64(*right_keys[0]), right_null);
-  } else {
-    std::vector<uint64_t> right_hashes;
-    for (size_t k = 0; k < right_keys.size(); ++k) {
-      columnar::HashArray(*right_keys[k], /*combine=*/k > 0, &right_hashes);
-    }
-    buckets.reserve(static_cast<size_t>(right.num_rows()));
-    for (int64_t r = 0; r < right.num_rows(); ++r) {
-      if (right_null[static_cast<size_t>(r)]) continue;
-      buckets[right_hashes[static_cast<size_t>(r)]].push_back(r);
-    }
+  if (state.mode == JoinBuildState::Mode::kBuckets) {
     for (size_t k = 0; k < left_keys.size(); ++k) {
       columnar::HashArray(*left_keys[k], /*combine=*/k > 0, &left_hashes);
     }
@@ -1474,56 +1695,12 @@ Result<Table> ExecJoinVectorized(ExecContext* mctx, const PlanNode& plan,
   int64_t m = static_cast<int64_t>(morsels.size());
   std::vector<std::pair<SelectionVector, SelectionVector>> pairs(
       static_cast<size_t>(m));
-  bool left_join = plan.join_type == JoinType::kLeft;
-  if (fast) {
-    const auto* probe_keys = AsInt64(*left_keys[0]);
-    RunMorsels(ctx, m, [&](int64_t mi) {
-      const Morsel& mo = morsels[static_cast<size_t>(mi)];
-      SelectionVector& out_l = pairs[static_cast<size_t>(mi)].first;
-      SelectionVector& out_r = pairs[static_cast<size_t>(mi)].second;
-      for (int64_t row = mo.begin; row < mo.end; ++row) {
-        int64_t r = left_null[static_cast<size_t>(row)]
-                        ? -1
-                        : flat.Find(probe_keys->Value(row));
-        if (r >= 0) {
-          for (; r != -1; r = flat.next[static_cast<size_t>(r)]) {
-            out_l.push_back(row);
-            out_r.push_back(r);
-          }
-        } else if (left_join) {
-          out_l.push_back(row);
-          out_r.push_back(-1);
-        }
-      }
-    });
-  } else {
-    RunMorsels(ctx, m, [&](int64_t mi) {
-      const Morsel& mo = morsels[static_cast<size_t>(mi)];
-      SelectionVector& out_l = pairs[static_cast<size_t>(mi)].first;
-      SelectionVector& out_r = pairs[static_cast<size_t>(mi)].second;
-      for (int64_t row = mo.begin; row < mo.end; ++row) {
-        const std::vector<int64_t>* matches = nullptr;
-        if (!left_null[static_cast<size_t>(row)]) {
-          auto it = buckets.find(left_hashes[static_cast<size_t>(row)]);
-          if (it != buckets.end()) matches = &it->second;
-        }
-        bool matched = false;
-        if (matches != nullptr) {
-          for (int64_t r : *matches) {
-            if (columnar::RowsEqual(left_keys, row, right_keys, r)) {
-              out_l.push_back(row);
-              out_r.push_back(r);
-              matched = true;
-            }
-          }
-        }
-        if (!matched && left_join) {
-          out_l.push_back(row);
-          out_r.push_back(-1);
-        }
-      }
-    });
-  }
+  RunMorsels(ctx, m, [&](int64_t mi) {
+    const Morsel& mo = morsels[static_cast<size_t>(mi)];
+    ProbeJoinRows(state, left_keys, left_hashes, left_null, mo.begin,
+                  mo.end, &pairs[static_cast<size_t>(mi)].first,
+                  &pairs[static_cast<size_t>(mi)].second);
+  });
 
   size_t total = 0;
   for (const auto& p : pairs) total += p.first.size();
@@ -1941,7 +2118,10 @@ const char* OpName(PlanKind kind) {
 
 Result<Table> ExecNodeImpl(ExecContext* ctx, const PlanNode& plan,
                            uint64_t span_id) {
-  bool vectorized = ctx->options.engine == ExecOptions::Engine::kVectorized;
+  // The streaming engine never reaches this walker (it has its own
+  // driver), but guard on != kScalar so a streaming context recursing
+  // through here would still pick the vectorized operators.
+  bool vectorized = ctx->options.engine != ExecOptions::Engine::kScalar;
   switch (plan.kind) {
     case PlanKind::kScan: {
       BAUPLAN_ASSIGN_OR_RETURN(
@@ -2037,14 +2217,764 @@ Result<Table> ExecNode(ExecContext* ctx, const PlanNode& plan,
                        StrCat("op.", OpName(plan.kind)),
                        obs::span_kind::kOperator, parent_span);
   Result<Table> out = ExecNodeImpl(ctx, plan, span.id());
-  if (out.ok() && ctx->options.tracer != nullptr) {
-    ctx->options.tracer->AddAttribute(span.id(), "rows_out",
-                                      StrCat(out->num_rows()));
+  if (out.ok()) {
+    // Every materialized operator output is an intermediate; scan outputs
+    // are the query's inputs and do not count toward peak_bytes.
+    if (plan.kind != PlanKind::kScan) ctx->TrackPeak(out->EstimatedBytes());
+    if (ctx->options.tracer != nullptr) {
+      ctx->options.tracer->AddAttribute(span.id(), "rows_out",
+                                        StrCat(out->num_rows()));
+    }
   }
   return out;
 }
 
+// ------------------------------------------------------- streaming engine
+//
+// The default engine. The plan splits into pipelines at breakers (hash
+// build, sort, full aggregate, distinct, union, mid-chain limit); within a
+// pipeline, filter -> project -> join-probe -> limit chains push each
+// morsel end-to-end without concatenating an intermediate table. Chunks
+// are produced by morsel workers but consumed on the driver in morsel
+// order, so every merge point sees the same sequence the materialized
+// engine sees — which is what keeps the two engines bit-identical for any
+// thread count and memory budget. Breakers reuse the vectorized operator
+// implementations (including their spill paths) on materialized inputs,
+// so the budget semantics are the materialized engine's, verbatim.
+
+Result<Table> ExecStreamingNode(ExecContext* ctx, const PlanNode& plan,
+                                uint64_t parent_span);
+
+/// One prepared streamable step of a pipeline.
+struct StreamOp {
+  const PlanNode* node = nullptr;
+  uint64_t span = 0;       // open op.* span, closed when the drive ends
+  bool all_refs = false;   // kProject: pure column selection, zero-copy
+  std::shared_ptr<const JoinBuildState> join;  // kJoin: materialized build
+  int64_t rows_out = 0;    // driver-accumulated, for the span attribute
+};
+
+/// Worker-side stat deltas for one chunk, folded into ExecStats by the
+/// driver (workers never touch stats or metrics).
+struct ChunkDelta {
+  int64_t rows_filtered = 0;
+  int64_t join_probe_rows = 0;
+  std::vector<int64_t> rows_out;  // per op, rows after that op
+};
+
+/// The compiled shape of one pipeline: the source it scans (a Scan node
+/// or a breaker), the streamable ops above it bottom-up, and the
+/// top-of-chain LIMIT if there is one.
+struct CompiledChain {
+  const PlanNode* source = nullptr;
+  std::vector<const PlanNode*> ops;  // ops[0] consumes the source
+  const PlanNode* limit_node = nullptr;
+  int64_t limit = -1;
+};
+
+/// Walks down from `head` through the streamable operators. A LIMIT is
+/// streamable only at the head (it short-circuits dispatch there); deeper
+/// limits, and every other kind, end the chain and become the source
+/// breaker. Join descent follows the probe (left) side.
+CompiledChain CompileChain(const PlanNode& head) {
+  CompiledChain chain;
+  const PlanNode* node = &head;
+  if (node->kind == PlanKind::kLimit) {
+    chain.limit_node = node;
+    chain.limit = node->limit;
+    node = node->children[0].get();
+  }
+  std::vector<const PlanNode*> down;
+  while (node->kind == PlanKind::kFilter ||
+         node->kind == PlanKind::kProject ||
+         node->kind == PlanKind::kJoin) {
+    down.push_back(node);
+    node = node->children[0].get();
+  }
+  chain.source = node;
+  chain.ops.assign(down.rbegin(), down.rend());
+  return chain;
+}
+
+/// Applies one streamable operator to `chunk` in place. Every kernel here
+/// is elementwise over rows, so running it per chunk yields exactly the
+/// rows the materialized operator would produce for this morsel range —
+/// the core of the bit-identity argument.
+Status ApplyStreamOp(const ExecContext& ctx, const StreamOp& op,
+                     Table* chunk, SelectionVector* scratch,
+                     ChunkDelta* delta) {
+  const PlanNode& node = *op.node;
+  switch (node.kind) {
+    case PlanKind::kFilter: {
+      BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr mask,
+                               EvaluateExpr(*node.predicate, *chunk));
+      const auto* b = AsBool(*mask);
+      if (b == nullptr) {
+        return Status::InvalidArgument(
+            StrCat("WHERE/HAVING must be boolean: ",
+                   node.predicate->ToString()));
+      }
+      columnar::MaskToSelectionInto(*b, scratch);
+      int64_t in_rows = chunk->num_rows();
+      if (static_cast<int64_t>(scratch->size()) != in_rows) {
+        BAUPLAN_ASSIGN_OR_RETURN(*chunk,
+                                 columnar::TakeTable(*chunk, *scratch));
+      }
+      delta->rows_filtered += in_rows - chunk->num_rows();
+      return Status::OK();
+    }
+    case PlanKind::kProject: {
+      std::vector<ArrayPtr> columns;
+      columns.reserve(node.expressions.size());
+      if (op.all_refs) {
+        for (const auto& expr : node.expressions) {
+          BAUPLAN_ASSIGN_OR_RETURN(
+              ArrayPtr col, chunk->GetColumnByName(expr->column_name));
+          columns.push_back(std::move(col));
+        }
+      } else {
+        for (const auto& expr : node.expressions) {
+          BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr col,
+                                   EvaluateExpr(*expr, *chunk));
+          columns.push_back(std::move(col));
+        }
+      }
+      BAUPLAN_ASSIGN_OR_RETURN(
+          *chunk, TableFromArrays(node.output_names, std::move(columns)));
+      return Status::OK();
+    }
+    case PlanKind::kJoin: {
+      const JoinBuildState& st = *op.join;
+      std::vector<ArrayPtr> left_keys;
+      left_keys.reserve(node.left_keys.size());
+      for (const auto& k : node.left_keys) {
+        BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr arr, EvaluateExpr(*k, *chunk));
+        left_keys.push_back(std::move(arr));
+      }
+      std::vector<uint8_t> left_null =
+          JoinNullFlags(left_keys, chunk->num_rows());
+      std::vector<uint64_t> left_hashes;
+      if (st.mode == JoinBuildState::Mode::kBuckets) {
+        for (size_t k = 0; k < left_keys.size(); ++k) {
+          columnar::HashArray(*left_keys[k], /*combine=*/k > 0,
+                              &left_hashes);
+        }
+      }
+      SelectionVector out_l, out_r;
+      ProbeJoinRows(st, left_keys, left_hashes, left_null, 0,
+                    chunk->num_rows(), &out_l, &out_r);
+      delta->join_probe_rows += chunk->num_rows();
+      int left_cols = chunk->num_columns();
+      int total_cols = left_cols + st.right.num_columns();
+      std::vector<ArrayPtr> columns(static_cast<size_t>(total_cols));
+      for (int c = 0; c < total_cols; ++c) {
+        BAUPLAN_ASSIGN_OR_RETURN(
+            ArrayPtr col,
+            c < left_cols ? columnar::Take(chunk->column(c), out_l)
+                          : columnar::TakeAllowNull(
+                                st.right.column(c - left_cols), out_r));
+        columns[static_cast<size_t>(c)] = std::move(col);
+      }
+      BAUPLAN_ASSIGN_OR_RETURN(Table joined,
+                               Table::Make(node.schema, std::move(columns)));
+      if (node.residual != nullptr) {
+        BAUPLAN_ASSIGN_OR_RETURN(joined,
+                                 ApplyJoinResidual(node, joined, out_r));
+      }
+      *chunk = std::move(joined);
+      return Status::OK();
+    }
+    default:
+      return Status::Internal("non-streamable op in pipeline chain");
+  }
+}
+
+/// Pushes one chunk through the whole prepared chain. Runs on morsel
+/// workers; one scratch selection per in-flight chunk (capacity reused
+/// across the ops of the chain).
+Status ProcessChunk(const ExecContext& ctx,
+                    const std::vector<StreamOp>& ops, Table* chunk,
+                    ChunkDelta* delta) {
+  delta->rows_out.assign(ops.size(), 0);
+  SelectionVector scratch;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    BAUPLAN_RETURN_NOT_OK(ApplyStreamOp(ctx, ops[i], chunk, &scratch,
+                                        delta));
+    delta->rows_out[i] = chunk->num_rows();
+    ctx.TrackPeak(chunk->EstimatedBytes());
+  }
+  return Status::OK();
+}
+
+/// Drives `source` through the prepared ops morsel-by-morsel. Morsels are
+/// dispatched in ordered batches of 2x the worker count; `consume` runs on
+/// the driver in morsel order. `limit >= 0` trims the consumed stream to
+/// its first `limit` rows and stops dispatching further batches once the
+/// ordered prefix satisfies it — the early exit that makes `morsels`
+/// (completed) fall short of `morsels_scheduled` (the dispatch plan).
+/// Closes the ops' spans (with rows_out) and clears `ops` when done.
+Status DriveMorsels(ExecContext* ctx, const Table& source,
+                    std::vector<StreamOp>* ops, int64_t limit,
+                    const std::function<Status(Table)>& consume) {
+  const ExecContext& cctx = *ctx;
+  std::vector<Morsel> morsels =
+      MakeMorsels(source.num_rows(), cctx.options.morsel_rows);
+  int64_t total = static_cast<int64_t>(morsels.size());
+  ctx->stats->morsels_scheduled += total;
+  cctx.Count("exec.morsels_scheduled", total);
+  int threads = cctx.pool != nullptr ? cctx.pool->num_workers() + 1 : 1;
+  int64_t batch = std::max<int64_t>(1, 2 * threads);
+  int64_t consumed_rows = 0;
+  int64_t rows_filtered = 0;
+  int64_t probe_rows = 0;
+  Status failed;
+  for (int64_t next = 0; next < total && failed.ok();) {
+    int64_t b = std::min(batch, total - next);
+    std::vector<Table> out(static_cast<size_t>(b));
+    std::vector<ChunkDelta> deltas(static_cast<size_t>(b));
+    std::vector<Status> errors(static_cast<size_t>(b));
+    auto work = [&](int64_t k) {
+      const Morsel& mo = morsels[static_cast<size_t>(next + k)];
+      Result<Table> chunk =
+          columnar::SliceTable(source, mo.begin, mo.end - mo.begin);
+      if (!chunk.ok()) {
+        errors[static_cast<size_t>(k)] = chunk.status();
+        return;
+      }
+      cctx.TrackPeak(chunk->EstimatedBytes());
+      Status s = ProcessChunk(cctx, *ops, &*chunk,
+                              &deltas[static_cast<size_t>(k)]);
+      if (!s.ok()) {
+        errors[static_cast<size_t>(k)] = s;
+        return;
+      }
+      out[static_cast<size_t>(k)] = std::move(*chunk);
+    };
+    if (cctx.pool != nullptr) {
+      cctx.pool->ParallelFor(b, work);
+    } else {
+      for (int64_t k = 0; k < b; ++k) work(k);
+    }
+    // Ordered consume on the driver. Trailing chunks of the final batch
+    // trim to zero rows once the limit is met — they completed, they just
+    // contribute nothing.
+    for (int64_t k = 0; k < b && failed.ok(); ++k) {
+      const ChunkDelta& d = deltas[static_cast<size_t>(k)];
+      failed = errors[static_cast<size_t>(k)];
+      if (!failed.ok()) break;
+      rows_filtered += d.rows_filtered;
+      probe_rows += d.join_probe_rows;
+      for (size_t i = 0; i < ops->size(); ++i) {
+        (*ops)[i].rows_out += d.rows_out[i];
+      }
+      Table chunk = std::move(out[static_cast<size_t>(k)]);
+      if (limit >= 0 && consumed_rows + chunk.num_rows() > limit) {
+        Result<Table> trimmed =
+            columnar::SliceTable(chunk, 0, limit - consumed_rows);
+        if (!trimmed.ok()) {
+          failed = trimmed.status();
+          break;
+        }
+        chunk = std::move(*trimmed);
+      }
+      consumed_rows += chunk.num_rows();
+      failed = consume(std::move(chunk));
+    }
+    ctx->stats->morsels += b;
+    cctx.Count("exec.morsels", b);
+    next += b;
+    if (limit >= 0 && consumed_rows >= limit) break;
+  }
+  ctx->stats->rows_filtered += rows_filtered;
+  cctx.Count("exec.rows_filtered", rows_filtered);
+  ctx->stats->join_probe_rows += probe_rows;
+  cctx.Count("exec.join_probe_rows", probe_rows);
+  if (cctx.options.tracer != nullptr) {
+    for (const StreamOp& op : *ops) {
+      cctx.options.tracer->AddAttribute(op.span, "rows_out",
+                                        StrCat(op.rows_out));
+      cctx.options.tracer->EndSpan(op.span);
+    }
+  }
+  ops->clear();
+  return failed;
+}
+
+/// Streaming aggregate sink. Re-slices the incoming ordered chunk stream
+/// into cuts at exactly the `morsel_rows` boundaries MakeMorsels would
+/// put on the materialized input, aggregates cuts in parallel batches,
+/// and merges partials in cut order — so partial float sums associate
+/// identically to the materialized path (bit-identity) while input
+/// residency stays O(threads x morsel).
+class AggregateStream {
+ public:
+  AggregateStream(ExecContext* ctx, const PlanNode& plan)
+      : ctx_(ctx), plan_(plan) {
+    cut_rows_ = ctx->options.morsel_rows > 0 ? ctx->options.morsel_rows
+                                             : 64 * 1024;
+    int threads = ctx->pool != nullptr ? ctx->pool->num_workers() + 1 : 1;
+    flush_cuts_ = std::max<int64_t>(1, 2 * threads);
+  }
+
+  Status Consume(Table chunk) {
+    buffered_ += chunk.num_rows();
+    buffer_.push_back(std::move(chunk));
+    while (buffered_ >= cut_rows_) {
+      BAUPLAN_RETURN_NOT_OK(Cut(cut_rows_));
+      if (static_cast<int64_t>(pending_.size()) >= flush_cuts_) {
+        BAUPLAN_RETURN_NOT_OK(Flush());
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<Table> Finish() {
+    // The final partial cut; an empty stream still aggregates one empty
+    // cut, mirroring MakeMorsels' one-empty-morsel contract (typed empty
+    // grouped output, one-row global aggregates, eager expression
+    // checking).
+    if (buffered_ > 0 || total_cuts_ == 0) {
+      BAUPLAN_RETURN_NOT_OK(Cut(buffered_));
+    }
+    BAUPLAN_RETURN_NOT_OK(Flush());
+    return merger_.Emit(*ctx_, plan_);
+  }
+
+ private:
+  /// Assembles the next `rows` rows from the front of the buffer into one
+  /// cut (rows == 0 drains the remaining typed-empty chunks).
+  Status Cut(int64_t rows) {
+    std::vector<Table> pieces;
+    int64_t need = rows;
+    while (!buffer_.empty()) {
+      Table& front = buffer_.front();
+      int64_t avail = front.num_rows() - front_offset_;
+      if (need < avail) {
+        BAUPLAN_ASSIGN_OR_RETURN(
+            Table piece, columnar::SliceTable(front, front_offset_, need));
+        pieces.push_back(std::move(piece));
+        front_offset_ += need;
+        need = 0;
+        break;
+      }
+      if (front_offset_ == 0) {
+        pieces.push_back(std::move(front));
+      } else {
+        BAUPLAN_ASSIGN_OR_RETURN(
+            Table piece, columnar::SliceTable(front, front_offset_, avail));
+        pieces.push_back(std::move(piece));
+      }
+      buffer_.pop_front();
+      front_offset_ = 0;
+      need -= avail;
+      if (need == 0 && rows > 0) break;
+    }
+    buffered_ -= rows;
+    ++total_cuts_;
+    Table cut;
+    if (pieces.size() == 1) {
+      cut = std::move(pieces[0]);
+    } else {
+      BAUPLAN_ASSIGN_OR_RETURN(cut, columnar::ConcatTables(pieces));
+    }
+    ctx_->TrackPeak(cut.EstimatedBytes());
+    pending_.push_back(std::move(cut));
+    return Status::OK();
+  }
+
+  Status Flush() {
+    if (pending_.empty()) return Status::OK();
+    int64_t n = static_cast<int64_t>(pending_.size());
+    std::vector<MorselGroups> partials(static_cast<size_t>(n));
+    std::vector<Status> errors(static_cast<size_t>(n));
+    RunMorsels(*ctx_, n, [&](int64_t i) {
+      errors[static_cast<size_t>(i)] = AggregateMorsel(
+          plan_, pending_[static_cast<size_t>(i)],
+          &partials[static_cast<size_t>(i)]);
+    });
+    BAUPLAN_RETURN_NOT_OK(FirstError(errors));
+    for (const MorselGroups& part : partials) merger_.Merge(plan_, part);
+    pending_.clear();
+    return Status::OK();
+  }
+
+  ExecContext* ctx_;
+  const PlanNode& plan_;
+  int64_t cut_rows_ = 0;
+  int64_t flush_cuts_ = 0;
+  std::deque<Table> buffer_;
+  int64_t front_offset_ = 0;  // rows of buffer_.front() already cut
+  int64_t buffered_ = 0;
+  std::vector<Table> pending_;  // cuts awaiting aggregation
+  int64_t total_cuts_ = 0;
+  GroupMerger merger_;
+};
+
+/// Resolves a pipeline's source: Scan nodes read the table here (under
+/// their own op.scan span); anything else is a breaker whose subtree —
+/// including the pipelines feeding it — nests under this pipeline's span.
+Result<Table> ResolveSource(ExecContext* ctx, const PlanNode& node,
+                            uint64_t pipe_span) {
+  if (node.kind != PlanKind::kScan) {
+    return ExecStreamingNode(ctx, node, pipe_span);
+  }
+  ++ctx->stats->operators_executed;
+  obs::ScopedSpan span(ctx->options.tracer, "op.scan",
+                       obs::span_kind::kOperator, pipe_span);
+  BAUPLAN_ASSIGN_OR_RETURN(
+      Table table, ctx->source->ScanTable(node.table_name,
+                                          node.scan_columns,
+                                          node.scan_predicates));
+  ctx->stats->rows_scanned += table.num_rows();
+  ctx->Count("exec.rows_scanned", table.num_rows());
+  if (ctx->options.tracer != nullptr) {
+    ctx->options.tracer->AddAttribute(span.id(), "rows_out",
+                                      StrCat(table.num_rows()));
+  }
+  return table;
+}
+
+/// Compiles and drives the pipeline rooted at `head`, handing each
+/// processed chunk to `consume` in morsel order on the driver thread.
+/// `*passthrough` is set when the chain had nothing to do and `consume`
+/// received the raw source table itself (so collectors can skip peak
+/// accounting: inputs are not intermediates).
+Status StreamChainInto(ExecContext* ctx, const PlanNode& head,
+                       uint64_t parent_span,
+                       const std::function<Status(Table)>& consume,
+                       bool* passthrough) {
+  *passthrough = false;
+  CompiledChain chain = CompileChain(head);
+  ++ctx->stats->pipelines;
+  ctx->Count("exec.pipelines", 1);
+  obs::ScopedSpan pipe(ctx->options.tracer, "pipeline",
+                       obs::span_kind::kPipeline, parent_span);
+  BAUPLAN_ASSIGN_OR_RETURN(Table source,
+                           ResolveSource(ctx, *chain.source, pipe.id()));
+
+  obs::Tracer* tracer = ctx->options.tracer;
+  uint64_t limit_span = 0;
+  if (chain.limit_node != nullptr) {
+    ++ctx->stats->operators_executed;
+    if (tracer != nullptr) {
+      limit_span = tracer->StartSpan("op.limit", obs::span_kind::kOperator,
+                                     pipe.id());
+    }
+  }
+  int64_t consumed = 0;
+  auto counted_consume = [&](Table chunk) {
+    consumed += chunk.num_rows();
+    return consume(std::move(chunk));
+  };
+  auto close_limit = [&]() {
+    if (limit_span != 0) {
+      tracer->AddAttribute(limit_span, "rows_out", StrCat(consumed));
+      tracer->EndSpan(limit_span);
+    }
+  };
+
+  if (chain.ops.empty()) {
+    // Nothing to stream: hand over the source (sliced if a LIMIT caps it;
+    // an uncut source is a pass-through, not an intermediate).
+    Status s;
+    if (chain.limit_node != nullptr && source.num_rows() > chain.limit) {
+      BAUPLAN_ASSIGN_OR_RETURN(
+          Table sliced, columnar::SliceTable(source, 0, chain.limit));
+      s = counted_consume(std::move(sliced));
+    } else {
+      *passthrough = true;
+      s = counted_consume(std::move(source));
+    }
+    close_limit();
+    return s;
+  }
+
+  // Prepare the ops bottom-up, priming an empty chunk through each so the
+  // next op (and join key typing) sees its output schema before any
+  // morsel flows — the streaming analogue of MakeMorsels' one-empty-
+  // morsel contract.
+  BAUPLAN_ASSIGN_OR_RETURN(Table primer, columnar::SliceTable(source, 0, 0));
+  std::vector<StreamOp> ops;
+  ops.reserve(chain.ops.size());
+  ChunkDelta primer_delta;  // discarded: the primer has no rows
+  for (const PlanNode* node : chain.ops) {
+    ++ctx->stats->operators_executed;
+    uint64_t op_span =
+        tracer != nullptr
+            ? tracer->StartSpan(StrCat("op.", OpName(node->kind)),
+                                obs::span_kind::kOperator, pipe.id())
+            : 0;
+    StreamOp op;
+    op.node = node;
+    op.span = op_span;
+    if (node->kind == PlanKind::kProject) {
+      op.all_refs = !node->expressions.empty();
+      for (const auto& expr : node->expressions) {
+        if (expr->kind != ExprKind::kColumnRef) {
+          op.all_refs = false;
+          break;
+        }
+      }
+    }
+    if (node->kind == PlanKind::kJoin) {
+      auto st = std::make_shared<JoinBuildState>();
+      BAUPLAN_ASSIGN_OR_RETURN(
+          st->right, ExecStreamingNode(ctx, *node->children[1], op_span));
+      for (const auto& k : node->right_keys) {
+        BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr arr, EvaluateExpr(*k, st->right));
+        st->right_keys.push_back(std::move(arr));
+      }
+      st->right_null = JoinNullFlags(st->right_keys, st->right.num_rows());
+      if (!node->left_keys.empty() &&
+          ShouldSpill(*ctx, st->right.EstimatedBytes())) {
+        // The build side blew the budget: Grace needs both sides
+        // materialized, so this join becomes a breaker. Materialize the
+        // probe input from the chain driven so far and restart the
+        // pipeline on the join's output.
+        Table left;
+        if (ops.empty()) {
+          left = std::move(source);
+        } else {
+          std::vector<Table> parts;
+          BAUPLAN_RETURN_NOT_OK(DriveMorsels(
+              ctx, source, &ops, /*limit=*/-1, [&](Table chunk) {
+                parts.push_back(std::move(chunk));
+                return Status::OK();
+              }));
+          if (parts.size() == 1) {
+            left = std::move(parts[0]);
+          } else {
+            BAUPLAN_ASSIGN_OR_RETURN(left, columnar::ConcatTables(parts));
+          }
+          ctx->TrackPeak(left.EstimatedBytes());
+        }
+        BAUPLAN_ASSIGN_OR_RETURN(
+            source, ExecJoinVectorized(ctx, *node, left, st->right,
+                                       op_span));
+        ctx->TrackPeak(source.EstimatedBytes());
+        if (tracer != nullptr) {
+          tracer->AddAttribute(op_span, "rows_out",
+                               StrCat(source.num_rows()));
+          tracer->EndSpan(op_span);
+        }
+        BAUPLAN_ASSIGN_OR_RETURN(primer,
+                                 columnar::SliceTable(source, 0, 0));
+        continue;
+      }
+      std::vector<TypeId> left_key_types;
+      left_key_types.reserve(node->left_keys.size());
+      for (const auto& k : node->left_keys) {
+        BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr arr, EvaluateExpr(*k, primer));
+        left_key_types.push_back(arr->type());
+      }
+      BAUPLAN_RETURN_NOT_OK(st->Build(*node, left_key_types));
+      op.join = std::move(st);
+    }
+    ops.push_back(std::move(op));
+    SelectionVector scratch;
+    BAUPLAN_RETURN_NOT_OK(ApplyStreamOp(*ctx, ops.back(), &primer,
+                                        &scratch, &primer_delta));
+  }
+
+  Status s;
+  if (ops.empty()) {
+    // Every op collapsed into breaker-ized joins; the "chain" is now the
+    // last join's output.
+    if (chain.limit_node != nullptr && source.num_rows() > chain.limit) {
+      Result<Table> sliced = columnar::SliceTable(source, 0, chain.limit);
+      s = sliced.ok() ? counted_consume(std::move(*sliced))
+                      : sliced.status();
+    } else {
+      s = counted_consume(std::move(source));
+    }
+  } else {
+    s = DriveMorsels(ctx, source, &ops,
+                     chain.limit_node != nullptr ? chain.limit : -1,
+                     counted_consume);
+  }
+  close_limit();
+  return s;
+}
+
+/// Streams the chain rooted at `head` and materializes the result — the
+/// collector used for pipeline outputs and breaker inputs.
+Result<Table> ExecStreamChain(ExecContext* ctx, const PlanNode& head,
+                              uint64_t parent_span) {
+  std::vector<Table> parts;
+  bool passthrough = false;
+  BAUPLAN_RETURN_NOT_OK(StreamChainInto(
+      ctx, head, parent_span,
+      [&](Table chunk) {
+        parts.push_back(std::move(chunk));
+        return Status::OK();
+      },
+      &passthrough));
+  Table result;
+  if (parts.size() == 1) {
+    result = std::move(parts[0]);
+  } else {
+    BAUPLAN_ASSIGN_OR_RETURN(result, columnar::ConcatTables(parts));
+  }
+  if (!passthrough) ctx->TrackPeak(result.EstimatedBytes());
+  return result;
+}
+
+/// Aggregate node under the streaming engine. With no budget (or a global
+/// aggregate, whose state is O(1) per morsel) the child pipeline streams
+/// straight into the aggregate sink; a grouped aggregate under a budget
+/// materializes its input first so the spill decision — which is input-
+/// size-based — lands exactly where the materialized engine puts it.
+Result<Table> ExecStreamAggregate(ExecContext* ctx, const PlanNode& plan,
+                                  uint64_t parent_span) {
+  ++ctx->stats->operators_executed;
+  obs::ScopedSpan span(ctx->options.tracer, "op.aggregate",
+                       obs::span_kind::kOperator, parent_span);
+  const PlanNode& child = *plan.children[0];
+  Result<Table> out = Status::Internal("unreachable");
+  if (!plan.group_by.empty() && ctx->options.memory_budget_bytes > 0) {
+    BAUPLAN_ASSIGN_OR_RETURN(Table input,
+                             ExecStreamingNode(ctx, child, span.id()));
+    out = ExecAggregateVectorized(ctx, plan, input, span.id());
+  } else {
+    AggregateStream sink(ctx, plan);
+    bool passthrough = false;
+    Status s = StreamChainInto(
+        ctx, child, span.id(),
+        [&](Table chunk) { return sink.Consume(std::move(chunk)); },
+        &passthrough);
+    out = s.ok() ? sink.Finish() : Result<Table>(s);
+  }
+  if (out.ok()) {
+    ctx->TrackPeak(out->EstimatedBytes());
+    if (ctx->options.tracer != nullptr) {
+      ctx->options.tracer->AddAttribute(span.id(), "rows_out",
+                                        StrCat(out->num_rows()));
+    }
+  }
+  return out;
+}
+
+/// A breaker that materializes its child via the streaming engine and
+/// applies the vectorized operator `body` to it. Opens the breaker's
+/// op.* span; child pipelines nest under it.
+Result<Table> ExecStreamBreaker(
+    ExecContext* ctx, const PlanNode& plan, uint64_t parent_span,
+    const std::function<Result<Table>(const Table&, uint64_t)>& body) {
+  ++ctx->stats->operators_executed;
+  obs::ScopedSpan span(ctx->options.tracer,
+                       StrCat("op.", OpName(plan.kind)),
+                       obs::span_kind::kOperator, parent_span);
+  BAUPLAN_ASSIGN_OR_RETURN(
+      Table input, ExecStreamingNode(ctx, *plan.children[0], span.id()));
+  Result<Table> out = body(input, span.id());
+  if (out.ok()) {
+    ctx->TrackPeak(out->EstimatedBytes());
+    if (ctx->options.tracer != nullptr) {
+      ctx->options.tracer->AddAttribute(span.id(), "rows_out",
+                                        StrCat(out->num_rows()));
+    }
+  }
+  return out;
+}
+
+Result<Table> ExecStreamingNode(ExecContext* ctx, const PlanNode& plan,
+                                uint64_t parent_span) {
+  switch (plan.kind) {
+    case PlanKind::kScan:
+    case PlanKind::kFilter:
+    case PlanKind::kProject:
+    case PlanKind::kJoin:
+      return ExecStreamChain(ctx, plan, parent_span);
+    case PlanKind::kLimit: {
+      const PlanNode& child = *plan.children[0];
+      if (child.kind == PlanKind::kSort && !child.sort_keys.empty()) {
+        // Top-N: same fusion as the materialized engine — the LIMIT
+        // pushes into the sort breaker instead of streaming.
+        ++ctx->stats->operators_executed;  // the limit; the breaker
+                                           // counts the sort
+        obs::ScopedSpan limit_span(ctx->options.tracer, "op.limit",
+                                   obs::span_kind::kOperator, parent_span);
+        return ExecStreamBreaker(
+            ctx, child, limit_span.id(),
+            [&](const Table& input, uint64_t span_id) {
+              return ExecSortVectorized(ctx, child, input, plan.limit,
+                                        span_id);
+            });
+      }
+      return ExecStreamChain(ctx, plan, parent_span);
+    }
+    case PlanKind::kAggregate:
+      return ExecStreamAggregate(ctx, plan, parent_span);
+    case PlanKind::kSort:
+      return ExecStreamBreaker(
+          ctx, plan, parent_span,
+          [&](const Table& input, uint64_t span_id) {
+            return ExecSortVectorized(ctx, plan, input, /*limit=*/-1,
+                                      span_id);
+          });
+    case PlanKind::kDistinct:
+      return ExecStreamBreaker(
+          ctx, plan, parent_span,
+          [&](const Table& input, uint64_t span_id) {
+            (void)span_id;
+            return ExecDistinctVectorized(input);
+          });
+    case PlanKind::kUnion: {
+      ++ctx->stats->operators_executed;
+      obs::ScopedSpan span(ctx->options.tracer, "op.union",
+                           obs::span_kind::kOperator, parent_span);
+      std::vector<Table> pieces;
+      pieces.reserve(plan.children.size());
+      for (const auto& child : plan.children) {
+        BAUPLAN_ASSIGN_OR_RETURN(
+            Table piece, ExecStreamingNode(ctx, *child, span.id()));
+        BAUPLAN_ASSIGN_OR_RETURN(piece,
+                                 Table::Make(plan.schema, piece.columns()));
+        pieces.push_back(std::move(piece));
+      }
+      Result<Table> out = pieces.size() == 1
+                              ? Result<Table>(std::move(pieces[0]))
+                              : columnar::ConcatTables(pieces);
+      if (out.ok()) {
+        ctx->TrackPeak(out->EstimatedBytes());
+        if (ctx->options.tracer != nullptr) {
+          ctx->options.tracer->AddAttribute(span.id(), "rows_out",
+                                            StrCat(out->num_rows()));
+        }
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unhandled plan kind");
+}
+
 }  // namespace
+
+Result<ExecOptions> ExecOptions::FromEnv() {
+  ExecOptions options;
+  if (const char* v = std::getenv("BAUPLAN_THREADS");
+      v != nullptr && *v != '\0') {
+    int64_t threads = 0;
+    if (!ParseInt64(v, &threads) || threads < 1 || threads > 4096) {
+      return Status::InvalidArgument(
+          StrCat("BAUPLAN_THREADS must be an integer in [1, 4096], got \"",
+                 v, "\""));
+    }
+    options.threads = static_cast<int>(threads);
+  }
+  if (const char* v = std::getenv("BAUPLAN_MEMORY_BUDGET");
+      v != nullptr && *v != '\0') {
+    int64_t budget = 0;
+    if (!ParseInt64(v, &budget) || budget < 0) {
+      return Status::InvalidArgument(
+          StrCat("BAUPLAN_MEMORY_BUDGET must be a non-negative byte "
+                 "count, got \"",
+                 v, "\""));
+    }
+    options.memory_budget_bytes = budget;
+  }
+  return options;
+}
 
 Result<Table> ExecutePlan(const PlanNode& plan, TableSource* source,
                           ExecStats* stats, const ExecOptions& options) {
@@ -2055,6 +2985,8 @@ Result<Table> ExecutePlan(const PlanNode& plan, TableSource* source,
   ctx.source = source;
   ctx.stats = stats;
   ctx.options = options;
+  std::atomic<int64_t> peak{0};
+  ctx.peak = &peak;
   std::unique_ptr<storage::ObjectStore> owned_spill;
   if (options.memory_budget_bytes > 0) {
     if (options.spill_store != nullptr) {
@@ -2085,7 +3017,16 @@ Result<Table> ExecutePlan(const PlanNode& plan, TableSource* source,
       ctx.pool = owned_pool.get();
     }
   }
-  return ExecNode(&ctx, plan, options.parent_span);
+  Result<Table> out =
+      options.engine == ExecOptions::Engine::kStreaming
+          ? ExecStreamingNode(&ctx, plan, options.parent_span)
+          : ExecNode(&ctx, plan, options.parent_span);
+  int64_t peak_bytes = peak.load(std::memory_order_relaxed);
+  if (peak_bytes > stats->peak_bytes) stats->peak_bytes = peak_bytes;
+  if (options.metrics != nullptr && out.ok()) {
+    options.metrics->GetGauge("exec.peak_bytes")->SetMax(peak_bytes);
+  }
+  return out;
 }
 
 }  // namespace bauplan::sql

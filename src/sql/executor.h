@@ -35,7 +35,8 @@ class TableSource {
 };
 
 /// Per-query execution counters. Mirrored into a MetricsRegistry as
-/// `exec.*` counters when ExecOptions::metrics is set.
+/// `exec.*` counters when ExecOptions::metrics is set (`peak_bytes` maps
+/// onto the `exec.peak_bytes` gauge via SetMax).
 struct ExecStats {
   int64_t rows_scanned = 0;
   int64_t rows_output = 0;
@@ -43,7 +44,19 @@ struct ExecStats {
   int64_t rows_filtered = 0;    // rows dropped by Filter operators
   int64_t groups = 0;           // groups produced by Aggregate operators
   int64_t join_probe_rows = 0;  // probe-side rows fed to HashJoin
-  int64_t morsels = 0;          // morsels dispatched (parallel or inline)
+  /// Morsels that ran to completion. `morsels_scheduled` counts what the
+  /// dispatch plan enqueued; the two differ only when a streaming LIMIT
+  /// short-circuits a pipeline before its tail morsels run.
+  int64_t morsels = 0;
+  int64_t morsels_scheduled = 0;
+  /// Pipelines compiled and driven by the streaming engine (0 under the
+  /// materialized or scalar engines).
+  int64_t pipelines = 0;
+  /// Largest single intermediate the engine materialized: any per-morsel
+  /// chunk on a streaming pipeline, any breaker input/output, any
+  /// materialized operator output. Scan source tables are inputs, not
+  /// intermediates, and do not count.
+  int64_t peak_bytes = 0;
   int64_t spill_partitions = 0;     // partitions written by spilling ops
   int64_t spill_bytes_written = 0;  // serialized bytes put to spill store
   int64_t spill_bytes_read = 0;     // serialized bytes read back
@@ -57,10 +70,16 @@ struct ExecStats {
 /// `threads=8` is bit-identical to `threads=1`.
 struct ExecOptions {
   enum class Engine {
-    kVectorized,  // typed kernels + morsel parallelism (default)
+    /// Push-based pipelined execution (default): the plan splits into
+    /// pipelines at breakers (hash-build, sort, full aggregate, distinct,
+    /// union) and filter/project/probe/limit chains stream morsel-by-
+    /// morsel without materializing intermediates. Bit-identical to
+    /// kVectorized for any plan, thread count and memory budget.
+    kStreaming,
+    kVectorized,  // typed kernels + morsel parallelism, materialize-per-op
     kScalar,      // row-at-a-time reference operators (seed behavior)
   };
-  Engine engine = Engine::kVectorized;
+  Engine engine = Engine::kStreaming;
 
   /// Total threads working a query (1 = inline on the caller). The
   /// executor spins up `threads - 1` pool workers unless `pool` is set;
@@ -98,14 +117,21 @@ struct ExecOptions {
   /// platform facade passes its metered spill store so spill traffic is
   /// accounted like any other storage.
   storage::ObjectStore* spill_store = nullptr;
+
+  /// Default options with the environment overrides applied — the one
+  /// place `BAUPLAN_THREADS` and `BAUPLAN_MEMORY_BUDGET` are resolved
+  /// (strict ParseInt64; a malformed value is an InvalidArgument error,
+  /// not a silent fallback). CLI flags layer on top as thin overrides.
+  static Result<ExecOptions> FromEnv();
 };
 
-/// Interprets a (optimized) plan tree bottom-up, fully materializing each
-/// operator's output — the column-at-a-time execution model that is
-/// sufficient at Reasonable Scale (paper section 3.1). The vectorized
-/// engine runs scan/filter/project and partial aggregation as parallel
-/// morsels over a shared ThreadPool; the scalar engine preserves the
-/// original row-at-a-time operators as a baseline.
+/// Executes an (optimized) plan tree. The streaming engine (default)
+/// compiles the plan into pipelines split at breakers and pushes morsels
+/// through each pipeline on a shared ThreadPool, materializing only at
+/// breakers and the result; the vectorized engine is the
+/// materialize-per-operator column-at-a-time model (kept as the
+/// bit-identical baseline); the scalar engine preserves the original
+/// row-at-a-time operators as the reference oracle.
 Result<columnar::Table> ExecutePlan(const PlanNode& plan,
                                     TableSource* source,
                                     ExecStats* stats = nullptr,

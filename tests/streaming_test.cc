@@ -1,0 +1,462 @@
+// Streaming-engine coverage: bit-identity of the push-based pipelined
+// engine against the materialized vectorized engine and the scalar
+// oracle across query shapes, thread counts and memory budgets; the
+// O(morsel) peak-memory guarantee for streaming chains; LIMIT early
+// exit stopping upstream morsel dispatch; the composite (int64,int64)
+// packed-key join fast path; pipeline counters, the exec.peak_bytes
+// gauge, and the pipeline -> operator span hierarchy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "columnar/builder.h"
+#include "columnar/serialize.h"
+#include "common/clock.h"
+#include "common/strings.h"
+#include "observability/metrics.h"
+#include "observability/trace.h"
+#include "sql/engine.h"
+
+namespace bauplan {
+namespace {
+
+using columnar::DoubleBuilder;
+using columnar::Int64Builder;
+using columnar::Schema;
+using columnar::StringBuilder;
+using columnar::Table;
+using columnar::TypeId;
+using sql::ExecOptions;
+using sql::QueryOptions;
+using sql::QueryResult;
+
+// ---------------------------------------------------------------- fixture
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  StreamingTest() {
+    // Facts: same shape as the spill suite (nulls every 97th key, NaN
+    // every 53rd amount) but with dyadic-rational amounts (k/4) whose
+    // partial sums are exact in double for any association — so the
+    // scalar oracle's row-at-a-time accumulation is bit-identical to
+    // the morsel-cut partial sums, and all three engines can be
+    // compared at the byte level.
+    Int64Builder id, key, qty;
+    DoubleBuilder amount;
+    StringBuilder tag;
+    double nan = std::numeric_limits<double>::quiet_NaN();
+    for (int64_t i = 0; i < 20000; ++i) {
+      id.Append(i);
+      if (i % 97 == 0) {
+        key.AppendNull();
+      } else {
+        key.Append(i % 211);
+      }
+      qty.Append((i * 7) % 13);
+      if (i % 53 == 0) {
+        amount.Append(nan);
+      } else {
+        amount.Append(static_cast<double>((i * 31) % 997) / 4.0);
+      }
+      tag.Append(StrCat("tag_", i % 37, "_", std::string(i % 11, 'x')));
+    }
+    provider_.AddTable(
+        "facts",
+        *Table::Make(Schema({{"id", TypeId::kInt64, false},
+                             {"key", TypeId::kInt64, true},
+                             {"qty", TypeId::kInt64, false},
+                             {"amount", TypeId::kDouble, true},
+                             {"tag", TypeId::kString, false}}),
+                     {id.Finish(), key.Finish(), qty.Finish(),
+                      amount.Finish(), tag.Finish()}));
+
+    Int64Builder dkey;
+    StringBuilder dname;
+    for (int64_t i = 0; i < 150; ++i) {
+      dkey.Append(i % 120);
+      dname.Append(StrCat("dim_", i));
+    }
+    dkey.AppendNull();
+    dname.Append("dim_null");
+    provider_.AddTable(
+        "dims", *Table::Make(Schema({{"dkey", TypeId::kInt64, true},
+                                     {"dname", TypeId::kString, false}}),
+                             {dkey.Finish(), dname.Finish()}));
+  }
+
+  Result<QueryResult> Run(std::string_view sql, int64_t budget,
+                          int threads = 1,
+                          ExecOptions::Engine engine =
+                              ExecOptions::Engine::kStreaming,
+                          int64_t morsel_rows = 1024,
+                          observability::MetricsRegistry* metrics = nullptr) {
+    QueryOptions options;
+    options.exec.engine = engine;
+    options.exec.threads = threads;
+    options.exec.morsel_rows = morsel_rows;
+    options.exec.memory_budget_bytes = budget;
+    options.exec.metrics = metrics;
+    return sql::RunQuery(sql, provider_, &provider_, options);
+  }
+
+  void ExpectBitIdentical(const Table& a, const Table& b,
+                          const std::string& context) {
+    Bytes ba = columnar::SerializeTable(a);
+    Bytes bb = columnar::SerializeTable(b);
+    ASSERT_EQ(ba.size(), bb.size()) << context;
+    ASSERT_TRUE(ba == bb) << context;
+  }
+
+  sql::MemoryTableProvider provider_;
+};
+
+// --------------------------------------------- bit-identity battery
+
+// The tentpole contract: for every query shape the streaming engine's
+// result bytes equal the materialized engine's and the scalar oracle's,
+// for any engine x threads x budget combination.
+TEST_F(StreamingTest, StreamingMaterializedScalarBitIdentical) {
+  struct Shape {
+    const char* sql;
+    // The scalar oracle's seed sort convention compares NaN equal to
+    // everything; the vectorized/streaming sort orders NaN last. Skip
+    // the oracle for NaN-keyed orderings (a pre-existing, documented
+    // engine divergence) and keep it for every deterministic shape.
+    bool scalar_oracle;
+  };
+  const Shape kQueries[] = {
+      // Filter -> project chain (pure streaming pipeline, no breaker).
+      {"SELECT id, qty * 2 + 1 AS q2, tag FROM facts WHERE qty > 4",
+       true},
+      // Inner hash join with a residual conjunct on the probe side.
+      {"SELECT f.id, f.tag, d.dname FROM facts f "
+       "JOIN dims d ON f.key = d.dkey AND f.qty >= 4 "
+       "ORDER BY f.id, d.dname",
+       true},
+      // LEFT join: unmatched and null-key probe rows survive.
+      {"SELECT f.id, d.dname FROM facts f "
+       "LEFT JOIN dims d ON f.key = d.dkey ORDER BY f.id, d.dname",
+       true},
+      // Multi-key sort breaker with nulls and NaNs in the keys.
+      {"SELECT id, amount, tag FROM facts ORDER BY amount DESC, tag, id",
+       false},
+      // Multi-key sort breaker, NaN-free keys: scalar oracle applies.
+      {"SELECT id, qty, tag FROM facts ORDER BY qty DESC, tag, id",
+       true},
+      // Top-N: sort fused with LIMIT (NaN ordering key).
+      {"SELECT id, amount FROM facts ORDER BY amount, id LIMIT 321",
+       false},
+      // Top-N over NaN-free keys: scalar oracle applies.
+      {"SELECT id, tag FROM facts ORDER BY tag, id LIMIT 321", true},
+      // Grouped aggregation, every aggregate kind plus DISTINCT.
+      {"SELECT key, COUNT(*) AS n, SUM(qty) AS sq, SUM(amount) AS sa, "
+       "AVG(amount) AS avg_a, MIN(tag) AS lo, MAX(tag) AS hi, "
+       "COUNT(DISTINCT qty) AS dq FROM facts GROUP BY key",
+       true},
+      // Global aggregate over a filtered stream.
+      {"SELECT COUNT(*) AS n, SUM(qty) AS s FROM facts WHERE qty > 5",
+       true},
+  };
+  for (const auto& [sql, scalar_oracle] : kQueries) {
+    auto baseline = Run(sql, /*budget=*/0, /*threads=*/1,
+                        ExecOptions::Engine::kVectorized);
+    ASSERT_TRUE(baseline.ok())
+        << sql << ": " << baseline.status().ToString();
+    if (scalar_oracle) {
+      auto scalar = Run(sql, /*budget=*/0, /*threads=*/1,
+                        ExecOptions::Engine::kScalar);
+      ASSERT_TRUE(scalar.ok()) << sql << ": "
+                               << scalar.status().ToString();
+      ExpectBitIdentical(baseline->table, scalar->table,
+                         StrCat(sql, " [scalar oracle]"));
+    }
+    for (int64_t budget : {int64_t{0}, int64_t{64 * 1024}}) {
+      for (int threads : {1, 4}) {
+        auto streaming = Run(sql, budget, threads);
+        ASSERT_TRUE(streaming.ok())
+            << sql << " budget=" << budget << " threads=" << threads
+            << ": " << streaming.status().ToString();
+        ExpectBitIdentical(
+            baseline->table, streaming->table,
+            StrCat(sql, " budget=", budget, " threads=", threads));
+        auto materialized = Run(sql, budget, threads,
+                                ExecOptions::Engine::kVectorized);
+        ASSERT_TRUE(materialized.ok());
+        ExpectBitIdentical(
+            baseline->table, materialized->table,
+            StrCat(sql, " [materialized] budget=", budget,
+                   " threads=", threads));
+      }
+    }
+  }
+}
+
+// ------------------------------------------------- peak-memory guarantee
+
+// A filter -> project -> aggregate chain over 1M rows must stream: the
+// largest intermediate the streaming engine materializes is a handful
+// of morsel-sized chunks, while the materialized engine's peak is the
+// full filtered table.
+TEST_F(StreamingTest, StreamingChainPeakIsMorselSizedNotTableSized) {
+  Int64Builder bid, bqty;
+  for (int64_t i = 0; i < 1000000; ++i) {
+    bid.Append(i);
+    bqty.Append((i * 13) % 101);
+  }
+  provider_.AddTable(
+      "big", *Table::Make(Schema({{"bid", TypeId::kInt64, false},
+                                  {"bqty", TypeId::kInt64, false}}),
+                          {bid.Finish(), bqty.Finish()}));
+  const char* sql =
+      "SELECT SUM(bid + bqty) AS s, COUNT(*) AS n FROM big "
+      "WHERE bqty % 3 > 0";
+  const int64_t kMorselRows = 4096;
+  const int64_t kDataBytes = 1000000 * 2 * 8;  // two int64 columns
+  auto streaming = Run(sql, 0, 4, ExecOptions::Engine::kStreaming,
+                       kMorselRows);
+  ASSERT_TRUE(streaming.ok()) << streaming.status().ToString();
+  auto materialized = Run(sql, 0, 4, ExecOptions::Engine::kVectorized,
+                          kMorselRows);
+  ASSERT_TRUE(materialized.ok()) << materialized.status().ToString();
+  ExpectBitIdentical(streaming->table, materialized->table, sql);
+
+  // Streaming: no intermediate beyond a few in-flight morsel chunks.
+  // A chunk is at most kMorselRows x 2 int64 columns; allow a small
+  // multiple for in-flight batches and aggregate cuts.
+  EXPECT_GT(streaming->stats.peak_bytes, 0);
+  EXPECT_LE(streaming->stats.peak_bytes, 16 * kMorselRows * 2 * 8)
+      << "streaming peak should be O(morsel)";
+  EXPECT_LT(streaming->stats.peak_bytes, kDataBytes / 16);
+  // Materialized: the filter output (~2/3 of the table) is one
+  // intermediate.
+  EXPECT_GT(materialized->stats.peak_bytes, kDataBytes / 4);
+  EXPECT_GT(materialized->stats.peak_bytes,
+            8 * streaming->stats.peak_bytes);
+}
+
+// A streaming filter -> project -> limit chain short-circuits: with the
+// limit satisfied by the first dispatched batch, the peak never grows
+// past a few chunks even though the scan is 1M rows.
+TEST_F(StreamingTest, FilterProjectLimitChainStreamsWithinMorselPeak) {
+  Int64Builder bid, bqty;
+  for (int64_t i = 0; i < 1000000; ++i) {
+    bid.Append(i);
+    bqty.Append((i * 13) % 101);
+  }
+  provider_.AddTable(
+      "big", *Table::Make(Schema({{"bid", TypeId::kInt64, false},
+                                  {"bqty", TypeId::kInt64, false}}),
+                          {bid.Finish(), bqty.Finish()}));
+  const char* sql =
+      "SELECT bid * 2 AS d FROM big WHERE bqty % 2 = 0 LIMIT 100";
+  const int64_t kMorselRows = 4096;
+  auto streaming = Run(sql, 0, 1, ExecOptions::Engine::kStreaming,
+                       kMorselRows);
+  ASSERT_TRUE(streaming.ok()) << streaming.status().ToString();
+  EXPECT_EQ(streaming->table.num_rows(), 100);
+  auto materialized = Run(sql, 0, 1, ExecOptions::Engine::kVectorized,
+                          kMorselRows);
+  ASSERT_TRUE(materialized.ok());
+  ExpectBitIdentical(streaming->table, materialized->table, sql);
+  EXPECT_LE(streaming->stats.peak_bytes, 16 * kMorselRows * 2 * 8)
+      << "limit chain must not materialize the scan";
+}
+
+// ------------------------------------------------------ LIMIT early exit
+
+// With the limit satisfied after the first ordered batch, upstream
+// morsel dispatch stops: completed morsels stay well under the number
+// the dispatch plan scheduled.
+TEST_F(StreamingTest, LimitStopsUpstreamMorselDispatch) {
+  const char* sql = "SELECT id FROM facts WHERE qty >= 0 LIMIT 10";
+  auto r = Run(sql, 0, 1, ExecOptions::Engine::kStreaming,
+               /*morsel_rows=*/256);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->table.num_rows(), 10);
+  // 20000 rows / 256-row morsels = 79 scheduled; only the first batch
+  // (a few morsels) should have run.
+  EXPECT_EQ(r->stats.morsels_scheduled, (20000 + 255) / 256);
+  EXPECT_LT(r->stats.morsels, r->stats.morsels_scheduled);
+  auto baseline = Run(sql, 0, 1, ExecOptions::Engine::kVectorized,
+                      /*morsel_rows=*/256);
+  ASSERT_TRUE(baseline.ok());
+  ExpectBitIdentical(r->table, baseline->table, sql);
+  // Without a limit the two counters agree: everything scheduled runs.
+  auto full = Run("SELECT id FROM facts WHERE qty >= 0", 0, 4,
+                  ExecOptions::Engine::kStreaming, /*morsel_rows=*/256);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->stats.morsels, full->stats.morsels_scheduled);
+  EXPECT_EQ(full->stats.morsels, (20000 + 255) / 256);
+}
+
+// ------------------------------------- composite (int64,int64) join keys
+
+// Two null-free int64 build keys take the 128-bit packed-key fast path;
+// a nullable build key falls back to hashed buckets. Both must agree
+// with the materialized engine and the scalar oracle byte-for-byte.
+TEST_F(StreamingTest, CompositeInt64JoinFastPathAndNullableFallback) {
+  Int64Builder k1, k2;
+  StringBuilder lv;
+  for (int64_t i = 0; i < 200; ++i) {
+    k1.Append(i % 40);
+    k2.Append(i % 11);
+    lv.Append(StrCat("lk_", i));
+  }
+  provider_.AddTable(
+      "lookup", *Table::Make(Schema({{"k1", TypeId::kInt64, false},
+                                     {"k2", TypeId::kInt64, false},
+                                     {"lv", TypeId::kString, false}}),
+                             {k1.Finish(), k2.Finish(), lv.Finish()}));
+  // Same contents but k1 nullable with one null row: packed keys cannot
+  // represent the null, so the build must take the bucket fallback.
+  Int64Builder nk1, nk2;
+  StringBuilder nlv;
+  for (int64_t i = 0; i < 200; ++i) {
+    nk1.Append(i % 40);
+    nk2.Append(i % 11);
+    nlv.Append(StrCat("lk_", i));
+  }
+  nk1.AppendNull();
+  nk2.Append(3);
+  nlv.Append("lk_null");
+  provider_.AddTable(
+      "lookupn", *Table::Make(Schema({{"k1", TypeId::kInt64, true},
+                                      {"k2", TypeId::kInt64, false},
+                                      {"lv", TypeId::kString, false}}),
+                              {nk1.Finish(), nk2.Finish(), nlv.Finish()}));
+  for (const char* table : {"lookup", "lookupn"}) {
+    std::string sql = StrCat(
+        "SELECT f.id, l.lv FROM facts f JOIN ", table,
+        " l ON f.qty = l.k2 AND f.key = l.k1 ORDER BY f.id, l.lv");
+    auto baseline =
+        Run(sql, 0, 1, ExecOptions::Engine::kVectorized);
+    ASSERT_TRUE(baseline.ok()) << sql << ": "
+                               << baseline.status().ToString();
+    ASSERT_GT(baseline->table.num_rows(), 0) << sql;
+    auto scalar = Run(sql, 0, 1, ExecOptions::Engine::kScalar);
+    ASSERT_TRUE(scalar.ok());
+    ExpectBitIdentical(baseline->table, scalar->table,
+                       StrCat(sql, " [scalar]"));
+    for (int threads : {1, 4}) {
+      auto streaming = Run(sql, 0, threads);
+      ASSERT_TRUE(streaming.ok()) << sql;
+      ExpectBitIdentical(baseline->table, streaming->table,
+                         StrCat(sql, " threads=", threads));
+    }
+    // Budgeted: the build side fits but the probe side exceeds 64 KiB,
+    // exercising the breaker-ized streaming join against Grace.
+    auto budgeted = Run(sql, 64 * 1024, 4);
+    ASSERT_TRUE(budgeted.ok()) << sql;
+    ExpectBitIdentical(baseline->table, budgeted->table,
+                       StrCat(sql, " [budgeted]"));
+  }
+}
+
+// ----------------------------------------------- counters, gauge, spans
+
+TEST_F(StreamingTest, PipelineCountersAndPeakGauge) {
+  observability::MetricsRegistry metrics;
+  const char* sql =
+      "SELECT key, COUNT(*) AS n FROM facts f JOIN dims d "
+      "ON f.key = d.dkey GROUP BY key ORDER BY n DESC, key";
+  auto r = Run(sql, 0, 2, ExecOptions::Engine::kStreaming, 1024, &metrics);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The join probe chain, the build side, and the aggregate input each
+  // compile to at least one pipeline.
+  EXPECT_GE(r->stats.pipelines, 2);
+  EXPECT_EQ(metrics.GetCounter("exec.pipelines")->Value(),
+            r->stats.pipelines);
+  EXPECT_GT(r->stats.peak_bytes, 0);
+  EXPECT_EQ(metrics.GetGauge("exec.peak_bytes")->Value(),
+            r->stats.peak_bytes);
+  EXPECT_EQ(metrics.GetCounter("exec.morsels")->Value(), r->stats.morsels);
+  EXPECT_EQ(metrics.GetCounter("exec.morsels_scheduled")->Value(),
+            r->stats.morsels_scheduled);
+
+  // The materialized engine drives no pipelines but still reports peak.
+  observability::MetricsRegistry m2;
+  auto mat = Run(sql, 0, 2, ExecOptions::Engine::kVectorized, 1024, &m2);
+  ASSERT_TRUE(mat.ok());
+  EXPECT_EQ(mat->stats.pipelines, 0);
+  EXPECT_EQ(m2.GetCounter("exec.pipelines")->Value(), 0);
+  EXPECT_GT(mat->stats.peak_bytes, 0);
+}
+
+// op.* spans nest under their pipeline span; breaker operator spans
+// parent the pipelines that feed them.
+TEST_F(StreamingTest, PipelineSpansParentOperatorSpans) {
+  SimClock clock;
+  observability::Tracer tracer(&clock);
+  uint64_t root = tracer.StartSpan("query", observability::span_kind::kQuery);
+  QueryOptions options;
+  options.tracer = &tracer;
+  options.parent_span = root;
+  options.exec.morsel_rows = 1024;
+  auto r = sql::RunQuery(
+      "SELECT key, COUNT(*) AS n FROM facts WHERE qty > 2 "
+      "GROUP BY key ORDER BY n DESC, key LIMIT 20",
+      provider_, &provider_, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  tracer.EndSpan(root);
+  observability::Trace trace = tracer.ExtractTrace(root);
+  ASSERT_NE(trace.root(), nullptr);
+  int pipeline_spans = 0;
+  int ops_under_pipelines = 0;
+  int pipelines_under_breaker_ops = 0;
+  for (const auto& span : trace.spans) {
+    if (span.kind == observability::span_kind::kPipeline) {
+      ++pipeline_spans;
+      const observability::Span* parent = trace.Find(span.parent_id);
+      ASSERT_NE(parent, nullptr);
+      if (parent->kind == observability::span_kind::kOperator) {
+        ++pipelines_under_breaker_ops;
+      }
+    }
+    if (span.kind == observability::span_kind::kOperator) {
+      const observability::Span* parent = trace.Find(span.parent_id);
+      ASSERT_NE(parent, nullptr);
+      if (parent->kind == observability::span_kind::kPipeline) {
+        ++ops_under_pipelines;
+      }
+    }
+  }
+  EXPECT_GE(pipeline_spans, 2);
+  EXPECT_GT(ops_under_pipelines, 0);
+  // The aggregate and sort breakers each parent their input pipeline.
+  EXPECT_GT(pipelines_under_breaker_ops, 0);
+}
+
+// Env-var defaults resolve in exactly one place, strictly.
+TEST(ExecOptionsFromEnvTest, ResolvesAndValidates) {
+  unsetenv("BAUPLAN_THREADS");
+  unsetenv("BAUPLAN_MEMORY_BUDGET");
+  auto defaults = ExecOptions::FromEnv();
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(defaults->threads, 1);
+  EXPECT_EQ(defaults->memory_budget_bytes, 0);
+  EXPECT_EQ(defaults->engine, ExecOptions::Engine::kStreaming);
+
+  setenv("BAUPLAN_THREADS", "3", 1);
+  setenv("BAUPLAN_MEMORY_BUDGET", "65536", 1);
+  auto tuned = ExecOptions::FromEnv();
+  ASSERT_TRUE(tuned.ok());
+  EXPECT_EQ(tuned->threads, 3);
+  EXPECT_EQ(tuned->memory_budget_bytes, 65536);
+
+  setenv("BAUPLAN_THREADS", "lots", 1);
+  EXPECT_FALSE(ExecOptions::FromEnv().ok());
+  setenv("BAUPLAN_THREADS", "0", 1);
+  EXPECT_FALSE(ExecOptions::FromEnv().ok());
+  setenv("BAUPLAN_THREADS", "2", 1);
+  setenv("BAUPLAN_MEMORY_BUDGET", "-1", 1);
+  EXPECT_FALSE(ExecOptions::FromEnv().ok());
+  unsetenv("BAUPLAN_THREADS");
+  unsetenv("BAUPLAN_MEMORY_BUDGET");
+}
+
+}  // namespace
+}  // namespace bauplan
