@@ -22,6 +22,9 @@
 //   - the join/sort/aggregate workloads rerun under a 32 MiB memory
 //     budget must spill (nonzero exec.spill.* counters) and stay
 //     bit-identical to the unlimited in-memory results
+//   - lineage-driven dead-column trimming (required_output_columns)
+//     must cut the wide workload's materialized bytes by more than
+//     half without changing its row count
 //
 // `--smoke` runs a small dataset once (wired into ctest so tier-1
 // exercises the bench cheaply); the full run writes BENCH_query.json.
@@ -111,7 +114,9 @@ struct ModeTiming {
 /// `memory_budget` > 0 caps operator working sets (spilling engaged).
 Result<ModeTiming> RunMode(MemoryTableProvider& provider, const char* sql,
                            ExecOptions::Engine engine, int threads,
-                           int iters, int64_t memory_budget = 0) {
+                           int iters, int64_t memory_budget = 0,
+                           const std::vector<std::string>&
+                               required_output_columns = {}) {
   ModeTiming timing;
   timing.seconds = 1e100;
   for (int i = 0; i < iters; ++i) {
@@ -119,6 +124,7 @@ Result<ModeTiming> RunMode(MemoryTableProvider& provider, const char* sql,
     options.exec.engine = engine;
     options.exec.threads = threads;
     options.exec.memory_budget_bytes = memory_budget;
+    options.optimizer.required_output_columns = required_output_columns;
     if (engine == ExecOptions::Engine::kScalar) {
       // The scalar mode reproduces the seed engine end-to-end:
       // row-at-a-time operators AND the seed optimizer, which had no
@@ -347,6 +353,72 @@ int main(int argc, char** argv) {
       << ", \"spill_bytes_written\": " << spilled->spill_bytes_written
       << ", \"bit_identical\": "
       << (unlimited->bytes == spilled->bytes ? "true" : "false") << "}";
+    json_rows.push_back(j.str());
+  }
+
+  // Dead-column trimming: a wide producer node whose downstream (per
+  // the lineage graph) reads only two of its seven columns. With
+  // required_output_columns set, the optimizer trims the plan's output
+  // and projection pushdown narrows the scans — materialized bytes must
+  // drop by more than half (enforced at any row count, smoke included).
+  {
+    const char* wide_sql =
+        "SELECT trip_id, pickup_at, pickup_location_id, "
+        "dropoff_location_id, passenger_count, trip_distance, fare "
+        "FROM taxi WHERE fare > 5.0";
+    auto untrimmed = RunMode(provider, wide_sql,
+                             ExecOptions::Engine::kStreaming,
+                             parallel_threads, iters);
+    auto trimmed = RunMode(provider, wide_sql,
+                           ExecOptions::Engine::kStreaming,
+                           parallel_threads, iters, /*memory_budget=*/0,
+                           {"trip_id", "fare"});
+    if (!untrimmed.ok() || !trimmed.ok()) {
+      std::fprintf(stderr, "dead_columns run failed: %s%s\n",
+                   untrimmed.status().ToString().c_str(),
+                   trimmed.status().ToString().c_str());
+      return 1;
+    }
+    int64_t untrimmed_bytes =
+        static_cast<int64_t>(untrimmed->bytes.size());
+    int64_t trimmed_bytes = static_cast<int64_t>(trimmed->bytes.size());
+    if (trimmed->rows != untrimmed->rows) {
+      std::fprintf(stderr,
+                   "FAIL: dead_columns trimming changed row count "
+                   "(%lld vs %lld)\n",
+                   static_cast<long long>(trimmed->rows),
+                   static_cast<long long>(untrimmed->rows));
+      ok = false;
+    }
+    if (trimmed_bytes * 2 >= untrimmed_bytes) {
+      std::fprintf(stderr,
+                   "FAIL: dead_columns trimmed bytes %lld not < half of "
+                   "untrimmed %lld\n",
+                   static_cast<long long>(trimmed_bytes),
+                   static_cast<long long>(untrimmed_bytes));
+      ok = false;
+    }
+    double reduction =
+        1.0 - static_cast<double>(trimmed_bytes) /
+                  static_cast<double>(untrimmed_bytes);
+    std::printf(
+        "\n--- dead-column trimming (lineage-driven projection) ---\n"
+        "%10s | full %s -> trimmed %s (%.0f%% fewer bytes "
+        "materialized) | %lld rows\n",
+        "dead_cols",
+        bauplan::FormatBytes(static_cast<uint64_t>(untrimmed_bytes))
+            .c_str(),
+        bauplan::FormatBytes(static_cast<uint64_t>(trimmed_bytes))
+            .c_str(),
+        reduction * 100.0, static_cast<long long>(trimmed->rows));
+    std::ostringstream j;
+    j << "{\"workload\": \"dead_columns\", \"rows_in\": " << rows
+      << ", \"rows_out\": " << trimmed->rows
+      << ", \"untrimmed_bytes\": " << untrimmed_bytes
+      << ", \"trimmed_bytes\": " << trimmed_bytes
+      << ", \"bytes_reduction\": " << reduction
+      << ", \"untrimmed_seconds\": " << untrimmed->seconds
+      << ", \"trimmed_seconds\": " << trimmed->seconds << "}";
     json_rows.push_back(j.str());
   }
 

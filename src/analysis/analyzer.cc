@@ -302,6 +302,10 @@ AnalysisResult Analyzer::Analyze(const PipelineProject& project,
   // every node sees the inferred output schemas of its upstreams.
   span = pass_span("schema");
   ChainedResolver resolver(&result.node_schemas, catalog_schemas_);
+  // Logical plans survive this pass for the linter: the interval pass
+  // walks filter predicates against each node's *input* schemas, which
+  // only the planned tree knows.
+  std::map<std::string, sql::PlanPtr> plans;
   for (const std::string& name : topo_order) {
     NodeFacts& f = facts.at(name);
     if (f.poisoned || !f.stmt.has_value()) continue;
@@ -320,14 +324,26 @@ AnalysisResult Analyzer::Analyze(const PipelineProject& project,
     auto plan = sql::PlanQuery(*f.stmt, resolver);
     if (!plan.ok()) {
       f.poisoned = true;
-      // The planner reports unknown columns as NotFound; everything else
-      // (ambiguity, UNION shape, typing, unknown functions) is a binding
-      // or type error.
+      // The planner reports unknown columns as NotFound; an ON clause
+      // with no equality between the sides is the cartesian-product
+      // lint (BP4003); everything else (ambiguity, UNION shape, typing,
+      // unknown functions) is a binding or type error.
       const bool unknown_column = plan.status().IsNotFound();
+      const bool cartesian =
+          plan.status().message().find(
+              "JOIN ON must contain at least one equality") !=
+          std::string::npos;
       Diagnostic& d = diag.Error(
-          unknown_column ? codes::kUnknownColumn : codes::kTypeMismatch,
+          cartesian ? codes::kCartesianJoin
+                    : (unknown_column ? codes::kUnknownColumn
+                                      : codes::kTypeMismatch),
           name, plan.status().message());
       d.location = NodeLocation(*f.node);
+      if (cartesian) {
+        d.hint =
+            "without an equality between the two sides the join degrades "
+            "to a cartesian product; add an equi-join key to ON";
+      }
       std::string inputs;
       for (const std::string& ref : f.refs) {
         auto schema = resolver.GetTableSchema(ref);
@@ -335,9 +351,12 @@ AnalysisResult Analyzer::Analyze(const PipelineProject& project,
         if (!inputs.empty()) inputs += "; ";
         inputs += DescribeSchema(ref, schema.ValueOrDie());
       }
-      if (!inputs.empty()) d.hint = StrCat("input columns: ", inputs);
+      if (!cartesian && !inputs.empty()) {
+        d.hint = StrCat("input columns: ", inputs);
+      }
       continue;
     }
+    plans[name] = plan.ValueOrDie();
     Schema inferred = plan.ValueOrDie()->schema;
 
     // Overwriting a catalog table with fewer columns or changed types is
@@ -433,6 +452,47 @@ AnalysisResult Analyzer::Analyze(const PipelineProject& project,
           "mean(...) and values(...) only apply to int64, double or "
           "timestamp columns; use not_null/unique for other types";
     }
+  }
+  end_span(span);
+
+  // --------------------------------------------------- pass 4: lint
+  // Interval-domain predicate analysis per node (BP4001/BP4002/BP4005/
+  // BP4006), statement-shape lints (BP4004), and the cross-pipeline
+  // lineage fold for dead columns (BP4007).
+  span = pass_span("lint");
+  const size_t lint_start = diag.diagnostics().size();
+  for (const std::string& name : topo_order) {
+    NodeFacts& f = facts.at(name);
+    if (f.poisoned || !f.stmt.has_value()) continue;
+    const std::string location = NodeLocation(*f.node);
+    LintStatement(*f.stmt, name, location, &diag);
+    auto it = plans.find(name);
+    if (it != plans.end()) LintPlan(it->second, name, location, &diag);
+  }
+  result.lineage = BuildLineage(project, resolver);
+  for (const auto& [name, lineage_node] : result.lineage.nodes()) {
+    for (const std::string& column :
+         result.lineage.DeadColumns(name)) {
+      Diagnostic& d = diag.Warning(
+          codes::kDeadColumn, name,
+          StrCat("column '", column, "' is produced but never consumed ",
+                 "by any downstream node, expectation, or terminal ",
+                 "output"));
+      auto fit = facts.find(name);
+      if (fit != facts.end()) d.location = NodeLocation(*fit->second.node);
+      d.hint = StrCat("drop '", column,
+                      "' from the SELECT list, or let the runner trim it "
+                      "(run --trim)");
+    }
+  }
+  const size_t lint_findings = diag.diagnostics().size() - lint_start;
+  if (options.metrics != nullptr) {
+    options.metrics->GetCounter("analysis.lint.findings")
+        ->Increment(static_cast<int64_t>(lint_findings));
+  }
+  if (options.tracer != nullptr && span != 0) {
+    options.tracer->AddAttribute(span, "findings",
+                                 std::to_string(lint_findings));
   }
   end_span(span);
 

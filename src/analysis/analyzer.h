@@ -5,6 +5,8 @@
 #include <set>
 #include <string>
 
+#include "analysis/lineage.h"
+#include "analysis/range_analysis.h"
 #include "columnar/type.h"
 #include "common/diagnostic.h"
 #include "observability/metrics.h"
@@ -16,8 +18,10 @@ namespace bauplan::analysis {
 
 /// Stable diagnostic codes emitted by the analyzer. The BP1xxx range is
 /// structural (reference graph), BP2xxx is column-level schema
-/// propagation, BP3xxx is expectation checking. Codes are contractual:
-/// their meaning never changes once shipped.
+/// propagation, BP3xxx is expectation checking, BP4xxx is the plan
+/// linter (declared in range_analysis.h — the interval-domain pass that
+/// powers it). Codes are contractual: their meaning never changes once
+/// shipped.
 namespace codes {
 /// A FROM/JOIN reference (or expectation target) names neither a
 /// pipeline node nor a table in the catalog at the checked ref.
@@ -68,6 +72,10 @@ struct AnalysisResult {
   /// Column-level output schema inferred for each SQL node that planned
   /// cleanly (the schema its materialized artifact will have).
   std::map<std::string, columnar::Schema> node_schemas;
+  /// Cross-pipeline column lineage (see lineage.h), built during the
+  /// lint pass; `check --lineage` renders it and the runner derives
+  /// projection trimming from it.
+  LineageGraph lineage;
   /// Id of the "analysis" span (0 without a tracer). Callers that own
   /// the tracer may ExtractTrace it into `trace`.
   uint64_t root_span = 0;
@@ -92,6 +100,10 @@ struct AnalysisResult {
 ///      errors and schema-narrowing overwrites, column by column.
 ///   3. expectation — validate each expectation's referenced column and
 ///      required type against the inferred schema of its input.
+///   4. lint        — interval-domain abstract interpretation over every
+///      node's predicates (contradictions, tautologies, lossy
+///      comparisons, redundant conjuncts; BP4001–BP4006) plus the
+///      cross-pipeline lineage fold that finds dead columns (BP4007).
 ///
 /// Purely static: nothing executes, no branch is created, no container
 /// is acquired. All findings are Diagnostic records with stable codes.

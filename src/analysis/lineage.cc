@@ -1,0 +1,302 @@
+#include "analysis/lineage.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/strings.h"
+#include "expectations/expectation.h"
+#include "sql/optimizer.h"
+#include "sql/parser.h"
+
+namespace bauplan::analysis {
+
+using pipeline::NodeKind;
+using pipeline::PipelineNode;
+using pipeline::PipelineProject;
+
+namespace {
+
+/// Resolves upstream node names to their inferred schemas, falling back
+/// to the catalog for source tables.
+class OverlayResolver : public sql::SchemaResolver {
+ public:
+  explicit OverlayResolver(const sql::SchemaResolver* base) : base_(base) {}
+
+  void Add(const std::string& name, columnar::Schema schema) {
+    inferred_[name] = std::move(schema);
+  }
+  bool Has(const std::string& name) const {
+    return inferred_.count(name) > 0;
+  }
+
+  Result<columnar::Schema> GetTableSchema(
+      const std::string& table_name) const override {
+    auto it = inferred_.find(table_name);
+    if (it != inferred_.end()) return it->second;
+    return base_->GetTableSchema(table_name);
+  }
+
+ private:
+  const sql::SchemaResolver* base_;
+  std::map<std::string, columnar::Schema> inferred_;
+};
+
+/// Collects each scan's read set: the columns projection pushdown left
+/// in `scan_columns`, or the scan's whole schema when nothing was
+/// trimmed (empty scan_columns = read everything).
+void CollectScanReads(const sql::PlanPtr& plan,
+                      std::map<std::string, std::set<std::string>>* reads) {
+  if (plan == nullptr) return;
+  if (plan->kind == sql::PlanKind::kScan && !plan->empty_scan) {
+    std::set<std::string>& columns = (*reads)[plan->table_name];
+    if (plan->scan_columns.empty()) {
+      for (const auto& f : plan->schema.fields()) columns.insert(f.name);
+    } else {
+      columns.insert(plan->scan_columns.begin(), plan->scan_columns.end());
+    }
+  }
+  for (const auto& child : plan->children) CollectScanReads(child, reads);
+}
+
+const char* ConsumerKindName(ColumnConsumer::Kind kind) {
+  switch (kind) {
+    case ColumnConsumer::Kind::kNode:
+      return "node";
+    case ColumnConsumer::Kind::kExpectation:
+      return "expectation";
+    case ColumnConsumer::Kind::kTerminal:
+      return "output";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+LineageGraph BuildLineage(const PipelineProject& project,
+                          const sql::SchemaResolver& catalog) {
+  LineageGraph graph;
+  OverlayResolver resolver(&catalog);
+  std::set<std::string> node_names;
+  for (const PipelineNode& node : project.nodes()) {
+    if (node.kind == NodeKind::kSqlModel) node_names.insert(node.name);
+  }
+
+  // Plan nodes in dependency order: a node is ready once every upstream
+  // *node* it references has an inferred schema (source tables resolve
+  // through the catalog). Unplannable nodes (parse errors, cycles,
+  // missing tables) are skipped — earlier analyzer passes own those
+  // diagnostics.
+  struct Planned {
+    const PipelineNode* node;
+    sql::PlanPtr plan;
+  };
+  std::vector<Planned> planned;
+  std::vector<const PipelineNode*> pending;
+  for (const PipelineNode& node : project.nodes()) {
+    if (node.kind == NodeKind::kSqlModel) pending.push_back(&node);
+  }
+  bool progress = true;
+  while (progress && !pending.empty()) {
+    progress = false;
+    std::vector<const PipelineNode*> next;
+    for (const PipelineNode* node : pending) {
+      auto stmt = sql::ParseSelect(node->code);
+      if (!stmt.ok()) {
+        progress = true;  // drop it; never becomes ready
+        continue;
+      }
+      bool ready = true;
+      for (const std::string& ref : stmt->ReferencedTables()) {
+        if (node_names.count(ref) > 0 && !resolver.Has(ref)) {
+          ready = false;
+        }
+      }
+      if (!ready) {
+        next.push_back(node);
+        continue;
+      }
+      progress = true;
+      auto plan = sql::PlanQuery(*stmt, resolver);
+      if (!plan.ok()) continue;
+      // Projection pushdown alone computes the exact per-scan read
+      // sets; every other rewrite is noise for lineage purposes.
+      sql::OptimizerOptions opts;
+      opts.pushdown_predicates = false;
+      opts.pushdown_filters = false;
+      opts.fold_constants = false;
+      opts.prune_contradictions = false;
+      opts.trim_output_columns = false;
+      auto optimized = sql::OptimizePlan(*plan, opts);
+      if (!optimized.ok()) continue;
+      resolver.Add(node->name, (*optimized)->schema);
+      planned.push_back({node, *optimized});
+    }
+    pending = std::move(next);
+  }
+
+  // First pass: nodes, read sets, outputs.
+  for (const Planned& p : planned) {
+    LineageNode ln;
+    ln.name = p.node->name;
+    std::map<std::string, std::set<std::string>> reads;
+    CollectScanReads(p.plan, &reads);
+    for (auto& [table, columns] : reads) {
+      ln.reads[table] =
+          std::vector<std::string>(columns.begin(), columns.end());
+    }
+    for (const auto& f : p.plan->schema.fields()) {
+      ln.outputs.push_back(f.name);
+      ln.consumers[f.name];  // materialize the (possibly empty) entry
+    }
+    graph.AddNode(std::move(ln));
+  }
+
+  // Second pass: wire consumers.
+  std::map<std::string, LineageNode> nodes = graph.nodes();
+  for (auto& [reader_name, reader] : nodes) {
+    for (const auto& [input, columns] : reader.reads) {
+      auto it = nodes.find(input);
+      if (it == nodes.end()) continue;  // catalog source table
+      it->second.terminal = false;
+      for (const std::string& column : columns) {
+        auto entry = it->second.consumers.find(column);
+        if (entry == it->second.consumers.end()) continue;
+        entry->second.push_back(
+            {ColumnConsumer::Kind::kNode, reader_name});
+      }
+    }
+  }
+  for (const PipelineNode& node : project.nodes()) {
+    if (node.kind != NodeKind::kExpectation) continue;
+    auto target = node.ExpectationTarget();
+    if (!target.ok()) continue;
+    auto it = nodes.find(*target);
+    if (it == nodes.end()) continue;
+    auto spec = expectations::ParseExpectationSpec(node.code);
+    if (!spec.ok() || spec->column.empty()) continue;
+    auto entry = it->second.consumers.find(spec->column);
+    if (entry == it->second.consumers.end()) continue;
+    entry->second.push_back(
+        {ColumnConsumer::Kind::kExpectation, node.name});
+  }
+  // Terminal nodes: the materialized artifact is the product, so the
+  // output itself consumes every column.
+  for (auto& [name, node] : nodes) {
+    if (!node.terminal) continue;
+    for (auto& [column, consumers] : node.consumers) {
+      consumers.push_back({ColumnConsumer::Kind::kTerminal, ""});
+    }
+  }
+
+  LineageGraph out;
+  for (auto& [name, node] : nodes) out.AddNode(std::move(node));
+  return out;
+}
+
+std::vector<std::string> LineageGraph::DeadColumns(
+    const std::string& node) const {
+  std::vector<std::string> dead;
+  auto it = nodes_.find(node);
+  if (it == nodes_.end() || it->second.terminal) return dead;
+  for (const std::string& column : it->second.outputs) {
+    auto entry = it->second.consumers.find(column);
+    if (entry == it->second.consumers.end() || entry->second.empty()) {
+      dead.push_back(column);
+    }
+  }
+  return dead;
+}
+
+std::map<std::string, std::vector<std::string>>
+LineageGraph::RequiredOutputColumns() const {
+  std::map<std::string, std::vector<std::string>> required;
+  for (const auto& [name, node] : nodes_) {
+    if (node.terminal) continue;
+    std::vector<std::string> live;
+    for (const std::string& column : node.outputs) {
+      auto entry = node.consumers.find(column);
+      if (entry != node.consumers.end() && !entry->second.empty()) {
+        live.push_back(column);
+      }
+    }
+    if (live.size() < node.outputs.size()) required[name] = live;
+  }
+  return required;
+}
+
+std::string LineageGraph::ToText() const {
+  std::string out =
+      StrCat("lineage: ", nodes_.size(), " node(s)\n");
+  for (const auto& [name, node] : nodes_) {
+    out += StrCat("node ", name, node.terminal ? " (terminal)" : "", "\n");
+    for (const auto& [input, columns] : node.reads) {
+      out += StrCat("  reads ", input, ": ", StrJoin(columns, ", "), "\n");
+    }
+    for (const std::string& column : node.outputs) {
+      out += StrCat("  column ", column, " -> ");
+      auto entry = node.consumers.find(column);
+      if (entry == node.consumers.end() || entry->second.empty()) {
+        out += "(dead)\n";
+        continue;
+      }
+      for (size_t i = 0; i < entry->second.size(); ++i) {
+        const ColumnConsumer& c = entry->second[i];
+        if (i > 0) out += ", ";
+        out += c.kind == ColumnConsumer::Kind::kTerminal
+                   ? "output"
+                   : StrCat(ConsumerKindName(c.kind), " ", c.name);
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string LineageGraph::ToJson() const {
+  std::string out = StrCat("{\"version\":1,\"nodes\":[");
+  bool first_node = true;
+  for (const auto& [name, node] : nodes_) {
+    if (!first_node) out += ",";
+    first_node = false;
+    out += StrCat("{\"name\":\"", EscapeJson(name), "\",\"terminal\":",
+                  node.terminal ? "true" : "false", ",\"reads\":{");
+    bool first_read = true;
+    for (const auto& [input, columns] : node.reads) {
+      if (!first_read) out += ",";
+      first_read = false;
+      out += StrCat("\"", EscapeJson(input), "\":[");
+      for (size_t i = 0; i < columns.size(); ++i) {
+        if (i > 0) out += ",";
+        out += StrCat("\"", EscapeJson(columns[i]), "\"");
+      }
+      out += "]";
+    }
+    out += "},\"columns\":[";
+    bool first_col = true;
+    for (const std::string& column : node.outputs) {
+      if (!first_col) out += ",";
+      first_col = false;
+      out += StrCat("{\"name\":\"", EscapeJson(column),
+                    "\",\"consumers\":[");
+      auto entry = node.consumers.find(column);
+      if (entry != node.consumers.end()) {
+        for (size_t i = 0; i < entry->second.size(); ++i) {
+          const ColumnConsumer& c = entry->second[i];
+          if (i > 0) out += ",";
+          out += StrCat("{\"kind\":\"", ConsumerKindName(c.kind), "\"");
+          if (!c.name.empty()) {
+            out += StrCat(",\"name\":\"", EscapeJson(c.name), "\"");
+          }
+          out += "}";
+        }
+      }
+      out += "]}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace bauplan::analysis

@@ -1,0 +1,671 @@
+#include "analysis/range_analysis.h"
+
+#include <set>
+#include <utility>
+
+#include "columnar/datetime.h"
+#include "common/strings.h"
+#include "sql/expr_eval.h"
+
+namespace bauplan::analysis {
+
+using columnar::IsNumeric;
+using columnar::TypeId;
+using columnar::Value;
+using sql::BinaryOp;
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+using sql::PlanKind;
+using sql::PlanPtr;
+using sql::SelectStatement;
+
+namespace {
+
+// ------------------------------------------------------------- interval
+
+/// a < b / a <= b on non-null values of one comparison family.
+bool ValueLt(const Value& a, const Value& b) { return a.Compare(b) < 0; }
+
+}  // namespace
+
+bool ValueInterval::IsEmpty() const {
+  if (must_be_null && not_null) return true;
+  if (must_be_null && (lower.has_value() || upper.has_value())) return true;
+  if (lower.has_value() && upper.has_value()) {
+    int cmp = lower->Compare(*upper);
+    if (cmp > 0) return true;
+    if (cmp == 0 && !(lower_inclusive && upper_inclusive)) return true;
+    // Single admissible point that a `<>` conjunct excludes.
+    if (cmp == 0) {
+      for (const Value& v : excluded) {
+        if (v.Compare(*lower) == 0) return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool ValueInterval::Contains(const Value& v) const {
+  if (must_be_null) return false;
+  if (lower.has_value()) {
+    int cmp = v.Compare(*lower);
+    if (cmp < 0 || (cmp == 0 && !lower_inclusive)) return false;
+  }
+  if (upper.has_value()) {
+    int cmp = v.Compare(*upper);
+    if (cmp > 0 || (cmp == 0 && !upper_inclusive)) return false;
+  }
+  for (const Value& e : excluded) {
+    if (e.Compare(v) == 0) return false;
+  }
+  return true;
+}
+
+std::string ValueInterval::ToString() const {
+  if (must_be_null) return "null";
+  if (lower.has_value() && upper.has_value() &&
+      lower->Compare(*upper) == 0 && lower_inclusive && upper_inclusive) {
+    return StrCat("{", lower->ToString(), "}");
+  }
+  std::string out = lower.has_value()
+                        ? StrCat(lower_inclusive ? "[" : "(",
+                                 lower->ToString())
+                        : "(-inf";
+  out += ", ";
+  out += upper.has_value()
+             ? StrCat(upper->ToString(), upper_inclusive ? "]" : ")")
+             : "+inf)";
+  for (const Value& e : excluded) {
+    out += StrCat(" \\ {", e.ToString(), "}");
+  }
+  return out;
+}
+
+bool ValueInterval::operator==(const ValueInterval& other) const {
+  auto bound_eq = [](const std::optional<Value>& a,
+                     const std::optional<Value>& b) {
+    if (a.has_value() != b.has_value()) return false;
+    return !a.has_value() || a->Compare(*b) == 0;
+  };
+  if (!bound_eq(lower, other.lower) || !bound_eq(upper, other.upper)) {
+    return false;
+  }
+  if (lower.has_value() && lower_inclusive != other.lower_inclusive) {
+    return false;
+  }
+  if (upper.has_value() && upper_inclusive != other.upper_inclusive) {
+    return false;
+  }
+  if (must_be_null != other.must_be_null || not_null != other.not_null) {
+    return false;
+  }
+  if (excluded.size() != other.excluded.size()) return false;
+  for (size_t i = 0; i < excluded.size(); ++i) {
+    if (excluded[i].Compare(other.excluded[i]) != 0) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// ------------------------------------------------- conjunct classification
+
+/// `column <op> literal` in either orientation, normalized so the column
+/// is on the left.
+struct SimpleComparison {
+  std::string column;
+  BinaryOp op = BinaryOp::kEq;
+  Value literal;
+};
+
+BinaryOp FlipComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;
+  }
+}
+
+bool IsComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool AsSimpleComparison(const Expr& expr, SimpleComparison* out) {
+  if (expr.kind != ExprKind::kBinary || !IsComparisonOp(expr.binary_op)) {
+    return false;
+  }
+  if (expr.left->kind == ExprKind::kColumnRef &&
+      expr.right->kind == ExprKind::kLiteral) {
+    out->column = expr.left->column_name;
+    out->op = expr.binary_op;
+    out->literal = expr.right->literal;
+    return true;
+  }
+  if (expr.right->kind == ExprKind::kColumnRef &&
+      expr.left->kind == ExprKind::kLiteral) {
+    out->column = expr.right->column_name;
+    out->op = FlipComparison(expr.binary_op);
+    out->literal = expr.left->literal;
+    return true;
+  }
+  return false;
+}
+
+void SplitAnd(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == ExprKind::kBinary &&
+      expr->binary_op == BinaryOp::kAnd) {
+    SplitAnd(expr->left, out);
+    SplitAnd(expr->right, out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+/// Tries to reduce a literal-only conjunct to its value.
+std::optional<Value> FoldConstantConjunct(const Expr& expr) {
+  if (expr.kind == ExprKind::kLiteral) return expr.literal;
+  std::vector<std::string> refs;
+  CollectColumnRefs(expr, &refs);
+  if (!refs.empty() || ContainsAggregate(expr)) return std::nullopt;
+  auto value = sql::EvaluateConstant(expr);
+  if (!value.ok()) return std::nullopt;
+  return *value;
+}
+
+/// Classifies literal `lit` against a column of type `column_type`:
+/// returns the (possibly coerced) literal when the comparison is
+/// well-ordered, nullopt when the engine would fall back to ordering by
+/// type id (the BP4005 hazard).
+std::optional<Value> CoerceLiteral(TypeId column_type, const Value& lit) {
+  TypeId lt = lit.type();
+  if (IsNumeric(column_type) && IsNumeric(lt)) {
+    // int64/double/timestamp all compare numerically in the engine;
+    // timestamp columns additionally accept parseable date strings.
+    if (column_type == TypeId::kTimestamp && lt != TypeId::kTimestamp &&
+        lt != TypeId::kInt64 && lt != TypeId::kDouble) {
+      return std::nullopt;
+    }
+    return lit;
+  }
+  if (column_type == TypeId::kTimestamp && lt == TypeId::kString) {
+    auto parsed = columnar::ParseTimestampString(lit.string_value());
+    if (parsed.ok()) return Value::Timestamp(*parsed);
+    return std::nullopt;
+  }
+  if (column_type == TypeId::kString && lt == TypeId::kString) return lit;
+  if (column_type == TypeId::kBool && lt == TypeId::kBool) return lit;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------- interval refinement
+
+/// Applies one normalized comparison to `interval`. Returns false when
+/// the constraint was already implied (the interval did not change).
+bool ApplyComparison(ValueInterval* interval, BinaryOp op,
+                     const Value& lit) {
+  ValueInterval before = *interval;
+  interval->not_null = true;  // NULL <op> x is never true
+  switch (op) {
+    case BinaryOp::kEq:
+      if (!interval->lower.has_value() || ValueLt(*interval->lower, lit) ||
+          (interval->lower->Compare(lit) == 0 &&
+           !interval->lower_inclusive)) {
+        interval->lower = lit;
+        interval->lower_inclusive = true;
+      }
+      if (!interval->upper.has_value() || ValueLt(lit, *interval->upper) ||
+          (interval->upper->Compare(lit) == 0 &&
+           !interval->upper_inclusive)) {
+        interval->upper = lit;
+        interval->upper_inclusive = true;
+      }
+      break;
+    case BinaryOp::kNe: {
+      bool present = false;
+      for (const Value& e : interval->excluded) {
+        if (e.Compare(lit) == 0) present = true;
+      }
+      if (!present) interval->excluded.push_back(lit);
+      break;
+    }
+    case BinaryOp::kLt:
+      if (!interval->upper.has_value() || ValueLt(lit, *interval->upper) ||
+          (interval->upper->Compare(lit) == 0 &&
+           interval->upper_inclusive)) {
+        interval->upper = lit;
+        interval->upper_inclusive = false;
+      }
+      break;
+    case BinaryOp::kLe:
+      if (!interval->upper.has_value() || ValueLt(lit, *interval->upper)) {
+        interval->upper = lit;
+        interval->upper_inclusive = true;
+      }
+      break;
+    case BinaryOp::kGt:
+      if (!interval->lower.has_value() || ValueLt(*interval->lower, lit) ||
+          (interval->lower->Compare(lit) == 0 &&
+           interval->lower_inclusive)) {
+        interval->lower = lit;
+        interval->lower_inclusive = false;
+      }
+      break;
+    case BinaryOp::kGe:
+      if (!interval->lower.has_value() || ValueLt(*interval->lower, lit)) {
+        interval->lower = lit;
+        interval->lower_inclusive = true;
+      }
+      break;
+    default:
+      break;
+  }
+  return !(*interval == before);
+}
+
+/// One interval-relevant fact extracted from a conjunct.
+struct ConjunctFact {
+  enum class Kind { kComparison, kIsNull, kIsNotNull, kInList } kind;
+  std::string column;
+  BinaryOp op = BinaryOp::kEq;   // kComparison
+  Value literal;                 // kComparison
+  std::vector<Value> in_values;  // kInList (already coerced)
+  std::string text;              // rendered source conjunct
+};
+
+/// Extracts the facts a conjunct contributes, or nothing for opaque
+/// conjuncts. Appends BP4005 material to `lossy` for comparisons the
+/// engine orders by type id instead of value.
+std::vector<ConjunctFact> ExtractFacts(const Expr& conjunct,
+                                       const columnar::Schema& schema,
+                                       std::vector<std::string>* lossy) {
+  std::vector<ConjunctFact> facts;
+  auto column_type = [&](const std::string& name) -> std::optional<TypeId> {
+    int idx = schema.GetFieldIndex(name);
+    if (idx < 0) return std::nullopt;
+    return schema.field(idx).type;
+  };
+  SimpleComparison cmp;
+  if (AsSimpleComparison(conjunct, &cmp)) {
+    auto type = column_type(cmp.column);
+    if (!type.has_value()) return facts;
+    if (cmp.literal.is_null()) {
+      // `x = NULL` is never true; surfaced by the caller as a
+      // contradiction via the interval (lower > upper trick is not
+      // needed — flag directly with an impossible fact).
+      ConjunctFact fact;
+      fact.kind = ConjunctFact::Kind::kIsNull;
+      fact.column = cmp.column;
+      fact.text = conjunct.ToString();
+      facts.push_back(fact);
+      ConjunctFact fact2;
+      fact2.kind = ConjunctFact::Kind::kIsNotNull;
+      fact2.column = cmp.column;
+      fact2.text = conjunct.ToString();
+      facts.push_back(fact2);
+      return facts;
+    }
+    auto coerced = CoerceLiteral(*type, cmp.literal);
+    if (!coerced.has_value()) {
+      lossy->push_back(StrCat(
+          conjunct.ToString(), " compares ",
+          columnar::TypeIdToString(*type), " column '", cmp.column,
+          "' with a ", columnar::TypeIdToString(cmp.literal.type()),
+          " literal"));
+      return facts;
+    }
+    ConjunctFact fact;
+    fact.kind = ConjunctFact::Kind::kComparison;
+    fact.column = cmp.column;
+    fact.op = cmp.op;
+    fact.literal = *coerced;
+    fact.text = conjunct.ToString();
+    facts.push_back(fact);
+    return facts;
+  }
+  if (conjunct.kind == ExprKind::kIsNull && conjunct.left != nullptr &&
+      conjunct.left->kind == ExprKind::kColumnRef) {
+    ConjunctFact fact;
+    fact.kind = conjunct.negated ? ConjunctFact::Kind::kIsNotNull
+                                 : ConjunctFact::Kind::kIsNull;
+    fact.column = conjunct.left->column_name;
+    fact.text = conjunct.ToString();
+    facts.push_back(fact);
+    return facts;
+  }
+  if (conjunct.kind == ExprKind::kBetween && !conjunct.negated &&
+      conjunct.left != nullptr &&
+      conjunct.left->kind == ExprKind::kColumnRef &&
+      conjunct.between_low != nullptr &&
+      conjunct.between_low->kind == ExprKind::kLiteral &&
+      conjunct.between_high != nullptr &&
+      conjunct.between_high->kind == ExprKind::kLiteral &&
+      !conjunct.between_low->literal.is_null() &&
+      !conjunct.between_high->literal.is_null()) {
+    auto type = column_type(conjunct.left->column_name);
+    if (!type.has_value()) return facts;
+    auto lo = CoerceLiteral(*type, conjunct.between_low->literal);
+    auto hi = CoerceLiteral(*type, conjunct.between_high->literal);
+    if (!lo.has_value() || !hi.has_value()) {
+      lossy->push_back(StrCat(conjunct.ToString(),
+                              " compares incompatible types"));
+      return facts;
+    }
+    ConjunctFact low_fact;
+    low_fact.kind = ConjunctFact::Kind::kComparison;
+    low_fact.column = conjunct.left->column_name;
+    low_fact.op = BinaryOp::kGe;
+    low_fact.literal = *lo;
+    low_fact.text = conjunct.ToString();
+    facts.push_back(low_fact);
+    ConjunctFact high_fact = low_fact;
+    high_fact.op = BinaryOp::kLe;
+    high_fact.literal = *hi;
+    facts.push_back(high_fact);
+    return facts;
+  }
+  if (conjunct.kind == ExprKind::kInList && !conjunct.negated &&
+      conjunct.left != nullptr &&
+      conjunct.left->kind == ExprKind::kColumnRef && !conjunct.list.empty()) {
+    auto type = column_type(conjunct.left->column_name);
+    if (!type.has_value()) return facts;
+    ConjunctFact fact;
+    fact.kind = ConjunctFact::Kind::kInList;
+    fact.column = conjunct.left->column_name;
+    fact.text = conjunct.ToString();
+    for (const ExprPtr& item : conjunct.list) {
+      if (item->kind != ExprKind::kLiteral || item->literal.is_null()) {
+        return facts;  // opaque or null member: stay conservative
+      }
+      auto coerced = CoerceLiteral(*type, item->literal);
+      if (!coerced.has_value()) return facts;
+      fact.in_values.push_back(*coerced);
+    }
+    facts.push_back(fact);
+    return facts;
+  }
+  return facts;
+}
+
+/// Whether `field` is declared NOT NULL in `schema`.
+bool IsNonNullable(const columnar::Schema& schema,
+                   const std::string& column) {
+  int idx = schema.GetFieldIndex(column);
+  return idx >= 0 && !schema.field(idx).nullable;
+}
+
+/// Applies `fact` to the per-column state. Returns true when the state
+/// changed (i.e. the fact was not already implied).
+bool ApplyFact(std::map<std::string, ValueInterval>* intervals,
+               const ConjunctFact& fact) {
+  ValueInterval& interval = (*intervals)[fact.column];
+  switch (fact.kind) {
+    case ConjunctFact::Kind::kComparison:
+      return ApplyComparison(&interval, fact.op, fact.literal);
+    case ConjunctFact::Kind::kIsNull: {
+      bool changed = !interval.must_be_null;
+      interval.must_be_null = true;
+      return changed;
+    }
+    case ConjunctFact::Kind::kIsNotNull: {
+      bool changed = !interval.not_null;
+      interval.not_null = true;
+      return changed;
+    }
+    case ConjunctFact::Kind::kInList: {
+      bool changed = false;
+      // Convex hull: col >= min(values) AND col <= max(values). Exact
+      // membership pruning happens in the caller's emptiness check.
+      Value lo = fact.in_values[0];
+      Value hi = fact.in_values[0];
+      for (const Value& v : fact.in_values) {
+        if (ValueLt(v, lo)) lo = v;
+        if (ValueLt(hi, v)) hi = v;
+      }
+      changed |= ApplyComparison(&interval, BinaryOp::kGe, lo);
+      changed |= ApplyComparison(&interval, BinaryOp::kLe, hi);
+      return changed;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+PredicateAnalysis AnalyzePredicate(const ExprPtr& predicate,
+                                   const columnar::Schema& schema) {
+  PredicateAnalysis out;
+  std::vector<ExprPtr> conjuncts;
+  SplitAnd(predicate, &conjuncts);
+  if (conjuncts.empty()) return out;
+
+  // Pass 0: constant conjuncts and exact textual duplicates.
+  std::set<std::string> seen_text;
+  std::vector<const Expr*> live;
+  for (const ExprPtr& c : conjuncts) {
+    std::string text = c->ToString();
+    if (!seen_text.insert(text).second) {
+      out.redundant_conjuncts.push_back(
+          StrCat(text, " duplicates an earlier conjunct"));
+      continue;  // AND is idempotent: analyzing once is enough
+    }
+    if (auto value = FoldConstantConjunct(*c)) {
+      if (value->is_null() ||
+          (value->type() == TypeId::kBool && !value->bool_value())) {
+        out.contradiction = true;
+        out.contradiction_detail =
+            StrCat("conjunct ", text, " is never true");
+        return out;
+      }
+      if (value->type() == TypeId::kBool && value->bool_value()) {
+        out.tautologies.push_back(StrCat(text, " is always true"));
+        continue;
+      }
+    }
+    live.push_back(c.get());
+  }
+
+  // Pass 1: fold every interval-relevant fact.
+  struct TaggedFact {
+    ConjunctFact fact;
+    size_t conjunct_index;
+  };
+  std::vector<TaggedFact> facts;
+  for (size_t i = 0; i < live.size(); ++i) {
+    for (ConjunctFact& f :
+         ExtractFacts(*live[i], schema, &out.lossy_comparisons)) {
+      facts.push_back({std::move(f), i});
+    }
+  }
+  for (const TaggedFact& tf : facts) {
+    ApplyFact(&out.intervals, tf.fact);
+  }
+
+  // IS NOT NULL on a column the schema declares non-nullable proves
+  // nothing new — flag it, unless a sibling fact needed the column.
+  for (const TaggedFact& tf : facts) {
+    if (tf.fact.kind == ConjunctFact::Kind::kIsNotNull &&
+        IsNonNullable(schema, tf.fact.column)) {
+      out.tautologies.push_back(StrCat(
+          tf.fact.text, " is always true (column '", tf.fact.column,
+          "' is declared NOT NULL)"));
+    }
+  }
+
+  // Pass 2: contradiction checks.
+  for (auto& [column, interval] : out.intervals) {
+    if (interval.must_be_null && IsNonNullable(schema, column)) {
+      out.contradiction = true;
+      out.contradiction_detail =
+          StrCat("column '", column, "' is declared NOT NULL but the ",
+                 "predicate requires it to be null");
+      return out;
+    }
+    if (interval.IsEmpty()) {
+      out.contradiction = true;
+      out.contradiction_detail =
+          StrCat("column '", column, "' admits no value: ",
+                 interval.ToString());
+      return out;
+    }
+  }
+  // IN-list membership against the final interval: if no member
+  // survives the other constraints, nothing can.
+  for (const TaggedFact& tf : facts) {
+    if (tf.fact.kind != ConjunctFact::Kind::kInList) continue;
+    const ValueInterval& interval = out.intervals[tf.fact.column];
+    bool any = false;
+    for (const Value& v : tf.fact.in_values) {
+      if (interval.Contains(v)) any = true;
+    }
+    if (!any) {
+      out.contradiction = true;
+      out.contradiction_detail =
+          StrCat("no member of ", tf.fact.text,
+                 " satisfies the other conjuncts on '", tf.fact.column,
+                 "'");
+      return out;
+    }
+  }
+
+  // Pass 3: subsumption — a conjunct all of whose facts are implied by
+  // the remaining conjuncts' facts is redundant (`x > 3 AND x > 5`).
+  for (size_t i = 0; i < live.size(); ++i) {
+    bool has_facts = false;
+    std::map<std::string, ValueInterval> without;
+    for (const TaggedFact& tf : facts) {
+      if (tf.conjunct_index == i) {
+        has_facts = true;
+        continue;
+      }
+      ApplyFact(&without, tf.fact);
+    }
+    if (!has_facts) continue;
+    bool implied = true;
+    for (const TaggedFact& tf : facts) {
+      if (tf.conjunct_index != i) continue;
+      if (ApplyFact(&without, tf.fact)) implied = false;
+    }
+    if (implied) {
+      out.redundant_conjuncts.push_back(StrCat(
+          live[i]->ToString(), " is implied by the other conjuncts"));
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ plan lints
+
+namespace {
+
+void LintFilterPredicate(const ExprPtr& predicate,
+                         const columnar::Schema& input_schema,
+                         const std::string& node,
+                         const std::string& location, const char* what,
+                         DiagnosticEngine* diag) {
+  PredicateAnalysis analysis = AnalyzePredicate(predicate, input_schema);
+  if (analysis.contradiction) {
+    Diagnostic& d = diag->Warning(
+        codes::kContradictoryPredicate, node,
+        StrCat(what, " is provably always false: ",
+               analysis.contradiction_detail));
+    d.location = location;
+    d.hint = "the subtree returns no rows; remove it or fix the bounds";
+  }
+  for (const std::string& t : analysis.tautologies) {
+    Diagnostic& d =
+        diag->Warning(codes::kTautologicalFilter, node,
+                      StrCat(what, " conjunct ", t));
+    d.location = location;
+    d.hint = "drop the conjunct; it filters nothing";
+  }
+  for (const std::string& l : analysis.lossy_comparisons) {
+    Diagnostic& d = diag->Warning(
+        codes::kLossyComparison, node,
+        StrCat(what, " ", l,
+               "; mixed types order by type id, not value"));
+    d.location = location;
+    d.hint = "cast one side so both compare in the same domain";
+  }
+  for (const std::string& r : analysis.redundant_conjuncts) {
+    Diagnostic& d = diag->Warning(codes::kRedundantConjunct, node,
+                                  StrCat(what, " conjunct ", r));
+    d.location = location;
+    d.hint = "remove the redundant conjunct";
+  }
+}
+
+}  // namespace
+
+void LintPlan(const PlanPtr& plan, const std::string& node,
+              const std::string& location, DiagnosticEngine* diag) {
+  if (plan == nullptr) return;
+  for (const PlanPtr& child : plan->children) {
+    LintPlan(child, node, location, diag);
+  }
+  switch (plan->kind) {
+    case PlanKind::kFilter: {
+      // HAVING plans as a filter above the aggregate; label accordingly.
+      const char* what = (!plan->children.empty() &&
+                          plan->children[0]->kind == PlanKind::kAggregate)
+                             ? "HAVING predicate"
+                             : "WHERE predicate";
+      LintFilterPredicate(plan->predicate, plan->children[0]->schema, node,
+                          location, what, diag);
+      return;
+    }
+    case PlanKind::kJoin: {
+      if (plan->residual != nullptr &&
+          plan->join_type == sql::JoinType::kInner) {
+        LintFilterPredicate(plan->residual, plan->schema, node, location,
+                            "JOIN residual", diag);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void LintStatement(const SelectStatement& stmt, const std::string& node,
+                   const std::string& location, DiagnosticEngine* diag) {
+  if (stmt.limit >= 0 && stmt.order_by.empty()) {
+    Diagnostic& d = diag->Warning(
+        codes::kLimitWithoutOrder, node,
+        StrCat("LIMIT ", stmt.limit,
+               " without ORDER BY keeps an arbitrary subset of rows"));
+    d.location = location;
+    d.hint = "add ORDER BY to make the result deterministic";
+  }
+  if (stmt.from.subquery != nullptr) {
+    LintStatement(*stmt.from.subquery, node, location, diag);
+  }
+  for (const sql::JoinClause& join : stmt.joins) {
+    if (join.table.subquery != nullptr) {
+      LintStatement(*join.table.subquery, node, location, diag);
+    }
+  }
+  if (stmt.union_next != nullptr) {
+    LintStatement(*stmt.union_next, node, location, diag);
+  }
+}
+
+}  // namespace bauplan::analysis

@@ -1,0 +1,113 @@
+#ifndef BAUPLAN_ANALYSIS_RANGE_ANALYSIS_H_
+#define BAUPLAN_ANALYSIS_RANGE_ANALYSIS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "columnar/type.h"
+#include "columnar/value.h"
+#include "common/diagnostic.h"
+#include "sql/ast.h"
+#include "sql/logical_plan.h"
+
+/// Interval-domain abstract interpretation over predicate expressions.
+///
+/// WHERE/JOIN/HAVING conjunctions fold into one value interval per
+/// column; an empty interval proves the predicate can never hold
+/// (contradiction), a vacuous conjunct proves it is removable
+/// (tautology). The same machinery backs two consumers: the analyzer's
+/// lint pass (BP4xxx diagnostics) and the optimizer's
+/// `prune_contradictions` rewrite — which is why these files compile
+/// into the SQL library (the optimizer cannot link the analyzer) while
+/// keeping the analysis-layer namespace and header location.
+///
+/// Soundness under SQL's three-valued logic: a comparison whose operand
+/// is NULL yields NULL, and WHERE discards non-true rows. So every
+/// folded comparison also proves the column non-null for surviving
+/// rows, and "interval empty" means *no* row — null or not — can pass.
+namespace bauplan::analysis {
+
+namespace codes {
+/// Predicate is provably always false — the subtree returns no rows.
+inline constexpr const char* kContradictoryPredicate = "BP4001";
+/// Conjunct is provably always true — the filter does no work.
+inline constexpr const char* kTautologicalFilter = "BP4002";
+/// Join has no equality linking its two sides (cartesian product).
+inline constexpr const char* kCartesianJoin = "BP4003";
+/// LIMIT without ORDER BY — which rows survive is nondeterministic.
+inline constexpr const char* kLimitWithoutOrder = "BP4004";
+/// Comparison of incompatible types — ordered by type id, not value.
+inline constexpr const char* kLossyComparison = "BP4005";
+/// Conjunct duplicated or implied by the other conjuncts.
+inline constexpr const char* kRedundantConjunct = "BP4006";
+/// Column produced by a node but read by no consumer (see lineage.h).
+inline constexpr const char* kDeadColumn = "BP4007";
+}  // namespace codes
+
+/// One column's abstract value: a (possibly unbounded) interval plus
+/// point exclusions and nullability facts.
+struct ValueInterval {
+  std::optional<columnar::Value> lower;
+  bool lower_inclusive = true;
+  std::optional<columnar::Value> upper;
+  bool upper_inclusive = true;
+  /// Values excluded by `<>` conjuncts.
+  std::vector<columnar::Value> excluded;
+  /// IS NULL seen — only the null value passes.
+  bool must_be_null = false;
+  /// IS NOT NULL seen, or any comparison (3VL filters nulls).
+  bool not_null = false;
+
+  /// True when no value (null or otherwise) satisfies the constraints.
+  bool IsEmpty() const;
+  /// True when `v` (non-null) lies inside the interval.
+  bool Contains(const columnar::Value& v) const;
+  /// "[2, 10)", "(-inf, 5]", "{3}", "null" — for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const ValueInterval& other) const;
+};
+
+/// Result of folding one conjunction into the interval domain.
+struct PredicateAnalysis {
+  /// Per-column intervals for the columns the conjunction constrains.
+  std::map<std::string, ValueInterval> intervals;
+  /// The conjunction is provably always false.
+  bool contradiction = false;
+  /// Human-readable proof ("qty > 4 contradicts qty < 2").
+  std::string contradiction_detail;
+  /// Rendered conjuncts that are provably always true (BP4002).
+  std::vector<std::string> tautologies;
+  /// Rendered cross-type comparisons the engine orders by type id, not
+  /// value (BP4005).
+  std::vector<std::string> lossy_comparisons;
+  /// Rendered conjuncts that are duplicates of, or implied by, the
+  /// other conjuncts (BP4006).
+  std::vector<std::string> redundant_conjuncts;
+};
+
+/// Folds the conjuncts of `predicate` (null = trivially true) into
+/// per-column intervals against `schema` (which supplies column types
+/// and nullability). Non-conjunct structure (OR, functions, LIKE,
+/// column-to-column comparisons) is treated as opaque — the analysis
+/// only ever claims what it can prove.
+PredicateAnalysis AnalyzePredicate(const sql::ExprPtr& predicate,
+                                   const columnar::Schema& schema);
+
+/// Walks a logical plan and appends BP4001/BP4002/BP4005/BP4006
+/// diagnostics for every Filter predicate (WHERE and HAVING both plan
+/// as filters) and inner-join residual. `node` and `location` anchor
+/// the diagnostics.
+void LintPlan(const sql::PlanPtr& plan, const std::string& node,
+              const std::string& location, DiagnosticEngine* diag);
+
+/// Appends BP4004 (LIMIT without ORDER BY) for `stmt`, recursing into
+/// derived tables and UNION branches.
+void LintStatement(const sql::SelectStatement& stmt, const std::string& node,
+                   const std::string& location, DiagnosticEngine* diag);
+
+}  // namespace bauplan::analysis
+
+#endif  // BAUPLAN_ANALYSIS_RANGE_ANALYSIS_H_

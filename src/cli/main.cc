@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <map>
 #include <set>
@@ -59,19 +60,24 @@ commands:
         working set of joins/sorts/aggregates, spilling to the metered
         spill store beyond it (0 = unlimited; results are bit-identical
         for any budget)
-  check --project DIR [-b REF] [--json]
+  check --project DIR [-b REF] [--json] [--lineage] [--werror]
         statically analyze a pipeline project against the catalog at REF
         without running it: reference resolution, column-level schema
-        propagation, expectation validation; exit 0 when clean, 1 when
-        the analyzer reports errors
+        propagation, expectation validation, and the BP4xxx plan linter
+        (interval-domain contradiction/tautology/dead-column findings);
+        exit 0 when clean, 1 when the analyzer reports errors;
+        --lineage renders the cross-pipeline column lineage graph
+        instead of diagnostics (text, or JSON with --json); --werror
+        (or BAUPLAN_WERROR=1) promotes warnings to errors
   run --project DIR [-b BRANCH] [--naive] [--parallel N] [--explain]
-      [--no-verify] [--trace-out FILE]
+      [--no-verify] [--trim] [--trace-out FILE]
         execute a pipeline with transform-audit-write semantics; the
         project is statically analyzed first and refused on errors
         (--no-verify skips this); --parallel N dispatches independent
         nodes of a --naive run as wavefronts with up to N bodies at a
-        time; --trace-out writes the run's hierarchical span trace as
-        JSON
+        time; --trim drops dead columns from intermediate artifacts
+        (cross-node projection trimming from the lineage graph);
+        --trace-out writes the run's hierarchical span trace as JSON
   run --run-id N [-m NODE[+]] [--trace-out FILE]
         replay a recorded run, sandboxed
   runs  list recorded runs
@@ -127,13 +133,18 @@ const std::map<std::string, std::vector<FlagDef>, std::less<>>& VerbFlags() {
             {"--memory-budget", "", true},
             kBranchFlag}},
           {"check",
-           {{"--project", "", true}, {"--json", "", false}, kBranchFlag}},
+           {{"--project", "", true},
+            {"--json", "", false},
+            {"--lineage", "", false},
+            {"--werror", "", false},
+            kBranchFlag}},
           {"run",
            {{"--project", "", true},
             {"--naive", "", false},
             {"--parallel", "", true},
             {"--explain", "", false},
             {"--no-verify", "", false},
+            {"--trim", "", false},
             {"--run-id", "", true},
             {"-m", "", true},
             {"--trace-out", "", true},
@@ -400,6 +411,12 @@ int Main(int argc, char** argv) {
     if (args.Has("--explain")) {
       std::printf("-- physical plan --\n%s\n",
                   result->physical_plan.c_str());
+      if (!result->lints.empty()) {
+        std::printf("-- lints --\n");
+        for (const auto& lint : result->lints) {
+          std::printf("%s\n", lint.ToString().c_str());
+        }
+      }
     }
     std::fputs(result->table.ToString(50).c_str(), stdout);
     std::printf("(%lld rows, %lld scanned)\n",
@@ -420,6 +437,29 @@ int Main(int argc, char** argv) {
     if (!project.ok()) return Fail(project.status());
     auto result = bp.Check(*project, *ref);
     if (!result.ok()) return Fail(result.status());
+    // --werror (or BAUPLAN_WERROR=1) promotes every warning to an
+    // error, so lint findings fail the check. The env var is strict:
+    // only "1" (on) and "0" (off) parse.
+    bool werror = args.Has("--werror");
+    if (const char* v = std::getenv("BAUPLAN_WERROR");
+        v != nullptr && *v != '\0') {
+      std::string_view value = v;
+      if (value == "1") {
+        werror = true;
+      } else if (value != "0") {
+        return UsageError(
+          StrCat("BAUPLAN_WERROR must be \"1\" or \"0\", got \"", v,
+                 "\""));
+      }
+    }
+    if (werror) result->diagnostics.PromoteWarningsToErrors();
+    if (args.Has("--lineage")) {
+      std::string rendered = args.Has("--json")
+                                 ? result->lineage.ToJson() + "\n"
+                                 : result->lineage.ToText();
+      std::fputs(rendered.c_str(), stdout);
+      return result->ok() ? 0 : 1;
+    }
     std::string rendered = args.Has("--json")
                                ? result->diagnostics.ToJson() + "\n"
                                : result->diagnostics.ToText();
@@ -458,6 +498,7 @@ int Main(int argc, char** argv) {
     core::PipelineRunOptions options;
     options.fused = !args.Has("--naive");
     options.verify = !args.Has("--no-verify");
+    options.trim_unused_columns = args.Has("--trim");
     auto parallelism = Int64Flag(args, "--parallel", 1, 1, 4096);
     if (!parallelism.ok()) return UsageError(parallelism.status().message());
     options.parallelism = static_cast<int>(*parallelism);

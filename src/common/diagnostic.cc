@@ -1,49 +1,11 @@
 #include "common/diagnostic.h"
 
-#include <cstdio>
+#include <algorithm>
+#include <tuple>
 
 #include "common/strings.h"
 
 namespace bauplan {
-
-namespace {
-
-/// Minimal JSON string escaping (common cannot depend on the
-/// observability exporter, which has its own copy for span attributes).
-std::string EscapeJson(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 std::string_view DiagnosticSeverityToString(DiagnosticSeverity severity) {
   switch (severity) {
@@ -114,8 +76,18 @@ std::string DiagnosticEngine::ToJson() const {
   std::string out = StrCat("{\"version\":1,\"errors\":", errors_,
                            ",\"warnings\":", warnings_,
                            ",\"diagnostics\":[");
-  for (size_t i = 0; i < diagnostics_.size(); ++i) {
-    const Diagnostic& d = diagnostics_[i];
+  std::vector<const Diagnostic*> sorted;
+  sorted.reserve(diagnostics_.size());
+  for (const Diagnostic& d : diagnostics_) sorted.push_back(&d);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Diagnostic* a, const Diagnostic* b) {
+                     return std::tie(a->node, a->location, a->code,
+                                     a->message) <
+                            std::tie(b->node, b->location, b->code,
+                                     b->message);
+                   });
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const Diagnostic& d = *sorted[i];
     if (i > 0) out += ",";
     out += StrCat("{\"code\":\"", EscapeJson(d.code), "\",\"severity\":\"",
                   DiagnosticSeverityToString(d.severity), "\",\"node\":\"",
@@ -126,6 +98,16 @@ std::string DiagnosticEngine::ToJson() const {
   }
   out += "]}";
   return out;
+}
+
+void DiagnosticEngine::PromoteWarningsToErrors() {
+  for (Diagnostic& d : diagnostics_) {
+    if (d.severity == DiagnosticSeverity::kWarning) {
+      d.severity = DiagnosticSeverity::kError;
+      --warnings_;
+      ++errors_;
+    }
+  }
 }
 
 void DiagnosticEngine::Clear() {

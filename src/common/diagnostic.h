@@ -71,7 +71,14 @@ class DiagnosticEngine {
 
   /// Deterministic JSON rendering:
   /// {"version":1,"errors":N,"warnings":M,"diagnostics":[{...},...]}.
+  /// Diagnostics are rendered sorted by (node, location, code, message)
+  /// so the output is byte-stable regardless of pass emission order;
+  /// ToText keeps insertion order (it mirrors how the passes ran).
   std::string ToJson() const;
+
+  /// Reclassifies every warning as an error (`check --werror`). Counts
+  /// are updated; notes are untouched.
+  void PromoteWarningsToErrors();
 
   void Clear();
 

@@ -85,6 +85,39 @@ bool ParseDouble(std::string_view s, double* out) {
   return true;
 }
 
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 std::string FormatBytes(uint64_t bytes) {
   static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB",
                                            "TiB"};

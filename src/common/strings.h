@@ -49,6 +49,13 @@ bool ParseInt64(std::string_view s, int64_t* out);
 /// are rejected: every caller is a CLI flag where they are typos.
 bool ParseDouble(std::string_view s, double* out);
 
+/// Escapes `s` for embedding inside a JSON string literal: quotes,
+/// backslashes, and the common control characters get their two-char
+/// escapes, every other byte below 0x20 becomes \u00XX. The single
+/// shared implementation behind diagnostics, trace export, and metric
+/// rendering.
+std::string EscapeJson(std::string_view s);
+
 /// Formats a byte count with a binary-scaled unit suffix ("1.5 MiB").
 std::string FormatBytes(uint64_t bytes);
 

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <set>
 
+#include "analysis/lineage.h"
 #include "columnar/serialize.h"
 #include "common/hash.h"
 #include "common/strings.h"
@@ -119,7 +120,8 @@ Result<RunReport> PipelineRunner::Execute(
   Result<RunReport> result =
       options.fused
           ? ExecuteFused(dag, ref, SelectOrAll(dag, options.selected),
-                         options.exec, run_span)
+                         options.exec, options.trim_unused_columns,
+                         run_span)
           : (options.parallelism > 1
                  ? ExecuteParallelNaive(dag, ref,
                                         SelectOrAll(dag, options.selected),
@@ -144,9 +146,33 @@ Result<RunReport> PipelineRunner::Execute(
 Result<RunReport> PipelineRunner::ExecuteFused(
     const Dag& dag, const std::string& ref,
     const std::vector<std::string>& selected,
-    const sql::ExecOptions& exec, uint64_t run_span) {
+    const sql::ExecOptions& exec, bool trim_unused_columns,
+    uint64_t run_span) {
   RunReport report;
   uint64_t start = clock_->NowMicros();
+
+  // Cross-node projection trimming (run --trim): fold the whole DAG's
+  // lineage once, then hand each node the set of output columns some
+  // downstream node, expectation, or terminal artifact actually reads.
+  // The optimizer wraps the node's plan in a projection, and pushdown
+  // carries the narrowing all the way into the scans.
+  std::map<std::string, std::vector<std::string>> required_columns;
+  if (trim_unused_columns) {
+    pipeline::PipelineProject lineage_project("lineage");
+    for (const auto& name : dag.execution_order()) {
+      const PipelineNode& node = *dag.GetNode(name).node;
+      Status st = node.kind == NodeKind::kSqlModel
+                      ? lineage_project.AddSqlNode(node.name, node.code,
+                                                   node.requirements)
+                      : lineage_project.AddExpectationNode(
+                            node.name, node.code, node.requirements);
+      if (!st.ok()) return st;
+    }
+    LakehouseSource schemas(catalog_, ops_, ref);
+    required_columns =
+        analysis::BuildLineage(lineage_project, schemas)
+            .RequiredOutputColumns();
+  }
 
   // One function for the whole DAG: union of all requirements, memory
   // sized once the inputs are known (use a conservative default).
@@ -192,6 +218,10 @@ Result<RunReport> PipelineRunner::ExecuteFused(
                             observability::span_kind::kSql, fused_span);
         sql::QueryOptions qopts;
         qopts.exec = exec;
+        if (auto it = required_columns.find(name);
+            it != required_columns.end()) {
+          qopts.optimizer.required_output_columns = it->second;
+        }
         auto result = sql::RunQuery(node.code, source, &source, qopts);
         if (!result.ok()) {
           return result.status().WithContext(

@@ -42,6 +42,12 @@ struct PipelineRunOptions {
   /// to run (FailedPrecondition, no container acquired) when the
   /// analyzer reports errors. `bauplan run --no-verify` turns this off.
   bool verify = true;
+  /// Fused mode only: build the cross-pipeline lineage graph and trim
+  /// each node's materialized output to the columns some downstream
+  /// node, expectation, or terminal artifact actually reads (`bauplan
+  /// run --trim`). Off by default because trimmed intermediate
+  /// artifacts are observably narrower than the node's SELECT list.
+  bool trim_unused_columns = false;
   /// Execution knobs for every SQL node body (engine, threads, morsel
   /// size, memory budget) — the same struct queries take, embedded by
   /// value instead of copied field-by-field. Defaults come from
@@ -85,6 +91,7 @@ class PipelineRunner {
                                  const std::string& ref,
                                  const std::vector<std::string>& selected,
                                  const sql::ExecOptions& exec,
+                                 bool trim_unused_columns,
                                  uint64_t run_span);
   Result<RunReport> ExecuteNaive(const pipeline::Dag& dag,
                                  const std::string& ref,

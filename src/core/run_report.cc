@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/strings.h"
+
 namespace bauplan::core {
 
 namespace {
@@ -24,7 +26,7 @@ const char* NodeKindName(pipeline::NodeKind kind) {
 }
 
 void AppendNodeJson(std::ostringstream& out, const NodeExecution& node) {
-  out << "{\"name\":\"" << observability::JsonEscape(node.name)
+  out << "{\"name\":\"" << EscapeJson(node.name)
       << "\",\"kind\":\"" << NodeKindName(node.kind)
       << "\",\"output_rows\":" << node.output_rows
       << ",\"expectation_passed\":"
@@ -63,10 +65,10 @@ const NodeExecution* RunReport::FindNode(const std::string& name) const {
 std::string RunReport::ToJson() const {
   std::ostringstream out;
   out << "{\"version\":" << kSchemaVersion << ",\"run_id\":" << run_id
-      << ",\"status\":\"" << observability::JsonEscape(status)
+      << ",\"status\":\"" << EscapeJson(status)
       << "\",\"merged\":" << (merged ? "true" : "false")
       << ",\"merged_commit_id\":\""
-      << observability::JsonEscape(merged_commit_id)
+      << EscapeJson(merged_commit_id)
       << "\",\"total_micros\":" << total_micros
       << ",\"all_expectations_passed\":"
       << (all_expectations_passed ? "true" : "false");

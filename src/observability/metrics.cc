@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/strings.h"
+
 #include "observability/trace.h"
 
 namespace bauplan::observability {
@@ -126,7 +128,7 @@ std::string MetricsSnapshot::ToJson() const {
   for (const auto& [name, value] : values) {
     if (!first) out << ",";
     first = false;
-    out << "\"" << JsonEscape(name) << "\":" << FormatMetricValue(value);
+    out << "\"" << EscapeJson(name) << "\":" << FormatMetricValue(value);
   }
   out << "}";
   return out.str();

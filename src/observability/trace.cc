@@ -6,6 +6,8 @@
 #include <sstream>
 #include <tuple>
 
+#include "common/strings.h"
+
 namespace bauplan::observability {
 
 // ----------------------------------------------------------------- Trace
@@ -47,8 +49,8 @@ std::string Trace::ToJson() const {
     if (!first_span) out << ",";
     first_span = false;
     out << "{\"id\":" << span.id << ",\"parent_id\":" << span.parent_id
-        << ",\"name\":\"" << JsonEscape(span.name) << "\",\"kind\":\""
-        << JsonEscape(span.kind) << "\",\"start_micros\":"
+        << ",\"name\":\"" << EscapeJson(span.name) << "\",\"kind\":\""
+        << EscapeJson(span.kind) << "\",\"start_micros\":"
         << span.start_micros << ",\"end_micros\":" << span.end_micros
         << ",\"duration_micros\":" << span.DurationMicros();
     if (!span.attributes.empty()) {
@@ -59,7 +61,7 @@ std::string Trace::ToJson() const {
       for (const auto& [key, value] : sorted) {
         if (!first_attr) out << ",";
         first_attr = false;
-        out << "\"" << JsonEscape(key) << "\":\"" << JsonEscape(value)
+        out << "\"" << EscapeJson(key) << "\":\"" << EscapeJson(value)
             << "\"";
       }
       out << "}";
@@ -220,41 +222,6 @@ Trace Tracer::ExtractTrace(uint64_t root_id) {
 size_t Tracer::span_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return spans_.size();
-}
-
-// ------------------------------------------------------------------ json
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
 }
 
 }  // namespace bauplan::observability

@@ -159,10 +159,6 @@ class ScopedSpan {
   uint64_t id_;
 };
 
-/// Escapes `s` for inclusion in a JSON string literal (quotes added by
-/// the caller). Shared by the trace and metrics exporters.
-std::string JsonEscape(const std::string& s);
-
 }  // namespace bauplan::observability
 
 #endif  // BAUPLAN_OBSERVABILITY_TRACE_H_

@@ -1,5 +1,6 @@
 #include "sql/engine.h"
 
+#include "analysis/range_analysis.h"
 #include "common/strings.h"
 #include "sql/parser.h"
 
@@ -17,7 +18,13 @@ Result<QueryResult> RunQuery(std::string_view sql,
                                         options.parent_span);
     BAUPLAN_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
     BAUPLAN_ASSIGN_OR_RETURN(plan, PlanQuery(stmt, resolver));
-    if (options.capture_plans) result.logical_plan = plan->ToString();
+    if (options.capture_plans) {
+      result.logical_plan = plan->ToString();
+      DiagnosticEngine lints;
+      analysis::LintStatement(stmt, "query", "", &lints);
+      analysis::LintPlan(plan, "query", "", &lints);
+      result.lints = lints.diagnostics();
+    }
     BAUPLAN_ASSIGN_OR_RETURN(plan, OptimizePlan(plan, options.optimizer));
     if (options.capture_plans) result.physical_plan = plan->ToString();
   }

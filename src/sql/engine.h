@@ -4,8 +4,10 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "columnar/table.h"
+#include "common/diagnostic.h"
 #include "common/result.h"
 #include "observability/trace.h"
 #include "sql/executor.h"
@@ -36,6 +38,11 @@ struct QueryResult {
   ExecStats stats;
   std::string logical_plan;
   std::string physical_plan;
+  /// Lint findings (BP4xxx) against the statement and pre-optimization
+  /// logical plan; captured only when `capture_plans` is set, so EXPLAIN
+  /// surfaces what the optimizer is about to exploit (contradictions it
+  /// prunes, tautologies it drops) without taxing the hot path.
+  std::vector<Diagnostic> lints;
   /// True when a platform-level result cache served this (the engine
   /// itself never sets it).
   bool from_cache = false;

@@ -2116,6 +2116,18 @@ const char* OpName(PlanKind kind) {
   return "unknown";
 }
 
+/// A zero-row table with `schema` — what an empty scan (a subtree the
+/// optimizer proved returns no rows) produces without touching the
+/// source.
+Result<Table> MakeEmptyTable(const columnar::Schema& schema) {
+  std::vector<columnar::ArrayPtr> columns;
+  columns.reserve(static_cast<size_t>(schema.num_fields()));
+  for (const auto& field : schema.fields()) {
+    columns.push_back(columnar::MakeBuilder(field.type)->Finish());
+  }
+  return Table::Make(schema, std::move(columns));
+}
+
 Result<Table> ExecNodeImpl(ExecContext* ctx, const PlanNode& plan,
                            uint64_t span_id) {
   // The streaming engine never reaches this walker (it has its own
@@ -2124,6 +2136,7 @@ Result<Table> ExecNodeImpl(ExecContext* ctx, const PlanNode& plan,
   bool vectorized = ctx->options.engine != ExecOptions::Engine::kScalar;
   switch (plan.kind) {
     case PlanKind::kScan: {
+      if (plan.empty_scan) return MakeEmptyTable(plan.schema);
       BAUPLAN_ASSIGN_OR_RETURN(
           Table table, ctx->source->ScanTable(plan.table_name,
                                               plan.scan_columns,
@@ -2618,6 +2631,7 @@ Result<Table> ResolveSource(ExecContext* ctx, const PlanNode& node,
   if (node.kind != PlanKind::kScan) {
     return ExecStreamingNode(ctx, node, pipe_span);
   }
+  if (node.empty_scan) return MakeEmptyTable(node.schema);
   ++ctx->stats->operators_executed;
   obs::ScopedSpan span(ctx->options.tracer, "op.scan",
                        obs::span_kind::kOperator, pipe_span);

@@ -15,6 +15,11 @@ std::string PlanNode::ToString(int indent) const {
   std::string out = pad;
   switch (kind) {
     case PlanKind::kScan: {
+      if (empty_scan) {
+        out += StrCat("EmptyScan(", table_name.empty() ? "∅" : table_name,
+                      ")");
+        break;
+      }
       out += StrCat("Scan(", table_name);
       if (!scan_columns.empty()) {
         out += StrCat(", columns=[", StrJoin(scan_columns, ", "), "]");

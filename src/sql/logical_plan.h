@@ -55,6 +55,11 @@ struct PlanNode {
   std::vector<std::string> scan_columns;
   /// Predicates pushed into the scan (zone-map / partition pruning).
   std::vector<format::ColumnPredicate> scan_predicates;
+  /// The optimizer proved this subtree returns no rows
+  /// (prune_contradictions): executors emit an empty table with this
+  /// node's schema without touching the source. `table_name` may be
+  /// empty when the scan replaced a non-scan subtree.
+  bool empty_scan = false;
 
   // kFilter
   ExprPtr predicate;

@@ -3,6 +3,7 @@
 #include <functional>
 #include <set>
 
+#include "analysis/range_analysis.h"
 #include "columnar/datetime.h"
 #include "common/strings.h"
 #include "sql/expr_eval.h"
@@ -411,13 +412,124 @@ void FoldPlanConstants(const PlanPtr& node) {
   for (const auto& child : node->children) FoldPlanConstants(child);
 }
 
+// ----------------------------------------------- contradiction pruning
+
+PlanPtr MakeEmptyScan(const Schema& schema) {
+  PlanPtr scan = MakePlanNode(PlanKind::kScan);
+  scan->schema = schema;
+  scan->empty_scan = true;
+  return scan;
+}
+
+bool IsEmptyScan(const PlanPtr& node) {
+  return node->kind == PlanKind::kScan && node->empty_scan;
+}
+
+/// Replaces filter subtrees whose predicate the interval domain proves
+/// always false with an empty scan, then propagates emptiness upward
+/// wherever that is exact. Never through a global aggregate: COUNT(*)
+/// over no rows still emits one row.
+void PruneContradictions(PlanPtr& node) {
+  for (auto& child : node->children) PruneContradictions(child);
+  switch (node->kind) {
+    case PlanKind::kScan:
+      return;
+    case PlanKind::kFilter: {
+      if (IsEmptyScan(node->children[0])) {
+        node = MakeEmptyScan(node->schema);
+        return;
+      }
+      analysis::PredicateAnalysis a = analysis::AnalyzePredicate(
+          node->predicate, node->children[0]->schema);
+      if (a.contradiction) node = MakeEmptyScan(node->schema);
+      return;
+    }
+    case PlanKind::kProject:
+    case PlanKind::kSort:
+    case PlanKind::kLimit:
+    case PlanKind::kDistinct:
+      if (IsEmptyScan(node->children[0])) {
+        node = MakeEmptyScan(node->schema);
+      }
+      return;
+    case PlanKind::kJoin: {
+      bool left_empty = IsEmptyScan(node->children[0]);
+      bool right_empty = IsEmptyScan(node->children[1]);
+      // An inner join is empty when either side is; a LEFT join only
+      // when the probe (left) side is — an empty right side still
+      // null-extends every left row.
+      bool empty = node->join_type == JoinType::kInner
+                       ? (left_empty || right_empty)
+                       : left_empty;
+      if (!empty && node->join_type == JoinType::kInner &&
+          node->residual != nullptr) {
+        analysis::PredicateAnalysis a =
+            analysis::AnalyzePredicate(node->residual, node->schema);
+        empty = a.contradiction;
+      }
+      if (empty) node = MakeEmptyScan(node->schema);
+      return;
+    }
+    case PlanKind::kAggregate:
+      // Grouped aggregation of no rows yields no groups; global
+      // aggregation still yields its single row.
+      if (!node->group_by.empty() && IsEmptyScan(node->children[0])) {
+        node = MakeEmptyScan(node->schema);
+      }
+      return;
+    case PlanKind::kUnion: {
+      bool all_empty = true;
+      for (const auto& child : node->children) {
+        if (!IsEmptyScan(child)) all_empty = false;
+      }
+      if (all_empty) node = MakeEmptyScan(node->schema);
+      return;
+    }
+  }
+}
+
+// ------------------------------------------- cross-node output trimming
+
+/// Wraps the root in a pure-rename projection onto `required` (in root
+/// schema order) when that is a strict subset of the root schema. The
+/// later projection-pushdown stage then carries the narrowing all the
+/// way into the scans.
+void TrimOutputColumns(PlanPtr& plan,
+                       const std::vector<std::string>& required) {
+  std::set<std::string> wanted(required.begin(), required.end());
+  std::vector<std::string> kept;
+  for (const auto& f : plan->schema.fields()) {
+    if (wanted.count(f.name) > 0) kept.push_back(f.name);
+  }
+  // Row counts must survive trimming (a consumer may only COUNT(*)).
+  if (kept.empty() && plan->schema.num_fields() > 0) {
+    kept.push_back(plan->schema.field(0).name);
+  }
+  if (kept.size() == static_cast<size_t>(plan->schema.num_fields())) {
+    return;
+  }
+  PlanPtr project = MakePlanNode(PlanKind::kProject);
+  for (const auto& name : kept) {
+    project->expressions.push_back(MakeColumnRef("", name));
+    project->output_names.push_back(name);
+  }
+  project->schema = *plan->schema.Select(kept);
+  project->children = {plan};
+  plan = project;
+}
+
 }  // namespace
 
 Result<PlanPtr> OptimizePlan(PlanPtr plan, const OptimizerOptions& options) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
   if (options.fold_constants) FoldPlanConstants(plan);
+  if (options.prune_contradictions) PruneContradictions(plan);
   if (options.pushdown_filters) PushFiltersThroughJoins(plan);
   if (options.pushdown_predicates) PushdownPredicates(plan);
+  if (options.trim_output_columns &&
+      !options.required_output_columns.empty()) {
+    TrimOutputColumns(plan, options.required_output_columns);
+  }
   if (options.pushdown_projections) {
     std::set<std::string> needed;
     for (const auto& f : plan->schema.fields()) needed.insert(f.name);

@@ -1,6 +1,9 @@
 #ifndef BAUPLAN_SQL_OPTIMIZER_H_
 #define BAUPLAN_SQL_OPTIMIZER_H_
 
+#include <string>
+#include <vector>
+
 #include "common/result.h"
 #include "sql/logical_plan.h"
 
@@ -20,6 +23,23 @@ struct OptimizerOptions {
   bool pushdown_projections = true;
   /// Evaluates literal-only subexpressions at plan time.
   bool fold_constants = true;
+  /// Replaces subtrees whose filter predicate the interval-domain
+  /// analysis proves always false with an empty scan, and propagates
+  /// emptiness upward where exact (filters, projects, sorts, limits,
+  /// inner joins, grouped aggregates — never global aggregates, which
+  /// emit a row even on empty input). Exact, bit-identical rewrite.
+  bool prune_contradictions = true;
+  /// With a non-empty `required_output_columns`, trims the plan's root
+  /// output to those columns (cross-node projection trimming: lineage
+  /// says no consumer reads the rest). The set is intersected with the
+  /// root schema and at least one column survives, so row counts are
+  /// preserved; the kept columns are bit-identical to the untrimmed
+  /// plan's.
+  bool trim_output_columns = true;
+  /// Columns some consumer actually reads from this query's output
+  /// (computed from the cross-pipeline lineage graph); empty = keep
+  /// everything.
+  std::vector<std::string> required_output_columns;
 };
 
 /// Rewrites `plan` in place and returns it. This turns the logical plan

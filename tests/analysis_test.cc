@@ -11,6 +11,7 @@
 
 #include "analysis/analyzer.h"
 #include "cli/project_loader.h"
+#include "sql/parser.h"
 #include "common/clock.h"
 #include "common/strings.h"
 #include "core/bauplan.h"
@@ -314,6 +315,411 @@ TEST(AnalyzerTest, NonNumericChecksAllowNonNumericColumns) {
   EXPECT_TRUE(result.ok()) << result.diagnostics.ToText();
 }
 
+// ------------------------------------------- interval range analysis
+
+/// Folds the WHERE clause of `sql` (against the taxi schema) into the
+/// interval domain.
+analysis::PredicateAnalysis AnalyzeWhere(const std::string& sql) {
+  auto stmt = sql::ParseSelect(sql);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().message();
+  return analysis::AnalyzePredicate(stmt->where, TaxiSchema());
+}
+
+TEST(RangeAnalysisTest, FoldsBoundsPerColumn) {
+  auto analysis =
+      AnalyzeWhere("SELECT 1 FROM t WHERE fare > 2 AND fare <= 10");
+  EXPECT_FALSE(analysis.contradiction);
+  ASSERT_EQ(analysis.intervals.count("fare"), 1u);
+  const auto& interval = analysis.intervals.at("fare");
+  ASSERT_TRUE(interval.lower.has_value());
+  EXPECT_FALSE(interval.lower_inclusive);
+  ASSERT_TRUE(interval.upper.has_value());
+  EXPECT_TRUE(interval.upper_inclusive);
+  EXPECT_TRUE(interval.not_null);  // comparisons filter nulls (3VL)
+}
+
+TEST(RangeAnalysisTest, DisjointBoundsAreAContradiction) {
+  auto analysis =
+      AnalyzeWhere("SELECT 1 FROM t WHERE fare > 10 AND fare < 5");
+  EXPECT_TRUE(analysis.contradiction);
+  EXPECT_NE(analysis.contradiction_detail.find("fare"),
+            std::string::npos);
+}
+
+TEST(RangeAnalysisTest, EqualityWithExclusionIsAContradiction) {
+  auto analysis =
+      AnalyzeWhere("SELECT 1 FROM t WHERE fare = 5 AND fare <> 5");
+  EXPECT_TRUE(analysis.contradiction);
+}
+
+TEST(RangeAnalysisTest, BetweenFoldsIntoTheInterval) {
+  auto analysis = AnalyzeWhere(
+      "SELECT 1 FROM t WHERE fare BETWEEN 2 AND 4 AND fare > 10");
+  EXPECT_TRUE(analysis.contradiction);
+}
+
+TEST(RangeAnalysisTest, InListDisjointFromIntervalIsAContradiction) {
+  auto analysis = AnalyzeWhere(
+      "SELECT 1 FROM t WHERE passenger_count IN (1, 2, 3) "
+      "AND passenger_count > 5");
+  EXPECT_TRUE(analysis.contradiction);
+}
+
+TEST(RangeAnalysisTest, IsNullAgainstComparisonIsAContradiction) {
+  auto analysis = AnalyzeWhere(
+      "SELECT 1 FROM t WHERE passenger_count IS NULL "
+      "AND passenger_count > 2");
+  EXPECT_TRUE(analysis.contradiction);
+}
+
+TEST(RangeAnalysisTest, DuplicateAndSubsumedConjunctsAreRedundant) {
+  auto duplicate =
+      AnalyzeWhere("SELECT 1 FROM t WHERE fare > 5 AND fare > 5");
+  EXPECT_EQ(duplicate.redundant_conjuncts.size(), 1u);
+  auto subsumed =
+      AnalyzeWhere("SELECT 1 FROM t WHERE fare > 10 AND fare > 5");
+  ASSERT_EQ(subsumed.redundant_conjuncts.size(), 1u);
+  EXPECT_NE(subsumed.redundant_conjuncts[0].find("5"),
+            std::string::npos);
+}
+
+TEST(RangeAnalysisTest, IndependentConjunctsAreNotRedundant) {
+  auto analysis = AnalyzeWhere(
+      "SELECT 1 FROM t WHERE fare > 10 AND trip_distance > 3");
+  EXPECT_FALSE(analysis.contradiction);
+  EXPECT_TRUE(analysis.redundant_conjuncts.empty());
+  EXPECT_TRUE(analysis.tautologies.empty());
+}
+
+TEST(RangeAnalysisTest, OpaqueStructureClaimsNothing) {
+  // OR is outside the conjunctive domain: no facts, no findings.
+  auto analysis =
+      AnalyzeWhere("SELECT 1 FROM t WHERE fare > 10 OR fare < 5");
+  EXPECT_FALSE(analysis.contradiction);
+  EXPECT_TRUE(analysis.intervals.empty());
+  EXPECT_TRUE(analysis.tautologies.empty());
+}
+
+TEST(RangeAnalysisTest, CrossTypeComparisonIsLossy) {
+  auto lossy = AnalyzeWhere("SELECT 1 FROM t WHERE zone > 5");
+  EXPECT_EQ(lossy.lossy_comparisons.size(), 1u);
+  // Timestamp vs parseable timestamp string compares exactly.
+  auto exact = AnalyzeWhere(
+      "SELECT 1 FROM t WHERE pickup_at >= '2019-04-01'");
+  EXPECT_TRUE(exact.lossy_comparisons.empty());
+  EXPECT_FALSE(exact.contradiction);
+}
+
+// ---------------------------------------------- plan linter (BP4xxx)
+
+/// First diagnostic with `code`, or nullptr.
+const Diagnostic* FindCode(const AnalysisResult& result,
+                           const std::string& code) {
+  for (const auto& d : result.diagnostics.diagnostics()) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+TEST(AnalyzerTest, ContradictoryPredicateIsBP4001Warning) {
+  PipelineProject project("p");
+  ASSERT_TRUE(project
+                  .AddSqlNode("a",
+                              "SELECT fare FROM taxi_table "
+                              "WHERE fare > 10 AND fare < 5")
+                  .ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_TRUE(result.ok());  // lints are warnings, not errors
+  const Diagnostic* d =
+      FindCode(result, analysis::codes::kContradictoryPredicate);
+  ASSERT_NE(d, nullptr) << result.diagnostics.ToText();
+  EXPECT_EQ(d->severity, DiagnosticSeverity::kWarning);
+  EXPECT_EQ(d->node, "a");
+  EXPECT_NE(d->message.find("always false"), std::string::npos);
+}
+
+TEST(AnalyzerTest, SatisfiablePredicateIsNotBP4001) {
+  PipelineProject project("p");
+  ASSERT_TRUE(project
+                  .AddSqlNode("a",
+                              "SELECT fare FROM taxi_table "
+                              "WHERE fare > 5 AND fare < 10")
+                  .ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_TRUE(result.diagnostics.empty())
+      << result.diagnostics.ToText();
+}
+
+TEST(AnalyzerTest, TautologicalFilterIsBP4002) {
+  // trip_id is declared NOT NULL, so IS NOT NULL filters nothing.
+  PipelineProject project("p");
+  ASSERT_TRUE(project
+                  .AddSqlNode("a",
+                              "SELECT fare FROM taxi_table "
+                              "WHERE trip_id IS NOT NULL")
+                  .ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_TRUE(result.ok());
+  const Diagnostic* d =
+      FindCode(result, analysis::codes::kTautologicalFilter);
+  ASSERT_NE(d, nullptr) << result.diagnostics.ToText();
+  EXPECT_NE(d->message.find("trip_id"), std::string::npos);
+}
+
+TEST(AnalyzerTest, UsefulNullFilterIsNotBP4002) {
+  // passenger_count is nullable: IS NOT NULL does real work.
+  PipelineProject project("p");
+  ASSERT_TRUE(project
+                  .AddSqlNode("a",
+                              "SELECT fare FROM taxi_table "
+                              "WHERE passenger_count IS NOT NULL")
+                  .ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_TRUE(result.diagnostics.empty())
+      << result.diagnostics.ToText();
+}
+
+TEST(AnalyzerTest, CartesianJoinIsBP4003) {
+  PipelineProject project("p");
+  ASSERT_TRUE(project
+                  .AddSqlNode("a",
+                              "SELECT fare AS fa FROM taxi_table")
+                  .ok());
+  ASSERT_TRUE(project
+                  .AddSqlNode("b",
+                              "SELECT fare AS fb FROM taxi_table")
+                  .ok());
+  ASSERT_TRUE(project
+                  .AddSqlNode("c",
+                              "SELECT a.fa FROM a JOIN b ON a.fa > b.fb")
+                  .ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_FALSE(result.ok());
+  const Diagnostic* d =
+      FindCode(result, analysis::codes::kCartesianJoin);
+  ASSERT_NE(d, nullptr) << result.diagnostics.ToText();
+  EXPECT_EQ(d->node, "c");
+  EXPECT_NE(d->hint.find("equi-join"), std::string::npos);
+  // Re-coded, not duplicated: the generic planner bucket stays quiet.
+  EXPECT_EQ(FindCode(result, analysis::codes::kTypeMismatch), nullptr);
+}
+
+TEST(AnalyzerTest, EquiJoinIsNotBP4003) {
+  PipelineProject project("p");
+  ASSERT_TRUE(project
+                  .AddSqlNode("a",
+                              "SELECT fare AS fa FROM taxi_table")
+                  .ok());
+  ASSERT_TRUE(project
+                  .AddSqlNode("b",
+                              "SELECT fare AS fb FROM taxi_table")
+                  .ok());
+  ASSERT_TRUE(project
+                  .AddSqlNode("c",
+                              "SELECT a.fa FROM a JOIN b ON a.fa = b.fb")
+                  .ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_EQ(FindCode(result, analysis::codes::kCartesianJoin), nullptr)
+      << result.diagnostics.ToText();
+}
+
+TEST(AnalyzerTest, LimitWithoutOrderByIsBP4004) {
+  PipelineProject project("p");
+  ASSERT_TRUE(
+      project.AddSqlNode("a", "SELECT fare FROM taxi_table LIMIT 5")
+          .ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_TRUE(result.ok());
+  const Diagnostic* d =
+      FindCode(result, analysis::codes::kLimitWithoutOrder);
+  ASSERT_NE(d, nullptr) << result.diagnostics.ToText();
+  EXPECT_NE(d->message.find("LIMIT"), std::string::npos);
+}
+
+TEST(AnalyzerTest, OrderedLimitIsNotBP4004) {
+  PipelineProject project("p");
+  ASSERT_TRUE(project
+                  .AddSqlNode("a",
+                              "SELECT fare FROM taxi_table "
+                              "ORDER BY fare LIMIT 5")
+                  .ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_TRUE(result.diagnostics.empty())
+      << result.diagnostics.ToText();
+}
+
+TEST(AnalyzerTest, LossyCrossTypeComparisonIsBP4005) {
+  PipelineProject project("p");
+  ASSERT_TRUE(project
+                  .AddSqlNode("a",
+                              "SELECT fare FROM taxi_table "
+                              "WHERE zone > 5")
+                  .ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_TRUE(result.ok());
+  const Diagnostic* d =
+      FindCode(result, analysis::codes::kLossyComparison);
+  ASSERT_NE(d, nullptr) << result.diagnostics.ToText();
+  EXPECT_NE(d->hint.find("cast"), std::string::npos);
+}
+
+TEST(AnalyzerTest, TimestampStringComparisonIsNotBP4005) {
+  PipelineProject project("p");
+  ASSERT_TRUE(project
+                  .AddSqlNode("a",
+                              "SELECT fare FROM taxi_table "
+                              "WHERE pickup_at >= '2019-04-01'")
+                  .ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_TRUE(result.diagnostics.empty())
+      << result.diagnostics.ToText();
+}
+
+TEST(AnalyzerTest, SubsumedConjunctIsBP4006) {
+  PipelineProject project("p");
+  ASSERT_TRUE(project
+                  .AddSqlNode("a",
+                              "SELECT fare FROM taxi_table "
+                              "WHERE fare > 10 AND fare > 5")
+                  .ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_TRUE(result.ok());
+  ASSERT_NE(FindCode(result, analysis::codes::kRedundantConjunct),
+            nullptr)
+      << result.diagnostics.ToText();
+}
+
+TEST(AnalyzerTest, IndependentConjunctsAreNotBP4006) {
+  PipelineProject project("p");
+  ASSERT_TRUE(project
+                  .AddSqlNode("a",
+                              "SELECT fare FROM taxi_table "
+                              "WHERE fare > 10 AND trip_distance > 3")
+                  .ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_TRUE(result.diagnostics.empty())
+      << result.diagnostics.ToText();
+}
+
+TEST(AnalyzerTest, DeadColumnIsBP4007) {
+  PipelineProject project("p");
+  ASSERT_TRUE(
+      project.AddSqlNode("a", "SELECT fare, zone FROM taxi_table").ok());
+  ASSERT_TRUE(project.AddSqlNode("b", "SELECT fare FROM a").ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_TRUE(result.ok());
+  const Diagnostic* d = FindCode(result, analysis::codes::kDeadColumn);
+  ASSERT_NE(d, nullptr) << result.diagnostics.ToText();
+  EXPECT_EQ(d->node, "a");
+  EXPECT_NE(d->message.find("zone"), std::string::npos);
+  EXPECT_NE(d->hint.find("--trim"), std::string::npos);
+}
+
+TEST(AnalyzerTest, ExpectationKeepsColumnAliveForBP4007) {
+  PipelineProject project("p");
+  ASSERT_TRUE(
+      project.AddSqlNode("a", "SELECT fare, zone FROM taxi_table").ok());
+  ASSERT_TRUE(
+      project.AddExpectationNode("a_expectation", "unique(zone)").ok());
+  ASSERT_TRUE(project.AddSqlNode("b", "SELECT fare FROM a").ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_EQ(FindCode(result, analysis::codes::kDeadColumn), nullptr)
+      << result.diagnostics.ToText();
+}
+
+TEST(AnalyzerTest, TerminalNodeColumnsAreNeverBP4007) {
+  PipelineProject project("p");
+  ASSERT_TRUE(
+      project.AddSqlNode("a", "SELECT fare, zone FROM taxi_table").ok());
+  AnalysisResult result = AnalyzeWithTaxi(project);
+  EXPECT_TRUE(result.diagnostics.empty())
+      << result.diagnostics.ToText();
+}
+
+// ------------------------------------------------------------ lineage
+
+TEST(LineageTest, TracksReadsConsumersAndTerminals) {
+  PipelineProject project("p");
+  ASSERT_TRUE(
+      project.AddSqlNode("a", "SELECT fare, zone FROM taxi_table").ok());
+  ASSERT_TRUE(
+      project.AddExpectationNode("a_expectation", "unique(zone)").ok());
+  ASSERT_TRUE(project.AddSqlNode("b", "SELECT fare FROM a").ok());
+  MapResolver resolver({{"taxi_table", TaxiSchema()}});
+  analysis::LineageGraph graph =
+      analysis::BuildLineage(project, resolver);
+  ASSERT_EQ(graph.nodes().size(), 2u);
+
+  const analysis::LineageNode& a = graph.nodes().at("a");
+  EXPECT_FALSE(a.terminal);
+  ASSERT_EQ(a.reads.count("taxi_table"), 1u);
+  EXPECT_EQ(a.reads.at("taxi_table"),
+            (std::vector<std::string>{"fare", "zone"}));
+  ASSERT_EQ(a.consumers.count("fare"), 1u);
+  ASSERT_EQ(a.consumers.at("fare").size(), 1u);
+  EXPECT_EQ(a.consumers.at("fare")[0].kind,
+            analysis::ColumnConsumer::Kind::kNode);
+  EXPECT_EQ(a.consumers.at("fare")[0].name, "b");
+  ASSERT_EQ(a.consumers.at("zone").size(), 1u);
+  EXPECT_EQ(a.consumers.at("zone")[0].kind,
+            analysis::ColumnConsumer::Kind::kExpectation);
+  EXPECT_EQ(a.consumers.at("zone")[0].name, "a_expectation");
+  EXPECT_TRUE(graph.DeadColumns("a").empty());
+
+  const analysis::LineageNode& b = graph.nodes().at("b");
+  EXPECT_TRUE(b.terminal);
+  ASSERT_EQ(b.consumers.at("fare").size(), 1u);
+  EXPECT_EQ(b.consumers.at("fare")[0].kind,
+            analysis::ColumnConsumer::Kind::kTerminal);
+  EXPECT_TRUE(graph.DeadColumns("b").empty());
+}
+
+TEST(LineageTest, DeadAndRequiredColumns) {
+  PipelineProject project("p");
+  ASSERT_TRUE(
+      project.AddSqlNode("a", "SELECT fare, zone FROM taxi_table").ok());
+  ASSERT_TRUE(project.AddSqlNode("b", "SELECT fare FROM a").ok());
+  MapResolver resolver({{"taxi_table", TaxiSchema()}});
+  analysis::LineageGraph graph =
+      analysis::BuildLineage(project, resolver);
+  EXPECT_EQ(graph.DeadColumns("a"),
+            (std::vector<std::string>{"zone"}));
+  auto required = graph.RequiredOutputColumns();
+  ASSERT_EQ(required.size(), 1u);
+  EXPECT_EQ(required.at("a"), (std::vector<std::string>{"fare"}));
+}
+
+TEST(LineageTest, RendersTextAndJson) {
+  PipelineProject project("p");
+  ASSERT_TRUE(
+      project.AddSqlNode("a", "SELECT fare, zone FROM taxi_table").ok());
+  ASSERT_TRUE(project.AddSqlNode("b", "SELECT fare FROM a").ok());
+  MapResolver resolver({{"taxi_table", TaxiSchema()}});
+  analysis::LineageGraph graph =
+      analysis::BuildLineage(project, resolver);
+  std::string text = graph.ToText();
+  EXPECT_NE(text.find("lineage: 2 node(s)"), std::string::npos);
+  EXPECT_NE(text.find("reads taxi_table: fare, zone"),
+            std::string::npos);
+  EXPECT_NE(text.find("column zone -> (dead)"), std::string::npos);
+  EXPECT_NE(text.find("node b (terminal)"), std::string::npos);
+  std::string json = graph.ToJson();
+  EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"terminal\":true"), std::string::npos);
+  EXPECT_NE(json.find("{\"kind\":\"node\",\"name\":\"b\"}"),
+            std::string::npos);
+  // Deterministic: rendering twice is byte-identical.
+  EXPECT_EQ(json, graph.ToJson());
+}
+
+TEST(AnalyzerTest, AnalysisResultCarriesLineage) {
+  AnalysisResult result =
+      AnalyzeWithTaxi(pipeline::MakePaperTaxiPipeline());
+  ASSERT_EQ(result.lineage.nodes().size(), 2u);
+  EXPECT_FALSE(result.lineage.nodes().at("trips").terminal);
+  EXPECT_TRUE(result.lineage.nodes().at("pickups").terminal);
+}
+
 // ------------------------------------------------ diagnostic rendering
 
 TEST(DiagnosticTest, GoldenTextRendering) {
@@ -337,6 +743,42 @@ TEST(DiagnosticTest, GoldenJsonRendering) {
             "{\"code\":\"BP1002\",\"severity\":\"error\",\"node\":\"\","
             "\"location\":\"\",\"message\":\"cycle \\\"a\\\"\","
             "\"hint\":\"\"}]}");
+}
+
+TEST(DiagnosticTest, JsonIsSortedByNodeLocationCodeMessage) {
+  // Reported out of order on purpose: JSON renders sorted, text keeps
+  // the pass emission order.
+  DiagnosticEngine engine;
+  Diagnostic& late = engine.Warning("BP4007", "b", "dead column");
+  late.location = "b.sql";
+  Diagnostic& early = engine.Error("BP1001", "a", "unknown table");
+  early.location = "a.sql";
+  EXPECT_EQ(engine.ToJson(),
+            "{\"version\":1,\"errors\":1,\"warnings\":1,\"diagnostics\":["
+            "{\"code\":\"BP1001\",\"severity\":\"error\",\"node\":\"a\","
+            "\"location\":\"a.sql\",\"message\":\"unknown table\","
+            "\"hint\":\"\"},"
+            "{\"code\":\"BP4007\",\"severity\":\"warning\",\"node\":\"b\","
+            "\"location\":\"b.sql\",\"message\":\"dead column\","
+            "\"hint\":\"\"}]}");
+  EXPECT_EQ(engine.ToText(),
+            "warning[BP4007] b (b.sql): dead column\n"
+            "error[BP1001] a (a.sql): unknown table\n"
+            "check: 1 error(s), 1 warning(s)\n");
+}
+
+TEST(DiagnosticTest, PromoteWarningsToErrors) {
+  DiagnosticEngine engine;
+  engine.Warning("BP4004", "a", "limit without order by");
+  engine.Warning("BP4007", "b", "dead column");
+  engine.Error("BP1001", "c", "unknown table");
+  EXPECT_FALSE(engine.has_errors() && engine.warning_count() == 0);
+  engine.PromoteWarningsToErrors();
+  EXPECT_EQ(engine.error_count(), 3u);
+  EXPECT_EQ(engine.warning_count(), 0u);
+  for (const auto& d : engine.diagnostics()) {
+    EXPECT_EQ(d.severity, DiagnosticSeverity::kError);
+  }
 }
 
 TEST(DiagnosticTest, CleanEngineRendersClean) {
@@ -382,8 +824,13 @@ TEST(AnalyzerTest, EmitsSpansAndCounters) {
   ASSERT_NE(trace.root(), nullptr);
   EXPECT_EQ(trace.root()->kind, observability::span_kind::kAnalysis);
   auto passes = trace.ChildrenOf(trace.root_id);
-  ASSERT_EQ(passes.size(), 3u);
+  ASSERT_EQ(passes.size(), 4u);  // structural, schema, expectation, lint
   EXPECT_EQ(passes[0]->kind, observability::span_kind::kPass);
+  bool has_lint_pass = false;
+  for (const auto* pass : passes) {
+    if (pass->name == "lint") has_lint_pass = true;
+  }
+  EXPECT_TRUE(has_lint_pass);
 
   auto snapshot = metrics.Snapshot();
   EXPECT_EQ(snapshot.Get("analysis.runs"), 1.0);

@@ -188,6 +188,22 @@ TEST(StringsTest, StrCatMixesTypes) {
   EXPECT_EQ(StrCat("rows=", 42, " frac=", 0.5), "rows=42 frac=0.5");
 }
 
+TEST(StringsTest, EscapeJsonEscapesQuotesAndBackslashes) {
+  EXPECT_EQ(EscapeJson("plain"), "plain");
+  EXPECT_EQ(EscapeJson("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeJson("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeJson("\\\""), "\\\\\\\"");
+}
+
+TEST(StringsTest, EscapeJsonEscapesControlCharacters) {
+  EXPECT_EQ(EscapeJson("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(EscapeJson("tab\there"), "tab\\there");
+  EXPECT_EQ(EscapeJson("cr\rlf"), "cr\\rlf");
+  EXPECT_EQ(EscapeJson(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(EscapeJson(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(EscapeJson(std::string("a\0b", 3)), "a\\u0000b");
+}
+
 TEST(StringsTest, FormatBytes) {
   EXPECT_EQ(FormatBytes(512), "512 B");
   EXPECT_EQ(FormatBytes(1536), "1.5 KiB");

@@ -235,6 +235,50 @@ TEST_F(BauplanTest, FusedAndNaiveProduceIdenticalArtifacts) {
   }
 }
 
+TEST_F(BauplanTest, RunWithTrimDropsDeadColumnsFromIntermediates) {
+  // `wide` produces four columns but `narrow` (its only consumer)
+  // reads two: with trim_unused_columns the lineage graph narrows the
+  // materialized intermediate, and the terminal artifact is untouched.
+  pipeline::PipelineProject project("trim_demo");
+  ASSERT_TRUE(project
+                  .AddSqlNode("wide",
+                              "SELECT trip_id, fare, zone, trip_distance "
+                              "FROM taxi_table")
+                  .ok());
+  ASSERT_TRUE(project
+                  .AddSqlNode("narrow",
+                              "SELECT trip_id, fare FROM wide "
+                              "ORDER BY trip_id")
+                  .ok());
+  ASSERT_TRUE(platform_->CreateBranch("plain", "main").ok());
+  ASSERT_TRUE(platform_->CreateBranch("trim", "main").ok());
+
+  auto plain = platform_->Run(project, "plain");
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_EQ(plain->artifacts.at("wide").num_columns(), 4);
+
+  PipelineRunOptions options;
+  options.trim_unused_columns = true;
+  auto trimmed = platform_->Run(project, "trim", options);
+  ASSERT_TRUE(trimmed.ok()) << trimmed.status().ToString();
+  const Table& wide = trimmed->artifacts.at("wide");
+  EXPECT_EQ(wide.num_columns(), 2);
+  EXPECT_TRUE(wide.schema().HasField("trip_id"));
+  EXPECT_TRUE(wide.schema().HasField("fare"));
+  EXPECT_EQ(wide.num_rows(), plain->artifacts.at("wide").num_rows());
+
+  // The pipeline's product is identical either way.
+  const Table& a = plain->artifacts.at("narrow");
+  const Table& b = trimmed->artifacts.at("narrow");
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_columns(), b.num_columns());
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    for (int c = 0; c < a.num_columns(); ++c) {
+      ASSERT_EQ(a.GetValue(r, c), b.GetValue(r, c));
+    }
+  }
+}
+
 TEST_F(BauplanTest, FailedExpectationRollsBackEverything) {
   // Impossible threshold: mean(count) > 1000.
   auto report = platform_->Run(pipeline::MakePaperTaxiPipeline(1000.0),

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/strings.h"
 #include "observability/metrics.h"
 #include "observability/trace.h"
 
@@ -140,8 +141,8 @@ TEST(TraceJsonTest, GoldenRendering) {
 }
 
 TEST(TraceJsonTest, EscapesSpecialCharacters) {
-  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(EscapeJson("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(EscapeJson(std::string(1, '\x01')), "\\u0001");
 }
 
 // ----------------------------------------------------------------- metrics

@@ -835,7 +835,9 @@ class PushdownEquivalence : public SqlTest,
 TEST_P(PushdownEquivalence, SameResultWithAndWithoutOptimizer) {
   std::string sql = GetParam();
   QueryOptions off;
-  off.optimizer = {false, false, false};
+  off.optimizer.pushdown_predicates = false;
+  off.optimizer.pushdown_filters = false;
+  off.optimizer.pushdown_projections = false;
   auto with = RunQuery(sql, provider_, &provider_, {});
   auto without = RunQuery(sql, provider_, &provider_, off);
   ASSERT_TRUE(with.ok()) << with.status().ToString();

@@ -195,6 +195,123 @@ TEST_F(StreamingTest, StreamingMaterializedScalarBitIdentical) {
   }
 }
 
+// --------------------------------------------- optimizer ablation matrix
+
+// Every optimizer rewrite must be exact: toggling any one of them (or
+// all of them) off must reproduce the scalar no-rewrites oracle byte
+// for byte, on every engine. The contradiction shape exercises
+// prune_contradictions' empty-scan replacement; the redundant-conjunct
+// shape exercises the interval fold behind it.
+TEST_F(StreamingTest, OptimizerAblationMatrixIsBitIdentical) {
+  const char* kQueries[] = {
+      "SELECT id, qty * 2 + 1 AS q2, tag FROM facts WHERE qty > 4",
+      "SELECT f.id, f.tag, d.dname FROM facts f "
+      "JOIN dims d ON f.key = d.dkey AND f.qty >= 4 "
+      "ORDER BY f.id, d.dname",
+      // Provably empty: the pruned plan scans nothing, the unpruned
+      // plan filters everything away — same (empty) bytes.
+      "SELECT id, qty, tag FROM facts WHERE qty > 4 AND qty < 2",
+      "SELECT id, tag FROM facts WHERE qty >= 4 AND qty >= 2 "
+      "ORDER BY id",
+      "SELECT key, COUNT(*) AS n, SUM(qty) AS sq FROM facts "
+      "WHERE qty > 2 AND qty > 1 GROUP BY key",
+  };
+  struct Variant {
+    const char* name;
+    void (*apply)(sql::OptimizerOptions*);
+  };
+  const Variant kVariants[] = {
+      {"defaults", [](sql::OptimizerOptions*) {}},
+      {"no_pushdown_predicates",
+       [](sql::OptimizerOptions* o) { o->pushdown_predicates = false; }},
+      {"no_pushdown_filters",
+       [](sql::OptimizerOptions* o) { o->pushdown_filters = false; }},
+      {"no_pushdown_projections",
+       [](sql::OptimizerOptions* o) { o->pushdown_projections = false; }},
+      {"no_fold_constants",
+       [](sql::OptimizerOptions* o) { o->fold_constants = false; }},
+      {"no_prune_contradictions",
+       [](sql::OptimizerOptions* o) { o->prune_contradictions = false; }},
+      {"no_trim_output_columns",
+       [](sql::OptimizerOptions* o) { o->trim_output_columns = false; }},
+      {"all_off",
+       [](sql::OptimizerOptions* o) {
+         o->pushdown_predicates = false;
+         o->pushdown_filters = false;
+         o->pushdown_projections = false;
+         o->fold_constants = false;
+         o->prune_contradictions = false;
+         o->trim_output_columns = false;
+       }},
+  };
+  const ExecOptions::Engine kEngines[] = {
+      ExecOptions::Engine::kScalar, ExecOptions::Engine::kVectorized,
+      ExecOptions::Engine::kStreaming};
+  for (const char* sql : kQueries) {
+    // Oracle: the scalar engine over the pristine (rewrite-free) plan.
+    QueryOptions oracle_options;
+    oracle_options.exec.engine = ExecOptions::Engine::kScalar;
+    kVariants[7].apply(&oracle_options.optimizer);
+    auto oracle = sql::RunQuery(sql, provider_, &provider_,
+                                oracle_options);
+    ASSERT_TRUE(oracle.ok()) << sql << ": "
+                             << oracle.status().ToString();
+    for (const auto& variant : kVariants) {
+      for (ExecOptions::Engine engine : kEngines) {
+        QueryOptions options;
+        options.exec.engine = engine;
+        variant.apply(&options.optimizer);
+        auto result =
+            sql::RunQuery(sql, provider_, &provider_, options);
+        ASSERT_TRUE(result.ok())
+            << sql << " [" << variant.name << "]: "
+            << result.status().ToString();
+        ExpectBitIdentical(oracle->table, result->table,
+                           StrCat(sql, " [", variant.name, "]"));
+      }
+    }
+  }
+}
+
+// Cross-node projection trimming: with required_output_columns set, the
+// result is exactly the untrimmed result's column subset, on every
+// engine — and the contradiction query stays empty but keeps the
+// trimmed schema.
+TEST_F(StreamingTest, RequiredOutputColumnsTrimExactly) {
+  const char* sql =
+      "SELECT id, qty, amount, tag FROM facts WHERE qty > 4 "
+      "ORDER BY id";
+  QueryOptions full_options;
+  full_options.exec.engine = ExecOptions::Engine::kScalar;
+  auto full = sql::RunQuery(sql, provider_, &provider_, full_options);
+  ASSERT_TRUE(full.ok());
+  auto expected = full->table.SelectColumns({"id", "tag"});
+  ASSERT_TRUE(expected.ok());
+  for (ExecOptions::Engine engine :
+       {ExecOptions::Engine::kScalar, ExecOptions::Engine::kVectorized,
+        ExecOptions::Engine::kStreaming}) {
+    QueryOptions options;
+    options.exec.engine = engine;
+    // Lineage order differs from schema order on purpose: the trim
+    // keeps schema order.
+    options.optimizer.required_output_columns = {"tag", "id"};
+    auto trimmed = sql::RunQuery(sql, provider_, &provider_, options);
+    ASSERT_TRUE(trimmed.ok()) << trimmed.status().ToString();
+    ExpectBitIdentical(*expected, trimmed->table, "trimmed subset");
+  }
+  // Requesting columns outside the schema trims to the intersection;
+  // an all-unknown set keeps the first column rather than none.
+  QueryOptions odd;
+  odd.exec.engine = ExecOptions::Engine::kStreaming;
+  odd.optimizer.required_output_columns = {"nope", "qty"};
+  auto partial = sql::RunQuery(sql, provider_, &provider_, odd);
+  ASSERT_TRUE(partial.ok());
+  auto expected_qty = full->table.SelectColumns({"qty"});
+  ASSERT_TRUE(expected_qty.ok());
+  ExpectBitIdentical(*expected_qty, partial->table,
+                     "unknown names drop out");
+}
+
 // ------------------------------------------------- peak-memory guarantee
 
 // A filter -> project -> aggregate chain over 1M rows must stream: the
