@@ -26,6 +26,18 @@
 //     must cut the wide workload's materialized bytes by more than
 //     half without changing its row count
 //
+//   - (full runs) every per-workload speedup over the scalar baseline
+//     must be >= 1.0 unless the (workload, mode) pair is explicitly
+//     allowlisted with a reason — a regression cannot hide in the JSON
+//   - `--threads-sweep 1,2,4,8` reruns the breaker workloads on the
+//     streaming engine with an external pool per thread count (external
+//     pools are never clamped to the core count, so the partitioned
+//     breakers engage even on a 1-core runner), emits one JSON row per
+//     (workload, threads), and fails on any bit-identity or engagement
+//     (exec.breaker.*) violation; the 8-vs-1-thread >= 2x timing gate
+//     applies only when the host actually has 8 hardware threads and is
+//     recorded as skipped otherwise
+//
 // `--smoke` runs a small dataset once (wired into ctest so tier-1
 // exercises the bench cheaply); the full run writes BENCH_query.json.
 
@@ -35,10 +47,12 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "columnar/builder.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "format/writer.h"
 #include "sql/engine.h"
 #include "workload/taxi_gen.h"
@@ -107,16 +121,23 @@ struct ModeTiming {
   int64_t peak_bytes = 0;  // largest intermediate the engine held
   int64_t spill_partitions = 0;
   int64_t spill_bytes_written = 0;
+  int64_t breaker_partitions = 0;  // parallel join-build/agg partitions
+  int64_t sort_runs = 0;           // parallel sort runs
   std::vector<uint8_t> bytes;  // serialized result (determinism checks)
 };
 
 /// Runs one workload in one engine mode, best-of-`iters` wall time.
 /// `memory_budget` > 0 caps operator working sets (spilling engaged).
+/// `pool` (optional, with `morsel_rows`) drives execution through an
+/// external worker pool — the threads-sweep path, where the thread count
+/// must not be clamped to the host's core count.
 Result<ModeTiming> RunMode(MemoryTableProvider& provider, const char* sql,
                            ExecOptions::Engine engine, int threads,
                            int iters, int64_t memory_budget = 0,
                            const std::vector<std::string>&
-                               required_output_columns = {}) {
+                               required_output_columns = {},
+                           bauplan::ThreadPool* pool = nullptr,
+                           int64_t morsel_rows = 0) {
   ModeTiming timing;
   timing.seconds = 1e100;
   for (int i = 0; i < iters; ++i) {
@@ -124,6 +145,8 @@ Result<ModeTiming> RunMode(MemoryTableProvider& provider, const char* sql,
     options.exec.engine = engine;
     options.exec.threads = threads;
     options.exec.memory_budget_bytes = memory_budget;
+    options.exec.pool = pool;
+    if (morsel_rows > 0) options.exec.morsel_rows = morsel_rows;
     options.optimizer.required_output_columns = required_output_columns;
     if (engine == ExecOptions::Engine::kScalar) {
       // The scalar mode reproduces the seed engine end-to-end:
@@ -143,6 +166,8 @@ Result<ModeTiming> RunMode(MemoryTableProvider& provider, const char* sql,
     timing.peak_bytes = result.stats.peak_bytes;
     timing.spill_partitions = result.stats.spill_partitions;
     timing.spill_bytes_written = result.stats.spill_bytes_written;
+    timing.breaker_partitions = result.stats.breaker_partitions;
+    timing.sort_runs = result.stats.sort_runs;
     if (i == 0) {
       BAUPLAN_ASSIGN_OR_RETURN(bauplan::Bytes image,
                                bauplan::format::WriteBpfFile(result.table));
@@ -166,12 +191,44 @@ Result<Table> MakeZonesTable(int64_t num_locations) {
       {ids.Finish(), names.Finish()});
 }
 
+/// Build side for the threads-sweep join: large enough (>= 4096 rows)
+/// that the partitioned hash build engages, keyed to match trip_id.
+Result<Table> MakeDetailsTable(int64_t num_rows) {
+  bauplan::columnar::Int64Builder keys;
+  bauplan::columnar::StringBuilder payloads;
+  for (int64_t i = 0; i < num_rows; ++i) {
+    keys.Append(i);
+    payloads.Append(bauplan::StrCat("detail_", i % 1000));
+  }
+  return Table::Make(
+      bauplan::columnar::Schema(
+          {{"key", bauplan::columnar::TypeId::kInt64, false},
+           {"payload", bauplan::columnar::TypeId::kString, false}}),
+      {keys.Finish(), payloads.Finish()});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::vector<int> sweep_threads;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    std::string arg = argv[i];
+    std::string list;
+    if (arg.rfind("--threads-sweep=", 0) == 0) {
+      list = arg.substr(std::strlen("--threads-sweep="));
+    } else if (arg == "--threads-sweep" && i + 1 < argc) {
+      list = argv[++i];
+    }
+    if (!list.empty()) {
+      std::stringstream ss(list);
+      std::string tok;
+      while (std::getline(ss, tok, ',')) {
+        int t = std::atoi(tok.c_str());
+        if (t >= 1) sweep_threads.push_back(t);
+      }
+    }
   }
   const int64_t rows = smoke ? 20000 : 1000000;
   const int iters = smoke ? 1 : 3;
@@ -193,9 +250,13 @@ int main(int argc, char** argv) {
   }
   auto zones = MakeZonesTable(gen.num_locations);
   if (!zones.ok()) return 1;
+  auto details =
+      MakeDetailsTable(std::min<int64_t>(rows / 2, 100000));
+  if (!details.ok()) return 1;
   MemoryTableProvider provider;
   provider.AddTable("taxi", *taxi);
   provider.AddTable("zones", *zones);
+  provider.AddTable("details", *details);
 
   std::printf("%10s | %10s %10s %11s %11s | %8s %8s | %s\n", "workload",
               "scalar", "vector", "parallel(8)", "streaming", "par_x",
@@ -262,8 +323,65 @@ int main(int argc, char** argv) {
                    static_cast<long long>(parallel->peak_bytes));
       ok = false;
     }
+    double vec_x = scalar->seconds / vectorized->seconds;
     double par_x = scalar->seconds / parallel->seconds;
     double str_x = scalar->seconds / streaming->seconds;
+    // Regression gate (full runs only; smoke timings are noise): every
+    // speedup over the scalar baseline must clear 1.0, or the
+    // (workload, mode) pair must be allowlisted here with a reason.
+    // The parallel mode is gated only when the host has spare cores:
+    // with hw_threads == 1 the owned pool clamps to one thread and
+    // "parallel" is the vectorized run plus scheduling noise.
+    struct AllowedRegression {
+      const char* workload;
+      const char* mode;
+      const char* reason;
+    };
+    constexpr AllowedRegression kAllowedRegressions[] = {
+        {"filter", "vectorized",
+         "a bare 3-conjunct filter materializes one boolean array per "
+         "conjunct while the scalar engine fuses the whole predicate "
+         "into its row loop; at 1M rows the extra passes offset the "
+         "typed-kernel win (~0.93x). Predicate-column pruning recovered "
+         "most of the former 0.91x gap; the streaming engine (the "
+         "default) clears 1.0 on this workload."}};
+    if (!smoke) {
+      const int hw =
+          static_cast<int>(std::thread::hardware_concurrency());
+      const struct {
+        const char* mode;
+        double speedup;
+        bool gated;
+      } kGated[] = {{"vectorized", vec_x, true},
+                    {"parallel", par_x, hw > 1},
+                    {"streaming", str_x, true}};
+      for (const auto& g : kGated) {
+        if (g.speedup >= 1.0) continue;
+        if (!g.gated) {
+          std::printf("  (gate skipped: %s/%s %.2fx — hw_threads=%d "
+                      "leaves no room for parallel speedup)\n",
+                      w.name, g.mode, g.speedup, hw);
+          continue;
+        }
+        bool allowed = false;
+        for (const AllowedRegression& a : kAllowedRegressions) {
+          if (a.workload != nullptr &&
+              std::strcmp(a.workload, w.name) == 0 &&
+              std::strcmp(a.mode, g.mode) == 0) {
+            std::printf("  (allowlisted regression: %s/%s — %s)\n",
+                        w.name, g.mode, a.reason);
+            allowed = true;
+          }
+        }
+        if (!allowed) {
+          std::fprintf(stderr,
+                       "FAIL: %s %s speedup %.2fx < 1.0 over scalar "
+                       "(not allowlisted)\n",
+                       w.name, g.mode, g.speedup);
+          ok = false;
+        }
+      }
+    }
     double scalar_rps = static_cast<double>(rows) / scalar->seconds;
     double parallel_rps = static_cast<double>(rows) / parallel->seconds;
     std::printf(
@@ -422,6 +540,111 @@ int main(int argc, char** argv) {
     json_rows.push_back(j.str());
   }
 
+  // Threads sweep: the breaker workloads on the streaming engine, one
+  // run per requested thread count, through an external pool so the
+  // partitioned breakers engage regardless of the host's core count.
+  // Morsels are fixed at 4096 rows so the run/partial decomposition is
+  // identical across thread counts (and fine-grained enough that the
+  // aggregate merge crosses its 1024-group partitioning floor even in
+  // smoke mode). Hard failures: any thread count's bytes diverging from
+  // the 1-thread run, or a multi-thread run whose exec.breaker.*
+  // engagement counters stay at the serial values. The 8-vs-1 >= 2x
+  // timing gate needs real cores; it records itself as skipped when the
+  // host has fewer than 8 hardware threads.
+  const int hw_threads =
+      static_cast<int>(std::thread::hardware_concurrency());
+  std::string sweep_gate = "not_run";
+  if (!sweep_threads.empty()) {
+    struct SweepWorkload {
+      const char* name;
+      const char* sql;
+      bool expect_partitions;  // join build / aggregate merge partitions
+      bool expect_runs;        // parallel sort runs
+    };
+    const SweepWorkload kSweep[] = {
+        {"join",
+         "SELECT t.trip_id, d.payload FROM taxi t "
+         "JOIN details d ON t.trip_id = d.key",
+         true, false},
+        {"aggregate", kWorkloads[1].sql, true, false},
+        {"sort", "SELECT trip_id, fare FROM taxi ORDER BY fare DESC, "
+                 "trip_id",
+         false, true},
+    };
+    const int64_t kSweepMorselRows = 4096;
+    std::printf("\n--- streaming threads sweep (hw_threads=%d) ---\n",
+                hw_threads);
+    sweep_gate = hw_threads >= 8
+                     ? "passed"
+                     : bauplan::StrCat("skipped (hw_threads=", hw_threads,
+                                       " < 8)");
+    for (const SweepWorkload& w : kSweep) {
+      double t1_seconds = 0;
+      std::vector<uint8_t> t1_bytes;
+      for (int threads : sweep_threads) {
+        bauplan::ThreadPool pool(threads > 1 ? threads - 1 : 0);
+        auto r = RunMode(provider, w.sql, ExecOptions::Engine::kStreaming,
+                         threads, iters, /*memory_budget=*/0, {},
+                         threads > 1 ? &pool : nullptr, kSweepMorselRows);
+        if (!r.ok()) {
+          std::fprintf(stderr, "%s sweep threads=%d failed: %s\n", w.name,
+                       threads, r.status().ToString().c_str());
+          return 1;
+        }
+        if (threads == 1) {
+          t1_seconds = r->seconds;
+          t1_bytes = r->bytes;
+        }
+        bool identical = t1_bytes.empty() || r->bytes == t1_bytes;
+        if (!identical) {
+          std::fprintf(stderr,
+                       "FAIL: %s sweep threads=%d not bit-identical to "
+                       "1-thread\n",
+                       w.name, threads);
+          ok = false;
+        }
+        bool engaged = (!w.expect_partitions || r->breaker_partitions > 1) &&
+                       (!w.expect_runs || r->sort_runs > 1);
+        if (threads > 1 && !engaged) {
+          std::fprintf(stderr,
+                       "FAIL: %s sweep threads=%d did not engage the "
+                       "parallel breaker (partitions=%lld runs=%lld)\n",
+                       w.name, threads,
+                       static_cast<long long>(r->breaker_partitions),
+                       static_cast<long long>(r->sort_runs));
+          ok = false;
+        }
+        double speedup = t1_seconds > 0 ? t1_seconds / r->seconds : 1.0;
+        if (!smoke && hw_threads >= 8 && threads == 8 &&
+            w.expect_partitions && speedup < 2.0) {
+          std::fprintf(stderr,
+                       "FAIL: %s sweep 8-thread speedup %.2fx < 2.0x over "
+                       "1-thread streaming\n",
+                       w.name, speedup);
+          sweep_gate = "failed";
+          ok = false;
+        }
+        std::printf("%10s | threads=%d %9.1fms (%.2fx vs 1t) | "
+                    "partitions=%lld runs=%lld | %s\n",
+                    w.name, threads, r->seconds * 1e3, speedup,
+                    static_cast<long long>(r->breaker_partitions),
+                    static_cast<long long>(r->sort_runs),
+                    identical ? "bit-identical" : "DIVERGED");
+        std::ostringstream j;
+        j << "{\"workload\": \"" << w.name << "_sweep\", \"threads\": "
+          << threads << ", \"rows_in\": " << rows
+          << ", \"rows_out\": " << r->rows
+          << ", \"seconds\": " << r->seconds
+          << ", \"speedup_vs_1thread\": " << speedup
+          << ", \"breaker_partitions\": " << r->breaker_partitions
+          << ", \"sort_runs\": " << r->sort_runs
+          << ", \"bit_identical\": " << (identical ? "true" : "false")
+          << "}";
+        json_rows.push_back(j.str());
+      }
+    }
+  }
+
   if (!ok) return 1;
 
   std::printf("\nvectorized: typed kernels replace boxed per-row Values; "
@@ -436,8 +659,10 @@ int main(int argc, char** argv) {
   if (json_out) {
     json_out << "{\n  \"bench\": \"query_engine\",\n  \"rows\": " << rows
              << ",\n  \"threads\": " << parallel_threads
+             << ",\n  \"hw_threads\": " << hw_threads
              << ",\n  \"smoke\": " << (smoke ? "true" : "false")
-             << ",\n  \"workloads\": [\n";
+             << ",\n  \"sweep_timing_gate\": \"" << sweep_gate
+             << "\",\n  \"workloads\": [\n";
     for (size_t i = 0; i < json_rows.size(); ++i) {
       json_out << "    " << json_rows[i]
                << (i + 1 < json_rows.size() ? ",\n" : "\n");

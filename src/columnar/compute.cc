@@ -852,6 +852,77 @@ bool RowsEqual(const std::vector<ArrayPtr>& left, int64_t left_row,
   return true;
 }
 
+// ---------------------------------------------------- canonical join keys
+
+bool CanonicalKeyTypesCompatible(TypeId left, TypeId right) {
+  if (IsInt64Backed(left) && IsInt64Backed(right)) return true;
+  if (left != right) return false;
+  return left == TypeId::kString || left == TypeId::kBool;
+}
+
+namespace {
+
+/// Appends the canonical bytes of one cell. A null cell gets the length
+/// prefix ~0 (no real string has length 2^64-1, and fixed-width cells
+/// always append exactly their width, so nulls cannot collide with
+/// values). Join callers screen null rows out beforehand; the tag only
+/// keeps the encoding total.
+void AppendCanonicalCell(const Array& arr, int64_t row, std::string* out) {
+  if (arr.IsNull(row)) {
+    uint64_t tag = ~uint64_t{0};
+    out->append(reinterpret_cast<const char*>(&tag), sizeof(tag));
+    return;
+  }
+  switch (arr.type()) {
+    case TypeId::kInt64:
+    case TypeId::kTimestamp: {
+      int64_t v = AsInt64(arr)->Value(row);
+      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      return;
+    }
+    case TypeId::kBool: {
+      char v = AsBool(arr)->Value(row) ? 1 : 0;
+      out->push_back(v);
+      return;
+    }
+    case TypeId::kString: {
+      std::string_view v = AsString(arr)->Value(row);
+      uint64_t len = v.size();
+      out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+      out->append(v.data(), v.size());
+      return;
+    }
+    case TypeId::kDouble: {
+      // Unreachable by construction: CanonicalKeyTypesCompatible excludes
+      // doubles. Encode the bits anyway so the function stays total.
+      double v = AsDouble(arr)->Value(row);
+      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Status EncodeCanonicalKeys(const std::vector<ArrayPtr>& keys, int64_t begin,
+                           int64_t end, std::vector<std::string>* out) {
+  if (begin < 0 || end < begin) {
+    return Status::InvalidArgument("EncodeCanonicalKeys: bad row range");
+  }
+  out->clear();
+  out->resize(static_cast<size_t>(end - begin));
+  for (const ArrayPtr& arr : keys) {
+    if (arr->length() < end) {
+      return Status::InvalidArgument(
+          "EncodeCanonicalKeys: range exceeds key length");
+    }
+    for (int64_t r = begin; r < end; ++r) {
+      AppendCanonicalCell(*arr, r, &(*out)[static_cast<size_t>(r - begin)]);
+    }
+  }
+  return Status::OK();
+}
+
 // ------------------------------------------------------------ sort kernels
 
 namespace {
@@ -940,6 +1011,86 @@ Result<SelectionVector> SortIndices(const std::vector<SortKeySpec>& keys,
     std::sort(indices.begin(), indices.end(), less);
   }
   return indices;
+}
+
+Result<SelectionVector> MergeSortedRuns(
+    const std::vector<SortKeySpec>& keys,
+    const std::vector<SelectionVector>& runs, int64_t limit) {
+  if (keys.empty()) {
+    return Status::InvalidArgument("MergeSortedRuns needs at least one key");
+  }
+  struct KeyCmp {
+    std::function<int(int64_t, int64_t)> cmp;
+    bool ascending;
+  };
+  std::vector<KeyCmp> comparators;
+  comparators.reserve(keys.size());
+  int64_t n = keys[0].array->length();
+  for (const SortKeySpec& key : keys) {
+    if (key.array->length() != n) {
+      return Status::InvalidArgument("sort key length mismatch");
+    }
+    comparators.push_back({MakeColumnComparator(key.array), key.ascending});
+  }
+  // SortIndices' total order is (keys..., global index). Each input run is
+  // sorted under that order, so a k-way merge with the same comparator
+  // yields exactly the sequence SortIndices would produce over the union —
+  // for any decomposition into sorted runs, not just contiguous slices.
+  // With contiguous ascending runs the index tie-break also coincides with
+  // the documented lowest-run-index rule.
+  auto less = [&comparators](int64_t x, int64_t y) {
+    for (const KeyCmp& k : comparators) {
+      int c = k.cmp(x, y);
+      if (c != 0) return k.ascending ? c < 0 : c > 0;
+    }
+    return x < y;
+  };
+  int64_t total = 0;
+  for (const SelectionVector& run : runs) {
+    total += static_cast<int64_t>(run.size());
+  }
+  if (limit >= 0 && limit < total) total = limit;
+  SelectionVector out;
+  out.reserve(static_cast<size_t>(total));
+  // Heap entry: (current index value, run id). std::make_heap is a max-heap,
+  // so invert `less`.
+  struct Head {
+    int64_t index;
+    size_t run;
+  };
+  std::vector<size_t> cursor(runs.size(), 0);
+  std::vector<Head> heap;
+  heap.reserve(runs.size());
+  auto heap_greater = [&less](const Head& a, const Head& b) {
+    return less(b.index, a.index);
+  };
+  for (size_t r = 0; r < runs.size(); ++r) {
+    if (!runs[r].empty()) heap.push_back({runs[r][0], r});
+  }
+  std::make_heap(heap.begin(), heap.end(), heap_greater);
+  while (!heap.empty() && static_cast<int64_t>(out.size()) < total) {
+    std::pop_heap(heap.begin(), heap.end(), heap_greater);
+    Head head = heap.back();
+    heap.pop_back();
+    out.push_back(head.index);
+    size_t next = ++cursor[head.run];
+    if (next < runs[head.run].size()) {
+      heap.push_back({runs[head.run][next], head.run});
+      std::push_heap(heap.begin(), heap.end(), heap_greater);
+    }
+  }
+  return out;
+}
+
+int64_t SortExtremeRow(const SortKeySpec& key, int64_t begin, int64_t end) {
+  if (begin >= end || begin < 0 || end > key.array->length()) return -1;
+  auto cmp = MakeColumnComparator(key.array);
+  int64_t best = begin;
+  for (int64_t r = begin + 1; r < end; ++r) {
+    int c = cmp(r, best);
+    if (key.ascending ? c < 0 : c > 0) best = r;
+  }
+  return best;
 }
 
 // -------------------------------------------------------------- statistics

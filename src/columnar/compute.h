@@ -96,6 +96,32 @@ void HashArray(const Array& array, bool combine,
 bool RowsEqual(const std::vector<ArrayPtr>& left, int64_t left_row,
                const std::vector<ArrayPtr>& right, int64_t right_row);
 
+// ----------------------------------------------------- canonical join keys
+//
+// A canonical key encoding turns one row of a composite join key into a
+// byte string such that two rows are RowsEqual if and only if their byte
+// strings are equal. That reduces arbitrary composite-key joins to byte
+// comparisons over an interned pool — the fast path for string and
+// mixed-type keys. The encoding only exists for type combinations where
+// byte equality is faithful to RowsEqual: int64/timestamp columns may pair
+// with each other (both encode the raw 64-bit value), string pairs with
+// string and bool with bool. Double columns are excluded — RowsEqual uses
+// `==` (so NaN != NaN, and cross int64/double rows compare numerically),
+// which no byte encoding reproduces.
+
+/// True when a (left, right) join-key column pair of these types can take
+/// the canonical-bytes fast path.
+bool CanonicalKeyTypesCompatible(TypeId left, TypeId right);
+
+/// Encodes rows [begin, end) of the composite key `keys` into
+/// `out[i - begin]` (resized, previous contents discarded). Columns append
+/// in order: int64/timestamp as 8 raw bytes, bool as 1 byte, strings as an
+/// 8-byte length prefix plus the bytes (unambiguous for composites). Null
+/// rows are the caller's concern (join null flags screen them); a null
+/// cell encodes as a length-prefix tag that cannot collide with values.
+Status EncodeCanonicalKeys(const std::vector<ArrayPtr>& keys, int64_t begin,
+                           int64_t end, std::vector<std::string>* out);
+
 // ---------------------------------------------------------- sort kernels
 
 /// Sort order of one key column.
@@ -111,6 +137,25 @@ struct SortKeySpec {
 /// are produced (top-N: LIMIT pushed into ORDER BY).
 Result<SelectionVector> SortIndices(const std::vector<SortKeySpec>& keys,
                                     int64_t limit = -1);
+
+/// K-way merge of already-sorted index runs over the same `keys` into one
+/// globally sorted selection. Equal keys resolve to the lowest run index,
+/// then run-internal order. When the runs are contiguous ascending slices
+/// of the input each sorted by SortIndices, the merged order is exactly
+/// the order SortIndices would produce over the whole input — the
+/// determinism contract of the parallel sort breaker. `limit` >= 0 stops
+/// after that many indices.
+Result<SelectionVector> MergeSortedRuns(
+    const std::vector<SortKeySpec>& keys,
+    const std::vector<SelectionVector>& runs, int64_t limit = -1);
+
+/// Row index in [begin, end) holding the smallest value under this key's
+/// sort order — the same per-column order SortIndices uses (nulls first
+/// ascending / last descending, double NaN after every non-NaN value).
+/// Ties resolve to the earliest row; an empty range returns -1. This is
+/// the bound kernel for top-N pruning: ComputeStats cannot serve here
+/// because Value::Compare treats NaN as equal to everything.
+int64_t SortExtremeRow(const SortKeySpec& key, int64_t begin, int64_t end);
 
 // ------------------------------------------------------------ statistics
 

@@ -257,10 +257,27 @@ Result<Table> ExecFilterVectorized(const ExecContext& ctx,
   int64_t m = static_cast<int64_t>(morsels.size());
   std::vector<SelectionVector> selected(static_cast<size_t>(m));
   std::vector<Status> errors(static_cast<size_t>(m));
+  // Mask evaluation only touches the predicate's columns, so slice just
+  // those per morsel instead of the whole table — string-heavy payload
+  // columns are copied exactly once (by the final gather) instead of
+  // twice. Falls back to full-width slices when the predicate references
+  // no columns or a name fails to resolve (e.g. duplicate output names).
+  Table pred_input = input;
+  {
+    std::vector<std::string> refs;
+    CollectColumnRefs(*plan.predicate, &refs);
+    std::sort(refs.begin(), refs.end());
+    refs.erase(std::unique(refs.begin(), refs.end()), refs.end());
+    if (!refs.empty() &&
+        refs.size() < static_cast<size_t>(input.num_columns())) {
+      Result<Table> pruned = input.SelectColumns(refs);
+      if (pruned.ok()) pred_input = std::move(*pruned);
+    }
+  }
   RunMorsels(ctx, m, [&](int64_t mi) {
     const Morsel& mo = morsels[static_cast<size_t>(mi)];
     Result<Table> slice =
-        columnar::SliceTable(input, mo.begin, mo.end - mo.begin);
+        columnar::SliceTable(pred_input, mo.begin, mo.end - mo.begin);
     if (!slice.ok()) {
       errors[static_cast<size_t>(mi)] = slice.status();
       return;
@@ -698,6 +715,135 @@ struct GroupMerger {
   }
 };
 
+/// Merges per-morsel partials (given in morsel order) and emits the final
+/// aggregate output. Small merges run through the serial GroupMerger;
+/// large grouped merges hash-partition the groups by boxed-key hash and
+/// merge the partitions concurrently on the pool.
+///
+/// Determinism: equal keys always share a partition (KeyEq-equal keys
+/// share a KeyHash — the invariant the serial merger's hash map already
+/// relies on), and each partition visits its groups in ascending (morsel,
+/// local gid) order — the same per-group MergeAggState sequence the serial
+/// merger applies, so float partials associate identically. The final
+/// stitch sorts all merged groups by first-seen (morsel, local gid): the
+/// serial first-seen order is itself ascending in that coordinate (the
+/// serial scan ascends through morsels and gids), so the emitted group
+/// order is byte-for-byte the serial one for any partition count — the
+/// same argument ExecAggregateSpilled already uses.
+Result<Table> MergePartialsAndEmit(ExecContext* ctx, const PlanNode& plan,
+                                   std::vector<MorselGroups> partials,
+                                   uint64_t span_id) {
+  int64_t total_groups = 0;
+  for (const MorselGroups& p : partials) {
+    total_groups += static_cast<int64_t>(p.rep_rows.size());
+  }
+  int part_bits = 0;
+  if (ctx->pool != nullptr && ctx->options.threads > 1 &&
+      !plan.group_by.empty() && total_groups >= 1024) {
+    int target = std::min(ctx->options.threads, 64);
+    while ((1 << part_bits) < target) ++part_bits;
+  }
+  size_t nparts = size_t{1} << part_bits;
+  if (nparts == 1) {
+    GroupMerger merger;
+    for (const MorselGroups& part : partials) merger.Merge(plan, part);
+    return merger.Emit(*ctx, plan);
+  }
+
+  // Box every partial's representative keys once, in parallel over
+  // partials; the boxed hash routes each group to its partition.
+  size_t np = partials.size();
+  std::vector<std::vector<std::vector<Value>>> boxed(np);
+  std::vector<std::vector<uint64_t>> hashes(np);
+  ctx->pool->ParallelFor(static_cast<int64_t>(np), [&](int64_t mi) {
+    const MorselGroups& part = partials[static_cast<size_t>(mi)];
+    auto& bx = boxed[static_cast<size_t>(mi)];
+    auto& hs = hashes[static_cast<size_t>(mi)];
+    bx.resize(part.rep_rows.size());
+    hs.resize(part.rep_rows.size());
+    for (size_t g = 0; g < part.rep_rows.size(); ++g) {
+      std::vector<Value>& key = bx[g];
+      key.reserve(part.key_arrays.size());
+      for (const ArrayPtr& arr : part.key_arrays) {
+        key.push_back(arr->GetValue(part.rep_rows[g]));
+      }
+      hs[g] = KeyHash{}(key);
+    }
+  });
+
+  // Per-partition merge: first-seen (morsel, gid) coordinate rides along
+  // for the final stitch.
+  struct PartGroup {
+    int64_t mi = 0;
+    int64_t gid = 0;
+    std::vector<Value> key;
+    std::vector<AggState> states;
+  };
+  std::vector<std::vector<PartGroup>> per_part(nparts);
+  ctx->pool->ParallelFor(static_cast<int64_t>(nparts), [&](int64_t p) {
+    std::unordered_map<std::vector<Value>, size_t, KeyHash, KeyEq> index;
+    std::vector<PartGroup>& out = per_part[static_cast<size_t>(p)];
+    for (size_t mi = 0; mi < np; ++mi) {
+      const MorselGroups& part = partials[mi];
+      for (size_t g = 0; g < part.rep_rows.size(); ++g) {
+        uint64_t h = hashes[mi][g];
+        if (static_cast<size_t>(h >> (64 - part_bits)) !=
+            static_cast<size_t>(p)) {
+          continue;
+        }
+        auto [it, inserted] = index.emplace(boxed[mi][g], out.size());
+        if (inserted) {
+          out.push_back({static_cast<int64_t>(mi), static_cast<int64_t>(g),
+                         std::move(boxed[mi][g]), part.states[g]});
+          continue;
+        }
+        std::vector<AggState>& into = out[it->second].states;
+        const std::vector<AggState>& from = part.states[g];
+        for (size_t a = 0; a < plan.aggregates.size(); ++a) {
+          MergeAggState(&into[a], from[a]);
+        }
+      }
+    }
+  });
+
+  ctx->stats->breaker_partitions += static_cast<int64_t>(nparts);
+  ctx->Count("exec.breaker.agg_partitions", static_cast<int64_t>(nparts));
+  if (ctx->options.tracer != nullptr) {
+    for (size_t p = 0; p < nparts; ++p) {
+      uint64_t s = ctx->options.tracer->StartSpan(
+          "op.aggregate.partition", obs::span_kind::kOperator, span_id);
+      ctx->options.tracer->AddAttribute(s, "partition", StrCat(p));
+      ctx->options.tracer->AddAttribute(s, "groups",
+                                        StrCat(per_part[p].size()));
+      ctx->options.tracer->EndSpan(s);
+    }
+  }
+
+  // Stitch back in ascending first-seen (morsel, gid) == the serial
+  // first-seen order.
+  std::vector<PartGroup> all;
+  all.reserve(static_cast<size_t>(total_groups));
+  for (std::vector<PartGroup>& part : per_part) {
+    for (PartGroup& g : part) all.push_back(std::move(g));
+  }
+  std::sort(all.begin(), all.end(), [](const PartGroup& a,
+                                       const PartGroup& b) {
+    return a.mi != b.mi ? a.mi < b.mi : a.gid < b.gid;
+  });
+  std::vector<std::vector<Value>> group_order;
+  std::vector<std::vector<AggState>> group_states;
+  group_order.reserve(all.size());
+  group_states.reserve(all.size());
+  for (PartGroup& g : all) {
+    group_order.push_back(std::move(g.key));
+    group_states.push_back(std::move(g.states));
+  }
+  FinalizeDistinct(plan, &group_states);
+  ctx->stats->groups += static_cast<int64_t>(group_order.size());
+  ctx->Count("exec.groups", static_cast<int64_t>(group_order.size()));
+  return EmitAggregateOutput(plan, group_order, group_states);
+}
+
 // Spilled aggregation. Partial states are produced by the very same
 // AggregateMorsel over the very same morsel boundaries as the in-memory
 // path (floating-point partial sums depend on those boundaries), then
@@ -1030,14 +1176,10 @@ Result<Table> ExecAggregateVectorized(ExecContext* mctx, const PlanNode& plan,
   });
   BAUPLAN_RETURN_NOT_OK(FirstError(errors));
 
-  // Merge partials serially in morsel order. First-seen order across
-  // ordered morsels reproduces the scalar engine's first-seen order
-  // exactly.
-  GroupMerger merger;
-  for (const MorselGroups& part : partials) {
-    merger.Merge(plan, part);
-  }
-  return merger.Emit(ctx, plan);
+  // Merge partials in morsel order (partitioned across the pool when the
+  // group count warrants it). First-seen order across ordered morsels
+  // reproduces the scalar engine's first-seen order exactly.
+  return MergePartialsAndEmit(mctx, plan, std::move(partials), span_id);
 }
 
 /// Row-at-a-time reference aggregation (the seed implementation), kept as
@@ -1139,45 +1281,61 @@ Result<Table> ApplyJoinResidual(const PlanNode& plan, const Table& joined,
   return columnar::FilterTable(joined, *b);
 }
 
-/// Flat open-addressing hash table over a single int64/timestamp build
-/// key — the dominant equi-join shape. Rows with equal keys chain through
-/// `next` in ascending build-row order, so probe emission matches the
-/// generic bucket path exactly (both engines must agree row-for-row).
-struct Int64JoinTable {
+// Key mixers shared by the flat join tables. The top bits double as the
+// hash-partition id, so they must be well mixed (Mix64's multiply spreads
+// low-entropy keys across the high bits).
+inline uint64_t Mix64(int64_t k) {
+  uint64_t h = static_cast<uint64_t>(k) * 0x9E3779B97F4A7C15ULL;
+  return h ^ (h >> 32);
+}
+
+inline unsigned __int128 Pack128(int64_t hi, int64_t lo) {
+  return (static_cast<unsigned __int128>(static_cast<uint64_t>(hi)) << 64) |
+         static_cast<uint64_t>(lo);
+}
+
+inline uint64_t Mix128(unsigned __int128 k) {
+  uint64_t h = static_cast<uint64_t>(k) * 0x9E3779B97F4A7C15ULL;
+  h ^= static_cast<uint64_t>(k >> 64) * 0xC2B2AE3D27D4EB4FULL;
+  return h ^ (h >> 32);
+}
+
+/// One hash partition of the flat open-addressing table over a single
+/// int64/timestamp build key — the dominant equi-join shape. Rows with
+/// equal keys chain through the JoinBuildState-wide `next` array in
+/// ascending global build-row order, so probe emission matches the
+/// generic bucket path exactly regardless of the partition count.
+struct Int64JoinPart {
   std::vector<int64_t> key;   // bucket -> key stored there
   std::vector<int64_t> head;  // bucket -> first build row, -1 = empty
-  std::vector<int64_t> next;  // build row -> next row with the same key
   uint64_t mask = 0;
 
-  static uint64_t Mix(int64_t k) {
-    uint64_t h = static_cast<uint64_t>(k) * 0x9E3779B97F4A7C15ULL;
-    return h ^ (h >> 32);
-  }
-
-  void Build(const columnar::Int64Array& keys,
-             const std::vector<uint8_t>& null_flag) {
+  /// `rows` lists this partition's build rows ascending; inserting in
+  /// reverse and prepending keeps chains ascending. Writes only this
+  /// partition's entries of the shared `next` array (partitions own
+  /// disjoint rows, so concurrent builds never touch the same slot).
+  void Build(const columnar::Int64Array& keys, const SelectionVector& rows,
+             std::vector<int64_t>* next) {
     size_t cap = 16;
-    while (cap < static_cast<size_t>(keys.length()) * 2) cap <<= 1;
+    while (cap < rows.size() * 2) cap <<= 1;
     mask = cap - 1;
     key.assign(cap, 0);
     head.assign(cap, -1);
-    next.assign(static_cast<size_t>(keys.length()), -1);
-    // Inserting in reverse and prepending keeps chains ascending.
-    for (int64_t r = keys.length() - 1; r >= 0; --r) {
-      if (!null_flag.empty() && null_flag[static_cast<size_t>(r)]) continue;
+    for (size_t i = rows.size(); i-- > 0;) {
+      int64_t r = rows[i];
       int64_t k = keys.Value(r);
-      uint64_t b = Mix(k) & mask;
+      uint64_t b = Mix64(k) & mask;
       while (head[b] != -1 && key[b] != k) b = (b + 1) & mask;
       key[b] = k;
-      next[static_cast<size_t>(r)] = head[b];
+      (*next)[static_cast<size_t>(r)] = head[b];
       head[b] = r;
     }
   }
 
-  /// First build row whose key equals `k`, or -1; later rows follow via
-  /// `next`.
-  int64_t Find(int64_t k) const {
-    uint64_t b = Mix(k) & mask;
+  /// First build row whose key equals `k` (`hash` = Mix64(k), computed by
+  /// the caller for partition routing), or -1; later rows follow `next`.
+  int64_t Find(int64_t k, uint64_t hash) const {
+    uint64_t b = hash & mask;
     while (head[b] != -1) {
       if (key[b] == k) return head[b];
       b = (b + 1) & mask;
@@ -1186,55 +1344,74 @@ struct Int64JoinTable {
   }
 };
 
-/// Flat open-addressing table over composite (int64, int64) build keys
-/// packed into one 128-bit word — the natural extension of the single-key
-/// fast path to two-column equi-joins. Only used when both build key
+/// One hash partition of the flat table over composite (int64, int64)
+/// build keys packed into one 128-bit word. Only used when both build key
 /// columns are null-free (a null cell has no 128-bit encoding); rows with
 /// null probe keys are screened by the caller's null flags, exactly like
 /// the single-key path. Chains ascend for the same reverse-insert reason.
-struct Int128JoinTable {
+struct Int128JoinPart {
   std::vector<unsigned __int128> key;
   std::vector<int64_t> head;  // bucket -> first build row, -1 = empty
-  std::vector<int64_t> next;  // build row -> next row with the same key
   uint64_t mask = 0;
 
-  static unsigned __int128 Pack(int64_t hi, int64_t lo) {
-    return (static_cast<unsigned __int128>(static_cast<uint64_t>(hi))
-            << 64) |
-           static_cast<uint64_t>(lo);
-  }
-
-  static uint64_t Mix(unsigned __int128 k) {
-    uint64_t h = static_cast<uint64_t>(k) * 0x9E3779B97F4A7C15ULL;
-    h ^= static_cast<uint64_t>(k >> 64) * 0xC2B2AE3D27D4EB4FULL;
-    return h ^ (h >> 32);
-  }
-
-  void Build(const columnar::Int64Array& k0,
-             const columnar::Int64Array& k1) {
+  void Build(const columnar::Int64Array& k0, const columnar::Int64Array& k1,
+             const SelectionVector& rows, std::vector<int64_t>* next) {
     size_t cap = 16;
-    while (cap < static_cast<size_t>(k0.length()) * 2) cap <<= 1;
+    while (cap < rows.size() * 2) cap <<= 1;
     mask = cap - 1;
     key.assign(cap, 0);
     head.assign(cap, -1);
-    next.assign(static_cast<size_t>(k0.length()), -1);
-    for (int64_t r = k0.length() - 1; r >= 0; --r) {
-      unsigned __int128 k = Pack(k0.Value(r), k1.Value(r));
-      uint64_t b = Mix(k) & mask;
+    for (size_t i = rows.size(); i-- > 0;) {
+      int64_t r = rows[i];
+      unsigned __int128 k = Pack128(k0.Value(r), k1.Value(r));
+      uint64_t b = Mix128(k) & mask;
       while (head[b] != -1 && key[b] != k) b = (b + 1) & mask;
       key[b] = k;
-      next[static_cast<size_t>(r)] = head[b];
+      (*next)[static_cast<size_t>(r)] = head[b];
       head[b] = r;
     }
   }
 
-  int64_t Find(unsigned __int128 k) const {
-    uint64_t b = Mix(k) & mask;
+  int64_t Find(unsigned __int128 k, uint64_t hash) const {
+    uint64_t b = hash & mask;
     while (head[b] != -1) {
       if (key[b] == k) return head[b];
       b = (b + 1) & mask;
     }
     return -1;
+  }
+};
+
+/// One hash partition of the canonical-key fast path for string and
+/// mixed-type composite keys. Distinct canonical key byte strings are
+/// interned as the map's keys (each stored once no matter how many build
+/// rows share it); the mapped value is the chain head, rows chain through
+/// the shared `next` array ascending. Byte equality is RowsEqual for the
+/// eligible type combinations (see CanonicalKeyTypesCompatible), so probe
+/// emission is exactly the bucket fallback's — minus the per-candidate
+/// RowsEqual calls.
+struct CanonicalJoinPart {
+  std::unordered_map<std::string, int64_t> heads;
+
+  /// Consumes this partition's entries of `bytes` (moved into the intern
+  /// pool on first sight).
+  void Build(std::vector<std::string>* bytes, const SelectionVector& rows,
+             std::vector<int64_t>* next) {
+    heads.reserve(rows.size());
+    for (size_t i = rows.size(); i-- > 0;) {
+      int64_t r = rows[i];
+      auto [it, inserted] =
+          heads.try_emplace(std::move((*bytes)[static_cast<size_t>(r)]), r);
+      if (!inserted) {
+        (*next)[static_cast<size_t>(r)] = it->second;
+        it->second = r;
+      }
+    }
+  }
+
+  int64_t Find(const std::string& k) const {
+    auto it = heads.find(k);
+    return it == heads.end() ? -1 : it->second;
   }
 };
 
@@ -1263,51 +1440,212 @@ std::vector<uint8_t> JoinNullFlags(const std::vector<ArrayPtr>& keys,
 /// probe loop and the streaming probe operator so both emit identical
 /// pair sequences. Single int64/timestamp keys take the flat table,
 /// composite (int64, int64) keys with a null-free build side take the
-/// 128-bit packed table, everything else falls back to vectorized row
-/// hashes into hash -> row buckets resolved by RowsEqual.
+/// 128-bit packed table, string/mixed composites whose byte encoding is
+/// faithful to RowsEqual take the canonical interned-bytes table, and
+/// everything else falls back to vectorized row hashes into
+/// hash -> row buckets resolved by RowsEqual.
+///
+/// Every mode is hash-partitioned into 2^part_bits independent tables
+/// keyed by the top bits of the mode's key hash, built concurrently on
+/// the context's pool. Partitioning is invisible in the output: rows with
+/// equal keys always share a partition, chains stay in ascending global
+/// build-row order through the shared `next` array, and each probe row
+/// consults exactly its key's partition — so the emitted pair sequence is
+/// byte-for-byte the single-partition one for any partition count.
 struct JoinBuildState {
-  enum class Mode { kFlat64, kFlat128, kBuckets };
+  enum class Mode { kFlat64, kFlat128, kCanonical, kBuckets };
   Mode mode = Mode::kBuckets;
   Table right;  // materialized build-side payload
   std::vector<ArrayPtr> right_keys;
   std::vector<uint8_t> right_null;
-  Int64JoinTable flat64;
-  Int128JoinTable flat128;
-  std::unordered_map<uint64_t, std::vector<int64_t>> buckets;
   bool left_join = false;
+
+  int part_bits = 0;          // 2^part_bits hash partitions
+  std::vector<int64_t> next;  // build row -> next row with the same key
+  std::vector<Int64JoinPart> flat64;
+  std::vector<Int128JoinPart> flat128;
+  std::vector<CanonicalJoinPart> canonical;
+  std::vector<std::unordered_map<uint64_t, std::vector<int64_t>>> buckets;
+
+  size_t PartOf(uint64_t hash) const {
+    return part_bits == 0 ? 0 : static_cast<size_t>(hash >> (64 - part_bits));
+  }
 
   /// `left_key_types` decides fast-path eligibility without touching
   /// probe data (streaming pipelines learn them from an empty slice).
-  Status Build(const PlanNode& plan, const std::vector<TypeId>& left_key_types) {
+  /// Emits exec.breaker.* counters and, when partitioned, one
+  /// op.join.partition child span per partition under `span_id`.
+  Status Build(ExecContext* ctx, const PlanNode& plan,
+               const std::vector<TypeId>& left_key_types, uint64_t span_id) {
     left_join = plan.join_type == JoinType::kLeft;
+    int64_t rows = right.num_rows();
     bool types_match =
         left_key_types.size() == right_keys.size() &&
         std::all_of(left_key_types.begin(), left_key_types.end(),
                     Int64BackedType) &&
         std::all_of(right_keys.begin(), right_keys.end(), Int64Backed);
+    bool canonical_ok =
+        !right_keys.empty() && left_key_types.size() == right_keys.size();
+    for (size_t k = 0; canonical_ok && k < right_keys.size(); ++k) {
+      canonical_ok = columnar::CanonicalKeyTypesCompatible(
+          left_key_types[k], right_keys[k]->type());
+    }
     if (types_match && right_keys.size() == 1) {
       mode = Mode::kFlat64;
-      flat64.Build(*AsInt64(*right_keys[0]), right_null);
-      return Status::OK();
-    }
-    if (types_match && right_keys.size() == 2 &&
-        right_keys[0]->null_count() == 0 &&
-        right_keys[1]->null_count() == 0) {
+    } else if (types_match && right_keys.size() == 2 &&
+               right_keys[0]->null_count() == 0 &&
+               right_keys[1]->null_count() == 0) {
       mode = Mode::kFlat128;
-      flat128.Build(*AsInt64(*right_keys[0]), *AsInt64(*right_keys[1]));
-      return Status::OK();
+    } else if (canonical_ok) {
+      mode = Mode::kCanonical;
+    } else {
+      mode = Mode::kBuckets;
     }
-    mode = Mode::kBuckets;
-    std::vector<uint64_t> right_hashes;
-    for (size_t k = 0; k < right_keys.size(); ++k) {
-      columnar::HashArray(*right_keys[k], /*combine=*/k > 0, &right_hashes);
+
+    // The mode's per-row key hash; the top bits route rows (and later
+    // probes) to partitions.
+    std::vector<uint64_t> hashes(static_cast<size_t>(rows), 0);
+    std::vector<std::string> bytes;
+    switch (mode) {
+      case Mode::kFlat64: {
+        const auto* k0 = AsInt64(*right_keys[0]);
+        for (int64_t r = 0; r < rows; ++r) {
+          if (!right_null.empty() && right_null[static_cast<size_t>(r)]) {
+            continue;  // never inserted; hash stays 0
+          }
+          hashes[static_cast<size_t>(r)] = Mix64(k0->Value(r));
+        }
+        break;
+      }
+      case Mode::kFlat128: {
+        const auto* k0 = AsInt64(*right_keys[0]);
+        const auto* k1 = AsInt64(*right_keys[1]);
+        for (int64_t r = 0; r < rows; ++r) {
+          hashes[static_cast<size_t>(r)] =
+              Mix128(Pack128(k0->Value(r), k1->Value(r)));
+        }
+        break;
+      }
+      case Mode::kCanonical: {
+        BAUPLAN_RETURN_NOT_OK(
+            columnar::EncodeCanonicalKeys(right_keys, 0, rows, &bytes));
+        for (int64_t r = 0; r < rows; ++r) {
+          hashes[static_cast<size_t>(r)] =
+              Fnv1a64(bytes[static_cast<size_t>(r)]);
+        }
+        break;
+      }
+      case Mode::kBuckets: {
+        if (!right_keys.empty()) {
+          for (size_t k = 0; k < right_keys.size(); ++k) {
+            columnar::HashArray(*right_keys[k], /*combine=*/k > 0, &hashes);
+          }
+        }
+        break;
+      }
     }
-    buckets.reserve(static_cast<size_t>(right.num_rows()));
-    for (int64_t r = 0; r < right.num_rows(); ++r) {
+
+    // Partition only when a pool can actually build concurrently and the
+    // build side is big enough to amortize the routing pass. The output
+    // never depends on the partition count (see struct comment), so this
+    // heuristic is free to vary with threads.
+    part_bits = 0;
+    if (ctx->pool != nullptr && ctx->options.threads > 1 && rows >= 4096) {
+      int target = std::min(ctx->options.threads, 64);
+      while ((1 << part_bits) < target) ++part_bits;
+    }
+    size_t nparts = size_t{1} << part_bits;
+
+    // Route build rows: ascending per-partition row lists.
+    std::vector<SelectionVector> prows(nparts);
+    for (int64_t r = 0; r < rows; ++r) {
       if (!right_null.empty() && right_null[static_cast<size_t>(r)]) {
         continue;
       }
-      buckets[right_hashes[static_cast<size_t>(r)]].push_back(r);
+      prows[PartOf(hashes[static_cast<size_t>(r)])].push_back(r);
+    }
+    next.assign(static_cast<size_t>(rows), -1);
+    switch (mode) {
+      case Mode::kFlat64:
+        flat64.resize(nparts);
+        break;
+      case Mode::kFlat128:
+        flat128.resize(nparts);
+        break;
+      case Mode::kCanonical:
+        canonical.resize(nparts);
+        break;
+      case Mode::kBuckets:
+        buckets.resize(nparts);
+        break;
+    }
+    auto build_one = [&](int64_t p) {
+      const SelectionVector& mine = prows[static_cast<size_t>(p)];
+      switch (mode) {
+        case Mode::kFlat64:
+          flat64[static_cast<size_t>(p)].Build(*AsInt64(*right_keys[0]),
+                                               mine, &next);
+          return;
+        case Mode::kFlat128:
+          flat128[static_cast<size_t>(p)].Build(
+              *AsInt64(*right_keys[0]), *AsInt64(*right_keys[1]), mine,
+              &next);
+          return;
+        case Mode::kCanonical:
+          canonical[static_cast<size_t>(p)].Build(&bytes, mine, &next);
+          return;
+        case Mode::kBuckets: {
+          auto& map = buckets[static_cast<size_t>(p)];
+          map.reserve(mine.size());
+          for (int64_t r : mine) {
+            map[hashes[static_cast<size_t>(r)]].push_back(r);
+          }
+          return;
+        }
+      }
+    };
+    if (ctx->pool != nullptr && nparts > 1) {
+      ctx->pool->ParallelFor(static_cast<int64_t>(nparts), build_one);
+    } else {
+      for (size_t p = 0; p < nparts; ++p) {
+        build_one(static_cast<int64_t>(p));
+      }
+    }
+
+    switch (mode) {
+      case Mode::kFlat64:
+        ++ctx->stats->join_build_flat64;
+        ctx->Count("exec.breaker.join_build_flat64", 1);
+        break;
+      case Mode::kFlat128:
+        ++ctx->stats->join_build_flat128;
+        ctx->Count("exec.breaker.join_build_flat128", 1);
+        break;
+      case Mode::kCanonical:
+        ++ctx->stats->join_build_canonical;
+        ctx->Count("exec.breaker.join_build_canonical", 1);
+        break;
+      case Mode::kBuckets:
+        ++ctx->stats->join_build_buckets;
+        ctx->Count("exec.breaker.join_build_buckets", 1);
+        break;
+    }
+    if (nparts > 1) {
+      ctx->stats->breaker_partitions += static_cast<int64_t>(nparts);
+      ctx->Count("exec.breaker.join_partitions",
+                 static_cast<int64_t>(nparts));
+      if (ctx->options.tracer != nullptr) {
+        // Driver-side bookkeeping spans: one per partition, recording how
+        // many build rows it absorbed (skew shows up here).
+        for (size_t p = 0; p < nparts; ++p) {
+          uint64_t s = ctx->options.tracer->StartSpan(
+              "op.join.partition", obs::span_kind::kOperator, span_id);
+          ctx->options.tracer->AddAttribute(s, "partition", StrCat(p));
+          ctx->options.tracer->AddAttribute(s, "build_rows",
+                                            StrCat(prows[p].size()));
+          ctx->options.tracer->EndSpan(s);
+        }
+      }
     }
     return Status::OK();
   }
@@ -1324,22 +1662,28 @@ void ProbeJoinRows(const JoinBuildState& st,
                    const std::vector<uint8_t>& left_null, int64_t begin,
                    int64_t end, SelectionVector* out_l,
                    SelectionVector* out_r) {
+  auto emit_chain = [&](int64_t row, int64_t r) {
+    if (r >= 0) {
+      for (; r != -1; r = st.next[static_cast<size_t>(r)]) {
+        out_l->push_back(row);
+        out_r->push_back(r);
+      }
+    } else if (st.left_join) {
+      out_l->push_back(row);
+      out_r->push_back(-1);
+    }
+  };
   switch (st.mode) {
     case JoinBuildState::Mode::kFlat64: {
       const auto* probe_keys = AsInt64(*left_keys[0]);
       for (int64_t row = begin; row < end; ++row) {
-        int64_t r = left_null[static_cast<size_t>(row)]
-                        ? -1
-                        : st.flat64.Find(probe_keys->Value(row));
-        if (r >= 0) {
-          for (; r != -1; r = st.flat64.next[static_cast<size_t>(r)]) {
-            out_l->push_back(row);
-            out_r->push_back(r);
-          }
-        } else if (st.left_join) {
-          out_l->push_back(row);
-          out_r->push_back(-1);
+        int64_t r = -1;
+        if (!left_null[static_cast<size_t>(row)]) {
+          int64_t k = probe_keys->Value(row);
+          uint64_t h = Mix64(k);
+          r = st.flat64[st.PartOf(h)].Find(k, h);
         }
+        emit_chain(row, r);
       }
       return;
     }
@@ -1347,19 +1691,30 @@ void ProbeJoinRows(const JoinBuildState& st,
       const auto* k0 = AsInt64(*left_keys[0]);
       const auto* k1 = AsInt64(*left_keys[1]);
       for (int64_t row = begin; row < end; ++row) {
-        int64_t r = left_null[static_cast<size_t>(row)]
-                        ? -1
-                        : st.flat128.Find(Int128JoinTable::Pack(
-                              k0->Value(row), k1->Value(row)));
-        if (r >= 0) {
-          for (; r != -1; r = st.flat128.next[static_cast<size_t>(r)]) {
-            out_l->push_back(row);
-            out_r->push_back(r);
-          }
-        } else if (st.left_join) {
-          out_l->push_back(row);
-          out_r->push_back(-1);
+        int64_t r = -1;
+        if (!left_null[static_cast<size_t>(row)]) {
+          unsigned __int128 k = Pack128(k0->Value(row), k1->Value(row));
+          uint64_t h = Mix128(k);
+          r = st.flat128[st.PartOf(h)].Find(k, h);
         }
+        emit_chain(row, r);
+      }
+      return;
+    }
+    case JoinBuildState::Mode::kCanonical: {
+      // Encode this morsel's probe keys once; the range is caller-checked
+      // so the encode cannot fail.
+      std::vector<std::string> bytes;
+      Status encoded =
+          columnar::EncodeCanonicalKeys(left_keys, begin, end, &bytes);
+      (void)encoded;
+      for (int64_t row = begin; row < end; ++row) {
+        int64_t r = -1;
+        if (!left_null[static_cast<size_t>(row)]) {
+          const std::string& k = bytes[static_cast<size_t>(row - begin)];
+          r = st.canonical[st.PartOf(Fnv1a64(k))].Find(k);
+        }
+        emit_chain(row, r);
       }
       return;
     }
@@ -1367,8 +1722,10 @@ void ProbeJoinRows(const JoinBuildState& st,
       for (int64_t row = begin; row < end; ++row) {
         const std::vector<int64_t>* matches = nullptr;
         if (!left_null[static_cast<size_t>(row)]) {
-          auto it = st.buckets.find(left_hashes[static_cast<size_t>(row)]);
-          if (it != st.buckets.end()) matches = &it->second;
+          uint64_t h = left_hashes[static_cast<size_t>(row)];
+          const auto& map = st.buckets[st.PartOf(h)];
+          auto it = map.find(h);
+          if (it != map.end()) matches = &it->second;
         }
         bool matched = false;
         if (matches != nullptr) {
@@ -1681,7 +2038,7 @@ Result<Table> ExecJoinVectorized(ExecContext* mctx, const PlanNode& plan,
   std::vector<TypeId> left_key_types;
   left_key_types.reserve(left_keys.size());
   for (const ArrayPtr& arr : left_keys) left_key_types.push_back(arr->type());
-  BAUPLAN_RETURN_NOT_OK(state.Build(plan, left_key_types));
+  BAUPLAN_RETURN_NOT_OK(state.Build(mctx, plan, left_key_types, span_id));
   std::vector<uint64_t> left_hashes;
   if (state.mode == JoinBuildState::Mode::kBuckets) {
     for (size_t k = 0; k < left_keys.size(); ++k) {
@@ -2007,6 +2364,63 @@ Result<Table> ExecSortVectorized(ExecContext* ctx, const PlanNode& plan,
   if (keys.empty()) return input;
   if (ShouldSpill(*ctx, input.EstimatedBytes())) {
     return ExecSortExternal(ctx, input, keys, limit, span_id);
+  }
+  // Parallel path: sort one run per morsel concurrently, then k-way merge.
+  // The run decomposition comes from MakeMorsels, so it depends only on
+  // the row count — and MergeSortedRuns reproduces SortIndices' total
+  // order (keys, then global index) exactly, so the result bytes never
+  // depend on the thread or run count.
+  std::vector<Morsel> runs_morsels =
+      MakeMorsels(input.num_rows(), ctx->options.morsel_rows);
+  if (ctx->pool != nullptr && ctx->options.threads > 1 &&
+      runs_morsels.size() > 1) {
+    int64_t nruns = static_cast<int64_t>(runs_morsels.size());
+    std::vector<SelectionVector> runs(static_cast<size_t>(nruns));
+    std::vector<Status> errors(static_cast<size_t>(nruns));
+    ctx->pool->ParallelFor(nruns, [&](int64_t ri) {
+      const Morsel& mo = runs_morsels[static_cast<size_t>(ri)];
+      // Sort the global index range [begin, end) of the shared key
+      // arrays: slice, sort locally, then shift back to global indices.
+      std::vector<columnar::SortKeySpec> local;
+      local.reserve(keys.size());
+      for (const columnar::SortKeySpec& k : keys) {
+        Result<ArrayPtr> sliced =
+            columnar::SliceArray(k.array, mo.begin, mo.end - mo.begin);
+        if (!sliced.ok()) {
+          errors[static_cast<size_t>(ri)] = sliced.status();
+          return;
+        }
+        local.push_back({std::move(*sliced), k.ascending});
+      }
+      // Per-run top-N would be tempting, but the merge needs every run
+      // row that could land in the global limit, i.e. up to `limit` rows
+      // per run — which SortIndices(limit) already provides.
+      Result<SelectionVector> sorted = columnar::SortIndices(
+          local, limit >= 0 ? std::min(limit, mo.end - mo.begin) : -1);
+      if (!sorted.ok()) {
+        errors[static_cast<size_t>(ri)] = sorted.status();
+        return;
+      }
+      SelectionVector& run = runs[static_cast<size_t>(ri)];
+      run = std::move(*sorted);
+      for (int64_t& idx : run) idx += mo.begin;
+    });
+    BAUPLAN_RETURN_NOT_OK(FirstError(errors));
+    ctx->stats->sort_runs += nruns;
+    ctx->Count("exec.breaker.sort_runs", nruns);
+    if (ctx->options.tracer != nullptr) {
+      for (size_t ri = 0; ri < runs.size(); ++ri) {
+        uint64_t s = ctx->options.tracer->StartSpan(
+            "op.sort.run", obs::span_kind::kOperator, span_id);
+        ctx->options.tracer->AddAttribute(s, "run", StrCat(ri));
+        ctx->options.tracer->AddAttribute(s, "rows",
+                                          StrCat(runs[ri].size()));
+        ctx->options.tracer->EndSpan(s);
+      }
+    }
+    BAUPLAN_ASSIGN_OR_RETURN(SelectionVector indices,
+                             columnar::MergeSortedRuns(keys, runs, limit));
+    return columnar::TakeTable(input, indices);
   }
   BAUPLAN_ASSIGN_OR_RETURN(SelectionVector indices,
                            columnar::SortIndices(keys, limit));
@@ -2521,8 +2935,8 @@ Status DriveMorsels(ExecContext* ctx, const Table& source,
 /// residency stays O(threads x morsel).
 class AggregateStream {
  public:
-  AggregateStream(ExecContext* ctx, const PlanNode& plan)
-      : ctx_(ctx), plan_(plan) {
+  AggregateStream(ExecContext* ctx, const PlanNode& plan, uint64_t span_id)
+      : ctx_(ctx), plan_(plan), span_id_(span_id) {
     cut_rows_ = ctx->options.morsel_rows > 0 ? ctx->options.morsel_rows
                                              : 64 * 1024;
     int threads = ctx->pool != nullptr ? ctx->pool->num_workers() + 1 : 1;
@@ -2550,7 +2964,7 @@ class AggregateStream {
       BAUPLAN_RETURN_NOT_OK(Cut(buffered_));
     }
     BAUPLAN_RETURN_NOT_OK(Flush());
-    return merger_.Emit(*ctx_, plan_);
+    return MergePartialsAndEmit(ctx_, plan_, std::move(partials_), span_id_);
   }
 
  private:
@@ -2606,7 +3020,13 @@ class AggregateStream {
           &partials[static_cast<size_t>(i)]);
     });
     BAUPLAN_RETURN_NOT_OK(FirstError(errors));
-    for (const MorselGroups& part : partials) merger_.Merge(plan_, part);
+    // Partials accumulate in cut order and merge once at Finish (cut
+    // index = the materialized path's morsel index, so the merge order
+    // matches it exactly). A partial holds group reps + states, not rows,
+    // so retention stays small next to the streamed input.
+    for (MorselGroups& part : partials) {
+      partials_.push_back(std::move(part));
+    }
     pending_.clear();
     return Status::OK();
   }
@@ -2620,7 +3040,8 @@ class AggregateStream {
   int64_t buffered_ = 0;
   std::vector<Table> pending_;  // cuts awaiting aggregation
   int64_t total_cuts_ = 0;
-  GroupMerger merger_;
+  std::vector<MorselGroups> partials_;  // cut-order partial groups
+  uint64_t span_id_ = 0;
 };
 
 /// Resolves a pipeline's source: Scan nodes read the table here (under
@@ -2646,6 +3067,264 @@ Result<Table> ResolveSource(ExecContext* ctx, const PlanNode& node,
                                       StrCat(table.num_rows()));
   }
   return table;
+}
+
+/// Streaming top-N with upstream short-circuit: LIMIT fused into the sort
+/// breaker AND pushed below it as a morsel dispatch filter. Applies when
+/// the chain under the sort is filters-only (so sort keys evaluated over
+/// the unfiltered source bound every surviving row) and no budget is set.
+///
+/// The driver keeps `cand`, the provably-global top-N of the morsels
+/// consumed so far, always sorted. Before dispatching a morsel it checks
+/// the morsel's best possible first-key cell (SortExtremeRow over the
+/// source range) against the current N-th candidate: once `cand` is
+/// saturated, a morsel whose best cell orders strictly after the cutoff
+/// cannot contribute — every row it holds loses to all N candidates — so
+/// the morsel is never executed. A tie is also a loss for single-key
+/// sorts: undispatched rows sit at larger global indices than every
+/// candidate, and the total order breaks key ties by global index.
+///
+/// Bit-identity: skipped morsels contribute no output rows, retained rows
+/// keep their relative order through the batched compactions (stable
+/// local-index tie-break = global-index tie-break, since candidates
+/// always precede newer rows), so the emitted bytes equal the
+/// materialize-everything sort for any thread count — only
+/// exec.morsels (completed) falls short of exec.morsels_scheduled.
+/// Deep-copies an expression tree (local to the top-N rewrite; the
+/// planner's clone is not exported).
+ExprPtr CloneExprTree(const ExprPtr& expr) {
+  if (expr == nullptr) return nullptr;
+  auto copy = std::make_shared<Expr>(*expr);
+  copy->left = CloneExprTree(expr->left);
+  copy->right = CloneExprTree(expr->right);
+  copy->between_low = CloneExprTree(expr->between_low);
+  copy->between_high = CloneExprTree(expr->between_high);
+  for (auto& a : copy->args) a = CloneExprTree(a);
+  for (auto& e : copy->list) e = CloneExprTree(e);
+  return copy;
+}
+
+/// Rewrites `expr` — bound against `project`'s output — into an
+/// expression over the project's input by inlining the projected
+/// expression at every column reference (matching on output name).
+/// Clears `*ok` when a referenced name is not produced by the
+/// projection, in which case the rewrite is unusable.
+ExprPtr InlineProjection(const ExprPtr& expr, const PlanNode& project,
+                         bool* ok) {
+  if (expr == nullptr || !*ok) return nullptr;
+  if (expr->kind == ExprKind::kColumnRef) {
+    for (size_t i = 0; i < project.output_names.size(); ++i) {
+      if (project.output_names[i] == expr->column_name) {
+        return CloneExprTree(project.expressions[i]);
+      }
+    }
+    *ok = false;
+    return nullptr;
+  }
+  auto copy = std::make_shared<Expr>(*expr);
+  copy->left = InlineProjection(expr->left, project, ok);
+  copy->right = InlineProjection(expr->right, project, ok);
+  copy->between_low = InlineProjection(expr->between_low, project, ok);
+  copy->between_high = InlineProjection(expr->between_high, project, ok);
+  for (auto& a : copy->args) a = InlineProjection(a, project, ok);
+  for (auto& e : copy->list) e = InlineProjection(e, project, ok);
+  return copy;
+}
+
+Result<Table> ExecStreamTopN(ExecContext* ctx, const PlanNode& limit_node,
+                             const PlanNode& sort, uint64_t parent_span,
+                             bool* handled) {
+  *handled = false;
+  int64_t limit = limit_node.limit;
+  if (limit <= 0 || ctx->options.memory_budget_bytes > 0) return Table();
+  CompiledChain chain = CompileChain(*sort.children[0]);
+  if (chain.limit_node != nullptr) return Table();
+  for (const PlanNode* op : chain.ops) {
+    if (op->kind != PlanKind::kFilter && op->kind != PlanKind::kProject) {
+      return Table();
+    }
+  }
+  // Compose every sort key down through the chain's projections (last
+  // to first) so the per-morsel bound can evaluate over the raw source.
+  // Projections are pure per-row expressions, so the composed key of a
+  // source row equals the post-chain key of whatever the chain keeps of
+  // that row. A name the projections cannot resolve disqualifies the
+  // rewrite entirely.
+  std::vector<ExprPtr> source_key_exprs;
+  source_key_exprs.reserve(sort.sort_keys.size());
+  for (const auto& key : sort.sort_keys) {
+    ExprPtr e = CloneExprTree(key.expr);
+    bool ok = true;
+    for (auto it = chain.ops.rbegin(); it != chain.ops.rend() && ok; ++it) {
+      if ((*it)->kind == PlanKind::kProject) {
+        e = InlineProjection(e, **it, &ok);
+      }
+    }
+    if (!ok || e == nullptr) return Table();
+    source_key_exprs.push_back(std::move(e));
+  }
+  *handled = true;
+  const ExecContext& cctx = *ctx;
+  obs::Tracer* tracer = cctx.options.tracer;
+
+  ++ctx->stats->operators_executed;  // the limit
+  obs::ScopedSpan limit_span(tracer, "op.limit", obs::span_kind::kOperator,
+                             parent_span);
+  ++ctx->stats->operators_executed;  // the sort breaker
+  obs::ScopedSpan sort_span(tracer, "op.sort", obs::span_kind::kOperator,
+                            limit_span.id());
+  ++ctx->stats->pipelines;
+  cctx.Count("exec.pipelines", 1);
+  obs::ScopedSpan pipe(tracer, "pipeline", obs::span_kind::kPipeline,
+                       sort_span.id());
+  BAUPLAN_ASSIGN_OR_RETURN(Table source,
+                           ResolveSource(ctx, *chain.source, pipe.id()));
+
+  // Composed sort keys over the unfiltered source: filters only drop
+  // rows, so a surviving row's keys are its source-row keys and the
+  // per-morsel extreme is a valid bound for whatever the chain keeps.
+  std::vector<columnar::SortKeySpec> keys;
+  keys.reserve(sort.sort_keys.size());
+  for (size_t i = 0; i < sort.sort_keys.size(); ++i) {
+    BAUPLAN_ASSIGN_OR_RETURN(
+        ArrayPtr arr, EvaluateExpr(*source_key_exprs[i], source));
+    keys.push_back({std::move(arr), sort.sort_keys[i].ascending});
+  }
+  if (keys.empty()) return Status::Internal("top-N sort without keys");
+
+  // Prepare the filter ops (with spans), priming an empty chunk through
+  // each for eager expression checking — mirroring StreamChainInto.
+  std::vector<StreamOp> ops;
+  ops.reserve(chain.ops.size());
+  BAUPLAN_ASSIGN_OR_RETURN(Table primer, columnar::SliceTable(source, 0, 0));
+  ChunkDelta primer_delta;
+  for (const PlanNode* node : chain.ops) {
+    ++ctx->stats->operators_executed;
+    StreamOp op;
+    op.node = node;
+    op.span = tracer != nullptr
+                  ? tracer->StartSpan(StrCat("op.", OpName(node->kind)),
+                                      obs::span_kind::kOperator, pipe.id())
+                  : 0;
+    ops.push_back(std::move(op));
+    SelectionVector scratch;
+    BAUPLAN_RETURN_NOT_OK(ApplyStreamOp(cctx, ops.back(), &primer, &scratch,
+                                        &primer_delta));
+  }
+  Table cand = std::move(primer);  // post-filter schema, zero rows
+  ArrayPtr cand_key0;              // first sort key over `cand`
+
+  std::vector<Morsel> morsels =
+      MakeMorsels(source.num_rows(), cctx.options.morsel_rows);
+  int64_t total = static_cast<int64_t>(morsels.size());
+  ctx->stats->morsels_scheduled += total;
+  cctx.Count("exec.morsels_scheduled", total);
+  int threads = cctx.pool != nullptr ? cctx.pool->num_workers() + 1 : 1;
+  int64_t batch = std::max<int64_t>(1, 2 * threads);
+  int64_t skipped = 0;
+  int64_t rows_filtered = 0;
+  Status failed;
+  for (int64_t next = 0; next < total && failed.ok();) {
+    // Pick the next batch of morsels that could still contribute.
+    std::vector<Morsel> todo;
+    while (next < total && static_cast<int64_t>(todo.size()) < batch) {
+      const Morsel& mo = morsels[static_cast<size_t>(next)];
+      bool skip = false;
+      if (cand.num_rows() >= limit && mo.end > mo.begin) {
+        int64_t bound = columnar::SortExtremeRow(keys[0], mo.begin, mo.end);
+        int c = CompareSortCells(*keys[0].array, bound, *cand_key0,
+                                 cand.num_rows() - 1);
+        int eff = keys[0].ascending ? c : -c;
+        skip = eff > 0 || (eff == 0 && keys.size() == 1);
+      }
+      if (skip) {
+        ++skipped;
+      } else {
+        todo.push_back(mo);
+      }
+      ++next;
+    }
+    if (todo.empty()) continue;
+    int64_t b = static_cast<int64_t>(todo.size());
+    std::vector<Table> out(static_cast<size_t>(b));
+    std::vector<ChunkDelta> deltas(static_cast<size_t>(b));
+    std::vector<Status> errors(static_cast<size_t>(b));
+    auto work = [&](int64_t k) {
+      const Morsel& mo = todo[static_cast<size_t>(k)];
+      Result<Table> chunk =
+          columnar::SliceTable(source, mo.begin, mo.end - mo.begin);
+      if (!chunk.ok()) {
+        errors[static_cast<size_t>(k)] = chunk.status();
+        return;
+      }
+      cctx.TrackPeak(chunk->EstimatedBytes());
+      Status s = ProcessChunk(cctx, ops, &*chunk,
+                              &deltas[static_cast<size_t>(k)]);
+      if (!s.ok()) {
+        errors[static_cast<size_t>(k)] = s;
+        return;
+      }
+      out[static_cast<size_t>(k)] = std::move(*chunk);
+    };
+    if (cctx.pool != nullptr) {
+      cctx.pool->ParallelFor(b, work);
+    } else {
+      for (int64_t k = 0; k < b; ++k) work(k);
+    }
+    failed = FirstError(errors);
+    ctx->stats->morsels += b;
+    cctx.Count("exec.morsels", b);
+    if (!failed.ok()) break;
+    for (int64_t k = 0; k < b; ++k) {
+      const ChunkDelta& d = deltas[static_cast<size_t>(k)];
+      rows_filtered += d.rows_filtered;
+      for (size_t i = 0; i < ops.size(); ++i) {
+        ops[i].rows_out += d.rows_out[i];
+      }
+    }
+    // Compact: candidates first (they precede the new chunks globally),
+    // new chunks in morsel order behind them, stable top-N re-sort.
+    failed = [&]() -> Status {
+      std::vector<Table> pieces;
+      pieces.reserve(static_cast<size_t>(b) + 1);
+      pieces.push_back(std::move(cand));
+      for (Table& t : out) pieces.push_back(std::move(t));
+      BAUPLAN_ASSIGN_OR_RETURN(Table merged, columnar::ConcatTables(pieces));
+      std::vector<columnar::SortKeySpec> merged_keys;
+      merged_keys.reserve(sort.sort_keys.size());
+      for (const auto& key : sort.sort_keys) {
+        BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr arr,
+                                 EvaluateExpr(*key.expr, merged));
+        merged_keys.push_back({std::move(arr), key.ascending});
+      }
+      BAUPLAN_ASSIGN_OR_RETURN(SelectionVector top,
+                               columnar::SortIndices(merged_keys, limit));
+      BAUPLAN_ASSIGN_OR_RETURN(cand, columnar::TakeTable(merged, top));
+      cctx.TrackPeak(cand.EstimatedBytes());
+      BAUPLAN_ASSIGN_OR_RETURN(cand_key0,
+                               EvaluateExpr(*sort.sort_keys[0].expr, cand));
+      return Status::OK();
+    }();
+  }
+  ctx->stats->rows_filtered += rows_filtered;
+  cctx.Count("exec.rows_filtered", rows_filtered);
+  ctx->stats->topn_morsels_skipped += skipped;
+  cctx.Count("exec.breaker.topn_skipped", skipped);
+  if (tracer != nullptr) {
+    for (const StreamOp& op : ops) {
+      tracer->AddAttribute(op.span, "rows_out", StrCat(op.rows_out));
+      tracer->EndSpan(op.span);
+    }
+    tracer->AddAttribute(sort_span.id(), "rows_out",
+                         StrCat(cand.num_rows()));
+    tracer->AddAttribute(sort_span.id(), "morsels_skipped",
+                         StrCat(skipped));
+    tracer->AddAttribute(limit_span.id(), "rows_out",
+                         StrCat(cand.num_rows()));
+  }
+  BAUPLAN_RETURN_NOT_OK(failed);
+  ctx->TrackPeak(cand.EstimatedBytes());
+  return cand;
 }
 
 /// Compiles and drives the pipeline rooted at `head`, handing each
@@ -2781,7 +3460,7 @@ Status StreamChainInto(ExecContext* ctx, const PlanNode& head,
         BAUPLAN_ASSIGN_OR_RETURN(ArrayPtr arr, EvaluateExpr(*k, primer));
         left_key_types.push_back(arr->type());
       }
-      BAUPLAN_RETURN_NOT_OK(st->Build(*node, left_key_types));
+      BAUPLAN_RETURN_NOT_OK(st->Build(ctx, *node, left_key_types, op_span));
       op.join = std::move(st);
     }
     ops.push_back(std::move(op));
@@ -2850,7 +3529,7 @@ Result<Table> ExecStreamAggregate(ExecContext* ctx, const PlanNode& plan,
                              ExecStreamingNode(ctx, child, span.id()));
     out = ExecAggregateVectorized(ctx, plan, input, span.id());
   } else {
-    AggregateStream sink(ctx, plan);
+    AggregateStream sink(ctx, plan, span.id());
     bool passthrough = false;
     Status s = StreamChainInto(
         ctx, child, span.id(),
@@ -2902,6 +3581,13 @@ Result<Table> ExecStreamingNode(ExecContext* ctx, const PlanNode& plan,
     case PlanKind::kLimit: {
       const PlanNode& child = *plan.children[0];
       if (child.kind == PlanKind::kSort && !child.sort_keys.empty()) {
+        // Top-N short-circuit: when the chain under the sort is
+        // filters-only and no budget applies, the LIMIT also prunes
+        // upstream morsel dispatch.
+        bool handled = false;
+        Result<Table> topn =
+            ExecStreamTopN(ctx, plan, child, parent_span, &handled);
+        if (handled) return topn;
         // Top-N: same fusion as the materialized engine — the LIMIT
         // pushes into the sort breaker instead of streaming.
         ++ctx->stats->operators_executed;  // the limit; the breaker

@@ -60,6 +60,22 @@ struct ExecStats {
   int64_t spill_partitions = 0;     // partitions written by spilling ops
   int64_t spill_bytes_written = 0;  // serialized bytes put to spill store
   int64_t spill_bytes_read = 0;     // serialized bytes read back
+  /// Hash partitions used by parallel breaker builds/merges (join build +
+  /// aggregate merge). Stays 0 when every breaker ran single-partition.
+  int64_t breaker_partitions = 0;
+  /// Sorted runs produced by the parallel sort breaker (0 when sorts ran
+  /// as one serial run).
+  int64_t sort_runs = 0;
+  /// Morsels a top-N sort short-circuit proved irrelevant and skipped
+  /// without executing. Counted inside `morsels_scheduled` but not
+  /// `morsels`.
+  int64_t topn_morsels_skipped = 0;
+  /// Join builds by key layout: flat int64, packed two-int64, canonical
+  /// key bytes (string/mixed fast path), and hashed-bucket fallback.
+  int64_t join_build_flat64 = 0;
+  int64_t join_build_flat128 = 0;
+  int64_t join_build_canonical = 0;
+  int64_t join_build_buckets = 0;
 };
 
 /// Execution knobs for one plan run.

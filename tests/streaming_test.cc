@@ -86,6 +86,23 @@ class StreamingTest : public ::testing::Test {
         "dims", *Table::Make(Schema({{"dkey", TypeId::kInt64, true},
                                      {"dname", TypeId::kString, false}}),
                              {dkey.Finish(), dname.Finish()}));
+
+    // String-keyed dimension: skey matches `tag` values, sk2 matches
+    // `key` values — string and mixed (string, int64) composite join
+    // keys for the canonical-key battery shapes.
+    Int64Builder sk2;
+    StringBuilder skey, sname;
+    for (int64_t i = 0; i < 180; ++i) {
+      skey.Append(StrCat("tag_", i % 37, "_", std::string(i % 11, 'x')));
+      sk2.Append(i % 211);
+      sname.Append(StrCat("sdim_", i));
+    }
+    provider_.AddTable(
+        "sdims",
+        *Table::Make(Schema({{"skey", TypeId::kString, false},
+                             {"sk2", TypeId::kInt64, false},
+                             {"sname", TypeId::kString, false}}),
+                     {skey.Finish(), sk2.Finish(), sname.Finish()}));
   }
 
   Result<QueryResult> Run(std::string_view sql, int64_t budget,
@@ -141,6 +158,20 @@ TEST_F(StreamingTest, StreamingMaterializedScalarBitIdentical) {
       {"SELECT f.id, d.dname FROM facts f "
        "LEFT JOIN dims d ON f.key = d.dkey ORDER BY f.id, d.dname",
        true},
+      // String join key: the canonical-bytes build fast path.
+      {"SELECT f.id, s.sname FROM facts f "
+       "JOIN sdims s ON f.tag = s.skey ORDER BY f.id, s.sname",
+       true},
+      // Mixed (string, int64) composite key with a nullable column.
+      {"SELECT f.id, s.sname FROM facts f "
+       "JOIN sdims s ON f.tag = s.skey AND f.key = s.sk2 "
+       "ORDER BY f.id, s.sname",
+       true},
+      // LEFT join over the mixed composite key.
+      {"SELECT f.id, s.sname FROM facts f "
+       "LEFT JOIN sdims s ON f.tag = s.skey AND f.key = s.sk2 "
+       "ORDER BY f.id, s.sname",
+       true},
       // Multi-key sort breaker with nulls and NaNs in the keys.
       {"SELECT id, amount, tag FROM facts ORDER BY amount DESC, tag, id",
        false},
@@ -175,7 +206,7 @@ TEST_F(StreamingTest, StreamingMaterializedScalarBitIdentical) {
                          StrCat(sql, " [scalar oracle]"));
     }
     for (int64_t budget : {int64_t{0}, int64_t{64 * 1024}}) {
-      for (int threads : {1, 4}) {
+      for (int threads : {1, 4, 8}) {
         auto streaming = Run(sql, budget, threads);
         ASSERT_TRUE(streaming.ok())
             << sql << " budget=" << budget << " threads=" << threads
