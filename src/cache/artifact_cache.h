@@ -1,0 +1,131 @@
+#ifndef BAUPLAN_CACHE_ARTIFACT_CACHE_H_
+#define BAUPLAN_CACHE_ARTIFACT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "columnar/table.h"
+#include "common/bytes.h"
+#include "common/thread_annotations.h"
+#include "observability/metrics.h"
+#include "pipeline/project.h"
+#include "storage/object_store.h"
+
+namespace bauplan::cache {
+
+/// What one cached pipeline node produced: a post-audit table artifact
+/// (SQL models) or a recorded audit outcome (expectations).
+struct CachedArtifact {
+  pipeline::NodeKind kind = pipeline::NodeKind::kSqlModel;
+  /// SQL models only.
+  columnar::Table table;
+  /// Expectations only.
+  bool expectation_passed = true;
+  std::string details;
+  int64_t output_rows = 0;
+
+  Bytes Serialize() const;
+  static Result<CachedArtifact> Deserialize(const Bytes& bytes);
+};
+
+/// Content-addressed differential artifact cache: memoizes per-node
+/// pipeline outputs under their fingerprint keys (cache/fingerprint.h)
+/// so a re-run can skip every unchanged node. Entries live in an
+/// ObjectStore under "<prefix>/<key>" — hand it the platform's metered
+/// lake store and the cache persists across processes, pays the modeled
+/// object-storage latency, and composes with MeteredObjectStore,
+/// FaultInjectionStore and the cost model like any other I/O.
+///
+/// Degradation contract: the cache can make a run faster, never fail it.
+/// Every store error — probe get, insert put, eviction delete, index
+/// list — degrades to a miss (or a skipped insert) and the run proceeds
+/// as if the cache were cold. A corrupt entry is dropped from the index
+/// on first touch.
+///
+/// Capacity: `budget_bytes` bounds the total serialized payload; 0
+/// disables the cache entirely. Inserts evict least-recently-used
+/// entries (deleting their objects) until the newcomer fits; an entry
+/// larger than the whole budget is not stored.
+///
+/// Counters register as cache.{hits,misses,inserts,evictions} plus the
+/// cache.bytes gauge; `skipped_invocations` is counted by the runner.
+///
+/// Thread safety: all operations take an internal mutex (probes happen
+/// on the run driver thread, but fused bodies probe from inside a
+/// function invocation).
+class ArtifactCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t inserts = 0;
+    int64_t evictions = 0;
+    uint64_t bytes = 0;
+    size_t entries = 0;
+  };
+
+  /// Does not own `store` or `registry` (private registry when null).
+  ArtifactCache(storage::ObjectStore* store, uint64_t budget_bytes,
+                observability::MetricsRegistry* registry = nullptr,
+                std::string prefix = "cache");
+
+  bool enabled() const { return budget_bytes_ > 0; }
+  uint64_t budget_bytes() const { return budget_bytes_; }
+
+  /// Rebuilds the in-memory index from the store so a fresh process sees
+  /// entries persisted by earlier ones. List errors degrade to an empty
+  /// index; entries beyond the budget are evicted immediately (the
+  /// budget may have shrunk since they were written).
+  void LoadIndex();
+
+  /// Returns the artifact cached under `key`, or nullopt on a miss. Any
+  /// store or decode error is a miss.
+  std::optional<CachedArtifact> Lookup(const std::string& key);
+
+  /// Stores an artifact under `key`. Never fails: store errors, an
+  /// over-budget payload, or a disabled cache all just skip the insert.
+  void Insert(const std::string& key, const CachedArtifact& artifact);
+
+  /// Deletes every cached entry (objects and index); returns how many
+  /// were dropped. The only surface where a store error is reported.
+  Result<size_t> Clear();
+
+  Stats stats() const;
+  uint64_t used_bytes() const;
+  size_t entry_count() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t bytes = 0;
+  };
+
+  std::string ObjectKey(const std::string& key) const;
+  void EvictUntilFits(uint64_t incoming) BAUPLAN_REQUIRES(mu_);
+  void DropEntry(const std::string& key, bool count_eviction)
+      BAUPLAN_REQUIRES(mu_);
+
+  storage::ObjectStore* store_;
+  uint64_t budget_bytes_;
+  std::string prefix_;
+  mutable std::mutex mu_;
+  uint64_t used_bytes_ BAUPLAN_GUARDED_BY(mu_) = 0;
+  std::list<Entry> lru_ BAUPLAN_GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> entries_
+      BAUPLAN_GUARDED_BY(mu_);
+  std::unique_ptr<observability::MetricsRegistry> owned_registry_;
+  observability::Counter* hits_;
+  observability::Counter* misses_;
+  observability::Counter* inserts_;
+  observability::Counter* evictions_;
+  observability::Gauge* bytes_;
+};
+
+}  // namespace bauplan::cache
+
+#endif  // BAUPLAN_CACHE_ARTIFACT_CACHE_H_

@@ -70,17 +70,27 @@ commands:
         instead of diagnostics (text, or JSON with --json); --werror
         (or BAUPLAN_WERROR=1) promotes warnings to errors
   run --project DIR [-b BRANCH] [--naive] [--parallel N] [--explain]
-      [--no-verify] [--trim] [--trace-out FILE]
+      [--no-verify] [--trim] [--trace-out FILE] [--no-cache]
+      [--cache-budget BYTES] [--explain-metrics]
         execute a pipeline with transform-audit-write semantics; the
         project is statically analyzed first and refused on errors
         (--no-verify skips this); --parallel N dispatches independent
         nodes of a --naive run as wavefronts with up to N bodies at a
         time; --trim drops dead columns from intermediate artifacts
         (cross-node projection trimming from the lineage graph);
-        --trace-out writes the run's hierarchical span trace as JSON
+        --trace-out writes the run's hierarchical span trace as JSON;
+        unchanged nodes are served from the differential artifact cache
+        (content-addressed, shared across branches) — --no-cache skips
+        it for this run, --cache-budget BYTES (or BAUPLAN_CACHE_BUDGET)
+        resizes it (0 disables), and --explain-metrics dumps the
+        platform metric instruments (cache.*, query_cache.*, exec.*)
+        after the report
   run --run-id N [-m NODE[+]] [--trace-out FILE]
         replay a recorded run, sandboxed
   runs  list recorded runs
+  cache stats | cache clear
+        show differential artifact cache contents and counters, or drop
+        every cached artifact from the lake
   ctas -t TABLE -q SQL [-b BRANCH]
         create a table from a query result
   import -t TABLE --csv FILE [-b BRANCH] [--overwrite]
@@ -143,13 +153,17 @@ const std::map<std::string, std::vector<FlagDef>, std::less<>>& VerbFlags() {
             {"--naive", "", false},
             {"--parallel", "", true},
             {"--explain", "", false},
+            {"--explain-metrics", "", false},
             {"--no-verify", "", false},
             {"--trim", "", false},
+            {"--no-cache", "", false},
+            {"--cache-budget", "", true},
             {"--run-id", "", true},
             {"-m", "", true},
             {"--trace-out", "", true},
             kBranchFlag}},
           {"runs", {kBranchFlag}},
+          {"cache", {kBranchFlag}},
           {"ctas", {{"-t", "--table", true}, {"-q", "--query", true},
                     kBranchFlag}},
           {"import",
@@ -256,7 +270,9 @@ void PrintRunReport(const core::RunReport& report) {
                                                       : "sql";
     std::printf("  %-24s [%s] rows=%lld", node.name.c_str(), kind,
                 static_cast<long long>(node.output_rows));
-    if (!report.fused.has_value()) {
+    if (node.cache_hit) {
+      std::printf(" [cached]");
+    } else if (!report.fused.has_value()) {
       std::printf(" start=%s (%s)",
                   FormatDurationMicros(node.startup_micros).c_str(),
                   std::string(runtime::StartKindToString(node.start_kind))
@@ -276,6 +292,14 @@ void PrintRunReport(const core::RunReport& report) {
               FormatDurationMicros(report.total_micros).c_str(),
               static_cast<long long>(report.spill_metrics.puts),
               static_cast<long long>(report.spill_metrics.gets));
+  size_t cached = 0;
+  for (const auto& node : report.nodes) {
+    if (node.cache_hit) ++cached;
+  }
+  if (cached > 0) {
+    std::printf("  %zu of %zu node(s) served from the artifact cache\n",
+                cached, report.nodes.size());
+  }
   if (report.merged) {
     std::printf("  merged into branch at commit %s\n",
                 report.merged_commit_id.c_str());
@@ -326,6 +350,22 @@ Result<double> DoubleFlag(const Args& args, const std::string& flag,
   return value;
 }
 
+/// BAUPLAN_CACHE_BUDGET (strict, same contract as BAUPLAN_WERROR): byte
+/// budget for the differential artifact cache; only a non-negative
+/// integer parses, anything else is a usage error rather than silently
+/// running with the default.
+Result<uint64_t> CacheBudgetFromEnv(uint64_t fallback) {
+  const char* v = std::getenv("BAUPLAN_CACHE_BUDGET");
+  if (v == nullptr || *v == '\0') return fallback;
+  int64_t value = 0;
+  if (!ParseInt64(v, &value) || value < 0) {
+    return Status::InvalidArgument(
+        StrCat("BAUPLAN_CACHE_BUDGET must be a non-negative integer "
+               "byte count, got \"", v, "\""));
+  }
+  return static_cast<uint64_t>(value);
+}
+
 /// Writes the run's span trace as JSON; used by `run --trace-out`.
 Status WriteTrace(const std::string& path, const core::RunReport& report) {
   std::ofstream out(path);
@@ -354,7 +394,20 @@ int Main(int argc, char** argv) {
   // calibrated models rather than slept.
   WallClock wall;
   SimClock clock(wall.NowMicros());
-  auto platform = core::Bauplan::Open(store->get(), &clock);
+  // The artifact cache is sized at Open (its index loads from the lake),
+  // so budget overrides are resolved before the platform exists:
+  // --cache-budget beats BAUPLAN_CACHE_BUDGET beats the default.
+  core::BauplanOptions bp_options;
+  auto env_budget = CacheBudgetFromEnv(bp_options.artifact_cache_bytes);
+  if (!env_budget.ok()) return UsageError(env_budget.status().message());
+  bp_options.artifact_cache_bytes = *env_budget;
+  auto flag_budget =
+      Int64Flag(args, "--cache-budget",
+                static_cast<int64_t>(bp_options.artifact_cache_bytes), 0,
+                std::numeric_limits<int64_t>::max());
+  if (!flag_budget.ok()) return UsageError(flag_budget.status().message());
+  bp_options.artifact_cache_bytes = static_cast<uint64_t>(*flag_budget);
+  auto platform = core::Bauplan::Open(store->get(), &clock, bp_options);
   if (!platform.ok()) return Fail(platform.status());
   core::Bauplan& bp = **platform;
 
@@ -475,6 +528,17 @@ int Main(int argc, char** argv) {
       auto report = bp.ReplayRun(*run_id, args.Get("-m"));
       if (!report.ok()) return Fail(report.status());
       PrintRunReport(*report);
+      // The recorded run remembers which nodes the artifact cache
+      // served; surface them so "why is this replay fast" is answerable.
+      if (auto record = bp.run_registry().GetRun(*run_id);
+          record.ok() && !record->cached_nodes.empty()) {
+        std::printf("  original run served %zu node(s) from cache:",
+                    record->cached_nodes.size());
+        for (const auto& name : record->cached_nodes) {
+          std::printf(" %s", name.c_str());
+        }
+        std::printf("\n");
+      }
       if (args.Has("--trace-out")) {
         Status st = WriteTrace(args.Get("--trace-out"), *report);
         if (!st.ok()) return Fail(st);
@@ -499,6 +563,7 @@ int Main(int argc, char** argv) {
     options.fused = !args.Has("--naive");
     options.verify = !args.Has("--no-verify");
     options.trim_unused_columns = args.Has("--trim");
+    options.use_cache = !args.Has("--no-cache");
     auto parallelism = Int64Flag(args, "--parallel", 1, 1, 4096);
     if (!parallelism.ok()) return UsageError(parallelism.status().message());
     options.parallelism = static_cast<int>(*parallelism);
@@ -508,6 +573,9 @@ int Main(int argc, char** argv) {
     auto report = bp.Run(*project, ref->name(), options);
     if (!report.ok()) return Fail(report.status());
     PrintRunReport(*report);
+    if (args.Has("--explain-metrics")) {
+      std::printf("-- metrics --\n%s", report->metrics.ToText().c_str());
+    }
     if (args.Has("--trace-out")) {
       Status st = WriteTrace(args.Get("--trace-out"), *report);
       if (!st.ok()) return Fail(st);
@@ -515,6 +583,36 @@ int Main(int argc, char** argv) {
                   args.Get("--trace-out").c_str());
     }
     return report->merged ? 0 : 2;
+  }
+
+  if (command == "cache") {
+    if (args.positional().size() < 2) {
+      return UsageError("cache needs stats|clear");
+    }
+    const std::string& sub = args.positional()[1];
+    if (sub == "stats") {
+      cache::ArtifactCache* artifact_cache = bp.artifact_cache();
+      cache::ArtifactCache::Stats stats = bp.artifact_cache_stats();
+      std::printf("artifact cache: %zu entr%s, %s of %s used\n",
+                  stats.entries, stats.entries == 1 ? "y" : "ies",
+                  FormatBytes(stats.bytes).c_str(),
+                  FormatBytes(artifact_cache->budget_bytes()).c_str());
+      std::printf(
+          "  this session: %lld hits, %lld misses, %lld inserts, "
+          "%lld evictions\n",
+          static_cast<long long>(stats.hits),
+          static_cast<long long>(stats.misses),
+          static_cast<long long>(stats.inserts),
+          static_cast<long long>(stats.evictions));
+      return 0;
+    }
+    if (sub == "clear") {
+      auto dropped = bp.artifact_cache()->Clear();
+      if (!dropped.ok()) return Fail(dropped.status());
+      std::printf("dropped %zu cached artifact(s)\n", *dropped);
+      return 0;
+    }
+    return UsageError(StrCat("unknown cache subcommand '", sub, "'"));
   }
 
   if (command == "ctas") {

@@ -39,6 +39,8 @@ Bauplan::Bauplan(storage::ObjectStore* base_store, Clock* clock,
   audit_ = std::make_unique<AuditLog>(lake_store_.get(), run_clock);
   query_cache_ = std::make_unique<QueryResultCache>(
       options_.query_cache_bytes, metrics_.get());
+  artifact_cache_ = std::make_unique<cache::ArtifactCache>(
+      lake_store_.get(), options_.artifact_cache_bytes, metrics_.get());
 }
 
 void Bauplan::Audit(const std::string& operation, const std::string& ref,
@@ -65,10 +67,14 @@ Result<std::unique_ptr<Bauplan>> Bauplan::Open(
       platform->lake_store_.get(), run_clock);
   platform->registry_ = std::make_unique<pipeline::RunRegistry>(
       platform->lake_store_.get(), run_clock);
+  // Adopt whatever artifacts earlier processes left in the lake store —
+  // the cache is durable state, not a per-process accelerator.
+  platform->artifact_cache_->LoadIndex();
   platform->runner_ = std::make_unique<PipelineRunner>(
       run_clock, platform->catalog_.get(), platform->table_ops_.get(),
       platform->executor_.get(), platform->spill_store_.get(),
-      platform->tracer_.get());
+      platform->tracer_.get(), platform->artifact_cache_.get(),
+      platform->metrics_.get());
   return platform;
 }
 
@@ -171,9 +177,12 @@ Result<sql::QueryResult> Bauplan::Query(std::string_view sql_text,
   auto commit = catalog_->Resolve(ref);
   if (commit.ok()) {
     sql::QueryResult cached;
-    if (query_cache_->Lookup(sql, *commit, &cached.table)) {
+    // A hit replays the whole original payload — stats, and (when the
+    // caller captures plans) plan text and lints — so cached and
+    // uncached executions are indistinguishable except from_cache.
+    if (query_cache_->Lookup(sql, *commit, options.capture_plans,
+                             &cached)) {
       cached.from_cache = true;
-      cached.stats.rows_output = cached.table.num_rows();
       tracer_->AddAttribute(query_span, "cache", "hit");
       LogDebug(StrCat("query cache hit at commit ", *commit));
       finish_trace(&cached);
@@ -199,7 +208,7 @@ Result<sql::QueryResult> Bauplan::Query(std::string_view sql_text,
   finish_trace(result.ok() ? &*result : nullptr);
   Audit("query", ref_text, sql, result.status());
   if (result.ok() && commit.ok()) {
-    query_cache_->Insert(sql, *commit, result->table);
+    query_cache_->Insert(sql, *commit, *result, options.capture_plans);
   }
   return result;
 }
@@ -360,8 +369,15 @@ Result<RunReport> Bauplan::Run(const pipeline::PipelineProject& project,
   auto merged = catalog_->Merge(run_branch, branch, options_.author);
   if (!merged.ok()) return fail(merged.status().ToString());
   BAUPLAN_RETURN_NOT_OK(catalog_->DeleteBranch(run_branch));
+  // Record which nodes the artifact cache served, so a later
+  // `bauplan run --run-id N` can say what this run skipped.
+  std::vector<std::string> cached_nodes;
+  for (const auto& node : report.nodes) {
+    if (node.cache_hit) cached_nodes.push_back(node.name);
+  }
   BAUPLAN_RETURN_NOT_OK(registry_->FinishRun(record.run_id, "succeeded",
-                                             merged->commit_id));
+                                             merged->commit_id,
+                                             cached_nodes));
   report.merged = true;
   report.merged_commit_id = merged->commit_id;
   report.status = "succeeded";

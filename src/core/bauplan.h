@@ -37,6 +37,12 @@ struct BauplanOptions {
   /// Result-cache budget for Query(); 0 disables. Keyed by (sql, commit),
   /// so versioning makes invalidation automatic.
   uint64_t query_cache_bytes = 256ull << 20;
+  /// Byte budget of the differential artifact cache memoizing pipeline
+  /// node outputs across runs (and branches — keys are content ids, not
+  /// refs); 0 disables it. Entries live in the lake store under
+  /// "cache/", so they persist wherever the catalog does. `bauplan run
+  /// --cache-budget BYTES` / BAUPLAN_CACHE_BUDGET override this.
+  uint64_t artifact_cache_bytes = 1ull << 30;
   /// Record every platform verb in the durable audit trail.
   bool enable_audit_log = true;
 };
@@ -139,6 +145,10 @@ class Bauplan {
   QueryResultCache::Stats query_cache_stats() const {
     return query_cache_->stats();
   }
+  cache::ArtifactCache::Stats artifact_cache_stats() const {
+    return artifact_cache_->stats();
+  }
+  cache::ArtifactCache* artifact_cache() { return artifact_cache_.get(); }
   storage::StoreMetrics lake_metrics() const {
     return lake_store_->metrics();
   }
@@ -191,6 +201,10 @@ class Bauplan {
   std::unique_ptr<catalog::Catalog> catalog_;
   std::unique_ptr<table::TableOps> table_ops_;
   std::unique_ptr<pipeline::RunRegistry> registry_;
+  /// Lives in the lake store (under "cache/") so cached artifacts ride
+  /// the same persistence, metering and fault injection as everything
+  /// else; declared before the runner that probes it.
+  std::unique_ptr<cache::ArtifactCache> artifact_cache_;
   std::unique_ptr<runtime::PackageCache> package_cache_;
   std::unique_ptr<runtime::ContainerManager> containers_;
   std::unique_ptr<runtime::Scheduler> scheduler_;

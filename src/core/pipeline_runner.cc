@@ -63,6 +63,21 @@ std::string SpillKey(const std::string& node) {
 /// records times an ~8-bytes-per-value row width. Used to size functions
 /// reading replayed upstreams, where the exact spill size is unknown but
 /// the row count is right in the table metadata.
+/// Does any *selected* node read `name`'s output? When nothing selected
+/// consumes it, a cache hit needs no spill-store materialization — the
+/// table only has to reach the run's artifact map.
+bool HasSelectedConsumer(const Dag& dag,
+                         const std::set<std::string>& selected_set,
+                         const std::string& name) {
+  for (const auto& candidate : dag.execution_order()) {
+    if (selected_set.count(candidate) == 0) continue;
+    for (const auto& up : dag.GetNode(candidate).upstream_nodes) {
+      if (up == name) return true;
+    }
+  }
+  return false;
+}
+
 int64_t EstimateCatalogArtifactBytes(const catalog::Catalog* catalog,
                                      const table::TableOps* ops,
                                      const std::string& ref,
@@ -106,6 +121,24 @@ Result<RunReport> PipelineRunner::Execute(
   }
   spill_store_->ResetMetrics();
 
+  // Cache keys are derived once per run, before any dispatch: execution
+  // knobs are absent from them by design, so the same map serves every
+  // mode below. A null pointer tells the paths caching is off entirely.
+  // Trimmed runs bypass the cache both ways: a trimmed artifact's bytes
+  // depend on its *downstream* consumers, which an upstream-only Merkle
+  // key cannot capture, so trimmed outputs can neither serve nor be
+  // served by untrimmed ones.
+  const bool cache_on = cache_ != nullptr && cache_->enabled() &&
+                        options.use_cache && !options.trim_unused_columns;
+  cache::NodeFingerprints keys;
+  if (cache_on) {
+    std::vector<std::string> all = SelectOrAll(dag, options.selected);
+    keys = cache::ComputeNodeFingerprints(
+        dag, std::set<std::string>(all.begin(), all.end()), catalog_,
+        ref);
+  }
+  const cache::NodeFingerprints* keys_ptr = cache_on ? &keys : nullptr;
+
   uint64_t run_span = 0;
   if (tracer_ != nullptr) {
     run_span = tracer_->StartSpan("run", observability::span_kind::kRun);
@@ -115,21 +148,29 @@ Result<RunReport> PipelineRunner::Execute(
         options.fused ? "fused"
                       : (options.parallelism > 1 ? "parallel_naive"
                                                  : "naive"));
+    tracer_->AddAttribute(run_span, "cache",
+                          cache_on ? "enabled" : "disabled");
   }
 
   Result<RunReport> result =
       options.fused
           ? ExecuteFused(dag, ref, SelectOrAll(dag, options.selected),
                          options.exec, options.trim_unused_columns,
-                         run_span)
+                         keys_ptr, run_span)
           : (options.parallelism > 1
                  ? ExecuteParallelNaive(dag, ref,
                                         SelectOrAll(dag, options.selected),
                                         options.exec, options.parallelism,
-                                        run_span)
+                                        keys_ptr, run_span)
                  : ExecuteNaive(dag, ref,
                                 SelectOrAll(dag, options.selected),
-                                options.exec, run_span));
+                                options.exec, keys_ptr, run_span));
+
+  // Memoize what this run actually computed — post-audit only: a run
+  // with a failing expectation vouches for nothing.
+  if (result.ok() && cache_on && result->all_expectations_passed) {
+    InsertFreshArtifacts(*result, keys);
+  }
 
   if (tracer_ != nullptr) {
     tracer_->EndSpan(run_span);
@@ -147,7 +188,7 @@ Result<RunReport> PipelineRunner::ExecuteFused(
     const Dag& dag, const std::string& ref,
     const std::vector<std::string>& selected,
     const sql::ExecOptions& exec, bool trim_unused_columns,
-    uint64_t run_span) {
+    const cache::NodeFingerprints* keys, uint64_t run_span) {
   RunReport report;
   uint64_t start = clock_->NowMicros();
 
@@ -213,6 +254,37 @@ Result<RunReport> PipelineRunner::ExecuteFused(
       NodeExecution node_report;
       node_report.name = name;
       node_report.kind = node.kind;
+      // Fused hits skip the node's work inside the shared function (the
+      // single invocation itself still runs — nothing is dispatched per
+      // node in this mode, so skipped_invocations stays untouched).
+      if (keys != nullptr && !keys->Find(name).empty()) {
+        std::optional<cache::CachedArtifact> hit;
+        {
+          ScopedSpan probe(tracer_, name,
+                           observability::span_kind::kCacheProbe,
+                           fused_span);
+          hit = cache_->Lookup(keys->Find(name));
+        }
+        if (hit.has_value()) {
+          node_report.cache_hit = true;
+          node_report.output_rows = hit->output_rows;
+          if (node.kind == NodeKind::kSqlModel) {
+            ScopedSpan mat(tracer_, name,
+                           observability::span_kind::kCacheMaterialize,
+                           fused_span);
+            report.artifacts[name] = hit->table;
+            source.AddOverlayTable(name, std::move(hit->table));
+          } else {
+            node_report.expectation_passed = hit->expectation_passed;
+            node_report.details = hit->details;
+            if (!hit->expectation_passed) {
+              report.all_expectations_passed = false;
+            }
+          }
+          report.nodes.push_back(std::move(node_report));
+          continue;
+        }
+      }
       if (node.kind == NodeKind::kSqlModel) {
         ScopedSpan sql_span(tracer_, name,
                             observability::span_kind::kSql, fused_span);
@@ -400,10 +472,88 @@ runtime::FunctionRequest PipelineRunner::BuildNaiveRequest(
   return request;
 }
 
+bool PipelineRunner::TryServeFromCache(
+    internal::NaiveRunContext& ctx, const cache::NodeFingerprints* keys,
+    const std::string& name, bool has_selected_consumer,
+    NodeExecution* node_report, uint64_t node_span) {
+  if (keys == nullptr) return false;
+  const std::string& key = keys->Find(name);
+  if (key.empty()) return false;
+
+  const PipelineNode& node = *ctx.dag->GetNode(name).node;
+  std::optional<cache::CachedArtifact> hit;
+  {
+    ScopedSpan probe(tracer_, name,
+                     observability::span_kind::kCacheProbe, node_span);
+    hit = cache_->Lookup(key);
+  }
+  if (!hit.has_value()) return false;
+
+  if (node.kind == NodeKind::kSqlModel && has_selected_consumer) {
+    // Downstream functions fetch their inputs from the spill store;
+    // re-materialize the cached table under the node's spill key so
+    // their bodies stay oblivious to where it came from. If the put
+    // fails, fall back to executing the node — cache trouble never
+    // fails a run.
+    Bytes payload = columnar::SerializeTable(hit->table);
+    int64_t payload_bytes = static_cast<int64_t>(payload.size());
+    Status put_status = [&] {
+      ScopedSpan mat(tracer_, StrCat("put ", SpillKey(name)),
+                     observability::span_kind::kCacheMaterialize,
+                     node_span);
+      return spill_store_->Put(SpillKey(name), std::move(payload));
+    }();
+    if (!put_status.ok()) return false;
+    std::lock_guard<std::mutex> lock(ctx.mu);
+    ctx.artifact_bytes[name] = payload_bytes;
+  }
+
+  node_report->name = name;
+  node_report->kind = node.kind;
+  node_report->cache_hit = true;
+  node_report->output_rows = hit->output_rows;
+  {
+    std::lock_guard<std::mutex> lock(ctx.mu);
+    if (node.kind == NodeKind::kSqlModel) {
+      ctx.report->artifacts[name] = std::move(hit->table);
+    } else {
+      node_report->expectation_passed = hit->expectation_passed;
+      node_report->details = hit->details;
+      if (!hit->expectation_passed) {
+        ctx.report->all_expectations_passed = false;
+      }
+    }
+  }
+  if (skipped_invocations_ != nullptr) skipped_invocations_->Increment();
+  return true;
+}
+
+void PipelineRunner::InsertFreshArtifacts(
+    const RunReport& report, const cache::NodeFingerprints& keys) {
+  for (const NodeExecution& node : report.nodes) {
+    if (node.cache_hit) continue;
+    const std::string& key = keys.Find(node.name);
+    if (key.empty()) continue;
+    cache::CachedArtifact artifact;
+    artifact.kind = node.kind;
+    artifact.output_rows = node.output_rows;
+    if (node.kind == NodeKind::kSqlModel) {
+      auto it = report.artifacts.find(node.name);
+      if (it == report.artifacts.end()) continue;
+      artifact.table = it->second;
+    } else {
+      artifact.expectation_passed = node.expectation_passed;
+      artifact.details = node.details;
+    }
+    cache_->Insert(key, artifact);
+  }
+}
+
 Result<RunReport> PipelineRunner::ExecuteNaive(
     const Dag& dag, const std::string& ref,
     const std::vector<std::string>& selected,
-    const sql::ExecOptions& exec, uint64_t run_span) {
+    const sql::ExecOptions& exec, const cache::NodeFingerprints* keys,
+    uint64_t run_span) {
   RunReport report;
   uint64_t start = clock_->NowMicros();
 
@@ -424,6 +574,17 @@ Result<RunReport> PipelineRunner::ExecuteNaive(
     if (tracer_ != nullptr) {
       node_span = tracer_->StartSpan(
           name, observability::span_kind::kNode, run_span);
+    }
+    if (TryServeFromCache(ctx, keys, name,
+                          HasSelectedConsumer(dag, ctx.selected_set,
+                                              name),
+                          &node_report, node_span)) {
+      if (tracer_ != nullptr) {
+        tracer_->AddAttribute(node_span, "cache_hit", "true");
+        tracer_->EndSpan(node_span);
+      }
+      report.nodes.push_back(std::move(node_report));
+      continue;
     }
     runtime::FunctionRequest request =
         BuildNaiveRequest(ctx, name, &node_report, node_span);
@@ -447,7 +608,8 @@ Result<RunReport> PipelineRunner::ExecuteNaive(
 Result<RunReport> PipelineRunner::ExecuteParallelNaive(
     const Dag& dag, const std::string& ref,
     const std::vector<std::string>& selected,
-    const sql::ExecOptions& exec, int parallelism, uint64_t run_span) {
+    const sql::ExecOptions& exec, int parallelism,
+    const cache::NodeFingerprints* keys, uint64_t run_span) {
   RunReport report;
   uint64_t start = clock_->NowMicros();
 
@@ -486,10 +648,61 @@ Result<RunReport> PipelineRunner::ExecuteParallelNaive(
   std::map<std::string, NodeExecution*> slot_of;
   std::map<std::string, uint64_t> span_of;
   std::set<std::string> dispatched;
+  std::set<std::string> probed;  // each node probes the cache only once
   size_t completed = 0;
   int wave_index = 0;
 
   while (completed < indegree.size()) {
+    // Serve ready cache hits before forming the wave: a hit completes
+    // its node with no container or memory reservation, which can
+    // unblock further hits downstream — a fully-warm cone drains right
+    // here without dispatching a single wave. Hit spans parent under
+    // the run span (they belong to no wave); missed nodes keep their
+    // pre-created span and re-parent under the wave that dispatches
+    // them, exactly like a resource bounce.
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (const auto& name : dag.execution_order()) {
+        auto it = indegree.find(name);
+        if (it == indegree.end() || it->second > 0) continue;
+        if (dispatched.count(name) > 0 || probed.count(name) > 0) {
+          continue;
+        }
+        if (keys == nullptr || keys->Find(name).empty()) continue;
+        probed.insert(name);
+        NodeExecution*& slot = slot_of[name];
+        if (slot == nullptr) {
+          slots.emplace_back();
+          slot = &slots.back();
+        }
+        uint64_t node_span = 0;
+        if (tracer_ != nullptr) {
+          uint64_t& span = span_of[name];
+          if (span == 0) {
+            span = tracer_->StartSpan(
+                name, observability::span_kind::kNode, run_span);
+          }
+          node_span = span;
+        }
+        if (!TryServeFromCache(ctx, keys, name,
+                               HasSelectedConsumer(dag, ctx.selected_set,
+                                                   name),
+                               slot, node_span)) {
+          continue;  // dispatches in a wave; span interval set there
+        }
+        if (tracer_ != nullptr) {
+          tracer_->AddAttribute(node_span, "cache_hit", "true");
+          tracer_->EndSpan(node_span);
+        }
+        dispatched.insert(name);
+        ++completed;
+        for (const auto& down : downstream[name]) --indegree[down];
+        progressed = true;
+      }
+    }
+    if (completed >= indegree.size()) break;
+
     uint64_t wave_start = clock_->NowMicros();
     uint64_t wave_span = 0;
     if (tracer_ != nullptr) {

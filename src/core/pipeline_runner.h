@@ -4,9 +4,12 @@
 #include <string>
 #include <vector>
 
+#include "cache/artifact_cache.h"
+#include "cache/fingerprint.h"
 #include "catalog/catalog.h"
 #include "common/clock.h"
 #include "core/run_report.h"
+#include "observability/metrics.h"
 #include "observability/trace.h"
 #include "pipeline/dag.h"
 #include "runtime/executor.h"
@@ -54,6 +57,11 @@ struct PipelineRunOptions {
   /// sql::ExecOptions::FromEnv() at the CLI layer; tracer/metrics/spill
   /// wiring inside is overridden per node by the runner.
   sql::ExecOptions exec;
+  /// Probe the differential artifact cache before dispatching each node
+  /// and memoize fresh post-audit outputs after the run (`bauplan run
+  /// --no-cache` turns this off). No effect when the runner has no cache
+  /// or the cache's budget is 0.
+  bool use_cache = true;
 };
 
 /// Executes an extracted DAG on the serverless substrate in fused or
@@ -66,18 +74,29 @@ class PipelineRunner {
   /// Does not own its collaborators. `spill_store` is the metered store
   /// naive mode spills intermediates through. With a non-null `tracer`
   /// every run produces a span tree (run -> wave -> node -> {scan, sql,
-  /// expectation, spill}) extracted into RunReport::trace.
+  /// expectation, spill}) extracted into RunReport::trace. With a
+  /// non-null `cache` every run probes it per node (hits skip memory
+  /// reservation and container acquisition entirely) and memoizes fresh
+  /// post-audit artifacts; `metrics` hosts the runner's own
+  /// cache.skipped_invocations counter.
   PipelineRunner(Clock* clock, const catalog::Catalog* catalog,
                  const table::TableOps* ops,
                  runtime::ServerlessExecutor* executor,
                  storage::MeteredObjectStore* spill_store,
-                 observability::Tracer* tracer = nullptr)
+                 observability::Tracer* tracer = nullptr,
+                 cache::ArtifactCache* cache = nullptr,
+                 observability::MetricsRegistry* metrics = nullptr)
       : clock_(clock),
         catalog_(catalog),
         ops_(ops),
         executor_(executor),
         spill_store_(spill_store),
-        tracer_(tracer) {}
+        tracer_(tracer),
+        cache_(cache),
+        skipped_invocations_(
+            metrics == nullptr
+                ? nullptr
+                : metrics->GetCounter("cache.skipped_invocations")) {}
 
   /// Runs `dag` reading source tables at `ref`. Expectation failures are
   /// reported in the result (not as an error Status); infrastructure
@@ -92,11 +111,13 @@ class PipelineRunner {
                                  const std::vector<std::string>& selected,
                                  const sql::ExecOptions& exec,
                                  bool trim_unused_columns,
+                                 const cache::NodeFingerprints* keys,
                                  uint64_t run_span);
   Result<RunReport> ExecuteNaive(const pipeline::Dag& dag,
                                  const std::string& ref,
                                  const std::vector<std::string>& selected,
                                  const sql::ExecOptions& exec,
+                                 const cache::NodeFingerprints* keys,
                                  uint64_t run_span);
   /// Wavefront variant of ExecuteNaive: ready nodes dispatch together
   /// through ServerlessExecutor::InvokeWave. Produces the same artifacts,
@@ -105,7 +126,30 @@ class PipelineRunner {
   Result<RunReport> ExecuteParallelNaive(
       const pipeline::Dag& dag, const std::string& ref,
       const std::vector<std::string>& selected,
-      const sql::ExecOptions& exec, int parallelism, uint64_t run_span);
+      const sql::ExecOptions& exec, int parallelism,
+      const cache::NodeFingerprints* keys, uint64_t run_span);
+
+  /// Probes the cache for `name` (`keys` may be null = caching off) and,
+  /// on a hit, completes the node without dispatching a function: fills
+  /// `node_report` (cache_hit, rows, audit outcome), feeds the run's
+  /// artifact map, and — when a selected downstream consumer will read
+  /// the output through the spill store — re-materializes the cached
+  /// table under the node's spill key so downstream bodies are untouched.
+  /// Returns false on a miss, an empty key, or a failed materialize (the
+  /// caller then executes the node normally; cache trouble never fails a
+  /// run). `node_span` parents the cache.probe / cache.materialize spans.
+  bool TryServeFromCache(internal::NaiveRunContext& ctx,
+                         const cache::NodeFingerprints* keys,
+                         const std::string& name,
+                         bool has_selected_consumer,
+                         NodeExecution* node_report, uint64_t node_span);
+
+  /// Memoizes every freshly-executed node of a finished run whose
+  /// expectations all passed (cached artifacts are post-audit by
+  /// contract). Hits are skipped (already cached), as are nodes with
+  /// empty keys.
+  void InsertFreshArtifacts(const RunReport& report,
+                            const cache::NodeFingerprints& keys);
 
   /// The per-node FunctionRequest both naive paths dispatch: inputs list
   /// every upstream artifact, memory is sized from their bytes, and the
@@ -126,6 +170,10 @@ class PipelineRunner {
   runtime::ServerlessExecutor* executor_;
   storage::MeteredObjectStore* spill_store_;
   observability::Tracer* tracer_;
+  cache::ArtifactCache* cache_;
+  /// Function invocations never dispatched because the node was served
+  /// from the cache (the bench's cone gate reads this).
+  observability::Counter* skipped_invocations_;
 };
 
 }  // namespace bauplan::core

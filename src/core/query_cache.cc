@@ -29,33 +29,89 @@ std::string QueryResultCache::MakeKey(const std::string& sql,
   return FingerprintHex(sql) + ":" + commit_id;
 }
 
+uint64_t QueryResultCache::EntryBytes(const Entry& entry) {
+  return static_cast<uint64_t>(entry.table.EstimatedBytes()) +
+         entry.logical_plan.size() + entry.physical_plan.size();
+}
+
 bool QueryResultCache::Lookup(const std::string& sql,
                               const std::string& commit_id,
-                              columnar::Table* out) {
+                              bool need_plans, sql::QueryResult* out) {
   if (capacity_bytes_ == 0) return false;
   auto it = entries_.find(MakeKey(sql, commit_id));
-  if (it == entries_.end()) {
+  if (it == entries_.end() || (need_plans && !it->second->has_plans)) {
+    // A plan-less entry cannot serve an EXPLAIN-shaped request; miss so
+    // the re-execution captures plans (and upgrades the entry).
     misses_->Increment();
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
-  *out = it->second->table;
+  const Entry& entry = *it->second;
+  out->table = entry.table;
+  out->stats = entry.exec_stats;
+  // Mirror the uncached path exactly: plans and lints only materialize
+  // when the caller asked for them, even if the entry carries them.
+  if (need_plans) {
+    out->logical_plan = entry.logical_plan;
+    out->physical_plan = entry.physical_plan;
+    out->lints = entry.lints;
+  } else {
+    out->logical_plan.clear();
+    out->physical_plan.clear();
+    out->lints.clear();
+  }
   hits_->Increment();
+  return true;
+}
+
+bool QueryResultCache::Lookup(const std::string& sql,
+                              const std::string& commit_id,
+                              columnar::Table* out) {
+  sql::QueryResult result;
+  if (!Lookup(sql, commit_id, /*need_plans=*/false, &result)) return false;
+  *out = std::move(result.table);
   return true;
 }
 
 void QueryResultCache::Insert(const std::string& sql,
                               const std::string& commit_id,
-                              const columnar::Table& table) {
+                              const sql::QueryResult& result,
+                              bool has_plans) {
   if (capacity_bytes_ == 0) return;
   std::string key = MakeKey(sql, commit_id);
-  if (entries_.count(key) > 0) return;  // immutable: nothing to refresh
-  uint64_t bytes = static_cast<uint64_t>(table.EstimatedBytes());
-  if (bytes > capacity_bytes_) return;
-  EvictUntilFits(bytes);
-  lru_.push_front(Entry{key, table, bytes});
+  auto existing = entries_.find(key);
+  if (existing != entries_.end()) {
+    // Immutable key: nothing to refresh — unless this insert can upgrade
+    // a plan-less entry with captured plans.
+    if (!has_plans || existing->second->has_plans) return;
+    used_bytes_ -= existing->second->bytes;
+    lru_.erase(existing->second);
+    entries_.erase(existing);
+  }
+  Entry entry;
+  entry.key = key;
+  entry.table = result.table;
+  entry.exec_stats = result.stats;
+  entry.has_plans = has_plans;
+  if (has_plans) {
+    entry.logical_plan = result.logical_plan;
+    entry.physical_plan = result.physical_plan;
+    entry.lints = result.lints;
+  }
+  entry.bytes = EntryBytes(entry);
+  if (entry.bytes > capacity_bytes_) return;
+  EvictUntilFits(entry.bytes);
+  used_bytes_ += entry.bytes;
+  lru_.push_front(std::move(entry));
   entries_[key] = lru_.begin();
-  used_bytes_ += bytes;
+}
+
+void QueryResultCache::Insert(const std::string& sql,
+                              const std::string& commit_id,
+                              const columnar::Table& table) {
+  sql::QueryResult result;
+  result.table = table;
+  Insert(sql, commit_id, result, /*has_plans=*/false);
 }
 
 void QueryResultCache::EvictUntilFits(uint64_t incoming) {

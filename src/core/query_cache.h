@@ -9,6 +9,7 @@
 
 #include "columnar/table.h"
 #include "observability/metrics.h"
+#include "sql/engine.h"
 
 namespace bauplan::core {
 
@@ -18,6 +19,12 @@ namespace bauplan::core {
 /// lowest-hanging instance, and the versioned catalog makes it sound for
 /// free: a table can only change by producing a new commit id, so a
 /// (sql, commit) pair is immutable and needs no invalidation protocol.
+///
+/// Entries carry the whole result payload — table, execution stats,
+/// plans and lint findings — so a hit is indistinguishable from a fresh
+/// execution (minus the from_cache flag). Plans are only present when
+/// the original execution captured them; a caller that needs plans
+/// misses on a plan-less entry (and the re-execution upgrades it).
 class QueryResultCache {
  public:
   struct Stats {
@@ -34,12 +41,25 @@ class QueryResultCache {
       uint64_t capacity_bytes = 256ull << 20,
       observability::MetricsRegistry* registry = nullptr);
 
-  /// Looks up a result; copies it into `out` on a hit.
+  /// Looks up a result; copies the payload (table, stats, and — when
+  /// `need_plans` — plans and lints) into `out` on a hit. An entry
+  /// without captured plans cannot serve `need_plans` and misses.
+  /// `out->from_cache` / `out->trace` are left untouched.
+  bool Lookup(const std::string& sql, const std::string& commit_id,
+              bool need_plans, sql::QueryResult* out);
+
+  /// Compat shim (table-only): hit copies just the table.
   bool Lookup(const std::string& sql, const std::string& commit_id,
               columnar::Table* out);
 
-  /// Stores a result (no-op when disabled or the table alone exceeds
-  /// capacity).
+  /// Stores a result payload; `has_plans` marks whether `result` carries
+  /// captured plans/lints. Re-inserting under an existing key is a no-op
+  /// unless the newcomer has plans and the incumbent does not (upgrade).
+  /// No-op when disabled or the table alone exceeds capacity.
+  void Insert(const std::string& sql, const std::string& commit_id,
+              const sql::QueryResult& result, bool has_plans);
+
+  /// Compat shim (table-only, no plans).
   void Insert(const std::string& sql, const std::string& commit_id,
               const columnar::Table& table);
 
@@ -54,11 +74,17 @@ class QueryResultCache {
   struct Entry {
     std::string key;
     columnar::Table table;
+    sql::ExecStats exec_stats;
+    std::string logical_plan;
+    std::string physical_plan;
+    std::vector<Diagnostic> lints;
+    bool has_plans = false;
     uint64_t bytes = 0;
   };
 
   static std::string MakeKey(const std::string& sql,
                              const std::string& commit_id);
+  static uint64_t EntryBytes(const Entry& entry);
   void EvictUntilFits(uint64_t incoming);
 
   uint64_t capacity_bytes_;

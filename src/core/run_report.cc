@@ -31,6 +31,7 @@ void AppendNodeJson(std::ostringstream& out, const NodeExecution& node) {
       << "\",\"output_rows\":" << node.output_rows
       << ",\"expectation_passed\":"
       << (node.expectation_passed ? "true" : "false")
+      << ",\"cache_hit\":" << (node.cache_hit ? "true" : "false")
       << ",\"start_kind\":\"" << StartKindName(node.start_kind)
       << "\",\"worker\":" << node.worker << ",\"locality_hit\":"
       << (node.locality_hit ? "true" : "false")

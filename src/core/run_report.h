@@ -27,6 +27,11 @@ struct NodeExecution {
   /// Expectation nodes only.
   bool expectation_passed = true;
   std::string details;
+  /// Served from the differential artifact cache: the node never
+  /// executed (no container, no scheduling) — its output was memoized by
+  /// an earlier run with the same fingerprint. All timing fields below
+  /// stay zero except any cache-materialize transfer.
+  bool cache_hit = false;
 
   // -- timing on the simulated clock -----------------------------------
   runtime::StartKind start_kind = runtime::StartKind::kCold;

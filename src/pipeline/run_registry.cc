@@ -18,6 +18,10 @@ Bytes RunRecord::Serialize() const {
   w.PutString(status);
   w.PutU32(static_cast<uint32_t>(project_snapshot.size()));
   w.PutRaw(project_snapshot.data(), project_snapshot.size());
+  // Appended after v1's fields so records written before the artifact
+  // cache existed still deserialize (the reader stops at end-of-buffer).
+  w.PutU32(static_cast<uint32_t>(cached_nodes.size()));
+  for (const auto& name : cached_nodes) w.PutString(name);
   return w.TakeBuffer();
 }
 
@@ -36,6 +40,14 @@ Result<RunRecord> RunRecord::Deserialize(const Bytes& bytes) {
   record.project_snapshot.resize(snapshot_size);
   BAUPLAN_RETURN_NOT_OK(
       r.GetRaw(record.project_snapshot.data(), snapshot_size));
+  if (!r.AtEnd()) {  // cached_nodes tail (absent in pre-cache records)
+    BAUPLAN_ASSIGN_OR_RETURN(uint32_t cached_count, r.GetU32());
+    record.cached_nodes.reserve(cached_count);
+    for (uint32_t i = 0; i < cached_count; ++i) {
+      BAUPLAN_ASSIGN_OR_RETURN(std::string name, r.GetString());
+      record.cached_nodes.push_back(std::move(name));
+    }
+  }
   return record;
 }
 
@@ -77,11 +89,15 @@ Result<RunRecord> RunRegistry::RegisterRun(
 }
 
 Status RunRegistry::FinishRun(int64_t run_id, const std::string& status,
-                              const std::string& result_commit_id) {
+                              const std::string& result_commit_id,
+                              const std::vector<std::string>& cached_nodes) {
   BAUPLAN_ASSIGN_OR_RETURN(RunRecord record, GetRun(run_id));
   record.status = status;
   if (!result_commit_id.empty()) {
     record.result_commit_id = result_commit_id;
+  }
+  if (!cached_nodes.empty()) {
+    record.cached_nodes = cached_nodes;
   }
   return store_->Put(RunKey(run_id), record.Serialize());
 }

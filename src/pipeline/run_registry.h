@@ -35,6 +35,10 @@ struct RunRecord {
   std::string status;
   /// Serialized PipelineProject.
   Bytes project_snapshot;
+  /// Nodes served from the differential artifact cache instead of
+  /// executing (empty for fully-fresh or pre-cache records). `bauplan
+  /// run --run-id N` reports these as skipped work.
+  std::vector<std::string> cached_nodes;
 
   Bytes Serialize() const;
   static Result<RunRecord> Deserialize(const Bytes& bytes);
@@ -54,9 +58,10 @@ class RunRegistry {
                                 const std::string& data_commit_id);
 
   /// Updates the stored record's status (and, for successful runs, the
-  /// commit the merge produced).
+  /// commit the merge produced and the nodes the artifact cache served).
   Status FinishRun(int64_t run_id, const std::string& status,
-                   const std::string& result_commit_id = "");
+                   const std::string& result_commit_id = "",
+                   const std::vector<std::string>& cached_nodes = {});
 
   Result<RunRecord> GetRun(int64_t run_id) const;
 

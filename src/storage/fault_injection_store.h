@@ -1,6 +1,7 @@
 #ifndef BAUPLAN_STORAGE_FAULT_INJECTION_STORE_H_
 #define BAUPLAN_STORAGE_FAULT_INJECTION_STORE_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,21 +20,29 @@ class FaultInjectionStore : public ObjectStore {
 
   /// Every operation fails with IOError after `n` more successful
   /// operations (n=0 fails the next one). Negative disables.
-  void FailAfter(int64_t n) { fail_after_ = n; }
+  void FailAfter(int64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fail_after_ = n;
+  }
 
   /// Fails only operations whose key starts with `prefix` (empty =
   /// any key). Applies to the FailAfter countdown.
   void FailOnlyPrefix(std::string prefix) {
+    std::lock_guard<std::mutex> lock(mu_);
     fail_prefix_ = std::move(prefix);
   }
 
   /// Clears all injected behaviour.
   void Heal() {
+    std::lock_guard<std::mutex> lock(mu_);
     fail_after_ = -1;
     fail_prefix_.clear();
   }
 
-  int64_t operations_seen() const { return operations_seen_; }
+  int64_t operations_seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return operations_seen_;
+  }
 
   Status Put(const std::string& key, Bytes data) override {
     BAUPLAN_RETURN_NOT_OK(MaybeFail(key, "PUT"));
@@ -58,7 +67,11 @@ class FaultInjectionStore : public ObjectStore {
   }
 
  private:
+  // Parallel runs drive this wrapper from concurrent node bodies, so
+  // the countdown and counters need the lock the real store's own
+  // request path would have anyway.
   Status MaybeFail(const std::string& key, const char* op) const {
+    std::lock_guard<std::mutex> lock(mu_);
     ++operations_seen_;
     if (fail_after_ < 0) return Status::OK();
     if (!fail_prefix_.empty() &&
@@ -74,6 +87,7 @@ class FaultInjectionStore : public ObjectStore {
   }
 
   ObjectStore* base_;
+  mutable std::mutex mu_;
   mutable int64_t fail_after_ = -1;
   std::string fail_prefix_;
   mutable int64_t operations_seen_ = 0;

@@ -35,6 +35,9 @@ class ParallelExecTest : public ::testing::Test {
     PipelineRunOptions options;
     options.fused = false;
     options.parallelism = parallelism;
+    // This suite compares *fresh* execution schedules; with the artifact
+    // cache on, the second run would serve hits instead of executing.
+    options.use_cache = false;
     return platform_->Run(pipeline::MakeWideTaxiPipeline(4), "main",
                           options);
   }
